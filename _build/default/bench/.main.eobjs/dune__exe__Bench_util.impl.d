@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Float Hashtbl Instance List Measure Option Printf Staged String Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Hashtbl List Lorel Option Printf Relstore Ssd Ssd_automata Ssd_dist Ssd_index Ssd_schema Ssd_storage Ssd_workload String Sys Unql Websql

@@ -1,0 +1,77 @@
+(* Shared measurement helpers: bechamel for per-operation timings, plus a
+   simple wall-clock for one-shot constructions. *)
+
+open Bechamel
+open Toolkit
+
+let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+
+(* [measure cases] runs each (name, thunk) under bechamel's monotonic
+   clock and returns (name, ns/run) in input order. *)
+let measure ?(quota = 0.5) cases =
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) cases
+  in
+  let grouped = Test.make_grouped ~name:"g" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let res = Analyze.all ols Instance.monotonic_clock raw in
+  List.map
+    (fun (name, _) ->
+      let key = "g/" ^ name in
+      let est =
+        match Hashtbl.find_opt res key with
+        | Some o -> (
+          match Analyze.OLS.estimates o with
+          | Some (e :: _) -> e
+          | _ -> nan)
+        | None -> nan
+      in
+      (name, est))
+    cases
+
+(* One-shot wall-clock (seconds), minimum of [runs]. *)
+let time_once ?(runs = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let ns_to_string ns =
+  if Float.is_nan ns then "-"
+  else if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let s_to_string s = ns_to_string (s *. 1e9)
+
+(* Markdown-ish table printing. *)
+let print_table ~title ~header rows =
+  Printf.printf "\n### %s\n\n" title;
+  let all = header :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  ignore all;
+  let print_row row =
+    print_string "| ";
+    List.iter2 (fun w cell -> Printf.printf "%-*s | " w cell) widths row;
+    print_newline ()
+  in
+  print_row header;
+  print_string "|";
+  List.iter (fun w -> print_string (String.make (w + 2) '-') ; print_string "|") widths;
+  print_newline ();
+  List.iter print_row rows
+
+let section name = Printf.printf "\n## %s\n" name

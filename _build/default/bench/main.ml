@@ -1,0 +1,711 @@
+(* Benchmark harness: one experiment per entry in DESIGN.md's reconstructed
+   evaluation index (the paper is a tutorial with no tables or figures of
+   its own; see EXPERIMENTS.md).
+
+   Usage:
+     dune exec bench/main.exe            # all experiments, default sizes
+     dune exec bench/main.exe -- e3 e7   # a subset
+     dune exec bench/main.exe -- --full  # larger sizes *)
+
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Tree = Ssd.Tree
+module Ra = Relstore.Ra
+open Bench_util
+
+let full = ref false
+
+let scale xs small = if !full then xs else small
+
+(* ------------------------------------------------------------------ *)
+(* E1 — browsing: where is the string X?  (section 1.3 / section 4)    *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  section "E1 value/text indexes vs full scan (browsing queries, sec. 1.3)";
+  let sizes = scale [ 100; 1000; 10000 ] [ 100; 1000; 5000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let db = Ssd_workload.Movies.generate ~seed:1 ~n_entries:n () in
+        let needle = Label.Str (Printf.sprintf "Movie %d" (n / 2)) in
+        let vidx, v_build = time_once (fun () -> Ssd_index.Value_index.build db) in
+        let tidx, t_build = time_once (fun () -> Ssd_index.Text_index.build db) in
+        let timings =
+          measure
+            [
+              ("scan", fun () -> ignore (Ssd_index.Value_index.scan db needle));
+              ("value-index", fun () -> ignore (Ssd_index.Value_index.find vidx needle));
+              ("text-word", fun () -> ignore (Ssd_index.Text_index.find_word tidx "movie"));
+              ("text-prefix", fun () -> ignore (Ssd_index.Text_index.find_prefix tidx "act"));
+            ]
+        in
+        let t name = List.assoc name timings in
+        let speedup = t "scan" /. t "value-index" in
+        [
+          string_of_int n;
+          ns_to_string (t "scan");
+          ns_to_string (t "value-index");
+          ns_to_string (t "text-word");
+          ns_to_string (t "text-prefix");
+          Printf.sprintf "%.0fx" speedup;
+          s_to_string v_build;
+          s_to_string t_build;
+        ])
+      sizes
+  in
+  print_table ~title:"lookup of one string value"
+    ~header:
+      [ "entries"; "scan"; "value-idx"; "text-word"; "text-prefix"; "speedup"; "v-build"; "t-build" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E2 — regular path expressions (section 3)                           *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "E2 regular path queries: derivatives vs NFA product; exact paths via indexes";
+  let sizes = scale [ 1000; 5000; 20000 ] [ 500; 2000 ] in
+  let regex_text = {| host.page.(link)*.title._ |} in
+  let r = Ssd_automata.Regex.parse regex_text in
+  let nfa = Ssd_automata.Nfa.of_regex r in
+  let rows =
+    List.map
+      (fun n ->
+        let g = Ssd_workload.Webgraph.generate ~seed:2 ~n_pages:n () in
+        let dfa, dfa_build =
+          time_once (fun () ->
+              Ssd_automata.Dfa.minimize
+                (Ssd_automata.Dfa.of_nfa ~alphabet:(Ssd_automata.Product.alphabet g) nfa))
+        in
+        let via_nfa = Ssd_automata.Product.accepting_nodes g nfa in
+        assert (via_nfa = Ssd_automata.Product.accepting_nodes_dfa g dfa);
+        let timings =
+          measure ~quota:0.4
+            [
+              ("derivatives", fun () -> ignore (Ssd_automata.Product.accepting_nodes_deriv g r));
+              ("nfa-product", fun () -> ignore (Ssd_automata.Product.accepting_nodes g nfa));
+              ("dfa-product", fun () -> ignore (Ssd_automata.Product.accepting_nodes_dfa g dfa));
+            ]
+        in
+        let t name = List.assoc name timings in
+        [
+          string_of_int n;
+          string_of_int (List.length via_nfa);
+          ns_to_string (t "nfa-product");
+          ns_to_string (t "derivatives");
+          ns_to_string (t "dfa-product");
+          s_to_string dfa_build;
+          Printf.sprintf "%.1fx" (t "nfa-product" /. t "dfa-product");
+        ])
+      sizes
+  in
+  print_table ~title:(Printf.sprintf "cyclic web graph, query %s" (String.trim regex_text))
+    ~header:[ "pages"; "answers"; "nfa"; "deriv"; "min-dfa"; "dfa-build"; "nfa/dfa" ]
+    rows;
+  (* Exact literal paths: traversal vs path index vs dataguide. *)
+  let sizes = scale [ 1000; 10000 ] [ 500; 2000 ] in
+  let path = [ Label.Sym "entry"; Label.Sym "movie"; Label.Sym "title" ] in
+  let rows =
+    List.map
+      (fun n ->
+        let db = Ssd_workload.Movies.generate ~seed:3 ~n_entries:n () in
+        let pidx, p_build = time_once (fun () -> Ssd_index.Path_index.build ~depth:4 db) in
+        let guide, g_build = time_once (fun () -> Ssd_schema.Dataguide.build db) in
+        let timings =
+          measure
+            [
+              ("traverse", fun () -> ignore (Ssd_index.Path_index.traverse db path));
+              ("path-index", fun () -> ignore (Ssd_index.Path_index.find pidx path));
+              ("dataguide", fun () -> ignore (Ssd_schema.Dataguide.find guide path));
+            ]
+        in
+        let t name = List.assoc name timings in
+        [
+          string_of_int n;
+          ns_to_string (t "traverse");
+          ns_to_string (t "path-index");
+          ns_to_string (t "dataguide");
+          s_to_string p_build;
+          s_to_string g_build;
+        ])
+      sizes
+  in
+  print_table ~title:"exact path entry.movie.title"
+    ~header:[ "entries"; "traverse"; "path-idx"; "dataguide"; "pidx-build"; "guide-build" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E3 — the relational strategy: graph datalog (section 3)             *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  section "E3 recursive datalog over the triple encoding vs direct product";
+  let sizes = scale [ 2000; 8000; 20000 ] [ 1000; 4000 ] in
+  (* Descendants in a deep taxonomy: recursion depth = tree depth, which
+     is where semi-naive evaluation pays off over naive re-derivation. *)
+  let program =
+    Relstore.Datalog.parse
+      {| desc(?T)   :- root(?R), edge(?R, taxon, ?T).
+         desc(?C)   :- desc(?T), edge(?T, child, ?C).
+         answer(?N) :- desc(?T), edge(?T, name, ?N). |}
+  in
+  let nfa = Ssd_automata.Nfa.of_string "taxon.(child)*.name" in
+  let rows =
+    List.map
+      (fun n ->
+        let g = Ssd_workload.Biodb.generate ~seed:4 ~n_taxa:n () in
+        let edb = Relstore.Triple.edb g in
+        let semi = Relstore.Datalog.query ~edb program "answer" in
+        let direct = Ssd_automata.Product.accepting_nodes g nfa in
+        assert (List.length semi = List.length direct);
+        let timings =
+          measure ~quota:0.4
+            [
+              ("datalog-semi-naive", fun () -> ignore (Relstore.Datalog.eval ~edb program));
+              ("datalog-naive", fun () -> ignore (Relstore.Datalog.eval_naive ~edb program));
+              ("direct-product", fun () -> ignore (Ssd_automata.Product.accepting_nodes g nfa));
+            ]
+        in
+        let t name = List.assoc name timings in
+        [
+          string_of_int n;
+          string_of_int (List.length semi);
+          ns_to_string (t "datalog-naive");
+          ns_to_string (t "datalog-semi-naive");
+          ns_to_string (t "direct-product");
+          Printf.sprintf "%.1fx" (t "datalog-naive" /. t "datalog-semi-naive");
+        ])
+      sizes
+  in
+  print_table ~title:"taxonomy descendants, three strategies"
+    ~header:[ "taxa"; "answers"; "naive"; "semi-naive"; "product"; "naive/semi" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E4 — structural recursion on cyclic data (section 3)                *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  section "E4 deep restructuring: sfun bulk semantics vs direct transformation";
+  let sizes = scale [ 500; 2000; 8000 ] [ 200; 1000 ] in
+  let relabel_q = Unql.Parser.parse (Unql.Restructure.As_query.relabel ~from_:"movie" ~to_:"film") in
+  let delete_q = Unql.Parser.parse (Unql.Restructure.As_query.delete ~label:"budget") in
+  let collapse_q = Unql.Parser.parse (Unql.Restructure.As_query.collapse ~label:"credit") in
+  let movie = Label.Sym "movie" and film = Label.Sym "film" in
+  let rows =
+    List.map
+      (fun n ->
+        let db = Ssd_workload.Movies.generate ~seed:5 ~n_entries:n () in
+        (* agreement checked once per size *)
+        let via_q = Unql.Eval.eval ~db relabel_q in
+        let direct =
+          Unql.Restructure.relabel (fun l -> if Label.equal l movie then film else l) db
+        in
+        assert (Ssd.Bisim.equal via_q direct);
+        let timings =
+          measure ~quota:0.4
+            [
+              ("sfun-relabel", fun () -> ignore (Unql.Eval.eval ~db relabel_q));
+              ( "direct-relabel",
+                fun () ->
+                  ignore
+                    (Unql.Restructure.relabel
+                       (fun l -> if Label.equal l movie then film else l) db) );
+              ("sfun-delete", fun () -> ignore (Unql.Eval.eval ~db delete_q));
+              ( "direct-delete",
+                fun () ->
+                  ignore (Unql.Restructure.delete_edges (Label.equal (Label.Sym "budget")) db) );
+              ("sfun-collapse", fun () -> ignore (Unql.Eval.eval ~db collapse_q));
+            ]
+        in
+        let t name = List.assoc name timings in
+        [
+          string_of_int n;
+          ns_to_string (t "sfun-relabel");
+          ns_to_string (t "direct-relabel");
+          ns_to_string (t "sfun-delete");
+          ns_to_string (t "direct-delete");
+          ns_to_string (t "sfun-collapse");
+        ])
+      sizes
+  in
+  print_table ~title:"relabel / delete / collapse on cyclic movie data"
+    ~header:[ "entries"; "sfun-rel"; "direct-rel"; "sfun-del"; "direct-del"; "sfun-col" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E5 — the three model variants (section 2)                           *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5 model variants: conversion round-trips";
+  let sizes = scale [ 1000; 10000; 50000 ] [ 1000; 5000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let g = Ssd_workload.Randtree.generate ~seed:6 ~regularity:0.5 ~n_edges:n () in
+        let t = Graph.to_tree g in
+        let leafy = Ssd.Variant.leafy_of_v1 t in
+        let nodelab = Ssd.Variant.nodelab_of_v1 ~root:(Label.Sym "root") t in
+        (* Round-trip identities (the paper's "easy to define mappings"). *)
+        assert (Ssd.Variant.Leafy.equal leafy (Ssd.Variant.leafy_of_v1 (Ssd.Variant.v1_of_leafy leafy)));
+        assert (
+          Ssd.Variant.Nodelab.equal nodelab
+            (Ssd.Variant.nodelab_of_v1 ~root:(Label.Sym "root")
+               (Ssd.Variant.v1_of_nodelab nodelab)));
+        let timings =
+          measure ~quota:0.3
+            [
+              ("to-leafy", fun () -> ignore (Ssd.Variant.leafy_of_v1 t));
+              ("from-leafy", fun () -> ignore (Ssd.Variant.v1_of_leafy leafy));
+              ("to-nodelab", fun () -> ignore (Ssd.Variant.nodelab_of_v1 ~root:(Label.Sym "root") t));
+              ("from-nodelab", fun () -> ignore (Ssd.Variant.v1_of_nodelab nodelab));
+            ]
+        in
+        let t' name = List.assoc name timings in
+        [
+          string_of_int n;
+          ns_to_string (t' "to-leafy");
+          ns_to_string (t' "from-leafy");
+          ns_to_string (t' "to-nodelab");
+          ns_to_string (t' "from-nodelab");
+        ])
+      sizes
+  in
+  print_table ~title:"edge-labeled <-> leaf-valued <-> node-labeled"
+    ~header:[ "edges"; "to-v2"; "from-v2"; "to-v3"; "from-v3" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E6 — object identity and bisimulation (section 2)                   *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6 bisimulation: value equality and minimization of shared data";
+  let sizes = scale [ 200; 1000; 4000 ] [ 100; 500 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let bib = Ssd_workload.Bibdb.generate ~seed:7 ~n_papers:n () in
+        let g = Graph.eps_eliminate bib in
+        let minimized, t_min = time_once (fun () -> Ssd.Bisim.minimize bib) in
+        let (_ : bool), t_eq = time_once (fun () -> Ssd.Bisim.equal bib minimized) in
+        let tree_size =
+          (* size of the value (tree unfolding): DAG, so count via memo *)
+          let memo = Hashtbl.create 64 in
+          let rec sz u =
+            match Hashtbl.find_opt memo u with
+            | Some s -> s
+            | None ->
+              let s =
+                List.fold_left (fun acc (_, v) -> acc + 1 + sz v) 0 (Graph.labeled_succ g u)
+              in
+              Hashtbl.add memo u s;
+              s
+          in
+          sz (Graph.root g)
+        in
+        [
+          string_of_int n;
+          string_of_int (Graph.n_nodes g);
+          string_of_int (Graph.n_nodes minimized);
+          Printf.sprintf "%.2f" (float_of_int (Graph.n_nodes g) /. float_of_int (Graph.n_nodes minimized));
+          string_of_int tree_size;
+          s_to_string t_min;
+          s_to_string t_eq;
+        ])
+      sizes
+  in
+  print_table ~title:"bibliography DAG with shared authors"
+    ~header:[ "papers"; "nodes"; "min-nodes"; "ratio"; "tree-unfold-edges"; "minimize"; "bisim-eq" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E7 — DataGuides and representative objects (section 5)              *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7 summary size vs data regularity (DataGuide, k-RO, inferred schema)";
+  let n = if !full then 5000 else 2000 in
+  let rows =
+    List.map
+      (fun regularity ->
+        let g = Ssd_workload.Randtree.generate ~seed:8 ~regularity ~n_edges:n () in
+        let guide, t_guide = time_once (fun () -> Ssd_schema.Dataguide.build g) in
+        let ro2 = Ssd_schema.Ro.build ~k:2 g in
+        let ro4 = Ssd_schema.Ro.build ~k:4 g in
+        let schema_n = Ssd_schema.Infer.schema_size ~k:3 g in
+        [
+          Printf.sprintf "%.2f" regularity;
+          string_of_int (Graph.n_nodes g);
+          string_of_int (Ssd_schema.Dataguide.n_nodes guide);
+          s_to_string t_guide;
+          string_of_int (Ssd_schema.Ro.n_classes ro2);
+          string_of_int (Ssd_schema.Ro.n_classes ro4);
+          string_of_int schema_n;
+        ])
+      [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+  in
+  print_table
+    ~title:(Printf.sprintf "random trees, %d edges, regularity sweep" n)
+    ~header:[ "regularity"; "nodes"; "guide"; "guide-t"; "2-RO"; "4-RO"; "schema(k=3)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E8 — optimization ablation (section 4)                              *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8 optimization ablation: clause reordering, NFA caching, DataGuide use";
+  let n = if !full then 5000 else 1500 in
+  let db = Ssd_workload.Movies.generate ~seed:9 ~n_entries:n () in
+  let guide, _ = time_once ~runs:1 (fun () -> Ssd_schema.Dataguide.build db) in
+  (* A query whose conditions can move before an expensive regex step. *)
+  let q =
+    Unql.Parser.parse
+      {| select {hit: {title: t, year: y}}
+         where {entry.movie: \m} <- DB,
+               {year.\y} <- m,
+               {title: \t} <- m,
+               {<cast.(credit)?.actors>.\a} <- m,
+               y > 2010,
+               startswith(a, "Lauren") |}
+  in
+  let opts ?(reorder = true) ?(cache = true) ?guide () =
+    { Unql.Eval.reorder_clauses = reorder; cache_nfa = cache; dataguide = guide }
+  in
+  let timings =
+    measure ~quota:0.6
+      [
+        ("all-on", fun () -> ignore (Unql.Eval.eval ~options:(opts ~guide ()) ~db q));
+        ("no-guide", fun () -> ignore (Unql.Eval.eval ~options:(opts ()) ~db q));
+        ("no-reorder", fun () -> ignore (Unql.Eval.eval ~options:(opts ~reorder:false ()) ~db q));
+        ("no-nfa-cache", fun () -> ignore (Unql.Eval.eval ~options:(opts ~cache:false ()) ~db q));
+        ( "none",
+          fun () ->
+            ignore (Unql.Eval.eval ~options:(opts ~reorder:false ~cache:false ()) ~db q) );
+      ]
+  in
+  print_table ~title:(Printf.sprintf "select with regex + conditions, %d entries" n)
+    ~header:[ "configuration"; "time" ]
+    (List.map (fun (name, t) -> [ name; ns_to_string t ]) timings);
+  (* DataGuide pruning of impossible paths. *)
+  let dead = Unql.Parser.parse {| select t where {entry.movie.nosuchlabel: \t} <- DB |} in
+  let _, pruned = Unql.Optimize.prune_with_guide guide dead in
+  Printf.printf "\nimpossible-path selects pruned by the guide: %d (of 1)\n" pruned;
+  (* Automaton sizes before/after minimization. *)
+  let alphabet =
+    Graph.fold_labeled_edges (fun acc _ l _ -> l :: acc) [] (Graph.eps_eliminate db)
+    |> List.sort_uniq Label.compare
+  in
+  List.iter
+    (fun (text, nfa_states, dfa_states) ->
+      Printf.printf "regex %-40s NFA states %3d -> min-DFA states %d\n" text nfa_states
+        dfa_states)
+    (Unql.Optimize.automaton_sizes ~alphabet q)
+
+(* ------------------------------------------------------------------ *)
+(* E9 — query decomposition across sites (section 4)                   *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9 decomposed evaluation: sites sweep (Suciu VLDB'96)";
+  let n = if !full then 10000 else 3000 in
+  let g = Ssd_workload.Webgraph.generate ~seed:10 ~n_pages:n () in
+  let nfa = Ssd_automata.Nfa.of_string "host.page.(link)*.title._" in
+  let central = Ssd_automata.Product.accepting_nodes g nfa in
+  let rows =
+    List.map
+      (fun (k, random) ->
+        let partition =
+          if random then Ssd_dist.Decompose.partition_random ~seed:1 ~k g
+          else Ssd_dist.Decompose.partition_bfs ~k g
+        in
+        let answers, stats = Ssd_dist.Decompose.eval g partition nfa in
+        assert (answers = central);
+        [
+          string_of_int k;
+          (if random then "random" else "bfs");
+          string_of_int stats.Ssd_dist.Decompose.cross_edges;
+          string_of_int stats.Ssd_dist.Decompose.rounds;
+          string_of_int stats.Ssd_dist.Decompose.messages;
+          string_of_int (Array.fold_left max 0 stats.Ssd_dist.Decompose.local_work);
+          string_of_int stats.Ssd_dist.Decompose.sequential_work;
+          Printf.sprintf "%.2f"
+            (float_of_int stats.Ssd_dist.Decompose.sequential_work
+            /. float_of_int stats.Ssd_dist.Decompose.makespan);
+        ])
+      [ (1, false); (2, false); (4, false); (8, false); (16, false); (4, true); (16, true) ]
+  in
+  print_table
+    ~title:(Printf.sprintf "web graph %d pages, multi-round decomposition" n)
+    ~header:
+      [ "sites"; "partition"; "cross-edges"; "rounds"; "messages"; "max-site"; "seq-work"; "speedup" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E10 — relational data through the model (sections 1.2 / 2)          *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section "E10 relational encoding: SQL-shaped query in RA vs UnQL on encoded data";
+  let sizes = scale [ 200; 1000; 5000 ] [ 100; 500 ] in
+  let make_db n =
+    let customers =
+      {
+        Ssd.Encode.rel_name = "customer";
+        attrs = [ "cid"; "name"; "city" ];
+        rows =
+          List.init n (fun i ->
+              [
+                Label.Int i;
+                Label.Str (Printf.sprintf "Customer %d" i);
+                Label.Str (Printf.sprintf "City %d" (i mod 10));
+              ]);
+      }
+    in
+    let orders =
+      {
+        Ssd.Encode.rel_name = "order";
+        attrs = [ "oid"; "cid"; "amount" ];
+        rows =
+          List.init (3 * n) (fun i ->
+              [ Label.Int i; Label.Int (i mod n); Label.Int (10 + (i * 7 mod 990)) ]);
+      }
+    in
+    (customers, orders)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let customers, orders = make_db n in
+        let rel_c = Relstore.Relation.of_rows customers.Ssd.Encode.attrs
+            (List.map Array.of_list customers.Ssd.Encode.rows)
+        and rel_o = Relstore.Relation.of_rows orders.Ssd.Encode.attrs
+            (List.map Array.of_list orders.Ssd.Encode.rows) in
+        let tree = Ssd.Encode.tree_of_database [ customers; orders ] in
+        let db = Graph.of_tree tree in
+        let q =
+          Unql.Parser.parse
+            {| select {hit: {name: nm, amount: a}}
+               where {order.tuple: \o} <- DB,
+                     {amount.\a} <- o, {cid.\c} <- o,
+                     {customer.tuple: \cu} <- DB,
+                     {cid.\c2} <- cu, {name.\nm} <- cu,
+                     c = c2, a > 900 |}
+        in
+        let ra () =
+          let big = Ra.select (fun _ -> true) rel_o in
+          ignore big;
+          let sel = Ra.select (fun row -> Label.compare row.(2) (Label.Int 900) > 0) rel_o in
+          Ra.project [ "name"; "amount" ] (Ra.join sel rel_c)
+        in
+        let ra_result = ra () in
+        let unql_result = Unql.Eval.eval ~db q in
+        let unql_rows = List.length (Graph.labeled_succ unql_result (Graph.root unql_result)) in
+        let timings =
+          measure ~quota:0.4
+            [ ("relational-algebra", fun () -> ignore (ra ())); ("unql-on-encoding", fun () -> ignore (Unql.Eval.eval ~db q)) ]
+        in
+        let t name = List.assoc name timings in
+        [
+          string_of_int n;
+          string_of_int (Relstore.Relation.cardinality ra_result);
+          string_of_int unql_rows;
+          ns_to_string (t "relational-algebra");
+          ns_to_string (t "unql-on-encoding");
+        ])
+      sizes
+  in
+  print_table ~title:"join + selection + projection, both strategies"
+    ~header:[ "customers"; "ra-rows"; "unql-rows"; "ra"; "unql" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E11 — disk layout and clustering (section 4, direct representation)  *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  section "E11 storage: codec size; clustering vs page faults (sec. 4)";
+  let n = if !full then 20000 else 5000 in
+  let datasets =
+    [
+      ("movies", Ssd_workload.Movies.generate ~seed:11 ~n_entries:(n / 10) ());
+      ("biodb", Ssd_workload.Biodb.generate ~seed:11 ~n_taxa:(n / 4) ());
+      ("web", Ssd_workload.Webgraph.generate ~seed:11 ~n_pages:(n / 5) ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let size = Ssd_storage.Codec.encoded_size g in
+        let _, t_enc = time_once (fun () -> Ssd_storage.Codec.encode g) in
+        let data = Ssd_storage.Codec.encode g in
+        let _, t_dec = time_once (fun () -> Ssd_storage.Codec.decode data) in
+        [
+          name;
+          string_of_int (Graph.n_nodes g);
+          string_of_int (Graph.n_edges g);
+          string_of_int size;
+          Printf.sprintf "%.1f" (float_of_int size /. float_of_int (Graph.n_edges g));
+          s_to_string t_enc;
+          s_to_string t_dec;
+        ])
+      datasets
+  in
+  print_table ~title:"binary codec"
+    ~header:[ "dataset"; "nodes"; "edges"; "bytes"; "B/edge"; "encode"; "decode" ]
+    rows;
+  (* Clustering: path-shaped workload over the deep taxonomy. *)
+  let g = Ssd_workload.Biodb.generate ~seed:12 ~n_taxa:n () in
+  let walks = Ssd_storage.Pager.random_walks ~seed:13 ~n_walks:(n / 4) ~depth:16 g in
+  let rows =
+    List.concat_map
+      (fun clustering ->
+        List.map
+          (fun buffer ->
+            let t = Ssd_storage.Pager.layout clustering ~page_capacity:64 g in
+            let s = Ssd_storage.Pager.replay t ~buffer_pages:buffer walks in
+            [
+              Ssd_storage.Pager.clustering_name clustering;
+              string_of_int buffer;
+              string_of_int s.Ssd_storage.Pager.accesses;
+              string_of_int s.Ssd_storage.Pager.faults;
+              Printf.sprintf "%.1f%%"
+                (100. *. float_of_int s.Ssd_storage.Pager.faults
+                /. float_of_int s.Ssd_storage.Pager.accesses);
+            ])
+          [ 4; 16 ])
+      [ Ssd_storage.Pager.Dfs; Ssd_storage.Pager.Bfs; Ssd_storage.Pager.Insertion;
+        Ssd_storage.Pager.Scatter 7 ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "LRU page faults, taxonomy %d taxa, 64 nodes/page, random root walks" n)
+    ~header:[ "clustering"; "buffer"; "accesses"; "faults"; "fault-rate" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E12 — one query, four languages (section 3's survey, quantified)     *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  section "E12 the same query in UnQL, Lorel and datalog (+ WebSQL on web data)";
+  let sizes = scale [ 1000; 5000 ] [ 500; 2000 ] in
+  let actor = "Humphrey Bogart 0" in
+  let unql_q =
+    Unql.Parser.parse
+      (Printf.sprintf
+         {| select {t: \t}
+            where {<entry.movie>: \m} <- DB,
+                  {<cast._*.%S>} <- m,
+                  {title.\t} <- m |}
+         actor)
+  in
+  let lorel_q =
+    Printf.sprintf {| select X.title from DB.entry.movie X where X.cast.# = %S |} actor
+  in
+  let datalog_q =
+    Relstore.Datalog.parse
+      (Printf.sprintf
+         {| mcast(?M, ?C) :- edge(?E, movie, ?M), edge(?M, cast, ?C).
+            mcast(?M, ?D) :- mcast(?M, ?C), edge(?C, ?L, ?D).
+            hit(?T) :- mcast(?M, ?C), edge(?C, %S, ?X),
+                       edge(?M, title, ?TN), edge(?TN, ?T, ?L2). |}
+         actor)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let db = Ssd_workload.Movies.generate ~seed:12 ~n_entries:n () in
+        let edb = Relstore.Triple.edb db in
+        let unql_result = Unql.Eval.eval ~db unql_q in
+        let count_unql =
+          List.length (Graph.labeled_succ unql_result (Graph.root unql_result))
+        in
+        let lorel_result = Lorel.Eval.run ~db lorel_q in
+        let count_lorel =
+          List.length (Graph.labeled_succ lorel_result (Graph.root lorel_result))
+        in
+        let count_datalog = List.length (Relstore.Datalog.query ~edb datalog_q "hit") in
+        assert (count_unql = count_lorel && count_lorel = count_datalog);
+        let timings =
+          measure ~quota:0.4
+            [
+              ("unql", fun () -> ignore (Unql.Eval.eval ~db unql_q));
+              ("lorel", fun () -> ignore (Lorel.Eval.run ~db lorel_q));
+              ("datalog", fun () -> ignore (Relstore.Datalog.query ~edb datalog_q "hit"));
+            ]
+        in
+        let t name = List.assoc name timings in
+        [
+          string_of_int n;
+          string_of_int count_unql;
+          ns_to_string (t "unql");
+          ns_to_string (t "lorel");
+          ns_to_string (t "datalog");
+        ])
+      sizes
+  in
+  print_table
+    ~title:(Printf.sprintf "movies with actor %S: titles, three languages agree" actor)
+    ~header:[ "entries"; "answers"; "unql"; "lorel"; "datalog" ]
+    rows;
+  (* WebSQL vs the generic automaton product on web-shaped data. *)
+  let n = if !full then 5000 else 1500 in
+  let web = Ssd_workload.Webgraph.generate ~seed:13 ~n_pages:n () in
+  let w = Websql.Web.of_graph web in
+  let start_url = "http://host0.example/p0" in
+  let websql_q =
+    Printf.sprintf {| SELECT d.url FROM DOCUMENT d SUCH THAT %S (-> | =>)* d |} start_url
+  in
+  let start = Option.get (Websql.Web.by_url w start_url) in
+  let count_websql = Relstore.Relation.cardinality (Websql.Eval.run ~db:web websql_q) in
+  let timings =
+    measure ~quota:0.4
+      [
+        ("websql", fun () -> ignore (Websql.Eval.run ~db:web websql_q));
+        ( "automata-product",
+          fun () ->
+            ignore
+              (Ssd_automata.Product.accepting_nodes_from web
+                 (Ssd_automata.Nfa.of_string "(link)*")
+                 ~starts:[ start ]) );
+      ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "web reachability from %s (%d pages reachable of %d)" start_url
+         count_websql n)
+    ~header:[ "evaluator"; "time" ]
+    (List.map (fun (name, t) -> [ name; ns_to_string t ]) timings)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--full" then begin
+          full := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected = if args = [] then List.map fst experiments else args in
+  Printf.printf "# Semistructured Data (PODS'97) — reconstructed evaluation\n";
+  Printf.printf "(sizes: %s; see EXPERIMENTS.md for the experiment index)\n"
+    (if !full then "full" else "default");
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None -> Printf.eprintf "unknown experiment %s\n" name)
+    selected

@@ -1,0 +1,206 @@
+(* ssdql — command-line front end to the semistructured data library.
+
+   Subcommands:
+     query      run an UnQL / Lorel / WebSQL / datalog query
+     convert    convert between ssd syntax, JSON, OEM and triples
+     dataguide  build and print the strong DataGuide of a data file
+     validate   check a data file against a graph schema
+     update     apply insert/delete/rename statements
+     stats      print graph statistics
+     gen        emit a synthetic workload in ssd syntax *)
+
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_data path =
+  let src = read_file path in
+  if Filename.check_suffix path ".json" then
+    Graph.of_tree (Ssd.Json.to_tree (Ssd.Json.parse src))
+  else if Filename.check_suffix path ".oem" then Ssd.Oem.to_graph (Ssd.Oem.parse src)
+  else if Filename.check_suffix path ".bin" then Ssd_storage.Codec.read_file path
+  else Ssd.Syntax.parse_graph src
+
+let print_graph g = print_endline (Graph.to_string g)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd data lang query_text =
+  let db = load_data data in
+  match lang with
+  | "unql" -> print_graph (Unql.Eval.run ~db query_text)
+  | "lorel" -> print_graph (Lorel.Eval.run ~db query_text)
+  | "websql" -> print_endline (Relstore.Relation.to_string (Websql.Eval.run ~db query_text))
+  | "datalog" ->
+    let program = Relstore.Datalog.parse query_text in
+    let edb = Relstore.Triple.edb db in
+    let results = Relstore.Datalog.eval ~edb program in
+    List.iter
+      (fun (pred, tuples) ->
+        Printf.printf "%s: %d tuples\n" pred (List.length tuples);
+        List.iter
+          (fun t ->
+            Printf.printf "  %s(%s)\n" pred
+              (String.concat ", " (List.map Label.to_string t)))
+          tuples)
+      results
+  | other -> Printf.eprintf "unknown language %s (use unql, lorel, websql or datalog)\n" other
+
+(* ------------------------------------------------------------------ *)
+(* convert                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let convert_cmd data target =
+  let g = load_data data in
+  match target with
+  | "ssd" -> print_graph g
+  | "json" -> print_endline (Ssd.Json.to_string (Ssd.Json.of_tree (Graph.to_tree g)))
+  | "triples" ->
+    print_endline (Relstore.Relation.to_string (Relstore.Triple.edges g));
+    print_endline (Relstore.Relation.to_string (Relstore.Triple.root g))
+  | "oem" -> print_endline (Ssd.Oem.to_string (Ssd.Oem.of_graph g))
+  | other -> Printf.eprintf "unknown target %s (use ssd, json, oem or triples)\n" other
+
+(* ------------------------------------------------------------------ *)
+(* dataguide                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dataguide_cmd data max_len =
+  let g = load_data data in
+  let guide = Ssd_schema.Dataguide.build g in
+  Printf.printf "data nodes: %d, guide nodes: %d\n" (Graph.n_nodes g)
+    (Ssd_schema.Dataguide.n_nodes guide);
+  List.iter
+    (fun path ->
+      if path <> [] then
+        print_endline (String.concat "." (List.map Label.to_string path)))
+    (Ssd_schema.Dataguide.paths guide ~max_len)
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd data schema_path =
+  let g = load_data data in
+  let schema = Ssd_schema.Gschema.parse (read_file schema_path) in
+  if Ssd_schema.Gschema.conforms g schema then begin
+    print_endline "conforms";
+    exit 0
+  end
+  else begin
+    let bad = Ssd_schema.Gschema.violations g schema in
+    Printf.printf "does NOT conform: %d violating nodes (showing up to 10)\n"
+      (List.length bad);
+    List.iteri (fun i u -> if i < 10 then Printf.printf "  node %d\n" u) bad;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* update                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let update_cmd data stmts =
+  let db = load_data data in
+  print_graph (Lorel.Update.run ~db stmts)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd data =
+  let g = load_data data in
+  Format.printf "%a@." Ssd_index.Stats.pp (Ssd_index.Stats.compute g);
+  Format.printf "top labels:@.";
+  List.iter
+    (fun (l, c) -> Format.printf "  %s: %d@." (Label.to_string l) c)
+    (Ssd_index.Stats.top_labels g ~k:10)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd kind n seed =
+  let g =
+    match kind with
+    | "movies" -> Ssd_workload.Movies.generate ~seed ~n_entries:n ()
+    | "figure1" -> Ssd_workload.Movies.figure1 ()
+    | "web" -> Ssd_workload.Webgraph.generate ~seed ~n_pages:n ()
+    | "bio" -> Ssd_workload.Biodb.generate ~seed ~n_taxa:n ()
+    | "bib" -> Ssd_workload.Bibdb.generate ~seed ~n_papers:n ()
+    | "randtree" -> Ssd_workload.Randtree.generate ~seed ~regularity:0.5 ~n_edges:n ()
+    | other ->
+      Printf.eprintf "unknown workload %s (movies|figure1|web|bio|bib|randtree)\n" other;
+      exit 2
+  in
+  print_graph g
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let data_arg =
+  Arg.(required & opt (some file) None & info [ "d"; "data" ] ~docv:"FILE"
+         ~doc:"Data file (.ssd syntax; .json, .oem and .bin are auto-detected).")
+
+let query_t =
+  let lang =
+    Arg.(value & opt string "unql" & info [ "l"; "lang" ] ~docv:"LANG"
+           ~doc:"Query language: unql, lorel, websql or datalog.")
+  in
+  let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v (Cmd.info "query" ~doc:"Run a query against a data file")
+    Term.(const query_cmd $ data_arg $ lang $ q)
+
+let convert_t =
+  let target =
+    Arg.(value & opt string "ssd" & info [ "t"; "to" ] ~docv:"FMT"
+           ~doc:"Target format: ssd, json, oem or triples.")
+  in
+  Cmd.v (Cmd.info "convert" ~doc:"Convert between data formats")
+    Term.(const convert_cmd $ data_arg $ target)
+
+let dataguide_t =
+  let max_len =
+    Arg.(value & opt int 4 & info [ "max-len" ] ~docv:"N" ~doc:"Path length cutoff.")
+  in
+  Cmd.v (Cmd.info "dataguide" ~doc:"Print the strong DataGuide")
+    Term.(const dataguide_cmd $ data_arg $ max_len)
+
+let validate_t =
+  let schema =
+    Arg.(required & opt (some file) None & info [ "s"; "schema" ] ~docv:"FILE"
+           ~doc:"Graph schema file.")
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Validate data against a graph schema")
+    Term.(const validate_cmd $ data_arg $ schema)
+
+let update_t =
+  let stmts = Arg.(required & pos 0 (some string) None & info [] ~docv:"STATEMENTS") in
+  Cmd.v
+    (Cmd.info "update" ~doc:"Apply insert/delete/rename statements; print the new database")
+    Term.(const update_cmd $ data_arg $ stmts)
+
+let stats_t =
+  Cmd.v (Cmd.info "stats" ~doc:"Print graph statistics") Term.(const stats_cmd $ data_arg)
+
+let gen_t =
+  let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND") in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Size parameter.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic workload")
+    Term.(const gen_cmd $ kind $ n $ seed)
+
+let () =
+  let doc = "semistructured data toolbox (Buneman, PODS'97 reproduction)" in
+  let info = Cmd.info "ssdql" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ query_t; convert_t; dataguide_t; validate_t; update_t; stats_t; gen_t ]))

@@ -1,0 +1,1 @@
+examples/data_integration.ml: Format List Ssd String Unql

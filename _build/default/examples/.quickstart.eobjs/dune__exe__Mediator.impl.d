@@ -1,0 +1,1 @@
+examples/mediator.ml: Format Ssd Ssd_schema Unql

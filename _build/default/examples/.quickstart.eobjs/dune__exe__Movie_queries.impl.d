@@ -1,0 +1,1 @@
+examples/movie_queries.ml: Format Printf Ssd Ssd_workload Unql

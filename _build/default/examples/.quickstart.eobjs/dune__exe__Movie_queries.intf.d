@@ -1,0 +1,1 @@
+examples/movie_queries.mli:

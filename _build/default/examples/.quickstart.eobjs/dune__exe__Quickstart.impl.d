@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Ssd Ssd_automata Ssd_index Ssd_workload String Unql

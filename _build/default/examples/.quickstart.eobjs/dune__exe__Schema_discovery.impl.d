@@ -1,0 +1,1 @@
+examples/schema_discovery.ml: Format List Ssd Ssd_index Ssd_schema Ssd_workload String Unql

@@ -1,0 +1,1 @@
+examples/schema_discovery.mli:

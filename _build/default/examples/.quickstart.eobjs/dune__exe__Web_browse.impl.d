@@ -1,0 +1,1 @@
+examples/web_browse.ml: Array Format List Lorel Relstore Ssd Ssd_automata Ssd_dist Ssd_workload String Websql

@@ -1,0 +1,88 @@
+(* A Tsimmis-style mediator (section 1.2): several sources with different
+   vocabularies, wrapped into one mediated database by restructuring
+   views, queried with one language.
+
+   Source A ships OEM (a film archive), source B ships ssd syntax (a TV
+   guide), source C is a JSON review feed.  The mediator: (1) converts
+   each source into the model, (2) normalizes vocabularies with sfun
+   views (film->movie, show->tvshow), (3) unions them, (4) validates the
+   result against a mediated schema, and (5) answers integrated queries.
+
+   Run with: dune exec examples/mediator.exe *)
+
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+let source_a_oem =
+  {| <archive, set, {
+       <film, set, {
+         <name, str, "Casablanca">,
+         <year, int, 1942>,
+         <star, str, "Bogart"> }>,
+       <film, set, {
+         <name, str, "The Third Man">,
+         <year, int, 1949>,
+         <star, str, "Welles"> }> }> |}
+
+let source_b_ssd =
+  {| {show: {name: "Casablanca", episode: {1: {"Who Holds Tomorrow?"}}},
+      show: {name: "Tales of Tomorrow", episode: {1: {"Verdict"}}}} |}
+
+let source_c_json =
+  {| {"reviews": [ {"about": "Casablanca", "stars": 5},
+                   {"about": "The Third Man", "stars": 5},
+                   {"about": "Tales of Tomorrow", "stars": 3} ]} |}
+
+let () =
+  (* 1. wrap each source into the model *)
+  let a = Ssd.Oem.to_graph (Ssd.Oem.parse source_a_oem) in
+  let b = Ssd.Syntax.parse_graph source_b_ssd in
+  let c = Graph.of_tree (Ssd.Json.to_tree (Ssd.Json.parse source_c_json)) in
+  Format.printf "sources: A(OEM) %d nodes, B(ssd) %d nodes, C(json) %d nodes@."
+    (Graph.n_nodes a) (Graph.n_nodes b) (Graph.n_nodes c);
+
+  (* 2+3. normalize vocabularies and union — the mediated database *)
+  let mediated = Graph.unions [ a; b; c ] in
+  let reg =
+    Unql.Views.(
+      empty
+      |> define ~name:"catalog"
+           (* one vocabulary: film/show -> entry, name -> title, and the
+              archive/star wrappers mapped away *)
+           {| let sfun norm({archive: T}) = norm(T)
+                    | norm({film: T})     = {entry: {movie: norm(T)}}
+                    | norm({show: T})     = {entry: {tvshow: norm(T)}}
+                    | norm({name: T})     = {title: norm(T)}
+                    | norm({star: T})     = {cast: {actors: norm(T)}}
+                    | norm({\L: T})       = {L: norm(T)}
+              in norm(DB) |}
+      |> define ~name:"ratings"
+           {| select {rating: {title: \t, stars: \s}}
+              where {<reviews._>: \r} <- DB, {about.\t} <- r, {stars.\s} <- r |})
+  in
+  let catalog = Unql.Views.materialize reg ~db:mediated "catalog" in
+  Format.printf "@.mediated catalog:@.%s@." (Graph.to_string catalog);
+
+  (* 4. the mediated schema — sources must stay within it *)
+  let schema =
+    Ssd_schema.Gschema.parse
+      {| {entry: {movie | tvshow:
+            {title: #string, year: #int,
+             cast: {actors: #string},
+             episode: {#int: {#string}}}},
+          reviews: &any {_: *any}} |}
+  in
+  Format.printf "@.catalog conforms to the mediated schema: %b@."
+    (Ssd_schema.Gschema.conforms catalog schema);
+
+  (* 5. integrated query: titles known to every source kind, with stars *)
+  let integrated =
+    Unql.Views.run reg ~db:mediated
+      {| select {hit: {title: \t, stars: \s}}
+         where {<entry._.title>.\t} <- catalog,
+               {rating: \r} <- ratings,
+               {title.\t2} <- r, {stars.\s} <- r,
+               t = t2 |}
+  in
+  Format.printf "@.titles with their review stars, across all sources:@.%s@."
+    (Graph.to_string integrated)

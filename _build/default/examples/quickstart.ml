@@ -1,0 +1,48 @@
+(* Quickstart: build the paper's Figure 1 database and ask it the three
+   browsing questions of section 1.3 — the queries "standard relational or
+   object-oriented query languages" cannot answer generically.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Label = Ssd.Label
+module Graph = Ssd.Graph
+
+let () =
+  let db = Ssd_workload.Movies.figure1 () in
+  Format.printf "=== Figure 1 database ===@.%s@.@." (Graph.to_string db);
+
+  (* Q1: Where in the database is the string "Casablanca" to be found? *)
+  Format.printf "Q1: where is \"Casablanca\"?@.";
+  let nfa = Ssd_automata.Nfa.of_string {| _* . "Casablanca" |} in
+  let hits = Ssd_automata.Product.accepting_nodes db nfa in
+  List.iter
+    (fun node ->
+      match Ssd_automata.Product.witness db nfa node with
+      | Some path ->
+        Format.printf "  at path %s@."
+          (String.concat "." (List.map Label.to_string path))
+      | None -> ())
+    hits;
+
+  (* Q2: Are there integers in the database greater than 2^16? *)
+  Format.printf "@.Q2: integers greater than 2^16?@.";
+  let result =
+    Unql.Eval.run ~db
+      {| select {big: \l} where {<_*>.\l} <- DB, isint(l), l > 65536 |}
+  in
+  Format.printf "  %s@." (Graph.to_string result);
+
+  (* Q3: What objects have an attribute name that starts with "act"? *)
+  Format.printf "@.Q3: attribute names starting with \"act\"?@.";
+  let idx = Ssd_index.Text_index.build db in
+  let occs = Ssd_index.Text_index.find_prefix idx "act" in
+  List.iter
+    (fun o ->
+      Format.printf "  node %d has attribute %s@." o.Ssd_index.Text_index.src
+        (Label.to_string o.Ssd_index.Text_index.label))
+    occs;
+
+  (* And a plain select, for the road. *)
+  Format.printf "@.All movie titles:@.";
+  let titles = Unql.Eval.run ~db {| select {title: t} where {<entry.movie.title>: \t} <- DB |} in
+  Format.printf "  %s@." (Graph.to_string titles)

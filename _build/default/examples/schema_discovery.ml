@@ -1,0 +1,66 @@
+(* Adding structure (section 5): DataGuides, schema inference, and
+   simulation-based conformance over schemaless data.
+
+   Run with: dune exec examples/schema_discovery.exe *)
+
+module Label = Ssd.Label
+module Graph = Ssd.Graph
+module Dataguide = Ssd_schema.Dataguide
+module Gschema = Ssd_schema.Gschema
+
+let () =
+  let db = Ssd_workload.Movies.generate ~seed:3 ~n_entries:200 () in
+  let stats = Ssd_index.Stats.compute db in
+  Format.printf "=== database ===@.%a@.@." Ssd_index.Stats.pp stats;
+
+  (* A DataGuide summarizes every path in the data exactly once: this is
+     what a user browses instead of a schema. *)
+  let guide = Dataguide.build db in
+  Format.printf "=== dataguide: %d nodes summarize %d ===@." (Dataguide.n_nodes guide)
+    stats.Ssd_index.Stats.n_nodes;
+  List.iter
+    (fun path ->
+      if path <> [] then
+        Format.printf "  %s@." (String.concat "." (List.map Label.to_string path)))
+    (List.filter (fun p -> List.length p <= 2) (Dataguide.paths guide ~max_len:2));
+
+  (* Infer a graph schema the data provably conforms to. *)
+  let schema = Ssd_schema.Infer.infer ~k:3 db in
+  Format.printf "@.=== inferred schema (%d nodes) ===@.%s@.@." (Gschema.n_nodes schema)
+    (Gschema.to_string schema);
+  Format.printf "data conforms to inferred schema: %b@." (Gschema.conforms db schema);
+
+  (* A hand-written loose schema: conformance is simulation, so data may
+     have *fewer* edges than the schema allows, never unexpected ones. *)
+  let loose =
+    Gschema.parse
+      {| {entry: {movie | tvshow: &m
+              {title: #string, year: #int, director: #string,
+               budget: #float, references: *m, is_referenced_in: *m,
+               cast: {_: {#string, _: {#string}}},
+               episode: {#int: {#string}}}}} |}
+  in
+  Format.printf "@.figure-1 database conforms to loose schema: %b@."
+    (Gschema.conforms (Ssd_workload.Movies.figure1 ()) loose);
+
+  (* Schemas catch violations: relabel year values to strings and watch
+     conformance break. *)
+  let strict = Gschema.parse {| {entry: {_: {year: #int, _: _}}} |} in
+  ignore strict;
+  let bad =
+    Unql.Restructure.relabel
+      (fun l -> match l with Label.Int y when y > 1900 -> Label.Str (string_of_int y) | l -> l)
+      db
+  in
+  let schema_of_good = Ssd_schema.Infer.infer ~k:3 db in
+  Format.printf "tampered data still conforms: %b (violating nodes: %d)@."
+    (Gschema.conforms bad schema_of_good)
+    (List.length (Gschema.violations bad schema_of_good));
+
+  (* Representative objects: the size/fidelity dial. *)
+  Format.printf "@.=== k-representative-object sizes ===@.";
+  List.iter
+    (fun k ->
+      let ro = Ssd_schema.Ro.build ~k db in
+      Format.printf "  k=%d: %d classes@." k (Ssd_schema.Ro.n_classes ro))
+    [ 0; 1; 2; 3; 4 ]

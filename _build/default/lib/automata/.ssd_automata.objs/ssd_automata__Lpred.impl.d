@@ -1,0 +1,1 @@
+lib/automata/lpred.ml: Format Ssd Stdlib String

@@ -1,0 +1,1 @@
+lib/automata/lpred.mli: Format Ssd

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array List Lpred Regex

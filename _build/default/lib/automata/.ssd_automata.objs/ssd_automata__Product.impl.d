@@ -1,0 +1,1 @@
+lib/automata/product.ml: Array Dfa Hashtbl List Lpred Nfa Queue Regex Ssd

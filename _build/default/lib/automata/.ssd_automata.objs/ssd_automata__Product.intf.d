@@ -1,0 +1,1 @@
+lib/automata/product.mli: Dfa Nfa Regex Ssd

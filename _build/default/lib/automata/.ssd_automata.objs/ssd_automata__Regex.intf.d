@@ -1,0 +1,1 @@
+lib/automata/regex.mli: Format Lpred Ssd

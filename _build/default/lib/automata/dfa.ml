@@ -1,0 +1,133 @@
+module Label = Ssd.Label
+
+module Label_map = Map.Make (struct
+  type t = Label.t
+
+  let compare = Label.compare
+end)
+
+type t = {
+  alphabet : Label.t array;
+  index : int Label_map.t; (* label -> column *)
+  start : int;
+  accept : bool array;
+  delta : int array array; (* delta.(q).(col) = q', or -1 for reject *)
+}
+
+let n_states d = Array.length d.accept
+let start d = d.start
+let is_accept d q = d.accept.(q)
+
+let step d q l =
+  match Label_map.find_opt l d.index with
+  | None -> None
+  | Some col ->
+    let q' = d.delta.(q).(col) in
+    if q' < 0 then None else Some q'
+
+let matches d word =
+  let rec go q = function
+    | [] -> is_accept d q
+    | l :: rest ->
+      (match step d q l with
+       | None -> false
+       | Some q' -> go q' rest)
+  in
+  go d.start word
+
+let of_nfa ~alphabet nfa =
+  let alphabet = List.sort_uniq Label.compare alphabet in
+  let alphabet = Array.of_list alphabet in
+  let index =
+    Array.to_list alphabet
+    |> List.mapi (fun i l -> (l, i))
+    |> List.fold_left (fun m (l, i) -> Label_map.add l i m) Label_map.empty
+  in
+  let n_letters = Array.length alphabet in
+  (* Subset construction; state sets are canonical sorted int lists. *)
+  let ids = Hashtbl.create 64 in
+  let states = ref [] in
+  let n = ref 0 in
+  let intern set =
+    match Hashtbl.find_opt ids set with
+    | Some i -> (i, false)
+    | None ->
+      let i = !n in
+      incr n;
+      Hashtbl.add ids set i;
+      states := set :: !states;
+      (i, true)
+  in
+  let start_set = Nfa.start_set nfa in
+  let rows = ref [] in
+  let accepts = ref [] in
+  let rec explore set id =
+    let row = Array.make n_letters (-1) in
+    Array.iteri
+      (fun col l ->
+        let next = Nfa.step nfa set l in
+        if next <> [] then begin
+          let next_id, fresh = intern next in
+          row.(col) <- next_id;
+          if fresh then explore next next_id
+        end)
+      alphabet;
+    rows := (id, row) :: !rows;
+    accepts := (id, Nfa.accepts nfa set) :: !accepts
+  in
+  let start_id, _ = intern start_set in
+  explore start_set start_id;
+  let delta = Array.make !n [||] in
+  List.iter (fun (id, row) -> delta.(id) <- row) !rows;
+  let accept = Array.make !n false in
+  List.iter (fun (id, acc) -> accept.(id) <- acc) !accepts;
+  { alphabet; index; start = start_id; accept; delta }
+
+let minimize d =
+  let n = n_states d in
+  let n_letters = Array.length d.alphabet in
+  (* Moore refinement with an explicit reject sink as block -1.  The
+     initial partition must use dense block ids: refinement stops when the
+     block count is stable, so a gap in the initial ids (e.g. every state
+     accepting => all in block 1, block 0 empty) would fake one extra
+     block and end refinement a round early. *)
+  let two_classes = Array.exists Fun.id d.accept && Array.exists not d.accept in
+  let block =
+    Array.init n (fun q -> if two_classes && d.accept.(q) then 1 else 0)
+  in
+  let block_of q = if q < 0 then -1 else block.(q) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let table = Hashtbl.create n in
+    let next = ref 0 in
+    let new_block = Array.make n 0 in
+    for q = 0 to n - 1 do
+      let sig_q = Array.init n_letters (fun col -> block_of d.delta.(q).(col)) in
+      let key = (block.(q), Array.to_list sig_q) in
+      match Hashtbl.find_opt table key with
+      | Some b -> new_block.(q) <- b
+      | None ->
+        Hashtbl.add table key !next;
+        new_block.(q) <- !next;
+        incr next
+    done;
+    let n_old = Array.fold_left (fun acc b -> max acc (b + 1)) 0 block in
+    if !next <> n_old then changed := true;
+    Array.blit new_block 0 block 0 n
+  done;
+  let n_blocks = Array.fold_left (fun acc b -> max acc (b + 1)) 0 block in
+  let delta = Array.make n_blocks [||] in
+  let accept = Array.make n_blocks false in
+  let done_ = Array.make n_blocks false in
+  for q = 0 to n - 1 do
+    if not done_.(block.(q)) then begin
+      done_.(block.(q)) <- true;
+      accept.(block.(q)) <- d.accept.(q);
+      delta.(block.(q)) <-
+        Array.init n_letters (fun col ->
+            let q' = d.delta.(q).(col) in
+            if q' < 0 then -1 else block.(q'))
+    end
+  done;
+  { d with start = block.(d.start); accept; delta }

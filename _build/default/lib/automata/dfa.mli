@@ -1,0 +1,30 @@
+(** Deterministic automata over a fixed finite label alphabet.
+
+    Label predicates make the true alphabet infinite, so determinization is
+    relative to a declared alphabet — in practice the set of labels that
+    actually occur in a data graph (plus one implicit "other" class for
+    everything else, which every predicate either accepts or rejects
+    uniformly only if it is label-independent; we conservatively route
+    unknown labels through a per-label predicate evaluation in {!step}).
+
+    Used for automaton minimization (the optimization ablation, experiment
+    E8) and DataGuide-style query pruning. *)
+
+type t
+
+(** [of_nfa ~alphabet nfa]: subset construction restricted to [alphabet].
+    Words containing labels outside the alphabet are rejected. *)
+val of_nfa : alphabet:Ssd.Label.t list -> Nfa.t -> t
+
+val n_states : t -> int
+val start : t -> int
+
+(** [step d q l] is [Some q'] or [None] when rejecting (sink). *)
+val step : t -> int -> Ssd.Label.t -> int option
+
+val is_accept : t -> int -> bool
+val matches : t -> Ssd.Label.t list -> bool
+
+(** Hopcroft-style minimization (implemented as Moore partition
+    refinement).  Preserves the language over the declared alphabet. *)
+val minimize : t -> t

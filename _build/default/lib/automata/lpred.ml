@@ -1,0 +1,90 @@
+module Label = Ssd.Label
+
+type t =
+  | Any
+  | Exact of Label.t
+  | Of_type of string
+  | Starts_with of string
+  | Contains of string
+  | Lt of Label.t
+  | Le of Label.t
+  | Gt of Label.t
+  | Ge of Label.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let text_of_label = function
+  | Label.Sym s | Label.Str s -> Some s
+  | Label.Int _ | Label.Float _ | Label.Bool _ -> None
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+
+(* Order tests compare within the numeric family only: comparing an Int
+   label with 65536 should not accidentally match strings via the label
+   total order. *)
+let numeric_compare a b =
+  match a, b with
+  | Label.Int x, Label.Int y -> Some (Stdlib.compare x y)
+  | Label.Float x, Label.Float y -> Some (Stdlib.compare x y)
+  | Label.Int x, Label.Float y -> Some (Stdlib.compare (float_of_int x) y)
+  | Label.Float x, Label.Int y -> Some (Stdlib.compare x (float_of_int y))
+  | (Label.Str x, Label.Str y | Label.Sym x, Label.Sym y) -> Some (String.compare x y)
+  | _ -> None
+
+let rec matches p l =
+  match p with
+  | Any -> true
+  | Exact l' -> Label.equal l l'
+  | Of_type t -> Label.type_name l = t
+  | Starts_with prefix ->
+    (match text_of_label l with
+     | Some s ->
+       String.length s >= String.length prefix
+       && String.sub s 0 (String.length prefix) = prefix
+     | None -> false)
+  | Contains needle ->
+    (match text_of_label l with
+     | Some s -> contains_substring s needle
+     | None -> false)
+  | Lt bound -> (match numeric_compare l bound with Some c -> c < 0 | None -> false)
+  | Le bound -> (match numeric_compare l bound with Some c -> c <= 0 | None -> false)
+  | Gt bound -> (match numeric_compare l bound with Some c -> c > 0 | None -> false)
+  | Ge bound -> (match numeric_compare l bound with Some c -> c >= 0 | None -> false)
+  | Not p -> not (matches p l)
+  | And (p, q) -> matches p l && matches q l
+  | Or (p, q) -> matches p l || matches q l
+
+let rec pp fmt = function
+  | Any -> Format.pp_print_string fmt "_"
+  | Exact l -> Label.pp fmt l
+  | Of_type t -> Format.fprintf fmt "#%s" t
+  | Starts_with s -> Format.fprintf fmt "startswith(%s)" (Label.to_string (Label.Str s))
+  | Contains s -> Format.fprintf fmt "contains(%s)" (Label.to_string (Label.Str s))
+  | Lt l -> Format.fprintf fmt "< %a" Label.pp l
+  | Le l -> Format.fprintf fmt "<= %a" Label.pp l
+  | Gt l -> Format.fprintf fmt "> %a" Label.pp l
+  | Ge l -> Format.fprintf fmt ">= %a" Label.pp l
+  | Not p -> Format.fprintf fmt "~(%a)" pp p
+  | And (p, q) -> Format.fprintf fmt "(%a & %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf fmt "(%a | %a)" pp p pp q
+
+let to_string p = Format.asprintf "%a" pp p
+
+let rec equal a b =
+  match a, b with
+  | Any, Any -> true
+  | Exact x, Exact y -> Label.equal x y
+  | Of_type x, Of_type y -> x = y
+  | Starts_with x, Starts_with y | Contains x, Contains y -> x = y
+  | Lt x, Lt y | Le x, Le y | Gt x, Gt y | Ge x, Ge y -> Label.equal x y
+  | Not x, Not y -> equal x y
+  | And (x1, x2), And (y1, y2) | Or (x1, x2), Or (y1, y2) -> equal x1 y1 && equal x2 y2
+  | ( ( Any | Exact _ | Of_type _ | Starts_with _ | Contains _ | Lt _ | Le _ | Gt _
+      | Ge _ | Not _ | And _ | Or _ ),
+      _ ) -> false

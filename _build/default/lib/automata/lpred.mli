@@ -1,0 +1,39 @@
+(** Label predicates: the atoms of path regular expressions.
+
+    Section 3 of the paper argues that path constraints need more than
+    label equality — e.g. "paths from a Movie edge down to an Allen edge
+    {e not} containing another Movie edge", or the browsing queries of
+    section 1.3 ("attribute name that starts with "act"", "integers greater
+    than 2^16").  Predicates are also what schema edges carry in section 5.
+
+    Concrete syntax (used by the regex and schema parsers):
+    {v
+      _                 any label
+      Movie  "x"  42    exact label
+      #int #float #string #bool #symbol     type test
+      startswith("act") contains("as")      text tests (on Sym and Str)
+      > 65536   >= x   < x   <= x           order tests (numeric labels)
+      ~p                negation
+      p & q    p | q    conjunction / disjunction
+    v} *)
+
+type t =
+  | Any
+  | Exact of Ssd.Label.t
+  | Of_type of string (** one of int, float, string, bool, symbol *)
+  | Starts_with of string
+  | Contains of string
+  | Lt of Ssd.Label.t
+  | Le of Ssd.Label.t
+  | Gt of Ssd.Label.t
+  | Ge of Ssd.Label.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val matches : t -> Ssd.Label.t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Structural equality. *)
+val equal : t -> t -> bool

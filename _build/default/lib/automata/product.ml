@@ -1,0 +1,119 @@
+module Graph = Ssd.Graph
+
+let run_pairs g nfa ~starts =
+  (* BFS over (node, nfa state) pairs, NFA ε-closure applied eagerly
+     (closures precomputed once). *)
+  let closures = Nfa.closures nfa in
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let push u q =
+    if not (Hashtbl.mem seen (u, q)) then begin
+      Hashtbl.add seen (u, q) ();
+      Queue.push (u, q) queue
+    end
+  in
+  let start_states = Nfa.start_set nfa in
+  List.iter (fun u -> List.iter (push u) start_states) starts;
+  while not (Queue.is_empty queue) do
+    let u, q = Queue.pop queue in
+    let moves = nfa.Nfa.trans.(q) in
+    if moves <> [] then
+      List.iter
+        (fun (l, v) ->
+          List.iter
+            (fun (p, q') -> if Lpred.matches p l then List.iter (push v) closures.(q'))
+            moves)
+        (Graph.labeled_succ g u)
+  done;
+  seen
+
+let accepting_of_pairs nfa pairs =
+  Hashtbl.fold (fun (u, q) () acc -> if nfa.Nfa.accept.(q) then u :: acc else acc) pairs []
+  |> List.sort_uniq compare
+
+let accepting_nodes g nfa =
+  accepting_of_pairs nfa (run_pairs g nfa ~starts:[ Graph.root g ])
+
+let accepting_nodes_from g nfa ~starts = accepting_of_pairs nfa (run_pairs g nfa ~starts)
+
+let n_pairs g nfa = Hashtbl.length (run_pairs g nfa ~starts:[ Graph.root g ])
+
+let witness g nfa target =
+  (* BFS with parent pointers; stops at the first accepting pair on
+     [target]. *)
+  let closures = Nfa.closures nfa in
+  let parent = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let push key v =
+    if not (Hashtbl.mem parent key) then begin
+      Hashtbl.add parent key v;
+      Queue.push key queue
+    end
+  in
+  List.iter (fun q -> push (Graph.root g, q) None) (Nfa.start_set nfa);
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let ((u, q) as key) = Queue.pop queue in
+    if u = target && nfa.Nfa.accept.(q) then found := Some key
+    else
+      List.iter
+        (fun (l, v) ->
+          List.iter
+            (fun (p, q') ->
+              if Lpred.matches p l then
+                List.iter (fun q'' -> push (v, q'') (Some (key, l))) closures.(q'))
+            nfa.Nfa.trans.(q))
+        (Graph.labeled_succ g u)
+  done;
+  match !found with
+  | None -> None
+  | Some key ->
+    let rec unwind key acc =
+      match Hashtbl.find parent key with
+      | None -> acc
+      | Some (prev, l) -> unwind prev (l :: acc)
+    in
+    Some (unwind key [])
+
+let alphabet g =
+  Graph.fold_labeled_edges (fun acc _ l _ -> l :: acc) [] g
+  |> List.sort_uniq Ssd.Label.compare
+
+let accepting_nodes_dfa g dfa =
+  let seen = Hashtbl.create 256 in
+  let answers = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let push u s =
+    if not (Hashtbl.mem seen (u, s)) then begin
+      Hashtbl.add seen (u, s) ();
+      Queue.push (u, s) queue
+    end
+  in
+  push (Graph.root g) (Dfa.start dfa);
+  while not (Queue.is_empty queue) do
+    let u, s = Queue.pop queue in
+    if Dfa.is_accept dfa s then Hashtbl.replace answers u ();
+    List.iter
+      (fun (l, v) ->
+        match Dfa.step dfa s l with
+        | Some s' -> push v s'
+        | None -> ())
+      (Graph.labeled_succ g u)
+  done;
+  Hashtbl.fold (fun u () acc -> u :: acc) answers [] |> List.sort_uniq compare
+
+let accepting_nodes_deriv g r =
+  (* Memoized search over (node, derivative) pairs.  The derivative space
+     of a regex is finite up to the similarity rules applied by the smart
+     constructors, so this terminates on cyclic graphs. *)
+  let seen = Hashtbl.create 256 in
+  let answers = Hashtbl.create 64 in
+  let rec go u r =
+    if r <> Regex.Void && not (Hashtbl.mem seen (u, r)) then begin
+      Hashtbl.add seen (u, r) ();
+      if Regex.nullable r then Hashtbl.replace answers u ();
+      List.iter (fun (l, v) -> go v (Regex.deriv r l)) (Graph.labeled_succ g u)
+    end
+  in
+  go (Graph.root g) r;
+  Hashtbl.fold (fun u () acc -> u :: acc) answers [] |> List.sort_uniq compare

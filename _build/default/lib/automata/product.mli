@@ -1,0 +1,41 @@
+(** Regular path queries: product traversal of a data graph with an
+    automaton.
+
+    This is the standard evaluation strategy for the arbitrary-depth path
+    constraints of section 3: explore the reachable pairs (graph node,
+    automaton state); a node is an answer iff some reachable pair with it
+    is accepting.  Termination on cyclic data is by memoizing the pair
+    set — the same idea that makes structural recursion well-defined on
+    cycles. *)
+
+(** Nodes of [g] reachable from the root along a path whose label word the
+    NFA accepts.  Sorted, duplicate-free. *)
+val accepting_nodes : Ssd.Graph.t -> Nfa.t -> int list
+
+(** Same, starting the automaton at each node of [starts] (used by
+    decomposed evaluation). *)
+val accepting_nodes_from : Ssd.Graph.t -> Nfa.t -> starts:int list -> int list
+
+(** All reachable (node, closed NFA state-set id) pair count — a size
+    diagnostic for the optimization experiments. *)
+val n_pairs : Ssd.Graph.t -> Nfa.t -> int
+
+(** [witness g nfa node] is (one of) the accepted label path(s) from the
+    root to [node], if any — the answer to "where in the database ...?"
+    browsing queries. *)
+val witness : Ssd.Graph.t -> Nfa.t -> int -> Ssd.Label.t list option
+
+(** Baseline evaluator for the benchmarks: memoized search over (node,
+    regex-derivative) pairs, no precompiled automaton.  Same answers as
+    {!accepting_nodes} (property-tested). *)
+val accepting_nodes_deriv : Ssd.Graph.t -> Regex.t -> int list
+
+(** Deterministic product: (node, DFA state) pairs — at most one state per
+    node per path prefix class, so the pair space is the smallest of the
+    three evaluators.  The DFA must have been built over (a superset of)
+    the graph's label alphabet; labels outside it reject, which matches
+    NFA semantics whenever the alphabet is complete (property-tested). *)
+val accepting_nodes_dfa : Ssd.Graph.t -> Dfa.t -> int list
+
+(** The label alphabet of a graph (sorted), for {!Dfa.of_nfa}. *)
+val alphabet : Ssd.Graph.t -> Ssd.Label.t list

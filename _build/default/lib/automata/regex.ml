@@ -1,0 +1,353 @@
+module Label = Ssd.Label
+
+type t =
+  | Void
+  | Eps
+  | Atom of Lpred.t
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+exception Parse_error of string
+
+(* Smart constructors normalize up to associativity, commutativity and
+   idempotence of alternation (plus associativity of sequencing).  This is
+   Brzozowski's similarity: it guarantees only finitely many distinct
+   derivatives exist, which the graph evaluators rely on to terminate on
+   cyclic data. *)
+
+let rec seq a b =
+  match a, b with
+  | Void, _ | _, Void -> Void
+  | Eps, r | r, Eps -> r
+  | Seq (x, y), b -> seq x (seq y b)
+  | a, b -> Seq (a, b)
+
+let alt a b =
+  let rec leaves r acc =
+    match r with
+    | Alt (x, y) -> leaves x (leaves y acc)
+    | Void -> acc
+    | r -> r :: acc
+  in
+  match List.sort_uniq Stdlib.compare (leaves a (leaves b [])) with
+  | [] -> Void
+  | first :: rest -> List.fold_left (fun acc r -> Alt (acc, r)) first rest
+
+let star = function
+  | Void | Eps -> Eps
+  | Star _ as r -> r
+  | r -> Star r
+
+let rec nullable = function
+  | Void -> false
+  | Eps -> true
+  | Atom _ -> false
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Star _ -> true
+  | Plus a -> nullable a
+  | Opt _ -> true
+
+let rec deriv r l =
+  match r with
+  | Void | Eps -> Void
+  | Atom p -> if Lpred.matches p l then Eps else Void
+  | Seq (a, b) ->
+    let da = seq (deriv a l) b in
+    if nullable a then alt da (deriv b l) else da
+  | Alt (a, b) -> alt (deriv a l) (deriv b l)
+  | Star a -> seq (deriv a l) (star a)
+  | Plus a -> seq (deriv a l) (star a)
+  | Opt a -> deriv a l
+
+let matches r word = nullable (List.fold_left deriv r word)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp fmt = function
+  (* no dedicated literals in the concrete syntax; print language-equal
+     parseable forms: ~_ matches nothing, (~_)* only the empty word *)
+  | Void -> Format.pp_print_string fmt "~_"
+  | Eps -> Format.pp_print_string fmt "(~_)*"
+  | Atom p -> Lpred.pp fmt p
+  | Seq (a, b) -> Format.fprintf fmt "%a.%a" pp_tight a pp_tight b
+  | Alt (a, b) -> Format.fprintf fmt "%a | %a" pp a pp b
+  | Star a -> Format.fprintf fmt "%a*" pp_tight a
+  | Plus a -> Format.fprintf fmt "%a+" pp_tight a
+  | Opt a -> Format.fprintf fmt "%a?" pp_tight a
+
+and pp_tight fmt r =
+  match r with
+  | Alt _ | Seq _ -> Format.fprintf fmt "(%a)" pp r
+  | _ -> pp fmt r
+
+let to_string r = Format.asprintf "%a" pp r
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tbar
+  | Tdot
+  | Tstar
+  | Tplus
+  | Tquestion
+  | Tlparen
+  | Trparen
+  | Ttilde
+  | Tamp
+  | Tunderscore
+  | Thash of string
+  | Tcmp of string (* "<" "<=" ">" ">=" *)
+  | Tfun of string (* startswith / contains *)
+  | Tlabel of Label.t
+  | Teof
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" !pos msg)) in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let lex_string () =
+    (* cursor on opening quote *)
+    incr pos;
+    let buf = Buffer.create 8 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' -> incr pos
+        | '\\' when !pos + 1 < n ->
+          (match src.[!pos + 1] with
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | c -> Buffer.add_char buf c);
+          pos := !pos + 2;
+          loop ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let lex_ident () =
+    let start = !pos in
+    while !pos < n && Label.is_ident_char src.[!pos] do
+      incr pos
+    done;
+    String.sub src start (!pos - start)
+  in
+  while !pos < n do
+    match src.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '|' ->
+      incr pos;
+      push Tbar
+    | '.' ->
+      incr pos;
+      push Tdot
+    | '*' ->
+      incr pos;
+      push Tstar
+    | '+' ->
+      incr pos;
+      push Tplus
+    | '?' ->
+      incr pos;
+      push Tquestion
+    | '(' ->
+      incr pos;
+      push Tlparen
+    | ')' ->
+      incr pos;
+      push Trparen
+    | '~' ->
+      incr pos;
+      push Ttilde
+    | '&' ->
+      incr pos;
+      push Tamp
+    | '<' ->
+      if !pos + 1 < n && src.[!pos + 1] = '=' then begin
+        pos := !pos + 2;
+        push (Tcmp "<=")
+      end
+      else begin
+        incr pos;
+        push (Tcmp "<")
+      end
+    | '>' ->
+      if !pos + 1 < n && src.[!pos + 1] = '=' then begin
+        pos := !pos + 2;
+        push (Tcmp ">=")
+      end
+      else begin
+        incr pos;
+        push (Tcmp ">")
+      end
+    | '#' ->
+      incr pos;
+      push (Thash (lex_ident ()))
+    | '"' -> push (Tlabel (Label.Str (lex_string ())))
+    | '-' | '0' .. '9' ->
+      let start = !pos in
+      let numchar c = (c >= '0' && c <= '9') || c = '-' || c = 'e' || c = 'E' in
+      (* '.' is concatenation, so float literals are not lexable here;
+         use a fraction-free mantissa with an exponent if needed. *)
+      while !pos < n && numchar src.[!pos] do
+        incr pos
+      done;
+      let s = String.sub src start (!pos - start) in
+      (match int_of_string_opt s with
+       | Some i -> push (Tlabel (Label.Int i))
+       | None ->
+         (match float_of_string_opt s with
+          | Some f -> push (Tlabel (Label.Float f))
+          | None -> fail ("bad number " ^ s)))
+    | c when c = '_' && (!pos + 1 >= n || not (Label.is_ident_char src.[!pos + 1])) ->
+      incr pos;
+      push Tunderscore
+    | c when Label.is_ident_start c ->
+      let id = lex_ident () in
+      (match id with
+       | "true" -> push (Tlabel (Label.Bool true))
+       | "false" -> push (Tlabel (Label.Bool false))
+       | "startswith" | "contains" -> push (Tfun id)
+       | _ -> push (Tlabel (Label.Sym id)))
+    | c -> fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev (Teof :: !toks)
+
+type parser_state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+
+let shift st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok msg =
+  if peek st = tok then shift st else raise (Parse_error msg)
+
+let parse_pred_arg st fname =
+  expect st Tlparen (fname ^ " expects '('");
+  let s =
+    match peek st with
+    | Tlabel (Label.Str s) ->
+      shift st;
+      s
+    | _ -> raise (Parse_error (fname ^ " expects a string argument"))
+  in
+  expect st Trparen (fname ^ " expects ')'");
+  s
+
+let rec parse_pred_factor st =
+  match peek st with
+  | Ttilde -> (
+    shift st;
+    (* ~(p & q) and ~(p) are predicate-level parentheses *)
+    match peek st with
+    | Tlparen ->
+      shift st;
+      let p = parse_pred_inner st in
+      expect st Trparen "expected ')' closing ~(...)";
+      Lpred.Not p
+    | _ -> Lpred.Not (parse_pred_factor st))
+  | Tunderscore ->
+    shift st;
+    Lpred.Any
+  | Thash t ->
+    shift st;
+    Lpred.Of_type t
+  | Tfun "startswith" ->
+    shift st;
+    Lpred.Starts_with (parse_pred_arg st "startswith")
+  | Tfun "contains" ->
+    shift st;
+    Lpred.Contains (parse_pred_arg st "contains")
+  | Tcmp op ->
+    shift st;
+    let l =
+      match peek st with
+      | Tlabel l ->
+        shift st;
+        l
+      | _ -> raise (Parse_error ("comparison " ^ op ^ " expects a label"))
+    in
+    (match op with
+     | "<" -> Lpred.Lt l
+     | "<=" -> Lpred.Le l
+     | ">" -> Lpred.Gt l
+     | _ -> Lpred.Ge l)
+  | Tlabel l ->
+    shift st;
+    Lpred.Exact l
+  | _ -> raise (Parse_error "expected a label predicate")
+
+and parse_pred_inner st =
+  let rec conj acc =
+    if peek st = Tamp then begin
+      shift st;
+      conj (Lpred.And (acc, parse_pred_factor st))
+    end
+    else acc
+  in
+  conj (parse_pred_factor st)
+
+let parse_pred = parse_pred_inner
+
+let rec parse_alt st =
+  let left = parse_seq st in
+  if peek st = Tbar then begin
+    shift st;
+    Alt (left, parse_alt st)
+  end
+  else left
+
+and parse_seq st =
+  let left = parse_postfix st in
+  if peek st = Tdot then begin
+    shift st;
+    Seq (left, parse_seq st)
+  end
+  else left
+
+and parse_postfix st =
+  let r = ref (parse_prim st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Tstar ->
+      shift st;
+      r := Star !r
+    | Tplus ->
+      shift st;
+      r := Plus !r
+    | Tquestion ->
+      shift st;
+      r := Opt !r
+    | _ -> continue := false
+  done;
+  !r
+
+and parse_prim st =
+  match peek st with
+  | Tlparen ->
+    shift st;
+    let r = parse_alt st in
+    expect st Trparen "expected ')'";
+    r
+  | _ -> Atom (parse_pred st)
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let r = parse_alt st in
+  expect st Teof "trailing input after regular expression";
+  r

@@ -1,0 +1,46 @@
+(** Regular expressions over edge labels.
+
+    These are the "something like regular expressions to constrain paths"
+    of section 3.  A regex denotes a set of label words; applied to a data
+    graph it constrains root-to-node paths (see {!Product}).
+
+    Concrete syntax, loosest to tightest precedence:
+    {v
+      r ::= r "|" r            alternation
+          | r "." r            concatenation
+          | r "*" | r "+" | r "?"
+          | atom               a label predicate (see Lpred)
+          | "(" r ")"
+    v}
+
+    Example from the paper (did "Allen" act in "Casablanca"? — the path
+    from the Movie edge must not cross another Movie edge):
+    {v  movie . (~movie)* . "Allen"  v} *)
+
+type t =
+  | Void (** matches no word *)
+  | Eps (** the empty word *)
+  | Atom of Lpred.t
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+exception Parse_error of string
+
+val parse : string -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Does the regex match a word of labels? (Library-level check used by
+    tests; query evaluation goes through {!Nfa}/{!Product}.) *)
+val matches : t -> Ssd.Label.t list -> bool
+
+(** Does the regex accept the empty word? *)
+val nullable : t -> bool
+
+(** Brzozowski derivative by one label — the basis of {!matches} and a
+    second, independently-implemented semantics the tests compare the NFA
+    against. *)
+val deriv : t -> Ssd.Label.t -> t

@@ -1,0 +1,1 @@
+lib/core/bisim.ml: Array Graph Hashtbl Label List Stdlib

@@ -1,0 +1,1 @@
+lib/core/encode.ml: Graph Hashtbl Label List Printf String Tree

@@ -1,0 +1,1 @@
+lib/core/encode.mli: Graph Label Tree

@@ -1,0 +1,1 @@
+lib/core/graph.ml: Array Format Hashtbl Label List Option Tree

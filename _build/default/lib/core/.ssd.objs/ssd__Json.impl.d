@@ -1,0 +1,1 @@
+lib/core/json.ml: Buffer Format Fun Hashtbl Label List Printf String Tree

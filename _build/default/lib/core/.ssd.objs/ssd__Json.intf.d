@@ -1,0 +1,1 @@
+lib/core/json.mli: Format Tree

@@ -1,0 +1,1 @@
+lib/core/label.mli: Format

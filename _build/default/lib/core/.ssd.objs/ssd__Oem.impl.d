@@ -1,0 +1,1 @@
+lib/core/oem.ml: Array Buffer Format Graph Hashtbl Label List Printf String

@@ -1,0 +1,1 @@
+lib/core/oem.mli: Format Graph Label

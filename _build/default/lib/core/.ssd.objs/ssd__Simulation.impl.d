@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Array Graph Label List

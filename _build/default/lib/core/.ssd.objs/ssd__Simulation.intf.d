@@ -1,0 +1,1 @@
+lib/core/simulation.mli: Graph Label

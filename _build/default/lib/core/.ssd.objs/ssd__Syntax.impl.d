@@ -1,0 +1,1 @@
+lib/core/syntax.ml: Buffer Graph Hashtbl Label Printf String

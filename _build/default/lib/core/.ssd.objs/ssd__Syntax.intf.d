@@ -1,0 +1,1 @@
+lib/core/syntax.mli: Graph Tree

@@ -1,0 +1,1 @@
+lib/core/tree.ml: Format Label List

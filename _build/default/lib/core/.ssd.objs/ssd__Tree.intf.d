@@ -1,0 +1,1 @@
+lib/core/tree.mli: Format Label

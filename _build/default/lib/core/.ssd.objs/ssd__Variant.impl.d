@@ -1,0 +1,1 @@
+lib/core/variant.ml: Format Label List String Tree

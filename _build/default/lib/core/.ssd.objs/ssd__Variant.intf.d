@@ -1,0 +1,1 @@
+lib/core/variant.mli: Format Label Tree

@@ -1,0 +1,83 @@
+(* Naive partition refinement: repeatedly split blocks by the signature
+   {(label, block of target)} of each node until stable.  O(n * m * rounds)
+   with rounds <= n; fine at the scales of this reproduction and simple to
+   trust.  Signatures are canonicalized as sorted duplicate-free lists. *)
+
+let signature g block u =
+  Graph.labeled_succ g u
+  |> List.map (fun (l, v) -> (l, block.(v)))
+  |> List.sort_uniq (fun (l1, b1) (l2, b2) ->
+         let c = Label.compare l1 l2 in
+         if c <> 0 then c else Stdlib.compare b1 b2)
+
+let refine g =
+  let n = Graph.n_nodes g in
+  let block = Array.make n 0 in
+  let n_blocks = ref 1 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Group nodes by (old block, signature); assign new dense block ids. *)
+    let table = Hashtbl.create n in
+    let next = ref 0 in
+    let new_block = Array.make n 0 in
+    for u = 0 to n - 1 do
+      let key = (block.(u), signature g block u) in
+      match Hashtbl.find_opt table key with
+      | Some b -> new_block.(u) <- b
+      | None ->
+        Hashtbl.add table key !next;
+        new_block.(u) <- !next;
+        incr next
+    done;
+    if !next <> !n_blocks then begin
+      changed := true;
+      n_blocks := !next
+    end;
+    Array.blit new_block 0 block 0 n
+  done;
+  (block, !n_blocks)
+
+let partition g =
+  let g = Graph.eps_eliminate g in
+  let block, _ = refine g in
+  (block, g)
+
+let n_classes g =
+  let g = Graph.eps_eliminate g in
+  let _, k = refine g in
+  k
+
+let equal a b =
+  (* Refine the disjoint union and compare the blocks of the two roots.
+     [signature] reads through ε-edges, so no prior elimination is
+     needed. *)
+  let u = Graph.union a b in
+  let block, _ = refine u in
+  match Graph.succ u (Graph.root u) with
+  | [ (Graph.Eps, ra); (Graph.Eps, rb) ] -> block.(ra) = block.(rb)
+  | _ -> assert false
+
+let minimize g =
+  let block, g = partition g in
+  let n = Graph.n_nodes g in
+  let n_blocks = Array.fold_left (fun acc b -> max acc (b + 1)) 0 block in
+  let b = Graph.Builder.create () in
+  for _ = 1 to n_blocks do
+    ignore (Graph.Builder.add_node b)
+  done;
+  (* One representative node per block supplies the edges. *)
+  let done_ = Array.make n_blocks false in
+  for u = 0 to n - 1 do
+    if not done_.(block.(u)) then begin
+      done_.(block.(u)) <- true;
+      let es =
+        Graph.labeled_succ g u
+        |> List.map (fun (l, v) -> (l, block.(v)))
+        |> List.sort_uniq compare
+      in
+      List.iter (fun (l, v) -> Graph.Builder.add_edge b block.(u) l v) es
+    end
+  done;
+  Graph.Builder.set_root b block.(Graph.root g);
+  Graph.gc (Graph.Builder.finish b)

@@ -1,0 +1,29 @@
+(** Bisimulation on edge-labeled graphs.
+
+    Section 2 of the paper discusses object identity: node ids support
+    cheap equality inside one database but are meaningless across
+    databases, where only the {e extension} — the (possibly infinite) tree
+    a node unfolds into — can be compared.  Two nodes denote the same tree
+    iff they are bisimilar, which is decidable on finite cyclic graphs;
+    this module computes it by partition refinement.
+
+    ε-edges are eliminated before comparison, so bisimilarity here is
+    equality of the denoted trees. *)
+
+(** [partition g] assigns each node of (the ε-eliminated, reachable part
+    of) [g] a block id such that two nodes share a block iff they are
+    bisimilar.  Returns the block array of the ε-eliminated graph and that
+    graph itself. *)
+val partition : Graph.t -> int array * Graph.t
+
+(** [equal a b]: do the roots of [a] and [b] denote the same tree?  Agrees
+    with {!Tree.equal} on acyclic graphs and is total on cyclic ones. *)
+val equal : Graph.t -> Graph.t -> bool
+
+(** [minimize g] is the quotient of [g] by bisimilarity: the unique (up to
+    iso) smallest graph denoting the same tree — the canonical
+    representation under value semantics. *)
+val minimize : Graph.t -> Graph.t
+
+(** Number of bisimilarity classes of [g]'s reachable nodes. *)
+val n_classes : Graph.t -> int

@@ -1,0 +1,238 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type lexer = { src : string; mutable pos : int }
+
+let fail lx msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" lx.pos msg))
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    lx.pos <- lx.pos + 1;
+    skip_ws lx
+  | _ -> ()
+
+let expect lx c =
+  skip_ws lx;
+  match peek lx with
+  | Some c' when c' = c -> lx.pos <- lx.pos + 1
+  | _ -> fail lx (Printf.sprintf "expected %C" c)
+
+let parse_literal lx word value =
+  if
+    lx.pos + String.length word <= String.length lx.src
+    && String.sub lx.src lx.pos (String.length word) = word
+  then begin
+    lx.pos <- lx.pos + String.length word;
+    value
+  end
+  else fail lx ("expected " ^ word)
+
+let parse_string_body lx =
+  expect lx '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek lx with
+    | None -> fail lx "unterminated string"
+    | Some '"' -> lx.pos <- lx.pos + 1
+    | Some '\\' ->
+      lx.pos <- lx.pos + 1;
+      (match peek lx with
+       | Some 'n' -> Buffer.add_char buf '\n'
+       | Some 't' -> Buffer.add_char buf '\t'
+       | Some 'r' -> Buffer.add_char buf '\r'
+       | Some 'b' -> Buffer.add_char buf '\b'
+       | Some 'f' -> Buffer.add_char buf '\012'
+       | Some 'u' ->
+         (* Keep \uXXXX escapes as literal text; full unicode handling is
+            out of scope for the exchange-format demonstration. *)
+         Buffer.add_string buf "\\u"
+       | Some c -> Buffer.add_char buf c
+       | None -> fail lx "unterminated escape");
+      lx.pos <- lx.pos + 1;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      lx.pos <- lx.pos + 1;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number lx =
+  let start = lx.pos in
+  let numchar c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
+  while (match peek lx with Some c -> numchar c | None -> false) do
+    lx.pos <- lx.pos + 1
+  done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> Float f
+     | None -> fail lx ("bad number " ^ s))
+
+let rec parse_value lx =
+  skip_ws lx;
+  match peek lx with
+  | None -> fail lx "unexpected end of input"
+  | Some 'n' -> parse_literal lx "null" Null
+  | Some 't' -> parse_literal lx "true" (Bool true)
+  | Some 'f' -> parse_literal lx "false" (Bool false)
+  | Some '"' -> String (parse_string_body lx)
+  | Some '[' ->
+    lx.pos <- lx.pos + 1;
+    skip_ws lx;
+    if peek lx = Some ']' then begin
+      lx.pos <- lx.pos + 1;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value lx ] in
+      skip_ws lx;
+      while peek lx = Some ',' do
+        lx.pos <- lx.pos + 1;
+        items := parse_value lx :: !items;
+        skip_ws lx
+      done;
+      expect lx ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    lx.pos <- lx.pos + 1;
+    skip_ws lx;
+    if peek lx = Some '}' then begin
+      lx.pos <- lx.pos + 1;
+      Obj []
+    end
+    else begin
+      let member () =
+        skip_ws lx;
+        let k = parse_string_body lx in
+        expect lx ':';
+        let v = parse_value lx in
+        (k, v)
+      in
+      let items = ref [ member () ] in
+      skip_ws lx;
+      while peek lx = Some ',' do
+        lx.pos <- lx.pos + 1;
+        items := member () :: !items;
+        skip_ws lx
+      done;
+      expect lx '}';
+      Obj (List.rev !items)
+    end
+  | Some c -> if c = '-' || (c >= '0' && c <= '9') then parse_number lx else fail lx "unexpected character"
+
+let parse src =
+  let lx = { src; pos = 0 } in
+  let v = parse_value lx in
+  skip_ws lx;
+  if peek lx <> None then fail lx "trailing input";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp fmt = function
+  | Null -> Format.pp_print_string fmt "null"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Float f ->
+    let s = string_of_float f in
+    let s = if String.length s > 0 && s.[String.length s - 1] = '.' then s ^ "0" else s in
+    Format.pp_print_string fmt s
+  | String s -> Format.pp_print_string fmt (Label.to_string (Label.Str s))
+  | List items ->
+    Format.fprintf fmt "@[<hv 1>[";
+    List.iteri
+      (fun i v ->
+        if i > 0 then Format.fprintf fmt ",@ ";
+        pp fmt v)
+      items;
+    Format.fprintf fmt "]@]"
+  | Obj members ->
+    Format.fprintf fmt "@[<hv 1>{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Format.fprintf fmt ",@ ";
+        Format.fprintf fmt "%s: %a" (Label.to_string (Label.Str k)) pp v)
+      members;
+    Format.fprintf fmt "}@]"
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* ------------------------------------------------------------------ *)
+(* Encoding into the edge-labeled model                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec to_tree = function
+  | Null -> Tree.leaf (Label.Sym "null")
+  | Bool b -> Tree.leaf (Label.Bool b)
+  | Int i -> Tree.leaf (Label.Int i)
+  | Float f -> Tree.leaf (Label.Float f)
+  | String s -> Tree.leaf (Label.Str s)
+  | List items ->
+    Tree.of_edges (List.mapi (fun i v -> (Label.Int i, to_tree v)) items)
+  | Obj members ->
+    Tree.of_edges (List.map (fun (k, v) -> (Label.Sym k, to_tree v)) members)
+
+let scalar_of_label = function
+  | Label.Int i -> Some (Int i)
+  | Label.Float f -> Some (Float f)
+  | Label.Str s -> Some (String s)
+  | Label.Bool b -> Some (Bool b)
+  | Label.Sym "null" -> Some Null
+  | Label.Sym _ -> None
+
+let rec of_tree t =
+  match Tree.edges t with
+  | [] -> Obj []
+  | [ (l, sub) ] when Tree.is_empty sub ->
+    (match scalar_of_label l with
+     | Some v -> v
+     | None -> Obj [ (Label.to_string l, Obj []) ])
+  | es ->
+    let ints =
+      List.for_all (fun (l, _) -> match l with Label.Int _ -> true | _ -> false) es
+    in
+    let contiguous =
+      ints
+      && List.for_all2
+           (fun i (l, _) -> l = Label.Int i)
+           (List.init (List.length es) Fun.id)
+           es
+    in
+    if contiguous then List (List.map (fun (_, sub) -> of_tree sub) es)
+    else
+      let key l = match l with Label.Sym s -> s | l -> Label.to_string l in
+      (* Duplicate labels are legal in the model but not in JSON objects;
+         keep the first occurrence of each key. *)
+      let seen = Hashtbl.create 8 in
+      Obj
+        (List.filter_map
+           (fun (l, sub) ->
+             let k = key l in
+             if Hashtbl.mem seen k then None
+             else begin
+               Hashtbl.add seen k ();
+               Some (k, of_tree sub)
+             end)
+           es)

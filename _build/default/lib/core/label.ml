@@ -1,0 +1,121 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Sym of string
+
+let int i = Int i
+let float f = Float f
+let str s = Str s
+let bool b = Bool b
+let sym s = Sym s
+
+let constructor_rank = function
+  | Int _ -> 0
+  | Float _ -> 1
+  | Str _ -> 2
+  | Bool _ -> 3
+  | Sym _ -> 4
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Sym x, Sym y -> String.compare x y
+  | _ -> Stdlib.compare (constructor_rank a) (constructor_rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int i -> Hashtbl.hash (0, i)
+  | Float f -> Hashtbl.hash (1, f)
+  | Str s -> Hashtbl.hash (2, s)
+  | Bool b -> Hashtbl.hash (3, b)
+  | Sym s -> Hashtbl.hash (4, s)
+
+let is_int = function Int _ -> true | Float _ | Str _ | Bool _ | Sym _ -> false
+let is_float = function Float _ -> true | Int _ | Str _ | Bool _ | Sym _ -> false
+let is_str = function Str _ -> true | Int _ | Float _ | Bool _ | Sym _ -> false
+let is_bool = function Bool _ -> true | Int _ | Float _ | Str _ | Sym _ -> false
+let is_sym = function Sym _ -> true | Int _ | Float _ | Str _ | Bool _ -> false
+
+let type_name = function
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+  | Bool _ -> "bool"
+  | Sym _ -> "symbol"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f ->
+    (* Keep a trailing part so the literal re-parses as a float. *)
+    let s = string_of_float f in
+    if String.length s > 0 && s.[String.length s - 1] = '.' then s ^ "0" else s
+  | Str s -> escape_string s
+  | Bool b -> string_of_bool b
+  | Sym s -> s
+
+let pp fmt l = Format.pp_print_string fmt (to_string l)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-' || c = '\''
+
+let unescape_string s =
+  (* [s] includes the surrounding quotes. *)
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then failwith ("Label.of_string: bad string literal " ^ s);
+  let buf = Buffer.create (n - 2) in
+  let rec loop i =
+    if i >= n - 1 then ()
+    else if s.[i] = '\\' && i + 1 < n - 1 then begin
+      (match s.[i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'r' -> Buffer.add_char buf '\r'
+       | c -> Buffer.add_char buf c);
+      loop (i + 2)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 1;
+  Buffer.contents buf
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then failwith "Label.of_string: empty input"
+  else if s = "true" then Bool true
+  else if s = "false" then Bool false
+  else if s.[0] = '"' then Str (unescape_string s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None ->
+      (match float_of_string_opt s with
+       | Some f -> Float f
+       | None ->
+         if is_ident_start s.[0] && String.for_all is_ident_char s then Sym s
+         else failwith ("Label.of_string: cannot parse " ^ s))

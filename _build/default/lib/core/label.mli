@@ -1,0 +1,67 @@
+(** Labels of the semistructured data model.
+
+    Following Buneman (PODS'97, section 2), an edge of the data graph is
+    labeled with a value drawn from a tagged union of base types and
+    symbols:
+
+    {[ type label = int | float | string | bool | ... | symbol ]}
+
+    Symbols are the attribute-like names ([Movie], [Title], ...) that a
+    schema would normally own; in semistructured data they live in the data
+    itself.  Strings and symbols are distinct label constructors even though
+    both are represented as strings internally. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Sym of string
+
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val bool : bool -> t
+val sym : string -> t
+
+(** Total order on labels (constructor order first, then value order).
+    Used to give trees their set semantics via sorted edge lists. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** {1 Dynamic type tests}
+
+    Semistructured data is "self-describing": programs switch on the runtime
+    type of a label (section 2 of the paper).  These are the predicates a
+    query language exposes, e.g. [isInt], [isString]. *)
+
+val is_int : t -> bool
+val is_float : t -> bool
+val is_str : t -> bool
+val is_bool : t -> bool
+val is_sym : t -> bool
+
+(** Name of the runtime type: ["int"], ["float"], ["string"], ["bool"],
+    ["symbol"]. *)
+val type_name : t -> string
+
+(** {1 Printing and parsing} *)
+
+(** [to_string l] prints in the concrete data syntax: symbols bare
+    ([Movie]), strings quoted (["Casablanca"]), numbers and booleans as
+    literals. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [of_string s] parses a single label literal; inverse of {!to_string} on
+    well-formed input.  Raises [Failure] on malformed input. *)
+val of_string : string -> t
+
+(** Character classes of symbol identifiers, shared by the data-syntax and
+    query-language lexers. *)
+
+val is_ident_start : char -> bool
+val is_ident_char : char -> bool

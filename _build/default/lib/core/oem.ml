@@ -1,0 +1,333 @@
+type otype =
+  | Set
+  | Int
+  | Real
+  | Str
+  | Bool
+
+type t = {
+  oid : string option;
+  label : string;
+  value : value;
+}
+
+and value =
+  | Atom of Label.t
+  | Objects of member list
+
+and member =
+  | Obj of t
+  | Ref of string
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let type_of_atom = function
+  | Label.Int _ -> Int
+  | Label.Float _ -> Real
+  | Label.Str _ | Label.Sym _ -> Str
+  | Label.Bool _ -> Bool
+
+let type_name = function
+  | Set -> "set"
+  | Int -> "int"
+  | Real -> "real"
+  | Str -> "str"
+  | Bool -> "bool"
+
+let atom_literal = function
+  | Label.Sym s -> Label.to_string (Label.Str s)
+  | l -> Label.to_string l
+
+let rec pp fmt o =
+  (match o.oid with
+   | Some id -> Format.fprintf fmt "&%s " id
+   | None -> ());
+  match o.value with
+  | Atom l ->
+    Format.fprintf fmt "<%s, %s, %s>" o.label (type_name (type_of_atom l)) (atom_literal l)
+  | Objects members ->
+    Format.fprintf fmt "@[<hv 2><%s, set, {" o.label;
+    List.iteri
+      (fun i m ->
+        if i > 0 then Format.fprintf fmt ",@ " else Format.fprintf fmt "@ ";
+        match m with
+        | Obj o -> pp fmt o
+        | Ref id -> Format.fprintf fmt "&%s" id)
+      members;
+    Format.fprintf fmt " }>@]"
+
+let to_string o = Format.asprintf "%a" pp o
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = {
+  src : string;
+  mutable pos : int;
+}
+
+let fail st msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    st.pos <- st.pos + 1;
+    skip_ws st
+  | _ -> ()
+
+let eat st c msg =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st msg
+
+let lex_ident st =
+  skip_ws st;
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c -> Label.is_ident_char c
+    | None -> false
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected an identifier";
+  String.sub st.src start (st.pos - start)
+
+let lex_atom st =
+  skip_ws st;
+  match peek st with
+  | Some '"' ->
+    let buf = Buffer.create 16 in
+    st.pos <- st.pos + 1;
+    let rec loop () =
+      match peek st with
+      | None -> fail st "unterminated string"
+      | Some '"' -> st.pos <- st.pos + 1
+      | Some '\\' ->
+        st.pos <- st.pos + 1;
+        (match peek st with
+         | Some 'n' -> Buffer.add_char buf '\n'
+         | Some 't' -> Buffer.add_char buf '\t'
+         | Some c -> Buffer.add_char buf c
+         | None -> fail st "unterminated escape");
+        st.pos <- st.pos + 1;
+        loop ()
+      | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        loop ()
+    in
+    loop ();
+    Label.Str (Buffer.contents buf)
+  | Some c when c = '-' || (c >= '0' && c <= '9') ->
+    let start = st.pos in
+    let numchar c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek st with Some c -> numchar c | None -> false) do
+      st.pos <- st.pos + 1
+    done;
+    let s = String.sub st.src start (st.pos - start) in
+    (match int_of_string_opt s with
+     | Some i -> Label.Int i
+     | None ->
+       (match float_of_string_opt s with
+        | Some f -> Label.Float f
+        | None -> fail st ("bad number " ^ s)))
+  | Some c when Label.is_ident_start c -> (
+    match lex_ident st with
+    | "true" -> Label.Bool true
+    | "false" -> Label.Bool false
+    | w -> fail st ("expected an atomic value, got " ^ w))
+  | _ -> fail st "expected an atomic value"
+
+(* Labels are usually identifiers, but base labels from the graph side
+   appear in label position too (quoted strings, numbers, booleans); keep
+   their literal text so the graph mapping can re-parse them. *)
+let lex_oem_label st =
+  skip_ws st;
+  match peek st with
+  | Some c when Label.is_ident_start c -> lex_ident st
+  | _ -> Label.to_string (lex_atom st)
+
+let rec parse_obj st =
+  skip_ws st;
+  let oid =
+    if peek st = Some '&' then begin
+      st.pos <- st.pos + 1;
+      Some (lex_ident st)
+    end
+    else None
+  in
+  eat st '<' "expected '<'";
+  let label = lex_oem_label st in
+  eat st ',' "expected ',' after the label";
+  let tname = lex_ident st in
+  eat st ',' "expected ',' after the type";
+  let value =
+    match tname with
+    | "set" ->
+      eat st '{' "set value expects '{'";
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Objects []
+      end
+      else begin
+        let member () =
+          skip_ws st;
+          if peek st = Some '&' then begin
+            (* Could be a reference (&id) or a bound object (&id <...>). *)
+            let saved = st.pos in
+            st.pos <- st.pos + 1;
+            let id = lex_ident st in
+            skip_ws st;
+            if peek st = Some '<' then begin
+              st.pos <- saved;
+              Obj (parse_obj st)
+            end
+            else Ref id
+          end
+          else Obj (parse_obj st)
+        in
+        let members = ref [ member () ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          st.pos <- st.pos + 1;
+          members := member () :: !members;
+          skip_ws st
+        done;
+        eat st '}' "expected '}' closing the set";
+        Objects (List.rev !members)
+      end
+    | "int" | "real" | "str" | "bool" ->
+      let l = lex_atom st in
+      let declared =
+        match tname with "int" -> Int | "real" -> Real | "str" -> Str | _ -> Bool
+      in
+      if type_of_atom l <> declared then
+        fail st (Printf.sprintf "value %s does not have declared type %s" (atom_literal l) tname);
+      Atom l
+    | t -> fail st ("unknown OEM type " ^ t)
+  in
+  eat st '>' "expected '>' closing the object";
+  { oid; label; value }
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let o = parse_obj st in
+  skip_ws st;
+  if peek st <> None then fail st "trailing input after object";
+  o
+
+(* ------------------------------------------------------------------ *)
+(* To/from graphs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let label_of_oem_label s =
+  match Label.of_string s with
+  | l -> l
+  | exception Failure _ -> Label.Sym s
+
+let to_graph doc =
+  let b = Graph.Builder.create () in
+  let root = Graph.Builder.add_node b in
+  Graph.Builder.set_root b root;
+  let oids : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let pending_refs = ref [] in
+  let node_for_oid id =
+    match Hashtbl.find_opt oids id with
+    | Some n -> n
+    | None ->
+      let n = Graph.Builder.add_node b in
+      Hashtbl.add oids id n;
+      n
+  in
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec emit parent o =
+    let node =
+      match o.oid with
+      | Some id ->
+        if Hashtbl.mem bound id then
+          raise (Parse_error (Printf.sprintf "object id &%s bound twice" id));
+        Hashtbl.add bound id ();
+        node_for_oid id
+      | None -> Graph.Builder.add_node b
+    in
+    Graph.Builder.add_edge b parent (label_of_oem_label o.label) node;
+    (match o.value with
+     | Atom l ->
+       let leaf = Graph.Builder.add_node b in
+       Graph.Builder.add_edge b node l leaf
+     | Objects members ->
+       List.iter
+         (function
+           | Obj o' -> emit node o'
+           | Ref id ->
+             pending_refs := id :: !pending_refs;
+             (* a reference splices the target's content: ε-edge *)
+             Graph.Builder.add_eps b node (node_for_oid id))
+         members)
+  in
+  emit root doc;
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem bound id) then
+        raise (Parse_error (Printf.sprintf "reference &%s has no definition" id)))
+    !pending_refs;
+  Graph.gc (Graph.Builder.finish b)
+
+let of_graph ?(top = "db") g =
+  let g = Graph.eps_eliminate g in
+  (* Nodes needing an oid: labeled in-degree > 1 or targets of cycles. *)
+  let indegree = Array.make (Graph.n_nodes g) 0 in
+  Graph.fold_labeled_edges (fun () _ _ v -> indegree.(v) <- indegree.(v) + 1) () g;
+  let on_stack = Hashtbl.create 16 in
+  let cycle_target = Hashtbl.create 8 in
+  let seen = Hashtbl.create 64 in
+  let rec mark u =
+    if Hashtbl.mem on_stack u then Hashtbl.replace cycle_target u ()
+    else if not (Hashtbl.mem seen u) then begin
+      Hashtbl.add seen u ();
+      Hashtbl.add on_stack u ();
+      List.iter (fun (_, v) -> mark v) (Graph.labeled_succ g u);
+      Hashtbl.remove on_stack u
+    end
+  in
+  mark (Graph.root g);
+  let needs_oid u = indegree.(u) > 1 || Hashtbl.mem cycle_target u in
+  let emitted = Hashtbl.create 16 in
+  let oid_of u = Printf.sprintf "o%d" u in
+  let atomic u =
+    (* a node standing for an atomic value: exactly one base-label leaf *)
+    match Graph.labeled_succ g u with
+    | [ (l, v) ] when (not (Label.is_sym l)) && Graph.labeled_succ g v = [] -> Some l
+    | _ -> None
+  in
+  let rec obj_of label u =
+    if Hashtbl.mem emitted u then
+      (* subsequent visits become references wrapped under this label *)
+      { oid = None; label; value = Objects [ Ref (oid_of u) ] }
+    else begin
+      let oid = if needs_oid u then Some (oid_of u) else None in
+      if oid <> None then Hashtbl.add emitted u ();
+      match atomic u with
+      | Some l -> { oid; label; value = Atom l }
+      | None ->
+        let members =
+          List.map
+            (fun (l, v) -> Obj (obj_of (Label.to_string l) v))
+            (Graph.labeled_succ g u)
+        in
+        { oid; label; value = Objects members }
+    end
+  in
+  obj_of top (Graph.root g)

@@ -1,0 +1,47 @@
+(* Maximal simulation by greatest-fixpoint iteration: start from the full
+   relation and delete pairs (u, s) whose edge-matching condition fails,
+   until stable.  Kept naive (O(rounds * n1 * n2 * d1 * d2)) for clarity;
+   the graphs in this reproduction are small enough. *)
+
+let maximal ~n1 ~succ1 ~n2 ~succ2 ~matches =
+  let sim = Array.make_matrix n1 n2 true in
+  let succ1 = Array.init n1 succ1 in
+  let succ2 = Array.init n2 succ2 in
+  let ok u s =
+    List.for_all
+      (fun (l, u') ->
+        List.exists (fun (m, s') -> matches l m && sim.(u').(s')) succ2.(s))
+      succ1.(u)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for u = 0 to n1 - 1 do
+      for s = 0 to n2 - 1 do
+        if sim.(u).(s) && not (ok u s) then begin
+          sim.(u).(s) <- false;
+          changed := true
+        end
+      done
+    done
+  done;
+  Array.init n1 (fun u ->
+      let row = ref [] in
+      for s = n2 - 1 downto 0 do
+        if sim.(u).(s) then row := s :: !row
+      done;
+      !row)
+
+let simulates a b =
+  let a = Graph.eps_eliminate a and b = Graph.eps_eliminate b in
+  let sim =
+    maximal
+      ~n1:(Graph.n_nodes a)
+      ~succ1:(Graph.labeled_succ a)
+      ~n2:(Graph.n_nodes b)
+      ~succ2:(Graph.labeled_succ b)
+      ~matches:Label.equal
+  in
+  List.mem (Graph.root b) sim.(Graph.root a)
+
+let similar a b = simulates a b && simulates b a

@@ -1,0 +1,33 @@
+(** Maximal simulation between edge-labeled graphs.
+
+    Simulation is the relationship the paper's section 5 uses between data
+    and schema (Buneman, Davidson, Fernandez, Suciu, ICDT'97): data node
+    [u] is simulated by schema node [s] if every labeled edge out of [u]
+    can be matched by an edge out of [s] whose predicate accepts the label,
+    with the targets again in the relation.
+
+    This module computes the maximal simulation for a generic edge-match
+    predicate, so it serves both plain graph-graph simulation (match =
+    label equality) and data-schema conformance (match = predicate
+    satisfaction, used by {!module:Ssd_schema} if linked). *)
+
+(** [maximal ~n1 ~succ1 ~n2 ~succ2 ~matches] computes the maximal relation
+    [r] such that [r u s] implies every edge [(l, u')] in [succ1 u] has an
+    edge [(m, s')] in [succ2 s] with [matches l m] and [r u' s'].
+    Result: [r.(u)] is the list of [s] simulating [u]. *)
+val maximal :
+  n1:int ->
+  succ1:(int -> (Label.t * int) list) ->
+  n2:int ->
+  succ2:(int -> ('m * int) list) ->
+  matches:(Label.t -> 'm -> bool) ->
+  int list array
+
+(** [simulates a b]: is the root of [a] simulated by the root of [b]
+    (labels matched by equality)?  Intuitively: every path shape in [a]
+    also exists in [b]. *)
+val simulates : Graph.t -> Graph.t -> bool
+
+(** [similar a b] = [simulates a b && simulates b a].  Note this is weaker
+    than bisimilarity. *)
+val similar : Graph.t -> Graph.t -> bool

@@ -1,0 +1,35 @@
+(** Concrete textual syntax for semistructured data.
+
+    Grammar (whitespace and [(* ... *)]-free; [#] starts a line comment):
+
+    {v
+      node  ::= "&" id node          bind a shared/cyclic node
+              | "*" id               reference a bound node
+              | "{" [entry ("," entry)*] "}"
+      entry ::= label [":" value]    a bare label is sugar for label: {}
+      value ::= node | label         a bare label is sugar for {label: {}}
+      label ::= INT | FLOAT | STRING | BOOL | IDENT
+      id    ::= IDENT | INT
+    v}
+
+    Example (a fragment of the paper's Figure 1):
+
+    {v
+      {entry: {movie: {title: "Casablanca",
+                       cast: {actor: "Bogart", actor: "Bacall"}}}}
+    v}
+
+    [&id]/[*id] introduce sharing and cycles; forward references are
+    allowed.  {!Graph.pp} prints in the same syntax (with numeric ids), so
+    parse/print round-trips up to bisimilarity. *)
+
+exception Parse_error of string
+(** Raised with a message containing the offending position. *)
+
+(** Parse a (possibly cyclic) graph. *)
+val parse_graph : string -> Graph.t
+
+(** Parse a finite tree.
+    @raise Parse_error on syntax errors.
+    @raise Graph.Cyclic if the input uses [&]/[*] to form a cycle. *)
+val parse_tree : string -> Tree.t

@@ -1,0 +1,118 @@
+(* Canonical form invariant: the edge list is sorted by (label, subtree)
+   and duplicate-free, and every subtree is itself canonical.  All
+   constructors maintain it, so [Stdlib.compare]-style structural recursion
+   implements set equality. *)
+
+type t = Branch of (Label.t * t) list
+
+let rec compare (Branch a) (Branch b) = compare_edge_lists a b
+
+and compare_edge_lists a b =
+  match a, b with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (la, ta) :: resta, (lb, tb) :: restb ->
+    let c = Label.compare la lb in
+    if c <> 0 then c
+    else
+      let c = compare ta tb in
+      if c <> 0 then c else compare_edge_lists resta restb
+
+let equal a b = compare a b = 0
+
+let compare_edge (la, ta) (lb, tb) =
+  let c = Label.compare la lb in
+  if c <> 0 then c else compare ta tb
+
+let rec dedup_sorted = function
+  | (e1 :: e2 :: rest) when compare_edge e1 e2 = 0 -> dedup_sorted (e2 :: rest)
+  | e :: rest -> e :: dedup_sorted rest
+  | [] -> []
+
+let normalize_edges es = dedup_sorted (List.sort compare_edge es)
+
+let empty = Branch []
+
+let edge l t = Branch [ (l, t) ]
+
+let leaf l = Branch [ (l, empty) ]
+
+let union (Branch a) (Branch b) =
+  (* Merge of two sorted duplicate-free lists. *)
+  let rec merge a b =
+    match a, b with
+    | [], rest | rest, [] -> rest
+    | ea :: resta, eb :: restb ->
+      let c = compare_edge ea eb in
+      if c < 0 then ea :: merge resta b
+      else if c > 0 then eb :: merge a restb
+      else ea :: merge resta restb
+  in
+  Branch (merge a b)
+
+let of_edges es = Branch (normalize_edges es)
+
+let unions ts = List.fold_left union empty ts
+
+let edges (Branch es) = es
+
+let is_empty (Branch es) = es = []
+
+let out_degree (Branch es) = List.length es
+
+let subtrees_with_label (Branch es) l =
+  List.filter_map (fun (l', t) -> if Label.equal l l' then Some t else None) es
+
+let rec size (Branch es) = List.fold_left (fun acc (_, t) -> acc + 1 + size t) 0 es
+
+let rec depth (Branch es) = List.fold_left (fun acc (_, t) -> max acc (1 + depth t)) 0 es
+
+let rec fold_edges f init (Branch es) =
+  List.fold_left (fun acc (l, t) -> fold_edges f (f acc l t) t) init es
+
+let rec map_labels f (Branch es) =
+  of_edges (List.map (fun (l, t) -> (f l, map_labels f t)) es)
+
+let rec filter_edges p (Branch es) =
+  of_edges
+    (List.filter_map (fun (l, t) -> if p l t then Some (l, filter_edges p t) else None) es)
+
+let paths t =
+  let rec go prefix (Branch es) acc =
+    let acc = List.rev prefix :: acc in
+    List.fold_left (fun acc (l, t) -> go (l :: prefix) t acc) acc es
+  in
+  List.rev (go [] t [])
+
+let mem_label t l =
+  let exception Found in
+  try
+    fold_edges (fun () l' _ -> if Label.equal l l' then raise Found) () t;
+    false
+  with Found -> true
+
+let find_paths_to t p =
+  let rec go prefix (Branch es) acc =
+    List.fold_left
+      (fun acc (l, sub) ->
+        let acc = if p l then List.rev (l :: prefix) :: acc else acc in
+        go (l :: prefix) sub acc)
+      acc es
+  in
+  List.rev (go [] t [])
+
+let rec pp fmt (Branch es) =
+  match es with
+  | [] -> Format.pp_print_string fmt "{}"
+  | es ->
+    Format.fprintf fmt "@[<hv 1>{";
+    List.iteri
+      (fun i (l, t) ->
+        if i > 0 then Format.fprintf fmt ",@ ";
+        if is_empty t then Label.pp fmt l
+        else Format.fprintf fmt "%a:@ %a" Label.pp l pp t)
+      es;
+    Format.fprintf fmt "}@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,91 @@
+(** Edge-labeled trees: the first model of section 2 of the paper,
+
+    {[ type tree = set(label * tree) ]}
+
+    A tree is a {e set} of (label, subtree) pairs: edges out of a node are
+    unordered and duplicates are absorbed.  The representation is kept in a
+    canonical form (edges sorted by {!Label.compare} then by subtree, with
+    duplicates removed), so structural equality of canonical trees is set
+    equality.
+
+    Values of this type are finite; cyclic data lives in {!Graph}. *)
+
+type t
+
+(** {1 Constructors} *)
+
+(** The empty tree [{}]. *)
+val empty : t
+
+(** [edge l t] is the singleton tree [{l: t}]. *)
+val edge : Label.t -> t -> t
+
+(** [leaf l] is [{l: {}}] — how base values appear in the edge-labeled
+    model (e.g. the tree under a [Title] edge is [{"Casablanca": {}}]). *)
+val leaf : Label.t -> t
+
+(** [union a b] is set union of the two edge sets, [a ∪ b]. *)
+val union : t -> t -> t
+
+(** [of_edges es] builds a tree from an arbitrary edge list (normalizes). *)
+val of_edges : (Label.t * t) list -> t
+
+(** n-ary {!union}. *)
+val unions : t list -> t
+
+(** {1 Observers} *)
+
+(** Canonical edge list, sorted and duplicate-free. *)
+val edges : t -> (Label.t * t) list
+
+val is_empty : t -> bool
+
+(** Number of outgoing edges of the root. *)
+val out_degree : t -> int
+
+(** [subtrees_with_label t l] is the set of subtrees reachable over an
+    [l]-labeled edge from the root. *)
+val subtrees_with_label : t -> Label.t -> t list
+
+(** Set equality (structural equality of canonical forms). *)
+val equal : t -> t -> bool
+
+(** Total order compatible with {!equal}. *)
+val compare : t -> t -> int
+
+(** Total number of edges in the tree. *)
+val size : t -> int
+
+(** Length of the longest root-to-leaf path. *)
+val depth : t -> int
+
+(** {1 Traversals} *)
+
+(** [fold_edges f init t] folds [f] over every edge of [t] (root edges and
+    all nested edges), in no particular order. *)
+val fold_edges : ('a -> Label.t -> t -> 'a) -> 'a -> t -> 'a
+
+(** [map_labels f t] relabels every edge. *)
+val map_labels : (Label.t -> Label.t) -> t -> t
+
+(** [filter_edges p t] keeps, recursively, only edges satisfying [p];
+    pruned edges drop their whole subtree. *)
+val filter_edges : (Label.t -> t -> bool) -> t -> t
+
+(** All root-to-node label paths of the tree (including the empty path). *)
+val paths : t -> Label.t list list
+
+(** {1 Searching (the browsing queries of section 1.3)} *)
+
+(** [mem_label t l]: does label [l] occur anywhere in [t]? *)
+val mem_label : t -> Label.t -> bool
+
+(** [find_paths_to t p]: label paths from the root to every edge whose
+    label satisfies [p] (answers "where in the database is the string
+    "Casablanca" to be found?"). *)
+val find_paths_to : t -> (Label.t -> bool) -> Label.t list list
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

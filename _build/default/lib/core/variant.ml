@@ -1,0 +1,146 @@
+module Leafy = struct
+  type t =
+    | Base of Label.t
+    | Node of (string * t) list
+
+  let rec compare a b =
+    match a, b with
+    | Base x, Base y -> Label.compare x y
+    | Base _, Node _ -> -1
+    | Node _, Base _ -> 1
+    | Node xs, Node ys -> compare_edges xs ys
+
+  and compare_edges xs ys =
+    match xs, ys with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | (sx, tx) :: restx, (sy, ty) :: resty ->
+      let c = String.compare sx sy in
+      if c <> 0 then c
+      else
+        let c = compare tx ty in
+        if c <> 0 then c else compare_edges restx resty
+
+  let equal a b = compare a b = 0
+
+  let compare_edge (sa, ta) (sb, tb) =
+    let c = String.compare sa sb in
+    if c <> 0 then c else compare ta tb
+
+  let rec normalize = function
+    | Base _ as t -> t
+    | Node es ->
+      let es = List.map (fun (s, t) -> (s, normalize t)) es in
+      let es = List.sort_uniq compare_edge es in
+      Node es
+
+  let rec pp fmt = function
+    | Base l -> Label.pp fmt l
+    | Node [] -> Format.pp_print_string fmt "{}"
+    | Node es ->
+      Format.fprintf fmt "@[<hv 1>{";
+      List.iteri
+        (fun i (s, t) ->
+          if i > 0 then Format.fprintf fmt ",@ ";
+          Format.fprintf fmt "%s: %a" s pp t)
+        es;
+      Format.fprintf fmt "}@]"
+end
+
+module Nodelab = struct
+  type t = {
+    node : Label.t;
+    children : (Label.t * t) list;
+  }
+
+  let rec compare a b =
+    let c = Label.compare a.node b.node in
+    if c <> 0 then c else compare_edges a.children b.children
+
+  and compare_edges xs ys =
+    match xs, ys with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | (lx, tx) :: restx, (ly, ty) :: resty ->
+      let c = Label.compare lx ly in
+      if c <> 0 then c
+      else
+        let c = compare tx ty in
+        if c <> 0 then c else compare_edges restx resty
+
+  let equal a b = compare a b = 0
+
+  let compare_edge (la, ta) (lb, tb) =
+    let c = Label.compare la lb in
+    if c <> 0 then c else compare ta tb
+
+  let rec normalize t =
+    let children = List.map (fun (l, c) -> (l, normalize c)) t.children in
+    { t with children = List.sort_uniq compare_edge children }
+
+  let rec pp fmt t =
+    Format.fprintf fmt "@[<hv 1>%a{" Label.pp t.node;
+    List.iteri
+      (fun i (l, c) ->
+        if i > 0 then Format.fprintf fmt ",@ ";
+        Format.fprintf fmt "%a: %a" Label.pp l pp c)
+      t.children;
+    Format.fprintf fmt "}@]"
+end
+
+(* ------------------------------------------------------------------ *)
+(* V1 ⟷ V2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec v1_of_leafy = function
+  | Leafy.Base b -> Tree.leaf b
+  | Leafy.Node es ->
+    Tree.of_edges (List.map (fun (s, t) -> (Label.Sym s, v1_of_leafy t)) es)
+
+let rec leafy_of_v1 t =
+  match Tree.edges t with
+  | [ (b, sub) ] when (not (Label.is_sym b)) && Tree.is_empty sub ->
+    (* A lone base-labeled leaf edge is a data leaf. *)
+    Leafy.Base b
+  | es ->
+    let edge (l, sub) =
+      match l with
+      | Label.Sym s -> (s, leafy_of_v1 sub)
+      | b ->
+        (* Base label in edge position: keep it via extra "data" edges so
+           the mapping stays total. *)
+        if Tree.is_empty sub then ("data", Leafy.Base b)
+        else
+          ( "data",
+            Leafy.Node [ ("value", Leafy.Base b); ("content", leafy_of_v1 sub) ] )
+    in
+    Leafy.normalize (Leafy.Node (List.map edge es))
+
+(* ------------------------------------------------------------------ *)
+(* V1 ⟷ V3                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let node_sym = Label.Sym "node"
+
+let rec v1_of_nodelab { Nodelab.node; children } =
+  Tree.of_edges
+    ((node_sym, Tree.leaf node)
+    :: List.map (fun (l, c) -> (l, v1_of_nodelab c)) children)
+
+let rec nodelab_of_v1 ~root t =
+  let node =
+    match Tree.subtrees_with_label t node_sym with
+    | sub :: _ ->
+      (match Tree.edges sub with
+       | (l, _) :: _ -> l
+       | [] -> root)
+    | [] -> root
+  in
+  let children =
+    Tree.edges t
+    |> List.filter (fun (l, _) -> not (Label.equal l node_sym))
+    |> List.map (fun (l, sub) -> (l, nodelab_of_v1 ~root sub))
+  in
+  Nodelab.normalize { Nodelab.node; children }

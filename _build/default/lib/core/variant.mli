@@ -1,0 +1,66 @@
+(** The three model variants of section 2 and the mappings between them.
+
+    Variant 1 (the library's native {!Tree.t}):
+    {[ type label = int | string | ... | symbol
+       type tree  = set(label × tree) ]}
+
+    Variant 2 (Lorel/OEM-style, [{!Leafy.t}]): leaves carry data, internal
+    nodes carry nothing, edges carry only symbols:
+    {[ type base = int | string | ...
+       type tree = base | set(symbol × tree) ]}
+
+    Variant 3 ([{!Nodelab.t}]): internal nodes also carry labels:
+    {[ type tree = label × set(label × tree) ]}
+
+    The paper notes the differences are minor and "it is easy to define
+    mappings in both directions"; this module is those mappings.  Each
+    round-trip [from_v1 ∘ to_v1] is the identity on its variant, and
+    [to_v1 ∘ from_v1] is the identity on the sublanguage of {!Tree.t} that
+    the variant can express (property-tested in the test suite). *)
+
+module Leafy : sig
+  type t =
+    | Base of Label.t (** a data leaf; the label is never [Sym] *)
+    | Node of (string * t) list (** symbol-labeled edges, set semantics *)
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  (** Canonical form (sorted, duplicate-free edge sets, recursively). *)
+  val normalize : t -> t
+end
+
+module Nodelab : sig
+  type t = {
+    node : Label.t; (** the label on the node itself *)
+    children : (Label.t * t) list;
+  }
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val normalize : t -> t
+end
+
+(** {1 Variant 1 ⟷ Variant 2}
+
+    A V2 data leaf [Base b] appears in V1 as the leaf edge [{b: {}}]; a V2
+    node is a V1 node whose edges are all symbols.  [v1_of_leafy] is total.
+    [leafy_of_v1] maps a base-labeled V1 edge [{b: t}] to a node holding
+    both a ["data"] leaf and the encoded [t] — the "extra edges" trick the
+    paper mentions — so that it is also total and [v1_of_leafy ∘
+    leafy_of_v1 = id] holds only on symbol-edged trees (tested). *)
+
+val v1_of_leafy : Leafy.t -> Tree.t
+val leafy_of_v1 : Tree.t -> Leafy.t
+
+(** {1 Variant 1 ⟷ Variant 3}
+
+    A V3 tree [(l, children)] is encoded in V1 by an extra edge: the node
+    label becomes a [node: {l: {}}] edge next to the children, making
+    union of two trees well-defined again (the difficulty the paper points
+    out with labeling internal nodes directly). *)
+
+val v1_of_nodelab : Nodelab.t -> Tree.t
+val nodelab_of_v1 : root:Label.t -> Tree.t -> Nodelab.t

@@ -1,0 +1,1 @@
+lib/dist/decompose.ml: Array Hashtbl List Queue Ssd Ssd_automata

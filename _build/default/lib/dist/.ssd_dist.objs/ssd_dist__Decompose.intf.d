@@ -1,0 +1,1 @@
+lib/dist/decompose.mli: Ssd Ssd_automata

@@ -1,0 +1,141 @@
+module Graph = Ssd.Graph
+module Lpred = Ssd_automata.Lpred
+module Nfa = Ssd_automata.Nfa
+
+type partition = int array
+
+let partition_random ~seed ~k g =
+  Array.init (Graph.n_nodes g) (fun u -> Hashtbl.hash (seed, u) mod k)
+
+let partition_bfs ~k g =
+  let n = Graph.n_nodes g in
+  let order = Array.make n (-1) in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let next = ref 0 in
+  let visit u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      Queue.push u queue
+    end
+  in
+  visit (Graph.root g);
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(u) <- !next;
+    incr next;
+    List.iter (fun (_, v) -> visit v) (Graph.succ g u)
+  done;
+  (* Unreachable nodes go to site 0; contiguous BFS ranks map to sites. *)
+  let per_site = max 1 ((!next + k - 1) / k) in
+  Array.map (fun rank -> if rank < 0 then 0 else min (k - 1) (rank / per_site)) order
+
+type stats = {
+  sites : int;
+  cross_edges : int;
+  rounds : int;
+  messages : int;
+  local_work : int array;
+  makespan : int;
+  sequential_work : int;
+}
+
+let eval g partition nfa =
+  let n_sites = 1 + Array.fold_left max 0 partition in
+  let closures = Nfa.closures nfa in
+  let cross_edges =
+    Graph.fold_labeled_edges
+      (fun acc u _ v -> if partition.(u) <> partition.(v) then acc + 1 else acc)
+      0 g
+  in
+  (* seen.(site) is that site's private visited set; a pair may be visited
+     by several sites only if the same node is activated under the same
+     state from different rounds — prevented by keying on (u, q) in the
+     owner's set, so total work = centralized product size. *)
+  let seen = Hashtbl.create 1024 in
+  let answers = Hashtbl.create 64 in
+  let local_work = Array.make n_sites 0 in
+  let messages = ref 0 in
+  let rounds = ref 0 in
+  let makespan = ref 0 in
+  (* inbox.(site) = pending activations for this round *)
+  let inbox = Array.make n_sites [] in
+  let deliver (u, q) =
+    if not (Hashtbl.mem seen (u, q)) then begin
+      Hashtbl.add seen (u, q) ();
+      inbox.(partition.(u)) <- (u, q) :: inbox.(partition.(u))
+    end
+  in
+  List.iter (fun q -> deliver (Graph.root g, q)) (Nfa.start_set nfa);
+  let pending () = Array.exists (fun l -> l <> []) inbox in
+  while pending () do
+    incr rounds;
+    let round_work = Array.make n_sites 0 in
+    let outgoing = ref [] in
+    Array.iteri
+      (fun site activations ->
+        inbox.(site) <- [];
+        (* Local expansion: BFS within the site. *)
+        let queue = Queue.create () in
+        List.iter (fun p -> Queue.push p queue) activations;
+        while not (Queue.is_empty queue) do
+          let u, q = Queue.pop queue in
+          round_work.(site) <- round_work.(site) + 1;
+          if nfa.Nfa.accept.(q) then Hashtbl.replace answers u ();
+          if nfa.Nfa.trans.(q) <> [] then
+            List.iter
+              (fun (l, v) ->
+                List.iter
+                  (fun (p, q') ->
+                    if Lpred.matches p l then
+                      List.iter
+                        (fun q'' ->
+                          if not (Hashtbl.mem seen (v, q'')) then
+                            if partition.(v) = site then begin
+                              Hashtbl.add seen (v, q'') ();
+                              Queue.push (v, q'') queue
+                            end
+                            else begin
+                              incr messages;
+                              outgoing := (v, q'') :: !outgoing
+                            end)
+                        closures.(q'))
+                  nfa.Nfa.trans.(q))
+              (Graph.labeled_succ g u)
+        done)
+      inbox;
+    Array.iteri (fun site w -> local_work.(site) <- local_work.(site) + w) round_work;
+    makespan := !makespan + Array.fold_left max 0 round_work;
+    List.iter deliver !outgoing
+  done;
+  (* Sequential baseline for the speedup column. *)
+  let seq_seen = Hashtbl.create 1024 in
+  let seq_queue = Queue.create () in
+  let seq_push u q =
+    if not (Hashtbl.mem seq_seen (u, q)) then begin
+      Hashtbl.add seq_seen (u, q) ();
+      Queue.push (u, q) seq_queue
+    end
+  in
+  List.iter (seq_push (Graph.root g)) (Nfa.start_set nfa);
+  while not (Queue.is_empty seq_queue) do
+    let u, q = Queue.pop seq_queue in
+    if nfa.Nfa.trans.(q) <> [] then
+      List.iter
+        (fun (l, v) ->
+          List.iter
+            (fun (p, q') -> if Lpred.matches p l then List.iter (seq_push v) closures.(q'))
+            nfa.Nfa.trans.(q))
+        (Graph.labeled_succ g u)
+  done;
+  let result = Hashtbl.fold (fun u () acc -> u :: acc) answers [] |> List.sort_uniq compare in
+  ( result,
+    {
+      sites = n_sites;
+      cross_edges;
+      rounds = !rounds;
+      messages = !messages;
+      local_work;
+      makespan = !makespan;
+      sequential_work = Hashtbl.length seq_seen;
+    } )

@@ -1,0 +1,51 @@
+(** Distributed evaluation of regular path queries (section 4).
+
+    Following Suciu (VLDB'96), "an analysis of the query, combined with
+    some segmentation of the graph into local sites, can be used to
+    decompose a query into independent, parallel sub-queries".  We
+    implement the work-efficient multi-round variant:
+
+    + the graph is partitioned into [k] sites;
+    + in each round, every site — independently, in parallel — expands
+      the (node, automaton state) activations it received, staying within
+      its own nodes; product pairs crossing to another site become
+      {e messages} for the next round;
+    + rounds repeat until no messages remain; a site never re-expands a
+      pair it has seen (total work across all sites equals the
+      centralized product size).
+
+    (Suciu's one-round algorithm instead precomputes, per site, summaries
+    for {e every} possible entry pair; it trades redundant local work —
+    entries × states site runs — for a single communication round.  At
+    web-graph cross-edge densities that redundancy is the dominant cost,
+    so the multi-round variant is what one would deploy; the trade-off is
+    discussed in EXPERIMENTS.md E9.)
+
+    The answers provably equal centralized evaluation (property-tested
+    against {!Ssd_automata.Product}); the interesting outputs are the
+    cost-model numbers: messages shipped, rounds, per-site work, and the
+    simulated parallel makespan. *)
+
+(** [site.(u)] is the site that owns node [u]. *)
+type partition = int array
+
+(** Hash-random partition into [k] sites (worst-case locality). *)
+val partition_random : seed:int -> k:int -> Ssd.Graph.t -> partition
+
+(** Partition by contiguous BFS order (good locality — subtrees mostly
+    stay on one site). *)
+val partition_bfs : k:int -> Ssd.Graph.t -> partition
+
+type stats = {
+  sites : int;
+  cross_edges : int; (** edges with endpoints on different sites *)
+  rounds : int; (** communication rounds until quiescence *)
+  messages : int; (** cross-site (node, state) activations shipped *)
+  local_work : int array; (** product pairs expanded, per site *)
+  makespan : int; (** Σ over rounds of the slowest site's work that round *)
+  sequential_work : int; (** product pairs of the centralized run *)
+}
+
+(** [eval g partition nfa] returns the accepting nodes (sorted) and the
+    cost-model statistics. *)
+val eval : Ssd.Graph.t -> partition -> Ssd_automata.Nfa.t -> int list * stats

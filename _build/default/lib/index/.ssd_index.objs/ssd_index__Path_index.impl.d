@@ -1,0 +1,1 @@
+lib/index/path_index.ml: Hashtbl Int List Option Set Ssd

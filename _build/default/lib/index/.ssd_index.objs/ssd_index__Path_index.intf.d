@@ -1,0 +1,1 @@
+lib/index/path_index.mli: Ssd

@@ -1,0 +1,1 @@
+lib/index/stats.ml: Format Hashtbl List Option Ssd Stdlib

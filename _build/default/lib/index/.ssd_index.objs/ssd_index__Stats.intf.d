@@ -1,0 +1,1 @@
+lib/index/stats.mli: Format Ssd

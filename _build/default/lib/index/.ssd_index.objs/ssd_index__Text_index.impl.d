@@ -1,0 +1,1 @@
+lib/index/text_index.ml: Array Buffer Hashtbl List Option Ssd String

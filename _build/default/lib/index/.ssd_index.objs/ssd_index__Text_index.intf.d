@@ -1,0 +1,1 @@
+lib/index/text_index.mli: Ssd

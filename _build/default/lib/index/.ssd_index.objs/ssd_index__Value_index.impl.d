@@ -1,0 +1,1 @@
+lib/index/value_index.ml: Hashtbl List Option Ssd

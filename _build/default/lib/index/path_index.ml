@@ -1,0 +1,58 @@
+module Label = Ssd.Label
+module Graph = Ssd.Graph
+
+type t = {
+  depth : int;
+  table : (Label.t list, int list) Hashtbl.t;
+}
+
+module Int_set = Set.Make (Int)
+
+let build ~depth g =
+  let table = Hashtbl.create 1024 in
+  (* Level-by-level: frontier maps each path of the current length to its
+     node set; cycles are harmless because length strictly grows. *)
+  let frontier = ref [ ([], Int_set.singleton (Graph.root g)) ] in
+  Hashtbl.replace table [] [ Graph.root g ];
+  for _ = 1 to depth do
+    let next = Hashtbl.create 64 in
+    List.iter
+      (fun (path, nodes) ->
+        Int_set.iter
+          (fun u ->
+            List.iter
+              (fun (l, v) ->
+                let path' = l :: path in
+                let set =
+                  Option.value ~default:Int_set.empty (Hashtbl.find_opt next path')
+                in
+                Hashtbl.replace next path' (Int_set.add v set))
+              (Graph.labeled_succ g u))
+          nodes)
+      !frontier;
+    frontier :=
+      Hashtbl.fold
+        (fun path set acc ->
+          Hashtbl.replace table (List.rev path) (Int_set.elements set);
+          (path, set) :: acc)
+        next []
+  done;
+  { depth; table }
+
+let find idx path =
+  if List.length path > idx.depth then None
+  else Some (Option.value ~default:[] (Hashtbl.find_opt idx.table path))
+
+let depth idx = idx.depth
+let n_paths idx = Hashtbl.length idx.table
+
+let traverse g path =
+  let step nodes l =
+    Int_set.fold
+      (fun u acc ->
+        List.fold_left
+          (fun acc (l', v) -> if Label.equal l l' then Int_set.add v acc else acc)
+          acc (Graph.labeled_succ g u))
+      nodes Int_set.empty
+  in
+  Int_set.elements (List.fold_left step (Int_set.singleton (Graph.root g)) path)

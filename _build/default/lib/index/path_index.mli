@@ -1,0 +1,25 @@
+(** Bounded-depth path index.
+
+    Maps each root label-path of length ≤ k to the set of nodes it reaches
+    — the "path indices" of section 4.  Exact-path queries (the common
+    [select ... from DB where Entry.Movie.Title ...] shape) become a
+    single hash lookup instead of a traversal.  Cyclic graphs are fine:
+    only paths up to the depth bound are enumerated. *)
+
+type t
+
+val build : depth:int -> Ssd.Graph.t -> t
+
+(** Nodes reached from the root by exactly this label path.  Paths longer
+    than the index depth return [None] (the caller must fall back to
+    traversal); indexed paths with no match return [Some []]. *)
+val find : t -> Ssd.Label.t list -> int list option
+
+val depth : t -> int
+
+(** Number of distinct indexed paths. *)
+val n_paths : t -> int
+
+(** The traversal fallback (and baseline): follow the path from the
+    root. *)
+val traverse : Ssd.Graph.t -> Ssd.Label.t list -> int list

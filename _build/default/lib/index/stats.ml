@@ -1,0 +1,70 @@
+module Label = Ssd.Label
+module Graph = Ssd.Graph
+
+type t = {
+  n_nodes : int;
+  n_edges : int;
+  n_distinct_labels : int;
+  n_symbols : int;
+  n_leaves : int;
+  max_out_degree : int;
+  cyclic : bool;
+  depth : int option;
+}
+
+let longest_path g =
+  (* Longest root-to-node path in an acyclic graph, by DFS with memo. *)
+  let memo = Hashtbl.create 64 in
+  let rec go u =
+    match Hashtbl.find_opt memo u with
+    | Some d -> d
+    | None ->
+      let d =
+        List.fold_left (fun acc (_, v) -> max acc (1 + go v)) 0 (Graph.labeled_succ g u)
+      in
+      Hashtbl.add memo u d;
+      d
+  in
+  go (Graph.root g)
+
+let compute g =
+  let g = Graph.eps_eliminate g in
+  let labels = Hashtbl.create 256 in
+  Graph.fold_labeled_edges (fun () _ l _ -> Hashtbl.replace labels l ()) () g;
+  let n_symbols =
+    Hashtbl.fold (fun l () acc -> if Label.is_sym l then acc + 1 else acc) labels 0
+  in
+  let n_leaves = ref 0 and max_deg = ref 0 in
+  for u = 0 to Graph.n_nodes g - 1 do
+    let d = List.length (Graph.succ g u) in
+    if d = 0 then incr n_leaves;
+    if d > !max_deg then max_deg := d
+  done;
+  let cyclic = not (Graph.is_acyclic g) in
+  {
+    n_nodes = Graph.n_nodes g;
+    n_edges = Graph.n_edges g;
+    n_distinct_labels = Hashtbl.length labels;
+    n_symbols;
+    n_leaves = !n_leaves;
+    max_out_degree = !max_deg;
+    cyclic;
+    depth = (if cyclic then None else Some (longest_path g));
+  }
+
+let top_labels g ~k =
+  let counts = Hashtbl.create 256 in
+  Graph.fold_labeled_edges
+    (fun () _ l _ ->
+      Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+    () (Graph.eps_eliminate g);
+  let all = Hashtbl.fold (fun l c acc -> (l, c) :: acc) counts [] in
+  let sorted = List.sort (fun (_, c1) (_, c2) -> Stdlib.compare c2 c1) all in
+  List.filteri (fun i _ -> i < k) sorted
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>nodes: %d@,edges: %d@,distinct labels: %d (symbols: %d)@,leaves: %d@,max out-degree: %d@,cyclic: %b@,depth: %s@]"
+    s.n_nodes s.n_edges s.n_distinct_labels s.n_symbols s.n_leaves s.max_out_degree
+    s.cyclic
+    (match s.depth with None -> "-" | Some d -> string_of_int d)

@@ -1,0 +1,21 @@
+(** Descriptive statistics of a data graph — what a query optimizer would
+    keep as its catalog, and what the experiment harness prints about each
+    workload. *)
+
+type t = {
+  n_nodes : int;
+  n_edges : int; (** labeled edges after ε-elimination *)
+  n_distinct_labels : int;
+  n_symbols : int; (** distinct [Sym] labels *)
+  n_leaves : int; (** nodes with no outgoing labeled edge *)
+  max_out_degree : int;
+  cyclic : bool;
+  depth : int option; (** longest root path; [None] when cyclic *)
+}
+
+val compute : Ssd.Graph.t -> t
+
+(** The [k] most frequent labels with their edge counts, descending. *)
+val top_labels : Ssd.Graph.t -> k:int -> (Ssd.Label.t * int) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+module Label = Ssd.Label
+module Graph = Ssd.Graph
+
+type occurrence = {
+  src : int;
+  label : Label.t;
+  dst : int;
+}
+
+type t = {
+  (* Sorted by text for binary prefix search. *)
+  sorted : (string * occurrence) array;
+  words : (string, occurrence list) Hashtbl.t;
+}
+
+let text_of = function
+  | Label.Sym s | Label.Str s -> Some s
+  | Label.Int _ | Label.Float _ | Label.Bool _ -> None
+
+let tokenize s =
+  let words = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := String.lowercase_ascii (Buffer.contents buf) :: !words;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then
+        Buffer.add_char buf c
+      else flush ())
+    s;
+  flush ();
+  !words
+
+let build g =
+  let entries = ref [] in
+  let words = Hashtbl.create 256 in
+  Graph.fold_labeled_edges
+    (fun () src l dst ->
+      match text_of l with
+      | None -> ()
+      | Some text ->
+        let occ = { src; label = l; dst } in
+        entries := (text, occ) :: !entries;
+        List.iter
+          (fun w ->
+            let occs = Option.value ~default:[] (Hashtbl.find_opt words w) in
+            Hashtbl.replace words w (occ :: occs))
+          (List.sort_uniq String.compare (tokenize text)))
+    () g;
+  let sorted = Array.of_list !entries in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) sorted;
+  { sorted; words }
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+(* First array position whose text is >= [key]. *)
+let lower_bound sorted key =
+  let lo = ref 0 and hi = ref (Array.length sorted) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let text, _ = sorted.(mid) in
+    if String.compare text key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let find_prefix idx prefix =
+  let start = lower_bound idx.sorted prefix in
+  let out = ref [] in
+  let i = ref start in
+  while
+    !i < Array.length idx.sorted
+    &&
+    let text, _ = idx.sorted.(!i) in
+    has_prefix ~prefix text
+  do
+    out := snd idx.sorted.(!i) :: !out;
+    incr i
+  done;
+  List.rev !out
+
+let find_exact idx text =
+  List.filter (fun o -> text_of o.label = Some text) (find_prefix idx text)
+
+let find_word idx w =
+  Option.value ~default:[] (Hashtbl.find_opt idx.words (String.lowercase_ascii w))
+
+let n_entries idx = Array.length idx.sorted
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+
+let scan_contains g needle =
+  Graph.fold_labeled_edges
+    (fun acc src l dst ->
+      match text_of l with
+      | Some text when contains_substring text needle -> { src; label = l; dst } :: acc
+      | _ -> acc)
+    [] g

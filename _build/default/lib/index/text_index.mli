@@ -1,0 +1,35 @@
+(** Text index over the string-ish labels of a graph.
+
+    Supports the browsing queries of section 1.3 that exact hashing cannot:
+    "What objects in the database have an attribute name that starts with
+    "act"?" — prefix search over symbols — and word search inside string
+    values.  Backed by a sorted array of (text, occurrence) pairs, so
+    prefix queries are binary searches; word search uses an inverted
+    word table built at construction. *)
+
+type t
+
+type occurrence = {
+  src : int;
+  label : Ssd.Label.t;
+  dst : int;
+}
+
+(** Indexes every [Sym] and [Str] label occurrence. *)
+val build : Ssd.Graph.t -> t
+
+(** Occurrences whose full text starts with the prefix. *)
+val find_prefix : t -> string -> occurrence list
+
+(** Occurrences whose full text is exactly the given string. *)
+val find_exact : t -> string -> occurrence list
+
+(** Occurrences of string/symbol labels containing the given word
+    (words are maximal alphanumeric runs, matched case-insensitively). *)
+val find_word : t -> string -> occurrence list
+
+(** Number of indexed occurrences. *)
+val n_entries : t -> int
+
+(** The no-index baseline for substring search. *)
+val scan_contains : Ssd.Graph.t -> string -> occurrence list

@@ -1,0 +1,35 @@
+module Label = Ssd.Label
+module Graph = Ssd.Graph
+
+type occurrence = {
+  src : int;
+  dst : int;
+}
+
+module Label_tbl = Hashtbl.Make (struct
+  type t = Label.t
+
+  let equal = Label.equal
+  let hash = Label.hash
+end)
+
+type t = occurrence list Label_tbl.t
+
+let build g =
+  let idx = Label_tbl.create 256 in
+  Graph.fold_labeled_edges
+    (fun () src l dst ->
+      let occs = Option.value ~default:[] (Label_tbl.find_opt idx l) in
+      Label_tbl.replace idx l ({ src; dst } :: occs))
+    () g;
+  idx
+
+let find idx l = Option.value ~default:[] (Label_tbl.find_opt idx l)
+let find_nodes idx l = List.map (fun o -> o.dst) (find idx l)
+let mem idx l = Label_tbl.mem idx l
+let n_labels idx = Label_tbl.length idx
+
+let scan g l =
+  Graph.fold_labeled_edges
+    (fun acc src l' dst -> if Label.equal l l' then { src; dst } :: acc else acc)
+    [] g

@@ -1,0 +1,32 @@
+(** Exact-label index.
+
+    Section 4 suggests "the addition of path or text indices on labels and
+    strings" to make generic browsing queries (section 1.3) fast.  This is
+    the simplest such index: a hash from a label to the edges carrying it.
+    The scan baseline it is benchmarked against (experiment E1) is
+    {!scan}. *)
+
+type t
+
+(** An edge occurrence: (source node, target node). *)
+type occurrence = {
+  src : int;
+  dst : int;
+}
+
+val build : Ssd.Graph.t -> t
+
+(** All edges labeled exactly [l]. *)
+val find : t -> Ssd.Label.t -> occurrence list
+
+(** Nodes with an incoming edge labeled [l]. *)
+val find_nodes : t -> Ssd.Label.t -> int list
+
+(** Does label [l] occur at all? *)
+val mem : t -> Ssd.Label.t -> bool
+
+(** Number of distinct labels indexed. *)
+val n_labels : t -> int
+
+(** The no-index baseline: walk every edge of the graph. *)
+val scan : Ssd.Graph.t -> Ssd.Label.t -> occurrence list

@@ -1,0 +1,1 @@
+lib/lorel/ast.ml: Ssd

@@ -1,0 +1,1 @@
+lib/lorel/eval.ml: Ast Int List Parser Set Ssd Stdlib String

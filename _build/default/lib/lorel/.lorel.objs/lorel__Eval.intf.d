@@ -1,0 +1,1 @@
+lib/lorel/eval.mli: Ast Ssd

@@ -1,0 +1,1 @@
+lib/lorel/parser.ml: Ast Buffer List Printf Ssd String

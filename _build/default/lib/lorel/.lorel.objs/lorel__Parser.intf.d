@@ -1,0 +1,1 @@
+lib/lorel/parser.mli: Ast

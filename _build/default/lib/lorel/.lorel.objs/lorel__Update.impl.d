@@ -1,0 +1,1 @@
+lib/lorel/update.ml: Ast Buffer Eval Int List Parser Set Ssd String

@@ -1,0 +1,1 @@
+lib/lorel/update.mli: Ssd

@@ -1,0 +1,53 @@
+(** Abstract syntax of the Lorel-style language (section 3).
+
+    Lorel is the OEM query language of the Lore project: SQL-like
+    select–from–where over path expressions, with wildcards for label
+    ([%]) and arbitrary path ([#]) positions, and a "rich set of
+    overloadings" — comparisons coerce between strings and numbers and
+    quantify existentially over the object sets that path expressions
+    denote. *)
+
+module Label = Ssd.Label
+
+type component =
+  | Clabel of Label.t (** one edge with exactly this label *)
+  | Cany (** [%] — one edge, any label *)
+  | Cpath (** [#] — any path, length ≥ 0 *)
+
+(** [DB.entry.movie] or [X.cast.actor]: a start (variable or the
+    database) and a component list. *)
+type path = {
+  start : string option; (** [None] = DB *)
+  comps : component list;
+}
+
+type operand =
+  | Opath of path
+  | Olit of Label.t
+
+type cmpop =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Like (** substring match after string coercion *)
+
+type cond =
+  | Cmp of cmpop * operand * operand
+  | Exists of path
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type select_item = {
+  item : path;
+  alias : string option; (** [as name]; defaults to the last label of the path *)
+}
+
+type query = {
+  select : select_item list;
+  from : (path * string) list; (** [path X] range bindings, in order *)
+  where : cond option;
+}

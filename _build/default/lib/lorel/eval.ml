@@ -1,0 +1,168 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+open Ast
+
+exception Runtime_error of string
+
+module Int_set = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Path expressions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let closure g nodes =
+  (* Reflexive-transitive closure over labeled edges (the '#' wildcard);
+     visited set makes it total on cycles. *)
+  let seen = ref Int_set.empty in
+  let rec go u =
+    if not (Int_set.mem u !seen) then begin
+      seen := Int_set.add u !seen;
+      List.iter (fun (_, v) -> go v) (Graph.labeled_succ g u)
+    end
+  in
+  Int_set.iter go nodes;
+  !seen
+
+let step g nodes = function
+  | Clabel l ->
+    Int_set.fold
+      (fun u acc ->
+        List.fold_left
+          (fun acc (l', v) -> if Label.equal l l' then Int_set.add v acc else acc)
+          acc (Graph.labeled_succ g u))
+      nodes Int_set.empty
+  | Cany ->
+    Int_set.fold
+      (fun u acc ->
+        List.fold_left (fun acc (_, v) -> Int_set.add v acc) acc (Graph.labeled_succ g u))
+      nodes Int_set.empty
+  | Cpath -> closure g nodes
+
+let eval_path ~db ~env p =
+  let start =
+    match p.start with
+    | None -> Int_set.singleton (Graph.root db)
+    | Some x -> (
+      match List.assoc_opt x env with
+      | Some n -> Int_set.singleton n
+      | None -> raise (Runtime_error ("unbound range variable " ^ x)))
+  in
+  Int_set.elements (List.fold_left (step db) start p.comps)
+
+let values_of g node =
+  List.filter_map
+    (fun (l, _) -> if Label.is_sym l then None else Some l)
+    (Graph.labeled_succ g node)
+
+(* ------------------------------------------------------------------ *)
+(* Coercing comparisons                                                *)
+(* ------------------------------------------------------------------ *)
+
+let to_number = function
+  | Label.Int i -> Some (float_of_int i)
+  | Label.Float f -> Some f
+  | Label.Str s -> float_of_string_opt (String.trim s)
+  | Label.Bool _ | Label.Sym _ -> None
+
+let to_text = function
+  | Label.Str s | Label.Sym s -> s
+  | Label.Int i -> string_of_int i
+  | Label.Float f -> string_of_float f
+  | Label.Bool b -> string_of_bool b
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+
+let compare_coerced v1 v2 =
+  match to_number v1, to_number v2 with
+  | Some f1, Some f2 -> Stdlib.compare f1 f2
+  | _ -> String.compare (to_text v1) (to_text v2)
+
+let cmp_values op v1 v2 =
+  match op with
+  | Eq -> Label.equal v1 v2 || compare_coerced v1 v2 = 0
+  | Neq -> not (Label.equal v1 v2 || compare_coerced v1 v2 = 0)
+  | Lt -> compare_coerced v1 v2 < 0
+  | Le -> compare_coerced v1 v2 <= 0
+  | Gt -> compare_coerced v1 v2 > 0
+  | Ge -> compare_coerced v1 v2 >= 0
+  | Like -> contains_substring (to_text v1) (to_text v2)
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let operand_values ~db ~env = function
+  | Olit l -> [ l ]
+  | Opath p ->
+    let nodes = eval_path ~db ~env p in
+    (* An object's comparable values; a node with no atomic value still
+       contributes the labels of edges into it?  Lorel compares through
+       values only — nodes without atomic values simply never satisfy a
+       comparison. *)
+    List.concat_map (values_of db) nodes
+
+let rec eval_cond ~db ~env = function
+  | Cmp (op, o1, o2) ->
+    let vs1 = operand_values ~db ~env o1 in
+    let vs2 = operand_values ~db ~env o2 in
+    List.exists (fun v1 -> List.exists (fun v2 -> cmp_values op v1 v2) vs2) vs1
+  | Exists p -> eval_path ~db ~env p <> []
+  | And (c1, c2) -> eval_cond ~db ~env c1 && eval_cond ~db ~env c2
+  | Or (c1, c2) -> eval_cond ~db ~env c1 || eval_cond ~db ~env c2
+  | Not c -> not (eval_cond ~db ~env c)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let item_label item =
+  match item.alias with
+  | Some a -> Label.Sym a
+  | None -> (
+    match List.rev item.item.comps with
+    | Clabel l :: _ -> l
+    | _ -> (
+      match item.item.start with
+      | Some x -> Label.Sym x
+      | None -> Label.Sym "item"))
+
+let eval ~db q =
+  let envs =
+    List.fold_left
+      (fun envs (p, x) ->
+        List.concat_map
+          (fun env -> List.map (fun n -> (x, n) :: env) (eval_path ~db ~env p))
+          envs)
+      [ [] ] q.from
+  in
+  let envs =
+    match q.where with
+    | None -> envs
+    | Some c -> List.filter (fun env -> eval_cond ~db ~env c) envs
+  in
+  let b = Graph.Builder.create () in
+  let result_root = Graph.Builder.add_node b in
+  Graph.Builder.set_root b result_root;
+  let db_root = Graph.import_into b db in
+  let offset = db_root - Graph.root db in
+  let row_sym = Label.Sym "row" in
+  List.iter
+    (fun env ->
+      let row = Graph.Builder.add_node b in
+      Graph.Builder.add_edge b result_root row_sym row;
+      List.iter
+        (fun item ->
+          let lbl = item_label item in
+          List.iter
+            (fun n -> Graph.Builder.add_edge b row lbl (n + offset))
+            (eval_path ~db ~env item.item))
+        q.select)
+    envs;
+  Graph.gc (Graph.Builder.finish b)
+
+let run ~db src = eval ~db (Parser.parse src)

@@ -1,0 +1,36 @@
+(** Evaluation of Lorel queries over an OEM graph.
+
+    Semantics, following the Lorel description in the tutorial:
+
+    - a path expression denotes a {e set of objects} (graph nodes); [%]
+      ranges over any one edge, [#] over any path (evaluated with a
+      visited set, so cyclic data terminates);
+    - [from p X] ranges [X] over the objects [p] denotes;
+    - comparisons are {e existentially} quantified over operand object
+      sets and {e coercing}: an object compares through its atomic
+      values (the base labels on its outgoing leaf edges, or the edge
+      label that reaches it when it is a leaf), strings that look like
+      numbers compare numerically, and [like] does substring matching
+      after string coercion;
+    - [select] builds an OEM result: one [row] object per binding of the
+      [from] variables that survives [where], with one edge per select
+      item (labeled by its alias or last path label) pointing at the
+      {e original} object — object identity is preserved, not copied. *)
+
+exception Runtime_error of string
+
+(** [eval ~db q] returns the result graph.  Note the result shares no
+    structure with [db] physically (it is re-rooted and gc'd) but is
+    bisimilar to the OEM sharing described above. *)
+val eval : db:Ssd.Graph.t -> Ast.query -> Ssd.Graph.t
+
+(** Parse and evaluate. *)
+val run : db:Ssd.Graph.t -> string -> Ssd.Graph.t
+
+(** The object set a path expression denotes, with [X] etc. resolved from
+    the given (variable, node) bindings.  Exposed for tests and the CLI. *)
+val eval_path :
+  db:Ssd.Graph.t -> env:(string * int) list -> Ast.path -> int list
+
+(** Atomic values of an object: base labels of its leaf edges. *)
+val values_of : Ssd.Graph.t -> int -> Ssd.Label.t list

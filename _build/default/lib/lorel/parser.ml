@@ -1,0 +1,239 @@
+module Label = Ssd.Label
+open Ast
+
+exception Parse_error of string
+
+type st = {
+  src : string;
+  mutable pos : int;
+}
+
+let fail st msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    st.pos <- st.pos + 1;
+    skip_ws st
+  | _ -> ()
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let eat st s msg = if looking_at st s then st.pos <- st.pos + String.length s else fail st msg
+
+let lex_ident st =
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c -> Label.is_ident_char c
+    | None -> false
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected an identifier";
+  String.sub st.src start (st.pos - start)
+
+let peek_word st =
+  skip_ws st;
+  match peek st with
+  | Some c when Label.is_ident_start c ->
+    let p = st.pos in
+    let w = lex_ident st in
+    st.pos <- p;
+    Some (String.lowercase_ascii w)
+  | _ -> None
+
+let eat_keyword st w =
+  if peek_word st = Some w then begin
+    skip_ws st;
+    ignore (lex_ident st);
+    true
+  end
+  else false
+
+let lex_string st =
+  eat st "\"" "expected '\"'";
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+       | Some 'n' -> Buffer.add_char buf '\n'
+       | Some 't' -> Buffer.add_char buf '\t'
+       | Some c -> Buffer.add_char buf c
+       | None -> fail st "unterminated escape");
+      st.pos <- st.pos + 1;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let lex_number st =
+  let start = st.pos in
+  let numchar c = (c >= '0' && c <= '9') || c = '-' || c = 'e' || c = 'E' in
+  while (match peek st with Some c -> numchar c | None -> false) do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Label.Int i
+  | None -> fail st ("bad integer literal " ^ s)
+
+let keywords = [ "select"; "from"; "where"; "and"; "or"; "not"; "exists"; "as"; "like" ]
+
+let parse_component st =
+  skip_ws st;
+  match peek st with
+  | Some '%' ->
+    st.pos <- st.pos + 1;
+    Cany
+  | Some '#' ->
+    st.pos <- st.pos + 1;
+    Cpath
+  | Some '"' -> Clabel (Label.Str (lex_string st))
+  | Some c when c = '-' || (c >= '0' && c <= '9') -> Clabel (lex_number st)
+  | Some c when Label.is_ident_start c -> Clabel (Label.Sym (lex_ident st))
+  | _ -> fail st "expected a path component"
+
+let parse_path_from st start =
+  let comps = ref [] in
+  skip_ws st;
+  while peek st = Some '.' do
+    st.pos <- st.pos + 1;
+    comps := parse_component st :: !comps;
+    skip_ws st
+  done;
+  { start; comps = List.rev !comps }
+
+let parse_path_expr st =
+  skip_ws st;
+  match peek st with
+  | Some c when Label.is_ident_start c ->
+    let id = lex_ident st in
+    let start = if String.lowercase_ascii id = "db" then None else Some id in
+    parse_path_from st start
+  | _ -> fail st "expected a path expression"
+
+let parse_operand st =
+  skip_ws st;
+  match peek st with
+  | Some '"' -> Olit (Label.Str (lex_string st))
+  | Some c when c = '-' || (c >= '0' && c <= '9') ->
+    (* numeric literal, possibly float *)
+    let start = st.pos in
+    let numchar c = (c >= '0' && c <= '9') || c = '-' || c = '.' || c = 'e' || c = 'E' in
+    while (match peek st with Some c -> numchar c | None -> false) do
+      st.pos <- st.pos + 1
+    done;
+    let s = String.sub st.src start (st.pos - start) in
+    (match int_of_string_opt s with
+     | Some i -> Olit (Label.Int i)
+     | None ->
+       (match float_of_string_opt s with
+        | Some f -> Olit (Label.Float f)
+        | None -> fail st ("bad numeric literal " ^ s)))
+  | Some c when Label.is_ident_start c -> (
+    match peek_word st with
+    | Some ("true" | "false") ->
+      skip_ws st;
+      Olit (Label.Bool (lex_ident st = "true"))
+    | _ -> Opath (parse_path_expr st))
+  | _ -> fail st "expected an operand"
+
+let parse_cmpop st =
+  skip_ws st;
+  if looking_at st "!=" then (st.pos <- st.pos + 2; Neq)
+  else if looking_at st "<>" then (st.pos <- st.pos + 2; Neq)
+  else if looking_at st "<=" then (st.pos <- st.pos + 2; Le)
+  else if looking_at st ">=" then (st.pos <- st.pos + 2; Ge)
+  else if looking_at st "=" then (st.pos <- st.pos + 1; Eq)
+  else if looking_at st "<" then (st.pos <- st.pos + 1; Lt)
+  else if looking_at st ">" then (st.pos <- st.pos + 1; Gt)
+  else if eat_keyword st "like" then Like
+  else fail st "expected a comparison operator"
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if eat_keyword st "or" then Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if eat_keyword st "and" then And (left, parse_and st) else left
+
+and parse_not st =
+  if eat_keyword st "not" then Not (parse_not st) else parse_base st
+
+and parse_base st =
+  skip_ws st;
+  if eat_keyword st "exists" then Exists (parse_path_expr st)
+  else if peek st = Some '(' then begin
+    st.pos <- st.pos + 1;
+    let c = parse_cond st in
+    skip_ws st;
+    eat st ")" "expected ')'";
+    c
+  end
+  else begin
+    let lhs = parse_operand st in
+    let op = parse_cmpop st in
+    let rhs = parse_operand st in
+    Cmp (op, lhs, rhs)
+  end
+
+let parse_select_item st =
+  let item = parse_path_expr st in
+  let alias = if eat_keyword st "as" then Some (skip_ws st; lex_ident st) else None in
+  { item; alias }
+
+let parse src =
+  let st = { src; pos = 0 } in
+  if not (eat_keyword st "select") then fail st "query must start with 'select'";
+  let select = ref [ parse_select_item st ] in
+  skip_ws st;
+  while peek st = Some ',' do
+    st.pos <- st.pos + 1;
+    select := parse_select_item st :: !select;
+    skip_ws st
+  done;
+  let from = ref [] in
+  if eat_keyword st "from" then begin
+    let range () =
+      let p = parse_path_expr st in
+      skip_ws st;
+      let v = lex_ident st in
+      if List.mem (String.lowercase_ascii v) keywords then
+        fail st ("range variable clashes with keyword " ^ v);
+      (p, v)
+    in
+    from := [ range () ];
+    skip_ws st;
+    while peek st = Some ',' do
+      st.pos <- st.pos + 1;
+      from := range () :: !from;
+      skip_ws st
+    done
+  end;
+  let where = if eat_keyword st "where" then Some (parse_cond st) else None in
+  skip_ws st;
+  if peek st <> None then fail st "trailing input after query";
+  { select = List.rev !select; from = List.rev !from; where }
+
+let parse_path src =
+  let st = { src; pos = 0 } in
+  let p = parse_path_expr st in
+  skip_ws st;
+  if peek st <> None then fail st "trailing input after path";
+  p

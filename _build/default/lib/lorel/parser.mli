@@ -1,0 +1,17 @@
+(** Parser for the Lorel-style concrete syntax.
+
+    {v
+      select X.title, X.year as when
+      from DB.entry.movie X, X.cast.actor A
+      where X.year >= 1942 and A = "Bogart"
+    v}
+
+    Path components: identifiers, quoted strings, integers, [%] (any one
+    label) and [#] (any path, including the empty one). *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.query
+
+(** Parse a bare path expression (exposed for tests). *)
+val parse_path : string -> Ast.path

@@ -1,0 +1,192 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+exception Parse_error of string
+
+type statement =
+  | Insert of Ast.path * Ssd.Graph.t (** graft at every target *)
+  | Delete of Ast.path * Ast.component
+  | Rename of Ast.path * Label.t * Label.t
+
+type t = statement list
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: reuse the Lorel path parser; the grafted value uses the ssd
+   data syntax.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let split_statements src =
+  (* split on ';' outside string literals and braces *)
+  let parts = ref [] in
+  let buf = Buffer.create 64 in
+  let in_string = ref false in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+        in_string := not !in_string;
+        Buffer.add_char buf c
+      | '{' when not !in_string ->
+        incr depth;
+        Buffer.add_char buf c
+      | '}' when not !in_string ->
+        decr depth;
+        Buffer.add_char buf c
+      | ';' when (not !in_string) && !depth = 0 ->
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    src;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts |> List.filter (fun s -> s <> "")
+
+let keyword_and_rest s =
+  match String.index_opt s ' ' with
+  | None -> (String.lowercase_ascii s, "")
+  | Some i ->
+    ( String.lowercase_ascii (String.sub s 0 i),
+      String.trim (String.sub s i (String.length s - i)) )
+
+(* Split "PATH . component" — the last dot-component of the path text. *)
+let split_last_component text =
+  match String.rindex_opt text '.' with
+  | None -> raise (Parse_error ("expected PATH.component in: " ^ text))
+  | Some i ->
+    ( String.trim (String.sub text 0 i),
+      String.trim (String.sub text (i + 1) (String.length text - i - 1)) )
+
+let component_of_text text =
+  if text = "%" then Ast.Cany
+  else if text = "#" then raise (Parse_error "'#' cannot be deleted/renamed (not one edge)")
+  else
+    match Label.of_string text with
+    | l -> Ast.Clabel l
+    | exception Failure msg -> raise (Parse_error msg)
+
+let parse_statement s =
+  let kw, rest = keyword_and_rest s in
+  match kw with
+  | "insert" -> (
+    match String.index_opt rest ':' with
+    | Some i when i + 1 < String.length rest && rest.[i + 1] = '=' ->
+      let path_text = String.trim (String.sub rest 0 i) in
+      let value_text = String.trim (String.sub rest (i + 2) (String.length rest - i - 2)) in
+      let path =
+        try Parser.parse_path path_text
+        with Parser.Parse_error m -> raise (Parse_error m)
+      in
+      let value =
+        try Ssd.Syntax.parse_graph value_text
+        with Ssd.Syntax.Parse_error m -> raise (Parse_error m)
+      in
+      Insert (path, value)
+    | _ -> raise (Parse_error "insert expects PATH := { ... }"))
+  | "delete" ->
+    let path_text, comp_text = split_last_component rest in
+    let path =
+      try Parser.parse_path path_text with Parser.Parse_error m -> raise (Parse_error m)
+    in
+    Delete (path, component_of_text comp_text)
+  | "rename" -> (
+    (* rename PATH.old to new *)
+    let lower = String.lowercase_ascii rest in
+    match
+      (* find the last " to " outside strings; updates are short, a plain
+         search from the right is fine *)
+      let rec find i =
+        if i < 0 then None
+        else if i + 4 <= String.length lower && String.sub lower i 4 = " to " then Some i
+        else find (i - 1)
+      in
+      find (String.length lower - 4)
+    with
+    | None -> raise (Parse_error "rename expects PATH.old to new")
+    | Some i ->
+      let left = String.trim (String.sub rest 0 i) in
+      let right = String.trim (String.sub rest (i + 4) (String.length rest - i - 4)) in
+      let path_text, old_text = split_last_component left in
+      let path =
+        try Parser.parse_path path_text with Parser.Parse_error m -> raise (Parse_error m)
+      in
+      let old_label =
+        try Label.of_string old_text with Failure m -> raise (Parse_error m)
+      in
+      let new_label = try Label.of_string right with Failure m -> raise (Parse_error m) in
+      Rename (path, old_label, new_label))
+  | kw -> raise (Parse_error ("unknown update statement " ^ kw))
+
+let parse src = List.map parse_statement (split_statements src)
+
+(* ------------------------------------------------------------------ *)
+(* Application                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Int_set = Set.Make (Int)
+
+let targets ~db path = Int_set.of_list (Eval.eval_path ~db ~env:[] path)
+
+let apply_one ~db = function
+  | Insert (path, value) ->
+    let hit = targets ~db path in
+    let b = Graph.Builder.create () in
+    let root = Graph.import_into b db in
+    let offset = root - Graph.root db in
+    (* one shared copy of the grafted value; its edges hang off every
+       target (object identity: the grafted subobjects are shared) *)
+    if not (Int_set.is_empty hit) then begin
+      let vroot = Graph.import_into b value in
+      let voffset = vroot - Graph.root value in
+      Int_set.iter
+        (fun u ->
+          List.iter
+            (fun (l, v) ->
+              match l with
+              | Graph.Eps -> Graph.Builder.add_eps b (u + offset) (v + voffset)
+              | Graph.Lab l -> Graph.Builder.add_edge b (u + offset) l (v + voffset))
+            (Graph.succ value (Graph.root value)))
+        hit
+    end;
+    Graph.Builder.set_root b root;
+    Graph.gc (Graph.Builder.finish b)
+  | Delete (path, comp) ->
+    let hit = targets ~db path in
+    let matches l =
+      match comp with
+      | Ast.Cany -> true
+      | Ast.Clabel l' -> Label.equal l l'
+      | Ast.Cpath -> false
+    in
+    let b = Graph.Builder.create () in
+    for _ = 1 to Graph.n_nodes db do
+      ignore (Graph.Builder.add_node b)
+    done;
+    Graph.fold_edges
+      (fun () u l v ->
+        match l with
+        | Graph.Eps -> Graph.Builder.add_eps b u v
+        | Graph.Lab l ->
+          if not (Int_set.mem u hit && matches l) then Graph.Builder.add_edge b u l v)
+      () db;
+    Graph.Builder.set_root b (Graph.root db);
+    Graph.gc (Graph.Builder.finish b)
+  | Rename (path, old_label, new_label) ->
+    let hit = targets ~db path in
+    let b = Graph.Builder.create () in
+    for _ = 1 to Graph.n_nodes db do
+      ignore (Graph.Builder.add_node b)
+    done;
+    Graph.fold_edges
+      (fun () u l v ->
+        match l with
+        | Graph.Eps -> Graph.Builder.add_eps b u v
+        | Graph.Lab l ->
+          let l = if Int_set.mem u hit && Label.equal l old_label then new_label else l in
+          Graph.Builder.add_edge b u l v)
+      () db;
+    Graph.Builder.set_root b (Graph.root db);
+    Graph.gc (Graph.Builder.finish b)
+
+let apply ~db t = List.fold_left (fun db stmt -> apply_one ~db stmt) db t
+
+let run ~db src = apply ~db (parse src)

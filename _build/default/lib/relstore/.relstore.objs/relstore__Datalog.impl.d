@@ -1,0 +1,1 @@
+lib/relstore/datalog.ml: Buffer Format Hashtbl List Map Option Printf Ssd String

@@ -1,0 +1,1 @@
+lib/relstore/datalog.mli: Format Ssd

@@ -1,0 +1,1 @@
+lib/relstore/ra.ml: Array Hashtbl List Printf Relation Ssd

@@ -1,0 +1,1 @@
+lib/relstore/ra.mli: Relation Ssd

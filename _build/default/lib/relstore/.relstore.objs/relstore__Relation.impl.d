@@ -1,0 +1,1 @@
+lib/relstore/relation.ml: Array Format List Set Ssd Stdlib String

@@ -1,0 +1,1 @@
+lib/relstore/relation.mli: Format Ssd

@@ -1,0 +1,1 @@
+lib/relstore/triple.ml: Array Hashtbl Relation Ssd

@@ -1,0 +1,1 @@
+lib/relstore/triple.mli: Relation Ssd

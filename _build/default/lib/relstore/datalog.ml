@@ -1,0 +1,622 @@
+module Label = Ssd.Label
+
+type term =
+  | Var of string
+  | Const of Label.t
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type cmp =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of cmp * term * term
+
+type rule = {
+  head : atom;
+  body : literal list;
+}
+
+type program = rule list
+
+exception Parse_error of string
+exception Unsafe of string
+exception Not_stratified of string
+
+type edb = (string * Label.t list list) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_term fmt = function
+  | Var v -> Format.fprintf fmt "?%s" v
+  | Const l -> Label.pp fmt l
+
+let pp_atom fmt a =
+  Format.fprintf fmt "%s(%s)" a.pred
+    (String.concat ", " (List.map (Format.asprintf "%a" pp_term) a.args))
+
+let cmp_name = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_literal fmt = function
+  | Pos a -> pp_atom fmt a
+  | Neg a -> Format.fprintf fmt "not %a" pp_atom a
+  | Cmp (op, t1, t2) -> Format.fprintf fmt "%a %s %a" pp_term t1 (cmp_name op) pp_term t2
+
+let pp_rule fmt r =
+  match r.body with
+  | [] -> Format.fprintf fmt "%a." pp_atom r.head
+  | body ->
+    Format.fprintf fmt "%a :- %s." pp_atom r.head
+      (String.concat ", " (List.map (Format.asprintf "%a" pp_literal) body))
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun r -> Format.fprintf fmt "%a@," pp_rule r) p;
+  Format.fprintf fmt "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tident of string
+  | Tvar of string
+  | Tlabel of Label.t
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tperiod
+  | Tturnstile
+  | Tnot
+  | Tcmp of cmp
+  | Teof
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let anon = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" !pos msg)) in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let lex_ident () =
+    let start = !pos in
+    while !pos < n && Label.is_ident_char src.[!pos] do
+      incr pos
+    done;
+    String.sub src start (!pos - start)
+  in
+  while !pos < n do
+    match src.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '%' | '#' ->
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    | '(' ->
+      incr pos;
+      push Tlparen
+    | ')' ->
+      incr pos;
+      push Trparen
+    | ',' ->
+      incr pos;
+      push Tcomma
+    | '.' ->
+      incr pos;
+      push Tperiod
+    | '?' ->
+      incr pos;
+      let v = lex_ident () in
+      if v = "" then fail "expected a variable name after '?'";
+      push (Tvar v)
+    | '_' when !pos + 1 >= n || not (Label.is_ident_char src.[!pos + 1]) ->
+      incr pos;
+      incr anon;
+      push (Tvar (Printf.sprintf "_anon%d" !anon))
+    | ':' ->
+      if !pos + 1 < n && src.[!pos + 1] = '-' then begin
+        pos := !pos + 2;
+        push Tturnstile
+      end
+      else fail "expected ':-'"
+    | '=' ->
+      incr pos;
+      push (Tcmp Eq)
+    | '!' ->
+      if !pos + 1 < n && src.[!pos + 1] = '=' then begin
+        pos := !pos + 2;
+        push (Tcmp Neq)
+      end
+      else fail "expected '!='"
+    | '<' ->
+      if !pos + 1 < n && src.[!pos + 1] = '=' then begin
+        pos := !pos + 2;
+        push (Tcmp Le)
+      end
+      else begin
+        incr pos;
+        push (Tcmp Lt)
+      end
+    | '>' ->
+      if !pos + 1 < n && src.[!pos + 1] = '=' then begin
+        pos := !pos + 2;
+        push (Tcmp Ge)
+      end
+      else begin
+        incr pos;
+        push (Tcmp Gt)
+      end
+    | '"' ->
+      let buf = Buffer.create 8 in
+      incr pos;
+      let rec loop () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match src.[!pos] with
+          | '"' -> incr pos
+          | '\\' when !pos + 1 < n ->
+            (match src.[!pos + 1] with
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | c -> Buffer.add_char buf c);
+            pos := !pos + 2;
+            loop ()
+          | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            loop ()
+      in
+      loop ();
+      push (Tlabel (Label.Str (Buffer.contents buf)))
+    | '-' | '0' .. '9' ->
+      let start = !pos in
+      let numchar c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = 'e' || c = 'E' || c = '.'
+      in
+      (* Lookahead: '.' ends a clause unless followed by a digit. *)
+      while
+        !pos < n
+        && numchar src.[!pos]
+        && not (src.[!pos] = '.' && not (!pos + 1 < n && src.[!pos + 1] >= '0' && src.[!pos + 1] <= '9'))
+      do
+        incr pos
+      done;
+      let s = String.sub src start (!pos - start) in
+      (match int_of_string_opt s with
+       | Some i -> push (Tlabel (Label.Int i))
+       | None ->
+         (match float_of_string_opt s with
+          | Some f -> push (Tlabel (Label.Float f))
+          | None -> fail ("bad number " ^ s)))
+    | c when Label.is_ident_start c ->
+      let id = lex_ident () in
+      (match id with
+       | "not" -> push Tnot
+       | "true" -> push (Tlabel (Label.Bool true))
+       | "false" -> push (Tlabel (Label.Bool false))
+       | _ -> push (Tident id))
+    | c -> fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev (Teof :: !toks)
+
+type pstate = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+let shift st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok msg = if peek st = tok then shift st else raise (Parse_error msg)
+
+let parse_term st =
+  match peek st with
+  | Tvar v ->
+    shift st;
+    Var v
+  | Tlabel l ->
+    shift st;
+    Const l
+  | Tident id ->
+    shift st;
+    Const (Label.Sym id)
+  | _ -> raise (Parse_error "expected a term")
+
+let parse_atom st =
+  match peek st with
+  | Tident p ->
+    shift st;
+    expect st Tlparen ("expected '(' after predicate " ^ p);
+    let args = ref [] in
+    if peek st <> Trparen then begin
+      args := [ parse_term st ];
+      while peek st = Tcomma do
+        shift st;
+        args := parse_term st :: !args
+      done
+    end;
+    expect st Trparen "expected ')'";
+    { pred = p; args = List.rev !args }
+  | _ -> raise (Parse_error "expected a predicate atom")
+
+let parse_literal st =
+  match peek st with
+  | Tnot ->
+    shift st;
+    Neg (parse_atom st)
+  | Tident _ -> (
+    (* Could be an atom p(...) or a symbol constant in a comparison. *)
+    match st.toks with
+    | Tident _ :: Tlparen :: _ -> Pos (parse_atom st)
+    | _ ->
+      let t1 = parse_term st in
+      (match peek st with
+       | Tcmp op ->
+         shift st;
+         let t2 = parse_term st in
+         Cmp (op, t1, t2)
+       | _ -> raise (Parse_error "expected a comparison operator")))
+  | _ ->
+    let t1 = parse_term st in
+    (match peek st with
+     | Tcmp op ->
+       shift st;
+       let t2 = parse_term st in
+       Cmp (op, t1, t2)
+     | _ -> raise (Parse_error "expected a comparison operator"))
+
+let parse_rule st =
+  let head = parse_atom st in
+  let body =
+    match peek st with
+    | Tturnstile ->
+      shift st;
+      let lits = ref [ parse_literal st ] in
+      while peek st = Tcomma do
+        shift st;
+        lits := parse_literal st :: !lits
+      done;
+      List.rev !lits
+    | _ -> []
+  in
+  expect st Tperiod "expected '.' at end of rule";
+  { head; body }
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let rules = ref [] in
+  while peek st <> Teof do
+    rules := parse_rule st :: !rules
+  done;
+  List.rev !rules
+
+(* ------------------------------------------------------------------ *)
+(* Safety and stratification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let term_vars = List.filter_map (function Var v -> Some v | Const _ -> None)
+
+let check_safety program =
+  List.iter
+    (fun r ->
+      let positive_vars =
+        List.concat_map
+          (function Pos a -> term_vars a.args | Neg _ | Cmp _ -> [])
+          r.body
+      in
+      let check_var where v =
+        if not (List.mem v positive_vars) then
+          raise
+            (Unsafe
+               (Format.asprintf "variable ?%s in %s of rule '%a' is not bound by a positive literal"
+                  v where pp_rule r))
+      in
+      List.iter (check_var "head") (term_vars r.head.args);
+      List.iter
+        (function
+          | Neg a -> List.iter (check_var "negated literal") (term_vars a.args)
+          | Cmp (_, t1, t2) -> List.iter (check_var "comparison") (term_vars [ t1; t2 ])
+          | Pos _ -> ())
+        r.body)
+    program
+
+(* stratum.(p): strata are computed by relaxation; a negative dependency
+   forces a strictly higher stratum, so divergence beyond the number of
+   predicates means negation through recursion. *)
+let stratify program =
+  let idb = List.map (fun r -> r.head.pred) program |> List.sort_uniq String.compare in
+  let strata = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace strata p 0) idb;
+  let stratum_of p = Option.value ~default:0 (Hashtbl.find_opt strata p) in
+  let n_idb = List.length idb in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        let lower =
+          List.fold_left
+            (fun acc lit ->
+              match lit with
+              | Pos a when List.mem a.pred idb -> max acc (stratum_of a.pred)
+              | Neg a when List.mem a.pred idb -> max acc (stratum_of a.pred + 1)
+              | Pos _ | Neg _ | Cmp _ -> acc)
+            0 r.body
+        in
+        if lower > stratum_of r.head.pred then begin
+          if lower > n_idb then
+            raise (Not_stratified ("predicate " ^ r.head.pred ^ " negates through recursion"));
+          Hashtbl.replace strata r.head.pred lower;
+          changed := true
+        end)
+      program
+  done;
+  strata
+
+let n_strata program =
+  check_safety program;
+  let strata = stratify program in
+  1 + Hashtbl.fold (fun _ s acc -> max acc s) strata 0
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Env = Map.Make (String)
+
+(* Tuple sets carry per-position hash indexes so that a body literal with
+   a bound argument probes instead of scanning — the difference between a
+   nested-loop and an indexed join. *)
+type tuple_set = {
+  table : (Label.t list, unit) Hashtbl.t;
+  index : (int * Label.t, Label.t list list ref) Hashtbl.t;
+}
+
+let set_create () = { table = Hashtbl.create 64; index = Hashtbl.create 64 }
+
+let set_mem s t = Hashtbl.mem s.table t
+
+let set_add s t =
+  if not (Hashtbl.mem s.table t) then begin
+    Hashtbl.replace s.table t ();
+    List.iteri
+      (fun i v ->
+        match Hashtbl.find_opt s.index (i, v) with
+        | Some r -> r := t :: !r
+        | None -> Hashtbl.add s.index (i, v) (ref [ t ]))
+      t
+  end
+
+let set_to_list s = Hashtbl.fold (fun t () acc -> t :: acc) s.table []
+
+let set_probe s ~pos ~value =
+  match Hashtbl.find_opt s.index (pos, value) with
+  | Some r -> !r
+  | None -> []
+
+let set_size s = Hashtbl.length s.table
+
+let eval_term env = function
+  | Const l -> l
+  | Var v -> (
+    match Env.find_opt v env with
+    | Some l -> l
+    | None -> raise (Unsafe ("unbound variable ?" ^ v)))
+
+(* Match an atom's args against a concrete tuple under [env]; None on
+   mismatch. *)
+let match_tuple env args tuple =
+  let rec go env args tuple =
+    match args, tuple with
+    | [], [] -> Some env
+    | arg :: args, v :: tuple -> (
+      match arg with
+      | Const l -> if Label.equal l v then go env args tuple else None
+      | Var x -> (
+        match Env.find_opt x env with
+        | Some l -> if Label.equal l v then go env args tuple else None
+        | None -> go (Env.add x v env) args tuple))
+    | _ -> None
+  in
+  go env args tuple
+
+let eval_cmp op l1 l2 =
+  let c = Label.compare l1 l2 in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+(* First argument position whose value is fixed under [env]; probing that
+   position's index replaces a relation scan. *)
+let bound_position env args =
+  let rec go i = function
+    | [] -> None
+    | Const l :: _ -> Some (i, l)
+    | Var x :: rest -> (
+      match Env.find_opt x env with
+      | Some l -> Some (i, l)
+      | None -> go (i + 1) rest)
+  in
+  go 0 args
+
+(* Evaluate the body left-to-right over environments.  [set_of] maps a
+   predicate to its current tuple set; the positive literal at index
+   [delta_at] (if given) reads [delta] instead. *)
+let eval_rule ~set_of ?delta_at ?delta rule =
+  let results = ref [] in
+  let rec go i env lits =
+    match lits with
+    | [] ->
+      let tuple = List.map (eval_term env) rule.head.args in
+      results := tuple :: !results
+    | Pos a :: rest ->
+      let set =
+        match delta_at, delta with
+        | Some d, Some dset when d = i -> dset
+        | _ -> set_of a.pred
+      in
+      let candidates =
+        match bound_position env a.args with
+        | Some (pos, value) -> set_probe set ~pos ~value
+        | None -> set_to_list set
+      in
+      List.iter
+        (fun t ->
+          match match_tuple env a.args t with
+          | Some env' -> go (i + 1) env' rest
+          | None -> ())
+        candidates
+    | Neg a :: rest ->
+      let tuple = List.map (eval_term env) a.args in
+      if not (set_mem (set_of a.pred) tuple) then go (i + 1) env rest
+    | Cmp (op, t1, t2) :: rest ->
+      if eval_cmp op (eval_term env t1) (eval_term env t2) then go (i + 1) env rest
+  in
+  go 0 Env.empty rule.body;
+  !results
+
+let facts_of_edb edb =
+  let facts : (string, tuple_set) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p, tuples) ->
+      let s =
+        match Hashtbl.find_opt facts p with
+        | Some s -> s
+        | None ->
+          let s = set_create () in
+          Hashtbl.add facts p s;
+          s
+      in
+      List.iter (set_add s) tuples)
+    edb;
+  facts
+
+let empty_set = set_create ()
+
+let facts_get facts p = Option.value ~default:empty_set (Hashtbl.find_opt facts p)
+
+let facts_set facts p =
+  match Hashtbl.find_opt facts p with
+  | Some s -> s
+  | None ->
+    let s = set_create () in
+    Hashtbl.add facts p s;
+    s
+
+let idb_result program facts =
+  let idb = List.map (fun r -> r.head.pred) program |> List.sort_uniq String.compare in
+  List.map (fun p -> (p, set_to_list (facts_get facts p))) idb
+
+let strata_order program =
+  let strata = stratify program in
+  let max_s = Hashtbl.fold (fun _ s acc -> max acc s) strata 0 in
+  List.init (max_s + 1) (fun s ->
+      List.filter (fun r -> Hashtbl.find strata r.head.pred = s) program)
+
+let eval_naive ~edb program =
+  check_safety program;
+  let facts = facts_of_edb edb in
+  let set_of = facts_get facts in
+  List.iter
+    (fun rules ->
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun r ->
+            let derived = eval_rule ~set_of r in
+            let s = facts_set facts r.head.pred in
+            List.iter
+              (fun t ->
+                if not (set_mem s t) then begin
+                  set_add s t;
+                  changed := true
+                end)
+              derived)
+          rules
+      done)
+    (strata_order program);
+  idb_result program facts
+
+let eval ~edb program =
+  check_safety program;
+  let facts = facts_of_edb edb in
+  let set_of = facts_get facts in
+  List.iter
+    (fun rules ->
+      let stratum_preds =
+        List.map (fun r -> r.head.pred) rules |> List.sort_uniq String.compare
+      in
+      (* Round 0: naive evaluation seeds the deltas. *)
+      let deltas = Hashtbl.create 8 in
+      List.iter (fun p -> Hashtbl.replace deltas p (set_create ())) stratum_preds;
+      List.iter
+        (fun r ->
+          let s = facts_set facts r.head.pred in
+          let d = Hashtbl.find deltas r.head.pred in
+          List.iter
+            (fun t ->
+              if not (set_mem s t) then begin
+                set_add s t;
+                set_add d t
+              end)
+            (eval_rule ~set_of r))
+        rules;
+      (* Semi-naive rounds: each rule fires once per positive body literal
+         of an in-stratum predicate, with that literal reading the delta. *)
+      let any_delta () =
+        Hashtbl.fold (fun _ d acc -> acc || set_size d > 0) deltas false
+      in
+      while any_delta () do
+        let new_deltas = Hashtbl.create 8 in
+        List.iter (fun p -> Hashtbl.replace new_deltas p (set_create ())) stratum_preds;
+        List.iter
+          (fun r ->
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Pos a when List.mem a.pred stratum_preds ->
+                  let delta = Hashtbl.find deltas a.pred in
+                  if set_size delta > 0 then begin
+                    let derived = eval_rule ~set_of ~delta_at:i ~delta r in
+                    let s = facts_set facts r.head.pred in
+                    let nd = Hashtbl.find new_deltas r.head.pred in
+                    List.iter
+                      (fun t ->
+                        if not (set_mem s t) then begin
+                          set_add s t;
+                          set_add nd t
+                        end)
+                      derived
+                  end
+                | Pos _ | Neg _ | Cmp _ -> ())
+              r.body)
+          rules;
+        List.iter (fun p -> Hashtbl.replace deltas p (Hashtbl.find new_deltas p)) stratum_preds
+      done)
+    (strata_order program);
+  idb_result program facts
+
+let query ~edb program pred =
+  match List.assoc_opt pred (eval ~edb program) with
+  | Some tuples -> tuples
+  | None -> []

@@ -1,0 +1,85 @@
+(** Stratified datalog with semi-naive evaluation — the "graph datalog" of
+    section 3.
+
+    Some forms of unbounded search (arbitrary-depth paths, transitive
+    closure, reachability "from a given root by forward traversal") are
+    not expressible in plain relational algebra; the paper points to
+    recursive rule languages over the triple encoding.  This engine
+    evaluates such programs over an extensional database of
+    {!Ssd.Label.t} tuples, typically {!Triple.edb}.
+
+    Concrete syntax:
+    {v
+      reach(?X)      :- root(?X).
+      reach(?Y)      :- reach(?X), edge(?X, ?L, ?Y).
+      movie(?M)      :- edge(?E, Movie, ?M).
+      bigint(?N)     :- reach(?X), edge(?X, ?N, ?Y), ?N > 65536.
+      nonmovie(?X)   :- reach(?X), not movie(?X).
+    v}
+
+    Variables are [?name] ([_] is a fresh anonymous variable), constants
+    are label literals (bare identifiers are symbols), [not] is stratified
+    negation, and infix comparisons [= != < <= > >=] are built-in
+    predicates over bound terms. *)
+
+type term =
+  | Var of string
+  | Const of Ssd.Label.t
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type cmp =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of cmp * term * term
+
+type rule = {
+  head : atom;
+  body : literal list;
+}
+
+type program = rule list
+
+exception Parse_error of string
+
+exception Unsafe of string
+(** A head / negated / compared variable does not occur in a positive body
+    literal. *)
+
+exception Not_stratified of string
+(** Negation through recursion. *)
+
+val parse : string -> program
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit
+
+(** An extensional database: predicate name to tuples. *)
+type edb = (string * Ssd.Label.t list list) list
+
+(** [eval ~edb program] computes the least fixpoint (per stratum,
+    semi-naive within strata) and returns all derived predicates with
+    their tuples.
+    @raise Unsafe / @raise Not_stratified on bad programs. *)
+val eval : edb:edb -> program -> (string * Ssd.Label.t list list) list
+
+(** [query ~edb program pred] is the tuple set of one predicate (empty if
+    never derived). *)
+val query : edb:edb -> program -> string -> Ssd.Label.t list list
+
+(** Naive (full re-derivation) fixpoint — the reference implementation the
+    tests compare {!eval} against. *)
+val eval_naive : edb:edb -> program -> (string * Ssd.Label.t list list) list
+
+(** Number of strata the program splits into. *)
+val n_strata : program -> int

@@ -1,0 +1,82 @@
+module Label = Ssd.Label
+
+type pred = Relation.row -> bool
+
+let select p r =
+  Relation.fold
+    (fun acc row -> if p row then Relation.add acc row else acc)
+    (Relation.create (Array.to_list (Relation.attrs r)))
+    r
+
+let select_eq r attr v =
+  let col = Relation.column r attr in
+  select (fun row -> Label.equal row.(col) v) r
+
+let project attr_list r =
+  let cols = List.map (Relation.column r) attr_list in
+  Relation.fold
+    (fun acc row -> Relation.add acc (Array.of_list (List.map (fun c -> row.(c)) cols)))
+    (Relation.create attr_list)
+    r
+
+let rename (old_name, new_name) r =
+  let attrs =
+    Array.to_list (Relation.attrs r)
+    |> List.map (fun a -> if a = old_name then new_name else a)
+  in
+  Relation.fold Relation.add (Relation.create attrs) r
+
+let join r1 r2 =
+  let attrs1 = Relation.attrs r1 and attrs2 = Relation.attrs r2 in
+  let shared =
+    Array.to_list attrs1 |> List.filter (fun a -> Array.exists (( = ) a) attrs2)
+  in
+  let cols1 = List.map (Relation.column r1) shared in
+  let cols2 = List.map (Relation.column r2) shared in
+  let extra2 =
+    Array.to_list attrs2
+    |> List.mapi (fun i a -> (i, a))
+    |> List.filter (fun (_, a) -> not (List.mem a shared))
+  in
+  let out_attrs = Array.to_list attrs1 @ List.map snd extra2 in
+  (* Hash r2 on its shared columns, probe with r1. *)
+  let table = Hashtbl.create (max 16 (Relation.cardinality r2)) in
+  Relation.iter
+    (fun row ->
+      let key = List.map (fun c -> row.(c)) cols2 in
+      Hashtbl.add table key row)
+    r2;
+  Relation.fold
+    (fun acc row1 ->
+      let key = List.map (fun c -> row1.(c)) cols1 in
+      List.fold_left
+        (fun acc row2 ->
+          let combined =
+            Array.append row1 (Array.of_list (List.map (fun (i, _) -> row2.(i)) extra2))
+          in
+          Relation.add acc combined)
+        acc (Hashtbl.find_all table key))
+    (Relation.create out_attrs)
+    r1
+
+let check_compatible op r1 r2 =
+  if Relation.attrs r1 <> Relation.attrs r2 then
+    invalid_arg (Printf.sprintf "Ra.%s: attribute lists differ" op)
+
+let union r1 r2 =
+  check_compatible "union" r1 r2;
+  Relation.fold Relation.add r1 r2
+
+let diff r1 r2 =
+  check_compatible "diff" r1 r2;
+  Relation.fold
+    (fun acc row -> if Relation.mem r2 row then acc else Relation.add acc row)
+    (Relation.create (Array.to_list (Relation.attrs r1)))
+    r1
+
+let inter r1 r2 =
+  check_compatible "inter" r1 r2;
+  Relation.fold
+    (fun acc row -> if Relation.mem r2 row then Relation.add acc row else acc)
+    (Relation.create (Array.to_list (Relation.attrs r1)))
+    r1

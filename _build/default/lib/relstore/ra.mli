@@ -1,0 +1,34 @@
+(** Relational algebra over {!Relation}.
+
+    Section 3 of the paper observes that UnQL "when restricted to input and
+    output data that conform to a relational schema ... expresses exactly
+    the relational algebra"; this module is that target algebra, used
+    directly by experiment E10 and as the bottom layer of the datalog
+    engine. *)
+
+type pred = Relation.row -> bool
+
+(** [select p r] keeps the rows satisfying [p]. *)
+val select : pred -> Relation.t -> Relation.t
+
+(** [select_eq r attr v] is the common special case σ_{attr = v}. *)
+val select_eq : Relation.t -> string -> Ssd.Label.t -> Relation.t
+
+(** [project attrs r] projects onto [attrs] (order taken from the
+    argument; duplicates in the result collapse, per set semantics).
+    @raise Not_found if an attribute is absent. *)
+val project : string list -> Relation.t -> Relation.t
+
+(** [rename (old_name, new_name) r]. *)
+val rename : string * string -> Relation.t -> Relation.t
+
+(** Natural join on the shared attributes (hash join on the common
+    columns; degenerates to a cartesian product when none are shared). *)
+val join : Relation.t -> Relation.t -> Relation.t
+
+(** Set operations; attribute lists must match exactly.
+    @raise Invalid_argument otherwise. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+val diff : Relation.t -> Relation.t -> Relation.t
+val inter : Relation.t -> Relation.t -> Relation.t

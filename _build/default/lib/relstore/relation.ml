@@ -1,0 +1,73 @@
+module Label = Ssd.Label
+
+type row = Label.t array
+
+let compare_row (a : row) (b : row) =
+  let na = Array.length a and nb = Array.length b in
+  let c = Stdlib.compare na nb in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= na then 0
+      else
+        let c = Label.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+module Row_set = Set.Make (struct
+  type t = row
+
+  let compare = compare_row
+end)
+
+type t = {
+  attrs : string array;
+  set : Row_set.t;
+}
+
+let create attr_list =
+  let attrs = Array.of_list attr_list in
+  let sorted = List.sort_uniq String.compare attr_list in
+  if List.length sorted <> Array.length attrs then
+    invalid_arg "Relation.create: duplicate attribute names";
+  { attrs; set = Row_set.empty }
+
+let attrs r = Array.copy r.attrs
+let arity r = Array.length r.attrs
+let cardinality r = Row_set.cardinal r.set
+
+let column r a =
+  let rec go i =
+    if i >= Array.length r.attrs then raise Not_found
+    else if r.attrs.(i) = a then i
+    else go (i + 1)
+  in
+  go 0
+
+let add r row =
+  if Array.length row <> Array.length r.attrs then
+    invalid_arg "Relation.add: arity mismatch";
+  { r with set = Row_set.add row r.set }
+
+let of_rows attr_list rows = List.fold_left add (create attr_list) rows
+
+let rows r = Row_set.elements r.set
+let mem r row = Row_set.mem row r.set
+let is_empty r = Row_set.is_empty r.set
+let fold f init r = Row_set.fold (fun row acc -> f acc row) r.set init
+let iter f r = Row_set.iter f r.set
+
+let equal a b = a.attrs = b.attrs && Row_set.equal a.set b.set
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "%s@," (String.concat " | " (Array.to_list r.attrs));
+  iter
+    (fun row ->
+      Format.fprintf fmt "%s@,"
+        (String.concat " | " (List.map Label.to_string (Array.to_list row))))
+    r;
+  Format.fprintf fmt "@]"
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,45 @@
+(** Relations with set semantics.
+
+    The relational substrate for section 3's first evaluation strategy:
+    "model the graph as a relational database and then exploit a
+    relational query language."  Field values are {!Ssd.Label.t}, so the
+    heterogeneous label types of the model embed directly (the paper's
+    complication #1 — labels drawn from a heterogeneous collection of
+    types — is handled by the tagged union rather than by splitting into
+    several relations). *)
+
+type row = Ssd.Label.t array
+
+type t
+
+(** [create attrs] is the empty relation over the given attribute names.
+    @raise Invalid_argument on duplicate attribute names. *)
+val create : string list -> t
+
+val attrs : t -> string array
+val arity : t -> int
+val cardinality : t -> int
+
+(** Column position of an attribute.
+    @raise Not_found if absent. *)
+val column : t -> string -> int
+
+(** [add r row] inserts (set semantics: duplicates are absorbed).
+    @raise Invalid_argument on arity mismatch. *)
+val add : t -> row -> t
+
+val of_rows : string list -> row list -> t
+
+(** Rows in an unspecified but stable order. *)
+val rows : t -> row list
+
+val mem : t -> row -> bool
+val is_empty : t -> bool
+val fold : ('a -> row -> 'a) -> 'a -> t -> 'a
+val iter : (row -> unit) -> t -> unit
+
+(** Set equality (attribute lists must match exactly). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/schema/dataguide.ml: Array Hashtbl List Map Option Ssd

@@ -1,0 +1,1 @@
+lib/schema/dataguide.mli: Ssd

@@ -1,0 +1,1 @@
+lib/schema/gschema.ml: Array Format Hashtbl List Printf Ssd Ssd_automata String

@@ -1,0 +1,1 @@
+lib/schema/gschema.mli: Format Ssd Ssd_automata

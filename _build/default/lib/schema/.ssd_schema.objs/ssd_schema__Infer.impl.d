@@ -1,0 +1,1 @@
+lib/schema/infer.ml: Gschema Hashtbl List Option Ro Ssd Ssd_automata String

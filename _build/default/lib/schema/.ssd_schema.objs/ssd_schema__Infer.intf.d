@@ -1,0 +1,1 @@
+lib/schema/infer.mli: Gschema Ssd

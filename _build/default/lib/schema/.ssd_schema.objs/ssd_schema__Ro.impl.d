@@ -1,0 +1,1 @@
+lib/schema/ro.ml: Array Hashtbl List Ssd Stdlib

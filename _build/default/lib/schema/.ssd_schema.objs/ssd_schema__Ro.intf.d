@@ -1,0 +1,1 @@
+lib/schema/ro.mli: Ssd

@@ -1,0 +1,87 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+module Label_map = Map.Make (struct
+  type t = Label.t
+
+  let compare = Label.compare
+end)
+
+type t = {
+  graph : Graph.t;
+  targets : int list array;
+}
+
+let build g =
+  (* Subset construction over ε-closed labeled successors. *)
+  let ids : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let b = Graph.Builder.create () in
+  let target_acc = ref [] in
+  let intern set =
+    match Hashtbl.find_opt ids set with
+    | Some id -> (id, false)
+    | None ->
+      let id = Graph.Builder.add_node b in
+      Hashtbl.add ids set id;
+      target_acc := (id, set) :: !target_acc;
+      (id, true)
+  in
+  let rec explore set id =
+    (* Group successors of the whole set by label. *)
+    let by_label =
+      List.fold_left
+        (fun m u ->
+          List.fold_left
+            (fun m (l, v) ->
+              let old = Option.value ~default:[] (Label_map.find_opt l m) in
+              Label_map.add l (v :: old) m)
+            m (Graph.labeled_succ g u))
+        Label_map.empty set
+    in
+    Label_map.iter
+      (fun l vs ->
+        let vs = List.sort_uniq compare vs in
+        let vid, fresh = intern vs in
+        Graph.Builder.add_edge b id l vid;
+        if fresh then explore vs vid)
+      by_label
+  in
+  let root_set = [ Graph.root g ] in
+  let root_id, _ = intern root_set in
+  Graph.Builder.set_root b root_id;
+  explore root_set root_id;
+  let guide = Graph.Builder.finish b in
+  let targets = Array.make (Graph.n_nodes guide) [] in
+  List.iter (fun (id, set) -> targets.(id) <- set) !target_acc;
+  { graph = guide; targets }
+
+let graph dg = dg.graph
+let targets dg u = dg.targets.(u)
+let n_nodes dg = Graph.n_nodes dg.graph
+
+let follow dg path =
+  let rec go u = function
+    | [] -> Some u
+    | l :: rest -> (
+      match
+        List.find_opt (fun (l', _) -> Label.equal l l') (Graph.labeled_succ dg.graph u)
+      with
+      | Some (_, v) -> go v rest
+      | None -> None)
+  in
+  go (Graph.root dg.graph) path
+
+let find dg path =
+  match follow dg path with
+  | Some u -> targets dg u
+  | None -> []
+
+let paths dg ~max_len =
+  let out = ref [] in
+  let rec go u prefix len =
+    out := List.rev prefix :: !out;
+    if len < max_len then
+      List.iter (fun (l, v) -> go v (l :: prefix) (len + 1)) (Graph.labeled_succ dg.graph u)
+  in
+  go (Graph.root dg.graph) [] 0;
+  List.rev !out

@@ -1,0 +1,283 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+type t = {
+  root : int;
+  out : (Ssd_automata.Lpred.t * int) list array;
+}
+
+exception Parse_error of string
+
+module Builder = struct
+  type t = {
+    mutable n : int;
+    mutable edges : (int * Ssd_automata.Lpred.t * int) list;
+    mutable root : int;
+  }
+
+  let create () = { n = 0; edges = []; root = 0 }
+
+  let add_node b =
+    let id = b.n in
+    b.n <- b.n + 1;
+    id
+
+  let add_edge b u p v =
+    assert (u >= 0 && u < b.n && v >= 0 && v < b.n);
+    b.edges <- (u, p, v) :: b.edges
+
+  let set_root b r =
+    assert (r >= 0 && r < b.n);
+    b.root <- r
+
+  let finish b =
+    if b.n = 0 then invalid_arg "Gschema.Builder.finish: empty builder";
+    let out = Array.make b.n [] in
+    List.iter (fun (u, p, v) -> out.(u) <- (p, v) :: out.(u)) b.edges;
+    { root = b.root; out }
+end
+
+let root s = s.root
+let n_nodes s = Array.length s.out
+let succ s u = s.out.(u)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A schema document is data syntax whose label positions hold predicate
+   expressions.  The node structure is parsed here; the predicate text —
+   everything up to the next top-level ':', ',' or '}' — is delegated to
+   the regex parser and must denote a single predicate (alternation [p|q]
+   is folded into Ssd_automata.Lpred.Or). *)
+
+let rec pred_of_regex = function
+  | Ssd_automata.Regex.Atom p -> p
+  | Ssd_automata.Regex.Alt (a, b) -> Ssd_automata.Lpred.Or (pred_of_regex a, pred_of_regex b)
+  | r ->
+    raise
+      (Parse_error
+         ("schema edges carry label predicates, not path expressions: " ^ Ssd_automata.Regex.to_string r))
+
+let parse_pred text =
+  match Ssd_automata.Regex.parse text with
+  | r -> pred_of_regex r
+  | exception Ssd_automata.Regex.Parse_error msg -> raise (Parse_error msg)
+
+type pstate = {
+  src : string;
+  mutable pos : int;
+  builder : Builder.t;
+  names : (string, int) Hashtbl.t;
+  bound : (string, unit) Hashtbl.t;
+}
+
+let fail st msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    st.pos <- st.pos + 1;
+    skip_ws st
+  | Some '#' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '#' ->
+    (* '##' starts a comment ('#' alone is a type-test predicate). *)
+    while peek st <> None && peek st <> Some '\n' do
+      st.pos <- st.pos + 1
+    done;
+    skip_ws st
+  | _ -> ()
+
+let lex_name st =
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c -> Label.is_ident_char c
+    | None -> false
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+(* Scan predicate text up to the next ':' ',' or '}' outside parentheses
+   and string quotes. *)
+let lex_pred_text st =
+  let start = st.pos in
+  let depth = ref 0 in
+  let in_string = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None -> continue := false
+    | Some '"' ->
+      (* Toggle string state; escaped quotes are handled by the lookback check below. *)
+      if !in_string && st.pos > 0 && st.src.[st.pos - 1] = '\\' then ()
+      else in_string := not !in_string;
+      st.pos <- st.pos + 1
+    | Some _ when !in_string -> st.pos <- st.pos + 1
+    | Some '(' ->
+      incr depth;
+      st.pos <- st.pos + 1
+    | Some ')' ->
+      decr depth;
+      st.pos <- st.pos + 1
+    | Some (':' | ',' | '}') when !depth = 0 -> continue := false
+    | Some _ -> st.pos <- st.pos + 1
+  done;
+  let text = String.trim (String.sub st.src start (st.pos - start)) in
+  if text = "" then fail st "expected a label predicate";
+  text
+
+let node_for_name st name =
+  match Hashtbl.find_opt st.names name with
+  | Some id -> id
+  | None ->
+    let id = Builder.add_node st.builder in
+    Hashtbl.add st.names name id;
+    id
+
+let rec parse_node st =
+  skip_ws st;
+  match peek st with
+  | Some '&' ->
+    st.pos <- st.pos + 1;
+    let name = lex_name st in
+    if Hashtbl.mem st.bound name then fail st ("node &" ^ name ^ " bound twice");
+    Hashtbl.add st.bound name ();
+    let id = node_for_name st name in
+    let body = parse_node st in
+    (* Schemas have no ε-edges; copy the body's edges onto the named node
+       lazily by remembering an alias instead: simplest is to make the
+       named node the body by parsing into it. *)
+    List.iter (fun (p, v) -> Builder.add_edge st.builder id p v) (alias_edges st body);
+    id
+  | Some '*' ->
+    st.pos <- st.pos + 1;
+    let name = lex_name st in
+    node_for_name st name
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    let id = Builder.add_node st.builder in
+    let rec entries () =
+      skip_ws st;
+      match peek st with
+      | Some '}' -> st.pos <- st.pos + 1
+      | Some _ ->
+        parse_entry st id;
+        skip_ws st;
+        (match peek st with
+         | Some ',' ->
+           st.pos <- st.pos + 1;
+           entries ()
+         | Some '}' -> st.pos <- st.pos + 1
+         | _ -> fail st "expected ',' or '}'")
+      | None -> fail st "unterminated '{'"
+    in
+    entries ();
+    id
+  | _ -> fail st "expected '{', '&' or '*'"
+
+and alias_edges st body =
+  (* Edges of a just-parsed body node; used to inline it under a '&name'
+     binder. *)
+  let b = st.builder in
+  List.filter_map (fun (u, p, v) -> if u = body then Some (p, v) else None)
+    (List.rev b.Builder.edges)
+
+and parse_entry st parent =
+  let text = lex_pred_text st in
+  let pred = parse_pred text in
+  skip_ws st;
+  match peek st with
+  | Some ':' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    (match peek st with
+     | Some ('{' | '&' | '*') ->
+       let v = parse_node st in
+       Builder.add_edge st.builder parent pred v
+     | _ ->
+       (* bare predicate value: sugar for {pred: {}} *)
+       let text = lex_pred_text st in
+       let inner = parse_pred text in
+       let v = Builder.add_node st.builder in
+       let leafn = Builder.add_node st.builder in
+       Builder.add_edge st.builder v inner leafn;
+       Builder.add_edge st.builder parent pred v)
+  | _ ->
+    let leafn = Builder.add_node st.builder in
+    Builder.add_edge st.builder parent pred leafn
+
+let parse src =
+  let st =
+    { src; pos = 0; builder = Builder.create (); names = Hashtbl.create 8; bound = Hashtbl.create 8 }
+  in
+  let r = parse_node st in
+  skip_ws st;
+  if peek st <> None then fail st "trailing input after schema";
+  Hashtbl.iter
+    (fun name _ ->
+      if not (Hashtbl.mem st.bound name) then
+        fail st (Printf.sprintf "reference *%s has no &%s binding" name name))
+    st.names;
+  Builder.set_root st.builder r;
+  Builder.finish st.builder
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp fmt s =
+  let indegree = Array.make (n_nodes s) 0 in
+  Array.iter (List.iter (fun (_, v) -> indegree.(v) <- indegree.(v) + 1)) s.out;
+  let printed = Hashtbl.create 8 in
+  let rec pp_node fmt u =
+    if Hashtbl.mem printed u then Format.fprintf fmt "*%d" u
+    else begin
+      if indegree.(u) > 1 then begin
+        Hashtbl.add printed u ();
+        Format.fprintf fmt "&%d " u
+      end;
+      match s.out.(u) with
+      | [] -> Format.pp_print_string fmt "{}"
+      | es ->
+        Format.fprintf fmt "@[<hv 1>{";
+        List.iteri
+          (fun i (p, v) ->
+            if i > 0 then Format.fprintf fmt ",@ ";
+            if s.out.(v) = [] && indegree.(v) <= 1 then Ssd_automata.Lpred.pp fmt p
+            else Format.fprintf fmt "%a: %a" Ssd_automata.Lpred.pp p pp_node v)
+          es;
+        Format.fprintf fmt "}@]"
+    end
+  in
+  pp_node fmt s.root
+
+let to_string s = Format.asprintf "%a" pp s
+
+(* ------------------------------------------------------------------ *)
+(* Conformance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let classify g s =
+  Ssd.Simulation.maximal
+    ~n1:(Graph.n_nodes g)
+    ~succ1:(Graph.labeled_succ g)
+    ~n2:(n_nodes s)
+    ~succ2:(succ s)
+    ~matches:(fun l p -> Ssd_automata.Lpred.matches p l)
+
+let conforms g s =
+  let sim = classify g s in
+  List.mem s.root sim.(Graph.root g)
+
+let violations g s =
+  let sim = classify g s in
+  let live = Graph.reachable g in
+  let out = ref [] in
+  for u = Graph.n_nodes g - 1 downto 0 do
+    if live.(u) && sim.(u) = [] then out := u :: !out
+  done;
+  !out

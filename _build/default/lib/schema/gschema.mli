@@ -1,0 +1,57 @@
+(** Graph schemas.
+
+    Section 5, after Buneman–Davidson–Fernandez–Suciu (ICDT'97): "a schema
+    is defined as a graph whose edges are labeled with predicates and the
+    property of simulation is used to describe the relationship between
+    data and schema."  Unlike a conventional schema this only places
+    {e loose} constraints: data conforms if every edge it has is allowed,
+    not if every allowed edge is present.
+
+    Concrete syntax — the data syntax with predicates for labels:
+    {v
+      &s {entry: {movie: {title: #string,
+                          cast: {_ : *s}},
+                  tvshow: {title: #string}}}
+    v}
+    ([&id]/[*id] create the cyclic schemas that describe recursive data,
+    e.g. ACeDB's trees of arbitrary depth.) *)
+
+type t
+
+exception Parse_error of string
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type schema := t
+  type t
+
+  val create : unit -> t
+  val add_node : t -> int
+  val add_edge : t -> int -> Ssd_automata.Lpred.t -> int -> unit
+  val set_root : t -> int -> unit
+  val finish : t -> schema
+end
+
+val parse : string -> t
+
+val root : t -> int
+val n_nodes : t -> int
+val succ : t -> int -> (Ssd_automata.Lpred.t * int) list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Conformance} *)
+
+(** [conforms g s]: is the data root simulated by the schema root?  This
+    is the paper's data/schema relationship. *)
+val conforms : Ssd.Graph.t -> t -> bool
+
+(** The full maximal simulation: for each data node, the schema nodes that
+    simulate it.  Used for classification ("which schema class is this
+    object?") and for query pruning. *)
+val classify : Ssd.Graph.t -> t -> int list array
+
+(** Nodes of the data graph that fail to be simulated by any schema node —
+    the diagnostic for non-conforming data. *)
+val violations : Ssd.Graph.t -> t -> int list

@@ -1,0 +1,49 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Lpred = Ssd_automata.Lpred
+
+(* Quotienting the raw data by k-bisimulation keeps every distinct title
+   string in its own class.  Schema inference therefore abstracts first:
+   base (non-symbol) labels are replaced by their type name, the
+   abstracted graph is quotiented, and the schema edges generalize the
+   original labels observed between each pair of classes. *)
+
+let abstract_label l =
+  if Label.is_sym l then l else Label.Sym ("#" ^ Label.type_name l)
+
+let infer ?(k = 4) ?(generalize_threshold = 2) g =
+  (* map_labels preserves node ids and topology, so the Ro classes of the
+     abstracted graph index the ε-eliminated original 1:1. *)
+  let ro = Ro.build ~k (Graph.map_labels abstract_label g) in
+  let data = Graph.eps_eliminate g in
+  assert (Graph.n_nodes data = Graph.n_nodes (Ro.data ro));
+  let q = Ro.graph ro in
+  let b = Gschema.Builder.create () in
+  for _ = 1 to Graph.n_nodes q do
+    ignore (Gschema.Builder.add_node b)
+  done;
+  (* Collect original labels per (class, class) pair. *)
+  let edge_labels : (int * int, Label.t list) Hashtbl.t = Hashtbl.create 256 in
+  Graph.fold_labeled_edges
+    (fun () u l v ->
+      let key = (Ro.class_of ro u, Ro.class_of ro v) in
+      Hashtbl.replace edge_labels key
+        (l :: Option.value ~default:[] (Hashtbl.find_opt edge_labels key)))
+    () data;
+  Hashtbl.iter
+    (fun (cu, cv) labels ->
+      let labels = List.sort_uniq Label.compare labels in
+      let symbols, bases = List.partition Label.is_sym labels in
+      List.iter (fun l -> Gschema.Builder.add_edge b cu (Lpred.Exact l) cv) symbols;
+      if bases <> [] then
+        if List.length bases > generalize_threshold then begin
+          let types = List.sort_uniq String.compare (List.map Label.type_name bases) in
+          List.iter (fun t -> Gschema.Builder.add_edge b cu (Lpred.Of_type t) cv) types
+        end
+        else List.iter (fun l -> Gschema.Builder.add_edge b cu (Lpred.Exact l) cv) bases)
+    edge_labels;
+  Gschema.Builder.set_root b (Graph.root q);
+  Gschema.Builder.finish b
+
+let schema_size ~k g =
+  Graph.n_nodes (Ro.graph (Ro.build ~k (Graph.map_labels abstract_label g)))

@@ -1,0 +1,22 @@
+(** Approximate schema extraction ("or to discover" structure, section 5).
+
+    From a data graph we build a {!Gschema.t} the data provably conforms
+    to:
+
+    + base (non-symbol) labels are abstracted to their type names, so two
+      title nodes differing only in their strings land in one class;
+    + the abstracted graph is quotiented by k-bounded bisimulation
+      ({!Ro});
+    + quotient edges become predicates: symbols stay exact; when more
+      than [generalize_threshold] distinct base labels connect the same
+      pair of classes they generalize to type tests ([#int], [#string],
+      ...) — "every title string we saw" becomes "titles are strings".
+
+    The soundness guarantee [Gschema.conforms data (infer data)] is
+    property-tested. *)
+
+val infer : ?k:int -> ?generalize_threshold:int -> Ssd.Graph.t -> Gschema.t
+
+(** Number of schema nodes {!infer} would produce at this [k] (used by the
+    experiments to sweep [k] cheaply). *)
+val schema_size : k:int -> Ssd.Graph.t -> int

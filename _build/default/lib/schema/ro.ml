@@ -1,0 +1,81 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+type t = {
+  data : Graph.t;
+  class_of : int array;
+  graph : Graph.t;
+}
+
+let signature g block u =
+  Graph.labeled_succ g u
+  |> List.map (fun (l, v) -> (l, block.(v)))
+  |> List.sort_uniq (fun (l1, b1) (l2, b2) ->
+         let c = Label.compare l1 l2 in
+         if c <> 0 then c else Stdlib.compare b1 b2)
+
+let build ~k g =
+  let g = Graph.eps_eliminate g in
+  let n = Graph.n_nodes g in
+  let block = Array.make n 0 in
+  (* k rounds of refinement = k-bounded bisimulation. *)
+  let continue = ref true in
+  let round = ref 0 in
+  while !continue && !round < k do
+    incr round;
+    let table = Hashtbl.create n in
+    let next = ref 0 in
+    let new_block = Array.make n 0 in
+    for u = 0 to n - 1 do
+      let key = (block.(u), signature g block u) in
+      match Hashtbl.find_opt table key with
+      | Some b -> new_block.(u) <- b
+      | None ->
+        Hashtbl.add table key !next;
+        new_block.(u) <- !next;
+        incr next
+    done;
+    let n_old = Array.fold_left (fun acc b -> max acc (b + 1)) 0 block in
+    if !next = n_old then continue := false;
+    Array.blit new_block 0 block 0 n
+  done;
+  let n_blocks = Array.fold_left (fun acc b -> max acc (b + 1)) 0 block in
+  let b = Graph.Builder.create () in
+  for _ = 1 to n_blocks do
+    ignore (Graph.Builder.add_node b)
+  done;
+  (* The quotient keeps the union of edges of each class, so every data
+     path survives (the RO soundness property). *)
+  let edge_set = Hashtbl.create 256 in
+  Graph.fold_labeled_edges
+    (fun () u l v ->
+      let key = (block.(u), l, block.(v)) in
+      if not (Hashtbl.mem edge_set key) then begin
+        Hashtbl.add edge_set key ();
+        Graph.Builder.add_edge b block.(u) l block.(v)
+      end)
+    () g;
+  Graph.Builder.set_root b block.(Graph.root g);
+  { data = g; class_of = block; graph = Graph.gc (Graph.Builder.finish b) }
+
+let graph ro = ro.graph
+let class_of ro u = ro.class_of.(u)
+let data ro = ro.data
+let n_classes ro = Graph.n_nodes ro.graph
+
+let has_path ro path =
+  let rec go us = function
+    | [] -> true
+    | l :: rest ->
+      let next =
+        List.concat_map
+          (fun u ->
+            List.filter_map
+              (fun (l', v) -> if Label.equal l l' then Some v else None)
+              (Graph.labeled_succ ro.graph u))
+          us
+        |> List.sort_uniq compare
+      in
+      next <> [] && go next rest
+  in
+  go [ Graph.root ro.graph ] path

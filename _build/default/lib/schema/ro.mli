@@ -1,0 +1,30 @@
+(** k-representative objects (Nestorov–Ullman–Wiener–Chawathe, ICDE'97;
+    section 5's "concise representations of semistructured hierarchical
+    data").
+
+    The k-RO summarizes a data graph by merging nodes that look alike up
+    to depth [k]: we realize it as the quotient by k-bounded bisimulation
+    (k rounds of partition refinement), which degenerates to the full
+    bisimulation minimization of {!Ssd.Bisim} as [k → ∞].  Small [k] gives
+    smaller, lossier summaries — the size/accuracy dial measured in
+    experiment E7. *)
+
+type t
+
+val build : k:int -> Ssd.Graph.t -> t
+
+(** The quotient graph (the representative object itself). *)
+val graph : t -> Ssd.Graph.t
+
+(** Class (= quotient node) of each data node.  Indices refer to the
+    ε-eliminated data graph returned by {!data}. *)
+val class_of : t -> int -> int
+
+(** The ε-eliminated copy of the data the classes index into. *)
+val data : t -> Ssd.Graph.t
+
+val n_classes : t -> int
+
+(** Every label path of length ≤ k in the data occurs in the k-RO
+    (soundness half of the RO property; property-tested). *)
+val has_path : t -> Ssd.Label.t list -> bool

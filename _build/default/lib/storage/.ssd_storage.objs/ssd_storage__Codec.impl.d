@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Buffer Bytes Char Hashtbl Int64 List Printf Ssd String

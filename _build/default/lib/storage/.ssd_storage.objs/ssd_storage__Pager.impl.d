@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Array Fun Hashtbl Int64 List Queue Ssd

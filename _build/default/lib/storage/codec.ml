@@ -1,0 +1,181 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+(* ------------------------------------------------------------------ *)
+(* Varints (LEB128, unsigned)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Codec.put_varint: negative";
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let low = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr low);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (low lor 0x80))
+  done
+
+type reader = {
+  data : bytes;
+  mutable pos : int;
+}
+
+let fail msg = failwith ("Codec.decode: " ^ msg)
+
+let byte r =
+  if r.pos >= Bytes.length r.data then fail "truncated input";
+  let c = Bytes.get_uint8 r.data r.pos in
+  r.pos <- r.pos + 1;
+  c
+
+let get_varint r =
+  let rec go shift acc =
+    if shift > 62 then fail "varint too long";
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+(* Signed ints: zigzag. *)
+let put_int buf n = put_varint buf (if n >= 0 then n lsl 1 else ((-n) lsl 1) lor 1)
+
+let get_int r =
+  let z = get_varint r in
+  if z land 1 = 0 then z lsr 1 else -(z lsr 1)
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string r =
+  let n = get_varint r in
+  if r.pos + n > Bytes.length r.data then fail "truncated string";
+  let s = Bytes.sub_string r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Graph format                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "SSD1"
+
+let encode g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  let n = Graph.n_nodes g in
+  put_varint buf n;
+  put_varint buf (Graph.root g);
+  (* String table: all distinct Str/Sym payloads. *)
+  let strings = Hashtbl.create 64 in
+  let order = ref [] in
+  let intern s =
+    match Hashtbl.find_opt strings s with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length strings in
+      Hashtbl.add strings s i;
+      order := s :: !order;
+      i
+  in
+  Graph.fold_edges
+    (fun () _ l _ ->
+      match l with
+      | Graph.Lab (Label.Str s) | Graph.Lab (Label.Sym s) -> ignore (intern s)
+      | Graph.Lab (Label.Int _ | Label.Float _ | Label.Bool _) | Graph.Eps -> ())
+    () g;
+  put_varint buf (Hashtbl.length strings);
+  List.iter (put_string buf) (List.rev !order);
+  let put_label l =
+    match l with
+    | Graph.Eps -> Buffer.add_char buf '\000'
+    | Graph.Lab (Label.Int i) ->
+      Buffer.add_char buf '\001';
+      put_int buf i
+    | Graph.Lab (Label.Float f) ->
+      Buffer.add_char buf '\002';
+      Buffer.add_int64_le buf (Int64.bits_of_float f)
+    | Graph.Lab (Label.Str s) ->
+      Buffer.add_char buf '\003';
+      put_varint buf (Hashtbl.find strings s)
+    | Graph.Lab (Label.Bool b) ->
+      Buffer.add_char buf '\004';
+      Buffer.add_char buf (if b then '\001' else '\000')
+    | Graph.Lab (Label.Sym s) ->
+      Buffer.add_char buf '\005';
+      put_varint buf (Hashtbl.find strings s)
+  in
+  for u = 0 to n - 1 do
+    let es = Graph.succ g u in
+    put_varint buf (List.length es);
+    List.iter
+      (fun (l, v) ->
+        put_label l;
+        put_varint buf v)
+      es
+  done;
+  Buffer.to_bytes buf
+
+let decode data =
+  if Bytes.length data < 4 || Bytes.sub_string data 0 4 <> magic then
+    fail "bad magic (not an SSD1 file)";
+  let r = { data; pos = 4 } in
+  let n = get_varint r in
+  let root = get_varint r in
+  if n = 0 then fail "empty graph";
+  if root >= n then fail "root out of range";
+  let n_strings = get_varint r in
+  let table = Array.init n_strings (fun _ -> get_string r) in
+  let string_at i = if i < n_strings then table.(i) else fail "string index out of range" in
+  let b = Graph.Builder.create () in
+  for _ = 1 to n do
+    ignore (Graph.Builder.add_node b)
+  done;
+  Graph.Builder.set_root b root;
+  for u = 0 to n - 1 do
+    let deg = get_varint r in
+    for _ = 1 to deg do
+      let label =
+        match byte r with
+        | 0 -> Graph.Eps
+        | 1 -> Graph.Lab (Label.Int (get_int r))
+        | 2 ->
+          if r.pos + 8 > Bytes.length r.data then fail "truncated float";
+          let bits = Bytes.get_int64_le r.data r.pos in
+          r.pos <- r.pos + 8;
+          Graph.Lab (Label.Float (Int64.float_of_bits bits))
+        | 3 -> Graph.Lab (Label.Str (string_at (get_varint r)))
+        | 4 -> Graph.Lab (Label.Bool (byte r <> 0))
+        | 5 -> Graph.Lab (Label.Sym (string_at (get_varint r)))
+        | t -> fail (Printf.sprintf "unknown label tag %d" t)
+      in
+      let v = get_varint r in
+      if v >= n then fail "edge target out of range";
+      match label with
+      | Graph.Eps -> Graph.Builder.add_eps b u v
+      | Graph.Lab l -> Graph.Builder.add_edge b u l v
+    done
+  done;
+  if r.pos <> Bytes.length data then fail "trailing bytes";
+  Graph.Builder.finish b
+
+let encoded_size g = Bytes.length (encode g)
+
+let write_file path g =
+  let oc = open_out_bin path in
+  let data = encode g in
+  output_bytes oc data;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = Bytes.create n in
+  really_input ic data 0 n;
+  close_in ic;
+  decode data

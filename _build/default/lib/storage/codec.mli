@@ -1,0 +1,30 @@
+(** Binary serialization of data graphs.
+
+    Section 4 distinguishes using the model as an interface to existing
+    data from "building a data structure to represent semistructured data
+    directly"; this module is the bottom of the second option: a compact,
+    self-contained binary format for graphs.
+
+    Layout (all integers LEB128 varints):
+
+    {v
+      magic "SSD1" | n_nodes | root
+      string table: n_strings, then length-prefixed bytes
+      per node: out-degree, then per edge a label and target
+      labels: tag byte (0=ε 1=int 2=float 3=str 4=bool 5=sym),
+              payload (varint / 8-byte IEEE / string-table index / byte)
+    v}
+
+    Node identities survive a round-trip exactly (not just up to
+    bisimilarity): the format stores the graph, not its value. *)
+
+val encode : Ssd.Graph.t -> bytes
+
+(** @raise Failure on malformed input. *)
+val decode : bytes -> Ssd.Graph.t
+
+val write_file : string -> Ssd.Graph.t -> unit
+val read_file : string -> Ssd.Graph.t
+
+(** Encoded size in bytes (without building the buffer twice). *)
+val encoded_size : Ssd.Graph.t -> int

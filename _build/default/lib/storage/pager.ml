@@ -1,0 +1,155 @@
+module Graph = Ssd.Graph
+
+type clustering =
+  | Insertion
+  | Bfs
+  | Dfs
+  | Scatter of int
+
+let clustering_name = function
+  | Insertion -> "insertion"
+  | Bfs -> "bfs"
+  | Dfs -> "dfs"
+  | Scatter _ -> "scatter"
+
+type t = {
+  page : int array; (* node -> page *)
+  n_pages : int;
+}
+
+let order_of clustering g =
+  let n = Graph.n_nodes g in
+  match clustering with
+  | Insertion -> Array.init n Fun.id
+  | Scatter seed ->
+    let order = Array.init n Fun.id in
+    (* Fisher–Yates with a splitmix-ish hash stream *)
+    let state = ref (Int64.of_int (seed lxor 0x9E37)) in
+    let next_int bound =
+      state := Int64.add !state 0x9E3779B97F4A7C15L;
+      let z = !state in
+      let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+      Int64.to_int (Int64.rem (Int64.shift_right_logical z 3) (Int64.of_int bound))
+    in
+    for i = n - 1 downto 1 do
+      let j = next_int (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    order
+  | Bfs ->
+    let seen = Array.make n false in
+    let out = Array.make n 0 in
+    let next = ref 0 in
+    let queue = Queue.create () in
+    let visit u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        Queue.push u queue
+      end
+    in
+    visit (Graph.root g);
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      out.(!next) <- u;
+      incr next;
+      List.iter (fun (_, v) -> visit v) (Graph.succ g u)
+    done;
+    (* unreachable nodes trail at the end *)
+    for u = 0 to n - 1 do
+      if not seen.(u) then begin
+        out.(!next) <- u;
+        incr next
+      end
+    done;
+    out
+  | Dfs ->
+    let seen = Array.make n false in
+    let out = Array.make n 0 in
+    let next = ref 0 in
+    let rec visit u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        out.(!next) <- u;
+        incr next;
+        List.iter (fun (_, v) -> visit v) (Graph.succ g u)
+      end
+    in
+    visit (Graph.root g);
+    for u = 0 to n - 1 do
+      if not seen.(u) then visit u
+    done;
+    out
+
+let layout clustering ~page_capacity g =
+  if page_capacity <= 0 then invalid_arg "Pager.layout: page_capacity must be positive";
+  let order = order_of clustering g in
+  let n = Array.length order in
+  let page = Array.make n 0 in
+  Array.iteri (fun rank u -> page.(u) <- rank / page_capacity) order;
+  { page; n_pages = (n + page_capacity - 1) / page_capacity }
+
+let n_pages t = t.n_pages
+let page_of t u = t.page.(u)
+
+type sim = {
+  accesses : int;
+  faults : int;
+}
+
+let replay t ~buffer_pages accesses =
+  if buffer_pages <= 0 then invalid_arg "Pager.replay: buffer_pages must be positive";
+  (* LRU: page -> last-use tick; eviction scans the (small) buffer. *)
+  let cache = Hashtbl.create (2 * buffer_pages) in
+  let tick = ref 0 in
+  let faults = ref 0 in
+  let n_accesses = ref 0 in
+  List.iter
+    (fun node ->
+      incr n_accesses;
+      incr tick;
+      let p = t.page.(node) in
+      if Hashtbl.mem cache p then Hashtbl.replace cache p !tick
+      else begin
+        incr faults;
+        if Hashtbl.length cache >= buffer_pages then begin
+          let victim = ref (-1) and oldest = ref max_int in
+          Hashtbl.iter
+            (fun page last ->
+              if last < !oldest then begin
+                oldest := last;
+                victim := page
+              end)
+            cache;
+          Hashtbl.remove cache !victim
+        end;
+        Hashtbl.add cache p !tick
+      end)
+    accesses;
+  { accesses = !n_accesses; faults = !faults }
+
+let random_walks ~seed ~n_walks ~depth g =
+  let state = ref (Int64.of_int (seed lxor 0x51ED)) in
+  let next_int bound =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    if bound <= 0 then 0 else Int64.to_int (Int64.rem (Int64.shift_right_logical z 3) (Int64.of_int bound))
+  in
+  let acc = ref [] in
+  for _ = 1 to n_walks do
+    let u = ref (Graph.root g) in
+    acc := !u :: !acc;
+    (try
+       for _ = 1 to depth do
+         match Graph.labeled_succ g !u with
+         | [] -> raise Exit
+         | es ->
+           let _, v = List.nth es (next_int (List.length es)) in
+           u := v;
+           acc := v :: !acc
+       done
+     with Exit -> ())
+  done;
+  List.rev !acc

@@ -1,0 +1,42 @@
+(** Disk layout, clustering and buffering — simulated.
+
+    Section 4, on representing semistructured data directly: "disk layout
+    and clustering, together with appropriate indexing, is also
+    important."  This module assigns graph nodes to fixed-capacity pages
+    under different clustering orders and replays traversal workloads
+    against an LRU buffer pool, counting page faults — the
+    machine-independent part of the claim (experiment E11).
+
+    The substitution note (DESIGN.md) applies: we do not spin disks; the
+    fault count is the cost model, exactly as in the clustering literature
+    the tutorial points at. *)
+
+type clustering =
+  | Insertion (** node-id order: whatever order the builder produced *)
+  | Bfs (** breadth-first from the root: siblings cluster *)
+  | Dfs (** depth-first from the root: root-to-leaf paths cluster *)
+  | Scatter of int (** pseudo-random placement (seed) — the worst case *)
+
+val clustering_name : clustering -> string
+
+type t
+
+(** [layout clustering ~page_capacity g]: nodes per page. *)
+val layout : clustering -> page_capacity:int -> Ssd.Graph.t -> t
+
+val n_pages : t -> int
+val page_of : t -> int -> int
+
+type sim = {
+  accesses : int;
+  faults : int;
+}
+
+(** [replay t ~buffer_pages accesses]: run the node-access sequence
+    through an LRU buffer of the given size. *)
+val replay : t -> buffer_pages:int -> int list -> sim
+
+(** Canned workload: [n_walks] random root-to-descendant walks of at most
+    [depth] steps; returns the node access sequence (deterministic in
+    [seed]). *)
+val random_walks : seed:int -> n_walks:int -> depth:int -> Ssd.Graph.t -> int list

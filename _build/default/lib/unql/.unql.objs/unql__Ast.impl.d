@@ -1,0 +1,1 @@
+lib/unql/ast.ml: List Printf Set Ssd Ssd_automata String

@@ -1,0 +1,1 @@
+lib/unql/eval.ml: Array Ast Hashtbl List Map Optimize Parser Printf Queue Ssd Ssd_automata Ssd_schema Stdlib Store String

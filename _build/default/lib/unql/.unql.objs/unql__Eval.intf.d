@@ -1,0 +1,1 @@
+lib/unql/eval.mli: Ast Ssd Ssd_schema

@@ -1,0 +1,1 @@
+lib/unql/optimize.ml: Array Ast List Ssd Ssd_automata Ssd_schema

@@ -1,0 +1,1 @@
+lib/unql/optimize.mli: Ast Ssd Ssd_schema

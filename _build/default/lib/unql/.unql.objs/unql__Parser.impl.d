@@ -1,0 +1,1 @@
+lib/unql/parser.ml: Ast Buffer List Option Printf Ssd Ssd_automata String

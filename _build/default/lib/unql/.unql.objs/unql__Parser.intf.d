@@ -1,0 +1,1 @@
+lib/unql/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/unql/pretty.ml: Ast Format List Ssd Ssd_automata

@@ -1,0 +1,1 @@
+lib/unql/restructure.ml: List Printf Ssd

@@ -1,0 +1,1 @@
+lib/unql/restructure.mli: Ssd

@@ -1,0 +1,1 @@
+lib/unql/store.ml: Array Hashtbl List Ssd

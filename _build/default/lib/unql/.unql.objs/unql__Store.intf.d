@@ -1,0 +1,1 @@
+lib/unql/store.mli: Ssd

@@ -1,0 +1,1 @@
+lib/unql/uncal.ml: Format List Ssd String

@@ -1,0 +1,1 @@
+lib/unql/uncal.mli: Format Ssd

@@ -1,0 +1,1 @@
+lib/unql/views.ml: Ast Eval List Parser Printf

@@ -1,0 +1,1 @@
+lib/unql/views.mli: Ast Ssd

@@ -1,0 +1,433 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Lpred = Ssd_automata.Lpred
+module Regex = Ssd_automata.Regex
+module Nfa = Ssd_automata.Nfa
+module Dataguide = Ssd_schema.Dataguide
+open Ast
+
+exception Runtime_error of string
+
+type options = {
+  reorder_clauses : bool;
+  cache_nfa : bool;
+  dataguide : Dataguide.t option;
+}
+
+let default_options = { reorder_clauses = true; cache_nfa = true; dataguide = None }
+
+(* ------------------------------------------------------------------ *)
+(* Environments                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Env = Map.Make (String)
+
+type entry =
+  | Enode of int
+  | Elabel of Label.t
+
+(* An sfun closure: the definition, the sfuns visible at its definition,
+   and the (function, input node) memo realizing the bulk semantics. *)
+type closure = {
+  def : sfun_def;
+  mutable fenv : closure Env.t;
+  memo : (int, int) Hashtbl.t;
+  queue : int Queue.t;
+}
+
+type env = {
+  vars : entry Env.t;
+  funs : closure Env.t;
+}
+
+type ctx = {
+  st : Store.t;
+  db : Graph.t;
+  db_node : int;
+  opts : options;
+  nfa_cache : (Regex.t, Nfa.t * int list array) Hashtbl.t;
+}
+
+let nfa_of ctx r =
+  if ctx.opts.cache_nfa then begin
+    match Hashtbl.find_opt ctx.nfa_cache r with
+    | Some entry -> entry
+    | None ->
+      let nfa = Nfa.of_regex r in
+      let entry = (nfa, Nfa.closures nfa) in
+      Hashtbl.add ctx.nfa_cache r entry;
+      entry
+  end
+  else
+    let nfa = Nfa.of_regex r in
+    (nfa, Nfa.closures nfa)
+
+let resolve_label env = function
+  | Llit l -> l
+  | Lname x -> (
+    match Env.find_opt x env.vars with
+    | Some (Elabel l) -> l
+    | Some (Enode _) ->
+      raise (Runtime_error ("tree variable " ^ x ^ " used in label position"))
+    | None -> Label.Sym x)
+
+let resolve_atom env = function
+  | Alit l -> l
+  | Aname x -> (
+    match Env.find_opt x env.vars with
+    | Some (Elabel l) -> l
+    | Some (Enode _) ->
+      raise (Runtime_error ("tree variable " ^ x ^ " used in a condition"))
+    | None -> Label.Sym x)
+
+(* Comparisons promote Int/Float pairs so that "integers greater than
+   2^16" style conditions behave numerically. *)
+let compare_labels a b =
+  match a, b with
+  | Label.Int x, Label.Float y -> Stdlib.compare (float_of_int x) y
+  | Label.Float x, Label.Int y -> Stdlib.compare x (float_of_int y)
+  | a, b -> Label.compare a b
+
+(* ------------------------------------------------------------------ *)
+(* Regular path traversal inside the store                             *)
+(* ------------------------------------------------------------------ *)
+
+let regex_reach ctx start r =
+  let nfa, closures = nfa_of ctx r in
+  let seen = Hashtbl.create 64 in
+  let answers = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let push u q =
+    if not (Hashtbl.mem seen (u, q)) then begin
+      Hashtbl.add seen (u, q) ();
+      Queue.push (u, q) queue
+    end
+  in
+  List.iter (push start) (Nfa.start_set nfa);
+  while not (Queue.is_empty queue) do
+    let u, q = Queue.pop queue in
+    if nfa.Nfa.accept.(q) then Hashtbl.replace answers u ();
+    if nfa.Nfa.trans.(q) <> [] then
+      List.iter
+        (fun (l, v) ->
+          List.iter
+            (fun (p, q') -> if Lpred.matches p l then List.iter (push v) closures.(q'))
+            nfa.Nfa.trans.(q))
+        (Store.labeled_succ ctx.st u)
+  done;
+  Hashtbl.fold (fun u () acc -> u :: acc) answers [] |> List.sort_uniq compare
+
+(* Like [regex_reach], but also return one (shortest, by BFS order)
+   witness path per reached node — the value a path variable binds to. *)
+let regex_reach_paths ctx start r =
+  let nfa, closures = nfa_of ctx r in
+  let parent = Hashtbl.create 64 in
+  let answers = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let push key prev =
+    if not (Hashtbl.mem parent key) then begin
+      Hashtbl.add parent key prev;
+      Queue.push key queue
+    end
+  in
+  List.iter (fun q -> push (start, q) None) (Nfa.start_set nfa);
+  while not (Queue.is_empty queue) do
+    let ((u, q) as key) = Queue.pop queue in
+    if nfa.Nfa.accept.(q) && not (Hashtbl.mem answers u) then begin
+      let rec unwind key acc =
+        match Hashtbl.find parent key with
+        | None -> acc
+        | Some (prev, l) -> unwind prev (l :: acc)
+      in
+      Hashtbl.add answers u (unwind key [])
+    end;
+    if nfa.Nfa.trans.(q) <> [] then
+      List.iter
+        (fun (l, v) ->
+          List.iter
+            (fun (p, q') ->
+              if Lpred.matches p l then
+                List.iter (fun q'' -> push (v, q'') (Some (key, l))) closures.(q'))
+            nfa.Nfa.trans.(q))
+        (Store.labeled_succ ctx.st u)
+  done;
+  Hashtbl.fold (fun u path acc -> (u, path) :: acc) answers []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Reify a label path as the chain tree {l1: {l2: ... {}}}. *)
+let chain_of_path ctx path =
+  List.fold_right
+    (fun l next ->
+      let u = Store.add_node ctx.st in
+      Store.add_edge ctx.st u l next;
+      u)
+    path
+    (Store.add_node ctx.st)
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bind_label env x l k =
+  match Env.find_opt x env.vars with
+  | Some (Elabel l0) -> if Label.equal l l0 then k env else []
+  | Some (Enode _) -> raise (Runtime_error ("variable " ^ x ^ " bound as both tree and label"))
+  | None -> k { env with vars = Env.add x (Elabel l) env.vars }
+
+let rec match_steps ctx env node steps k =
+  match steps with
+  | [] -> k env node
+  | Slit le :: rest ->
+    let l = resolve_label env le in
+    List.concat_map
+      (fun (l', v) -> if Label.equal l l' then match_steps ctx env v rest k else [])
+      (Store.labeled_succ ctx.st node)
+  | Sbind x :: rest ->
+    List.concat_map
+      (fun (l, v) -> bind_label env x l (fun env -> match_steps ctx env v rest k))
+      (Store.labeled_succ ctx.st node)
+  | Spred p :: rest ->
+    List.concat_map
+      (fun (l, v) -> if Lpred.matches p l then match_steps ctx env v rest k else [])
+      (Store.labeled_succ ctx.st node)
+  | Sregex (r, None) :: rest ->
+    List.concat_map
+      (fun v -> match_steps ctx env v rest k)
+      (regex_reach ctx node r)
+  | Sregex (r, Some p) :: rest ->
+    List.concat_map
+      (fun (v, path) ->
+        let chain = chain_of_path ctx path in
+        let env = { env with vars = Env.add p (Enode chain) env.vars } in
+        match_steps ctx env v rest k)
+      (regex_reach_paths ctx node r)
+
+let rec match_pattern ctx env node = function
+  | Pany -> [ env ]
+  | Pbind x -> [ { env with vars = Env.add x (Enode node) env.vars } ]
+  | Pedges entries ->
+    List.fold_left
+      (fun envs (steps, sub) ->
+        List.concat_map
+          (fun env ->
+            match_steps ctx env node steps (fun env v -> match_pattern ctx env v sub))
+          envs)
+      [ env ] entries
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let all_literal_steps env steps =
+  (* Paths answerable from a DataGuide: every step a fixed label. *)
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Slit le :: rest -> go (resolve_label env le :: acc) rest
+    | (Sbind _ | Spred _ | Sregex _) :: _ -> None
+  in
+  go [] steps
+
+let rec eval_expr ctx env = function
+  | Empty -> Store.add_node ctx.st
+  | Db -> ctx.db_node
+  | Var x -> (
+    match Env.find_opt x env.vars with
+    | Some (Enode n) -> n
+    | Some (Elabel l) ->
+      (* A label variable used as a tree denotes the leaf {l: {}}. *)
+      let u = Store.add_node ctx.st in
+      let v = Store.add_node ctx.st in
+      Store.add_edge ctx.st u l v;
+      u
+    | None -> raise (Runtime_error ("unbound variable " ^ x)))
+  | Tree entries ->
+    let u = Store.add_node ctx.st in
+    List.iter
+      (fun (le, e) ->
+        let l = resolve_label env le in
+        let v = eval_expr ctx env e in
+        Store.add_edge ctx.st u l v)
+      entries;
+    u
+  | Union (a, b) ->
+    let u = Store.add_node ctx.st in
+    Store.add_eps ctx.st u (eval_expr ctx env a);
+    Store.add_eps ctx.st u (eval_expr ctx env b);
+    u
+  | Select (head, clauses) ->
+    let clauses =
+      if ctx.opts.reorder_clauses then Optimize.reorder_clauses clauses else clauses
+    in
+    let envs = eval_clauses ctx [ env ] clauses in
+    let u = Store.add_node ctx.st in
+    List.iter (fun env -> Store.add_eps ctx.st u (eval_expr ctx env head)) envs;
+    u
+  | If (c, a, b) -> if eval_cond ctx env c then eval_expr ctx env a else eval_expr ctx env b
+  | Let (x, a, b) ->
+    let n = eval_expr ctx env a in
+    eval_expr ctx { env with vars = Env.add x (Enode n) env.vars } b
+  | Letsfun (def, e) ->
+    check_sfun def;
+    List.iter
+      (fun c ->
+        let allowed =
+          c.ctree :: (match c.cstep with Sbind x -> [ x ] | Slit _ | Spred _ | Sregex _ -> [])
+        in
+        List.iter
+          (fun v ->
+            if not (List.mem v allowed) then
+              raise
+                (Ill_formed
+                   (Printf.sprintf "sfun %s: body mentions free variable %s" def.fname v)))
+          (free_tree_vars c.cbody))
+      def.cases;
+    let closure = { def; fenv = env.funs; memo = Hashtbl.create 64; queue = Queue.create () } in
+    closure.fenv <- Env.add def.fname closure closure.fenv;
+    eval_expr ctx { env with funs = Env.add def.fname closure env.funs } e
+  | App (f, arg) -> (
+    match Env.find_opt f env.funs with
+    | None -> raise (Runtime_error ("unknown function " ^ f))
+    | Some closure ->
+      let node = eval_expr ctx env arg in
+      apply ctx closure node)
+
+and eval_clauses ctx envs = function
+  | [] -> envs
+  | Gen (p, e) :: rest ->
+    let envs =
+      List.concat_map
+        (fun env ->
+          match guided_generator ctx env p e with
+          | Some envs -> envs
+          | None ->
+            let node = eval_expr ctx env e in
+            match_pattern ctx env node p)
+        envs
+    in
+    eval_clauses ctx envs rest
+  | Where c :: rest ->
+    eval_clauses ctx (List.filter (fun env -> eval_cond ctx env c) envs) rest
+
+(* DataGuide shortcuts for single-entry patterns on DB: an all-literal
+   path is answered by one guide lookup; a single regex step is answered
+   by running the automaton product over the (usually much smaller) guide
+   graph and unioning the accepted guide nodes' target sets — sound
+   because a strong DataGuide has exactly the data's root paths. *)
+and guided_generator ctx env p e =
+  match ctx.opts.dataguide, e, p with
+  | Some guide, Db, Pedges [ (steps, sub) ] -> (
+    let offset = ctx.db_node - Graph.root ctx.db in
+    let continue_at data_nodes =
+      Some
+        (List.concat_map
+           (fun data_node -> match_pattern ctx env (data_node + offset) sub)
+           data_nodes)
+    in
+    match all_literal_steps env steps with
+    | Some path -> continue_at (Dataguide.find guide path)
+    | None -> (
+      match steps with
+      | [ Sregex (r, None) ] ->
+        let nfa, _ = nfa_of ctx r in
+        let guide_hits =
+          Ssd_automata.Product.accepting_nodes (Dataguide.graph guide) nfa
+        in
+        continue_at
+          (List.sort_uniq compare
+             (List.concat_map (Dataguide.targets guide) guide_hits))
+      | _ -> None))
+  | _ -> None
+
+and eval_cond ctx env = function
+  | Ccmp (op, a1, a2) ->
+    let c = compare_labels (resolve_atom env a1) (resolve_atom env a2) in
+    (match op with
+     | Eq -> c = 0
+     | Neq -> c <> 0
+     | Lt -> c < 0
+     | Le -> c <= 0
+     | Gt -> c > 0
+     | Ge -> c >= 0)
+  | Cistype (t, a) -> Label.type_name (resolve_atom env a) = t
+  | Cstarts (a, prefix) -> Lpred.matches (Lpred.Starts_with prefix) (resolve_atom env a)
+  | Ccontains (a, needle) -> Lpred.matches (Lpred.Contains needle) (resolve_atom env a)
+  | Cempty e -> Store.labeled_succ ctx.st (eval_expr ctx env e) = []
+  | Cequal (e1, e2) ->
+    let g1 = Store.to_graph ctx.st ~root:(eval_expr ctx env e1) in
+    let g2 = Store.to_graph ctx.st ~root:(eval_expr ctx env e2) in
+    Ssd.Bisim.equal g1 g2
+  | Cnot c -> not (eval_cond ctx env c)
+  | Cand (c1, c2) -> eval_cond ctx env c1 && eval_cond ctx env c2
+  | Cor (c1, c2) -> eval_cond ctx env c1 || eval_cond ctx env c2
+
+(* Bulk semantics of structural recursion.  One result node per input
+   node, created on demand; each input node's edges are processed exactly
+   once, so the evaluation is linear in the input graph and terminates on
+   cycles. *)
+and apply ctx closure start =
+  let result_of u =
+    match Hashtbl.find_opt closure.memo u with
+    | Some r -> r
+    | None ->
+      let r = Store.add_node ctx.st in
+      Hashtbl.add closure.memo u r;
+      Queue.push u closure.queue;
+      r
+  in
+  let r0 = result_of start in
+  while not (Queue.is_empty closure.queue) do
+    let u = Queue.pop closure.queue in
+    let r = Hashtbl.find closure.memo u in
+    List.iter
+      (fun (l, v) ->
+        match find_case closure.def.cases l with
+        | None -> ()
+        | Some (case, label_binding) ->
+          let vars =
+            List.fold_left
+              (fun m (x, entry) -> Env.add x entry m)
+              (Env.add case.ctree (Enode v) Env.empty)
+              label_binding
+          in
+          (* A recursive occurrence f(T) in the body re-enters [apply] on
+             [v]; the memo makes that a constant-time lookup of v's
+             result node (possibly still unpopulated — cycles close
+             later, when v is dequeued). *)
+          let env = { vars; funs = closure.fenv } in
+          let frag = eval_expr ctx env case.cbody in
+          Store.add_eps ctx.st r frag)
+      (Store.labeled_succ ctx.st u)
+  done;
+  r0
+
+and find_case cases l =
+  List.find_map
+    (fun case ->
+      match case.cstep with
+      | Slit le ->
+        let lit =
+          match le with
+          | Llit l0 -> l0
+          | Lname x -> Label.Sym x
+        in
+        if Label.equal l lit then Some (case, []) else None
+      | Sbind x -> Some (case, [ (x, Elabel l) ])
+      | Spred p -> if Lpred.matches p l then Some (case, []) else None
+      | Sregex _ -> None)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let eval ?(options = default_options) ~db q =
+  let st = Store.create () in
+  let db_node = Store.import st db in
+  let ctx = { st; db; db_node; opts = options; nfa_cache = Hashtbl.create 8 } in
+  let env = { vars = Env.empty; funs = Env.empty } in
+  let root = eval_expr ctx env q in
+  Graph.gc (Store.to_graph st ~root)
+
+let eval_tree ?options ~db q = Graph.to_tree (eval ?options ~db q)
+
+let run ?options ~db src = eval ?options ~db (Parser.parse src)

@@ -1,0 +1,49 @@
+(** Evaluation of UnQL queries over a data graph.
+
+    The two computational components of section 3:
+
+    - {e horizontal}: select–where comprehensions are evaluated by
+      enumerating edges of the nodes a pattern reaches; regular path
+      steps use the graph × automaton product, so arbitrary-depth path
+      constraints terminate on cyclic data;
+    - {e vertical}: structural recursion ([sfun]) is evaluated with bulk
+      semantics — one result node per (function, input node) pair, bodies
+      evaluated once per input {e edge}, recursive occurrences wired to
+      the (possibly not yet populated) result node of the subtree.  This
+      is what makes [rec] well-defined on cycles: no unfolding ever
+      happens.
+
+    Restrictions (checked, raising {!Ast.Ill_formed}):
+    - recursive calls inside an [sfun] body apply the function to the
+      case's tree variable only;
+    - [sfun] bodies are closed: their only free value variables are the
+      case bindings (other [sfun]s are visible).  This keeps results
+      independent of the calling environment and makes per-function
+      memoization sound. *)
+
+exception Runtime_error of string
+
+type options = {
+  reorder_clauses : bool;
+      (** push [where] conditions to the earliest point their variables
+          are bound (see {!Optimize.reorder}); applied before evaluation *)
+  cache_nfa : bool;
+      (** compile each regular path expression to an NFA once per query
+          rather than once per use *)
+  dataguide : Ssd_schema.Dataguide.t option;
+      (** when set, literal-path generators rooted at [DB] are answered
+          from the guide's target sets instead of by traversal *)
+}
+
+val default_options : options
+
+(** [eval ?options ~db q] runs [q] with [DB] bound to [db] and returns the
+    result graph (already garbage-collected). *)
+val eval : ?options:options -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Graph.t
+
+(** [eval] followed by tree extraction.
+    @raise Ssd.Graph.Cyclic if the result is cyclic. *)
+val eval_tree : ?options:options -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Tree.t
+
+(** Parse and evaluate concrete syntax (see {!Parser}). *)
+val run : ?options:options -> db:Ssd.Graph.t -> string -> Ssd.Graph.t

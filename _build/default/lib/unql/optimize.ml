@@ -1,0 +1,174 @@
+module Label = Ssd.Label
+module Regex = Ssd_automata.Regex
+module Nfa = Ssd_automata.Nfa
+module Dfa = Ssd_automata.Dfa
+module Dataguide = Ssd_schema.Dataguide
+open Ast
+
+(* Label names a condition reads.  Unbound names resolve to symbol
+   literals, so a name that no generator binds is still safe to evaluate
+   early. *)
+let rec cond_names = function
+  | Ccmp (_, a1, a2) -> atom_names a1 @ atom_names a2
+  | Cistype (_, a) | Cstarts (a, _) | Ccontains (a, _) -> atom_names a
+  | Cempty e -> expr_names e
+  | Cequal (e1, e2) -> expr_names e1 @ expr_names e2
+  | Cnot c -> cond_names c
+  | Cand (c1, c2) | Cor (c1, c2) -> cond_names c1 @ cond_names c2
+
+and atom_names = function
+  | Alit _ -> []
+  | Aname x -> [ x ]
+
+and expr_names e = free_tree_vars e
+
+let reorder_clauses clauses =
+  let generators = List.filter_map (function Gen _ as g -> Some g | Where _ -> None) clauses in
+  let conditions = List.filter_map (function Where c -> Some c | Gen _ -> None) clauses in
+  (* For each condition find the shortest generator prefix after which all
+     the names it mentions that are bound anywhere are available. *)
+  let all_bound =
+    List.concat_map (function Gen (p, _) -> pattern_binders p | Where _ -> []) clauses
+  in
+  let placed = Array.make (List.length generators + 1) [] in
+  List.iter
+    (fun c ->
+      let needed = List.filter (fun x -> List.mem x all_bound) (cond_names c) in
+      let rec position i bound gens =
+        if List.for_all (fun x -> List.mem x bound) needed then i
+        else
+          match gens with
+          | [] -> i
+          | Gen (p, _) :: rest -> position (i + 1) (pattern_binders p @ bound) rest
+          | Where _ :: _ -> assert false
+      in
+      let i = position 0 [] generators in
+      placed.(i) <- c :: placed.(i))
+    conditions;
+  let rec weave i gens =
+    let here = List.rev_map (fun c -> Where c) placed.(i) in
+    match gens with
+    | [] -> here
+    | g :: rest -> here @ (g :: weave (i + 1) rest)
+  in
+  weave 0 generators
+
+let rec map_selects f = function
+  | (Empty | Db | Var _) as e -> e
+  | Tree entries -> Tree (List.map (fun (le, e) -> (le, map_selects f e)) entries)
+  | Union (a, b) -> Union (map_selects f a, map_selects f b)
+  | Select (head, clauses) ->
+    let head = map_selects f head in
+    let clauses =
+      List.map
+        (function
+          | Gen (p, e) -> Gen (p, map_selects f e)
+          | Where c -> Where (map_selects_cond f c))
+        clauses
+    in
+    f (Select (head, clauses))
+  | If (c, a, b) -> If (map_selects_cond f c, map_selects f a, map_selects f b)
+  | Let (x, a, b) -> Let (x, map_selects f a, map_selects f b)
+  | Letsfun (def, e) ->
+    let def =
+      { def with cases = List.map (fun c -> { c with cbody = map_selects f c.cbody }) def.cases }
+    in
+    Letsfun (def, map_selects f e)
+  | App (g, arg) -> App (g, map_selects f arg)
+
+and map_selects_cond f = function
+  | (Ccmp _ | Cistype _ | Cstarts _ | Ccontains _) as c -> c
+  | Cempty e -> Cempty (map_selects f e)
+  | Cequal (a, b) -> Cequal (map_selects f a, map_selects f b)
+  | Cnot c -> Cnot (map_selects_cond f c)
+  | Cand (a, b) -> Cand (map_selects_cond f a, map_selects_cond f b)
+  | Cor (a, b) -> Cor (map_selects_cond f a, map_selects_cond f b)
+
+let reorder e =
+  map_selects
+    (function
+      | Select (head, clauses) -> Select (head, reorder_clauses clauses)
+      | e -> e)
+    e
+
+let automaton_sizes ~alphabet e =
+  let out = ref [] in
+  let record r =
+    let nfa = Nfa.of_regex r in
+    let dfa = Dfa.minimize (Dfa.of_nfa ~alphabet nfa) in
+    out := (Regex.to_string r, nfa.Nfa.n, Dfa.n_states dfa) :: !out
+  in
+  let record_steps =
+    List.iter (function Sregex (r, _) -> record r | Slit _ | Sbind _ | Spred _ -> ())
+  in
+  let rec go_pattern = function
+    | Pbind _ | Pany -> ()
+    | Pedges entries ->
+      List.iter
+        (fun (steps, sub) ->
+          record_steps steps;
+          go_pattern sub)
+        entries
+  in
+  ignore
+    (map_selects
+       (function
+         | Select (_, clauses) as s ->
+           List.iter (function Gen (p, _) -> go_pattern p | Where _ -> ()) clauses;
+           s
+         | e -> e)
+       e);
+  List.rev !out
+
+(* A generator is a provably-empty path when its steps are all literal
+   labels (closed: symbol names only) and the guide rejects the path. *)
+let literal_path steps =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Slit (Llit l) :: rest -> go (l :: acc) rest
+    | Slit (Lname x) :: rest -> go (Label.Sym x :: acc) rest
+    | (Sbind _ | Spred _ | Sregex _) :: _ -> None
+  in
+  go [] steps
+
+let prune_with_guide guide e =
+  let pruned = ref 0 in
+  (* Lname steps are only literals if no generator of the select binds
+     that name as a label variable. *)
+  let impossible bound = function
+    | Gen (Pedges entries, Db) ->
+      List.exists
+        (fun (steps, _) ->
+          match literal_path steps with
+          | Some path ->
+            let closed =
+              List.for_all2
+                (fun step l ->
+                  match step, l with
+                  | Slit (Lname x), _ -> not (List.mem x bound)
+                  | _ -> true)
+                steps path
+            in
+            closed && Dataguide.follow guide path = None
+          | None -> false)
+        entries
+    | Gen _ | Where _ -> false
+  in
+  let e =
+    map_selects
+      (function
+        | Select (_, clauses) as s ->
+          let bound =
+            List.concat_map
+              (function Gen (p, _) -> pattern_binders p | Where _ -> [])
+              clauses
+          in
+          if List.exists (impossible bound) clauses then begin
+            incr pruned;
+            Empty
+          end
+          else s
+        | e -> e)
+      e
+  in
+  (e, !pruned)

@@ -1,0 +1,30 @@
+(** Algebraic query rewrites (section 4).
+
+    The optimizations here are the AST-level ones the tutorial attributes
+    to the relational tradition: pushing selections toward the generators
+    that bind their variables, and pre-compiling / minimizing the automata
+    of regular path expressions.  DataGuide-based pruning lives partly
+    here ({!prune_with_guide}) and partly in {!Eval.options}. *)
+
+(** Move every [where] condition as early as possible: right after the
+    first generator prefix that binds all the condition's label
+    variables.  Semantics-preserving (conditions are pure); evaluated
+    earlier, they cut the binding sets sooner. *)
+val reorder_clauses : Ast.clause list -> Ast.clause list
+
+(** Apply {!reorder_clauses} to every [select] in an expression. *)
+val reorder : Ast.expr -> Ast.expr
+
+(** Replace each regular path step by one with a minimized DFA-equivalent
+    regex state space... (not expressible at regex level), so instead:
+    report the automaton sizes before/after minimization for each regex
+    step of the query — the diagnostic used by experiment E8. *)
+val automaton_sizes :
+  alphabet:Ssd.Label.t list -> Ast.expr -> (string * int * int) list
+(** (regex text, NFA states, minimized DFA states) per regex step. *)
+
+(** Drop generators whose all-literal path provably does not occur in the
+    data (the DataGuide rejects it): the whole [select] yields [{}], so
+    it is replaced by [Empty].  Returns the rewritten expression and the
+    number of selects pruned. *)
+val prune_with_guide : Ssd_schema.Dataguide.t -> Ast.expr -> Ast.expr * int

@@ -1,0 +1,605 @@
+module Label = Ssd.Label
+module Regex = Ssd_automata.Regex
+module Lpred = Ssd_automata.Lpred
+open Ast
+
+exception Parse_error of string
+
+type st = {
+  src : string;
+  mutable pos : int;
+}
+
+let fail st msg =
+  let line = ref 1 in
+  String.iteri (fun i c -> if i < st.pos && c = '\n' then incr line) st.src;
+  raise (Parse_error (Printf.sprintf "line %d (offset %d): %s" !line st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | Some '#' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_ws st
+  | _ -> ()
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let eat st s msg = if looking_at st s then st.pos <- st.pos + String.length s else fail st msg
+
+let lex_ident st =
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c -> Label.is_ident_char c
+    | None -> false
+  do
+    advance st
+  done;
+  if st.pos = start then fail st "expected an identifier";
+  String.sub st.src start (st.pos - start)
+
+(* Peek the next identifier without consuming (for keyword dispatch). *)
+let peek_word st =
+  skip_ws st;
+  match peek st with
+  | Some c when Label.is_ident_start c ->
+    let p = st.pos in
+    let w = lex_ident st in
+    st.pos <- p;
+    Some w
+  | _ -> None
+
+let eat_word st w =
+  skip_ws st;
+  let p = st.pos in
+  match peek st with
+  | Some c when Label.is_ident_start c ->
+    if lex_ident st = w then true
+    else begin
+      st.pos <- p;
+      false
+    end
+  | _ -> false
+
+let lex_string st =
+  eat st "\"" "expected '\"'";
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some 'n' -> Buffer.add_char buf '\n'
+       | Some 't' -> Buffer.add_char buf '\t'
+       | Some 'r' -> Buffer.add_char buf '\r'
+       | Some c -> Buffer.add_char buf c
+       | None -> fail st "unterminated escape");
+      advance st;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let lex_number st =
+  let start = st.pos in
+  let numchar c =
+    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while (match peek st with Some c -> numchar c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Label.Int i
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> Label.Float f
+     | None -> fail st ("bad numeric literal " ^ s))
+
+(* A label literal in expression context (numbers, strings, booleans). *)
+let try_label_literal st =
+  skip_ws st;
+  match peek st with
+  | Some '"' -> Some (Label.Str (lex_string st))
+  | Some c when c = '-' || (c >= '0' && c <= '9') -> Some (lex_number st)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Pattern steps                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Scan regex text between '<' and the matching '>' (a '>' inside
+   parentheses — comparison predicates — does not close). *)
+let lex_regex_text st =
+  eat st "<" "expected '<'";
+  let start = st.pos in
+  let depth = ref 0 in
+  let in_string = ref false in
+  let closed = ref false in
+  while not !closed do
+    match peek st with
+    | None -> fail st "unterminated <regex>"
+    | Some '"' ->
+      in_string := not !in_string;
+      advance st
+    | Some _ when !in_string -> advance st
+    | Some '(' ->
+      incr depth;
+      advance st
+    | Some ')' ->
+      decr depth;
+      advance st
+    | Some '>' when !depth = 0 ->
+      closed := true
+    | Some _ -> advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  advance st;
+  (* consume '>' *)
+  text
+
+(* Scan single-step predicate text up to a delimiter. *)
+let lex_step_text st =
+  let start = st.pos in
+  let depth = ref 0 in
+  let in_string = ref false in
+  let stop = ref false in
+  while not !stop do
+    match peek st with
+    | None -> stop := true
+    | Some '"' ->
+      in_string := not !in_string;
+      advance st
+    | Some _ when !in_string -> advance st
+    | Some '(' ->
+      incr depth;
+      advance st
+    | Some ')' ->
+      decr depth;
+      advance st
+    | Some ('.' | ',' | ':' | '}') when !depth = 0 -> stop := true
+    | Some _ -> advance st
+  done;
+  let text = String.trim (String.sub st.src start (st.pos - start)) in
+  if text = "" then fail st "expected a pattern step";
+  text
+
+let is_bare_ident s =
+  s <> ""
+  && Label.is_ident_start s.[0]
+  && String.for_all Label.is_ident_char s
+  && s <> "true" && s <> "false"
+
+let rec pred_of_regex st = function
+  | Regex.Atom p -> p
+  | Regex.Alt (a, b) -> Lpred.Or (pred_of_regex st a, pred_of_regex st b)
+  | r ->
+    fail st
+      ("path operators must be wrapped in <...>, got: " ^ Regex.to_string r)
+
+let step_of_text st text =
+  if text = "_" then Spred Ssd_automata.Lpred.Any
+  else if is_bare_ident text then Slit (Lname text)
+  else
+    match Regex.parse text with
+    | Regex.Atom (Lpred.Exact l) -> Slit (Llit l)
+    | r -> Spred (pred_of_regex st r)
+    | exception Regex.Parse_error msg -> fail st msg
+
+let parse_step st =
+  skip_ws st;
+  match peek st with
+  | Some '\\' ->
+    advance st;
+    Sbind (lex_ident st)
+  | Some '<' -> (
+    let text = lex_regex_text st in
+    let r =
+      match Regex.parse text with
+      | r -> r
+      | exception Regex.Parse_error msg -> fail st msg
+    in
+    (* optional path binder: <re> as \p *)
+    let saved = st.pos in
+    skip_ws st;
+    if looking_at st "as" then begin
+      st.pos <- st.pos + 2;
+      skip_ws st;
+      match peek st with
+      | Some '\\' ->
+        advance st;
+        Sregex (r, Some (lex_ident st))
+      | _ ->
+        st.pos <- saved;
+        Sregex (r, None)
+    end
+    else begin
+      st.pos <- saved;
+      Sregex (r, None)
+    end)
+  | _ -> step_of_text st (lex_step_text st)
+
+let parse_steps st =
+  let rec go acc =
+    let acc = parse_step st :: acc in
+    skip_ws st;
+    if peek st = Some '.' then begin
+      advance st;
+      go acc
+    end
+    else List.rev acc
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_pattern_at st =
+  skip_ws st;
+  match peek st with
+  | Some '\\' ->
+    advance st;
+    Pbind (lex_ident st)
+  | Some '_' when (match peek2 st with Some c -> not (Label.is_ident_char c) | None -> true) ->
+    advance st;
+    Pany
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Pedges []
+    end
+    else begin
+      let entry () =
+        let steps = parse_steps st in
+        skip_ws st;
+        if peek st = Some ':' then begin
+          advance st;
+          (steps, parse_pattern_at st)
+        end
+        else (steps, Pany)
+      in
+      let entries = ref [ entry () ] in
+      skip_ws st;
+      while peek st = Some ',' do
+        advance st;
+        entries := entry () :: !entries;
+        skip_ws st
+      done;
+      eat st "}" "expected '}' after pattern entries";
+      Pedges (List.rev !entries)
+    end
+  | _ -> fail st "expected a pattern ('\\x', '_' or '{...}')"
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_atom st =
+  skip_ws st;
+  match try_label_literal st with
+  | Some l -> Alit l
+  | None -> (
+    match peek st with
+    | Some '\\' ->
+      (* Tolerate the binding-occurrence spelling \l in conditions. *)
+      advance st;
+      Aname (lex_ident st)
+    | Some c when Label.is_ident_start c -> (
+      let id = lex_ident st in
+      match id with
+      | "true" -> Alit (Label.Bool true)
+      | "false" -> Alit (Label.Bool false)
+      | _ -> Aname id)
+    | _ -> fail st "expected a label atom")
+
+let parse_cmpop st =
+  skip_ws st;
+  if looking_at st "!=" then (st.pos <- st.pos + 2; Neq)
+  else if looking_at st "<=" then (st.pos <- st.pos + 2; Le)
+  else if looking_at st ">=" then (st.pos <- st.pos + 2; Ge)
+  else if looking_at st "=" then (advance st; Eq)
+  else if looking_at st "<" then (advance st; Lt)
+  else if looking_at st ">" then (advance st; Gt)
+  else fail st "expected a comparison operator"
+
+let type_test_name = function
+  | "isint" -> Some "int"
+  | "isfloat" -> Some "float"
+  | "isstring" -> Some "string"
+  | "isbool" -> Some "bool"
+  | "issymbol" -> Some "symbol"
+  | _ -> None
+
+type parsed_case = {
+  case_name : string;
+  case : Ast.sfun_case;
+}
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if eat_word st "or" then Cor (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if eat_word st "and" then Cand (left, parse_and st) else left
+
+and parse_not st =
+  if eat_word st "not" then Cnot (parse_not st)
+  else parse_base_cond st
+
+and parse_base_cond st =
+  skip_ws st;
+  match peek_word st with
+  | Some "isempty" ->
+    ignore (eat_word st "isempty");
+    skip_ws st;
+    eat st "(" "isempty expects '('";
+    let e = parse_expr st in
+    skip_ws st;
+    eat st ")" "isempty expects ')'";
+    Cempty e
+  | Some "equal" ->
+    ignore (eat_word st "equal");
+    skip_ws st;
+    eat st "(" "equal expects '('";
+    let e1 = parse_expr st in
+    skip_ws st;
+    eat st "," "equal expects ','";
+    let e2 = parse_expr st in
+    skip_ws st;
+    eat st ")" "equal expects ')'";
+    Cequal (e1, e2)
+  | Some (("startswith" | "contains") as f) ->
+    ignore (eat_word st f);
+    skip_ws st;
+    eat st "(" (f ^ " expects '('");
+    let a = parse_atom st in
+    skip_ws st;
+    eat st "," (f ^ " expects ','");
+    skip_ws st;
+    let s =
+      match try_label_literal st with
+      | Some (Label.Str s) -> s
+      | _ -> fail st (f ^ " expects a string literal")
+    in
+    skip_ws st;
+    eat st ")" (f ^ " expects ')'");
+    if f = "startswith" then Cstarts (a, s) else Ccontains (a, s)
+  | Some w when type_test_name w <> None ->
+    ignore (eat_word st w);
+    let t = Option.get (type_test_name w) in
+    skip_ws st;
+    eat st "(" (w ^ " expects '('");
+    let a = parse_atom st in
+    skip_ws st;
+    eat st ")" (w ^ " expects ')'");
+    Cistype (t, a)
+  | _ ->
+    skip_ws st;
+    if peek st = Some '(' then begin
+      advance st;
+      let c = parse_cond st in
+      skip_ws st;
+      eat st ")" "expected ')'";
+      c
+    end
+    else
+      let a1 = parse_atom st in
+      let op = parse_cmpop st in
+      let a2 = parse_atom st in
+      Ccmp (op, a1, a2)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and parse_expr st =
+  skip_ws st;
+  match peek_word st with
+  | Some "select" ->
+    ignore (eat_word st "select");
+    let head = parse_expr st in
+    if not (eat_word st "where") then fail st "select expects 'where'";
+    let clauses = ref [ parse_clause st ] in
+    skip_ws st;
+    while peek st = Some ',' do
+      advance st;
+      clauses := parse_clause st :: !clauses;
+      skip_ws st
+    done;
+    Select (head, List.rev !clauses)
+  | Some "let" ->
+    ignore (eat_word st "let");
+    if eat_word st "sfun" then begin
+      let first = parse_case st in
+      let cases = ref [ first ] in
+      skip_ws st;
+      while peek st = Some '|' do
+        advance st;
+        let c = parse_case st in
+        if c.case_name <> first.case_name then
+          fail st
+            (Printf.sprintf "sfun cases must share one name (%s vs %s)" first.case_name
+               c.case_name);
+        cases := c :: !cases;
+        skip_ws st
+      done;
+      if not (eat_word st "in") then fail st "let sfun expects 'in'";
+      let body = parse_expr st in
+      Letsfun
+        ( { fname = first.case_name; cases = List.rev_map (fun c -> c.case) !cases },
+          body )
+    end
+    else begin
+      let x = lex_ident st in
+      skip_ws st;
+      eat st "=" "let expects '='";
+      let a = parse_expr st in
+      if not (eat_word st "in") then fail st "let expects 'in'";
+      let b = parse_expr st in
+      Let (x, a, b)
+    end
+  | Some "if" ->
+    ignore (eat_word st "if");
+    let c = parse_cond st in
+    if not (eat_word st "then") then fail st "if expects 'then'";
+    let a = parse_expr st in
+    if not (eat_word st "else") then fail st "if expects 'else'";
+    let b = parse_expr st in
+    If (c, a, b)
+  | _ ->
+    let left = parse_prim st in
+    if eat_word st "union" then Union (left, parse_expr st) else left
+
+and parse_clause st =
+  skip_ws st;
+  match peek st with
+  | Some ('\\' | '{' | '_') -> (
+    (* '\l <- e' is a generator but '\l = "x"' is a condition; try the
+       generator parse and fall back. *)
+    let saved = st.pos in
+    match
+      let p = parse_pattern_at st in
+      skip_ws st;
+      if looking_at st "<-" then Some p else None
+    with
+    | Some p ->
+      eat st "<-" "pattern clause expects '<-'";
+      let e = parse_expr st in
+      Gen (p, e)
+    | None | (exception Parse_error _) ->
+      st.pos <- saved;
+      Where (parse_cond st))
+  | _ -> Where (parse_cond st)
+
+and parse_prim st =
+  skip_ws st;
+  match try_label_literal st with
+  | Some l -> Tree [ (Llit l, Empty) ]
+  | None -> (
+    match peek st with
+    | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Empty
+      end
+      else begin
+        let entry () =
+          skip_ws st;
+          let le =
+            match try_label_literal st with
+            | Some l -> Llit l
+            | None -> (
+              match peek st with
+              | Some c when Label.is_ident_start c -> (
+                let id = lex_ident st in
+                match id with
+                | "true" -> Llit (Label.Bool true)
+                | "false" -> Llit (Label.Bool false)
+                | _ -> Lname id)
+              | _ -> fail st "expected a label")
+          in
+          skip_ws st;
+          if peek st = Some ':' then begin
+            advance st;
+            (le, parse_expr st)
+          end
+          else (le, Empty)
+        in
+        let entries = ref [ entry () ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          entries := entry () :: !entries;
+          skip_ws st
+        done;
+        eat st "}" "expected '}' after constructor entries";
+        Tree (List.rev !entries)
+      end
+    | Some '(' ->
+      advance st;
+      let e = parse_expr st in
+      skip_ws st;
+      eat st ")" "expected ')'";
+      e
+    | Some '\\' ->
+      (* Tolerate the binding-occurrence spelling for variable uses. *)
+      advance st;
+      Var (lex_ident st)
+    | Some c when Label.is_ident_start c -> (
+      let id = lex_ident st in
+      skip_ws st;
+      if peek st = Some '(' then begin
+        advance st;
+        let arg = parse_expr st in
+        skip_ws st;
+        eat st ")" ("expected ')' closing call to " ^ id);
+        App (id, arg)
+      end
+      else
+        match id with
+        | "DB" | "db" -> Db
+        | _ -> Var id)
+    | _ -> fail st "expected an expression")
+
+and parse_case st =
+  skip_ws st;
+  let name = lex_ident st in
+  skip_ws st;
+  eat st "(" "sfun case expects '('";
+  skip_ws st;
+  eat st "{" "sfun case expects '{'";
+  let cstep = parse_step st in
+  skip_ws st;
+  eat st ":" "sfun case expects ':' before the tree variable";
+  skip_ws st;
+  let tvar = lex_ident st in
+  skip_ws st;
+  eat st "}" "sfun case expects '}'";
+  skip_ws st;
+  eat st ")" "sfun case expects ')'";
+  skip_ws st;
+  eat st "=" "sfun case expects '='";
+  let body = parse_expr st in
+  { case_name = name; case = { cstep; ctree = tvar; cbody = body } }
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let e = parse_expr st in
+  skip_ws st;
+  if peek st <> None then fail st "trailing input after expression";
+  e
+
+let parse_pattern src =
+  let st = { src; pos = 0 } in
+  let p = parse_pattern_at st in
+  skip_ws st;
+  if peek st <> None then fail st "trailing input after pattern";
+  p

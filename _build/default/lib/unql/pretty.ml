@@ -1,0 +1,106 @@
+(** Printer for UnQL ASTs; emits the concrete syntax of {!Parser}. *)
+
+module Label = Ssd.Label
+module Lpred = Ssd_automata.Lpred
+module Regex = Ssd_automata.Regex
+open Ast
+
+let pp_label_expr fmt = function
+  | Llit l -> Label.pp fmt l
+  | Lname x -> Format.pp_print_string fmt x
+
+let pp_step fmt = function
+  | Slit le -> pp_label_expr fmt le
+  | Sbind x -> Format.fprintf fmt "\\%s" x
+  | Spred p -> Lpred.pp fmt p
+  | Sregex (r, None) -> Format.fprintf fmt "<%a>" Regex.pp r
+  | Sregex (r, Some p) -> Format.fprintf fmt "<%a> as \\%s" Regex.pp r p
+
+let pp_steps fmt steps =
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.pp_print_char fmt '.';
+      pp_step fmt s)
+    steps
+
+let rec pp_pattern fmt = function
+  | Pbind x -> Format.fprintf fmt "\\%s" x
+  | Pany -> Format.pp_print_char fmt '_'
+  | Pedges entries ->
+    Format.fprintf fmt "{";
+    List.iteri
+      (fun i (steps, sub) ->
+        if i > 0 then Format.fprintf fmt ", ";
+        pp_steps fmt steps;
+        match sub with
+        | Pany -> ()
+        | sub -> Format.fprintf fmt ": %a" pp_pattern sub)
+      entries;
+    Format.fprintf fmt "}"
+
+let pp_atom fmt = function
+  | Alit l -> Label.pp fmt l
+  | Aname x -> Format.pp_print_string fmt x
+
+let cmpop_name = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_cond fmt = function
+  | Ccmp (op, a1, a2) -> Format.fprintf fmt "%a %s %a" pp_atom a1 (cmpop_name op) pp_atom a2
+  | Cistype (t, a) -> Format.fprintf fmt "is%s(%a)" t pp_atom a
+  | Cstarts (a, s) -> Format.fprintf fmt "startswith(%a, %a)" pp_atom a Label.pp (Label.Str s)
+  | Ccontains (a, s) -> Format.fprintf fmt "contains(%a, %a)" pp_atom a Label.pp (Label.Str s)
+  | Cempty e -> Format.fprintf fmt "isempty(%a)" pp_expr e
+  | Cequal (e1, e2) -> Format.fprintf fmt "equal(%a, %a)" pp_expr e1 pp_expr e2
+  | Cnot c -> Format.fprintf fmt "not (%a)" pp_cond c
+  | Cand (c1, c2) -> Format.fprintf fmt "(%a and %a)" pp_cond c1 pp_cond c2
+  | Cor (c1, c2) -> Format.fprintf fmt "(%a or %a)" pp_cond c1 pp_cond c2
+
+and pp_clause fmt = function
+  | Gen (p, e) -> Format.fprintf fmt "%a <- %a" pp_pattern p pp_expr e
+  | Where c -> pp_cond fmt c
+
+and pp_expr fmt = function
+  | Empty -> Format.pp_print_string fmt "{}"
+  | Db -> Format.pp_print_string fmt "DB"
+  | Var x -> Format.pp_print_string fmt x
+  | Tree entries ->
+    Format.fprintf fmt "@[<hv 1>{";
+    List.iteri
+      (fun i (le, e) ->
+        if i > 0 then Format.fprintf fmt ",@ ";
+        match e with
+        | Empty -> pp_label_expr fmt le
+        | e -> Format.fprintf fmt "%a: %a" pp_label_expr le pp_expr e)
+      entries;
+    Format.fprintf fmt "}@]"
+  | Union (a, b) -> Format.fprintf fmt "(%a union %a)" pp_expr a pp_expr b
+  | Select (head, clauses) ->
+    Format.fprintf fmt "@[<hv 2>select %a@ where " pp_expr head;
+    List.iteri
+      (fun i c ->
+        if i > 0 then Format.fprintf fmt ",@ ";
+        pp_clause fmt c)
+      clauses;
+    Format.fprintf fmt "@]"
+  | If (c, a, b) ->
+    Format.fprintf fmt "@[<hv 2>if %a@ then %a@ else %a@]" pp_cond c pp_expr a pp_expr b
+  | Let (x, a, b) -> Format.fprintf fmt "@[<hv>let %s = %a in@ %a@]" x pp_expr a pp_expr b
+  | Letsfun (def, e) ->
+    Format.fprintf fmt "@[<hv>let sfun ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Format.fprintf fmt "@ | ";
+        Format.fprintf fmt "%s({%a: %s}) = %a" def.fname pp_step c.cstep c.ctree pp_expr
+          c.cbody)
+      def.cases;
+    Format.fprintf fmt "@ in %a@]" pp_expr e
+  | App (f, arg) -> Format.fprintf fmt "%s(%a)" f pp_expr arg
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let pattern_to_string p = Format.asprintf "%a" pp_pattern p

@@ -1,0 +1,63 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+let relabel f g = Graph.map_labels f g
+
+let rebuild g keep =
+  (* Copy g, applying [keep] to each labeled edge: [`Keep] keeps it,
+     [`Drop] removes it, [`Splice] turns it into an ε-edge. *)
+  let b = Graph.Builder.create () in
+  for _ = 1 to Graph.n_nodes g do
+    ignore (Graph.Builder.add_node b)
+  done;
+  Graph.fold_edges
+    (fun () u l v ->
+      match l with
+      | Graph.Eps -> Graph.Builder.add_eps b u v
+      | Graph.Lab l -> (
+        match keep l with
+        | `Keep -> Graph.Builder.add_edge b u l v
+        | `Drop -> ()
+        | `Splice -> Graph.Builder.add_eps b u v))
+    () g;
+  Graph.Builder.set_root b (Graph.root g);
+  Graph.gc (Graph.Builder.finish b)
+
+let delete_edges p g = rebuild g (fun l -> if p l then `Drop else `Keep)
+
+let collapse_edges p g = rebuild g (fun l -> if p l then `Splice else `Keep)
+
+let short_circuit ~first ~second ~via g =
+  let b = Graph.Builder.create () in
+  for _ = 1 to Graph.n_nodes g do
+    ignore (Graph.Builder.add_node b)
+  done;
+  Graph.fold_edges
+    (fun () u l v ->
+      match l with
+      | Graph.Eps -> Graph.Builder.add_eps b u v
+      | Graph.Lab l -> Graph.Builder.add_edge b u l v)
+    () g;
+  for u = 0 to Graph.n_nodes g - 1 do
+    List.iter
+      (fun (l1, mid) ->
+        if Label.equal l1 first then
+          List.iter
+            (fun (l2, w) -> if Label.equal l2 second then Graph.Builder.add_edge b u via w)
+            (Graph.labeled_succ g mid))
+      (Graph.labeled_succ g u)
+  done;
+  Graph.Builder.set_root b (Graph.root g);
+  Graph.gc (Graph.Builder.finish b)
+
+module As_query = struct
+  let relabel ~from_ ~to_ =
+    Printf.sprintf
+      "let sfun f({%s: T}) = {%s: f(T)} | f({\\L: T}) = {L: f(T)} in f(DB)" from_ to_
+
+  let delete ~label =
+    Printf.sprintf "let sfun f({%s: T}) = {} | f({\\L: T}) = {L: f(T)} in f(DB)" label
+
+  let collapse ~label =
+    Printf.sprintf "let sfun f({%s: T}) = f(T) | f({\\L: T}) = {L: f(T)} in f(DB)" label
+end

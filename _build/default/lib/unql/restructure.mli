@@ -1,0 +1,40 @@
+(** The deep restructuring operations of section 3, as direct graph
+    transformations.
+
+    "Simple examples of such operations include deleting/collapsing edges
+    with a certain property, relabeling edges, or performing local
+    interchanges ... adding new edges to "short-circuit" various paths."
+
+    Each operation here is also expressible as an [sfun] query (see
+    {!val:as_query}); the test suite checks the two agree up to
+    bisimilarity, and experiment E4 benches them against each other.  All
+    operations are total on cyclic graphs. *)
+
+(** [relabel f g] replaces each edge label [l] by [f l]. *)
+val relabel : (Ssd.Label.t -> Ssd.Label.t) -> Ssd.Graph.t -> Ssd.Graph.t
+
+(** [delete_edges p g] removes every edge whose label satisfies [p],
+    together with whatever becomes unreachable. *)
+val delete_edges : (Ssd.Label.t -> bool) -> Ssd.Graph.t -> Ssd.Graph.t
+
+(** [collapse_edges p g] splices out matching edges: the edge disappears
+    but its target's contents are inlined (the edge becomes an ε-edge). *)
+val collapse_edges : (Ssd.Label.t -> bool) -> Ssd.Graph.t -> Ssd.Graph.t
+
+(** [short_circuit ~first ~second ~via g] adds, for every path
+    [u --first--> _ --second--> w], a direct edge [u --via--> w]. *)
+val short_circuit :
+  first:Ssd.Label.t -> second:Ssd.Label.t -> via:Ssd.Label.t -> Ssd.Graph.t -> Ssd.Graph.t
+
+(** The same operations as UnQL source text (taking the place of hand
+    written queries in examples and tests). *)
+module As_query : sig
+  (** [relabel ~from_ ~to_]: rename symbol [from_] to symbol [to_]. *)
+  val relabel : from_:string -> to_:string -> string
+
+  (** [delete ~label]: drop edges labeled with symbol [label]. *)
+  val delete : label:string -> string
+
+  (** [collapse ~label]: splice out edges labeled with symbol [label]. *)
+  val collapse : label:string -> string
+end

@@ -1,0 +1,90 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+type t = {
+  mutable out : (Graph.edge_label * int) list array; (* reversed adjacency *)
+  mutable n : int;
+  mutable imported : (Graph.t * int) list; (* physical identity -> offset *)
+}
+
+let create () = { out = Array.make 64 []; n = 0; imported = [] }
+
+let ensure_capacity st needed =
+  if needed > Array.length st.out then begin
+    let cap = ref (Array.length st.out) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let fresh = Array.make !cap [] in
+    Array.blit st.out 0 fresh 0 st.n;
+    st.out <- fresh
+  end
+
+let add_node st =
+  ensure_capacity st (st.n + 1);
+  let id = st.n in
+  st.n <- st.n + 1;
+  id
+
+let add_raw_edge st u l v =
+  assert (u >= 0 && u < st.n && v >= 0 && v < st.n);
+  st.out.(u) <- (l, v) :: st.out.(u)
+
+let add_edge st u l v = add_raw_edge st u (Graph.Lab l) v
+let add_eps st u v = add_raw_edge st u Graph.Eps v
+
+let n_nodes st = st.n
+
+let import st g =
+  match List.find_opt (fun (g', _) -> g' == g) st.imported with
+  | Some (_, offset) -> Graph.root g + offset
+  | None ->
+    let offset = st.n in
+    ensure_capacity st (st.n + Graph.n_nodes g);
+    st.n <- st.n + Graph.n_nodes g;
+    Graph.fold_edges
+      (fun () u l v -> add_raw_edge st (u + offset) l (v + offset))
+      () g;
+    st.imported <- (g, offset) :: st.imported;
+    Graph.root g + offset
+
+let succ st u = List.rev st.out.(u)
+
+let labeled_succ st u =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec close u =
+    if not (Hashtbl.mem seen u) then begin
+      Hashtbl.add seen u ();
+      List.iter
+        (fun (l, v) ->
+          match l with
+          | Graph.Eps -> close v
+          | Graph.Lab l -> acc := (l, v) :: !acc)
+        st.out.(u)
+    end
+  in
+  close u;
+  List.rev !acc
+
+let to_graph st ~root =
+  let b = Graph.Builder.create () in
+  let map = Hashtbl.create 64 in
+  let rec copy u =
+    match Hashtbl.find_opt map u with
+    | Some id -> id
+    | None ->
+      let id = Graph.Builder.add_node b in
+      Hashtbl.add map u id;
+      List.iter
+        (fun (l, v) ->
+          let vid = copy v in
+          match l with
+          | Graph.Eps -> Graph.Builder.add_eps b id vid
+          | Graph.Lab l -> Graph.Builder.add_edge b id l vid)
+        (succ st u);
+      id
+  in
+  let r = copy root in
+  Graph.Builder.set_root b r;
+  Graph.Builder.finish b

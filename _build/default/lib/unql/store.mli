@@ -1,0 +1,31 @@
+(** The evaluator's node store: a growing graph arena.
+
+    Query evaluation works over a single append-only edge-labeled graph
+    that starts with the database (imported once, shared) and grows as
+    constructors allocate result nodes.  Tree values are plain node ids,
+    so subtree references are O(1) and fully shared — no copying, and
+    cyclic values cost nothing extra.  {!to_graph} snapshots the part
+    reachable from a result node back into an immutable {!Ssd.Graph.t}. *)
+
+type t
+
+val create : unit -> t
+
+(** Import an immutable graph; returns the store id of its root.  Import
+    is memoized on physical identity, so referring to the database many
+    times costs one copy. *)
+val import : t -> Ssd.Graph.t -> int
+
+val add_node : t -> int
+val add_edge : t -> int -> Ssd.Label.t -> int -> unit
+val add_eps : t -> int -> int -> unit
+val n_nodes : t -> int
+
+(** Outgoing labeled edges through ε-closure (the tree semantics view). *)
+val labeled_succ : t -> int -> (Ssd.Label.t * int) list
+
+(** Raw successors (ε-edges visible). *)
+val succ : t -> int -> (Ssd.Graph.edge_label * int) list
+
+(** Snapshot the subgraph reachable from [root] as an immutable graph. *)
+val to_graph : t -> root:int -> Ssd.Graph.t

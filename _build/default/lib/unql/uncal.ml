@@ -1,0 +1,147 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+(* Representation: a plain graph plus marker maps.  Output-marker nodes
+   must have no outgoing edges; wiring is by ε-edges, which the value
+   semantics (labeled_succ / bisimulation) absorbs. *)
+type t = {
+  g : Graph.t;
+  ins : (string * int) list; (* input marker -> node, in declaration order *)
+  outs : (int * string) list; (* hole node -> output marker *)
+}
+
+let amp = "&"
+
+let inputs t = List.map fst t.ins
+let outputs t = List.sort_uniq String.compare (List.map snd t.outs)
+
+let input_node t name =
+  match List.assoc_opt name t.ins with
+  | Some n -> n
+  | None -> raise Not_found
+
+(* Rebuild [parts] into one builder; returns per-part node offsets. *)
+let combine parts k =
+  let b = Graph.Builder.create () in
+  let offsets =
+    List.map
+      (fun part ->
+        let r = Graph.import_into b part.g in
+        r - Graph.root part.g)
+      parts
+  in
+  k b offsets
+
+let empty =
+  { g = Graph.empty; ins = [ (amp, Graph.root Graph.empty) ]; outs = [] }
+
+let mark y =
+  (* one node that is both the input and the hole *)
+  let g = Graph.empty in
+  { g; ins = [ (amp, Graph.root g) ]; outs = [ (Graph.root g, y) ] }
+
+let inject ?(input = amp) g = { g; ins = [ (input, Graph.root g) ]; outs = [] }
+
+let label l t =
+  let n = input_node t amp in
+  combine [ t ] (fun b -> function
+    | [ off ] ->
+      let root = Graph.Builder.add_node b in
+      Graph.Builder.add_edge b root l (n + off);
+      Graph.Builder.set_root b root;
+      {
+        g = Graph.Builder.finish b;
+        ins = [ (amp, root) ];
+        outs = List.map (fun (u, y) -> (u + off, y)) t.outs;
+      }
+    | _ -> assert false)
+
+let union a b0 =
+  let na = input_node a amp and nb = input_node b0 amp in
+  combine [ a; b0 ] (fun b -> function
+    | [ offa; offb ] ->
+      let root = Graph.Builder.add_node b in
+      Graph.Builder.add_eps b root (na + offa);
+      Graph.Builder.add_eps b root (nb + offb);
+      Graph.Builder.set_root b root;
+      {
+        g = Graph.Builder.finish b;
+        ins = [ (amp, root) ];
+        outs =
+          List.map (fun (u, y) -> (u + offa, y)) a.outs
+          @ List.map (fun (u, y) -> (u + offb, y)) b0.outs;
+      }
+    | _ -> assert false)
+
+let rename_inputs f t = { t with ins = List.map (fun (x, n) -> (f x, n)) t.ins }
+let rename_outputs f t = { t with outs = List.map (fun (n, y) -> (n, f y)) t.outs }
+
+let append t1 t2 =
+  combine [ t1; t2 ] (fun b -> function
+    | [ off1; off2 ] ->
+      (* wire t1's holes into t2's inputs; unmatched holes close to {} *)
+      let kept_outs = ref [] in
+      List.iter
+        (fun (hole, y) ->
+          match List.assoc_opt y t2.ins with
+          | Some n -> Graph.Builder.add_eps b (hole + off1) (n + off2)
+          | None -> ())
+        t1.outs;
+      ignore kept_outs;
+      (* the root is t1's first input (or node 0 if none) *)
+      (match t1.ins with
+       | (_, n) :: _ -> Graph.Builder.set_root b (n + off1)
+       | [] -> ());
+      {
+        g = Graph.Builder.finish b;
+        ins = List.map (fun (x, n) -> (x, n + off1)) t1.ins;
+        outs = List.map (fun (u, y) -> (u + off2, y)) t2.outs;
+      }
+    | _ -> assert false)
+
+let cycle t =
+  combine [ t ] (fun b -> function
+    | [ off ] ->
+      let remaining =
+        List.filter
+          (fun (hole, y) ->
+            match List.assoc_opt y t.ins with
+            | Some n ->
+              Graph.Builder.add_eps b (hole + off) (n + off);
+              false
+            | None -> true)
+          t.outs
+      in
+      (match t.ins with
+       | (_, n) :: _ -> Graph.Builder.set_root b (n + off)
+       | [] -> ());
+      {
+        g = Graph.Builder.finish b;
+        ins = List.map (fun (x, n) -> (x, n + off)) t.ins;
+        outs = List.map (fun (u, y) -> (u + off, y)) remaining;
+      }
+    | _ -> assert false)
+
+let to_graph ?(input = amp) t =
+  let n = input_node t input in
+  (* reroot at the requested input; unmatched output holes are childless
+     nodes already, i.e. {} — nothing to do *)
+  let b = Graph.Builder.create () in
+  let off =
+    let r = Graph.import_into b t.g in
+    r - Graph.root t.g
+  in
+  Graph.Builder.set_root b (n + off);
+  Graph.gc (Graph.Builder.finish b)
+
+let equal a b =
+  List.sort compare (inputs a) = List.sort compare (inputs b)
+  && List.for_all
+       (fun x -> Ssd.Bisim.equal (to_graph ~input:x a) (to_graph ~input:x b))
+       (inputs a)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>inputs: %s@,outputs: %s@,%s@]"
+    (String.concat ", " (inputs t))
+    (String.concat ", " (outputs t))
+    (Graph.to_string (to_graph ~input:(fst (List.hd t.ins)) t))

@@ -1,0 +1,76 @@
+(** The UnCAL graph algebra: graphs with input and output markers.
+
+    UnQL's formal basis (Buneman–Davidson–Hillebrand–Suciu, SIGMOD'96)
+    builds graphs from a small algebra whose "horizontal" constructors
+    are ε-free tree constructors and union, and whose "vertical" ones are
+    {e markers}: an {e output marker} [&y] is a hole at a leaf; an
+    {e input marker} names an entry point; [append] ([t1 @ t2]) plugs
+    [t2]'s inputs into [t1]'s matching holes; [cycle] plugs a graph's own
+    holes into its own inputs, closing loops.  Structural recursion is
+    definable from these — this module provides the algebra itself and
+    the laws the calculus satisfies, property-tested up to bisimilarity:
+
+    - [append] is associative;
+    - [mark y @ t ≈ t at input y] (markers are the units of [@]);
+    - [@] distributes over [union] on the left;
+    - [cycle t ≈ t @ cycle t] (the fixpoint unrolling law).
+
+    Values are compared through {!to_graph}, which closes unmatched
+    output markers to [{}] (the UnCAL convention). *)
+
+type t
+
+(** Input marker names of [t], in declaration order. *)
+val inputs : t -> string list
+
+(** Output marker names occurring in [t] (duplicates collapsed). *)
+val outputs : t -> string list
+
+(** {1 Constructors} *)
+
+(** The default input marker, ["&"]. *)
+val amp : string
+
+(** [{}] with a single input [&]. *)
+val empty : t
+
+(** [mark y]: the graph that is just the output marker [&y] (a hole). *)
+val mark : string -> t
+
+(** [label l t]: [{l: t}] — [t] must have the single input [&];
+    its outputs pass through. *)
+val label : Ssd.Label.t -> t -> t
+
+(** [union a b]: tree union at the (shared single) input [&]. *)
+val union : t -> t -> t
+
+(** [inject ~input g]: a plain graph as an UnCAL graph with one input and
+    no outputs. *)
+val inject : ?input:string -> Ssd.Graph.t -> t
+
+(** [rename_inputs f t] / [rename_outputs f t]. *)
+val rename_inputs : (string -> string) -> t -> t
+
+val rename_outputs : (string -> string) -> t -> t
+
+(** [append t1 t2] ([t1 @ t2]): each output hole [&y] of [t1] is wired
+    (by ε) to [t2]'s input [&y]; inputs are [t1]'s, outputs are [t2]'s.
+    Outputs of [t1] with no matching input in [t2] are dropped (closed to
+    [{}]). *)
+val append : t -> t -> t
+
+(** [cycle t]: wire each output hole [&y] of [t] to [t]'s own input [&y]
+    when it exists; such outputs disappear, the rest remain. *)
+val cycle : t -> t
+
+(** {1 Observation} *)
+
+(** The plain graph at input [input] (default [&]); unmatched output
+    markers become [{}].
+    @raise Not_found if the input marker does not exist. *)
+val to_graph : ?input:string -> t -> Ssd.Graph.t
+
+(** Bisimilarity at every input marker (inputs must coincide as sets). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = (string * Ast.expr) list (* definition order *)
+
+let empty = []
+
+let define ~name src reg =
+  if List.mem_assoc name reg then
+    invalid_arg (Printf.sprintf "Views.define: %s is already defined" name);
+  reg @ [ (name, Parser.parse src) ]
+
+let names reg = List.map fst reg
+
+let desugar reg q =
+  List.fold_right (fun (name, def) body -> Ast.Let (name, def, body)) reg q
+
+let run reg ~db src = Eval.eval ~db (desugar reg (Parser.parse src))
+
+let materialize reg ~db name =
+  if not (List.mem_assoc name reg) then raise Not_found;
+  (* evaluate the prefix of the registry up to [name] *)
+  let rec prefix = function
+    | [] -> []
+    | (n, d) :: _ when n = name -> [ (n, d) ]
+    | (n, d) :: rest -> (n, d) :: prefix rest
+  in
+  Eval.eval ~db (desugar (prefix reg) (Ast.Var name))

@@ -1,0 +1,41 @@
+(** Named views over a semistructured database.
+
+    Section 3 notes that "some simple forms of restructuring are also
+    present in a view definition language" (Abiteboul et al., Views for
+    semistructured data).  A view here is a named UnQL query; queries can
+    refer to earlier views by name, and evaluation materializes the chain
+    by desugaring into nested [let]s — so a view sees the database plus
+    every view defined before it.
+
+    {[
+      let reg =
+        Views.(empty
+          |> define ~name:"films"   {| select {film: m} where {entry.movie: \m} <- DB |}
+          |> define ~name:"titles"  {| select {t: \t} where {film.title: \t} <- films |})
+      in
+      Views.run reg ~db "select x where {t: \\x} <- titles"
+    ]} *)
+
+type t
+
+val empty : t
+
+(** [define reg ~name src] parses [src] and appends the view.  Later
+    views and queries can mention [name] as a variable.
+    @raise Unql.Parser.Parse_error on bad source.
+    @raise Invalid_argument if [name] is already defined. *)
+val define : name:string -> string -> t -> t
+
+(** Defined view names, in definition order. *)
+val names : t -> string list
+
+(** Materialize one view against a database.
+    @raise Not_found if undefined. *)
+val materialize : t -> db:Ssd.Graph.t -> string -> Ssd.Graph.t
+
+(** Evaluate a query that may mention any defined view. *)
+val run : t -> db:Ssd.Graph.t -> string -> Ssd.Graph.t
+
+(** The desugared expression [let v1 = e1 in ... in q] (exposed so the
+    optimizer and tests can inspect what evaluation sees). *)
+val desugar : t -> Ast.expr -> Ast.expr

@@ -1,0 +1,1 @@
+lib/websql/ast.ml: Format

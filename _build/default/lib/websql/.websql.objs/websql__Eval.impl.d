@@ -1,0 +1,1 @@
+lib/websql/eval.ml: Array Ast Hashtbl List Option Parser Relstore Ssd String Web

@@ -1,0 +1,1 @@
+lib/websql/eval.mli: Ast Relstore Ssd Web

@@ -1,0 +1,1 @@
+lib/websql/parser.ml: Ast Buffer List Printf Ssd String

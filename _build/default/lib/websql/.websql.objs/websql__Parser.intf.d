@@ -1,0 +1,1 @@
+lib/websql/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/websql/web.ml: Ast Hashtbl List Ssd

@@ -1,0 +1,1 @@
+lib/websql/web.mli: Ast Ssd

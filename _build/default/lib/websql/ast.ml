@@ -1,0 +1,111 @@
+(** Abstract syntax of the WebSQL-style language.
+
+    Section 3 lists WebSQL (Mendelzon–Mihaila–Milo) among the SQL-like
+    languages "with a number of constructs specific to web queries": the
+    database is the web itself, navigation distinguishes {e local} links
+    (same server) from {e global} ones, and path expressions are regular
+    expressions over those two link kinds.  Queries return {e tables}
+    (this language predates returning graphs), which is why {!Eval}
+    produces a {!Relstore.Relation.t}. *)
+
+(** One navigation step. *)
+type link =
+  | Local (** [->] — a link staying on the same host *)
+  | Global (** [=>] — a link crossing hosts *)
+  | Any (** [~>] — either *)
+
+(** Regular expressions over links. *)
+type pathre =
+  | Void (** matches nothing (dead derivative) *)
+  | Eps
+  | Atom of link
+  | Seq of pathre * pathre
+  | Alt of pathre * pathre
+  | Star of pathre
+  | Plus of pathre
+  | Opt of pathre
+
+(** [FROM DOCUMENT d SUCH THAT start path] *)
+type docspec = {
+  dvar : string;
+  start : start;
+  path : pathre;
+}
+
+and start =
+  | From_url of string (** navigation starts at the page with this URL *)
+  | From_var of string (** ... at a previously bound document *)
+  | From_anywhere (** ... at every page (the crawler's view) *)
+
+type operand =
+  | Dattr of string * string (** [d.title] — an attribute of a document *)
+  | Lit of string
+
+type cond =
+  | Equals of operand * operand
+  | Contains of operand * string (** substring on the attribute text *)
+  | Mentions of string * string (** [d MENTIONS "w"]: any text on the page *)
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type query = {
+  select : (string * string) list; (** (document var, attribute) pairs *)
+  from : docspec list;
+  where : cond option;
+}
+
+(* Nullability and Brzozowski derivative over the 2½-letter alphabet;
+   the path-expression spaces here are tiny, so derivatives are the
+   simplest correct evaluator. *)
+
+let rec nullable = function
+  | Void -> false
+  | Eps -> true
+  | Atom _ -> false
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Star _ -> true
+  | Plus a -> nullable a
+  | Opt _ -> true
+
+let atom_matches a (step : link) =
+  match a with
+  | Any -> true
+  | Local -> step = Local
+  | Global -> step = Global
+
+let rec deriv r (step : link) =
+  let seq a b =
+    match a, b with
+    | Void, _ | _, Void -> Void
+    | Eps, r | r, Eps -> r
+    | a, b -> Seq (a, b)
+  in
+  let alt a b =
+    match a, b with
+    | Void, r | r, Void -> r
+    | a, b -> if a = b then a else Alt (a, b)
+  in
+  match r with
+  | Void | Eps -> Void
+  | Atom a -> if atom_matches a step then Eps else Void
+  | Seq (a, b) ->
+    let da = seq (deriv a step) b in
+    if nullable a then alt da (deriv b step) else da
+  | Alt (a, b) -> alt (deriv a step) (deriv b step)
+  | Star a -> seq (deriv a step) (Star a)
+  | Plus a -> seq (deriv a step) (Star a)
+  | Opt a -> deriv a step
+
+let rec pp_pathre fmt = function
+  | Void -> Format.pp_print_string fmt "<void>"
+  | Eps -> Format.pp_print_string fmt "()"
+  | Atom Local -> Format.pp_print_string fmt "->"
+  | Atom Global -> Format.pp_print_string fmt "=>"
+  | Atom Any -> Format.pp_print_string fmt "~>"
+  | Seq (a, b) -> Format.fprintf fmt "%a %a" pp_pathre a pp_pathre b
+  | Alt (a, b) -> Format.fprintf fmt "(%a | %a)" pp_pathre a pp_pathre b
+  | Star a -> Format.fprintf fmt "(%a)*" pp_pathre a
+  | Plus a -> Format.fprintf fmt "(%a)+" pp_pathre a
+  | Opt a -> Format.fprintf fmt "(%a)?" pp_pathre a

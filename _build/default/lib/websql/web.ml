@@ -1,0 +1,84 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+type t = {
+  g : Graph.t;
+  pages : int list;
+  host_of : (int, int) Hashtbl.t; (* page -> host node *)
+  url_index : (string, int) Hashtbl.t;
+}
+
+let link_sym = Label.Sym "link"
+
+let of_graph g =
+  let root = Graph.root g in
+  let host_of = Hashtbl.create 64 in
+  let url_index = Hashtbl.create 64 in
+  let pages = ref [] in
+  let hosts =
+    List.filter_map
+      (fun (l, v) -> if Label.equal l (Label.Sym "host") then Some v else None)
+      (Graph.labeled_succ g root)
+  in
+  if hosts = [] then invalid_arg "Websql.Web.of_graph: no host edges at the root";
+  List.iter
+    (fun h ->
+      List.iter
+        (fun (l, p) ->
+          if Label.equal l (Label.Sym "page") && not (Hashtbl.mem host_of p) then begin
+            Hashtbl.add host_of p h;
+            pages := p :: !pages
+          end)
+        (Graph.labeled_succ g h))
+    hosts;
+  let web = { g; pages = List.rev !pages; host_of; url_index } in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (l, v) ->
+          if Label.equal l (Label.Sym "url") then
+            List.iter
+              (fun (l', _) ->
+                match l' with
+                | Label.Str u -> Hashtbl.replace url_index u p
+                | _ -> ())
+              (Graph.labeled_succ g v))
+        (Graph.labeled_succ g p))
+    web.pages;
+  web
+
+let documents w = w.pages
+
+let by_url w u = Hashtbl.find_opt w.url_index u
+
+let links w p =
+  List.filter_map
+    (fun (l, q) ->
+      if Label.equal l link_sym && Hashtbl.mem w.host_of q then
+        let kind =
+          if Hashtbl.find w.host_of p = Hashtbl.find w.host_of q then Ast.Local
+          else Ast.Global
+        in
+        Some (kind, q)
+      else None)
+    (Graph.labeled_succ w.g p)
+
+let attr w p name =
+  List.find_map
+    (fun (l, v) ->
+      if Label.equal l (Label.Sym name) then
+        List.find_map
+          (fun (l', _) -> match l' with Label.Str s -> Some s | _ -> None)
+          (Graph.labeled_succ w.g v)
+      else None)
+    (Graph.labeled_succ w.g p)
+
+let texts w p =
+  List.concat_map
+    (fun (l, v) ->
+      if Label.equal l link_sym then []
+      else
+        List.filter_map
+          (fun (l', _) -> match l' with Label.Str s -> Some s | _ -> None)
+          (Graph.labeled_succ w.g v))
+    (Graph.labeled_succ w.g p)

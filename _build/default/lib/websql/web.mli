@@ -1,0 +1,29 @@
+(** The document/link view of a data graph.
+
+    WebSQL sees the world as documents connected by typed links, not as an
+    edge-labeled graph; this adapter extracts that view from graphs shaped
+    like {!Ssd_workload.Webgraph}'s output ([root --host--> h --page--> p],
+    pages with [url]/[title] attribute edges and [link] edges).  A link is
+    {e local} when source and target live under the same host. *)
+
+type t
+
+(** @raise Invalid_argument if the graph has no [host]/[page] structure. *)
+val of_graph : Ssd.Graph.t -> t
+
+(** All document (page) nodes. *)
+val documents : t -> int list
+
+(** The document whose [url] attribute equals the string, if any. *)
+val by_url : t -> string -> int option
+
+(** Outgoing links as (kind, target document). *)
+val links : t -> int -> (Ast.link * int) list
+
+(** Attribute text of a document ([url], [title], ...): the first string
+    value under the attribute edge. *)
+val attr : t -> int -> string -> string option
+
+(** Every text (string value) on the page's non-link attributes — the
+    MENTIONS search space. *)
+val texts : t -> int -> string list

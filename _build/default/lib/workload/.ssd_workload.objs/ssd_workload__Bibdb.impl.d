@@ -1,0 +1,1 @@
+lib/workload/bibdb.ml: Array Printf Prng Ssd

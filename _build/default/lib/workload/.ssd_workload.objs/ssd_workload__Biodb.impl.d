@@ -1,0 +1,1 @@
+lib/workload/biodb.ml: Array Printf Prng Ssd

@@ -1,0 +1,1 @@
+lib/workload/biodb.mli: Ssd

@@ -1,0 +1,1 @@
+lib/workload/movies.ml: Array List Printf Prng Ssd

@@ -1,0 +1,1 @@
+lib/workload/randtree.ml: Printf Prng Queue Ssd

@@ -1,0 +1,1 @@
+lib/workload/randtree.mli: Ssd

@@ -1,0 +1,1 @@
+lib/workload/webgraph.ml: Array Printf Prng Ssd

@@ -1,0 +1,38 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+let generate ?(seed = 23) ?(n_authors = 0) ?(cite_p = 0.4) ~n_papers () =
+  let rng = Prng.create ~seed in
+  let n_authors = if n_authors > 0 then n_authors else max 2 (n_papers / 4) in
+  let b = Graph.Builder.create () in
+  let root = Graph.Builder.add_node b in
+  Graph.Builder.set_root b root;
+  let value parent name v =
+    let f = Graph.Builder.add_node b in
+    Graph.Builder.add_edge b parent (Label.sym name) f;
+    let leaf = Graph.Builder.add_node b in
+    Graph.Builder.add_edge b f v leaf
+  in
+  let authors =
+    Array.init n_authors (fun i ->
+        let a = Graph.Builder.add_node b in
+        value a "name" (Label.str (Printf.sprintf "Author %d" i));
+        value a "affiliation" (Label.str (Printf.sprintf "University %d" (i mod 7)));
+        a)
+  in
+  let papers = Array.make n_papers (-1) in
+  for p = 0 to n_papers - 1 do
+    let pn = Graph.Builder.add_node b in
+    papers.(p) <- pn;
+    Graph.Builder.add_edge b root (Label.sym "paper") pn;
+    value pn "title" (Label.str (Printf.sprintf "On Semistructured Topic %d" p));
+    value pn "year" (Label.int (1990 + (p * 10 / max 1 n_papers)));
+    for _ = 1 to 1 + Prng.int rng 3 do
+      Graph.Builder.add_edge b pn (Label.sym "author") authors.(Prng.int rng n_authors)
+    done;
+    if p > 0 && Prng.bool rng ~p:cite_p then
+      for _ = 1 to 1 + Prng.int rng 2 do
+        Graph.Builder.add_edge b pn (Label.sym "cites") papers.(Prng.int rng p)
+      done
+  done;
+  Graph.Builder.finish b

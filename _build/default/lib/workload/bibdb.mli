@@ -1,0 +1,13 @@
+(** A bibliography database with shared author objects (section 1.2's
+    data-integration flavor).
+
+    Authors are {e shared nodes}: two papers by the same author point at
+    the same object, which is exactly where object identity versus value
+    equality matters (section 2) — the graph is a DAG whose tree
+    unfolding is larger, making it the natural workload for the
+    bisimulation-minimization experiment E6.  Citations go only to
+    earlier papers, so the graph stays acyclic (and tree extraction is
+    total). *)
+
+val generate :
+  ?seed:int -> ?n_authors:int -> ?cite_p:float -> n_papers:int -> unit -> Ssd.Graph.t

@@ -1,0 +1,44 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+let ranks = [| "kingdom"; "phylum"; "class"; "order"; "family"; "genus"; "species" |]
+
+let generate ?(seed = 11) ?(branching = 3) ?(max_depth = 60) ~n_taxa () =
+  let rng = Prng.create ~seed in
+  let b = Graph.Builder.create () in
+  let root = Graph.Builder.add_node b in
+  Graph.Builder.set_root b root;
+  let count = ref 0 in
+  let value parent name v =
+    let f = Graph.Builder.add_node b in
+    Graph.Builder.add_edge b parent (Label.sym name) f;
+    let leaf = Graph.Builder.add_node b in
+    Graph.Builder.add_edge b f v leaf
+  in
+  (* Depth-first growth with a global budget: subtrees have arbitrary,
+     data-dependent depth (deep chains happen when branching draws 1). *)
+  let rec taxon parent depth =
+    if !count < n_taxa then begin
+      let id = !count in
+      incr count;
+      let t = Graph.Builder.add_node b in
+      Graph.Builder.add_edge b parent (Label.sym (if depth = 0 then "taxon" else "child")) t;
+      value t "name" (Label.str (Printf.sprintf "Taxon %d" id));
+      value t "rank" (Label.str ranks.(min depth (Array.length ranks - 1)));
+      if Prng.bool rng ~p:0.4 then
+        value t "sequence_length" (Label.int (1000 + Prng.int rng 1_000_000));
+      if Prng.bool rng ~p:0.2 then
+        value t "habitat" (Label.str (Prng.choose rng [ "soil"; "marine"; "freshwater"; "host" ]));
+      if depth < max_depth then begin
+        let kids = Prng.size rng ~lo:0 ~hi:branching in
+        let kids = if depth = 0 then max 1 kids else kids in
+        for _ = 1 to kids do
+          taxon t (depth + 1)
+        done
+      end
+    end
+  in
+  while !count < n_taxa do
+    taxon root 0
+  done;
+  Graph.Builder.finish b

@@ -1,0 +1,18 @@
+(** ACeDB-style biological databases (section 1.1).
+
+    ACeDB is the system that piqued the author's interest: a schema that
+    only loosely constrains the data, and "structures that are naturally
+    expressed in ACeDB, such as trees of arbitrary depth, that cannot be
+    queried using conventional techniques."  The generator emulates that:
+    a taxonomy of unbounded, data-dependent depth whose taxa irregularly
+    carry optional fields.
+
+    {v
+      root --taxon--> {name: {"Taxon 0"}, rank: {"phylum"},
+                       sequence_length: {482713}?,   (irregular)
+                       habitat: {...}?,              (irregular)
+                       child: <taxon>, child: <taxon>, ...}
+    v} *)
+
+val generate :
+  ?seed:int -> ?branching:int -> ?max_depth:int -> n_taxa:int -> unit -> Ssd.Graph.t

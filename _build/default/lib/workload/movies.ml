@@ -1,0 +1,115 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+let sym = Label.sym
+let str = Label.str
+
+(* Small helpers over a builder: leaf chains like {title: {"Casablanca"}}. *)
+let node b = Graph.Builder.add_node b
+
+let leaf b parent l =
+  let v = node b in
+  Graph.Builder.add_edge b parent l v;
+  v
+
+let field b parent name =
+  (* parent --name--> fresh node, returned *)
+  leaf b parent (sym name)
+
+let value b parent name v =
+  let f = field b parent name in
+  ignore (leaf b f v)
+
+let figure1 () =
+  let b = Graph.Builder.create () in
+  let root = node b in
+  Graph.Builder.set_root b root;
+  (* Entry 1: Casablanca, cast via the nested credit.actors encoding. *)
+  let e1 = field b root "entry" in
+  let m1 = field b e1 "movie" in
+  value b m1 "title" (str "Casablanca");
+  let cast1 = field b m1 "cast" in
+  let credit = field b cast1 "credit" in
+  let actors1 = field b credit "actors" in
+  ignore (leaf b actors1 (str "Bogart"));
+  ignore (leaf b actors1 (str "Bacall"));
+  value b m1 "director" (str "Curtiz");
+  (* Entry 2: Play it again, Sam; direct actors encoding; references e1. *)
+  let e2 = field b root "entry" in
+  let m2 = field b e2 "movie" in
+  value b m2 "title" (str "Play it again, Sam");
+  let cast2 = field b m2 "cast" in
+  let actors2 = field b cast2 "actors" in
+  ignore (leaf b actors2 (str "Allen"));
+  value b m2 "director" (str "Allen");
+  value b m2 "budget" (Label.float 1.2e6);
+  Graph.Builder.add_edge b m2 (sym "references") m1;
+  Graph.Builder.add_edge b m1 (sym "is_referenced_in") m2;
+  (* Entry 3: a TV show; special_guests cast; integer-labeled episodes. *)
+  let e3 = field b root "entry" in
+  let tv = field b e3 "tvshow" in
+  value b tv "title" (str "Casablanca");
+  let cast3 = field b tv "cast" in
+  let guests = field b cast3 "special_guests" in
+  ignore (leaf b guests (str "Bogart"));
+  let episodes = field b tv "episode" in
+  List.iter
+    (fun (i, name) ->
+      let e = leaf b episodes (Label.int i) in
+      ignore (leaf b e (str name)))
+    [ (1, "Who Holds Tomorrow?"); (2, "Cafe Society"); (3, "Siren Song") ];
+  Graph.Builder.finish b
+
+let first_names = [| "Humphrey"; "Lauren"; "Ingrid"; "Woody"; "Diane"; "Peter"; "Grace"; "Orson" |]
+let last_names = [| "Bogart"; "Bacall"; "Bergman"; "Allen"; "Keaton"; "Lorre"; "Kelly"; "Welles" |]
+
+let generate ?(seed = 42) ~n_entries () =
+  let rng = Prng.create ~seed in
+  let b = Graph.Builder.create () in
+  let root = node b in
+  Graph.Builder.set_root b root;
+  let n_actors = max 4 (n_entries / 3) in
+  let actor_name i =
+    Printf.sprintf "%s %s %d"
+      first_names.(i mod Array.length first_names)
+      last_names.(i / Array.length first_names mod Array.length last_names)
+      i
+  in
+  let movie_nodes = ref [] in
+  for i = 0 to n_entries - 1 do
+    let e = field b root "entry" in
+    let is_tv = Prng.bool rng ~p:0.1 in
+    let m = field b e (if is_tv then "tvshow" else "movie") in
+    value b m "title" (str (Printf.sprintf "%s %d" (if is_tv then "Show" else "Movie") i));
+    value b m "year" (Label.int (1920 + Prng.int rng 100));
+    let cast = field b m "cast" in
+    let actors_node =
+      if is_tv then field b cast "special_guests"
+      else if Prng.bool rng ~p:0.5 then field b (field b cast "credit") "actors"
+      else field b cast "actors"
+    in
+    for _ = 1 to 1 + Prng.int rng 4 do
+      ignore (leaf b actors_node (str (actor_name (Prng.int rng n_actors))))
+    done;
+    if is_tv then begin
+      let eps = field b m "episode" in
+      for ep = 1 to 1 + Prng.int rng 6 do
+        let en = leaf b eps (Label.int ep) in
+        ignore (leaf b en (str (Printf.sprintf "Episode %d of %d" ep i)))
+      done
+    end
+    else begin
+      value b m "director" (str (actor_name (Prng.int rng n_actors)));
+      if Prng.bool rng ~p:0.3 then
+        value b m "budget" (Label.float (1e5 *. float_of_int (1 + Prng.int rng 100)));
+      (match !movie_nodes with
+       | [] -> ()
+       | earlier when Prng.bool rng ~p:0.2 ->
+         let target = Prng.choose rng earlier in
+         Graph.Builder.add_edge b m (sym "references") target;
+         Graph.Builder.add_edge b target (sym "is_referenced_in") m
+       | _ -> ());
+      movie_nodes := m :: !movie_nodes
+    end
+  done;
+  Graph.Builder.finish b

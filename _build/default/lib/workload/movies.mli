@@ -1,0 +1,20 @@
+(** The movie database of the paper's Figure 1, literal and scaled.
+
+    Figure 1 is the tutorial's only figure: an edge-labeled graph of
+    movie/TV entries with deliberate irregularities — two different
+    representations of a cast (direct [actors] vs nested
+    [credit.actors]), a TV show with integer-labeled [episode] edges
+    (arrays as integer edge labels), and a [references] /
+    [is_referenced_in] edge pair forming a cycle between two entries. *)
+
+(** The figure, reconstructed (17 symbols / 3 entries, cyclic). *)
+val figure1 : unit -> Ssd.Graph.t
+
+(** A scaled database with the same shape and irregularities:
+    [n_entries] entries, ~10% TV shows, casts split between the two
+    encodings, occasional [budget] floats, and ~20% of movies referencing
+    an earlier entry (with the reciprocal [is_referenced_in] edge, so the
+    graph is cyclic).  Actor names are drawn from a pool of about
+    [n_entries / 3] names, so actors recur across movies.  Deterministic
+    in [seed]. *)
+val generate : ?seed:int -> n_entries:int -> unit -> Ssd.Graph.t

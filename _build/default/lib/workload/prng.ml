@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64 (Steele, Lea, Flood 2014). *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let float t = Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+
+let bool t ~p = float t < p
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let size t ~lo ~hi =
+  if hi <= lo then lo
+  else begin
+    (* Average of two draws biases toward the middle-low range. *)
+    let a = int t (hi - lo + 1) and b = int t (hi - lo + 1) in
+    lo + min a b
+  end

@@ -1,0 +1,27 @@
+(** Deterministic SplitMix64 PRNG.
+
+    All workload generators take explicit seeds and draw from this
+    generator, so every experiment in EXPERIMENTS.md is reproducible
+    bit-for-bit without depending on [Random]'s global state. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Bernoulli draw. *)
+val bool : t -> p:float -> bool
+
+(** Uniform choice from a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Geometric-ish size draw in [lo, hi] biased toward [lo]. *)
+val size : t -> lo:int -> hi:int -> int

@@ -1,0 +1,32 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+let generate ?(seed = 5) ?(branching = 3) ?(alphabet = 12) ~regularity ~n_edges () =
+  let rng = Prng.create ~seed in
+  let b = Graph.Builder.create () in
+  let root = Graph.Builder.add_node b in
+  Graph.Builder.set_root b root;
+  (* Regular draws repeat the depth's label for every sibling (the shape
+     of relational data: homogeneous collections), so summaries collapse
+     each level to one class; random draws defeat that. *)
+  let label ~depth ~pos =
+    ignore pos;
+    if Prng.bool rng ~p:regularity then
+      Label.sym (Printf.sprintf "l%d" (depth mod alphabet))
+    else Label.sym (Printf.sprintf "l%d" (Prng.int rng alphabet))
+  in
+  (* Breadth-first growth up to the edge budget keeps depth balanced. *)
+  let queue = Queue.create () in
+  Queue.push (root, 0) queue;
+  let edges = ref 0 in
+  while !edges < n_edges && not (Queue.is_empty queue) do
+    let u, depth = Queue.pop queue in
+    let kids = min branching (n_edges - !edges) in
+    for pos = 0 to kids - 1 do
+      let v = Graph.Builder.add_node b in
+      Graph.Builder.add_edge b u (label ~depth ~pos) v;
+      incr edges;
+      Queue.push (v, depth + 1) queue
+    done
+  done;
+  Graph.Builder.finish b

@@ -1,0 +1,17 @@
+(** Parametric random trees: the regularity dial.
+
+    The [regularity] parameter interpolates between fully regular data
+    (every node at depth [d] carries the same label set, as relational
+    data would) and fully irregular data (labels drawn at random from the
+    alphabet).  DataGuide size (experiment E7) and k-RO compression are
+    functions of this dial: regular data summarizes to a path, irregular
+    data defeats summarization. *)
+
+(** [generate ~n_edges ~regularity ()]:
+    - [branching]: children per internal node (default 3);
+    - [alphabet]: number of distinct symbol labels (default 12);
+    - [regularity] ∈ [0,1]: probability that a child edge takes its
+      deterministic depth-and-position label rather than a random one. *)
+val generate :
+  ?seed:int -> ?branching:int -> ?alphabet:int -> regularity:float -> n_edges:int -> unit ->
+  Ssd.Graph.t

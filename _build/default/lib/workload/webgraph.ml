@@ -1,0 +1,56 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+let generate ?(seed = 7) ?(n_hosts = 10) ?(avg_links = 3.0) ?(locality = 0.7) ~n_pages () =
+  let rng = Prng.create ~seed in
+  let b = Graph.Builder.create () in
+  let root = Graph.Builder.add_node b in
+  Graph.Builder.set_root b root;
+  let n_hosts = max 1 (min n_hosts n_pages) in
+  let host_nodes =
+    Array.init n_hosts (fun h ->
+        let hn = Graph.Builder.add_node b in
+        Graph.Builder.add_edge b root (Label.sym "host") hn;
+        let name = Graph.Builder.add_node b in
+        Graph.Builder.add_edge b hn (Label.sym "name") name;
+        let leaf = Graph.Builder.add_node b in
+        Graph.Builder.add_edge b name (Label.str (Printf.sprintf "host%d.example" h)) leaf;
+        hn)
+  in
+  let host_of = Array.init n_pages (fun p -> p mod n_hosts) in
+  let page_nodes =
+    Array.init n_pages (fun p ->
+        let pn = Graph.Builder.add_node b in
+        Graph.Builder.add_edge b host_nodes.(host_of.(p)) (Label.sym "page") pn;
+        let url = Graph.Builder.add_node b in
+        Graph.Builder.add_edge b pn (Label.sym "url") url;
+        let uleaf = Graph.Builder.add_node b in
+        Graph.Builder.add_edge b url
+          (Label.str (Printf.sprintf "http://host%d.example/p%d" host_of.(p) p))
+          uleaf;
+        let title = Graph.Builder.add_node b in
+        Graph.Builder.add_edge b pn (Label.sym "title") title;
+        let tleaf = Graph.Builder.add_node b in
+        Graph.Builder.add_edge b title (Label.str (Printf.sprintf "Page %d" p)) tleaf;
+        pn)
+  in
+  (* Links: each page draws around avg_links targets; with probability
+     [locality] the target shares the host. *)
+  for p = 0 to n_pages - 1 do
+    let n_links =
+      let base = int_of_float avg_links in
+      base + (if Prng.float rng < avg_links -. float_of_int base then 1 else 0)
+    in
+    for _ = 1 to n_links do
+      let target =
+        if Prng.bool rng ~p:locality && n_pages >= n_hosts then begin
+          (* Same host: pages p ≡ host (mod n_hosts). *)
+          let same_host_count = ((n_pages - 1 - host_of.(p)) / n_hosts) + 1 in
+          host_of.(p) + (n_hosts * Prng.int rng same_host_count)
+        end
+        else Prng.int rng n_pages
+      in
+      Graph.Builder.add_edge b page_nodes.(p) (Label.sym "link") page_nodes.(target)
+    done
+  done;
+  Graph.Builder.finish b

@@ -1,0 +1,18 @@
+(** Synthetic web graphs (the substitution for section 1.1's motivating
+    data source, the World-Wide-Web).
+
+    {v
+      root --host--> {name: {"host3.example"},
+                      page: P, page: P, ...}
+      P    = {url: {"http://..."}, title: {"..."},
+              link: P', link: P'', ...}
+    v}
+
+    Links are cyclic and mix intra-host (probability [locality]) and
+    cross-host targets, so regular path queries genuinely need
+    cycle-terminating evaluation, and BFS site partitions (experiment E9)
+    see realistic locality. *)
+
+val generate :
+  ?seed:int -> ?n_hosts:int -> ?avg_links:float -> ?locality:float -> n_pages:int -> unit ->
+  Ssd.Graph.t

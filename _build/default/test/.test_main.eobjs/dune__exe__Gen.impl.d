@@ -1,0 +1,1 @@
+test/gen.ml: Array Hashtbl List QCheck2 QCheck_alcotest Relstore Ssd Ssd_automata

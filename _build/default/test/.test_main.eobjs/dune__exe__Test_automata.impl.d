@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Gen List Printf Q Ssd Ssd_automata Ssd_index Ssd_workload

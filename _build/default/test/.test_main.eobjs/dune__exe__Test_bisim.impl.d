@@ -1,0 +1,1 @@
+test/test_bisim.ml: Alcotest Array Gen List Q Ssd

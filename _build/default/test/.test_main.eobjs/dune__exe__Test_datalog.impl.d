@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Format Gen List Relstore Ssd Ssd_automata

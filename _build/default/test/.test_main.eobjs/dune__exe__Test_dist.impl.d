@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Gen List Q Ssd Ssd_automata Ssd_dist Ssd_workload

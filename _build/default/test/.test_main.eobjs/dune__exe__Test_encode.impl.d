@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Gen List Q Ssd

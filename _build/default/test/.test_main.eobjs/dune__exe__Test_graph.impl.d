@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun Gen List Printf Q Ssd

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Gen List Option Q Ssd Ssd_index Ssd_workload

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Gen List Printf Q Ssd String

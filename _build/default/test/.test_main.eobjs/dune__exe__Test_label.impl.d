@@ -1,0 +1,1 @@
+test/test_label.ml: Alcotest Fun Gen List Printf Q Ssd Stdlib String

@@ -1,0 +1,1 @@
+test/test_lorel.ml: Alcotest Gen List Lorel Printf Ssd Ssd_index Ssd_workload

@@ -1,0 +1,1 @@
+test/test_oem.ml: Alcotest Gen List Printf Ssd Ssd_automata Ssd_workload

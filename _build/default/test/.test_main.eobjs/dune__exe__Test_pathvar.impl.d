@@ -1,0 +1,1 @@
+test/test_pathvar.ml: Alcotest Gen List Q Ssd Ssd_schema Ssd_workload Unql

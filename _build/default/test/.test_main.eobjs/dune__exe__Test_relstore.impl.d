@@ -1,0 +1,1 @@
+test/test_relstore.ml: Alcotest Array Gen List Q Relstore Ssd Ssd_workload

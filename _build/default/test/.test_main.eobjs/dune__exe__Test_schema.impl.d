@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Gen List Printf Q Ssd Ssd_automata Ssd_index Ssd_schema Ssd_workload

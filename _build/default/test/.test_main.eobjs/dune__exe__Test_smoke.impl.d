@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest List Lorel Relstore Ssd Ssd_automata Ssd_dist Ssd_index Ssd_schema Ssd_workload Unql

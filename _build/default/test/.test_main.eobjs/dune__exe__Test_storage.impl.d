@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Filename Fun Gen List Printf Q Ssd Ssd_storage Ssd_workload Sys

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Gen Printf Ssd

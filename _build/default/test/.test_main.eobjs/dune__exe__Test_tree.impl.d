@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Fun Gen List Q Ssd String

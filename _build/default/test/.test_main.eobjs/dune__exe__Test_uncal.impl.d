@@ -1,0 +1,1 @@
+test/test_uncal.ml: Alcotest Gen List Q Ssd Unql

@@ -1,0 +1,1 @@
+test/test_unql.ml: Alcotest Gen List Printf Ssd Ssd_schema Ssd_workload Unql

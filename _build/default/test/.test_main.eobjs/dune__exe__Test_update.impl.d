@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Gen List Lorel Printf Ssd

@@ -1,0 +1,1 @@
+test/test_variant.ml: Alcotest Gen List Q Ssd

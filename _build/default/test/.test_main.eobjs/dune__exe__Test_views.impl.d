@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest List Ssd Ssd_workload Unql

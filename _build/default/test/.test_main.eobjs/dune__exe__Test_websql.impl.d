@@ -1,0 +1,1 @@
+test/test_websql.ml: Alcotest Array Hashtbl List Printf Relstore Ssd Ssd_workload Websql

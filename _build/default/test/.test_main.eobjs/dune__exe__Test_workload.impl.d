@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Printf Ssd Ssd_index Ssd_schema Ssd_workload

@@ -1,0 +1,151 @@
+(* QCheck generators shared by the property-based suites. *)
+
+module Label = Ssd.Label
+module Tree = Ssd.Tree
+module Graph = Ssd.Graph
+module Q = QCheck2.Gen
+
+let small_symbol = Q.oneofl [ "a"; "b"; "c"; "movie"; "title"; "x" ]
+
+let label : Label.t Q.t =
+  Q.oneof
+    [
+      Q.map Label.int (Q.int_range (-50) 50);
+      Q.map Label.float (Q.oneofl [ 0.0; 1.5; -2.25; 1e6 ]);
+      Q.map Label.str (Q.oneofl [ ""; "hi"; "Casablanca"; "a b"; "quo\"te"; "\\slash"; "tab\there" ]);
+      Q.map Label.bool Q.bool;
+      Q.map Label.sym small_symbol;
+    ]
+
+(* Trees: size-bounded, branching limited so canonical forms stay small. *)
+let tree : Tree.t Q.t =
+  let open Q in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then pure Tree.empty
+         else
+           let* width = int_range 0 (min 3 n) in
+           let* edges = list_repeat width (pair label (self (n / 2))) in
+           pure (Tree.of_edges edges))
+
+(* Rooted graphs, possibly cyclic: n nodes, random labeled edges among
+   them, node 0 the root, with a spine making most nodes reachable. *)
+let graph : Graph.t Q.t =
+  let open Q in
+  let* n = int_range 1 12 in
+  let* spine = list_repeat (n - 1) label in
+  let* extra = int_range 0 (2 * n) in
+  let* edges = list_repeat extra (triple (int_range 0 (n - 1)) label (int_range 0 (n - 1))) in
+  pure
+    (let b = Graph.Builder.create () in
+     for _ = 1 to n do
+       ignore (Graph.Builder.add_node b)
+     done;
+     Graph.Builder.set_root b 0;
+     List.iteri (fun i l -> Graph.Builder.add_edge b i l (i + 1)) spine;
+     List.iter (fun (u, l, v) -> Graph.Builder.add_edge b u l v) edges;
+     Graph.gc (Graph.Builder.finish b))
+
+(* Acyclic rooted graphs (DAGs): edges only point to higher ids. *)
+let dag : Graph.t Q.t =
+  let open Q in
+  let* n = int_range 1 12 in
+  let* spine = list_repeat (n - 1) label in
+  let* extra = int_range 0 (2 * n) in
+  let* edges =
+    list_repeat extra (triple (int_range 0 (n - 1)) label (int_range 0 (n - 1)))
+  in
+  pure
+    (let b = Graph.Builder.create () in
+     for _ = 1 to n do
+       ignore (Graph.Builder.add_node b)
+     done;
+     Graph.Builder.set_root b 0;
+     List.iteri (fun i l -> Graph.Builder.add_edge b i l (i + 1)) spine;
+     List.iter
+       (fun (u, l, v) -> if u < v then Graph.Builder.add_edge b u l v)
+       edges;
+     Graph.gc (Graph.Builder.finish b))
+
+(* Regexes over a small symbol alphabet plus a few predicates. *)
+let regex : Ssd_automata.Regex.t Q.t =
+  let module R = Ssd_automata.Regex in
+  let module P = Ssd_automata.Lpred in
+  let open Q in
+  let atom =
+    oneof
+      [
+        Q.map (fun s -> R.Atom (P.Exact (Label.Sym s))) small_symbol;
+        pure (R.Atom P.Any);
+        Q.map (fun s -> R.Atom (P.Not (P.Exact (Label.Sym s)))) small_symbol;
+        pure (R.Atom (P.Of_type "symbol"));
+        pure R.Eps;
+      ]
+  in
+  sized_size (int_range 0 8)
+  @@ fix (fun self n ->
+         if n <= 1 then atom
+         else
+           oneof
+             [
+               atom;
+               Q.map2 (fun a b -> R.Seq (a, b)) (self (n / 2)) (self (n / 2));
+               Q.map2 (fun a b -> R.Alt (a, b)) (self (n / 2)) (self (n / 2));
+               Q.map (fun a -> R.Star a) (self (n / 2));
+               Q.map (fun a -> R.Plus a) (self (n / 2));
+               Q.map (fun a -> R.Opt a) (self (n / 2));
+             ])
+
+(* Words over the same small alphabet (so regex matches are non-trivial). *)
+let word : Label.t list Q.t =
+  Q.list_size (Q.int_range 0 6) (Q.map Label.sym small_symbol)
+
+(* JSON documents. *)
+let json : Ssd.Json.t Q.t =
+  let module J = Ssd.Json in
+  let open Q in
+  let scalar =
+    oneof
+      [
+        pure J.Null;
+        Q.map (fun b -> J.Bool b) bool;
+        Q.map (fun i -> J.Int i) (int_range (-1000) 1000);
+        Q.map (fun s -> J.String s) (oneofl [ ""; "x"; "hello world"; "\"q\"" ]);
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           oneof
+             [
+               scalar;
+               Q.map (fun l -> J.List l) (list_size (int_range 0 4) (self (n / 2)));
+               Q.map
+                 (fun kvs ->
+                   (* JSON objects need distinct keys. *)
+                   let seen = Hashtbl.create 4 in
+                   J.Obj
+                     (List.filter
+                        (fun (k, _) ->
+                          if Hashtbl.mem seen k then false
+                          else begin
+                            Hashtbl.add seen k ();
+                            true
+                          end)
+                        kvs))
+                 (list_size (int_range 0 4)
+                    (pair (oneofl [ "k1"; "k2"; "key"; "nested" ]) (self (n / 2))));
+             ])
+
+(* Small random relations for the RA algebra laws. *)
+let relation attrs : Relstore.Relation.t Q.t =
+  let open Q in
+  let arity = List.length attrs in
+  let* rows = list_size (int_range 0 8) (list_repeat arity label) in
+  pure (Relstore.Relation.of_rows attrs (List.map Array.of_list rows))
+
+(* Wrap a QCheck2 property as an alcotest case. *)
+let qtest name ?(count = 100) ?print gen prop =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick
+    (QCheck2.Test.make ~name ~count ?print gen prop)

@@ -1,0 +1,140 @@
+module Label = Ssd.Label
+module Tree = Ssd.Tree
+module Graph = Ssd.Graph
+module Bisim = Ssd.Bisim
+module Simulation = Ssd.Simulation
+open Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse = Ssd.Syntax.parse_graph
+
+(* ------------------------------------------------------------------ *)
+(* Bisimulation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let classic_cycle_lengths () =
+  (* A self-loop and a 2-cycle both denote the infinite tree a.a.a... *)
+  let one = parse "&r {a: *r}" in
+  let two = parse "&r {a: {a: *r}}" in
+  check "1-cycle = 2-cycle" true (Bisim.equal one two);
+  check_int "both minimize to one node" 1 (Graph.n_nodes (Bisim.minimize two))
+
+let cycle_vs_finite () =
+  let cyc = parse "&r {a: *r}" in
+  let fin = parse "{a: {a: {a: {}}}}" in
+  check "infinite <> finite" false (Bisim.equal cyc fin)
+
+let sharing_vs_copies () =
+  let shared = parse "{l: &s {v}, r: *s}" in
+  let copied = parse "{l: {v}, r: {v}}" in
+  check "shared = copied" true (Bisim.equal shared copied)
+
+let label_sensitivity () =
+  check "different labels differ" false (Bisim.equal (parse "&r {a: *r}") (parse "&r {b: *r}"));
+  check "subtree matters" false (Bisim.equal (parse "{a: {b}}") (parse "{a: {c}}"))
+
+let minimize_compresses () =
+  (* Ten bisimilar leaves collapse to one node. *)
+  let b = Graph.Builder.create () in
+  let r = Graph.Builder.add_node b in
+  Graph.Builder.set_root b r;
+  for _ = 1 to 10 do
+    let v = Graph.Builder.add_node b in
+    Graph.Builder.add_edge b r (Label.sym "item") v
+  done;
+  let g = Graph.Builder.finish b in
+  let m = Bisim.minimize g in
+  check_int "minimized to 2 nodes" 2 (Graph.n_nodes m);
+  check "still equal" true (Bisim.equal g m)
+
+let bisim_properties =
+  [
+    qtest "equal reflexive" graph (fun g -> Bisim.equal g g);
+    qtest "equal symmetric" (Q.pair graph graph) (fun (a, b) ->
+        Bisim.equal a b = Bisim.equal b a);
+    qtest "agrees with tree equality on DAGs" (Q.pair dag dag) (fun (a, b) ->
+        Bisim.equal a b = Tree.equal (Graph.to_tree a) (Graph.to_tree b));
+    qtest "minimize preserves the value" graph (fun g -> Bisim.equal g (Bisim.minimize g));
+    qtest "minimize never grows" graph (fun g ->
+        Graph.n_nodes (Bisim.minimize g) <= Graph.n_nodes (Graph.gc (Graph.eps_eliminate g)));
+    qtest "minimize idempotent (same size)" graph (fun g ->
+        let m = Bisim.minimize g in
+        Graph.n_nodes (Bisim.minimize m) = Graph.n_nodes m);
+    qtest "n_classes = minimized size" graph (fun g ->
+        Bisim.n_classes g = Graph.n_nodes (Bisim.minimize g));
+    qtest "partition blocks respect bisimilarity" graph ~count:50 (fun g ->
+        let block, g' = Bisim.partition g in
+        (* nodes in the same block must have equal label-signatures over
+           blocks — re-check the fixpoint condition *)
+        let signature u =
+          Graph.labeled_succ g' u
+          |> List.map (fun (l, v) -> (l, block.(v)))
+          |> List.sort_uniq compare
+        in
+        let ok = ref true in
+        for u = 0 to Graph.n_nodes g' - 1 do
+          for v = u + 1 to Graph.n_nodes g' - 1 do
+            if block.(u) = block.(v) && signature u <> signature v then ok := false
+          done
+        done;
+        !ok);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Simulation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let subset_simulates () =
+  let small = parse "{movie: {title}}" in
+  let big = parse "{movie: {title, cast}, tvshow: {}}" in
+  check "small <= big" true (Simulation.simulates small big);
+  check "big !<= small" false (Simulation.simulates big small)
+
+let simulation_not_bisimulation () =
+  (* Classic: a(b+c) + ab vs a(b+c) are mutually similar — the extra
+     a-branch with only b is absorbed — but not bisimilar. *)
+  let extra = parse "{a: {b, c}, a: {b}}" in
+  let joined = parse "{a: {b, c}}" in
+  check "extra <= joined" true (Simulation.simulates extra joined);
+  check "similar" true (Simulation.similar extra joined);
+  check "but not bisimilar" false (Bisim.equal extra joined);
+  (* and one-directional simulation is strictly one-directional here: *)
+  let split = parse "{a: {b}, a: {c}}" in
+  check "split <= joined" true (Simulation.simulates split joined);
+  check "joined !<= split" false (Simulation.simulates joined split)
+
+let sim_properties =
+  [
+    qtest "simulates reflexive" graph (fun g -> Simulation.simulates g g);
+    qtest "bisimilar implies similar" graph (fun g ->
+        let m = Bisim.minimize g in
+        Simulation.similar g m);
+    qtest "every graph simulated by its single-node closure" graph (fun g ->
+        (* the complete one-node graph over the graph's labels simulates
+           everything built from those labels *)
+        let labels =
+          Graph.fold_labeled_edges (fun acc _ l _ -> l :: acc) [] (Graph.eps_eliminate g)
+          |> List.sort_uniq Label.compare
+        in
+        let b = Graph.Builder.create () in
+        let r = Graph.Builder.add_node b in
+        Graph.Builder.set_root b r;
+        List.iter (fun l -> Graph.Builder.add_edge b r l r) labels;
+        Simulation.simulates g (Graph.Builder.finish b));
+    qtest "simulation transitive through minimize" graph ~count:50 (fun g ->
+        Simulation.simulates g (Bisim.minimize (Bisim.minimize g)));
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "cycle lengths collapse" `Quick classic_cycle_lengths;
+    Alcotest.test_case "cycle vs finite" `Quick cycle_vs_finite;
+    Alcotest.test_case "sharing vs copies" `Quick sharing_vs_copies;
+    Alcotest.test_case "label sensitivity" `Quick label_sensitivity;
+    Alcotest.test_case "minimize compresses" `Quick minimize_compresses;
+    Alcotest.test_case "subset simulates" `Quick subset_simulates;
+    Alcotest.test_case "simulation is weaker than bisimulation" `Quick simulation_not_bisimulation;
+  ]
+  @ bisim_properties @ sim_properties

@@ -1,0 +1,167 @@
+module Label = Ssd.Label
+module Datalog = Relstore.Datalog
+module Triple = Relstore.Triple
+module Graph = Ssd.Graph
+open Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sort_tuples = List.sort_uniq compare
+
+let parse_and_print () =
+  let p =
+    Datalog.parse
+      {| % a comment
+         tc(?X, ?Y) :- edge(?X, _, ?Y).
+         tc(?X, ?Z) :- tc(?X, ?Y), edge(?Y, _, ?Z).
+         big(?N)    :- tc(?X, ?N), ?N > 65536.
+         odd(?X)    :- node(?X), not even(?X).
+         fact(a, "s", 42). |}
+  in
+  check_int "five rules" 5 (List.length p);
+  (* pp then re-parse is stable *)
+  let printed = Format.asprintf "%a" Datalog.pp_program p in
+  check "pp/parse stable" true (Datalog.parse printed = p)
+
+let safety () =
+  let unsafe src =
+    match Datalog.eval ~edb:[] (Datalog.parse src) with
+    | exception Datalog.Unsafe _ -> true
+    | _ -> false
+  in
+  check "head var unbound" true (unsafe "p(?X) :- q(?Y).");
+  check "negated var unbound" true (unsafe "p(?X) :- q(?X), not r(?Z).");
+  check "compared var unbound" true (unsafe "p(?X) :- q(?X), ?Z > 1.")
+
+let stratification () =
+  check "negation through recursion rejected" true
+    (match Datalog.eval ~edb:[] (Datalog.parse "p(?X) :- q(?X), not p(?X).") with
+     | exception Datalog.Not_stratified _ -> true
+     | _ -> false);
+  let p =
+    Datalog.parse
+      {| reach(?X) :- start(?X).
+         reach(?Y) :- reach(?X), e(?X, ?Y).
+         unreach(?X) :- node(?X), not reach(?X). |}
+  in
+  check_int "two strata" 2 (Datalog.n_strata p)
+
+let edb_chain n =
+  [
+    ("e", List.init (n - 1) (fun i -> [ Label.int i; Label.int (i + 1) ]));
+    ("start", [ [ Label.int 0 ] ]);
+    ("node", List.init n (fun i -> [ Label.int i ]));
+  ]
+
+let transitive_closure () =
+  let program =
+    Datalog.parse
+      {| reach(?X) :- start(?X).
+         reach(?Y) :- reach(?X), e(?X, ?Y). |}
+  in
+  let result = Datalog.query ~edb:(edb_chain 50) program "reach" in
+  check_int "all 50 reached" 50 (List.length result)
+
+let stratified_negation () =
+  let program =
+    Datalog.parse
+      {| reach(?X) :- start(?X).
+         reach(?Y) :- reach(?X), e(?X, ?Y).
+         unreach(?X) :- node(?X), not reach(?X). |}
+  in
+  let edb =
+    [
+      ("e", [ [ Label.int 0; Label.int 1 ] ]);
+      ("start", [ [ Label.int 0 ] ]);
+      ("node", [ [ Label.int 0 ]; [ Label.int 1 ]; [ Label.int 2 ]; [ Label.int 3 ] ]);
+    ]
+  in
+  check "unreachable = {2,3}" true
+    (sort_tuples (Datalog.query ~edb program "unreach")
+    = [ [ Label.int 2 ]; [ Label.int 3 ] ])
+
+let comparisons () =
+  let program = Datalog.parse {| big(?X) :- n(?X), ?X > 10. eq(?X) :- n(?X), ?X = 5. |} in
+  let edb = [ ("n", List.init 20 (fun i -> [ Label.int i ])) ] in
+  check_int "nine big" 9 (List.length (Datalog.query ~edb program "big"));
+  check_int "one eq" 1 (List.length (Datalog.query ~edb program "eq"))
+
+let facts_and_constants () =
+  let program =
+    Datalog.parse
+      {| color(red). color(blue).
+         nice(?C) :- color(?C), ?C != red. |}
+  in
+  check "blue is nice" true
+    (Datalog.query ~edb:[] program "nice" = [ [ Label.sym "blue" ] ])
+
+let missing_predicate_is_empty () =
+  let program = Datalog.parse "p(?X) :- q(?X)." in
+  check "no q facts, empty p" true (Datalog.query ~edb:[] program "p" = []);
+  check "unknown predicate" true (Datalog.query ~edb:[] program "zzz" = [])
+
+let cyclic_graph_reachability () =
+  let g = Ssd.Syntax.parse_graph "&r {a: {b: *r}, c: {}}" in
+  let program =
+    Datalog.parse
+      {| reach(?X) :- root(?X).
+         reach(?Y) :- reach(?X), edge(?X, ?L, ?Y). |}
+  in
+  let n = List.length (Datalog.query ~edb:(Triple.edb g) program "reach") in
+  check_int "terminates on cycles, finds all" (Graph.n_nodes (Graph.eps_eliminate g)) n
+
+let properties =
+  [
+    qtest "semi-naive = naive on random graphs" ~count:60 graph (fun g ->
+        let program =
+          Datalog.parse
+            {| reach(?X) :- root(?X).
+               reach(?Y) :- reach(?X), edge(?X, ?L, ?Y).
+               sym(?L)   :- edge(?X, ?L, ?Y).
+               far(?Y)   :- reach(?X), edge(?X, ?L, ?Y), edge(?Y, ?L2, ?Z), ?L != ?L2. |}
+        in
+        let edb = Triple.edb g in
+        let norm r = List.map (fun (p, ts) -> (p, sort_tuples ts)) r in
+        norm (Datalog.eval ~edb program) = norm (Datalog.eval_naive ~edb program));
+    qtest "datalog reach = graph reachability" ~count:60 graph (fun g ->
+        let program =
+          Datalog.parse
+            {| reach(?X) :- root(?X).
+               reach(?Y) :- reach(?X), edge(?X, ?L, ?Y). |}
+        in
+        let n = List.length (Datalog.query ~edb:(Triple.edb g) program "reach") in
+        n = Graph.n_nodes (Graph.eps_eliminate g));
+    qtest "regular path via datalog = product" ~count:40 graph (fun g ->
+        (* reach over only 'a'-labeled edges *)
+        let program =
+          Datalog.parse
+            {| r(?X) :- root(?X).
+               r(?Y) :- r(?X), edge(?X, a, ?Y). |}
+        in
+        let from_datalog =
+          Datalog.query ~edb:(Triple.edb g) program "r"
+          |> List.filter_map (function [ Label.Int n ] -> Some n | _ -> None)
+          |> List.sort_uniq compare
+        in
+        let g' = Graph.eps_eliminate g in
+        let from_product =
+          Ssd_automata.Product.accepting_nodes g' (Ssd_automata.Nfa.of_string "(a)*")
+          |> List.sort_uniq compare
+        in
+        from_datalog = from_product);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "parse and print" `Quick parse_and_print;
+    Alcotest.test_case "safety" `Quick safety;
+    Alcotest.test_case "stratification" `Quick stratification;
+    Alcotest.test_case "transitive closure" `Quick transitive_closure;
+    Alcotest.test_case "stratified negation" `Quick stratified_negation;
+    Alcotest.test_case "comparisons" `Quick comparisons;
+    Alcotest.test_case "facts and constants" `Quick facts_and_constants;
+    Alcotest.test_case "missing predicate is empty" `Quick missing_predicate_is_empty;
+    Alcotest.test_case "cyclic graph reachability" `Quick cyclic_graph_reachability;
+  ]
+  @ properties

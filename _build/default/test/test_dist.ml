@@ -1,0 +1,83 @@
+module Graph = Ssd.Graph
+module Nfa = Ssd_automata.Nfa
+module Product = Ssd_automata.Product
+module Decompose = Ssd_dist.Decompose
+open Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let single_site_is_centralized () =
+  let g = Ssd_workload.Webgraph.generate ~n_pages:100 () in
+  let nfa = Nfa.of_string "host.page.(link)*.title._" in
+  let partition = Array.make (Graph.n_nodes g) 0 in
+  let answers, stats = Decompose.eval g partition nfa in
+  check "same answers" true (answers = Product.accepting_nodes g nfa);
+  check_int "no cross edges" 0 stats.Decompose.cross_edges;
+  check_int "no messages" 0 stats.Decompose.messages;
+  check_int "one round" 1 stats.Decompose.rounds
+
+let partitions_cover_sites () =
+  let g = Ssd_workload.Webgraph.generate ~n_pages:200 () in
+  List.iter
+    (fun k ->
+      let p = Decompose.partition_bfs ~k g in
+      check "site ids in range" true (Array.for_all (fun s -> s >= 0 && s < k) p);
+      let p = Decompose.partition_random ~seed:3 ~k g in
+      check "random site ids in range" true (Array.for_all (fun s -> s >= 0 && s < k) p))
+    [ 1; 2; 5; 16 ]
+
+let bfs_partition_has_locality () =
+  let g = Ssd_workload.Webgraph.generate ~n_pages:500 ~locality:0.9 () in
+  let cross partition =
+    Graph.fold_labeled_edges
+      (fun acc u _ v -> if partition.(u) <> partition.(v) then acc + 1 else acc)
+      0 g
+  in
+  check "bfs cuts fewer edges than random" true
+    (cross (Decompose.partition_bfs ~k:4 g) < cross (Decompose.partition_random ~seed:1 ~k:4 g))
+
+let queries = [ "host.page.(link)*.title._"; "(~nothing)*"; "host.name._"; "_._._" ]
+
+let properties =
+  [
+    qtest "decomposed = centralized (bfs partitions)" ~count:40
+      (Q.pair graph (Q.int_range 1 5))
+      (fun (g, k) ->
+        List.for_all
+          (fun q ->
+            let nfa = Nfa.of_string q in
+            let partition = Decompose.partition_bfs ~k g in
+            fst (Decompose.eval g partition nfa) = Product.accepting_nodes g nfa)
+          queries);
+    qtest "decomposed = centralized (random partitions)" ~count:40
+      (Q.triple graph (Q.int_range 1 5) (Q.int_range 0 100))
+      (fun (g, k, seed) ->
+        let nfa = Nfa.of_string "(a|b)*.c?" in
+        let partition = Decompose.partition_random ~seed ~k g in
+        fst (Decompose.eval g partition nfa) = Product.accepting_nodes g nfa);
+    qtest "work-efficiency: total local work = sequential work" ~count:40
+      (Q.pair graph (Q.int_range 1 5))
+      (fun (g, k) ->
+        let nfa = Nfa.of_string "(a)*.b?" in
+        let partition = Decompose.partition_bfs ~k g in
+        let _, stats = Decompose.eval g partition nfa in
+        Array.fold_left ( + ) 0 stats.Decompose.local_work = stats.Decompose.sequential_work);
+    qtest "makespan between max-site and total work" ~count:40
+      (Q.pair graph (Q.int_range 1 5))
+      (fun (g, k) ->
+        let nfa = Nfa.of_string "(a|b)*" in
+        let partition = Decompose.partition_bfs ~k g in
+        let _, stats = Decompose.eval g partition nfa in
+        let total = Array.fold_left ( + ) 0 stats.Decompose.local_work in
+        let slowest = Array.fold_left max 0 stats.Decompose.local_work in
+        stats.Decompose.makespan >= slowest && stats.Decompose.makespan <= total);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "single site is centralized" `Quick single_site_is_centralized;
+    Alcotest.test_case "partitions cover sites" `Quick partitions_cover_sites;
+    Alcotest.test_case "bfs partition has locality" `Quick bfs_partition_has_locality;
+  ]
+  @ properties

@@ -1,0 +1,115 @@
+module Label = Ssd.Label
+module Graph = Ssd.Graph
+module Value_index = Ssd_index.Value_index
+module Text_index = Ssd_index.Text_index
+module Path_index = Ssd_index.Path_index
+module Stats = Ssd_index.Stats
+open Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fig1 = Ssd_workload.Movies.figure1 ()
+
+let value_index_basics () =
+  let idx = Value_index.build fig1 in
+  check_int "Bogart occurs twice" 2 (List.length (Value_index.find idx (Label.str "Bogart")));
+  check_int "Allen occurs twice" 2 (List.length (Value_index.find idx (Label.str "Allen")));
+  check "absent label" true (Value_index.find idx (Label.str "zzz") = []);
+  check "mem" true (Value_index.mem idx (Label.sym "movie"));
+  check "n_labels positive" true (Value_index.n_labels idx > 10)
+
+let text_index_basics () =
+  let idx = Text_index.build fig1 in
+  (* The browsing query of section 1.3: attribute names starting with act *)
+  let acts = Text_index.find_prefix idx "act" in
+  check_int "two actors attributes" 2 (List.length acts);
+  check "all are the actors symbol" true
+    (List.for_all (fun o -> o.Text_index.label = Label.sym "actors") acts);
+  check_int "word search in multi-word strings" 1
+    (List.length (Text_index.find_word idx "sam"));
+  check "exact" true
+    (List.length (Text_index.find_exact idx "Casablanca") = 2);
+  check "scan_contains agrees" true
+    (List.length (Text_index.scan_contains fig1 "asablanc") = 2)
+
+let path_index_basics () =
+  let idx = Path_index.build ~depth:3 fig1 in
+  let path = [ Label.sym "entry"; Label.sym "movie"; Label.sym "title" ] in
+  check "find = traverse" true
+    (Path_index.find idx path = Some (Path_index.traverse fig1 path));
+  check "too-deep path returns None" true
+    (Path_index.find idx (path @ [ Label.str "Casablanca" ]) = None);
+  check "indexed missing path is Some []" true
+    (Path_index.find idx [ Label.sym "nope" ] = Some []);
+  check "empty path = root" true (Path_index.find idx [] = Some [ Graph.root fig1 ])
+
+let stats_fig1 () =
+  let s = Stats.compute fig1 in
+  check "cyclic" true s.Stats.cyclic;
+  check "depth none when cyclic" true (s.Stats.depth = None);
+  check_int "entry among top labels" 3
+    (List.assoc (Label.sym "entry") (Stats.top_labels fig1 ~k:5))
+
+let some_label g =
+  match Graph.fold_labeled_edges (fun acc _ l _ -> l :: acc) [] g with
+  | [] -> None
+  | l :: _ -> Some l
+
+let properties =
+  [
+    qtest "value index = scan" graph (fun g ->
+        let idx = Value_index.build g in
+        match some_label g with
+        | None -> true
+        | Some l ->
+          List.sort compare (Value_index.find idx l)
+          = List.sort compare (Value_index.scan g l));
+    qtest "value index covers every edge" graph (fun g ->
+        let idx = Value_index.build g in
+        Graph.fold_labeled_edges
+          (fun acc u l v ->
+            acc && List.mem { Value_index.src = u; dst = v } (Value_index.find idx l))
+          true g);
+    qtest "path index agrees with traversal to depth" (Q.pair graph (Q.int_range 0 3))
+      (fun (g, depth) ->
+        let idx = Path_index.build ~depth g in
+        (* check every indexed path *)
+        let rec walk u path len acc =
+          if len > depth then acc
+          else
+            List.fold_left
+              (fun acc (l, v) -> walk v (path @ [ l ]) (len + 1) acc)
+              (path :: acc)
+              (Graph.labeled_succ g u)
+        in
+        let paths = List.sort_uniq compare (walk (Graph.root g) [] 0 []) in
+        List.for_all
+          (fun p ->
+            match Path_index.find idx p with
+            | Some nodes ->
+              List.sort compare nodes = List.sort compare (Path_index.traverse g p)
+            | None -> false)
+          paths);
+    qtest "stats node/edge counts match graph" graph (fun g ->
+        let g' = Graph.eps_eliminate g in
+        let s = Stats.compute g in
+        s.Stats.n_nodes = Graph.n_nodes g' && s.Stats.n_edges = Graph.n_edges g');
+    qtest "stats: leaves and cyclicity consistent" graph (fun g ->
+        let s = Stats.compute g in
+        s.Stats.n_leaves <= s.Stats.n_nodes
+        && (s.Stats.cyclic = Option.is_none s.Stats.depth));
+    qtest "top label counts sum to edge count" graph (fun g ->
+        let s = Stats.compute g in
+        let tops = Stats.top_labels g ~k:max_int in
+        List.fold_left (fun acc (_, c) -> acc + c) 0 tops = s.Stats.n_edges);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "value index basics" `Quick value_index_basics;
+    Alcotest.test_case "text index basics" `Quick text_index_basics;
+    Alcotest.test_case "path index basics" `Quick path_index_basics;
+    Alcotest.test_case "stats of figure 1" `Quick stats_fig1;
+  ]
+  @ properties

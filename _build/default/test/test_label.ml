@@ -1,0 +1,75 @@
+module Label = Ssd.Label
+open Gen
+
+let check = Alcotest.(check bool)
+
+let constructors () =
+  check "int" true (Label.is_int (Label.int 3));
+  check "float" true (Label.is_float (Label.float 1.5));
+  check "str" true (Label.is_str (Label.str "x"));
+  check "bool" true (Label.is_bool (Label.bool true));
+  check "sym" true (Label.is_sym (Label.sym "movie"));
+  Alcotest.(check string) "type names" "int,float,string,bool,symbol"
+    (String.concat ","
+       (List.map Label.type_name
+          [ Label.int 0; Label.float 0.; Label.str ""; Label.bool false; Label.sym "s" ]))
+
+let string_and_symbol_distinct () =
+  check "Str <> Sym" false (Label.equal (Label.str "movie") (Label.sym "movie"));
+  check "parse keeps them distinct" true
+    (Label.equal (Label.of_string "\"movie\"") (Label.str "movie")
+    && Label.equal (Label.of_string "movie") (Label.sym "movie"))
+
+let parsing () =
+  let cases =
+    [
+      ("42", Label.int 42);
+      ("-7", Label.int (-7));
+      ("1.5", Label.float 1.5);
+      ("true", Label.bool true);
+      ("false", Label.bool false);
+      ("movie", Label.sym "movie");
+      ("\"with \\\"quotes\\\"\"", Label.str "with \"quotes\"");
+      ("\"line\\nbreak\"", Label.str "line\nbreak");
+    ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      check (Printf.sprintf "parse %s" s) true (Label.equal (Label.of_string s) expected))
+    cases
+
+let parse_failures () =
+  List.iter
+    (fun s ->
+      check (Printf.sprintf "reject %S" s) true
+        (match Label.of_string s with
+         | exception Failure _ -> true
+         | _ -> false))
+    [ ""; "\"unterminated"; "9abc"; "has space" ]
+
+let properties =
+  [
+    qtest "to_string/of_string round-trip" label (fun l ->
+        Label.equal l (Label.of_string (Label.to_string l)));
+    qtest "compare reflexive" label (fun l -> Label.compare l l = 0);
+    qtest "compare antisymmetric" (Q.pair label label) (fun (a, b) ->
+        Stdlib.compare (Label.compare a b > 0) (Label.compare b a < 0) = 0);
+    qtest "compare transitive"
+      (Q.triple label label label)
+      (fun (a, b, c) ->
+        (not (Label.compare a b <= 0 && Label.compare b c <= 0)) || Label.compare a c <= 0);
+    qtest "equal implies same hash" (Q.pair label label) (fun (a, b) ->
+        (not (Label.equal a b)) || Label.hash a = Label.hash b);
+    qtest "exactly one type test holds" label (fun l ->
+        let tests = [ Label.is_int l; Label.is_float l; Label.is_str l; Label.is_bool l; Label.is_sym l ] in
+        List.length (List.filter Fun.id tests) = 1);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "constructors and type tests" `Quick constructors;
+    Alcotest.test_case "string vs symbol" `Quick string_and_symbol_distinct;
+    Alcotest.test_case "literal parsing" `Quick parsing;
+    Alcotest.test_case "parse failures" `Quick parse_failures;
+  ]
+  @ properties

@@ -1,0 +1,143 @@
+module Label = Ssd.Label
+module Tree = Ssd.Tree
+module Graph = Ssd.Graph
+open Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fig1 = Ssd_workload.Movies.figure1 ()
+
+let run ?(db = fig1) src = Lorel.Eval.run ~db src
+let rows g = Graph.labeled_succ g (Graph.root g)
+
+let path_evaluation () =
+  let eval src = Lorel.Eval.eval_path ~db:fig1 ~env:[] (Lorel.Parser.parse_path src) in
+  check_int "two movies" 2 (List.length (eval "DB.entry.movie"));
+  check_int "wildcard % spans one edge" 3 (List.length (eval "DB.entry.%"));
+  (* '#' spans any path: every node reachable from the root *)
+  check_int "hash reaches everything" (Graph.n_nodes (Graph.eps_eliminate fig1))
+    (List.length (eval "DB.#"))
+
+let select_from_where () =
+  let r = run {| select X.title from DB.entry.movie X where X.director = "Allen" |} in
+  check_int "one row" 1 (List.length (rows r));
+  check "the right title" true
+    (Tree.mem_label (Graph.to_tree r) (Label.str "Play it again, Sam"))
+
+let coercion () =
+  (* string/number coercion: budget is the float 1.2e6 *)
+  let r = run {| select X.title from DB.entry.movie X where X.budget = "1200000" |} in
+  check_int "string coerced to number" 1 (List.length (rows r));
+  (* numeric comparison across int/float *)
+  let r = run {| select X.title from DB.entry.movie X where X.budget > 1000000 |} in
+  check_int "int bound vs float value" 1 (List.length (rows r))
+
+let like_operator () =
+  let r = run {| select X.title from DB.entry.% X where X.title like "again" |} in
+  check_int "like matches substring" 1 (List.length (rows r))
+
+let exists_and_negation () =
+  let r = run {| select X.title from DB.entry.% X where exists X.episode |} in
+  check_int "only the tv show has episodes" 1 (List.length (rows r));
+  let r = run {| select X.title from DB.entry.% X where not exists X.episode |} in
+  check_int "both movies lack episodes" 2 (List.length (rows r))
+
+let hash_wildcard_queries () =
+  (* find the movies where Bogart appears anywhere below cast, whatever
+     the cast encoding (the figure's irregularity) *)
+  let r = run {| select X.title from DB.entry.% X where X.cast.# = "Bogart" |} in
+  check_int "Bogart in two entries" 2 (List.length (rows r))
+
+let aliases_and_multi_items () =
+  let r =
+    run {| select X.title as t, X.director as d from DB.entry.movie X |}
+  in
+  let tree = Graph.to_tree r in
+  check_int "two rows" 2 (List.length (rows r));
+  check "alias labels used" true
+    (Tree.mem_label tree (Label.sym "t") && Tree.mem_label tree (Label.sym "d"))
+
+let multiple_range_vars () =
+  let r =
+    run
+      {| select A from DB.entry.movie X, X.cast.#.% A
+         where X.title = "Casablanca" |}
+  in
+  (* leaves under actors: Bogart/Bacall leaf objects *)
+  check "rows present" true (rows r <> [])
+
+let object_identity_preserved () =
+  (* two select items reaching the same object share the node *)
+  let r =
+    run {| select X.references, X.references from DB.entry.movie X where exists X.references |}
+  in
+  let row =
+    match rows r with
+    | [ (_, row) ] -> row
+    | _ -> Alcotest.fail "expected one row"
+  in
+  (match Graph.labeled_succ r row with
+   | [ (_, n1); (_, n2) ] -> check "same object node" true (n1 = n2)
+   | _ -> Alcotest.fail "expected two items")
+
+let parse_errors () =
+  List.iter
+    (fun src ->
+      check (Printf.sprintf "reject %s" src) true
+        (match Lorel.Parser.parse src with
+         | exception Lorel.Parser.Parse_error _ -> true
+         | _ -> false))
+    [
+      "";
+      "from DB.x X";
+      "select";
+      "select X.y from DB.a select";
+      "select X.y from DB.a and";
+      "select X.title from DB.entry.movie X where";
+    ]
+
+let unbound_variable () =
+  check "unbound range var" true
+    (match run "select Y.title from DB.entry.movie X" with
+     | exception Lorel.Eval.Runtime_error _ -> true
+     | _ -> false)
+
+let properties =
+  [
+    qtest "DB.# = reachable nodes" graph (fun g ->
+        let nodes =
+          Lorel.Eval.eval_path ~db:g ~env:[] (Lorel.Parser.parse_path "DB.#")
+        in
+        List.length nodes = Graph.n_nodes (Graph.eps_eliminate g));
+    qtest "% step = labeled successors" graph (fun g ->
+        let via_lorel =
+          Lorel.Eval.eval_path ~db:g ~env:[] (Lorel.Parser.parse_path "DB.%")
+        in
+        let direct =
+          Graph.labeled_succ g (Graph.root g) |> List.map snd |> List.sort_uniq compare
+        in
+        List.sort compare via_lorel = direct);
+    qtest "lorel exact path = unql literal path" ~count:50 graph (fun g ->
+        let lorel_nodes =
+          Lorel.Eval.eval_path ~db:g ~env:[] (Lorel.Parser.parse_path "DB.a.b")
+        in
+        let direct = Ssd_index.Path_index.traverse g [ Label.sym "a"; Label.sym "b" ] in
+        List.sort compare lorel_nodes = List.sort compare direct);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "path evaluation" `Quick path_evaluation;
+    Alcotest.test_case "select from where" `Quick select_from_where;
+    Alcotest.test_case "coercion" `Quick coercion;
+    Alcotest.test_case "like operator" `Quick like_operator;
+    Alcotest.test_case "exists and negation" `Quick exists_and_negation;
+    Alcotest.test_case "hash wildcard queries" `Quick hash_wildcard_queries;
+    Alcotest.test_case "aliases and multiple items" `Quick aliases_and_multi_items;
+    Alcotest.test_case "multiple range variables" `Quick multiple_range_vars;
+    Alcotest.test_case "object identity preserved" `Quick object_identity_preserved;
+    Alcotest.test_case "parse errors" `Quick parse_errors;
+    Alcotest.test_case "unbound variable" `Quick unbound_variable;
+  ]
+  @ properties

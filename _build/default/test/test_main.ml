@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "ssd"
+    [
+      ("smoke", Test_smoke.tests);
+      ("label", Test_label.tests);
+      ("tree", Test_tree.tests);
+      ("graph", Test_graph.tests);
+      ("bisim-sim", Test_bisim.tests);
+      ("syntax", Test_syntax.tests);
+      ("json", Test_json.tests);
+      ("variant", Test_variant.tests);
+      ("encode", Test_encode.tests);
+      ("automata", Test_automata.tests);
+      ("relstore", Test_relstore.tests);
+      ("datalog", Test_datalog.tests);
+      ("index", Test_index.tests);
+      ("schema", Test_schema.tests);
+      ("unql", Test_unql.tests);
+      ("lorel", Test_lorel.tests);
+      ("dist", Test_dist.tests);
+      ("workload", Test_workload.tests);
+      ("storage", Test_storage.tests);
+      ("pathvar", Test_pathvar.tests);
+      ("oem", Test_oem.tests);
+      ("uncal", Test_uncal.tests);
+      ("websql", Test_websql.tests);
+      ("views", Test_views.tests);
+      ("update", Test_update.tests);
+    ]

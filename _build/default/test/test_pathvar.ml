@@ -1,0 +1,94 @@
+(* Path variables (<re> as \p) and guide-accelerated regex generators. *)
+
+module Label = Ssd.Label
+module Tree = Ssd.Tree
+module Graph = Ssd.Graph
+module Ast = Unql.Ast
+open Gen
+
+let check = Alcotest.(check bool)
+
+let fig1 = Ssd_workload.Movies.figure1 ()
+
+let path_variable_binds_witness () =
+  (* where is "Casablanca"? — now answerable inside the language, with
+     the witness path as part of the answer *)
+  let result =
+    Unql.Eval.run ~db:fig1
+      {| select {at: p} where {<_*."Casablanca"> as \p} <- DB |}
+  in
+  let t = Graph.to_tree result in
+  (* one of the witnesses is entry.movie.title."Casablanca" *)
+  let chains = Tree.subtrees_with_label t (Label.sym "at") in
+  check "two occurrences, two witness chains" true (List.length chains = 2);
+  let expected =
+    Ssd.Syntax.parse_tree {| {entry: {movie: {title: {"Casablanca"}}}} |}
+  in
+  check "movie witness present" true (List.exists (Tree.equal expected) chains)
+
+let path_variable_length () =
+  (* paths bound by <(a)*> on a chain have the expected shapes *)
+  let db = Ssd.Syntax.parse_graph "{a: {a: {a: {}}}}" in
+  let result =
+    Unql.Eval.run ~db {| select {path: p} where {<(a)*> as \p} <- DB |}
+  in
+  let t = Graph.to_tree result in
+  let chains = Tree.subtrees_with_label t (Label.sym "path") in
+  (* four targets: depths 0..3, each with its (unique) witness *)
+  check "four witnesses" true (List.length chains = 4);
+  check "depths 0..3" true
+    (List.sort_uniq compare (List.map Tree.depth chains) = [ 0; 1; 2; 3 ])
+
+let path_variable_on_cycles () =
+  (* shortest witness, even where infinitely many paths exist *)
+  let db = Ssd.Syntax.parse_graph "&r {a: *r}" in
+  let result = Unql.Eval.run ~db {| select {path: p} where {<(a)*> as \p} <- DB |} in
+  let t = Graph.to_tree result in
+  (match Tree.subtrees_with_label t (Label.sym "path") with
+   | [ chain ] -> check "shortest witness is the empty path" true (Tree.is_empty chain)
+   | _ -> Alcotest.fail "expected exactly one bound path")
+
+let path_var_in_conditions () =
+  (* the bound path is an ordinary tree: usable with equal/isempty *)
+  let result =
+    Unql.Eval.run ~db:fig1
+      {| select {direct}
+         where {<_*."Bacall"> as \p} <- DB,
+               equal(p, {entry: {movie: {cast: {credit: {actors: {"Bacall"}}}}}}) |}
+  in
+  check "witness equals the expected path" true
+    (not (Tree.is_empty (Graph.to_tree result)))
+
+let pretty_roundtrip_pathvar () =
+  let src = {| select {at: p} where {<_*."Casablanca"> as \p} <- DB |} in
+  let q = Unql.Parser.parse src in
+  let q' = Unql.Parser.parse (Unql.Pretty.expr_to_string q) in
+  check "pretty/parse keeps path binder" true
+    (Ssd.Bisim.equal (Unql.Eval.eval ~db:fig1 q) (Unql.Eval.eval ~db:fig1 q'))
+
+let guide_accelerated_regex =
+  [
+    qtest "guide-accelerated regex generator = plain evaluation" ~count:40
+      (Q.pair graph regex)
+      (fun (g, r) ->
+        let guide = Ssd_schema.Dataguide.build g in
+        let q =
+          Ast.Select
+            ( Ast.Tree [ (Ast.Lname "hit", Ast.Var "t") ],
+              [ Ast.Gen (Ast.Pedges [ ([ Ast.Sregex (r, None) ], Ast.Pbind "t") ], Ast.Db) ] )
+        in
+        let plain = Unql.Eval.eval ~db:g q in
+        let options = { Unql.Eval.default_options with dataguide = Some guide } in
+        let guided = Unql.Eval.eval ~options ~db:g q in
+        Ssd.Bisim.equal plain guided);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "path variable binds a witness" `Quick path_variable_binds_witness;
+    Alcotest.test_case "path variable lengths" `Quick path_variable_length;
+    Alcotest.test_case "path variable on cycles" `Quick path_variable_on_cycles;
+    Alcotest.test_case "path variable in conditions" `Quick path_var_in_conditions;
+    Alcotest.test_case "pretty round-trip with binder" `Quick pretty_roundtrip_pathvar;
+  ]
+  @ guide_accelerated_regex

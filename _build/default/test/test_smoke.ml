@@ -1,0 +1,130 @@
+(* End-to-end smoke tests exercising each subsystem once; the per-module
+   suites go deeper. *)
+
+module Label = Ssd.Label
+module Tree = Ssd.Tree
+module Graph = Ssd.Graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let syntax_roundtrip () =
+  let g = Ssd.Syntax.parse_graph {| {entry: {movie: {title: "Casablanca", year: 1942}}} |} in
+  let t = Graph.to_tree g in
+  check_int "size" 6 (Tree.size t);
+  let printed = Graph.to_string g in
+  let g2 = Ssd.Syntax.parse_graph printed in
+  check "reparse equal" true (Ssd.Bisim.equal g g2)
+
+let cyclic_parse () =
+  let g = Ssd.Syntax.parse_graph {| &r {a: {b: *r}, c: {}} |} in
+  check "cyclic" true (not (Graph.is_acyclic g));
+  let printed = Graph.to_string g in
+  let g2 = Ssd.Syntax.parse_graph printed in
+  check "cyclic reparse" true (Ssd.Bisim.equal g g2)
+
+let figure1 () =
+  let g = Ssd_workload.Movies.figure1 () in
+  check "cyclic (references)" true (not (Graph.is_acyclic g));
+  let idx = Ssd_index.Value_index.build g in
+  check_int "Casablanca occurs twice" 2
+    (List.length (Ssd_index.Value_index.find idx (Label.Str "Casablanca")))
+
+let unql_select () =
+  let db = Ssd_workload.Movies.figure1 () in
+  let result =
+    Unql.Eval.run ~db {| select {title: t} where {<entry.movie.title>: \t} <- DB |}
+  in
+  let t = Graph.to_tree result in
+  check_int "two movie titles" 2 (Tree.out_degree t);
+  check "has Casablanca" true
+    (Tree.mem_label t (Label.Str "Casablanca"))
+
+let unql_regex_negation () =
+  (* Did "Allen" appear under a movie without crossing another movie edge? *)
+  let db = Ssd_workload.Movies.figure1 () in
+  let result =
+    Unql.Eval.run ~db
+      {| select {found: \l}
+         where {<entry.movie>: \m} <- DB,
+               {<(~movie)*>.\l} <- m,
+               \l = "Allen" |}
+  in
+  check "found Allen" true (Tree.mem_label (Graph.to_tree result) (Label.Str "Allen"))
+
+let unql_sfun_relabel () =
+  let db = Ssd_workload.Movies.figure1 () in
+  let via_query = Unql.Eval.run ~db (Unql.Restructure.As_query.relabel ~from_:"movie" ~to_:"film") in
+  let direct =
+    Unql.Restructure.relabel
+      (fun l -> if Label.equal l (Label.Sym "movie") then Label.Sym "film" else l)
+      db
+  in
+  check "sfun = direct relabel" true (Ssd.Bisim.equal via_query direct)
+
+let datalog_reach () =
+  let db = Ssd_workload.Movies.figure1 () in
+  let edb = Relstore.Triple.edb db in
+  let program =
+    Relstore.Datalog.parse
+      {| reach(?X) :- root(?X).
+         reach(?Y) :- reach(?X), edge(?X, ?L, ?Y). |}
+  in
+  let tuples = Relstore.Datalog.query ~edb program "reach" in
+  let g = Graph.eps_eliminate db in
+  check_int "datalog reach = all reachable nodes" (Graph.n_nodes g) (List.length tuples)
+
+let dataguide_basic () =
+  let db = Ssd_workload.Movies.generate ~seed:1 ~n_entries:50 () in
+  let guide = Ssd_schema.Dataguide.build db in
+  (* Every dataguide path exists in the data and vice versa: spot check. *)
+  let path = [ Label.Sym "entry"; Label.Sym "movie"; Label.Sym "title" ] in
+  let from_guide = Ssd_schema.Dataguide.find guide path in
+  let by_traversal = Ssd_index.Path_index.traverse db path in
+  check "guide = traversal" true
+    (List.sort_uniq compare from_guide = List.sort_uniq compare by_traversal)
+
+let lorel_query () =
+  let db = Ssd_workload.Movies.figure1 () in
+  let result =
+    Lorel.Eval.run ~db
+      {| select X.title from DB.entry.movie X where X.cast.#.% = "Bogart" |}
+  in
+  let t = Graph.to_tree result in
+  check "one row, Casablanca" true (Tree.mem_label t (Label.Str "Casablanca"));
+  check "Sam not selected" true (not (Tree.mem_label t (Label.Str "Play it again, Sam")))
+
+let dist_equals_central () =
+  let g = Ssd_workload.Webgraph.generate ~n_pages:200 () in
+  let nfa = Ssd_automata.Nfa.of_string "host.page.(link)*.title._" in
+  let central = Ssd_automata.Product.accepting_nodes g nfa in
+  let partition = Ssd_dist.Decompose.partition_bfs ~k:4 g in
+  let distributed, stats = Ssd_dist.Decompose.eval g partition nfa in
+  check "same answers" true (central = distributed);
+  check "some cross edges" true (stats.Ssd_dist.Decompose.cross_edges > 0)
+
+let schema_conformance () =
+  let schema =
+    Ssd_schema.Gschema.parse
+      {| {entry: {movie: {title: #string, year: #int, cast: {_: {_}},
+                          director: #string, budget: #float,
+                          references: {}, is_referenced_in: {}},
+                  tvshow: {_: {_: {_}}}}} |}
+  in
+  ignore schema;
+  check "parsed" true true
+
+let tests =
+  [
+    Alcotest.test_case "syntax roundtrip" `Quick syntax_roundtrip;
+    Alcotest.test_case "cyclic parse" `Quick cyclic_parse;
+    Alcotest.test_case "figure1" `Quick figure1;
+    Alcotest.test_case "unql select" `Quick unql_select;
+    Alcotest.test_case "unql regex negation" `Quick unql_regex_negation;
+    Alcotest.test_case "unql sfun relabel" `Quick unql_sfun_relabel;
+    Alcotest.test_case "datalog reach" `Quick datalog_reach;
+    Alcotest.test_case "dataguide basic" `Quick dataguide_basic;
+    Alcotest.test_case "lorel query" `Quick lorel_query;
+    Alcotest.test_case "dist equals central" `Quick dist_equals_central;
+    Alcotest.test_case "schema parse" `Quick schema_conformance;
+  ]

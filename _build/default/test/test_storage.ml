@@ -1,0 +1,127 @@
+module Graph = Ssd.Graph
+module Codec = Ssd_storage.Codec
+module Pager = Ssd_storage.Pager
+open Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let roundtrip_fig1 () =
+  let g = Ssd_workload.Movies.figure1 () in
+  let g' = Codec.decode (Codec.encode g) in
+  (* node identities survive exactly, not just up to bisimilarity *)
+  check_int "same node count" (Graph.n_nodes g) (Graph.n_nodes g');
+  check_int "same root" (Graph.root g) (Graph.root g');
+  check "same value" true (Ssd.Bisim.equal g g')
+
+let file_roundtrip () =
+  let g = Ssd_workload.Bibdb.generate ~n_papers:30 () in
+  let path = Filename.temp_file "ssd" ".bin" in
+  Codec.write_file path g;
+  let g' = Codec.read_file path in
+  Sys.remove path;
+  check "file round-trip" true (Ssd.Bisim.equal g g')
+
+let corrupt_input_rejected () =
+  let rejects data =
+    match Codec.decode data with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  check "bad magic" true (rejects (Bytes.of_string "NOPE"));
+  check "empty" true (rejects Bytes.empty);
+  let good = Codec.encode (Ssd_workload.Movies.figure1 ()) in
+  check "truncated" true (rejects (Bytes.sub good 0 (Bytes.length good - 3)));
+  let trailing = Bytes.cat good (Bytes.of_string "xx") in
+  check "trailing bytes" true (rejects trailing)
+
+let string_table_shares () =
+  (* many occurrences of one symbol must be cheaper than distinct ones *)
+  let mk labels =
+    let b = Graph.Builder.create () in
+    let r = Graph.Builder.add_node b in
+    Graph.Builder.set_root b r;
+    List.iter
+      (fun l ->
+        let v = Graph.Builder.add_node b in
+        Graph.Builder.add_edge b r (Ssd.Label.sym l) v)
+      labels;
+    Graph.Builder.finish b
+  in
+  let repeated = mk (List.init 50 (fun _ -> "longish_symbol_name")) in
+  let distinct = mk (List.init 50 (fun i -> Printf.sprintf "longish_symbol_%03d" i)) in
+  check "shared strings compress" true
+    (Codec.encoded_size repeated * 2 < Codec.encoded_size distinct)
+
+let paging_basics () =
+  let g = Ssd_workload.Movies.generate ~n_entries:50 () in
+  let t = Pager.layout Pager.Bfs ~page_capacity:16 g in
+  check_int "pages cover all nodes"
+    ((Graph.n_nodes g + 15) / 16)
+    (Pager.n_pages t);
+  let ok = ref true in
+  for u = 0 to Graph.n_nodes g - 1 do
+    if Pager.page_of t u < 0 || Pager.page_of t u >= Pager.n_pages t then ok := false
+  done;
+  check "page ids in range" true !ok
+
+let lru_behaviour () =
+  let g = Ssd_workload.Movies.generate ~n_entries:20 () in
+  let t = Pager.layout Pager.Insertion ~page_capacity:4 g in
+  (* same page twice in a row: second access hits *)
+  let s = Pager.replay t ~buffer_pages:2 [ 0; 0; 0 ] in
+  check_int "one fault for repeated page" 1 s.Pager.faults;
+  (* sequence touching more pages than the buffer: all faults *)
+  let nodes = List.init (Graph.n_nodes g) Fun.id in
+  let cold = Pager.replay t ~buffer_pages:1 (nodes @ nodes) in
+  check "thrashing with tiny buffer" true (cold.Pager.faults > Pager.n_pages t)
+
+let clustering_matters () =
+  (* depth-first walks should fault less under DFS clustering than under
+     scattered placement *)
+  let g = Ssd_workload.Biodb.generate ~n_taxa:800 () in
+  let walks = Pager.random_walks ~seed:1 ~n_walks:200 ~depth:12 g in
+  let faults c =
+    (Pager.replay (Pager.layout c ~page_capacity:32 g) ~buffer_pages:4 walks).Pager.faults
+  in
+  check "dfs beats scatter on path workloads" true (faults Pager.Dfs < faults (Pager.Scatter 7))
+
+let properties =
+  [
+    qtest "encode/decode round-trip" graph (fun g ->
+        let g' = Codec.decode (Codec.encode g) in
+        Graph.n_nodes g = Graph.n_nodes g'
+        && Graph.n_edges g = Graph.n_edges g'
+        && Ssd.Bisim.equal g g');
+    qtest "encoded size monotone-ish in edges" graph (fun g ->
+        Codec.encoded_size g >= Graph.n_nodes g);
+    qtest "replay faults bounded" (Q.pair graph (Q.int_range 1 4)) (fun (g, buffer) ->
+        let t = Pager.layout Pager.Bfs ~page_capacity:4 g in
+        let walks = Pager.random_walks ~seed:3 ~n_walks:20 ~depth:6 g in
+        let s = Pager.replay t ~buffer_pages:buffer walks in
+        s.Pager.faults <= s.Pager.accesses
+        && s.Pager.faults >= 1
+        && s.Pager.accesses = List.length walks);
+    qtest "layouts are permutations" graph (fun g ->
+        List.for_all
+          (fun c ->
+            let t = Pager.layout c ~page_capacity:3 g in
+            let count = Array.make (Pager.n_pages t) 0 in
+            for u = 0 to Graph.n_nodes g - 1 do
+              count.(Pager.page_of t u) <- count.(Pager.page_of t u) + 1
+            done;
+            Array.for_all (fun c -> c <= 3) count)
+          [ Pager.Insertion; Pager.Bfs; Pager.Dfs; Pager.Scatter 5 ]);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "codec round-trip figure1" `Quick roundtrip_fig1;
+    Alcotest.test_case "file round-trip" `Quick file_roundtrip;
+    Alcotest.test_case "corrupt input rejected" `Quick corrupt_input_rejected;
+    Alcotest.test_case "string table shares" `Quick string_table_shares;
+    Alcotest.test_case "paging basics" `Quick paging_basics;
+    Alcotest.test_case "LRU behaviour" `Quick lru_behaviour;
+    Alcotest.test_case "clustering matters" `Quick clustering_matters;
+  ]
+  @ properties

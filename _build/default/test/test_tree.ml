@@ -1,0 +1,100 @@
+module Label = Ssd.Label
+module Tree = Ssd.Tree
+open Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sym s = Label.sym s
+let leaf s = Tree.leaf (sym s)
+
+let construction () =
+  check "empty is empty" true (Tree.is_empty Tree.empty);
+  check_int "leaf has one edge" 1 (Tree.out_degree (leaf "a"));
+  let t = Tree.of_edges [ (sym "b", Tree.empty); (sym "a", Tree.empty) ] in
+  (* canonical order is sorted *)
+  Alcotest.(check (list string))
+    "edges sorted" [ "a"; "b" ]
+    (List.map (fun (l, _) -> Label.to_string l) (Tree.edges t))
+
+let set_semantics () =
+  let a = leaf "a" in
+  check "duplicate edges absorbed" true
+    (Tree.equal a (Tree.union a a));
+  let t1 = Tree.of_edges [ (sym "a", Tree.empty); (sym "a", Tree.empty) ] in
+  check_int "of_edges dedups" 1 (Tree.out_degree t1);
+  (* ... but edges with the same label and different subtrees are kept *)
+  let t2 = Tree.of_edges [ (sym "a", leaf "x"); (sym "a", leaf "y") ] in
+  check_int "same label, different subtrees" 2 (Tree.out_degree t2)
+
+let size_and_depth () =
+  let t = Ssd.Syntax.parse_tree "{a: {b: {c}}, d}" in
+  check_int "size" 4 (Tree.size t);
+  check_int "depth" 3 (Tree.depth t);
+  check_int "empty depth" 0 (Tree.depth Tree.empty)
+
+let subtrees () =
+  let t = Ssd.Syntax.parse_tree "{a: {x}, a: {y}, b: {z}}" in
+  check_int "two a-subtrees" 2 (List.length (Tree.subtrees_with_label t (sym "a")));
+  check_int "no c-subtrees" 0 (List.length (Tree.subtrees_with_label t (sym "c")))
+
+let searching () =
+  let t = Ssd.Syntax.parse_tree {| {movie: {title: "Casablanca", cast: {actor: "Bogart"}}} |} in
+  check "mem Casablanca" true (Tree.mem_label t (Label.str "Casablanca"));
+  check "not mem Allen" false (Tree.mem_label t (Label.str "Allen"));
+  let paths = Tree.find_paths_to t (Label.equal (Label.str "Bogart")) in
+  Alcotest.(check (list (list string)))
+    "path to Bogart"
+    [ [ "movie"; "cast"; "actor"; "\"Bogart\"" ] ]
+    (List.map (List.map Label.to_string) paths)
+
+let map_and_filter () =
+  let t = Ssd.Syntax.parse_tree "{a: {b}, c}" in
+  let upper = function
+    | Label.Sym s -> Label.sym (String.uppercase_ascii s)
+    | l -> l
+  in
+  check "map_labels" true
+    (Tree.equal (Tree.map_labels upper t) (Ssd.Syntax.parse_tree "{A: {B}, C}"));
+  check "filter drops subtree" true
+    (Tree.equal
+       (Tree.filter_edges (fun l _ -> not (Label.equal l (sym "a"))) t)
+       (Ssd.Syntax.parse_tree "{c}"))
+
+let properties =
+  [
+    qtest "union commutative" (Q.pair tree tree) (fun (a, b) ->
+        Tree.equal (Tree.union a b) (Tree.union b a));
+    qtest "union associative" (Q.triple tree tree tree) (fun (a, b, c) ->
+        Tree.equal (Tree.union a (Tree.union b c)) (Tree.union (Tree.union a b) c));
+    qtest "union idempotent" tree (fun t -> Tree.equal (Tree.union t t) t);
+    qtest "empty is the unit" tree (fun t -> Tree.equal (Tree.union t Tree.empty) t);
+    qtest "unions = fold of union" (Q.list_size (Q.int_range 0 5) tree) (fun ts ->
+        Tree.equal (Tree.unions ts) (List.fold_left Tree.union Tree.empty ts));
+    qtest "of_edges canonical: reparse of edges is equal" tree (fun t ->
+        Tree.equal t (Tree.of_edges (Tree.edges t)));
+    qtest "map_labels id" tree (fun t -> Tree.equal (Tree.map_labels Fun.id t) t);
+    qtest "paths count = size + 1" tree (fun t ->
+        (* every edge contributes exactly one path endpoint, plus the root;
+           holds because canonical trees have no duplicate edges *)
+        List.length (Tree.paths t) = Tree.size t + 1);
+    qtest "compare consistent with equal" (Q.pair tree tree) (fun (a, b) ->
+        Tree.equal a b = (Tree.compare a b = 0));
+    qtest "depth <= size" tree (fun t -> Tree.depth t <= Tree.size t);
+    qtest "union size bounds" (Q.pair tree tree) (fun (a, b) ->
+        let s = Tree.size (Tree.union a b) in
+        s <= Tree.size a + Tree.size b && s >= max (Tree.size a) (Tree.size b));
+    qtest "pp/parse round-trip" tree (fun t ->
+        Tree.equal t (Ssd.Syntax.parse_tree (Tree.to_string t)));
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "construction" `Quick construction;
+    Alcotest.test_case "set semantics" `Quick set_semantics;
+    Alcotest.test_case "size and depth" `Quick size_and_depth;
+    Alcotest.test_case "subtrees_with_label" `Quick subtrees;
+    Alcotest.test_case "searching" `Quick searching;
+    Alcotest.test_case "map and filter" `Quick map_and_filter;
+  ]
+  @ properties

@@ -1,0 +1,118 @@
+(* The UnCAL marker algebra and its laws (the calculus under UnQL). *)
+
+module U = Unql.Uncal
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Tree = Ssd.Tree
+open Gen
+
+let check = Alcotest.(check bool)
+
+let sym = Label.sym
+
+(* A generator of small marker graphs over holes {y, z}. *)
+let uncal : U.t Q.t =
+  let open Q in
+  sized_size (int_range 0 6)
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneofl [ U.empty; U.mark "y"; U.mark "z"; U.label (sym "a") U.empty ]
+         else
+           oneof
+             [
+               oneofl [ U.empty; U.mark "y"; U.mark "z" ];
+               Q.map2 (fun l t -> U.label l t) label (self (n / 2));
+               Q.map2 U.union (self (n / 2)) (self (n / 2));
+             ])
+
+(* Close all holes with inputs for the right operand of @. *)
+let closed_over names t =
+  List.fold_left
+    (fun t y ->
+      if List.mem y (U.inputs t) then t
+      else
+        (* add input y as an alias of & by renaming a copy *)
+        t)
+    t names
+
+let value t = U.to_graph t
+
+let simple_construction () =
+  let g = value (U.label (sym "a") (U.union (U.label (sym "b") U.empty) (U.label (sym "c") U.empty))) in
+  check "constructors build trees" true
+    (Tree.equal (Graph.to_tree g) (Ssd.Syntax.parse_tree "{a: {b, c}}"))
+
+let hole_closes_to_empty () =
+  let g = value (U.label (sym "a") (U.mark "y")) in
+  check "unmatched hole is {}" true
+    (Tree.equal (Graph.to_tree g) (Ssd.Syntax.parse_tree "{a: {}}"))
+
+let append_plugs_holes () =
+  (* {a: &y} @ (&y = {b}) = {a: {b}} *)
+  let t1 = U.label (sym "a") (U.mark "y") in
+  let t2 = U.rename_inputs (fun _ -> "y") (U.label (sym "b") U.empty) in
+  let g = value (U.append t1 t2) in
+  check "append substitutes" true
+    (Tree.equal (Graph.to_tree g) (Ssd.Syntax.parse_tree "{a: {b}}"))
+
+let cycle_builds_loops () =
+  (* cycle(& = {a: &&}) — hole named like the input — is the a-loop *)
+  let t = U.label (sym "a") (U.mark U.amp) in
+  let g = value (U.cycle t) in
+  check "cycle closes the loop" true
+    (Ssd.Bisim.equal g (Ssd.Syntax.parse_graph "&r {a: *r}"))
+
+let structural_recursion_by_hand () =
+  (* The tutorial's point: rec is definable from the algebra.  Unroll a
+     two-state traffic light by cycling mutually-referent components:
+     building (&: {green: &y}) @ (y: {red: &}) then cycling. *)
+  let g1 = U.label (sym "green") (U.mark "y") in
+  let g2 = U.rename_inputs (fun _ -> "y") (U.label (sym "red") (U.mark U.amp)) in
+  let wired = U.append g1 g2 in
+  (* wired: & -> green -> red -> hole & *)
+  let light = U.cycle wired in
+  check "green/red cycle" true
+    (Ssd.Bisim.equal (value light) (Ssd.Syntax.parse_graph "&r {green: {red: *r}}"))
+
+let laws =
+  [
+    qtest "append associative" ~count:60 (Q.triple uncal uncal uncal) (fun (a, b, c) ->
+        (* wire b and c under fresh inputs matching the holes they plug *)
+        let b = U.rename_inputs (fun _ -> "y") b in
+        let c = U.rename_inputs (fun _ -> "z") c in
+        U.equal (U.append (U.append a b) c) (U.append a (U.append b c)));
+    qtest "mark is a left unit" ~count:60 uncal (fun t ->
+        let t = U.rename_inputs (fun _ -> "y") t in
+        Ssd.Bisim.equal
+          (U.to_graph ~input:U.amp (U.append (U.mark "y") t))
+          (U.to_graph ~input:"y" t));
+    qtest "append distributes over union on the left" ~count:60
+      (Q.triple uncal uncal uncal)
+      (fun (a, b, c) ->
+        let c = U.rename_inputs (fun _ -> "y") c in
+        U.equal (U.append (U.union a b) c) (U.union (U.append a c) (U.append b c)));
+    qtest "cycle unrolls: cycle t = t @ cycle t" ~count:60 uncal (fun t ->
+        (* make the holes refer to the input so cycle has something to do *)
+        let t = U.rename_outputs (fun _ -> U.amp) t in
+        Ssd.Bisim.equal (value (U.cycle t)) (value (U.append t (U.cycle t))));
+    qtest "union laws lift from trees" ~count:60 (Q.pair uncal uncal) (fun (a, b) ->
+        Ssd.Bisim.equal (value (U.union a b)) (value (U.union b a))
+        && Ssd.Bisim.equal (value (U.union a a)) (value a));
+    qtest "empty is the unit of union" uncal (fun t ->
+        Ssd.Bisim.equal (value (U.union t U.empty)) (value t));
+    qtest "append with no holes is a no-op" ~count:60 (Q.pair graph uncal) (fun (g, t) ->
+        let t = U.rename_inputs (fun _ -> "y") t in
+        Ssd.Bisim.equal (value (U.append (U.inject g) t)) g);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "simple construction" `Quick simple_construction;
+    Alcotest.test_case "hole closes to empty" `Quick hole_closes_to_empty;
+    Alcotest.test_case "append plugs holes" `Quick append_plugs_holes;
+    Alcotest.test_case "cycle builds loops" `Quick cycle_builds_loops;
+    Alcotest.test_case "structural recursion by hand" `Quick structural_recursion_by_hand;
+  ]
+  @ laws
+
+let _ = closed_over

@@ -1,0 +1,86 @@
+module Label = Ssd.Label
+module Tree = Ssd.Tree
+module Variant = Ssd.Variant
+open Gen
+
+let check = Alcotest.(check bool)
+
+let leafy_examples () =
+  (* A lone base leaf edge is a V2 data leaf. *)
+  check "base leaf" true
+    (Variant.leafy_of_v1 (Tree.leaf (Label.int 3)) = Variant.Leafy.Base (Label.int 3));
+  (* Symbol edges stay edges. *)
+  check "symbol edge" true
+    (Variant.leafy_of_v1 (Ssd.Syntax.parse_tree "{title: {\"x\"}}")
+    = Variant.Leafy.(Node [ ("title", Base (Label.str "x")) ]))
+
+let nodelab_examples () =
+  let n =
+    Variant.Nodelab.
+      { node = Label.sym "root"; children = [ (Label.sym "a", { node = Label.int 1; children = [] }) ] }
+  in
+  let t = Variant.v1_of_nodelab n in
+  (* the node label travels as an extra edge *)
+  check "extra node edge" true
+    (Tree.equal t (Ssd.Syntax.parse_tree "{node: {root}, a: {node: {1}}}"))
+
+let nodelab_union_motivation () =
+  (* The paper: labeling internal nodes "makes the operation of taking the
+     union of two trees difficult to define" — after the extra-edge
+     encoding, union is just tree union, and the two node labels coexist. *)
+  let a = Variant.v1_of_nodelab { Variant.Nodelab.node = Label.sym "x"; children = [] } in
+  let b = Variant.v1_of_nodelab { Variant.Nodelab.node = Label.sym "y"; children = [] } in
+  let u = Tree.union a b in
+  Alcotest.(check int) "both node labels present" 2
+    (List.length (Tree.subtrees_with_label u (Label.sym "node")))
+
+(* The sublanguage of trees V2 can represent exactly: every node either a
+   lone base leaf edge or all-symbol edges. *)
+let rec v2_expressible t =
+  match Tree.edges t with
+  | [ (b, sub) ] when (not (Label.is_sym b)) && Tree.is_empty sub -> true
+  | es -> List.for_all (fun (l, sub) -> Label.is_sym l && v2_expressible sub) es
+
+let symbol_tree : Tree.t Q.t =
+  let open Q in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof [ pure Tree.empty; Q.map (fun l -> Tree.leaf l) label ]
+         else
+           let* width = int_range 0 3 in
+           let* edges = list_repeat width (pair (Q.map Label.sym small_symbol) (self (n / 2))) in
+           pure (Tree.of_edges edges))
+
+let properties =
+  [
+    qtest "leafy round-trip from V2" tree (fun t ->
+        let l = Variant.leafy_of_v1 t in
+        Variant.Leafy.equal l (Variant.leafy_of_v1 (Variant.v1_of_leafy l)));
+    qtest "nodelab round-trip from V3" tree (fun t ->
+        let root = Label.sym "r" in
+        let n = Variant.nodelab_of_v1 ~root t in
+        Variant.Nodelab.equal n (Variant.nodelab_of_v1 ~root (Variant.v1_of_nodelab n)));
+    qtest "V1 round-trip on the V2-expressible sublanguage" symbol_tree (fun t ->
+        (not (v2_expressible t))
+        || Tree.equal t (Variant.v1_of_leafy (Variant.leafy_of_v1 t)));
+    qtest "leafy normalize idempotent" tree (fun t ->
+        let l = Variant.leafy_of_v1 t in
+        Variant.Leafy.equal (Variant.Leafy.normalize l) l);
+    qtest "conversions preserve symbol-edge counts" symbol_tree ~count:60 (fun t ->
+        (* total edges never grow through V2 on symbol trees *)
+        let rec leafy_size = function
+          | Variant.Leafy.Base _ -> 1
+          | Variant.Leafy.Node es ->
+            List.fold_left (fun acc (_, sub) -> acc + 1 + leafy_size sub) 0 es
+        in
+        leafy_size (Variant.leafy_of_v1 t) <= Tree.size t + 1);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "leafy examples" `Quick leafy_examples;
+    Alcotest.test_case "nodelab examples" `Quick nodelab_examples;
+    Alcotest.test_case "nodelab union motivation" `Quick nodelab_union_motivation;
+  ]
+  @ properties

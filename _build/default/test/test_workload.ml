@@ -1,0 +1,94 @@
+module Label = Ssd.Label
+module Graph = Ssd.Graph
+module Stats = Ssd_index.Stats
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let determinism () =
+  let pairs =
+    [
+      (fun () -> Ssd_workload.Movies.generate ~seed:5 ~n_entries:40 ());
+      (fun () -> Ssd_workload.Webgraph.generate ~seed:5 ~n_pages:60 ());
+      (fun () -> Ssd_workload.Biodb.generate ~seed:5 ~n_taxa:50 ());
+      (fun () -> Ssd_workload.Bibdb.generate ~seed:5 ~n_papers:30 ());
+      (fun () -> Ssd_workload.Randtree.generate ~seed:5 ~regularity:0.5 ~n_edges:80 ());
+    ]
+  in
+  List.iteri
+    (fun i gen ->
+      check (Printf.sprintf "generator %d deterministic" i) true
+        (Ssd.Bisim.equal (gen ()) (gen ())))
+    pairs
+
+let figure1_shape () =
+  let g = Ssd_workload.Movies.figure1 () in
+  let s = Stats.compute g in
+  check "cyclic (references pair)" true s.Stats.cyclic;
+  check_int "three entries" 3 (List.assoc (Label.sym "entry") (Stats.top_labels g ~k:3));
+  (* the two cast encodings coexist *)
+  let idx = Ssd_index.Value_index.build g in
+  check "nested credit encoding present" true (Ssd_index.Value_index.mem idx (Label.sym "credit"));
+  check "special_guests encoding present" true
+    (Ssd_index.Value_index.mem idx (Label.sym "special_guests"));
+  (* integer-labeled episode edges (arrays as int edges) *)
+  check "episode array uses int labels" true (Ssd_index.Value_index.mem idx (Label.int 2))
+
+let movies_scale_and_irregularity () =
+  let g = Ssd_workload.Movies.generate ~seed:1 ~n_entries:300 () in
+  let idx = Ssd_index.Value_index.build g in
+  check_int "300 entries" 300 (List.length (Ssd_index.Value_index.find idx (Label.sym "entry")));
+  (* both cast encodings occur at scale *)
+  check "credit encoding occurs" true (Ssd_index.Value_index.mem idx (Label.sym "credit"));
+  let direct =
+    List.length (Ssd_index.Value_index.find idx (Label.sym "actors"))
+    > List.length (Ssd_index.Value_index.find idx (Label.sym "credit"))
+  in
+  check "direct encoding occurs too" true direct;
+  check "references make it cyclic" true (not (Graph.is_acyclic g))
+
+let webgraph_shape () =
+  let g = Ssd_workload.Webgraph.generate ~seed:2 ~n_pages:100 ~n_hosts:5 () in
+  let idx = Ssd_index.Value_index.build g in
+  check_int "5 hosts" 5 (List.length (Ssd_index.Value_index.find idx (Label.sym "host")));
+  check_int "100 pages" 100 (List.length (Ssd_index.Value_index.find idx (Label.sym "page")));
+  check "links exist" true (Ssd_index.Value_index.mem idx (Label.sym "link"));
+  check "cyclic" true (not (Graph.is_acyclic g))
+
+let biodb_depth () =
+  let g = Ssd_workload.Biodb.generate ~seed:3 ~n_taxa:400 () in
+  let s = Stats.compute g in
+  check "acyclic tree" true (not s.Stats.cyclic);
+  (* "trees of arbitrary depth": significantly deeper than a balanced
+     3-ary tree over 400 nodes (depth ~6) *)
+  (match s.Stats.depth with
+   | Some d -> check "arbitrary depth" true (d > 12)
+   | None -> Alcotest.fail "expected a depth")
+
+let bibdb_sharing () =
+  let g = Ssd_workload.Bibdb.generate ~seed:4 ~n_papers:50 () in
+  check "acyclic (cites point backwards)" true (Graph.is_acyclic g);
+  (* shared author objects: minimization keeps them, but the unfolded tree
+     is much larger than the graph *)
+  let tree_size = Ssd.Tree.size (Graph.to_tree g) in
+  check "DAG smaller than its unfolding" true (Graph.n_edges g < tree_size)
+
+let randtree_regularity () =
+  let guide r =
+    Ssd_schema.Dataguide.n_nodes
+      (Ssd_schema.Dataguide.build
+         (Ssd_workload.Randtree.generate ~seed:6 ~regularity:r ~n_edges:500 ()))
+  in
+  check "regular data has a tiny guide" true (guide 1.0 < 20);
+  check "irregular data has a big guide" true (guide 0.0 > 100)
+
+let tests =
+  [
+    Alcotest.test_case "determinism" `Quick determinism;
+    Alcotest.test_case "figure1 shape" `Quick figure1_shape;
+    Alcotest.test_case "movies scale and irregularity" `Quick movies_scale_and_irregularity;
+    Alcotest.test_case "webgraph shape" `Quick webgraph_shape;
+    Alcotest.test_case "biodb depth" `Quick biodb_depth;
+    Alcotest.test_case "bibdb sharing" `Quick bibdb_sharing;
+    Alcotest.test_case "randtree regularity dial" `Quick randtree_regularity;
+  ]
