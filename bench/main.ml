@@ -681,10 +681,79 @@ let e12 () =
     ~header:[ "evaluator"; "time" ]
     (List.map (fun (name, t) -> [ name; ns_to_string t ]) timings)
 
+(* ------------------------------------------------------------------ *)
+(* E13 — plan/result cache on a repeated-query workload               *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  section "E13 plan/result cache: repeated query workload, cache on vs off";
+  let sizes = scale [ 1000; 5000 ] [ 500; 2000 ] in
+  let queries =
+    List.map Unql.Parser.parse
+      [
+        {| select {title: \t} where {entry.movie.title: \t} <- DB |};
+        {| select {hit: \t}
+           where {<entry.movie>: \m} <- DB,
+                 {<cast._*."Humphrey Bogart 0">} <- m,
+                 {title.\t} <- m |};
+        {| select {year: \y} where {entry.movie.year.\y} <- DB |};
+      ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let db = Ssd_workload.Movies.generate ~seed:14 ~n_entries:n () in
+        let cache = Unql.Cache.create ~capacity:64 () in
+        (* The cache must be invisible up to bisimulation. *)
+        List.iter
+          (fun q ->
+            assert (Ssd.Bisim.equal (Unql.Cache.eval ~cache ~db q) (Unql.Eval.eval ~db q)))
+          queries;
+        let run_workload eval = List.iter (fun q -> ignore (eval q)) queries in
+        let timings =
+          measure ~quota:0.4
+            [
+              ("cache-off", fun () -> run_workload (fun q -> Unql.Eval.eval ~db q));
+              ("cache-on", fun () -> run_workload (fun q -> Unql.Cache.eval ~cache ~db q));
+            ]
+        in
+        let t name = List.assoc name timings in
+        let s = Unql.Cache.stats cache in
+        let lookups = s.Unql.Cache.hits + s.Unql.Cache.misses in
+        [
+          string_of_int n;
+          ns_to_string (t "cache-off");
+          ns_to_string (t "cache-on");
+          Printf.sprintf "%.0fx" (t "cache-off" /. t "cache-on");
+          Printf.sprintf "%d/%d (%.1f%%)" s.Unql.Cache.hits lookups
+            (100. *. float_of_int s.Unql.Cache.hits /. float_of_int (max 1 lookups));
+        ])
+      sizes
+  in
+  print_table ~title:"repeated 3-query workload (movies data)"
+    ~header:[ "entries"; "cache-off"; "cache-on"; "speedup"; "hits/lookups" ]
+    rows;
+  (* Updates change the graph fingerprint, so a cached result is never
+     served for the mutated database; [invalidate] reclaims stale entries. *)
+  let db = Ssd_workload.Movies.generate ~seed:14 ~n_entries:200 () in
+  let cache = Unql.Cache.create ~capacity:64 () in
+  let q = List.hd queries in
+  ignore (Unql.Cache.eval ~cache ~db q);
+  ignore (Unql.Cache.eval ~cache ~db q);
+  let db' = Lorel.Update.run ~db {| insert DB.entry := {seen: true} |} in
+  let before = (Unql.Cache.stats cache).Unql.Cache.misses in
+  ignore (Unql.Cache.eval ~cache ~db:db' q);
+  let after = (Unql.Cache.stats cache).Unql.Cache.misses in
+  Printf.printf
+    "\nafter an update the lookup was a %s; invalidate dropped %d stale entries\n"
+    (if after > before then "miss (fingerprint changed, as required)" else "HIT (BUG)")
+    (Unql.Cache.invalidate cache db)
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
-    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("e12", e12); ("e13", e13);
   ]
 
 let () =

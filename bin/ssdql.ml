@@ -19,13 +19,47 @@ let read_file path =
   close_in ic;
   s
 
+(* [builtin:KIND[:N]] names a generated workload instead of a file, so
+   self-contained invocations (smoke tests, demos) need no data on disk. *)
+let load_builtin spec =
+  let kind, n =
+    match String.index_opt spec ':' with
+    | Some i -> (
+      let kind = String.sub spec 0 i in
+      let num = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt num with
+      | Some n -> (kind, n)
+      | None ->
+        Printf.eprintf "bad builtin size %s\n" num;
+        exit 2)
+    | None -> (spec, 200)
+  in
+  match kind with
+  | "figure1" -> Ssd_workload.Movies.figure1 ()
+  | "movies" -> Ssd_workload.Movies.generate ~seed:42 ~n_entries:n ()
+  | "web" -> Ssd_workload.Webgraph.generate ~seed:42 ~n_pages:n ()
+  | "bio" -> Ssd_workload.Biodb.generate ~seed:42 ~n_taxa:n ()
+  | "bib" -> Ssd_workload.Bibdb.generate ~seed:42 ~n_papers:n ()
+  | "randtree" -> Ssd_workload.Randtree.generate ~seed:42 ~regularity:0.5 ~n_edges:n ()
+  | other ->
+    Printf.eprintf "unknown builtin %s (figure1|movies|web|bio|bib|randtree)[:N]\n" other;
+    exit 2
+
 let load_data path =
-  let src = read_file path in
-  if Filename.check_suffix path ".json" then
-    Graph.of_tree (Ssd.Json.to_tree (Ssd.Json.parse src))
-  else if Filename.check_suffix path ".oem" then Ssd.Oem.to_graph (Ssd.Oem.parse src)
-  else if Filename.check_suffix path ".bin" then Ssd_storage.Codec.read_file path
-  else Ssd.Syntax.parse_graph src
+  if String.length path > 8 && String.sub path 0 8 = "builtin:" then
+    load_builtin (String.sub path 8 (String.length path - 8))
+  else begin
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "no such data file %s\n" path;
+      exit 2
+    end;
+    let src = read_file path in
+    if Filename.check_suffix path ".json" then
+      Graph.of_tree (Ssd.Json.to_tree (Ssd.Json.parse src))
+    else if Filename.check_suffix path ".oem" then Ssd.Oem.to_graph (Ssd.Oem.parse src)
+    else if Filename.check_suffix path ".bin" then Ssd_storage.Codec.read_file path
+    else Ssd.Syntax.parse_graph src
+  end
 
 let print_graph g = print_endline (Graph.to_string g)
 
@@ -33,26 +67,91 @@ let print_graph g = print_endline (Graph.to_string g)
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let query_cmd data lang query_text =
+(* --explain: show the plan-level view of an UnQL query — the normalized
+   (condition-pushed) form, regex automaton sizes over the data's label
+   alphabet, and what a DataGuide prune would eliminate. *)
+let explain_unql db q =
+  let normalized = Unql.Optimize.reorder q in
+  print_endline "== explain ==";
+  Printf.printf "query:\n  %s\n" (Unql.Pretty.expr_to_string q);
+  Printf.printf "normalized (conditions pushed down):\n  %s\n"
+    (Unql.Pretty.expr_to_string normalized);
+  let alphabet = Ssd_automata.Product.alphabet db in
+  (match Unql.Optimize.automaton_sizes ~alphabet normalized with
+  | [] -> ()
+  | sizes ->
+    List.iter
+      (fun (r, n_nfa, n_dfa) ->
+        Printf.printf "regex %s: %d NFA states, %d min-DFA states\n" r n_nfa n_dfa)
+      sizes);
+  let guide = Ssd_schema.Dataguide.build db in
+  let _, pruned = Unql.Optimize.prune_with_guide guide normalized in
+  Printf.printf "dataguide: %d guide nodes over %d data nodes; selects pruned: %d\n"
+    (Ssd_schema.Dataguide.n_nodes guide) (Graph.n_nodes db) pruned;
+  Printf.printf "cache key: %S @ fp=%x\n"
+    (Unql.Pretty.expr_to_string normalized)
+    (Unql.Cache.fingerprint db);
+  print_endline "== result =="
+
+let dump_stats fmt =
+  match fmt with
+  | "json" -> print_endline (Ssd_obs.Metrics.dump_json Ssd_obs.Metrics.default)
+  | _ -> print_string (Ssd_obs.Metrics.dump_text Ssd_obs.Metrics.default)
+
+let query_cmd data lang explain use_cache repeat quiet stats stats_format trace
+    query_text =
   let db = load_data data in
-  match lang with
-  | "unql" -> print_graph (Unql.Eval.run ~db query_text)
-  | "lorel" -> print_graph (Lorel.Eval.run ~db query_text)
-  | "websql" -> print_endline (Relstore.Relation.to_string (Websql.Eval.run ~db query_text))
+  if trace then Ssd_obs.Trace.enable ();
+  let repeat = max 1 repeat in
+  let run_repeated eval =
+    let r = ref (eval ()) in
+    for _ = 2 to repeat do
+      r := eval ()
+    done;
+    !r
+  in
+  (match lang with
+  | "unql" ->
+    let q = Unql.Parser.parse query_text in
+    if explain then explain_unql db q;
+    let result =
+      run_repeated (fun () ->
+          if use_cache then Unql.Cache.eval ~cache:Unql.Cache.shared ~db q
+          else Unql.Eval.eval ~db q)
+    in
+    if use_cache then begin
+      let s = Unql.Cache.stats Unql.Cache.shared in
+      Printf.eprintf "cache: %d hits, %d misses, %d evictions, %d entries\n"
+        s.Unql.Cache.hits s.Unql.Cache.misses s.Unql.Cache.evictions s.Unql.Cache.size
+    end;
+    if not quiet then print_graph result
+  | "lorel" ->
+    if explain then Printf.eprintf "--explain is only available for unql queries\n";
+    if use_cache then Printf.eprintf "--cache is only available for unql queries\n";
+    let result = run_repeated (fun () -> Lorel.Eval.run ~db query_text) in
+    if not quiet then print_graph result
+  | "websql" ->
+    let result = run_repeated (fun () -> Websql.Eval.run ~db query_text) in
+    if not quiet then print_endline (Relstore.Relation.to_string result)
   | "datalog" ->
     let program = Relstore.Datalog.parse query_text in
     let edb = Relstore.Triple.edb db in
-    let results = Relstore.Datalog.eval ~edb program in
-    List.iter
-      (fun (pred, tuples) ->
-        Printf.printf "%s: %d tuples\n" pred (List.length tuples);
-        List.iter
-          (fun t ->
-            Printf.printf "  %s(%s)\n" pred
-              (String.concat ", " (List.map Label.to_string t)))
-          tuples)
-      results
-  | other -> Printf.eprintf "unknown language %s (use unql, lorel, websql or datalog)\n" other
+    let results = run_repeated (fun () -> Relstore.Datalog.eval ~edb program) in
+    if not quiet then
+      List.iter
+        (fun (pred, tuples) ->
+          Printf.printf "%s: %d tuples\n" pred (List.length tuples);
+          List.iter
+            (fun t ->
+              Printf.printf "  %s(%s)\n" pred
+                (String.concat ", " (List.map Label.to_string t)))
+            tuples)
+        results
+  | other ->
+    Printf.eprintf "unknown language %s (use unql, lorel, websql or datalog)\n" other;
+    exit 2);
+  if trace then prerr_string (Ssd_obs.Trace.render ());
+  if stats then dump_stats stats_format
 
 (* ------------------------------------------------------------------ *)
 (* convert                                                             *)
@@ -149,17 +248,50 @@ let gen_cmd kind n seed =
 open Cmdliner
 
 let data_arg =
-  Arg.(required & opt (some file) None & info [ "d"; "data" ] ~docv:"FILE"
-         ~doc:"Data file (.ssd syntax; .json, .oem and .bin are auto-detected).")
+  Arg.(required & opt (some string) None & info [ "d"; "data" ] ~docv:"FILE"
+         ~doc:"Data file (.ssd syntax; .json, .oem and .bin are auto-detected) \
+               or builtin:KIND[:N] for a generated workload \
+               (figure1|movies|web|bio|bib|randtree).")
 
 let query_t =
   let lang =
     Arg.(value & opt string "unql" & info [ "l"; "lang" ] ~docv:"LANG"
            ~doc:"Query language: unql, lorel, websql or datalog.")
   in
+  let explain =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Print the normalized query, regex automaton sizes and \
+                 DataGuide prune opportunities before evaluating (unql only).")
+  in
+  let cache =
+    Arg.(value & flag & info [ "cache" ]
+           ~doc:"Evaluate through the shared plan/result cache (unql only); \
+                 prints hit/miss counters to stderr.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Evaluate the query N times (exercises the cache).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ]
+           ~doc:"Suppress the query result (useful with --stats).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Dump the metrics registry after evaluation.")
+  in
+  let stats_format =
+    Arg.(value & opt string "text" & info [ "stats-format" ] ~docv:"FMT"
+           ~doc:"Metrics dump format: text or json.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print a span tree of the evaluation to stderr.")
+  in
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v (Cmd.info "query" ~doc:"Run a query against a data file")
-    Term.(const query_cmd $ data_arg $ lang $ q)
+    Term.(const query_cmd $ data_arg $ lang $ explain $ cache $ repeat $ quiet
+          $ stats $ stats_format $ trace $ q)
 
 let convert_t =
   let target =

@@ -1,5 +1,13 @@
 module Label = Ssd.Label
 module Graph = Ssd.Graph
+module Metrics = Ssd_obs.Metrics
+
+(* Probe/hit counters (lib/obs): a probe is any [find]; a hit is a probe
+   answered by the table (the path occurs in the data and is within the
+   indexed depth). *)
+let m_builds = Metrics.counter "index.path.builds"
+let m_probes = Metrics.counter "index.path.probes"
+let m_hits = Metrics.counter "index.path.hits"
 
 type t = {
   depth : int;
@@ -9,6 +17,7 @@ type t = {
 module Int_set = Set.Make (Int)
 
 let build ~depth g =
+  Metrics.incr m_builds;
   let table = Hashtbl.create 1024 in
   (* Level-by-level: frontier maps each path of the current length to its
      node set; cycles are harmless because length strictly grows. *)
@@ -40,8 +49,15 @@ let build ~depth g =
   { depth; table }
 
 let find idx path =
+  Metrics.incr m_probes;
   if List.length path > idx.depth then None
-  else Some (Option.value ~default:[] (Hashtbl.find_opt idx.table path))
+  else begin
+    match Hashtbl.find_opt idx.table path with
+    | Some nodes ->
+      Metrics.incr m_hits;
+      Some nodes
+    | None -> Some []
+  end
 
 let depth idx = idx.depth
 let n_paths idx = Hashtbl.length idx.table

@@ -15,7 +15,16 @@ end)
 
 type t = occurrence list Label_tbl.t
 
+module Metrics = Ssd_obs.Metrics
+
+(* Probe/hit counters (lib/obs): a probe is any [find]/[find_nodes]/[mem];
+   a hit is a probe whose label occurs in the data. *)
+let m_builds = Metrics.counter "index.value.builds"
+let m_probes = Metrics.counter "index.value.probes"
+let m_hits = Metrics.counter "index.value.hits"
+
 let build g =
+  Metrics.incr m_builds;
   let idx = Label_tbl.create 256 in
   Graph.fold_labeled_edges
     (fun () src l dst ->
@@ -24,9 +33,21 @@ let build g =
     () g;
   idx
 
-let find idx l = Option.value ~default:[] (Label_tbl.find_opt idx l)
+let find idx l =
+  Metrics.incr m_probes;
+  match Label_tbl.find_opt idx l with
+  | Some occs ->
+    Metrics.incr m_hits;
+    occs
+  | None -> []
+
 let find_nodes idx l = List.map (fun o -> o.dst) (find idx l)
-let mem idx l = Label_tbl.mem idx l
+
+let mem idx l =
+  Metrics.incr m_probes;
+  let hit = Label_tbl.mem idx l in
+  if hit then Metrics.incr m_hits;
+  hit
 let n_labels idx = Label_tbl.length idx
 
 let scan g l =

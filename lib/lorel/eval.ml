@@ -1,10 +1,24 @@
 module Graph = Ssd.Graph
 module Label = Ssd.Label
+module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
 open Ast
 
 exception Runtime_error of string
 
 module Int_set = Set.Make (Int)
+
+(* Execution counters (lib/obs), reported to [Metrics.default]. *)
+let m_queries = Metrics.counter "lorel.eval.queries"
+let m_path_steps = Metrics.counter "lorel.eval.path_steps"
+let m_edges = Metrics.counter "lorel.eval.edges_traversed"
+let m_rows = Metrics.counter "lorel.eval.rows_produced"
+let t_eval = Metrics.timer "lorel.eval.time"
+
+let succs g u =
+  let es = Graph.labeled_succ g u in
+  Metrics.add m_edges (List.length es);
+  es
 
 (* ------------------------------------------------------------------ *)
 (* Path expressions                                                    *)
@@ -17,24 +31,25 @@ let closure g nodes =
   let rec go u =
     if not (Int_set.mem u !seen) then begin
       seen := Int_set.add u !seen;
-      List.iter (fun (_, v) -> go v) (Graph.labeled_succ g u)
+      List.iter (fun (_, v) -> go v) (succs g u)
     end
   in
   Int_set.iter go nodes;
   !seen
 
-let step g nodes = function
+let step g nodes comp =
+  Metrics.incr m_path_steps;
+  match comp with
   | Clabel l ->
     Int_set.fold
       (fun u acc ->
         List.fold_left
           (fun acc (l', v) -> if Label.equal l l' then Int_set.add v acc else acc)
-          acc (Graph.labeled_succ g u))
+          acc (succs g u))
       nodes Int_set.empty
   | Cany ->
     Int_set.fold
-      (fun u acc ->
-        List.fold_left (fun acc (_, v) -> Int_set.add v acc) acc (Graph.labeled_succ g u))
+      (fun u acc -> List.fold_left (fun acc (_, v) -> Int_set.add v acc) acc (succs g u))
       nodes Int_set.empty
   | Cpath -> closure g nodes
 
@@ -132,6 +147,9 @@ let item_label item =
       | None -> Label.Sym "item"))
 
 let eval ~db q =
+  Metrics.incr m_queries;
+  Metrics.time t_eval @@ fun () ->
+  Trace.with_span "lorel.eval" @@ fun () ->
   let envs =
     List.fold_left
       (fun envs (p, x) ->
@@ -145,6 +163,7 @@ let eval ~db q =
     | None -> envs
     | Some c -> List.filter (fun env -> eval_cond ~db ~env c) envs
   in
+  Metrics.add m_rows (List.length envs);
   let b = Graph.Builder.create () in
   let result_root = Graph.Builder.add_node b in
   Graph.Builder.set_root b result_root;

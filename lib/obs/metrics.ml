@@ -1,0 +1,225 @@
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+}
+
+type timer = {
+  t_name : string;
+  mutable t_count : int;
+  mutable t_total_ns : float;
+}
+
+(* 64 power-of-two buckets: bucket k counts values in (2^(k-1), 2^k],
+   bucket 0 counts values <= 1. *)
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Timer of timer
+  | Histogram of histogram
+
+type registry = (string, instrument) Hashtbl.t
+
+let create () : registry = Hashtbl.create 64
+
+let default : registry = create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Timer _ -> "timer"
+  | Histogram _ -> "histogram"
+
+let register registry name make extract =
+  match Hashtbl.find_opt registry name with
+  | Some i -> (
+    match extract i with
+    | Some x -> x
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s already registered as a %s" name (kind_name i)))
+  | None ->
+    let i = make () in
+    Hashtbl.add registry name i;
+    (match extract i with Some x -> x | None -> assert false)
+
+let counter ?(registry = default) name =
+  register registry name
+    (fun () -> Counter { c_name = name; c_value = 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let counter_name c = c.c_name
+
+let timer ?(registry = default) name =
+  register registry name
+    (fun () -> Timer { t_name = name; t_count = 0; t_total_ns = 0. })
+    (function Timer t -> Some t | _ -> None)
+
+let record_ns t ns =
+  t.t_count <- t.t_count + 1;
+  t.t_total_ns <- t.t_total_ns +. ns
+
+let time t f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record_ns t ((Unix.gettimeofday () -. t0) *. 1e9)) f
+
+let timer_count t = t.t_count
+let timer_total_ns t = t.t_total_ns
+
+let histogram ?(registry = default) name =
+  register registry name
+    (fun () ->
+      Histogram
+        {
+          h_name = name;
+          h_buckets = Array.make 64 0;
+          h_count = 0;
+          h_sum = 0.;
+          h_min = infinity;
+          h_max = neg_infinity;
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+let bucket_of v =
+  if v <= 1. then 0
+  else
+    let _, e = Float.frexp v in
+    (* frexp: v = m * 2^e with m in [0.5, 1), so 2^(e-1) <= v < 2^e;
+       v lands in bucket e-1 when it is exactly a power of two. *)
+    let k = if Float.of_int (1 lsl (e - 1)) >= v then e - 1 else e in
+    min k 63
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let k = bucket_of v in
+  h.h_buckets.(k) <- h.h_buckets.(k) + 1
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let histogram_buckets h =
+  let out = ref [] in
+  for k = 63 downto 0 do
+    if h.h_buckets.(k) > 0 then
+      out := (Float.of_int (1 lsl k), h.h_buckets.(k)) :: !out
+  done;
+  !out
+
+let reset registry =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Counter c -> c.c_value <- 0
+      | Timer t ->
+        t.t_count <- 0;
+        t.t_total_ns <- 0.
+      | Histogram h ->
+        Array.fill h.h_buckets 0 64 0;
+        h.h_count <- 0;
+        h.h_sum <- 0.;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity)
+    registry
+
+let partition registry =
+  let cs = ref [] and ts = ref [] and hs = ref [] in
+  Hashtbl.iter
+    (fun name i ->
+      match i with
+      | Counter c -> cs := (name, c) :: !cs
+      | Timer t -> ts := (name, t) :: !ts
+      | Histogram h -> hs := (name, h) :: !hs)
+    registry;
+  let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  (by_name !cs, by_name !ts, by_name !hs)
+
+(* min/max of an empty histogram dump as 0 so consumers never see
+   infinities (JSON has no representation for them). *)
+let h_min h = if h.h_count = 0 then 0. else h.h_min
+let h_max h = if h.h_count = 0 then 0. else h.h_max
+
+let counters registry =
+  let cs, _, _ = partition registry in
+  List.map (fun (name, c) -> (name, c.c_value)) cs
+
+let ns_pretty ns =
+  if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let dump_text registry =
+  let cs, ts, hs = partition registry in
+  let buf = Buffer.create 512 in
+  if cs <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (name, c) -> Buffer.add_string buf (Printf.sprintf "  %-44s %d\n" name c.c_value))
+      cs
+  end;
+  if ts <> [] then begin
+    Buffer.add_string buf "timers:\n";
+    List.iter
+      (fun (name, t) ->
+        let mean = if t.t_count = 0 then 0. else t.t_total_ns /. float_of_int t.t_count in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-44s count %-6d total %-10s mean %s\n" name t.t_count
+             (ns_pretty t.t_total_ns) (ns_pretty mean)))
+      ts
+  end;
+  if hs <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun (name, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-44s count %-6d sum %-10.0f min %-8.0f max %.0f\n" name
+             h.h_count h.h_sum (h_min h) (h_max h)))
+      hs
+  end;
+  Buffer.contents buf
+
+let to_json registry =
+  let module J = Ssd.Json in
+  let cs, ts, hs = partition registry in
+  let counters = J.Obj (List.map (fun (name, c) -> (name, J.Int c.c_value)) cs) in
+  let timers =
+    J.Obj
+      (List.map
+         (fun (name, t) ->
+           (name, J.Obj [ ("count", J.Int t.t_count); ("total_ns", J.Float t.t_total_ns) ]))
+         ts)
+  in
+  let histograms =
+    J.Obj
+      (List.map
+         (fun (name, h) ->
+           ( name,
+             J.Obj
+               [
+                 ("count", J.Int h.h_count);
+                 ("sum", J.Float h.h_sum);
+                 ("min", J.Float (h_min h));
+                 ("max", J.Float (h_max h));
+                 ( "buckets",
+                   J.List
+                     (List.map
+                        (fun (ub, n) -> J.List [ J.Float ub; J.Int n ])
+                        (histogram_buckets h)) );
+               ] ))
+         hs)
+  in
+  J.Obj [ ("counters", counters); ("timers", timers); ("histograms", histograms) ]
+
+let dump_json registry = Ssd.Json.to_string (to_json registry)

@@ -1,0 +1,95 @@
+(** Execution metrics: named counters, timers and histograms.
+
+    Query evaluation in this codebase was rewrite-only observable — one
+    could inspect the optimized AST but not what evaluation actually did.
+    This module is the observation layer: the evaluators ({!Unql.Eval},
+    {!Lorel.Eval}, {!Relstore.Datalog}), the indexes and the result cache
+    register named instruments in a {e registry} and bump them on their
+    hot paths.  Instruments are monotonic within a process (counters only
+    grow; timers and histograms only accumulate) until {!reset}.
+
+    Overhead is one hash lookup at registration (module initialization)
+    and one unboxed mutation per event afterwards, so instrumentation is
+    left on unconditionally.
+
+    Instrument names are dot-separated, [subsystem.component.what] — e.g.
+    [unql.eval.edges_traversed], [unql.cache.hits],
+    [datalog.seminaive.rounds]. *)
+
+type registry
+
+(** A fresh, empty registry. *)
+val create : unit -> registry
+
+(** The process-wide registry all built-in instrumentation reports to. *)
+val default : registry
+
+(** {1 Counters} *)
+
+type counter
+
+(** [counter ?registry name] registers (or retrieves — registration is
+    idempotent per name) a monotonic counter.
+    @raise Invalid_argument if [name] is registered as another kind. *)
+val counter : ?registry:registry -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+(** {1 Timers}
+
+    A timer accumulates wall-clock time over any number of runs. *)
+
+type timer
+
+val timer : ?registry:registry -> string -> timer
+
+(** [time t f] runs [f ()], adding its wall-clock duration to [t] (also
+    on exception). *)
+val time : timer -> (unit -> 'a) -> 'a
+
+(** Record an externally-measured duration, in nanoseconds. *)
+val record_ns : timer -> float -> unit
+
+val timer_count : timer -> int
+
+(** Accumulated nanoseconds. *)
+val timer_total_ns : timer -> float
+
+(** {1 Histograms}
+
+    Distribution of a non-negative quantity (e.g. datalog delta sizes,
+    bindings per select): power-of-two buckets plus count/sum/min/max. *)
+
+type histogram
+
+val histogram : ?registry:registry -> string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** [(bucket_upper_bound, count)] for each non-empty bucket, ascending.
+    A value [v] lands in the bucket with the smallest upper bound
+    [2^k >= v]. *)
+val histogram_buckets : histogram -> (float * int) list
+
+(** {1 Registry-wide views} *)
+
+(** All counters as [(name, value)], sorted by name. *)
+val counters : registry -> (string * int) list
+
+(** Zero every instrument in the registry (instruments stay registered). *)
+val reset : registry -> unit
+
+(** Human-readable dump: counters, then timers, then histograms, each
+    sorted by name. *)
+val dump_text : registry -> string
+
+(** The registry as a JSON document
+    [{"counters": {...}, "timers": {...}, "histograms": {...}}] — the
+    machine-readable form checked by the [ssdql --stats] smoke test. *)
+val to_json : registry -> Ssd.Json.t
+
+val dump_json : registry -> string

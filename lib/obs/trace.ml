@@ -1,0 +1,64 @@
+type node = {
+  n_name : string;
+  mutable n_dur_ns : float;
+  mutable n_children : node list; (* reverse execution order *)
+}
+
+type span = {
+  name : string;
+  dur_ns : float;
+  children : span list;
+}
+
+let flag = ref false
+let roots : node list ref = ref [] (* reverse execution order *)
+let stack : node list ref = ref []
+
+let enable () = flag := true
+let disable () = flag := false
+let enabled () = !flag
+
+let clear () =
+  roots := [];
+  stack := []
+
+let with_span name f =
+  if not !flag then f ()
+  else begin
+    let n = { n_name = name; n_dur_ns = 0.; n_children = [] } in
+    (match !stack with
+     | parent :: _ -> parent.n_children <- n :: parent.n_children
+     | [] -> roots := n :: !roots);
+    stack := n :: !stack;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        n.n_dur_ns <- (Unix.gettimeofday () -. t0) *. 1e9;
+        match !stack with
+        | top :: rest when top == n -> stack := rest
+        | _ -> () (* unbalanced exit; leave the stack as-is *))
+      f
+  end
+
+let rec freeze n =
+  { name = n.n_name; dur_ns = n.n_dur_ns; children = List.rev_map freeze n.n_children }
+
+let spans () = List.rev_map freeze !roots
+
+let ns_pretty ns =
+  if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let render () =
+  let buf = Buffer.create 256 in
+  let rec go depth s =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-*s %s\n" (String.make (2 * depth) ' ')
+         (max 1 (40 - (2 * depth)))
+         s.name (ns_pretty s.dur_ns));
+    List.iter (go (depth + 1)) s.children
+  in
+  List.iter (go 0) (spans ());
+  Buffer.contents buf

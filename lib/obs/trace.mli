@@ -1,0 +1,34 @@
+(** Lightweight execution tracing: nested, named, timed spans.
+
+    Complements {!Metrics} (aggregates) with per-execution structure:
+    when enabled, instrumented code wraps its phases in {!with_span} and
+    the collector records a forest of (name, duration) spans — what
+    [ssdql query --trace] prints.
+
+    Disabled by default; [with_span] then costs one ref read and calls
+    its thunk directly.  The collector is process-global, like
+    {!Metrics.default}. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Drop all recorded spans (keeps the enabled flag). *)
+val clear : unit -> unit
+
+(** [with_span name f] runs [f ()]; when tracing is enabled, records a
+    span named [name] (child of the innermost active span, or a root)
+    with [f]'s wall-clock duration, also on exception. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+type span = {
+  name : string;
+  dur_ns : float;
+  children : span list; (** in execution order *)
+}
+
+(** Completed root spans, in execution order. *)
+val spans : unit -> span list
+
+(** Indented textual rendering of {!spans}. *)
+val render : unit -> string

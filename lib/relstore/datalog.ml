@@ -1,4 +1,15 @@
 module Label = Ssd.Label
+module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
+
+(* Execution counters (lib/obs), reported to [Metrics.default]. *)
+let m_evals = Metrics.counter "datalog.eval.programs"
+let m_rounds = Metrics.counter "datalog.seminaive.rounds"
+let m_delta = Metrics.counter "datalog.seminaive.delta_tuples"
+let m_facts = Metrics.counter "datalog.facts_derived"
+let m_firings = Metrics.counter "datalog.rule_firings"
+let t_eval = Metrics.timer "datalog.eval.time"
+let h_delta = Metrics.histogram "datalog.seminaive.delta_size"
 
 type term =
   | Var of string
@@ -462,6 +473,7 @@ let bound_position env args =
    predicate to its current tuple set; the positive literal at index
    [delta_at] (if given) reads [delta] instead. *)
 let eval_rule ~set_of ?delta_at ?delta rule =
+  Metrics.incr m_firings;
   let results = ref [] in
   let rec go i env lits =
     match lits with
@@ -534,6 +546,8 @@ let strata_order program =
 
 let eval_naive ~edb program =
   check_safety program;
+  Metrics.incr m_evals;
+  Metrics.time t_eval @@ fun () ->
   let facts = facts_of_edb edb in
   let set_of = facts_get facts in
   List.iter
@@ -549,6 +563,7 @@ let eval_naive ~edb program =
               (fun t ->
                 if not (set_mem s t) then begin
                   set_add s t;
+                  Metrics.incr m_facts;
                   changed := true
                 end)
               derived)
@@ -559,6 +574,9 @@ let eval_naive ~edb program =
 
 let eval ~edb program =
   check_safety program;
+  Metrics.incr m_evals;
+  Metrics.time t_eval @@ fun () ->
+  Trace.with_span "datalog.eval" @@ fun () ->
   let facts = facts_of_edb edb in
   let set_of = facts_get facts in
   List.iter
@@ -577,16 +595,26 @@ let eval ~edb program =
             (fun t ->
               if not (set_mem s t) then begin
                 set_add s t;
-                set_add d t
+                set_add d t;
+                Metrics.incr m_facts
               end)
             (eval_rule ~set_of r))
         rules;
+      let record_deltas () =
+        let total = Hashtbl.fold (fun _ d acc -> acc + set_size d) deltas 0 in
+        if total > 0 then begin
+          Metrics.add m_delta total;
+          Metrics.observe h_delta (float_of_int total)
+        end
+      in
+      record_deltas ();
       (* Semi-naive rounds: each rule fires once per positive body literal
          of an in-stratum predicate, with that literal reading the delta. *)
       let any_delta () =
         Hashtbl.fold (fun _ d acc -> acc || set_size d > 0) deltas false
       in
       while any_delta () do
+        Metrics.incr m_rounds;
         let new_deltas = Hashtbl.create 8 in
         List.iter (fun p -> Hashtbl.replace new_deltas p (set_create ())) stratum_preds;
         List.iter
@@ -604,14 +632,16 @@ let eval ~edb program =
                       (fun t ->
                         if not (set_mem s t) then begin
                           set_add s t;
-                          set_add nd t
+                          set_add nd t;
+                          Metrics.incr m_facts
                         end)
                       derived
                   end
                 | Pos _ | Neg _ | Cmp _ -> ())
               r.body)
           rules;
-        List.iter (fun p -> Hashtbl.replace deltas p (Hashtbl.find new_deltas p)) stratum_preds
+        List.iter (fun p -> Hashtbl.replace deltas p (Hashtbl.find new_deltas p)) stratum_preds;
+        record_deltas ()
       done)
     (strata_order program);
   idb_result program facts

@@ -1,0 +1,164 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
+
+let m_hits = Metrics.counter "unql.cache.hits"
+let m_misses = Metrics.counter "unql.cache.misses"
+let m_evictions = Metrics.counter "unql.cache.evictions"
+let m_invalidations = Metrics.counter "unql.cache.invalidations"
+
+(* ------------------------------------------------------------------ *)
+(* Graph fingerprints                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a-style mixing over the canonical edge listing.  [fold_edges]
+   visits nodes in id order and edges in insertion order, both fixed for
+   an immutable graph, so the fingerprint is a pure function of the
+   graph value. *)
+let mix h x = (h * 0x01000193) lxor (x land max_int)
+
+let compute_fingerprint g =
+  let h = ref (mix (mix 0x811c9dc5 (Graph.n_nodes g)) (Graph.root g)) in
+  Graph.fold_edges
+    (fun () u l v ->
+      let lh = match l with Graph.Eps -> 17 | Graph.Lab l -> Label.hash l in
+      h := mix (mix (mix !h u) lh) v)
+    () g;
+  !h land max_int
+
+(* Fingerprints are O(edges); repeated queries against one resident
+   database are the common case, so memoize the last few graphs by
+   physical identity. *)
+let fp_memo : (Graph.t * int) list ref = ref []
+let fp_memo_capacity = 8
+
+let fingerprint g =
+  match List.find_opt (fun (g0, _) -> g0 == g) !fp_memo with
+  | Some (_, fp) -> fp
+  | None ->
+    let fp = compute_fingerprint g in
+    let keep = List.filteri (fun i _ -> i < fp_memo_capacity - 1) !fp_memo in
+    fp_memo := (g, fp) :: keep;
+    fp
+
+(* ------------------------------------------------------------------ *)
+(* The cache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type key = {
+  qtext : string; (* canonical rendering of the normalized AST *)
+  fp : int;
+}
+
+type entry = {
+  result : Graph.t;
+  mutable tick : int; (* last use; larger = more recent *)
+}
+
+type t = {
+  cache_capacity : int;
+  table : (key, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  size : int;
+}
+
+let create ?(capacity = 128) () =
+  {
+    cache_capacity = max 1 capacity;
+    table = Hashtbl.create 64;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let shared = create ()
+
+let capacity c = c.cache_capacity
+
+let stats (c : t) : stats =
+  {
+    hits = c.hits;
+    misses = c.misses;
+    evictions = c.evictions;
+    invalidations = c.invalidations;
+    size = Hashtbl.length c.table;
+  }
+
+let drop_invalidated (c : t) n =
+  c.invalidations <- c.invalidations + n;
+  Metrics.add m_invalidations n
+
+let clear c =
+  let n = Hashtbl.length c.table in
+  Hashtbl.reset c.table;
+  drop_invalidated c n
+
+let invalidate c db =
+  let fp = fingerprint db in
+  let doomed =
+    Hashtbl.fold (fun k _ acc -> if k.fp = fp then k :: acc else acc) c.table []
+  in
+  List.iter (Hashtbl.remove c.table) doomed;
+  let n = List.length doomed in
+  drop_invalidated c n;
+  n
+
+let touch c e =
+  c.clock <- c.clock + 1;
+  e.tick <- c.clock
+
+(* Capacity is small (default 128), so LRU eviction by linear scan is
+   cheaper than maintaining an intrusive list. *)
+let evict_lru c =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, e0) when e0.tick <= e.tick -> acc
+        | _ -> Some (k, e))
+      c.table None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove c.table k;
+    c.evictions <- c.evictions + 1;
+    Metrics.incr m_evictions
+  | None -> ()
+
+let key_of ~db q =
+  let normalized = Optimize.reorder q in
+  { qtext = Pretty.expr_to_string normalized; fp = fingerprint db }
+
+let eval ?(options = Eval.default_options) ~cache ~db q =
+  let key = Trace.with_span "cache.key" (fun () -> key_of ~db q) in
+  match Hashtbl.find_opt cache.table key with
+  | Some e ->
+    touch cache e;
+    cache.hits <- cache.hits + 1;
+    Metrics.incr m_hits;
+    e.result
+  | None ->
+    cache.misses <- cache.misses + 1;
+    Metrics.incr m_misses;
+    let result = Trace.with_span "cache.fill" (fun () -> Eval.eval ~options ~db q) in
+    if Hashtbl.length cache.table >= cache.cache_capacity then evict_lru cache;
+    let e = { result; tick = 0 } in
+    touch cache e;
+    Hashtbl.replace cache.table key e;
+    result
+
+let run ?options ~cache ~db src = eval ?options ~cache ~db (Parser.parse src)

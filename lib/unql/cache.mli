@@ -1,0 +1,69 @@
+(** Memoizing plan/result cache for UnQL evaluation.
+
+    The first step ROADMAP names toward serving heavy repeated traffic: a
+    query result is cached under the pair
+
+    - {e normalized query AST} — {!Optimize.reorder} is applied first, so
+      a query and any condition-reordering of it share one entry (they
+      are semantically equal); the normalized AST is rendered to its
+      canonical concrete syntax by {!Pretty} to obtain a hashable key;
+    - {e graph fingerprint} — a structural hash of the database's
+      canonical edge listing (root, node count, every edge in id order —
+      the same listing the storage codec serializes), so two evaluations
+      against the same {e value} hit, and any update produces a graph
+      whose fingerprint differs with overwhelming probability.
+
+    Entries are evicted LRU beyond a fixed capacity, and can be
+    invalidated explicitly when the caller knows a database was
+    superseded (e.g. after {!Lorel.Update.run}).  Hits, misses,
+    evictions and invalidations are counted both per-cache ({!stats})
+    and in the global metrics registry ([unql.cache.*], see
+    {!Ssd_obs.Metrics}).
+
+    Results are immutable {!Ssd.Graph.t} values, so a hit returns the
+    cached graph without copying. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int; (** entries dropped by {!invalidate} / {!clear} *)
+  size : int; (** entries currently cached *)
+}
+
+(** [create ?capacity ()] — [capacity] (default 128, minimum 1) bounds
+    the number of cached results. *)
+val create : ?capacity:int -> unit -> t
+
+(** A process-wide cache instance (capacity 128), used by [ssdql query
+    --cache]. *)
+val shared : t
+
+val capacity : t -> int
+val stats : t -> stats
+
+(** Drop all entries (counted as invalidations; cumulative counters are
+    kept). *)
+val clear : t -> unit
+
+(** [invalidate c db] drops every entry cached against [db]'s
+    fingerprint.  Returns the number of entries dropped. *)
+val invalidate : t -> Ssd.Graph.t -> int
+
+(** [fingerprint db] — the structural hash used in cache keys.  Exposed
+    for tests and diagnostics; memoized on physical identity for the
+    most recently seen graphs. *)
+val fingerprint : Ssd.Graph.t -> int
+
+(** [eval ~cache ~db q] is observationally {!Eval.eval} (same value up
+    to bisimilarity — equal graphs, on a hit even physically equal to
+    the first result), consulting and filling [cache].  [options] is
+    passed through to {!Eval.eval} on a miss; since all evaluation
+    options are semantics-preserving, hits are shared across option
+    settings. *)
+val eval : ?options:Eval.options -> cache:t -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Graph.t
+
+(** Parse and evaluate concrete syntax through the cache. *)
+val run : ?options:Eval.options -> cache:t -> db:Ssd.Graph.t -> string -> Ssd.Graph.t

@@ -4,9 +4,23 @@ module Lpred = Ssd_automata.Lpred
 module Regex = Ssd_automata.Regex
 module Nfa = Ssd_automata.Nfa
 module Dataguide = Ssd_schema.Dataguide
+module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
 open Ast
 
 exception Runtime_error of string
+
+(* Execution counters (lib/obs): what evaluation actually does, as
+   opposed to what the optimizer rewrote.  All report to
+   [Metrics.default]. *)
+let m_queries = Metrics.counter "unql.eval.queries"
+let m_nodes = Metrics.counter "unql.eval.nodes_visited"
+let m_edges = Metrics.counter "unql.eval.edges_traversed"
+let m_bindings = Metrics.counter "unql.eval.bindings_produced"
+let m_auto_steps = Metrics.counter "unql.eval.automaton_steps"
+let m_sfun_edges = Metrics.counter "unql.eval.sfun_edge_visits"
+let t_eval = Metrics.timer "unql.eval.time"
+let h_select = Metrics.histogram "unql.eval.bindings_per_select"
 
 type options = {
   reorder_clauses : bool;
@@ -62,6 +76,13 @@ let nfa_of ctx r =
     let nfa = Nfa.of_regex r in
     (nfa, Nfa.closures nfa)
 
+(* Instrumented edge listing: every traversal below goes through this. *)
+let succs ctx u =
+  Metrics.incr m_nodes;
+  let es = Store.labeled_succ ctx.st u in
+  Metrics.add m_edges (List.length es);
+  es
+
 let resolve_label env = function
   | Llit l -> l
   | Lname x -> (
@@ -106,6 +127,7 @@ let regex_reach ctx start r =
   List.iter (push start) (Nfa.start_set nfa);
   while not (Queue.is_empty queue) do
     let u, q = Queue.pop queue in
+    Metrics.incr m_auto_steps;
     if nfa.Nfa.accept.(q) then Hashtbl.replace answers u ();
     if nfa.Nfa.trans.(q) <> [] then
       List.iter
@@ -113,7 +135,7 @@ let regex_reach ctx start r =
           List.iter
             (fun (p, q') -> if Lpred.matches p l then List.iter (push v) closures.(q'))
             nfa.Nfa.trans.(q))
-        (Store.labeled_succ ctx.st u)
+        (succs ctx u)
   done;
   Hashtbl.fold (fun u () acc -> u :: acc) answers [] |> List.sort_uniq compare
 
@@ -133,6 +155,7 @@ let regex_reach_paths ctx start r =
   List.iter (fun q -> push (start, q) None) (Nfa.start_set nfa);
   while not (Queue.is_empty queue) do
     let ((u, q) as key) = Queue.pop queue in
+    Metrics.incr m_auto_steps;
     if nfa.Nfa.accept.(q) && not (Hashtbl.mem answers u) then begin
       let rec unwind key acc =
         match Hashtbl.find parent key with
@@ -149,7 +172,7 @@ let regex_reach_paths ctx start r =
               if Lpred.matches p l then
                 List.iter (fun q'' -> push (v, q'') (Some (key, l))) closures.(q'))
             nfa.Nfa.trans.(q))
-        (Store.labeled_succ ctx.st u)
+        (succs ctx u)
   done;
   Hashtbl.fold (fun u path acc -> (u, path) :: acc) answers []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -181,15 +204,15 @@ let rec match_steps ctx env node steps k =
     let l = resolve_label env le in
     List.concat_map
       (fun (l', v) -> if Label.equal l l' then match_steps ctx env v rest k else [])
-      (Store.labeled_succ ctx.st node)
+      (succs ctx node)
   | Sbind x :: rest ->
     List.concat_map
       (fun (l, v) -> bind_label env x l (fun env -> match_steps ctx env v rest k))
-      (Store.labeled_succ ctx.st node)
+      (succs ctx node)
   | Spred p :: rest ->
     List.concat_map
       (fun (l, v) -> if Lpred.matches p l then match_steps ctx env v rest k else [])
-      (Store.labeled_succ ctx.st node)
+      (succs ctx node)
   | Sregex (r, None) :: rest ->
     List.concat_map
       (fun v -> match_steps ctx env v rest k)
@@ -259,6 +282,7 @@ let rec eval_expr ctx env = function
       if ctx.opts.reorder_clauses then Optimize.reorder_clauses clauses else clauses
     in
     let envs = eval_clauses ctx [ env ] clauses in
+    Metrics.observe h_select (float_of_int (List.length envs));
     let u = Store.add_node ctx.st in
     List.iter (fun env -> Store.add_eps ctx.st u (eval_expr ctx env head)) envs;
     u
@@ -304,6 +328,7 @@ and eval_clauses ctx envs = function
             match_pattern ctx env node p)
         envs
     in
+    Metrics.add m_bindings (List.length envs);
     eval_clauses ctx envs rest
   | Where c :: rest ->
     eval_clauses ctx (List.filter (fun env -> eval_cond ctx env c) envs) rest
@@ -351,7 +376,7 @@ and eval_cond ctx env = function
   | Cistype (t, a) -> Label.type_name (resolve_atom env a) = t
   | Cstarts (a, prefix) -> Lpred.matches (Lpred.Starts_with prefix) (resolve_atom env a)
   | Ccontains (a, needle) -> Lpred.matches (Lpred.Contains needle) (resolve_atom env a)
-  | Cempty e -> Store.labeled_succ ctx.st (eval_expr ctx env e) = []
+  | Cempty e -> succs ctx (eval_expr ctx env e) = []
   | Cequal (e1, e2) ->
     let g1 = Store.to_graph ctx.st ~root:(eval_expr ctx env e1) in
     let g2 = Store.to_graph ctx.st ~root:(eval_expr ctx env e2) in
@@ -380,6 +405,7 @@ and apply ctx closure start =
     let r = Hashtbl.find closure.memo u in
     List.iter
       (fun (l, v) ->
+        Metrics.incr m_sfun_edges;
         match find_case closure.def.cases l with
         | None -> ()
         | Some (case, label_binding) ->
@@ -396,7 +422,7 @@ and apply ctx closure start =
           let env = { vars; funs = closure.fenv } in
           let frag = eval_expr ctx env case.cbody in
           Store.add_eps ctx.st r frag)
-      (Store.labeled_succ ctx.st u)
+      (succs ctx u)
   done;
   r0
 
@@ -421,12 +447,15 @@ and find_case cases l =
 (* ------------------------------------------------------------------ *)
 
 let eval ?(options = default_options) ~db q =
-  let st = Store.create () in
-  let db_node = Store.import st db in
-  let ctx = { st; db; db_node; opts = options; nfa_cache = Hashtbl.create 8 } in
-  let env = { vars = Env.empty; funs = Env.empty } in
-  let root = eval_expr ctx env q in
-  Graph.gc (Store.to_graph st ~root)
+  Metrics.incr m_queries;
+  Metrics.time t_eval (fun () ->
+      Trace.with_span "unql.eval" (fun () ->
+          let st = Store.create () in
+          let db_node = Trace.with_span "import" (fun () -> Store.import st db) in
+          let ctx = { st; db; db_node; opts = options; nfa_cache = Hashtbl.create 8 } in
+          let env = { vars = Env.empty; funs = Env.empty } in
+          let root = Trace.with_span "eval_expr" (fun () -> eval_expr ctx env q) in
+          Trace.with_span "snapshot" (fun () -> Graph.gc (Store.to_graph st ~root))))
 
 let eval_tree ?options ~db q = Graph.to_tree (eval ?options ~db q)
 

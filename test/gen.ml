@@ -145,6 +145,86 @@ let relation attrs : Relstore.Relation.t Q.t =
   let* rows = list_size (int_range 0 8) (list_repeat arity label) in
   pure (Relstore.Relation.of_rows attrs (List.map Array.of_list rows))
 
+(* Literal symbol paths over the small alphabet (for the differential
+   path-query suites). *)
+let sym_path : Label.t list Q.t =
+  Q.list_size (Q.int_range 1 3) (Q.map Label.sym small_symbol)
+
+(* A smaller regex than {!regex}: exact-symbol and wildcard atoms only,
+   so the same path query can be phrased in Lorel and datalog. *)
+let small_regex : Ssd_automata.Regex.t Q.t =
+  let module R = Ssd_automata.Regex in
+  let module P = Ssd_automata.Lpred in
+  let open Q in
+  let atom =
+    oneof
+      [
+        Q.map (fun s -> R.Atom (P.Exact (Label.Sym s))) small_symbol;
+        pure (R.Atom P.Any);
+      ]
+  in
+  sized_size (int_range 1 4)
+  @@ fix (fun self n ->
+         if n <= 1 then atom
+         else
+           oneof
+             [
+               atom;
+               Q.map2 (fun a b -> R.Seq (a, b)) (self (n / 2)) (self (n / 2));
+               Q.map2 (fun a b -> R.Alt (a, b)) (self (n / 2)) (self (n / 2));
+               Q.map (fun a -> R.Star a) (self (n / 2));
+             ])
+
+(* UnQL select queries, built directly as ASTs: one or two generators
+   (the second ranging over the first binder), steps mixing literal
+   labels, label binders and regexes, and 0–2 conditions.  Tree binders
+   are "t0"/"t1" and label binders "lu"/"lv" — disjoint pools, so a name
+   is never both, and condition atoms avoid the tree pool (an unbound
+   name in a condition just denotes a symbol literal, which is safe). *)
+let unql_query : Unql.Ast.expr Q.t =
+  let module A = Unql.Ast in
+  let open Q in
+  let step =
+    frequency
+      [
+        (3, Q.map (fun s -> A.Slit (A.Llit (Label.Sym s))) small_symbol);
+        (2, Q.map (fun x -> A.Sbind x) (oneofl [ "lu"; "lv" ]));
+        (2, Q.map (fun r -> A.Sregex (r, None)) small_regex);
+      ]
+  in
+  let steps = list_size (int_range 1 2) step in
+  let atom =
+    oneof
+      [
+        Q.map (fun s -> A.Aname s) (oneofl [ "lu"; "lv"; "a"; "b" ]);
+        Q.map (fun s -> A.Alit (Label.Sym s)) small_symbol;
+        Q.map (fun i -> A.Alit (Label.Int i)) (int_range (-3) 3);
+      ]
+  in
+  let cond =
+    oneof
+      [
+        Q.map3
+          (fun op a b -> A.Ccmp (op, a, b))
+          (oneofl [ A.Eq; A.Neq; A.Lt; A.Le ])
+          atom atom;
+        Q.map2 (fun t a -> A.Cistype (t, a)) (oneofl [ "int"; "symbol"; "string" ]) atom;
+        Q.map2 (fun a p -> A.Cstarts (a, p)) atom (oneofl [ "a"; "m"; "ti" ]);
+      ]
+  in
+  let* g1 = steps in
+  let* with_second = bool in
+  let* g2 = steps in
+  let* conds = list_size (int_range 0 2) cond in
+  let tvar = if with_second then "t1" else "t0" in
+  let clauses =
+    (A.Gen (A.Pedges [ (g1, A.Pbind "t0") ], A.Db)
+     ::
+     (if with_second then [ A.Gen (A.Pedges [ (g2, A.Pbind "t1") ], A.Var "t0") ] else []))
+    @ List.map (fun c -> A.Where c) conds
+  in
+  pure (A.Select (A.Tree [ (A.Llit (Label.sym "r"), A.Var tvar) ], clauses))
+
 (* Wrap a QCheck2 property as an alcotest case. *)
 let qtest name ?(count = 100) ?print gen prop =
   QCheck_alcotest.to_alcotest ~speed_level:`Quick

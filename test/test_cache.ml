@@ -1,0 +1,123 @@
+(* The plan/result cache (satellite of the observability tentpole) must
+   be semantically invisible: cached evaluation is bisimilar to direct
+   evaluation on arbitrary graphs and queries, stays so across repeats,
+   and an updated database is never answered from a stale entry (its
+   fingerprint differs). *)
+
+module Graph = Ssd.Graph
+module Bisim = Ssd.Bisim
+module Cache = Unql.Cache
+module Q = QCheck2.Gen
+
+let print_pair (g, q) =
+  Printf.sprintf "query: %s\ndb: %s" (Unql.Pretty.expr_to_string q) (Graph.to_string g)
+
+let props =
+  [
+    Gen.qtest "cached eval is bisimilar to direct eval (and repeats hit)" ~count:100
+      ~print:print_pair
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let cache = Cache.create ~capacity:8 () in
+        let direct = Unql.Eval.eval ~db:g q in
+        let first = Cache.eval ~cache ~db:g q in
+        let second = Cache.eval ~cache ~db:g q in
+        let s = Cache.stats cache in
+        Bisim.equal direct first && Bisim.equal direct second
+        && s.Cache.misses = 1 && s.Cache.hits = 1);
+    Gen.qtest "reordered query shares the normalized cache entry" ~count:60
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let cache = Cache.create () in
+        ignore (Cache.eval ~cache ~db:g q);
+        ignore (Cache.eval ~cache ~db:g (Unql.Optimize.reorder q));
+        (Cache.stats cache).Cache.size = 1);
+    Gen.qtest "after an update the cache still agrees with direct eval" ~count:60
+      ~print:print_pair
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let cache = Cache.create () in
+        ignore (Cache.eval ~cache ~db:g q);
+        (* graft a marker under every a-edge target (may be a no-op when
+           the graph has no a-edge — then the fingerprints may legally
+           coincide and the hit is still correct) *)
+        let g' = Lorel.Update.run ~db:g "insert DB.a := {zzmark: {}}" in
+        let direct = Unql.Eval.eval ~db:g' q in
+        let cached = Cache.eval ~cache ~db:g' q in
+        Bisim.equal direct cached);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic unit tests                                            *)
+(* ------------------------------------------------------------------ *)
+
+let q1 = Unql.Parser.parse {| select {t: \T} where {entry.movie.title: \T} <- DB |}
+let q2 = Unql.Parser.parse {| select {y: \Y} where {entry.movie.year.\Y} <- DB |}
+let q3 = Unql.Parser.parse {| select {c: \C} where {entry.movie.cast: \C} <- DB |}
+
+let update_is_a_miss () =
+  let db = Ssd_workload.Movies.figure1 () in
+  let cache = Cache.create () in
+  ignore (Cache.eval ~cache ~db q1);
+  ignore (Cache.eval ~cache ~db q1);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  (* a real mutation: fingerprint must change, so the lookup misses *)
+  let db' = Lorel.Update.run ~db {| insert DB.entry := {seen: true} |} in
+  Alcotest.(check bool) "fingerprints differ" true
+    (Cache.fingerprint db <> Cache.fingerprint db');
+  let direct = Unql.Eval.eval ~db:db' q1 in
+  let cached = Cache.eval ~cache ~db:db' q1 in
+  Alcotest.(check int) "mutated db misses" 2 (Cache.stats cache).Cache.misses;
+  Alcotest.(check bool) "and evaluates correctly" true (Bisim.equal direct cached)
+
+let explicit_invalidation () =
+  let db = Ssd_workload.Movies.figure1 () in
+  let cache = Cache.create () in
+  ignore (Cache.eval ~cache ~db q1);
+  ignore (Cache.eval ~cache ~db q2);
+  Alcotest.(check int) "two entries" 2 (Cache.stats cache).Cache.size;
+  Alcotest.(check int) "invalidate drops both" 2 (Cache.invalidate cache db);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "cache emptied" 0 s.Cache.size;
+  Alcotest.(check int) "invalidations counted" 2 s.Cache.invalidations;
+  (* next lookup is a miss but still correct *)
+  let direct = Unql.Eval.eval ~db q1 in
+  Alcotest.(check bool) "re-evaluation correct" true
+    (Bisim.equal direct (Cache.eval ~cache ~db q1));
+  Alcotest.(check int) "and was a miss" 3 (Cache.stats cache).Cache.misses
+
+let lru_eviction () =
+  let db = Ssd_workload.Movies.figure1 () in
+  let cache = Cache.create ~capacity:2 () in
+  ignore (Cache.eval ~cache ~db q1);
+  ignore (Cache.eval ~cache ~db q2);
+  ignore (Cache.eval ~cache ~db q1) (* q1 now more recent than q2 *);
+  ignore (Cache.eval ~cache ~db q3) (* evicts q2 *);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "capacity respected" 2 s.Cache.size;
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  (* q1 survived (hit), q2 was evicted (miss) — both still correct *)
+  ignore (Cache.eval ~cache ~db q1);
+  Alcotest.(check int) "q1 survived as the recently used entry" 2
+    (Cache.stats cache).Cache.hits;
+  Alcotest.(check bool) "evicted query re-evaluates correctly" true
+    (Bisim.equal (Unql.Eval.eval ~db q2) (Cache.eval ~cache ~db q2));
+  Alcotest.(check int) "q2 was a miss" 4 (Cache.stats cache).Cache.misses
+
+let clear_resets () =
+  let db = Ssd_workload.Movies.figure1 () in
+  let cache = Cache.create () in
+  ignore (Cache.eval ~cache ~db q1);
+  Cache.clear cache;
+  Alcotest.(check int) "cleared" 0 (Cache.stats cache).Cache.size
+
+let tests =
+  props
+  @ [
+      Alcotest.test_case "update changes the fingerprint (miss)" `Quick update_is_a_miss;
+      Alcotest.test_case "explicit invalidation" `Quick explicit_invalidation;
+      Alcotest.test_case "LRU eviction at capacity" `Quick lru_eviction;
+      Alcotest.test_case "clear" `Quick clear_resets;
+    ]

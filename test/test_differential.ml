@@ -1,0 +1,134 @@
+(* Differential testing of the three query strategies (section 3): the
+   same path query phrased as an UnQL select, a Lorel path expression,
+   and a datalog program over the triple encoding must select the same
+   objects.  Results are compared up to bisimulation after wrapping each
+   strategy's answer set the same way: a fresh root with an [r]-edge to
+   every selected node.  Lorel answers are node ids of the input graph;
+   datalog answers are node ids of its ε-elimination (what [Triple.edb]
+   encodes) — the wrapped values are what must agree, not the raw ids. *)
+
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Bisim = Ssd.Bisim
+module A = Unql.Ast
+module R = Ssd_automata.Regex
+module P = Ssd_automata.Lpred
+module Q = QCheck2.Gen
+
+(* Fresh root --r--> each selected node, sharing the input graph. *)
+let wrap g nodes =
+  let b = Graph.Builder.create () in
+  let r = Graph.Builder.add_node b in
+  Graph.Builder.set_root b r;
+  let new_root = Graph.import_into b g in
+  let off = new_root - Graph.root g in
+  List.iter
+    (fun u -> Graph.Builder.add_edge b r (Label.sym "r") (u + off))
+    (List.sort_uniq compare nodes);
+  Graph.gc (Graph.Builder.finish b)
+
+let unql_of_steps steps =
+  A.Select
+    ( A.Tree [ (A.Llit (Label.sym "r"), A.Var "t") ],
+      [ A.Gen (A.Pedges [ (steps, A.Pbind "t") ], A.Db) ] )
+
+let lorel_nodes g comps =
+  Lorel.Eval.eval_path ~db:g ~env:[] { Lorel.Ast.start = None; comps }
+
+let datalog_nodes g prog pred =
+  let edb = Relstore.Triple.edb g in
+  let program = Relstore.Datalog.parse prog in
+  List.filter_map
+    (function [ Label.Int n ] -> Some n | _ -> None)
+    (Relstore.Datalog.query ~edb program pred)
+
+(* The three answers to one query, wrapped. *)
+let answers g ~steps ~comps ~prog ~pred =
+  let unql = Unql.Eval.eval ~db:g (unql_of_steps steps) in
+  let lorel = wrap g (lorel_nodes g comps) in
+  let datalog = wrap (Graph.eps_eliminate g) (datalog_nodes g prog pred) in
+  (unql, lorel, datalog)
+
+let agree (a, b, c) = Bisim.equal a b && Bisim.equal b c
+
+(* ------------------------------------------------------------------ *)
+(* Query shapes expressible in all three languages                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A literal symbol path l1.l2...lk as a datalog chain program. *)
+let chain_prog path =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "p0(?N) :- root(?N).\n";
+  List.iteri
+    (fun i l ->
+      Buffer.add_string buf
+        (Printf.sprintf "p%d(?X) :- p%d(?N), edge(?N, %s, ?X).\n" (i + 1) i
+           (Label.to_string l)))
+    path;
+  Buffer.contents buf
+
+let literal_answers g path =
+  answers g
+    ~steps:(List.map (fun l -> A.Slit (A.Llit l)) path)
+    ~comps:(List.map (fun l -> Lorel.Ast.Clabel l) path)
+    ~prog:(chain_prog path)
+    ~pred:(Printf.sprintf "p%d" (List.length path))
+
+(* l.# — one l-edge then any path. *)
+let descendants_answers g l =
+  answers g
+    ~steps:[ A.Sregex (R.Seq (R.Atom (P.Exact l), R.Star (R.Atom P.Any)), None) ]
+    ~comps:[ Lorel.Ast.Clabel l; Lorel.Ast.Cpath ]
+    ~prog:
+      (Printf.sprintf
+         "s(?X) :- root(?N), edge(?N, %s, ?X).\ns(?Y) :- s(?X), edge(?X, ?A, ?Y).\n"
+         (Label.to_string l))
+    ~pred:"s"
+
+(* # — every node reachable from the root (including the root). *)
+let closure_answers g =
+  answers g
+    ~steps:[ A.Sregex (R.Star (R.Atom P.Any), None) ]
+    ~comps:[ Lorel.Ast.Cpath ]
+    ~prog:"d(?N) :- root(?N).\nd(?Y) :- d(?X), edge(?X, ?A, ?Y).\n"
+    ~pred:"d"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let props =
+  [
+    Gen.qtest "literal path: unql = lorel = datalog (DAGs)" ~count:80
+      (Q.pair Gen.dag Gen.sym_path)
+      (fun (g, path) -> agree (literal_answers g path));
+    Gen.qtest "literal path: unql = lorel = datalog (cyclic)" ~count:60
+      (Q.pair Gen.graph Gen.sym_path)
+      (fun (g, path) -> agree (literal_answers g path));
+    Gen.qtest "l.# descendants agree (cyclic)" ~count:60
+      (Q.pair Gen.graph (Q.map Label.sym Gen.small_symbol))
+      (fun (g, l) -> agree (descendants_answers g l));
+    Gen.qtest "# closure from the root agrees (cyclic)" ~count:60 Gen.graph
+      (fun g -> agree (closure_answers g));
+  ]
+
+let figure1_literal () =
+  let g = Ssd_workload.Movies.figure1 () in
+  let path = List.map Label.sym [ "entry"; "movie"; "title" ] in
+  let ((unql, _, _) as ans) = literal_answers g path in
+  Alcotest.(check bool) "three strategies agree on figure1 titles" true (agree ans);
+  (* and they found something: two movie titles *)
+  Alcotest.(check int) "two titles selected" 2
+    (List.length (Graph.labeled_succ unql (Graph.root unql)))
+
+let figure1_descendants () =
+  let g = Ssd_workload.Movies.figure1 () in
+  Alcotest.(check bool) "entry.# agrees on figure1" true
+    (agree (descendants_answers g (Label.sym "entry")))
+
+let tests =
+  props
+  @ [
+      Alcotest.test_case "figure1 literal path" `Quick figure1_literal;
+      Alcotest.test_case "figure1 descendants" `Quick figure1_descendants;
+    ]

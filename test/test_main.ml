@@ -26,4 +26,8 @@ let () =
       ("websql", Test_websql.tests);
       ("views", Test_views.tests);
       ("update", Test_update.tests);
+      ("metrics", Test_metrics.tests);
+      ("cache", Test_cache.tests);
+      ("differential", Test_differential.tests);
+      ("optimize", Test_optimize.tests);
     ]

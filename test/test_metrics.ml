@@ -1,0 +1,122 @@
+(* Unit tests for the lib/obs metrics registry and trace spans, plus an
+   integration check that evaluation actually feeds the default
+   registry. *)
+
+module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
+
+let counters () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "t.c" in
+  Alcotest.(check int) "starts at 0" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.value c);
+  (* registration is idempotent: same name, same instrument *)
+  let c' = Metrics.counter ~registry:r "t.c" in
+  Metrics.incr c';
+  Alcotest.(check int) "same underlying counter" 43 (Metrics.value c);
+  (* a name registered as a counter cannot come back as a timer *)
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: t.c already registered as a counter")
+    (fun () -> ignore (Metrics.timer ~registry:r "t.c"))
+
+let timers () =
+  let r = Metrics.create () in
+  let t = Metrics.timer ~registry:r "t.t" in
+  let x = Metrics.time t (fun () -> 7) in
+  Alcotest.(check int) "time returns the thunk's value" 7 x;
+  Metrics.record_ns t 1_000.;
+  Alcotest.(check int) "two samples" 2 (Metrics.timer_count t);
+  Alcotest.(check bool) "total includes the recorded ns" true
+    (Metrics.timer_total_ns t >= 1_000.);
+  (* the timer records even when the thunk raises *)
+  (try ignore (Metrics.time t (fun () -> failwith "boom")) with Failure _ -> ());
+  Alcotest.(check int) "sample recorded on raise" 3 (Metrics.timer_count t)
+
+let histograms () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "t.h" in
+  List.iter (Metrics.observe h) [ 1.; 5.; 3.; 100. ];
+  Alcotest.(check int) "count" 4 (Metrics.histogram_count h);
+  Alcotest.(check (float 0.0)) "sum" 109. (Metrics.histogram_sum h)
+
+let reset_and_isolation () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "t.c" in
+  Metrics.add c 5;
+  Metrics.reset r;
+  Alcotest.(check int) "reset zeroes counters" 0 (Metrics.value c);
+  (* fresh registries are independent of the default one *)
+  let d = Metrics.counter "t.isolated" in
+  Metrics.incr d;
+  Alcotest.(check bool) "default registry unaffected by r" true
+    (Metrics.value d = 1 && Metrics.value c = 0)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let dumps_parse () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter ~registry:r "t.c") 3;
+  Metrics.record_ns (Metrics.timer ~registry:r "t.t") 500.;
+  Metrics.observe (Metrics.histogram ~registry:r "t.h") 9.;
+  let text = Metrics.dump_text r in
+  Alcotest.(check bool) "text dump mentions the instruments" true
+    (contains text "t.c" && contains text "t.t" && contains text "t.h");
+  let json = Metrics.dump_json r in
+  match Ssd.Json.parse json with
+  | Ssd.Json.Obj kvs ->
+    Alcotest.(check bool) "json has the three sections" true
+      (List.mem_assoc "counters" kvs && List.mem_assoc "timers" kvs
+      && List.mem_assoc "histograms" kvs)
+  | _ -> Alcotest.fail "metrics json is not an object"
+
+let trace_spans () =
+  Trace.clear ();
+  (* disabled: no spans are collected *)
+  Trace.disable ();
+  ignore (Trace.with_span "dead" (fun () -> 1));
+  Alcotest.(check int) "disabled collects nothing" 0 (List.length (Trace.spans ()));
+  Trace.enable ();
+  let v =
+    Trace.with_span "outer" (fun () ->
+        let a = Trace.with_span "inner1" (fun () -> 1) in
+        let b = Trace.with_span "inner2" (fun () -> 2) in
+        a + b)
+  in
+  Trace.disable ();
+  Alcotest.(check int) "value passes through" 3 v;
+  (match Trace.spans () with
+  | [ outer ] ->
+    Alcotest.(check string) "root span" "outer" outer.Trace.name;
+    Alcotest.(check (list string)) "children in execution order"
+      [ "inner1"; "inner2" ]
+      (List.map (fun s -> s.Trace.name) outer.Trace.children)
+  | spans -> Alcotest.fail (Printf.sprintf "expected 1 root span, got %d" (List.length spans)));
+  Alcotest.(check bool) "render shows the tree" true
+    (String.length (Trace.render ()) > 0);
+  Trace.clear ()
+
+let evaluation_feeds_default_registry () =
+  let db = Ssd_workload.Movies.figure1 () in
+  let q = Metrics.counter "unql.eval.queries" in
+  let before = Metrics.value q in
+  ignore (Unql.Eval.run ~db {| select {t: \T} where {entry.movie.title: \T} <- DB |});
+  Alcotest.(check int) "unql.eval.queries bumped" (before + 1) (Metrics.value q);
+  let n = Metrics.counter "unql.eval.nodes_visited" in
+  Alcotest.(check bool) "nodes were counted" true (Metrics.value n > 0)
+
+let tests =
+  [
+    Alcotest.test_case "counters" `Quick counters;
+    Alcotest.test_case "timers" `Quick timers;
+    Alcotest.test_case "histograms" `Quick histograms;
+    Alcotest.test_case "reset and isolation" `Quick reset_and_isolation;
+    Alcotest.test_case "dumps parse" `Quick dumps_parse;
+    Alcotest.test_case "trace spans" `Quick trace_spans;
+    Alcotest.test_case "evaluation feeds the default registry" `Quick
+      evaluation_feeds_default_registry;
+  ]

@@ -1,0 +1,95 @@
+(* Metamorphic tests for the UnQL optimizer: rewrites must preserve
+   semantics (bisimilar results on arbitrary graphs), and the prune
+   counts must be consistent with the catalog statistics. *)
+
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Bisim = Ssd.Bisim
+module Q = QCheck2.Gen
+
+let print_pair (g, q) =
+  Printf.sprintf "query: %s\ndb: %s" (Unql.Pretty.expr_to_string q) (Graph.to_string g)
+
+(* Evaluate without the evaluator's own reordering, so the rewrite under
+   test is the only difference between the two runs. *)
+let raw_opts = { Unql.Eval.default_options with reorder_clauses = false }
+
+let props =
+  [
+    Gen.qtest "reorder preserves semantics" ~count:100 ~print:print_pair
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        Bisim.equal
+          (Unql.Eval.eval ~options:raw_opts ~db:g q)
+          (Unql.Eval.eval ~options:raw_opts ~db:g (Unql.Optimize.reorder q)));
+    Gen.qtest "reorder is idempotent" ~count:100 Gen.unql_query (fun q ->
+        let once = Unql.Optimize.reorder q in
+        Unql.Pretty.expr_to_string (Unql.Optimize.reorder once)
+        = Unql.Pretty.expr_to_string once);
+    Gen.qtest "prune_with_guide preserves semantics" ~count:100 ~print:print_pair
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let guide = Ssd_schema.Dataguide.build g in
+        let q', _ = Unql.Optimize.prune_with_guide guide q in
+        Bisim.equal (Unql.Eval.eval ~db:g q) (Unql.Eval.eval ~db:g q'));
+    Gen.qtest "evaluating under the guide option preserves semantics" ~count:60
+      ~print:print_pair
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let guide = Ssd_schema.Dataguide.build g in
+        let opts = { Unql.Eval.default_options with dataguide = Some guide } in
+        Bisim.equal (Unql.Eval.eval ~db:g q) (Unql.Eval.eval ~options:opts ~db:g q));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Prune counts vs catalog statistics                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [select t where {l: \t} <- DB] probes one top-level label. *)
+let probe l =
+  Unql.Ast.(
+    Select (Var "t", [ Gen (Pedges [ ([ Slit (Llit l) ], Pbind "t") ], Db) ]))
+
+let prune_vs_stats () =
+  let g = Ssd_workload.Movies.figure1 () in
+  let guide = Ssd_schema.Dataguide.build g in
+  let stats = Ssd_index.Stats.compute g in
+  (* No label that actually occurs in the data may be pruned at the
+     root... *)
+  let top = Ssd_index.Stats.top_labels g ~k:stats.Ssd_index.Stats.n_distinct_labels in
+  Alcotest.(check int) "catalog sees every distinct label"
+    stats.Ssd_index.Stats.n_distinct_labels (List.length top);
+  let root_labels =
+    List.sort_uniq Label.compare (List.map fst (Graph.labeled_succ g (Graph.root g)))
+  in
+  List.iter
+    (fun l ->
+      let _, pruned = Unql.Optimize.prune_with_guide guide (probe l) in
+      Alcotest.(check int)
+        (Printf.sprintf "live label %s not pruned" (Label.to_string l))
+        0 pruned)
+    root_labels;
+  (* ...while a label absent from the whole catalog must be pruned. *)
+  let dead = Label.sym "nosuchlabel" in
+  Alcotest.(check bool) "probe label is really absent" false
+    (List.exists (fun (l, _) -> Label.equal l dead) top);
+  let _, pruned = Unql.Optimize.prune_with_guide guide (probe dead) in
+  Alcotest.(check int) "dead label pruned" 1 pruned
+
+let prune_deep_paths () =
+  let g = Ssd_workload.Movies.figure1 () in
+  let guide = Ssd_schema.Dataguide.build g in
+  let q = Unql.Parser.parse {| select t where {entry.movie.nosuchlabel: \t} <- DB |} in
+  let _, pruned = Unql.Optimize.prune_with_guide guide q in
+  Alcotest.(check int) "impossible deep path pruned" 1 pruned;
+  let live = Unql.Parser.parse {| select {t: \t} where {entry.movie.title: \t} <- DB |} in
+  let live', pruned = Unql.Optimize.prune_with_guide guide live in
+  Alcotest.(check int) "live deep path kept" 0 pruned;
+  Alcotest.(check bool) "kept query unchanged" true (live' = live)
+
+let tests =
+  props
+  @ [
+      Alcotest.test_case "prune counts vs Stats.compute" `Quick prune_vs_stats;
+      Alcotest.test_case "prune deep paths on figure1" `Quick prune_deep_paths;
+    ]
