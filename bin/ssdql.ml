@@ -98,9 +98,31 @@ let dump_stats fmt =
   | "json" -> print_endline (Ssd_obs.Metrics.dump_json Ssd_obs.Metrics.default)
   | _ -> print_string (Ssd_obs.Metrics.dump_text Ssd_obs.Metrics.default)
 
-let query_cmd data lang explain use_cache repeat quiet stats stats_format trace
+(* --lint[=warn|error]: run the static analyzer before evaluating.
+   Findings go to stderr; in error mode an Error-severity finding stops
+   the query (exit 1) before evaluation starts. *)
+let lint_gate mode lang db query_text =
+  if mode <> "off" then
+    match
+      match lang with
+      | "unql" -> Some Ssd_lint.Unql
+      | "lorel" -> Some Ssd_lint.Lorel
+      | "datalog" -> Some Ssd_lint.Datalog
+      | _ -> None
+    with
+    | None -> Printf.eprintf "--lint is not available for %s queries\n" lang
+    | Some llang ->
+      let r = Ssd_lint.check_src ~lang:llang ~db query_text in
+      if r.Ssd_lint.diags <> [] then prerr_string (Ssd_diag.render r.Ssd_lint.diags);
+      if mode = "error" && Ssd_lint.errors r > 0 then begin
+        Printf.eprintf "query rejected (--lint=error)\n";
+        exit 1
+      end
+
+let query_cmd data lang lint explain use_cache repeat quiet stats stats_format trace
     query_text =
   let db = load_data data in
+  lint_gate lint lang db query_text;
   if trace then Ssd_obs.Trace.enable ();
   let repeat = max 1 repeat in
   let run_repeated eval =
@@ -152,6 +174,56 @@ let query_cmd data lang explain use_cache repeat quiet stats stats_format trace
     exit 2);
   if trace then prerr_string (Ssd_obs.Trace.render ());
   if stats then dump_stats stats_format
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd data lang schema_path format list_codes stats query_text =
+  if list_codes then begin
+    List.iter
+      (fun (code, sev, desc) ->
+        Printf.printf "%s  %-7s  %s\n" code (Ssd_diag.severity_to_string sev) desc)
+      Ssd_diag.codes;
+    exit 0
+  end;
+  let query_text =
+    match query_text with
+    | Some q -> q
+    | None ->
+      Printf.eprintf "missing QUERY (or use --codes)\n";
+      exit 2
+  in
+  let lang =
+    match lang with
+    | "unql" -> Ssd_lint.Unql
+    | "lorel" -> Ssd_lint.Lorel
+    | "datalog" -> Ssd_lint.Datalog
+    | other ->
+      Printf.eprintf "check supports unql, lorel and datalog queries (got %s)\n" other;
+      exit 2
+  in
+  let db = Option.map load_data data in
+  let target =
+    Option.map
+      (fun p -> Ssd_lint.Schema (Ssd_schema.Gschema.parse (read_file p)))
+      schema_path
+  in
+  let r = Ssd_lint.check_src ~lang ?db ?target query_text in
+  (match format with
+  | "json" -> print_endline (Ssd_diag.render_json r.Ssd_lint.diags)
+  | _ ->
+    print_string (Ssd_diag.render r.Ssd_lint.diags);
+    if r.Ssd_lint.paths_checked > 0 then
+      Printf.printf "paths checked: %d, dead: %d\n" r.Ssd_lint.paths_checked
+        r.Ssd_lint.dead_paths;
+    if r.Ssd_lint.reachable_labels <> [] then
+      Printf.printf "reachable labels: %s\n"
+        (String.concat ", " (List.map Label.to_string r.Ssd_lint.reachable_labels));
+    Option.iter (Printf.printf "query fingerprint: %x\n") r.Ssd_lint.fingerprint);
+  if stats then
+    print_string (Ssd_obs.Metrics.dump_text ~prefix:"lint." Ssd_obs.Metrics.default);
+  exit (if Ssd_lint.errors r > 0 then 1 else 0)
 
 (* ------------------------------------------------------------------ *)
 (* convert                                                             *)
@@ -288,10 +360,49 @@ let query_t =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Print a span tree of the evaluation to stderr.")
   in
+  let lint =
+    Arg.(value & opt ~vopt:"warn" string "off" & info [ "lint" ] ~docv:"MODE"
+           ~doc:"Run the static analyzer before evaluating: warn prints findings \
+                 to stderr, error additionally rejects the query if any finding \
+                 has Error severity.")
+  in
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v (Cmd.info "query" ~doc:"Run a query against a data file")
-    Term.(const query_cmd $ data_arg $ lang $ explain $ cache $ repeat $ quiet
+    Term.(const query_cmd $ data_arg $ lang $ lint $ explain $ cache $ repeat $ quiet
           $ stats $ stats_format $ trace $ q)
+
+let check_t =
+  let data =
+    Arg.(value & opt (some string) None & info [ "d"; "data" ] ~docv:"FILE"
+           ~doc:"Data file or builtin:KIND[:N]; when given, path expressions are \
+                 checked for satisfiability against its DataGuide.")
+  in
+  let lang =
+    Arg.(value & opt string "unql" & info [ "l"; "lang" ] ~docv:"LANG"
+           ~doc:"Query language: unql, lorel or datalog.")
+  in
+  let schema =
+    Arg.(value & opt (some file) None & info [ "s"; "schema" ] ~docv:"FILE"
+           ~doc:"Check path satisfiability against this graph schema instead of a \
+                 DataGuide.")
+  in
+  let format =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Report format: text or json.")
+  in
+  let codes =
+    Arg.(value & flag & info [ "codes" ]
+           ~doc:"List every SSDxxx diagnostic code with its severity and exit.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Dump the lint.* counters from the metrics registry.")
+  in
+  let q = Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically analyze a query without running it (exit 1 on errors)")
+    Term.(const check_cmd $ data $ lang $ schema $ format $ codes $ stats $ q)
 
 let convert_t =
   let target =
@@ -335,4 +446,7 @@ let gen_t =
 let () =
   let doc = "semistructured data toolbox (Buneman, PODS'97 reproduction)" in
   let info = Cmd.info "ssdql" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ query_t; convert_t; dataguide_t; validate_t; update_t; stats_t; gen_t ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ query_t; check_t; convert_t; dataguide_t; validate_t; update_t; stats_t; gen_t ]))

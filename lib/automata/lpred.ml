@@ -60,6 +60,38 @@ let rec matches p l =
   | And (p, q) -> matches p l && matches q l
   | Or (p, q) -> matches p l || matches q l
 
+(* Conservative satisfiability of a conjunction: [compatible p q] is
+   false only when provably no label satisfies both (used when stepping
+   a query automaton over a schema, whose edges are predicates, not
+   concrete labels).  Any "don't know" answers true, so schema-aware
+   dead-path reports never kill a live path. *)
+let rec compatible p q =
+  match p, q with
+  | Any, _ | _, Any -> true
+  | Exact l, q -> matches q l
+  | p, Exact l -> matches p l
+  | Or (a, b), q -> compatible a q || compatible b q
+  | p, Or (a, b) -> compatible p a || compatible p b
+  | And (a, b), q -> compatible a q && compatible b q
+  | p, And (a, b) -> compatible p a && compatible p b
+  | Of_type t, Of_type u -> t = u
+  | Of_type t, (Starts_with _ | Contains _) | (Starts_with _ | Contains _), Of_type t ->
+    t = "string" || t = "symbol"
+  | Of_type t, (Lt l | Le l | Gt l | Ge l) | (Lt l | Le l | Gt l | Ge l), Of_type t -> (
+    (* order predicates compare within one family (see numeric_compare) *)
+    match l with
+    | Label.Int _ | Label.Float _ -> t = "int" || t = "float"
+    | Label.Str _ -> t = "string"
+    | Label.Sym _ -> t = "symbol"
+    | Label.Bool _ -> false)
+  | Starts_with a, Starts_with b ->
+    let n = min (String.length a) (String.length b) in
+    String.sub a 0 n = String.sub b 0 n
+  | (Lt a | Le a), (Gt b | Ge b) | (Gt b | Ge b), (Lt a | Le a) -> (
+    match numeric_compare b a with Some c -> c < 0 | None -> false)
+  | Not _, _ | _, Not _ -> true
+  | (Starts_with _ | Contains _ | Lt _ | Le _ | Gt _ | Ge _), _ -> true
+
 let rec pp fmt = function
   | Any -> Format.pp_print_string fmt "_"
   | Exact l -> Label.pp fmt l

@@ -32,6 +32,13 @@ type t =
   | Or of t * t
 
 val matches : t -> Ssd.Label.t -> bool
+
+(** [compatible p q] — may some label satisfy both predicates?
+    Conservative: [false] only when the conjunction is provably
+    unsatisfiable (e.g. two different exact labels, disjoint type
+    tests), [true] whenever unsure.  Used to intersect a query automaton
+    with a {e schema} automaton, whose transitions are predicates. *)
+val compatible : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -38,6 +38,46 @@ let accepting_nodes_from g nfa ~starts = accepting_of_pairs nfa (run_pairs g nfa
 
 let n_pairs g nfa = Hashtbl.length (run_pairs g nfa ~starts:[ Graph.root g ])
 
+(* Like [run_pairs], but also collect the labels of edges the live
+   product actually crosses — the statically-reachable label set the
+   lint pass hands to the optimizer. *)
+let reach g nfa ~starts =
+  let closures = Nfa.closures nfa in
+  let seen = Hashtbl.create 256 in
+  let labels = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  let push u q =
+    if not (Hashtbl.mem seen (u, q)) then begin
+      Hashtbl.add seen (u, q) ();
+      Queue.push (u, q) queue
+    end
+  in
+  let start_states = Nfa.start_set nfa in
+  List.iter (fun u -> List.iter (push u) start_states) starts;
+  while not (Queue.is_empty queue) do
+    let u, q = Queue.pop queue in
+    let moves = nfa.Nfa.trans.(q) in
+    if moves <> [] then
+      List.iter
+        (fun (l, v) ->
+          List.iter
+            (fun (p, q') ->
+              if Lpred.matches p l then begin
+                Hashtbl.replace labels l ();
+                List.iter (push v) closures.(q')
+              end)
+            moves)
+        (Graph.labeled_succ g u)
+  done;
+  let accepted =
+    Hashtbl.fold (fun (u, q) () acc -> if nfa.Nfa.accept.(q) then u :: acc else acc) seen []
+    |> List.sort_uniq compare
+  in
+  let crossed =
+    Hashtbl.fold (fun l () acc -> l :: acc) labels [] |> List.sort_uniq Ssd.Label.compare
+  in
+  (accepted, crossed)
+
 let witness g nfa target =
   (* BFS with parent pointers; stops at the first accepting pair on
      [target]. *)

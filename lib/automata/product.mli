@@ -16,6 +16,13 @@ val accepting_nodes : Ssd.Graph.t -> Nfa.t -> int list
     decomposed evaluation). *)
 val accepting_nodes_from : Ssd.Graph.t -> Nfa.t -> starts:int list -> int list
 
+(** Like {!accepting_nodes_from}, but also return the sorted set of
+    labels on edges the live product crosses — the statically-reachable
+    label set of the path expression against this graph (used by the
+    lint pass and guide-informed pruning). *)
+val reach :
+  Ssd.Graph.t -> Nfa.t -> starts:int list -> int list * Ssd.Label.t list
+
 (** All reachable (node, closed NFA state-set id) pair count — a size
     diagnostic for the optimization experiments. *)
 val n_pairs : Ssd.Graph.t -> Nfa.t -> int

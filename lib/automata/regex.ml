@@ -51,6 +51,17 @@ let rec nullable = function
   | Plus a -> nullable a
   | Opt _ -> true
 
+(* Structural language emptiness: does the regex match no word at all?
+   Atoms are treated as non-empty (predicate satisfiability is the
+   product's job), so this only catches uses of Void. *)
+let rec is_void = function
+  | Void -> true
+  | Eps | Atom _ -> false
+  | Seq (a, b) -> is_void a || is_void b
+  | Alt (a, b) -> is_void a && is_void b
+  | Star _ | Opt _ -> false (* match the empty word *)
+  | Plus a -> is_void a
+
 let rec deriv r l =
   match r with
   | Void | Eps -> Void

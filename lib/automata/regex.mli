@@ -40,6 +40,11 @@ val matches : t -> Ssd.Label.t list -> bool
 (** Does the regex accept the empty word? *)
 val nullable : t -> bool
 
+(** Is the regex's language structurally empty (no word matches,
+    whatever the atoms denote)?  True only when [Void] occurs in a
+    position that voids the whole language. *)
+val is_void : t -> bool
+
 (** Brzozowski derivative by one label — the basis of {!matches} and a
     second, independently-implemented semantics the tests compare the NFA
     against. *)

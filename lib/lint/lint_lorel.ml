@@ -1,0 +1,181 @@
+(* Static analysis of Lorel queries: range-variable hygiene (SSD40x)
+   and path satisfiability against a DataGuide or schema (SSD402).
+
+   Lorel's from-clause binds range variables left to right; every path
+   starts either at [DB] or at a previously bound variable.  We thread
+   a frontier of summary nodes through each path's components and warn
+   when it empties — the same product-emptiness argument as for UnQL
+   generators, with [%] = any one edge and [#] = (any edge)*. *)
+
+module A = Lorel.Ast
+module P = Lorel.Parser
+module Diag = Ssd_diag
+module Regex = Ssd_automata.Regex
+module Lpred = Ssd_automata.Lpred
+module Nfa = Ssd_automata.Nfa
+module Product = Ssd_automata.Product
+module Dataguide = Ssd_schema.Dataguide
+module Gschema = Ssd_schema.Gschema
+module SMap = Map.Make (String)
+
+type report = {
+  diags : Diag.t list;
+  paths_checked : int;
+  dead_paths : int;
+}
+
+let component_regex = function
+  | A.Clabel l -> Regex.Atom (Lpred.Exact l)
+  | A.Cany -> Regex.Atom Lpred.Any
+  | A.Cpath -> Regex.Star (Regex.Atom Lpred.Any)
+
+let advance target frontier re =
+  match target with
+  | Lint_unql.Guide g ->
+    fst (Product.reach (Dataguide.graph g) (Nfa.of_regex re) ~starts:frontier)
+  | Lint_unql.Schema s -> (
+    match re with
+    | Regex.Atom p -> Gschema.step s frontier p
+    | re -> Lint_unql.schema_reach s (Nfa.of_regex re) ~starts:frontier)
+
+type st = {
+  mutable diags : Diag.t list;
+  marks : (P.mark_kind * int * int) array;
+  msrc : string;
+  mutable next_mark : int;
+  mutable marks_ok : bool;
+  target : Lint_unql.target option;
+  mutable paths_checked : int;
+  mutable dead_paths : int;
+}
+
+let diag st ?span sev ~code fmt =
+  Printf.ksprintf
+    (fun msg -> st.diags <- Diag.make ?span sev ~code msg :: st.diags)
+    fmt
+
+let take_mark st kind =
+  if (not st.marks_ok) || st.next_mark >= Array.length st.marks then None
+  else begin
+    let k, a, b = st.marks.(st.next_mark) in
+    if k = kind then begin
+      st.next_mark <- st.next_mark + 1;
+      Some (Diag.span_of_offsets st.msrc a b)
+    end
+    else begin
+      st.marks_ok <- false;
+      None
+    end
+  end
+
+(* Check one path under [env] (var -> frontier option).  Returns the
+   frontier its end reaches, [None] when unknown or dead. *)
+let check_path st env path =
+  let span = take_mark st P.Mpath in
+  let start =
+    match path.A.start with
+    | None -> (
+      match st.target with
+      | Some t -> Some (Lint_unql.start_frontier t)
+      | None -> None)
+    | Some x -> (
+      match SMap.find_opt x env with
+      | Some frontier -> frontier
+      | None ->
+        diag st ?span Diag.Error ~code:"SSD401" "unbound range variable %s" x;
+        None)
+  in
+  match start, st.target with
+  | Some frontier, Some target ->
+    st.paths_checked <- st.paths_checked + 1;
+    let rec go frontier = function
+      | [] -> Some frontier
+      | comp :: rest -> (
+        match advance target frontier (component_regex comp) with
+        | [] ->
+          st.dead_paths <- st.dead_paths + 1;
+          diag st ?span Diag.Warning ~code:"SSD402"
+            "dead path: no database path matches this expression (product with the %s \
+             is empty)"
+            (match target with Lint_unql.Guide _ -> "DataGuide" | Schema _ -> "schema");
+          None
+        | next -> go next rest)
+    in
+    go frontier path.A.comps
+  | _ -> None
+
+let check_operand st env = function
+  | A.Opath p -> ignore (check_path st env p)
+  | A.Olit _ -> ()
+
+let rec check_cond st env = function
+  | A.Cmp (_, a, b) ->
+    check_operand st env a;
+    check_operand st env b
+  | A.Exists p -> ignore (check_path st env p)
+  | A.And (a, b) | A.Or (a, b) ->
+    check_cond st env a;
+    check_cond st env b
+  | A.Not c -> check_cond st env c
+
+let check ?target ?marks (q : A.query) =
+  let marks_arr, msrc =
+    match marks with
+    | Some m -> (m.P.items, m.P.msrc)
+    | None -> ([||], "")
+  in
+  let st =
+    {
+      diags = [];
+      marks = marks_arr;
+      msrc;
+      next_mark = 0;
+      marks_ok = Array.length marks_arr > 0;
+      target;
+      paths_checked = 0;
+      dead_paths = 0;
+    }
+  in
+  (* The full from-clause environment, for checking select items (they
+     are parsed — and marked — before the from clause, but evaluated
+     under its bindings).  Frontiers here are computed without marks or
+     diagnostics; the real walk below re-checks each range in order. *)
+  let full_env =
+    List.fold_left
+      (fun env (path, var) ->
+        let frontier =
+          match path.A.start, st.target with
+          | None, Some t ->
+            let rec go frontier = function
+              | [] -> Some frontier
+              | comp :: rest -> (
+                match advance t frontier (component_regex comp) with
+                | [] -> None
+                | next -> go next rest)
+            in
+            go (Lint_unql.start_frontier t) path.A.comps
+          | Some x, _ -> Option.join (SMap.find_opt x env)
+          | None, None -> None
+        in
+        SMap.add var frontier env)
+      SMap.empty q.A.from
+  in
+  (* Walk in parse order: select items, from ranges, where. *)
+  List.iter (fun item -> ignore (check_path st full_env item.A.item)) q.A.select;
+  let env =
+    List.fold_left
+      (fun env (path, var) ->
+        let frontier = check_path st env path in
+        let var_span = take_mark st P.Mvar in
+        if SMap.mem var env then
+          diag st ?span:var_span Diag.Warning ~code:"SSD403"
+            "range variable %s is bound twice in the from clause" var;
+        SMap.add var frontier env)
+      SMap.empty q.A.from
+  in
+  Option.iter (check_cond st env) q.A.where;
+  {
+    diags = Diag.sort (List.rev st.diags);
+    paths_checked = st.paths_checked;
+    dead_paths = st.dead_paths;
+  }

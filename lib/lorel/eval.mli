@@ -17,7 +17,9 @@
       item (labeled by its alias or last path label) pointing at the
       {e original} object — object identity is preserved, not copied. *)
 
-exception Runtime_error of string
+(** Runtime failures carry a {!Ssd_diag.t}; the code (SSD401) matches
+    the static analyzer's report for the same defect. *)
+exception Runtime_error of Ssd_diag.t
 
 (** [eval ~db q] returns the result graph.  Note the result shares no
     structure with [db] physically (it is re-rooted and gc'd) but is

@@ -3,12 +3,48 @@ open Ast
 
 exception Parse_error of string
 
+(* Byte-offset marks recorded in parse order: one [Mpath] per path
+   expression, one [Mvar] per range-variable ident.  The lint pass walks
+   the query in the same order to attach source spans. *)
+type mark_kind =
+  | Mpath
+  | Mvar
+
+type marks = {
+  msrc : string;
+  items : (mark_kind * int * int) array;
+}
+
 type st = {
   src : string;
   mutable pos : int;
+  mutable marks : (mark_kind * int * int) list; (* reversed *)
 }
 
-let fail st msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
+let record st kind start =
+  (* trim trailing whitespace the lookahead consumed *)
+  let stop = ref st.pos in
+  while
+    !stop > start
+    && match st.src.[!stop - 1] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    decr stop
+  done;
+  st.marks <- (kind, start, !stop) :: st.marks
+
+let fail st msg =
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < st.pos && c = '\n' then begin
+        incr line;
+        bol := i + 1
+      end)
+    st.src;
+  raise
+    (Parse_error
+       (Printf.sprintf "line %d, column %d (offset %d): %s" !line
+          (st.pos - !bol + 1) st.pos msg))
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -118,11 +154,14 @@ let parse_path_from st start =
 
 let parse_path_expr st =
   skip_ws st;
+  let mark_start = st.pos in
   match peek st with
   | Some c when Label.is_ident_start c ->
     let id = lex_ident st in
     let start = if String.lowercase_ascii id = "db" then None else Some id in
-    parse_path_from st start
+    let path = parse_path_from st start in
+    record st Mpath mark_start;
+    path
   | _ -> fail st "expected a path expression"
 
 let parse_operand st =
@@ -198,8 +237,8 @@ let parse_select_item st =
   let alias = if eat_keyword st "as" then Some (skip_ws st; lex_ident st) else None in
   { item; alias }
 
-let parse src =
-  let st = { src; pos = 0 } in
+let parse_with_marks src =
+  let st = { src; pos = 0; marks = [] } in
   if not (eat_keyword st "select") then fail st "query must start with 'select'";
   let select = ref [ parse_select_item st ] in
   skip_ws st;
@@ -213,7 +252,9 @@ let parse src =
     let range () =
       let p = parse_path_expr st in
       skip_ws st;
+      let vstart = st.pos in
       let v = lex_ident st in
+      record st Mvar vstart;
       if List.mem (String.lowercase_ascii v) keywords then
         fail st ("range variable clashes with keyword " ^ v);
       (p, v)
@@ -229,10 +270,13 @@ let parse src =
   let where = if eat_keyword st "where" then Some (parse_cond st) else None in
   skip_ws st;
   if peek st <> None then fail st "trailing input after query";
-  { select = List.rev !select; from = List.rev !from; where }
+  ( { select = List.rev !select; from = List.rev !from; where },
+    { msrc = src; items = Array.of_list (List.rev st.marks) } )
+
+let parse src = fst (parse_with_marks src)
 
 let parse_path src =
-  let st = { src; pos = 0 } in
+  let st = { src; pos = 0; marks = [] } in
   let p = parse_path_expr st in
   skip_ws st;
   if peek st <> None then fail st "trailing input after path";

@@ -11,7 +11,22 @@
 
 exception Parse_error of string
 
+(** Byte-offset marks recorded in parse order — one [Mpath] per path
+    expression, one [Mvar] per range-variable ident.  {!Lint} walks the
+    query in the same order to attach source spans. *)
+type mark_kind =
+  | Mpath
+  | Mvar
+
+type marks = {
+  msrc : string;
+  items : (mark_kind * int * int) array;
+}
+
 val parse : string -> Ast.query
+
+(** [parse] plus the recorded marks. *)
+val parse_with_marks : string -> Ast.query * marks
 
 (** Parse a bare path expression (exposed for tests). *)
 val parse_path : string -> Ast.path

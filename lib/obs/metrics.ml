@@ -133,14 +133,19 @@ let reset registry =
         h.h_max <- neg_infinity)
     registry
 
-let partition registry =
+let has_prefix prefix name =
+  let np = String.length prefix in
+  String.length name >= np && String.sub name 0 np = prefix
+
+let partition ?(prefix = "") registry =
   let cs = ref [] and ts = ref [] and hs = ref [] in
   Hashtbl.iter
     (fun name i ->
-      match i with
-      | Counter c -> cs := (name, c) :: !cs
-      | Timer t -> ts := (name, t) :: !ts
-      | Histogram h -> hs := (name, h) :: !hs)
+      if has_prefix prefix name then
+        match i with
+        | Counter c -> cs := (name, c) :: !cs
+        | Timer t -> ts := (name, t) :: !ts
+        | Histogram h -> hs := (name, h) :: !hs)
     registry;
   let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
   (by_name !cs, by_name !ts, by_name !hs)
@@ -150,8 +155,8 @@ let partition registry =
 let h_min h = if h.h_count = 0 then 0. else h.h_min
 let h_max h = if h.h_count = 0 then 0. else h.h_max
 
-let counters registry =
-  let cs, _, _ = partition registry in
+let counters ?prefix registry =
+  let cs, _, _ = partition ?prefix registry in
   List.map (fun (name, c) -> (name, c.c_value)) cs
 
 let ns_pretty ns =
@@ -160,8 +165,8 @@ let ns_pretty ns =
   else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
   else Printf.sprintf "%.2fs" (ns /. 1e9)
 
-let dump_text registry =
-  let cs, ts, hs = partition registry in
+let dump_text ?prefix registry =
+  let cs, ts, hs = partition ?prefix registry in
   let buf = Buffer.create 512 in
   if cs <> [] then begin
     Buffer.add_string buf "counters:\n";
@@ -190,9 +195,9 @@ let dump_text registry =
   end;
   Buffer.contents buf
 
-let to_json registry =
+let to_json ?prefix registry =
   let module J = Ssd.Json in
-  let cs, ts, hs = partition registry in
+  let cs, ts, hs = partition ?prefix registry in
   let counters = J.Obj (List.map (fun (name, c) -> (name, J.Int c.c_value)) cs) in
   let timers =
     J.Obj
@@ -222,4 +227,4 @@ let to_json registry =
   in
   J.Obj [ ("counters", counters); ("timers", timers); ("histograms", histograms) ]
 
-let dump_json registry = Ssd.Json.to_string (to_json registry)
+let dump_json ?prefix registry = Ssd.Json.to_string (to_json ?prefix registry)

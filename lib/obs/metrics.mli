@@ -77,19 +77,21 @@ val histogram_buckets : histogram -> (float * int) list
 
 (** {1 Registry-wide views} *)
 
-(** All counters as [(name, value)], sorted by name. *)
-val counters : registry -> (string * int) list
+(** All counters as [(name, value)], sorted by name.  [prefix] keeps only
+    instruments whose name starts with it (names are dot-separated, so a
+    prefix like ["lint."] selects one subsystem). *)
+val counters : ?prefix:string -> registry -> (string * int) list
 
 (** Zero every instrument in the registry (instruments stay registered). *)
 val reset : registry -> unit
 
 (** Human-readable dump: counters, then timers, then histograms, each
-    sorted by name. *)
-val dump_text : registry -> string
+    sorted by name, optionally restricted to a name [prefix]. *)
+val dump_text : ?prefix:string -> registry -> string
 
 (** The registry as a JSON document
     [{"counters": {...}, "timers": {...}, "histograms": {...}}] — the
     machine-readable form checked by the [ssdql --stats] smoke test. *)
-val to_json : registry -> Ssd.Json.t
+val to_json : ?prefix:string -> registry -> Ssd.Json.t
 
-val dump_json : registry -> string
+val dump_json : ?prefix:string -> registry -> string

@@ -41,8 +41,22 @@ type rule = {
 type program = rule list
 
 exception Parse_error of string
-exception Unsafe of string
-exception Not_stratified of string
+(* Safety and stratification violations carry a diagnostic under the
+   analyzer's codes (SSD201/202/203 safety, SSD210 stratification), so a
+   runtime rejection and a lint finding for one defect agree. *)
+exception Unsafe of Ssd_diag.t
+exception Not_stratified of Ssd_diag.t
+
+let unsafe ~code fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Unsafe (Ssd_diag.make Ssd_diag.Error ~code msg)))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Unsafe d -> Some ("Datalog.Unsafe: " ^ Ssd_diag.to_string d)
+    | Not_stratified d -> Some ("Datalog.Not_stratified: " ^ Ssd_diag.to_string d)
+    | _ -> None)
 
 type edb = (string * Label.t list list) list
 
@@ -330,18 +344,20 @@ let check_safety program =
           (function Pos a -> term_vars a.args | Neg _ | Cmp _ -> [])
           r.body
       in
-      let check_var where v =
+      let check_var ~code where v =
         if not (List.mem v positive_vars) then
-          raise
-            (Unsafe
-               (Format.asprintf "variable ?%s in %s of rule '%a' is not bound by a positive literal"
-                  v where pp_rule r))
+          unsafe ~code
+            "variable ?%s in %s of rule '%s' is not bound by a positive literal" v
+            where
+            (Format.asprintf "%a" pp_rule r)
       in
-      List.iter (check_var "head") (term_vars r.head.args);
+      List.iter (check_var ~code:"SSD201" "head") (term_vars r.head.args);
       List.iter
         (function
-          | Neg a -> List.iter (check_var "negated literal") (term_vars a.args)
-          | Cmp (_, t1, t2) -> List.iter (check_var "comparison") (term_vars [ t1; t2 ])
+          | Neg a ->
+            List.iter (check_var ~code:"SSD202" "negated literal") (term_vars a.args)
+          | Cmp (_, t1, t2) ->
+            List.iter (check_var ~code:"SSD203" "comparison") (term_vars [ t1; t2 ])
           | Pos _ -> ())
         r.body)
     program
@@ -371,7 +387,10 @@ let stratify program =
         in
         if lower > stratum_of r.head.pred then begin
           if lower > n_idb then
-            raise (Not_stratified ("predicate " ^ r.head.pred ^ " negates through recursion"));
+            raise
+              (Not_stratified
+                 (Ssd_diag.make Ssd_diag.Error ~code:"SSD210"
+                    ("predicate " ^ r.head.pred ^ " negates through recursion")));
           Hashtbl.replace strata r.head.pred lower;
           changed := true
         end)
@@ -427,7 +446,7 @@ let eval_term env = function
   | Var v -> (
     match Env.find_opt v env with
     | Some l -> l
-    | None -> raise (Unsafe ("unbound variable ?" ^ v)))
+    | None -> unsafe ~code:"SSD203" "unbound variable ?%s" v)
 
 (* Match an atom's args against a concrete tuple under [env]; None on
    mismatch. *)

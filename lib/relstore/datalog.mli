@@ -53,12 +53,13 @@ type program = rule list
 
 exception Parse_error of string
 
-exception Unsafe of string
+exception Unsafe of Ssd_diag.t
 (** A head / negated / compared variable does not occur in a positive body
-    literal. *)
+    literal.  The diagnostic's code is SSD201 (head), SSD202 (negated
+    literal) or SSD203 (comparison) — the same codes {!Lint} reports. *)
 
-exception Not_stratified of string
-(** Negation through recursion. *)
+exception Not_stratified of Ssd_diag.t
+(** Negation through recursion (code SSD210). *)
 
 val parse : string -> program
 val pp_rule : Format.formatter -> rule -> unit

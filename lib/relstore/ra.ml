@@ -61,7 +61,7 @@ let join r1 r2 =
 
 let check_compatible op r1 r2 =
   if Relation.attrs r1 <> Relation.attrs r2 then
-    invalid_arg (Printf.sprintf "Ra.%s: attribute lists differ" op)
+    Ssd_diag.error ~code:"SSD520" "Ra.%s: attribute lists differ" op
 
 let union r1 r2 =
   check_compatible "union" r1 r2;

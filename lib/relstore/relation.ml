@@ -30,7 +30,7 @@ let create attr_list =
   let attrs = Array.of_list attr_list in
   let sorted = List.sort_uniq String.compare attr_list in
   if List.length sorted <> Array.length attrs then
-    invalid_arg "Relation.create: duplicate attribute names";
+    Ssd_diag.error ~code:"SSD520" "Relation.create: duplicate attribute names";
   { attrs; set = Row_set.empty }
 
 let attrs r = Array.copy r.attrs
@@ -47,7 +47,8 @@ let column r a =
 
 let add r row =
   if Array.length row <> Array.length r.attrs then
-    invalid_arg "Relation.add: arity mismatch";
+    Ssd_diag.error ~code:"SSD520" "Relation.add: arity mismatch (%d-tuple into a %d-ary relation)"
+      (Array.length row) (Array.length r.attrs);
   { r with set = Row_set.add row r.set }
 
 let of_rows attr_list rows = List.fold_left add (create attr_list) rows

@@ -16,11 +16,14 @@ let root g =
 
 let to_graph ~edges ~root =
   if Array.to_list (Relation.attrs edges) <> edge_attrs then
-    invalid_arg "Triple.to_graph: edge relation must have attrs (src,label,dst)";
+    Ssd_diag.error ~code:"SSD521"
+      "Triple.to_graph: edge relation must have attrs (src,label,dst)";
   let root_id =
     match Relation.rows root with
     | [ [| Label.Int n |] ] -> n
-    | _ -> invalid_arg "Triple.to_graph: root relation must be a single Int node"
+    | _ ->
+      Ssd_diag.error ~code:"SSD521"
+        "Triple.to_graph: root relation must be a single Int node"
   in
   let b = Graph.Builder.create () in
   let node_map = Hashtbl.create 64 in
@@ -33,7 +36,7 @@ let to_graph ~edges ~root =
          let id = Graph.Builder.add_node b in
          Hashtbl.add node_map n id;
          id)
-    | _ -> invalid_arg "Triple.to_graph: node ids must be Int labels"
+    | _ -> Ssd_diag.error ~code:"SSD521" "Triple.to_graph: node ids must be Int labels"
   in
   let root_node = intern (Label.Int root_id) in
   Relation.iter

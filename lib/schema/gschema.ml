@@ -41,6 +41,18 @@ let root s = s.root
 let n_nodes s = Array.length s.out
 let succ s u = s.out.(u)
 
+(* One query-predicate step over the schema automaton: successors along
+   edges whose predicate may co-match the query predicate
+   (conservative, via Lpred.compatible — never loses a live path). *)
+let step s nodes p =
+  List.concat_map
+    (fun u ->
+      List.filter_map
+        (fun (q, v) -> if Ssd_automata.Lpred.compatible p q then Some v else None)
+        (succ s u))
+    nodes
+  |> List.sort_uniq compare
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)

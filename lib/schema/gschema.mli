@@ -38,6 +38,12 @@ val parse : string -> t
 val root : t -> int
 val n_nodes : t -> int
 val succ : t -> int -> (Ssd_automata.Lpred.t * int) list
+
+(** [step s nodes p] — schema nodes reachable from [nodes] along one
+    edge whose predicate is {!Ssd_automata.Lpred.compatible} with the
+    query predicate [p].  The frontier-advance primitive of schema-aware
+    path satisfiability: an empty result proves the step dead. *)
+val step : t -> int list -> Ssd_automata.Lpred.t -> int list
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -115,7 +115,20 @@ let pattern_binders p =
   in
   List.sort_uniq String.compare (go [] p)
 
-exception Ill_formed of string
+(* Structural restrictions on sfun definitions, carrying the same
+   stable codes the static analyzer reports (SSD306/308/309), so a
+   runtime rejection and a lint finding for one defect agree. *)
+exception Ill_formed of Ssd_diag.t
+
+let ill_formed ~code fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Ill_formed (Ssd_diag.make Ssd_diag.Error ~code msg)))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Ill_formed d -> Some ("Unql.Ast.Ill_formed: " ^ Ssd_diag.to_string d)
+    | _ -> None)
 
 (** Free tree variables of an expression (label names are not included:
     an unbound label name just denotes a symbol literal). *)
@@ -175,7 +188,7 @@ let check_sfun def =
       | Let (_, a, b) -> (go a; go b)
       | Letsfun (d, e) ->
         if d.fname = def.fname then
-          raise (Ill_formed ("sfun " ^ def.fname ^ " shadowed inside its own body"));
+          ill_formed ~code:"SSD309" "sfun %s shadowed inside its own body" def.fname;
         List.iter (fun c -> go c.cbody) d.cases;
         go e
       | App (f, arg) ->
@@ -183,11 +196,9 @@ let check_sfun def =
           match arg with
           | Var v when v = c.ctree -> ()
           | _ ->
-            raise
-              (Ill_formed
-                 (Printf.sprintf
-                    "recursive call %s(...) must be applied to the case's tree variable %s"
-                    def.fname c.ctree))
+            ill_formed ~code:"SSD306"
+              "recursive call %s(...) must be applied to the case's tree variable %s"
+              def.fname c.ctree
         end
         else go arg
     and go_cond = function
@@ -198,7 +209,8 @@ let check_sfun def =
       | Cand (a, b) | Cor (a, b) -> (go_cond a; go_cond b)
     in
     (match c.cstep with
-     | Sregex _ -> raise (Ill_formed "sfun case patterns match a single edge, not a path")
+     | Sregex _ ->
+       ill_formed ~code:"SSD308" "sfun case patterns match a single edge, not a path"
      | Slit _ | Sbind _ | Spred _ -> ());
     go c.cbody
   in

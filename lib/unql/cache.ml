@@ -139,9 +139,18 @@ let evict_lru c =
     Metrics.incr m_evictions
   | None -> ()
 
-let key_of ~db q =
-  let normalized = Optimize.reorder q in
-  { qtext = Pretty.expr_to_string normalized; fp = fingerprint db }
+(* The query half of the cache key, FNV-1a over the canonical rendering
+   of the normalized AST.  Shared with the lint pass: [ssdql check] and
+   the cache report the same fingerprint for the same query. *)
+let query_text q = Pretty.expr_to_string (Optimize.reorder q)
+
+let query_fingerprint q =
+  let s = query_text q in
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h land max_int
+
+let key_of ~db q = { qtext = query_text q; fp = fingerprint db }
 
 let eval ?(options = Eval.default_options) ~cache ~db q =
   let key = Trace.with_span "cache.key" (fun () -> key_of ~db q) in

@@ -57,6 +57,12 @@ val invalidate : t -> Ssd.Graph.t -> int
     most recently seen graphs. *)
 val fingerprint : Ssd.Graph.t -> int
 
+(** [query_fingerprint q] — a stable hash of the {e normalized} query
+    (reorder + canonical rendering), the query half of the cache key.
+    The lint pass stamps its reports with the same fingerprint, so a
+    [ssdql check] finding can be correlated with cache entries. *)
+val query_fingerprint : Ast.expr -> int
+
 (** [eval ~cache ~db q] is observationally {!Eval.eval} (same value up
     to bisimilarity — equal graphs, on a hit even physically equal to
     the first result), consulting and filling [cache].  [options] is

@@ -8,7 +8,20 @@ module Metrics = Ssd_obs.Metrics
 module Trace = Ssd_obs.Trace
 open Ast
 
-exception Runtime_error of string
+(* Runtime failures carry a full diagnostic under the same stable codes
+   the static analyzer predicts them with (SSD303/304/305/307): a query
+   that lints clean cannot reach any of these raises. *)
+exception Runtime_error of Ssd_diag.t
+
+let runtime_error ~code fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Runtime_error (Ssd_diag.make Ssd_diag.Error ~code msg)))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Runtime_error d -> Some ("Unql.Eval.Runtime_error: " ^ Ssd_diag.to_string d)
+    | _ -> None)
 
 (* Execution counters (lib/obs): what evaluation actually does, as
    opposed to what the optimizer rewrote.  All report to
@@ -89,7 +102,7 @@ let resolve_label env = function
     match Env.find_opt x env.vars with
     | Some (Elabel l) -> l
     | Some (Enode _) ->
-      raise (Runtime_error ("tree variable " ^ x ^ " used in label position"))
+      runtime_error ~code:"SSD304" "tree variable %s used in label position" x
     | None -> Label.Sym x)
 
 let resolve_atom env = function
@@ -98,7 +111,7 @@ let resolve_atom env = function
     match Env.find_opt x env.vars with
     | Some (Elabel l) -> l
     | Some (Enode _) ->
-      raise (Runtime_error ("tree variable " ^ x ^ " used in a condition"))
+      runtime_error ~code:"SSD304" "tree variable %s used in a condition" x
     | None -> Label.Sym x)
 
 (* Comparisons promote Int/Float pairs so that "integers greater than
@@ -194,7 +207,8 @@ let chain_of_path ctx path =
 let bind_label env x l k =
   match Env.find_opt x env.vars with
   | Some (Elabel l0) -> if Label.equal l l0 then k env else []
-  | Some (Enode _) -> raise (Runtime_error ("variable " ^ x ^ " bound as both tree and label"))
+  | Some (Enode _) ->
+    runtime_error ~code:"SSD304" "variable %s bound as both tree and label" x
   | None -> k { env with vars = Env.add x (Elabel l) env.vars }
 
 let rec match_steps ctx env node steps k =
@@ -262,7 +276,7 @@ let rec eval_expr ctx env = function
       let v = Store.add_node ctx.st in
       Store.add_edge ctx.st u l v;
       u
-    | None -> raise (Runtime_error ("unbound variable " ^ x)))
+    | None -> runtime_error ~code:"SSD303" "unbound variable %s" x)
   | Tree entries ->
     let u = Store.add_node ctx.st in
     List.iter
@@ -300,9 +314,8 @@ let rec eval_expr ctx env = function
         List.iter
           (fun v ->
             if not (List.mem v allowed) then
-              raise
-                (Ill_formed
-                   (Printf.sprintf "sfun %s: body mentions free variable %s" def.fname v)))
+              ill_formed ~code:"SSD307" "sfun %s: body mentions free variable %s"
+                def.fname v)
           (free_tree_vars c.cbody))
       def.cases;
     let closure = { def; fenv = env.funs; memo = Hashtbl.create 64; queue = Queue.create () } in
@@ -310,7 +323,7 @@ let rec eval_expr ctx env = function
     eval_expr ctx { env with funs = Env.add def.fname closure env.funs } e
   | App (f, arg) -> (
     match Env.find_opt f env.funs with
-    | None -> raise (Runtime_error ("unknown function " ^ f))
+    | None -> runtime_error ~code:"SSD305" "unknown function %s" f
     | Some closure ->
       let node = eval_expr ctx env arg in
       apply ctx closure node)

@@ -21,7 +21,10 @@
       independent of the calling environment and makes per-function
       memoization sound. *)
 
-exception Runtime_error of string
+(** Runtime failures carry a {!Ssd_diag.t} whose [code] matches the
+    static analyzer's prediction for the same defect (SSD303 unbound
+    variable, SSD304 label/tree conflict, SSD305 unknown function). *)
+exception Runtime_error of Ssd_diag.t
 
 type options = {
   reorder_clauses : bool;

@@ -5,15 +5,41 @@ open Ast
 
 exception Parse_error of string
 
+(* Byte-offset marks recorded during the parse, in parse order: one per
+   pattern step and one per pattern binder ([\x] at pattern position).
+   The lint pass walks the AST in the same order and aligns marks with
+   occurrences, giving diagnostics a source span without annotating the
+   AST itself. *)
+type mark_kind =
+  | Mstep
+  | Mbind
+
+type marks = {
+  msrc : string;
+  items : (mark_kind * int * int) array;
+}
+
 type st = {
   src : string;
   mutable pos : int;
+  mutable marks : (mark_kind * int * int) list; (* reversed *)
 }
 
+let record st kind start = st.marks <- (kind, start, st.pos) :: st.marks
+
 let fail st msg =
-  let line = ref 1 in
-  String.iteri (fun i c -> if i < st.pos && c = '\n' then incr line) st.src;
-  raise (Parse_error (Printf.sprintf "line %d (offset %d): %s" !line st.pos msg))
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < st.pos && c = '\n' then begin
+        incr line;
+        bol := i + 1
+      end)
+    st.src;
+  raise
+    (Parse_error
+       (Printf.sprintf "line %d, column %d (offset %d): %s" !line
+          (st.pos - !bol + 1) st.pos msg))
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -206,8 +232,7 @@ let step_of_text st text =
     | r -> Spred (pred_of_regex st r)
     | exception Regex.Parse_error msg -> fail st msg
 
-let parse_step st =
-  skip_ws st;
+let parse_step_at st =
   match peek st with
   | Some '\\' ->
     advance st;
@@ -239,6 +264,13 @@ let parse_step st =
     end)
   | _ -> step_of_text st (lex_step_text st)
 
+let parse_step st =
+  skip_ws st;
+  let step_start = st.pos in
+  let step = parse_step_at st in
+  record st Mstep step_start;
+  step
+
 let parse_steps st =
   let rec go acc =
     let acc = parse_step st :: acc in
@@ -259,8 +291,11 @@ let rec parse_pattern_at st =
   skip_ws st;
   match peek st with
   | Some '\\' ->
+    let start = st.pos in
     advance st;
-    Pbind (lex_ident st)
+    let x = lex_ident st in
+    record st Mbind start;
+    Pbind x
   | Some '_' when (match peek2 st with Some c -> not (Label.is_ident_char c) | None -> true) ->
     advance st;
     Pany
@@ -481,8 +516,10 @@ and parse_clause st =
   match peek st with
   | Some ('\\' | '{' | '_') -> (
     (* '\l <- e' is a generator but '\l = "x"' is a condition; try the
-       generator parse and fall back. *)
+       generator parse and fall back (dropping any marks the attempt
+       recorded). *)
     let saved = st.pos in
+    let saved_marks = st.marks in
     match
       let p = parse_pattern_at st in
       skip_ws st;
@@ -494,6 +531,7 @@ and parse_clause st =
       Gen (p, e)
     | None | (exception Parse_error _) ->
       st.pos <- saved;
+      st.marks <- saved_marks;
       Where (parse_cond st))
   | _ -> Where (parse_cond st)
 
@@ -590,15 +628,17 @@ and parse_case st =
   let body = parse_expr st in
   { case_name = name; case = { cstep; ctree = tvar; cbody = body } }
 
-let parse src =
-  let st = { src; pos = 0 } in
+let parse_with_marks src =
+  let st = { src; pos = 0; marks = [] } in
   let e = parse_expr st in
   skip_ws st;
   if peek st <> None then fail st "trailing input after expression";
-  e
+  (e, { msrc = src; items = Array.of_list (List.rev st.marks) })
+
+let parse src = fst (parse_with_marks src)
 
 let parse_pattern src =
-  let st = { src; pos = 0 } in
+  let st = { src; pos = 0; marks = [] } in
   let p = parse_pattern_at st in
   skip_ws st;
   if peek st <> None then fail st "trailing input after pattern";

@@ -41,7 +41,22 @@
 
 exception Parse_error of string
 
+(** Byte-offset marks recorded in parse order — one [Mstep] per pattern
+    step, one [Mbind] per pattern binder.  {!Lint} walks the AST in the
+    same order to attach source spans to diagnostics. *)
+type mark_kind =
+  | Mstep
+  | Mbind
+
+type marks = {
+  msrc : string;
+  items : (mark_kind * int * int) array;
+}
+
 val parse : string -> Ast.expr
+
+(** [parse] plus the recorded marks. *)
+val parse_with_marks : string -> Ast.expr * marks
 
 (** Parse a single pattern (exposed for tests). *)
 val parse_pattern : string -> Ast.pattern

@@ -4,7 +4,7 @@ let empty = []
 
 let define ~name src reg =
   if List.mem_assoc name reg then
-    invalid_arg (Printf.sprintf "Views.define: %s is already defined" name);
+    Ssd_diag.error ~code:"SSD530" "Views.define: %s is already defined" name;
   reg @ [ (name, Parser.parse src) ]
 
 let names reg = List.map fst reg

@@ -1,0 +1,25 @@
+(* Smoke check for `ssdql check`: the captured report must contain a
+   dead-path diagnostic (SSD101/SSD102 — product-automaton emptiness
+   against the DataGuide) with its source span, and the fingerprint line
+   the cache shares. *)
+
+let () =
+  let ic = open_in_bin Sys.argv.(1) in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let require what cond =
+    if not cond then begin
+      Printf.eprintf "ssdql check output missing %s:\n%s\n" what s;
+      exit 1
+    end
+  in
+  require "a dead-path code (SSD101/SSD102)" (contains "SSD10");
+  require "the phrase 'dead path'" (contains "dead path");
+  require "a source span" (contains "1:");
+  require "the query fingerprint" (contains "query fingerprint:")

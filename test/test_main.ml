@@ -30,4 +30,5 @@ let () =
       ("cache", Test_cache.tests);
       ("differential", Test_differential.tests);
       ("optimize", Test_optimize.tests);
+      ("lint", Test_lint.tests);
     ]

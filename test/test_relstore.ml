@@ -20,11 +20,11 @@ let relation_basics () =
   check "mem" true (Relation.mem r [| Label.int 1; Label.str "x" |]);
   check "duplicate attrs rejected" true
     (match Relation.create [ "a"; "a" ] with
-     | exception Invalid_argument _ -> true
+     | exception Ssd_diag.Fail d -> d.Ssd_diag.code = "SSD520"
      | _ -> false);
   check "arity mismatch rejected" true
     (match Relation.add (Relation.create [ "a" ]) [| Label.int 1; Label.int 2 |] with
-     | exception Invalid_argument _ -> true
+     | exception Ssd_diag.Fail d -> d.Ssd_diag.code = "SSD520"
      | _ -> false)
 
 let relation_set_semantics () =

@@ -53,7 +53,7 @@ let shadowing_and_errors () =
     (match
        Views.(empty |> define ~name:"v" "{}" |> define ~name:"v" "{a}")
      with
-     | exception Invalid_argument _ -> true
+     | exception Ssd_diag.Fail d -> d.Ssd_diag.code = "SSD530"
      | _ -> false);
   check "unknown view" true
     (match Views.materialize Views.empty ~db:fig1 "ghost" with
