@@ -811,11 +811,138 @@ let e14 () =
         "speedup" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E15 — fault-tolerant distributed evaluation                         *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  section "E15 fault tolerance: message loss, crashes, backoff, budgets";
+  let n = if !full then 5000 else 1500 in
+  let g = Ssd_workload.Webgraph.generate ~seed:15 ~n_pages:n () in
+  let nfa = Ssd_automata.Nfa.of_string "host.page.(link)*.title._" in
+  let partition = Ssd_dist.Decompose.partition_bfs ~k:4 g in
+  let central = Ssd_automata.Product.accepting_nodes g nfa in
+  let faulty_run ?budget spec =
+    Ssd_dist.Decompose.run ~plan:(Ssd_fault.Plan.parse spec) ?budget g partition nfa
+  in
+  let verdict = function
+    | Ssd.Budget.Complete a -> if a = central then "complete" else "WRONG"
+    | Ssd.Budget.Partial (a, why) ->
+      Printf.sprintf "partial/%s (%d/%d)"
+        (Ssd.Budget.exhaustion_to_string why)
+        (List.length a) (List.length central)
+  in
+  let open Ssd_dist.Decompose in
+  (* 1. Loss sweep: the answer never changes; only rounds and retry
+     traffic grow with the drop rate. *)
+  let rows =
+    List.map
+      (fun drop ->
+        let outcome, s = faulty_run (Printf.sprintf "seed:1,drop:%g" drop) in
+        [
+          Printf.sprintf "%g" drop;
+          string_of_int s.rounds;
+          string_of_int s.messages;
+          string_of_int s.retries;
+          string_of_int s.dropped;
+          Printf.sprintf "%.2fx"
+            (float_of_int (s.messages + s.retries) /. float_of_int (max 1 s.messages));
+          verdict outcome;
+        ])
+      [ 0.; 0.1; 0.3; 0.5; 0.7 ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "drop-rate sweep (web graph %d pages, 4 sites, seed 1; overhead = \
+          transmissions/messages)" n)
+    ~header:[ "drop"; "rounds"; "messages"; "retries"; "dropped"; "overhead"; "answer" ]
+    rows;
+  (* 2. Crash/recovery: work since the last checkpoint is lost and
+     re-derived; a denser checkpoint interval bounds the waste. *)
+  let rows =
+    List.map
+      (fun (crashes, ckpt) ->
+        let spec =
+          "seed:2,drop:0.1,ckpt:" ^ string_of_int ckpt
+          ^ String.concat ""
+              (List.map (fun (s, r) -> Printf.sprintf ",crash:%d@%d+2" s r) crashes)
+        in
+        let outcome, s = faulty_run spec in
+        [
+          string_of_int (List.length crashes);
+          string_of_int ckpt;
+          string_of_int s.rounds;
+          string_of_int s.recoveries;
+          string_of_int s.wasted_work;
+          string_of_int s.checkpoints;
+          verdict outcome;
+        ])
+      [
+        ([], 1);
+        ([ (1, 3) ], 1);
+        ([ (1, 3) ], 4);
+        ([ (1, 3); (2, 5) ], 1);
+        ([ (1, 3); (2, 5) ], 4);
+        ([ (0, 2); (1, 3); (2, 5) ], 4);
+      ]
+  in
+  print_table
+    ~title:"crash schedule sweep (drop 0.1 throughout; wasted = re-derived pairs)"
+    ~header:[ "crashes"; "ckpt-every"; "rounds"; "recoveries"; "wasted"; "ckpts"; "answer" ]
+    rows;
+  (* 3. Retransmission policy: exponential backoff trades rounds for
+     retry traffic against a fixed timer. *)
+  let rows =
+    List.map
+      (fun (label, spec) ->
+        let outcome, s = faulty_run ("seed:3,drop:0.3," ^ spec) in
+        [
+          label;
+          string_of_int s.rounds;
+          string_of_int s.retries;
+          Printf.sprintf "%.2fx"
+            (float_of_int (s.messages + s.retries) /. float_of_int (max 1 s.messages));
+          verdict outcome;
+        ])
+      [
+        ("exponential", "backoff:exp");
+        ("fixed@1", "backoff:fixed@1");
+        ("fixed@4", "backoff:fixed@4");
+      ]
+  in
+  print_table ~title:"retransmission policy under drop 0.3"
+    ~header:[ "backoff"; "rounds"; "retries"; "overhead"; "answer" ]
+    rows;
+  (* 4. Budgeted evaluation: the partial answer is a sound, growing
+     lower bound of the complete one. *)
+  let rows =
+    List.map
+      (fun steps ->
+        let budget = Ssd.Budget.create ~max_steps:steps () in
+        let outcome, s = faulty_run ~budget "seed:4,drop:0.1" in
+        let answers =
+          match outcome with Ssd.Budget.Complete a | Ssd.Budget.Partial (a, _) -> a
+        in
+        assert (List.for_all (fun u -> List.mem u central) answers);
+        [
+          string_of_int steps;
+          string_of_int s.rounds;
+          Printf.sprintf "%d/%d" (List.length answers) (List.length central);
+          verdict outcome;
+        ])
+      [ 2000; 12000; 12500; 13000; 20000 ]
+  in
+  print_table
+    ~title:"step-budget sweep (drop 0.1; every partial answer checked against central)"
+    ~header:[ "max-steps"; "rounds"; "answers"; "status" ]
+    rows
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
   ]
 
 let () =

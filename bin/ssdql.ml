@@ -2,6 +2,7 @@
 
    Subcommands:
      query      run an UnQL / Lorel / WebSQL / datalog query
+     dist       distributed regular-path-query evaluation (fault injection)
      convert    convert between ssd syntax, JSON, OEM and triples
      dataguide  build and print the strong DataGuide of a data file
      validate   check a data file against a graph schema
@@ -119,12 +120,22 @@ let lint_gate mode lang db query_text =
         exit 1
       end
 
+(* --deadline-ms / --max-steps: evaluate under a Ssd.Budget.  A fresh
+   budget is created per evaluation (so --repeat runs are comparable);
+   the last run's verdict is printed as a "status:" line.  Partial
+   results are sound lower bounds of the complete answer. *)
+let status_of = function
+  | None -> "complete"
+  | Some why -> Printf.sprintf "partial (%s)" (Ssd.Budget.exhaustion_to_string why)
+
 let query_cmd data lang lint explain use_cache repeat quiet stats stats_format trace
-    query_text =
+    deadline_ms max_steps query_text =
   let db = load_data data in
   lint_gate lint lang db query_text;
   if trace then Ssd_obs.Trace.enable ();
   let repeat = max 1 repeat in
+  let budgeted = deadline_ms <> None || max_steps <> None in
+  let budget () = Ssd.Budget.create ?deadline_ms ?max_steps () in
   let run_repeated eval =
     let r = ref (eval ()) in
     for _ = 2 to repeat do
@@ -132,33 +143,55 @@ let query_cmd data lang lint explain use_cache repeat quiet stats stats_format t
     done;
     !r
   in
+  let split = function
+    | Ssd.Budget.Complete v -> (v, None)
+    | Ssd.Budget.Partial (v, why) -> (v, Some why)
+  in
+  let print_status why = if budgeted then Printf.printf "status: %s\n" (status_of why) in
   (match lang with
   | "unql" ->
     let q = Unql.Parser.parse query_text in
     if explain then explain_unql db q;
-    let result =
+    if budgeted && use_cache then
+      Printf.eprintf "--cache ignores budgets; evaluating uncached\n";
+    let result, why =
       run_repeated (fun () ->
-          if use_cache then Unql.Cache.eval ~cache:Unql.Cache.shared ~db q
-          else Unql.Eval.eval ~db q)
+          if budgeted then split (Unql.Eval.eval_outcome ~budget:(budget ()) ~db q)
+          else if use_cache then (Unql.Cache.eval ~cache:Unql.Cache.shared ~db q, None)
+          else (Unql.Eval.eval ~db q, None))
     in
-    if use_cache then begin
+    if use_cache && not budgeted then begin
       let s = Unql.Cache.stats Unql.Cache.shared in
       Printf.eprintf "cache: %d hits, %d misses, %d evictions, %d entries\n"
         s.Unql.Cache.hits s.Unql.Cache.misses s.Unql.Cache.evictions s.Unql.Cache.size
     end;
+    print_status why;
     if not quiet then print_graph result
   | "lorel" ->
     if explain then Printf.eprintf "--explain is only available for unql queries\n";
     if use_cache then Printf.eprintf "--cache is only available for unql queries\n";
-    let result = run_repeated (fun () -> Lorel.Eval.run ~db query_text) in
+    let q = Lorel.Parser.parse query_text in
+    let result, why =
+      run_repeated (fun () ->
+          if budgeted then split (Lorel.Eval.eval_outcome ~budget:(budget ()) ~db q)
+          else (Lorel.Eval.eval ~db q, None))
+    in
+    print_status why;
     if not quiet then print_graph result
   | "websql" ->
+    if budgeted then Printf.eprintf "--deadline-ms/--max-steps are not supported for websql\n";
     let result = run_repeated (fun () -> Websql.Eval.run ~db query_text) in
     if not quiet then print_endline (Relstore.Relation.to_string result)
   | "datalog" ->
     let program = Relstore.Datalog.parse query_text in
     let edb = Relstore.Triple.edb db in
-    let results = run_repeated (fun () -> Relstore.Datalog.eval ~edb program) in
+    let results, why =
+      run_repeated (fun () ->
+          if budgeted then
+            split (Relstore.Datalog.eval_outcome ~budget:(budget ()) ~edb program)
+          else (Relstore.Datalog.eval ~edb program, None))
+    in
+    print_status why;
     if not quiet then
       List.iter
         (fun (pred, tuples) ->
@@ -314,6 +347,73 @@ let gen_cmd kind n seed =
   print_graph g
 
 (* ------------------------------------------------------------------ *)
+(* dist                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Distributed evaluation of a regular path query, optionally under an
+   injected fault schedule and/or a budget.  Output is line-oriented:
+     accepting: <sorted node ids>
+     status: complete | partial (<reason>)
+     stats: <one-line JSON>
+   or, with --format json, a single JSON object with those fields.
+   Same --faults spec => identical accepting set AND identical stats. *)
+let dist_cmd data sites partition_kind seed faults deadline_ms max_steps format quiet
+    query_text =
+  let db = load_data data in
+  let nfa =
+    try Ssd_automata.Nfa.of_string query_text
+    with e ->
+      Printf.eprintf "bad path query: %s\n" (Printexc.to_string e);
+      exit 2
+  in
+  let diag_exit f =
+    try f ()
+    with Ssd_diag.Fail d ->
+      prerr_endline (Ssd_diag.to_string d);
+      exit 2
+  in
+  let part =
+    match partition_kind with
+    | "bfs" -> diag_exit (fun () -> Ssd_dist.Decompose.partition_bfs ~k:sites db)
+    | "random" ->
+      diag_exit (fun () -> Ssd_dist.Decompose.partition_random ~seed ~k:sites db)
+    | other ->
+      Printf.eprintf "unknown partition %s (use bfs or random)\n" other;
+      exit 2
+  in
+  let plan =
+    match faults with
+    | None -> Ssd_fault.Plan.none
+    | Some spec -> diag_exit (fun () -> Ssd_fault.Plan.parse spec)
+  in
+  let budget =
+    if deadline_ms <> None || max_steps <> None then
+      Some (Ssd.Budget.create ?deadline_ms ?max_steps ())
+    else None
+  in
+  let outcome, st = Ssd_dist.Decompose.run ~plan ?budget db part nfa in
+  let answers, why =
+    match outcome with
+    | Ssd.Budget.Complete a -> (a, None)
+    | Ssd.Budget.Partial (a, why) -> (a, Some why)
+  in
+  let stats_json = Ssd_dist.Decompose.stats_to_json st in
+  match format with
+  | "json" ->
+    print_endline
+      (Ssd.Json.to_string
+         (Ssd.Json.Obj
+            [
+              ("accepting", Ssd.Json.List (List.map (fun u -> Ssd.Json.Int u) answers));
+              ("status", Ssd.Json.String (status_of why));
+              ("stats", stats_json);
+            ]))
+  | _ ->
+    Printf.printf "accepting: %s\n" (String.concat " " (List.map string_of_int answers));
+    Printf.printf "status: %s\n" (status_of why);
+    if not quiet then Printf.printf "stats: %s\n" (Ssd.Json.to_string stats_json)
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -324,6 +424,18 @@ let data_arg =
          ~doc:"Data file (.ssd syntax; .json, .oem and .bin are auto-detected) \
                or builtin:KIND[:N] for a generated workload \
                (figure1|movies|web|bio|bib|randtree).")
+
+let deadline_ms_arg =
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Evaluation deadline in milliseconds of CPU time; on expiry the \
+               evaluation stops and reports a partial answer (a sound subset of \
+               the complete one).")
+
+let max_steps_arg =
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N"
+         ~doc:"Evaluation step budget (frontier expansions / bindings / rule \
+               firings); on exhaustion the evaluation stops and reports a \
+               partial answer.")
 
 let query_t =
   let lang =
@@ -369,7 +481,7 @@ let query_t =
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v (Cmd.info "query" ~doc:"Run a query against a data file")
     Term.(const query_cmd $ data_arg $ lang $ lint $ explain $ cache $ repeat $ quiet
-          $ stats $ stats_format $ trace $ q)
+          $ stats $ stats_format $ trace $ deadline_ms_arg $ max_steps_arg $ q)
 
 let check_t =
   let data =
@@ -443,10 +555,58 @@ let gen_t =
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic workload")
     Term.(const gen_cmd $ kind $ n $ seed)
 
+let dist_t =
+  let sites =
+    Arg.(value & opt int 4 & info [ "sites" ] ~docv:"K" ~doc:"Number of sites.")
+  in
+  let partition =
+    Arg.(value & opt string "bfs" & info [ "partition" ] ~docv:"KIND"
+           ~doc:"Graph partition: bfs (contiguous, good locality) or random \
+                 (hash, worst-case locality).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for --partition random.")
+  in
+  let faults =
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Deterministic fault schedule, e.g. \
+                 seed:7,drop:0.2,dup:0.05,reorder:0.1,crash:2\\@3+4,slow:0\\@3,\
+                 ckpt:2,backoff:exp,rounds:500.  The same SPEC replays the \
+                 identical fault history: answers and stats are reproducible.")
+  in
+  let format =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: text (accepting/status/stats lines) or json.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the stats line (text format).")
+  in
+  let q =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH_QUERY"
+           ~doc:"Regular path query, e.g. 'host.page.(link)*.title._'.")
+  in
+  Cmd.v
+    (Cmd.info "dist"
+       ~doc:"Evaluate a regular path query distributed over a partitioned graph, \
+             with optional fault injection and deadlines")
+    Term.(const dist_cmd $ data_arg $ sites $ partition $ seed $ faults
+          $ deadline_ms_arg $ max_steps_arg $ format $ quiet $ q)
+
 let () =
   let doc = "semistructured data toolbox (Buneman, PODS'97 reproduction)" in
   let info = Cmd.info "ssdql" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ query_t; check_t; convert_t; dataguide_t; validate_t; update_t; stats_t; gen_t ]))
+          [
+            query_t;
+            check_t;
+            convert_t;
+            dataguide_t;
+            validate_t;
+            update_t;
+            stats_t;
+            gen_t;
+            dist_t;
+          ]))

@@ -1,0 +1,77 @@
+type exhaustion =
+  | Steps
+  | Deadline
+  | Stalled
+
+let exhaustion_to_string = function
+  | Steps -> "steps"
+  | Deadline -> "deadline"
+  | Stalled -> "stalled"
+
+type 'a outcome =
+  | Complete of 'a
+  | Partial of 'a * exhaustion
+
+type t = {
+  max_steps : int;
+  deadline : float; (* Sys.time seconds; infinity = no deadline *)
+  mutable steps : int;
+  mutable stopped : exhaustion option;
+  mutable exempt_depth : int;
+}
+
+let unlimited () =
+  { max_steps = max_int; deadline = infinity; steps = 0; stopped = None; exempt_depth = 0 }
+
+let create ?deadline_ms ?max_steps () =
+  let deadline =
+    match deadline_ms with
+    | None -> infinity
+    | Some ms -> Sys.time () +. (ms /. 1000.)
+  in
+  {
+    max_steps = Option.value ~default:max_int max_steps;
+    deadline;
+    steps = 0;
+    stopped = None;
+    exempt_depth = 0;
+  }
+
+let step t =
+  if t.exempt_depth > 0 then true
+  else
+    match t.stopped with
+    | Some _ -> false
+    | None ->
+      if t.steps >= t.max_steps then begin
+        t.stopped <- Some Steps;
+        false
+      end
+      else begin
+        t.steps <- t.steps + 1;
+        (* The clock is only read every 128 steps: a deadline costs one
+           [land] per step, not a syscall. *)
+        if t.deadline < infinity && t.steps land 127 = 0 && Sys.time () > t.deadline
+        then begin
+          t.stopped <- Some Deadline;
+          false
+        end
+        else true
+      end
+
+let alive t = t.stopped = None
+
+let exhaust t why = if t.stopped = None then t.stopped <- Some why
+
+let exhausted t = t.stopped
+
+let exempt t f =
+  t.exempt_depth <- t.exempt_depth + 1;
+  Fun.protect ~finally:(fun () -> t.exempt_depth <- t.exempt_depth - 1) f
+
+let wrap t v =
+  match t.stopped with
+  | None -> Complete v
+  | Some why -> Partial (v, why)
+
+let steps_used t = t.steps

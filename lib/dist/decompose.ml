@@ -1,13 +1,23 @@
 module Graph = Ssd.Graph
+module Budget = Ssd.Budget
 module Lpred = Ssd_automata.Lpred
 module Nfa = Ssd_automata.Nfa
+module Plan = Ssd_fault.Plan
+module Injector = Ssd_fault.Injector
+module Metrics = Ssd_obs.Metrics
 
 type partition = int array
 
+let check_sites k =
+  if k <= 0 then
+    Ssd_diag.error ~code:"SSD540" "partition: site count must be positive (got %d)" k
+
 let partition_random ~seed ~k g =
+  check_sites k;
   Array.init (Graph.n_nodes g) (fun u -> Hashtbl.hash (seed, u) mod k)
 
 let partition_bfs ~k g =
+  check_sites k;
   let n = Graph.n_nodes g in
   let order = Array.make n (-1) in
   let seen = Array.make n false in
@@ -35,78 +45,342 @@ type stats = {
   cross_edges : int;
   rounds : int;
   messages : int;
+  retries : int;
+  dropped : int;
+  duplicated : int;
+  crashes : int;
+  recoveries : int;
+  wasted_work : int;
+  checkpoints : int;
   local_work : int array;
   makespan : int;
   sequential_work : int;
 }
 
-let eval g partition nfa =
+let stats_to_json s =
+  let module J = Ssd.Json in
+  J.Obj
+    [
+      ("sites", J.Int s.sites);
+      ("cross_edges", J.Int s.cross_edges);
+      ("rounds", J.Int s.rounds);
+      ("messages", J.Int s.messages);
+      ("retries", J.Int s.retries);
+      ("dropped", J.Int s.dropped);
+      ("duplicated", J.Int s.duplicated);
+      ("crashes", J.Int s.crashes);
+      ("recoveries", J.Int s.recoveries);
+      ("wasted_work", J.Int s.wasted_work);
+      ("checkpoints", J.Int s.checkpoints);
+      ("local_work", J.List (List.map (fun w -> J.Int w) (Array.to_list s.local_work)));
+      ("makespan", J.Int s.makespan);
+      ("sequential_work", J.Int s.sequential_work);
+    ]
+
+(* Execution counters (lib/obs), reported to [Metrics.default]. *)
+let m_runs = Metrics.counter "dist.eval.runs"
+let m_rounds = Metrics.counter "dist.eval.rounds"
+let m_messages = Metrics.counter "dist.eval.messages"
+let m_retries = Metrics.counter "dist.eval.retries"
+let m_dropped = Metrics.counter "dist.eval.dropped"
+let m_crashes = Metrics.counter "dist.eval.crashes"
+let m_recoveries = Metrics.counter "dist.eval.recoveries"
+let m_wasted = Metrics.counter "dist.eval.wasted_work"
+let m_partial = Metrics.counter "dist.eval.partial_answers"
+let t_eval = Metrics.timer "dist.eval.time"
+
+(* ------------------------------------------------------------------ *)
+(* The state machine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A cross-site activation in flight.  It lives in its sender's outbox
+   (keyed by (dst, node, state) — per-sender dedup) until acknowledged;
+   [next_send] drives backoff retransmission. *)
+type msg = {
+  src : int; (* n_sites = the coordinator injecting start activations *)
+  dst : int;
+  pair : int * int;
+  mutable attempts : int;
+  mutable next_send : int;
+  mutable acked : bool;
+}
+
+(* Delivery key: (src, dst, node, state) — what an ack names. *)
+type mkey = int * int * int * int
+
+type site = {
+  id : int;
+  mutable seen : (int * int, unit) Hashtbl.t;
+  mutable answers : (int, unit) Hashtbl.t;
+  mutable outbox : (int * int * int, msg) Hashtbl.t;
+  mutable inbox : (mkey * (int * int)) list;
+  mutable deferred : (mkey * (int * int)) list; (* reordered: next round *)
+  mutable pending_acks : (mkey, unit) Hashtbl.t; (* processed, not yet acked *)
+  mutable ckpt_seen : (int * int, unit) Hashtbl.t;
+  mutable ckpt_answers : (int, unit) Hashtbl.t;
+  mutable ckpt_outbox : ((int * int * int) * msg) list;
+  mutable down_until : int; (* up iff round >= down_until *)
+}
+
+let backoff_delay plan attempts =
+  match plan.Plan.backoff with
+  | Plan.Fixed d -> d
+  | Plan.Exponential -> min plan.Plan.retry_cap (1 lsl min 30 (attempts - 1))
+
+let run ?(plan = Plan.none) ?budget g partition nfa =
+  Metrics.incr m_runs;
+  Metrics.time t_eval @@ fun () ->
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let n_sites = 1 + Array.fold_left max 0 partition in
+  let inj = Injector.create plan in
   let closures = Nfa.closures nfa in
   let cross_edges =
     Graph.fold_labeled_edges
       (fun acc u _ v -> if partition.(u) <> partition.(v) then acc + 1 else acc)
       0 g
   in
-  (* seen.(site) is that site's private visited set; a pair may be visited
-     by several sites only if the same node is activated under the same
-     state from different rounds — prevented by keying on (u, q) in the
-     owner's set, so total work = centralized product size. *)
-  let seen = Hashtbl.create 1024 in
-  let answers = Hashtbl.create 64 in
-  let local_work = Array.make n_sites 0 in
-  let messages = ref 0 in
-  let rounds = ref 0 in
-  let makespan = ref 0 in
-  (* inbox.(site) = pending activations for this round *)
-  let inbox = Array.make n_sites [] in
-  let deliver (u, q) =
-    if not (Hashtbl.mem seen (u, q)) then begin
-      Hashtbl.add seen (u, q) ();
-      inbox.(partition.(u)) <- (u, q) :: inbox.(partition.(u))
-    end
+  let sites =
+    Array.init n_sites (fun id ->
+        {
+          id;
+          seen = Hashtbl.create 64;
+          answers = Hashtbl.create 16;
+          outbox = Hashtbl.create 32;
+          inbox = [];
+          deferred = [];
+          pending_acks = Hashtbl.create 16;
+          ckpt_seen = Hashtbl.create 64;
+          ckpt_answers = Hashtbl.create 16;
+          ckpt_outbox = [];
+          down_until = 0;
+        })
   in
-  List.iter (fun q -> deliver (Graph.root g, q)) (Nfa.start_set nfa);
-  let pending () = Array.exists (fun l -> l <> []) inbox in
-  while pending () do
-    incr rounds;
-    let round_work = Array.make n_sites 0 in
-    let outgoing = ref [] in
-    Array.iteri
-      (fun site activations ->
-        inbox.(site) <- [];
-        (* Local expansion: BFS within the site. *)
-        let queue = Queue.create () in
-        List.iter (fun p -> Queue.push p queue) activations;
-        while not (Queue.is_empty queue) do
-          let u, q = Queue.pop queue in
-          round_work.(site) <- round_work.(site) + 1;
-          if nfa.Nfa.accept.(q) then Hashtbl.replace answers u ();
-          if nfa.Nfa.trans.(q) <> [] then
+  (* The coordinator is a virtual, crash-free site [n_sites] whose outbox
+     holds the start activations — so even a root-site crash in round 1
+     loses nothing: the unacked starts are simply retransmitted. *)
+  let coordinator = Hashtbl.create 4 in
+  let outbox_of s = if s = n_sites then coordinator else sites.(s).outbox in
+  List.iter
+    (fun q ->
+      let dst = partition.(Graph.root g) in
+      Hashtbl.replace coordinator
+        (dst, Graph.root g, q)
+        {
+          src = n_sites;
+          dst;
+          pair = (Graph.root g, q);
+          attempts = 0;
+          next_send = 1;
+          acked = false;
+        })
+    (Nfa.start_set nfa);
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  let retries = ref 0 in
+  let dropped = ref 0 in
+  let duplicated = ref 0 in
+  let crashes = ref 0 in
+  let recoveries = ref 0 in
+  let wasted = ref 0 in
+  let checkpoints = ref 0 in
+  let local_work = Array.make n_sites 0 in
+  let makespan = ref 0 in
+  let unacked tbl = Hashtbl.fold (fun _ m acc -> acc || not m.acked) tbl false in
+  let quiescent () =
+    (not (unacked coordinator))
+    && Array.for_all
+         (fun s ->
+           (not (unacked s.outbox))
+           && s.inbox = [] && s.deferred = []
+           && Hashtbl.length s.pending_acks = 0)
+         sites
+  in
+  let r = ref 0 in
+  let stop = ref false in
+  while (not !stop) && not (quiescent ()) do
+    incr r;
+    if !r > plan.Plan.max_rounds then begin
+      (* No quiescence within the round cap (e.g. drop:1.0): give up
+         gracefully with whatever has been computed. *)
+      Budget.exhaust budget Budget.Stalled;
+      decr r;
+      stop := true
+    end
+    else begin
+      rounds := !r;
+      (* 1. Site-level events: restarts complete, scheduled crashes fire.
+         A crash rolls the site back to its last checkpoint; everything
+         since is wasted work that retransmission will replay. *)
+      Array.iter
+        (fun s ->
+          if s.down_until = !r then incr recoveries;
+          if !r >= s.down_until then
+            match Injector.crash_at inj ~site:s.id ~round:!r with
+            | None -> ()
+            | Some c ->
+              incr crashes;
+              wasted := !wasted + (Hashtbl.length s.seen - Hashtbl.length s.ckpt_seen);
+              s.seen <- Hashtbl.copy s.ckpt_seen;
+              s.answers <- Hashtbl.copy s.ckpt_answers;
+              let ob = Hashtbl.create 32 in
+              List.iter (fun (k, m) -> Hashtbl.replace ob k m) s.ckpt_outbox;
+              s.outbox <- ob;
+              s.inbox <- [];
+              s.deferred <- [];
+              s.pending_acks <- Hashtbl.create 16;
+              s.down_until <- !r + c.Plan.down_for)
+        sites;
+      (* 2. Deliveries deferred by reorder faults arrive now. *)
+      Array.iter
+        (fun s ->
+          s.inbox <- s.inbox @ s.deferred;
+          s.deferred <- [])
+        sites;
+      (* 3. Transmission: every up sender ships its due unacked messages,
+         in deterministic (site, key) order so the injector's draws
+         replay.  Backoff reschedules the next attempt up front; an ack
+         cancels it. *)
+      for sender = 0 to n_sites do
+        let sender_up = sender = n_sites || !r >= sites.(sender).down_until in
+        if sender_up then begin
+          let due =
+            Hashtbl.fold
+              (fun key m acc ->
+                if (not m.acked) && m.next_send <= !r then (key, m) :: acc else acc)
+              (outbox_of sender) []
+            |> List.sort compare
+          in
+          List.iter
+            (fun ((dst, u, q), m) ->
+              if m.attempts = 0 then begin
+                if sender < n_sites then incr messages
+              end
+              else incr retries;
+              m.attempts <- m.attempts + 1;
+              m.next_send <- !r + backoff_delay plan m.attempts;
+              let dsite = sites.(dst) in
+              let key = (sender, dst, u, q) in
+              if !r < dsite.down_until then incr dropped
+              else
+                match Injector.transmit inj with
+                | Injector.Lost -> incr dropped
+                | Injector.Delivered { duplicated = dup; deferred = defer } ->
+                  if defer then dsite.deferred <- (key, m.pair) :: dsite.deferred
+                  else dsite.inbox <- (key, m.pair) :: dsite.inbox;
+                  if dup then begin
+                    incr duplicated;
+                    dsite.inbox <- (key, m.pair) :: dsite.inbox
+                  end)
+            due
+        end
+      done;
+      (* 4. Local expansion: each up site drains its inbox and runs BFS
+         within its own nodes; discoveries owned elsewhere enter the
+         outbox (per-sender dedup'd). *)
+      let round_work = Array.make n_sites 0 in
+      Array.iter
+        (fun s ->
+          if !r >= s.down_until && s.inbox <> [] then begin
+            let arrivals = List.sort compare s.inbox in
+            s.inbox <- [];
+            let queue = Queue.create () in
             List.iter
-              (fun (l, v) ->
-                List.iter
-                  (fun (p, q') ->
-                    if Lpred.matches p l then
+              (fun (key, pair) ->
+                if Hashtbl.mem s.seen pair then begin
+                  (* Duplicate arrival: injected dup, retransmission
+                     after an ack loss, or two senders discovering the
+                     same pair.  Dedup; (re-)ack. *)
+                  incr wasted;
+                  Hashtbl.replace s.pending_acks key ()
+                end
+                else begin
+                  Hashtbl.add s.seen pair ();
+                  Hashtbl.replace s.pending_acks key ();
+                  Queue.push pair queue
+                end)
+              arrivals;
+            let continue = ref true in
+            while !continue && not (Queue.is_empty queue) do
+              if not (Budget.step budget) then begin
+                continue := false;
+                stop := true
+              end
+              else begin
+                let u, q = Queue.pop queue in
+                round_work.(s.id) <- round_work.(s.id) + 1;
+                if nfa.Nfa.accept.(q) then Hashtbl.replace s.answers u ();
+                if nfa.Nfa.trans.(q) <> [] then
+                  List.iter
+                    (fun (l, v) ->
                       List.iter
-                        (fun q'' ->
-                          if not (Hashtbl.mem seen (v, q'')) then
-                            if partition.(v) = site then begin
-                              Hashtbl.add seen (v, q'') ();
-                              Queue.push (v, q'') queue
-                            end
-                            else begin
-                              incr messages;
-                              outgoing := (v, q'') :: !outgoing
-                            end)
-                        closures.(q'))
-                  nfa.Nfa.trans.(q))
-              (Graph.labeled_succ g u)
-        done)
-      inbox;
-    Array.iteri (fun site w -> local_work.(site) <- local_work.(site) + w) round_work;
-    makespan := !makespan + Array.fold_left max 0 round_work;
-    List.iter deliver !outgoing
+                        (fun (p, q') ->
+                          if Lpred.matches p l then
+                            List.iter
+                              (fun q'' ->
+                                if partition.(v) = s.id then begin
+                                  if not (Hashtbl.mem s.seen (v, q'')) then begin
+                                    Hashtbl.add s.seen (v, q'') ();
+                                    Queue.push (v, q'') queue
+                                  end
+                                end
+                                else
+                                  let okey = (partition.(v), v, q'') in
+                                  if not (Hashtbl.mem s.outbox okey) then
+                                    Hashtbl.add s.outbox okey
+                                      {
+                                        src = s.id;
+                                        dst = partition.(v);
+                                        pair = (v, q'');
+                                        attempts = 0;
+                                        next_send = !r + 1;
+                                        acked = false;
+                                      })
+                              closures.(q'))
+                        nfa.Nfa.trans.(q))
+                    (Graph.labeled_succ g u)
+              end
+            done
+          end)
+        sites;
+      let worst = ref 0 in
+      Array.iteri
+        (fun i w ->
+          local_work.(i) <- local_work.(i) + w;
+          worst := max !worst (w * Injector.slowdown inj ~site:i))
+        round_work;
+      makespan := !makespan + !worst;
+      (* 5. Checkpoint, then acknowledge.  A site only acks a delivery
+         once a checkpoint covers its effects — so a crash can never
+         orphan an acked-but-lost activation; everything a rollback
+         forgets is still unacked somewhere and gets retransmitted. *)
+      Array.iter
+        (fun s ->
+          if !r >= s.down_until then begin
+            if !r mod plan.Plan.checkpoint_every = 0 then begin
+              s.ckpt_seen <- Hashtbl.copy s.seen;
+              s.ckpt_answers <- Hashtbl.copy s.answers;
+              s.ckpt_outbox <- Hashtbl.fold (fun k m acc -> (k, m) :: acc) s.outbox [];
+              incr checkpoints
+            end;
+            let ready =
+              Hashtbl.fold
+                (fun ((_, _, u, q) as key) () acc ->
+                  if Hashtbl.mem s.ckpt_seen (u, q) then key :: acc else acc)
+                s.pending_acks []
+              |> List.sort compare
+            in
+            List.iter
+              (fun ((src, _, u, q) as key) ->
+                if not (Injector.ack_lost inj) then begin
+                  Hashtbl.remove s.pending_acks key;
+                  match Hashtbl.find_opt (outbox_of src) (s.id, u, q) with
+                  | Some m -> m.acked <- true
+                  | None -> () (* sender rolled back; it will rediscover *)
+                end)
+              ready
+          end)
+        sites
+    end
   done;
   (* Sequential baseline for the speedup column. *)
   let seq_seen = Hashtbl.create 1024 in
@@ -128,14 +402,38 @@ let eval g partition nfa =
             nfa.Nfa.trans.(q))
         (Graph.labeled_succ g u)
   done;
-  let result = Hashtbl.fold (fun u () acc -> u :: acc) answers [] |> List.sort_uniq compare in
-  ( result,
+  let result =
+    Array.fold_left
+      (fun acc s -> Hashtbl.fold (fun u () acc -> u :: acc) s.answers acc)
+      [] sites
+    |> List.sort_uniq compare
+  in
+  Metrics.add m_rounds !rounds;
+  Metrics.add m_messages !messages;
+  Metrics.add m_retries !retries;
+  Metrics.add m_dropped !dropped;
+  Metrics.add m_crashes !crashes;
+  Metrics.add m_recoveries !recoveries;
+  Metrics.add m_wasted !wasted;
+  if Budget.exhausted budget <> None then Metrics.incr m_partial;
+  ( Budget.wrap budget result,
     {
       sites = n_sites;
       cross_edges;
       rounds = !rounds;
       messages = !messages;
+      retries = !retries;
+      dropped = !dropped;
+      duplicated = !duplicated;
+      crashes = !crashes;
+      recoveries = !recoveries;
+      wasted_work = !wasted;
+      checkpoints = !checkpoints;
       local_work;
       makespan = !makespan;
       sequential_work = Hashtbl.length seq_seen;
     } )
+
+let eval g partition nfa =
+  match run g partition nfa with
+  | Budget.Complete answers, stats | Budget.Partial (answers, _), stats -> (answers, stats)

@@ -1,51 +1,88 @@
-(** Distributed evaluation of regular path queries (section 4).
+(** Distributed evaluation of regular path queries (section 4), with
+    fault tolerance.
 
     Following Suciu (VLDB'96), "an analysis of the query, combined with
     some segmentation of the graph into local sites, can be used to
     decompose a query into independent, parallel sub-queries".  We
-    implement the work-efficient multi-round variant:
+    implement the work-efficient multi-round variant as an explicit
+    round-driven state machine:
 
     + the graph is partitioned into [k] sites;
     + in each round, every site — independently, in parallel — expands
       the (node, automaton state) activations it received, staying within
       its own nodes; product pairs crossing to another site become
       {e messages} for the next round;
-    + rounds repeat until no messages remain; a site never re-expands a
-      pair it has seen (total work across all sites equals the
-      centralized product size).
+    + a message stays in its sender's outbox until {e acknowledged}; an
+      unacked message is retransmitted with (by default exponential)
+      backoff, so drops, duplicate deliveries and reordering — injected
+      deterministically by a {!Ssd_fault.Plan} — never lose answers;
+    + sites {e checkpoint} their seen-set every [ckpt] rounds and only
+      acknowledge messages once a checkpoint covers their effects; a
+      crashed site restarts from its last checkpoint and the unacked
+      frontier is replayed into it, so recovery re-does only the work
+      since the checkpoint, not the whole query;
+    + rounds repeat until quiescence: every message acked, every inbox
+      empty.
 
-    (Suciu's one-round algorithm instead precomputes, per site, summaries
-    for {e every} possible entry pair; it trades redundant local work —
-    entries × states site runs — for a single communication round.  At
-    web-graph cross-edge densities that redundancy is the dominant cost,
-    so the multi-round variant is what one would deploy; the trade-off is
-    discussed in EXPERIMENTS.md E9.)
+    The answers under {e any} fault plan provably equal centralized
+    evaluation (property-tested against {!Ssd_automata.Product}); the
+    interesting outputs are the cost-model numbers, which now price
+    reliability — retransmissions, recovery work, makespan inflation —
+    on top of distribution.
 
-    The answers provably equal centralized evaluation (property-tested
-    against {!Ssd_automata.Product}); the interesting outputs are the
-    cost-model numbers: messages shipped, rounds, per-site work, and the
-    simulated parallel makespan. *)
+    A {!Ssd.Budget} bounds the run: on exhaustion the engine returns a
+    [Partial] answer that is a subset of the complete one (answers only
+    accumulate), rather than raising. *)
 
 (** [site.(u)] is the site that owns node [u]. *)
 type partition = int array
 
-(** Hash-random partition into [k] sites (worst-case locality). *)
+(** Hash-random partition into [k] sites (worst-case locality).
+    @raise Ssd_diag.Fail with code [SSD540] if [k <= 0]. *)
 val partition_random : seed:int -> k:int -> Ssd.Graph.t -> partition
 
 (** Partition by contiguous BFS order (good locality — subtrees mostly
-    stay on one site). *)
+    stay on one site).
+    @raise Ssd_diag.Fail with code [SSD540] if [k <= 0]. *)
 val partition_bfs : k:int -> Ssd.Graph.t -> partition
 
 type stats = {
   sites : int;
   cross_edges : int; (** edges with endpoints on different sites *)
   rounds : int; (** communication rounds until quiescence *)
-  messages : int; (** cross-site (node, state) activations shipped *)
+  messages : int;
+      (** distinct cross-site (node, state) activations shipped (first
+          transmissions; per-sender deduplicated) *)
+  retries : int; (** retransmissions of unacked messages *)
+  dropped : int; (** transmissions lost (injected drops + down receivers) *)
+  duplicated : int; (** duplicate deliveries injected *)
+  crashes : int; (** site crash events *)
+  recoveries : int; (** sites restarted from a checkpoint *)
+  wasted_work : int;
+      (** product pairs whose expansion was lost to a rollback, plus
+          duplicate arrivals deduplicated on receipt *)
+  checkpoints : int; (** checkpoints taken across all sites *)
   local_work : int array; (** product pairs expanded, per site *)
-  makespan : int; (** Σ over rounds of the slowest site's work that round *)
+  makespan : int;
+      (** Σ over rounds of the slowest site's work that round (slowdown
+          factors applied) *)
   sequential_work : int; (** product pairs of the centralized run *)
 }
 
-(** [eval g partition nfa] returns the accepting nodes (sorted) and the
-    cost-model statistics. *)
+val stats_to_json : stats -> Ssd.Json.t
+
+(** [run ?plan ?budget g partition nfa] drives the state machine to
+    quiescence (or budget exhaustion / the plan's round cap) and returns
+    the accepting nodes (sorted) with the cost-model statistics.  The
+    same [plan] replays the identical fault history: stats are
+    reproducible run-to-run. *)
+val run :
+  ?plan:Ssd_fault.Plan.t ->
+  ?budget:Ssd.Budget.t ->
+  Ssd.Graph.t ->
+  partition ->
+  Ssd_automata.Nfa.t ->
+  int list Ssd.Budget.outcome * stats
+
+(** Fault-free, unbudgeted [run]; the answer is always complete. *)
 val eval : Ssd.Graph.t -> partition -> Ssd_automata.Nfa.t -> int list * stats

@@ -1,0 +1,62 @@
+type t = {
+  plan : Plan.t;
+  mutable state : int64;
+  mutable drops : int;
+  mutable dups : int;
+  mutable reorders : int;
+  mutable ack_drops : int;
+}
+
+let create plan = { plan; state = Int64.of_int (plan.Plan.seed lxor 0x5D15); drops = 0; dups = 0; reorders = 0; ack_drops = 0 }
+
+let plan t = t.plan
+
+(* SplitMix64, same generator family as Ssd_workload.Prng (not depended
+   on: fault injection must not entangle with workload generation). *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let float t = Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+
+let draw t p = p > 0. && float t < p
+
+type verdict =
+  | Lost
+  | Delivered of {
+      duplicated : bool;
+      deferred : bool;
+    }
+
+let transmit t =
+  if draw t t.plan.Plan.drop then begin
+    t.drops <- t.drops + 1;
+    Lost
+  end
+  else begin
+    let duplicated = draw t t.plan.Plan.duplicate in
+    let deferred = draw t t.plan.Plan.reorder in
+    if duplicated then t.dups <- t.dups + 1;
+    if deferred then t.reorders <- t.reorders + 1;
+    Delivered { duplicated; deferred }
+  end
+
+let ack_lost t =
+  let lost = draw t t.plan.Plan.ack_drop in
+  if lost then t.ack_drops <- t.ack_drops + 1;
+  lost
+
+let crash_at t ~site ~round =
+  List.find_opt
+    (fun c -> c.Plan.site = site && c.Plan.at_round = round)
+    t.plan.Plan.crashes
+
+let slowdown t ~site =
+  match List.assoc_opt site t.plan.Plan.slowdowns with
+  | Some f -> max 1 f
+  | None -> 1
+
+let injected t = (t.drops, t.dups, t.reorders, t.ack_drops)

@@ -1,0 +1,39 @@
+(** The stateful side of a {!Plan}: a seeded PRNG stream plus counters of
+    the faults actually injected.
+
+    The distributed round loop consults the injector at every
+    transmission and acknowledgement, {e in a deterministic order}
+    (sites by index, messages sorted), so a (plan, graph, partition,
+    query) quadruple replays to the identical fault history — the basis
+    of the determinism property in the test suite. *)
+
+type t
+
+val create : Plan.t -> t
+
+val plan : t -> Plan.t
+
+(** The fate of one message transmission. *)
+type verdict =
+  | Lost (** dropped in transit; the sender will retransmit *)
+  | Delivered of {
+      duplicated : bool; (** a second copy arrives alongside the first *)
+      deferred : bool; (** delivery slips to the next round (reorder) *)
+    }
+
+(** Draw the fate of one transmission (consumes PRNG state). *)
+val transmit : t -> verdict
+
+(** Draw the fate of one acknowledgement: [true] = lost. *)
+val ack_lost : t -> bool
+
+(** [crash_at t ~site ~round] is the scheduled crash of [site] starting
+    exactly at [round], if any (pure; no PRNG state). *)
+val crash_at : t -> site:int -> round:int -> Plan.crash option
+
+(** Work multiplier of a site (1 when not slowed). *)
+val slowdown : t -> site:int -> int
+
+(** Injected-fault counters so far: drops, duplicates, reorders, lost
+    acks. *)
+val injected : t -> int * int * int * int

@@ -1,0 +1,148 @@
+type backoff =
+  | Exponential
+  | Fixed of int
+
+type crash = {
+  site : int;
+  at_round : int;
+  down_for : int;
+}
+
+type t = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  ack_drop : float;
+  crashes : crash list;
+  slowdowns : (int * int) list;
+  checkpoint_every : int;
+  backoff : backoff;
+  retry_cap : int;
+  max_rounds : int;
+}
+
+let none =
+  {
+    seed = 0;
+    drop = 0.;
+    duplicate = 0.;
+    reorder = 0.;
+    ack_drop = 0.;
+    crashes = [];
+    slowdowns = [];
+    checkpoint_every = 1;
+    backoff = Exponential;
+    retry_cap = 64;
+    max_rounds = 10_000;
+  }
+
+let is_none p =
+  p.drop = 0. && p.duplicate = 0. && p.reorder = 0. && p.ack_drop = 0.
+  && p.crashes = [] && p.slowdowns = []
+
+let bad fmt = Ssd_diag.error ~code:"SSD541" fmt
+
+let prob key s =
+  match float_of_string_opt s with
+  | Some p when p >= 0. && p <= 1. -> p
+  | Some _ | None -> bad "fault plan: %s wants a probability in [0,1], got %S" key s
+
+let int_field key s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> bad "fault plan: %s wants an integer, got %S" key s
+
+(* "S@R" or "S@R+D" *)
+let parse_crash s =
+  let fail () = bad "fault plan: crash wants SITE@ROUND[+DOWN], got %S" s in
+  match String.split_on_char '@' s with
+  | [ site; rest ] -> (
+    let site = match int_of_string_opt site with Some n when n >= 0 -> n | _ -> fail () in
+    let at_round, down_for =
+      match String.split_on_char '+' rest with
+      | [ r ] -> (r, "2")
+      | [ r; d ] -> (r, d)
+      | _ -> fail ()
+    in
+    match int_of_string_opt at_round, int_of_string_opt down_for with
+    | Some r, Some d when r >= 1 && d >= 1 -> { site; at_round = r; down_for = d }
+    | _ -> fail ())
+  | _ -> fail ()
+
+let parse_slow s =
+  match String.split_on_char '@' s with
+  | [ site; factor ] -> (
+    match int_of_string_opt site, int_of_string_opt factor with
+    | Some s, Some f when s >= 0 && f >= 1 -> (s, f)
+    | _ -> bad "fault plan: slow wants SITE@FACTOR, got %S" s)
+  | _ -> bad "fault plan: slow wants SITE@FACTOR, got %S" s
+
+let parse_backoff s =
+  match String.split_on_char '@' s with
+  | [ "exp" ] -> Exponential
+  | [ "fixed" ] -> Fixed 1
+  | [ "fixed"; d ] -> (
+    match int_of_string_opt d with
+    | Some d when d >= 1 -> Fixed d
+    | _ -> bad "fault plan: backoff:fixed@N wants a positive delay, got %S" d)
+  | _ -> bad "fault plan: backoff wants exp or fixed[@N], got %S" s
+
+let parse spec =
+  let fields =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' (String.trim spec))
+  in
+  let explicit_ackdrop = ref false in
+  let plan =
+    List.fold_left
+      (fun p field ->
+        match String.index_opt field ':' with
+        | None -> bad "fault plan: expected key:value, got %S" field
+        | Some i ->
+          let key = String.sub field 0 i in
+          let v = String.sub field (i + 1) (String.length field - i - 1) in
+          (match key with
+          | "seed" -> { p with seed = int_field "seed" v }
+          | "drop" -> { p with drop = prob "drop" v }
+          | "dup" -> { p with duplicate = prob "dup" v }
+          | "reorder" -> { p with reorder = prob "reorder" v }
+          | "ackdrop" ->
+            explicit_ackdrop := true;
+            { p with ack_drop = prob "ackdrop" v }
+          | "crash" -> { p with crashes = p.crashes @ [ parse_crash v ] }
+          | "slow" -> { p with slowdowns = p.slowdowns @ [ parse_slow v ] }
+          | "ckpt" -> (
+            match int_of_string_opt v with
+            | Some c when c >= 1 -> { p with checkpoint_every = c }
+            | _ -> bad "fault plan: ckpt wants a positive interval, got %S" v)
+          | "backoff" -> { p with backoff = parse_backoff v }
+          | "rounds" -> (
+            match int_of_string_opt v with
+            | Some n when n >= 1 -> { p with max_rounds = n }
+            | _ -> bad "fault plan: rounds wants a positive cap, got %S" v)
+          | other -> bad "fault plan: unknown key %S" other))
+      none fields
+  in
+  (* Unless set explicitly, acks are as lossy as the data channel. *)
+  if !explicit_ackdrop then plan else { plan with ack_drop = plan.drop }
+
+let to_string p =
+  let parts =
+    [ Printf.sprintf "seed:%d" p.seed ]
+    @ (if p.drop > 0. then [ Printf.sprintf "drop:%g" p.drop ] else [])
+    @ (if p.duplicate > 0. then [ Printf.sprintf "dup:%g" p.duplicate ] else [])
+    @ (if p.reorder > 0. then [ Printf.sprintf "reorder:%g" p.reorder ] else [])
+    @ (if p.ack_drop <> p.drop then [ Printf.sprintf "ackdrop:%g" p.ack_drop ] else [])
+    @ List.map
+        (fun c -> Printf.sprintf "crash:%d@%d+%d" c.site c.at_round c.down_for)
+        p.crashes
+    @ List.map (fun (s, f) -> Printf.sprintf "slow:%d@%d" s f) p.slowdowns
+    @ (if p.checkpoint_every <> 1 then [ Printf.sprintf "ckpt:%d" p.checkpoint_every ]
+       else [])
+    @ (match p.backoff with
+      | Exponential -> []
+      | Fixed d -> [ Printf.sprintf "backoff:fixed@%d" d ])
+    @ if p.max_rounds <> none.max_rounds then [ Printf.sprintf "rounds:%d" p.max_rounds ]
+      else []
+  in
+  String.concat "," parts

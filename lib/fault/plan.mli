@@ -1,0 +1,65 @@
+(** Deterministic fault schedules for the distributed evaluator.
+
+    A plan is a {e seeded, replayable} description of everything that can
+    go wrong during a distributed run: message-level faults (drop,
+    duplicate, reorder) drawn from a PRNG seeded by [seed], and
+    site-level events (crash-restart, slowdown) scheduled explicitly by
+    round.  The same plan always injects the same faults into the same
+    run — "the network was unlucky" is a reproducible input, not an
+    environmental accident.
+
+    Plans parse from the compact CLI spec used by [ssdql dist --faults]:
+
+    {v seed:7,drop:0.2,dup:0.05,reorder:0.1,crash:2@3+4,slow:0@3,ckpt:2 v}
+
+    - [seed:N] — PRNG seed for the probabilistic draws (default 0)
+    - [drop:P] — probability a message transmission is lost
+    - [dup:P] — probability a delivered message arrives twice
+    - [reorder:P] — probability a delivery is deferred one round
+    - [ackdrop:P] — probability an acknowledgement is lost (defaults to
+      [drop])
+    - [crash:S\@R] or [crash:S\@R+D] — site [S] crashes at the start of
+      round [R] and restarts [D] rounds later (default [D = 2]) from its
+      last checkpoint; repeatable
+    - [slow:S\@F] — site [S] does its per-round work [F]× slower
+      (inflates the simulated makespan); repeatable
+    - [ckpt:C] — sites checkpoint every [C] rounds (default 1)
+    - [backoff:exp] or [backoff:fixed\@N] — retransmission backoff policy
+      (default exponential, delay doubling per attempt up to {!retry_cap})
+    - [rounds:N] — round cap before the run gives up with a
+      [Partial (_, Stalled)] answer (default 10000) *)
+
+type backoff =
+  | Exponential (** delay doubles per attempt, capped at [retry_cap] *)
+  | Fixed of int (** constant delay between retransmissions *)
+
+type crash = {
+  site : int;
+  at_round : int; (** the site is down from the start of this round... *)
+  down_for : int; (** ...for this many rounds, then restarts *)
+}
+
+type t = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  ack_drop : float;
+  crashes : crash list;
+  slowdowns : (int * int) list; (** [(site, factor)] *)
+  checkpoint_every : int;
+  backoff : backoff;
+  retry_cap : int; (** maximum backoff delay, in rounds *)
+  max_rounds : int;
+}
+
+(** The empty plan: no faults, checkpoint every round. *)
+val none : t
+
+val is_none : t -> bool
+
+(** [parse spec] parses the comma-separated [key:value] spec above.
+    @raise Ssd_diag.Fail with code [SSD541] on a malformed spec. *)
+val parse : string -> t
+
+val to_string : t -> string

@@ -167,6 +167,9 @@ let codes =
     ("SSD520", Error, "relational store: arity or attribute mismatch");
     ("SSD521", Error, "triple codec: malformed edge/root relation");
     ("SSD530", Error, "views: duplicate view definition");
+    ("SSD540", Error, "distributed evaluation: partition must have a positive site count");
+    ("SSD541", Error, "fault plan: malformed fault specification");
+    ("SSD542", Error, "storage pager: page or buffer capacity must be positive");
   ]
 
 let describe code =

@@ -1,5 +1,6 @@
 module Graph = Ssd.Graph
 module Label = Ssd.Label
+module Budget = Ssd.Budget
 module Metrics = Ssd_obs.Metrics
 module Trace = Ssd_obs.Trace
 open Ast
@@ -36,12 +37,15 @@ let succs g u =
 (* Path expressions                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let closure g nodes =
+(* The budget is consumed per node expanded; an exhausted budget makes
+   every remaining expansion a no-op, so the denoted object set only
+   shrinks — a sound lower bound. *)
+let closure b g nodes =
   (* Reflexive-transitive closure over labeled edges (the '#' wildcard);
      visited set makes it total on cycles. *)
   let seen = ref Int_set.empty in
   let rec go u =
-    if not (Int_set.mem u !seen) then begin
+    if (not (Int_set.mem u !seen)) && Budget.step b then begin
       seen := Int_set.add u !seen;
       List.iter (fun (_, v) -> go v) (succs g u)
     end
@@ -49,23 +53,29 @@ let closure g nodes =
   Int_set.iter go nodes;
   !seen
 
-let step g nodes comp =
+let step b g nodes comp =
   Metrics.incr m_path_steps;
   match comp with
   | Clabel l ->
     Int_set.fold
       (fun u acc ->
-        List.fold_left
-          (fun acc (l', v) -> if Label.equal l l' then Int_set.add v acc else acc)
-          acc (succs g u))
+        if Budget.step b then
+          List.fold_left
+            (fun acc (l', v) -> if Label.equal l l' then Int_set.add v acc else acc)
+            acc (succs g u)
+        else acc)
       nodes Int_set.empty
   | Cany ->
     Int_set.fold
-      (fun u acc -> List.fold_left (fun acc (_, v) -> Int_set.add v acc) acc (succs g u))
+      (fun u acc ->
+        if Budget.step b then
+          List.fold_left (fun acc (_, v) -> Int_set.add v acc) acc (succs g u)
+        else acc)
       nodes Int_set.empty
-  | Cpath -> closure g nodes
+  | Cpath -> closure b g nodes
 
-let eval_path ~db ~env p =
+let eval_path ?budget ~db ~env p =
+  let b = match budget with Some b -> b | None -> Budget.unlimited () in
   let start =
     match p.start with
     | None -> Int_set.singleton (Graph.root db)
@@ -74,7 +84,7 @@ let eval_path ~db ~env p =
       | Some n -> Int_set.singleton n
       | None -> runtime_error ~code:"SSD401" "unbound range variable %s" x)
   in
-  Int_set.elements (List.fold_left (step db) start p.comps)
+  Int_set.elements (List.fold_left (step b db) start p.comps)
 
 let values_of g node =
   List.filter_map
@@ -158,15 +168,19 @@ let item_label item =
       | Some x -> Label.Sym x
       | None -> Label.Sym "item"))
 
-let eval ~db q =
+let eval ?budget ~db q =
   Metrics.incr m_queries;
   Metrics.time t_eval @@ fun () ->
   Trace.with_span "lorel.eval" @@ fun () ->
+  (* Only the [from] generators consume the budget: dropping range
+     bindings loses whole rows.  [where] conditions and [select] item
+     paths stay exact, so every emitted row is exactly what the
+     unbudgeted evaluation would emit for that binding. *)
   let envs =
     List.fold_left
       (fun envs (p, x) ->
         List.concat_map
-          (fun env -> List.map (fun n -> (x, n) :: env) (eval_path ~db ~env p))
+          (fun env -> List.map (fun n -> (x, n) :: env) (eval_path ?budget ~db ~env p))
           envs)
       [ [] ] q.from
   in
@@ -196,4 +210,6 @@ let eval ~db q =
     envs;
   Graph.gc (Graph.Builder.finish b)
 
-let run ~db src = eval ~db (Parser.parse src)
+let eval_outcome ~budget ~db q = Budget.wrap budget (eval ~budget ~db q)
+
+let run ?budget ~db src = eval ?budget ~db (Parser.parse src)

@@ -21,18 +21,33 @@
     the static analyzer's report for the same defect. *)
 exception Runtime_error of Ssd_diag.t
 
-(** [eval ~db q] returns the result graph.  Note the result shares no
-    structure with [db] physically (it is re-rooted and gc'd) but is
-    bisimilar to the OEM sharing described above. *)
-val eval : db:Ssd.Graph.t -> Ast.query -> Ssd.Graph.t
+(** [eval ?budget ~db q] returns the result graph.  Note the result
+    shares no structure with [db] physically (it is re-rooted and gc'd)
+    but is bisimilar to the OEM sharing described above.
+
+    A {!Ssd.Budget} is consumed by the [from] range generators only;
+    [where] conditions and [select] item paths are always exact.  An
+    exhausted budget therefore drops whole rows, never corrupts one: the
+    partial result's rows are a subset of the complete result's. *)
+val eval : ?budget:Ssd.Budget.t -> db:Ssd.Graph.t -> Ast.query -> Ssd.Graph.t
+
+(** [eval] plus the completeness verdict (see {!Ssd.Budget.outcome}). *)
+val eval_outcome :
+  budget:Ssd.Budget.t -> db:Ssd.Graph.t -> Ast.query -> Ssd.Graph.t Ssd.Budget.outcome
 
 (** Parse and evaluate. *)
-val run : db:Ssd.Graph.t -> string -> Ssd.Graph.t
+val run : ?budget:Ssd.Budget.t -> db:Ssd.Graph.t -> string -> Ssd.Graph.t
 
 (** The object set a path expression denotes, with [X] etc. resolved from
-    the given (variable, node) bindings.  Exposed for tests and the CLI. *)
+    the given (variable, node) bindings.  Exposed for tests and the CLI.
+    With a budget, the set is a (possibly strict) subset of the denoted
+    one. *)
 val eval_path :
-  db:Ssd.Graph.t -> env:(string * int) list -> Ast.path -> int list
+  ?budget:Ssd.Budget.t ->
+  db:Ssd.Graph.t ->
+  env:(string * int) list ->
+  Ast.path ->
+  int list
 
 (** Atomic values of an object: base labels of its leaf edges. *)
 val values_of : Ssd.Graph.t -> int -> Ssd.Label.t list

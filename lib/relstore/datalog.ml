@@ -1,4 +1,5 @@
 module Label = Ssd.Label
+module Budget = Ssd.Budget
 module Metrics = Ssd_obs.Metrics
 module Trace = Ssd_obs.Trace
 
@@ -591,15 +592,27 @@ let eval_naive ~edb program =
     (strata_order program);
   idb_result program facts
 
-let eval ~edb program =
+(* Budget exhaustion aborts the fixpoint from deep inside the derivation
+   loops; the catch site returns the facts accumulated so far.  That
+   partial model is a sound lower bound: every accumulated fact was
+   derived by a rule from accumulated facts, strata below the
+   interrupted one are complete (so its negations were decided exactly),
+   and derivation within a stratum is monotone. *)
+exception Out_of_budget
+
+let check_budget b = if not (Budget.step b) then raise Out_of_budget
+
+let eval ?budget ~edb program =
   check_safety program;
   Metrics.incr m_evals;
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Metrics.time t_eval @@ fun () ->
   Trace.with_span "datalog.eval" @@ fun () ->
   let facts = facts_of_edb edb in
   let set_of = facts_get facts in
-  List.iter
-    (fun rules ->
+  (try
+     List.iter
+       (fun rules ->
       let stratum_preds =
         List.map (fun r -> r.head.pred) rules |> List.sort_uniq String.compare
       in
@@ -608,10 +621,12 @@ let eval ~edb program =
       List.iter (fun p -> Hashtbl.replace deltas p (set_create ())) stratum_preds;
       List.iter
         (fun r ->
+          check_budget budget;
           let s = facts_set facts r.head.pred in
           let d = Hashtbl.find deltas r.head.pred in
           List.iter
             (fun t ->
+              check_budget budget;
               if not (set_mem s t) then begin
                 set_add s t;
                 set_add d t;
@@ -644,11 +659,13 @@ let eval ~edb program =
                 | Pos a when List.mem a.pred stratum_preds ->
                   let delta = Hashtbl.find deltas a.pred in
                   if set_size delta > 0 then begin
+                    check_budget budget;
                     let derived = eval_rule ~set_of ~delta_at:i ~delta r in
                     let s = facts_set facts r.head.pred in
                     let nd = Hashtbl.find new_deltas r.head.pred in
                     List.iter
                       (fun t ->
+                        check_budget budget;
                         if not (set_mem s t) then begin
                           set_add s t;
                           set_add nd t;
@@ -662,8 +679,11 @@ let eval ~edb program =
         List.iter (fun p -> Hashtbl.replace deltas p (Hashtbl.find new_deltas p)) stratum_preds;
         record_deltas ()
       done)
-    (strata_order program);
+       (strata_order program)
+   with Out_of_budget -> ());
   idb_result program facts
+
+let eval_outcome ~budget ~edb program = Budget.wrap budget (eval ~budget ~edb program)
 
 let query ~edb program pred =
   match List.assoc_opt pred (eval ~edb program) with

@@ -68,11 +68,24 @@ val pp_program : Format.formatter -> program -> unit
 (** An extensional database: predicate name to tuples. *)
 type edb = (string * Ssd.Label.t list list) list
 
-(** [eval ~edb program] computes the least fixpoint (per stratum,
+(** [eval ?budget ~edb program] computes the least fixpoint (per stratum,
     semi-naive within strata) and returns all derived predicates with
     their tuples.
+
+    A {!Ssd.Budget} is consumed per rule firing and per derived tuple.
+    On exhaustion the fixpoint stops and the facts accumulated so far are
+    returned — a sound lower bound of the least model: completed strata
+    are exact (so negation was decided correctly), and the interrupted
+    stratum is monotone.
     @raise Unsafe / @raise Not_stratified on bad programs. *)
-val eval : edb:edb -> program -> (string * Ssd.Label.t list list) list
+val eval : ?budget:Ssd.Budget.t -> edb:edb -> program -> (string * Ssd.Label.t list list) list
+
+(** [eval] plus the completeness verdict (see {!Ssd.Budget.outcome}). *)
+val eval_outcome :
+  budget:Ssd.Budget.t ->
+  edb:edb ->
+  program ->
+  (string * Ssd.Label.t list list) list Ssd.Budget.outcome
 
 (** [query ~edb program pred] is the tuple set of one predicate (empty if
     never derived). *)

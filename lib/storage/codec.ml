@@ -24,22 +24,56 @@ type reader = {
   mutable pos : int;
 }
 
-let fail msg = failwith ("Codec.decode: " ^ msg)
+exception Corrupt of {
+  offset : int;
+  expected : string;
+  found : string;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { offset; expected; found } ->
+      Some
+        (Printf.sprintf "Codec.Corrupt at byte %d: expected %s, found %s" offset
+           expected found)
+    | _ -> None)
+
+let corrupt ~offset ~expected ~found = raise (Corrupt { offset; expected; found })
+
+let remaining r = Bytes.length r.data - r.pos
 
 let byte r =
-  if r.pos >= Bytes.length r.data then fail "truncated input";
+  if r.pos >= Bytes.length r.data then
+    corrupt ~offset:r.pos ~expected:"one more byte" ~found:"end of input";
   let c = Bytes.get_uint8 r.data r.pos in
   r.pos <- r.pos + 1;
   c
 
 let get_varint r =
+  let start = r.pos in
   let rec go shift acc =
-    if shift > 62 then fail "varint too long";
+    if shift > 62 then
+      corrupt ~offset:start ~expected:"a varint of at most 9 bytes"
+        ~found:"a longer continuation";
     let b = byte r in
     let acc = acc lor ((b land 0x7f) lsl shift) in
+    (* The last groups shift past bit 62: an adversarial encoding can
+       wrap [acc] negative, which would slip through every [>= n] bound
+       check below. *)
+    if acc < 0 then
+      corrupt ~offset:start ~expected:"a varint below 2^62" ~found:"an overflow";
     if b land 0x80 <> 0 then go (shift + 7) acc else acc
   in
   go 0 0
+
+(* A count of things each at least [unit_bytes] wide cannot exceed the
+   bytes left; checking up front keeps fuzzed inputs from driving huge
+   allocations before the truncation is even noticed. *)
+let check_count r ~what ~unit_bytes n =
+  if n > remaining r / unit_bytes then
+    corrupt ~offset:r.pos
+      ~expected:(Printf.sprintf "%s encodable in the %d bytes left" what (remaining r))
+      ~found:(string_of_int n)
 
 (* Signed ints: zigzag. *)
 let put_int buf n = put_varint buf (if n >= 0 then n lsl 1 else ((-n) lsl 1) lor 1)
@@ -54,7 +88,10 @@ let put_string buf s =
 
 let get_string r =
   let n = get_varint r in
-  if r.pos + n > Bytes.length r.data then fail "truncated string";
+  if n > remaining r then
+    corrupt ~offset:r.pos
+      ~expected:(Printf.sprintf "%d bytes of string payload" n)
+      ~found:(Printf.sprintf "%d bytes left" (remaining r));
   let s = Bytes.sub_string r.data r.pos n in
   r.pos <- r.pos + n;
   s
@@ -123,15 +160,30 @@ let encode g =
 
 let decode data =
   if Bytes.length data < 4 || Bytes.sub_string data 0 4 <> magic then
-    fail "bad magic (not an SSD1 file)";
+    corrupt ~offset:0 ~expected:"magic \"SSD1\""
+      ~found:
+        (if Bytes.length data < 4 then
+           Printf.sprintf "%d-byte input" (Bytes.length data)
+         else Printf.sprintf "%S" (Bytes.sub_string data 0 4));
   let r = { data; pos = 4 } in
   let n = get_varint r in
   let root = get_varint r in
-  if n = 0 then fail "empty graph";
-  if root >= n then fail "root out of range";
+  if n = 0 then corrupt ~offset:4 ~expected:"a nonempty graph" ~found:"n_nodes = 0";
+  check_count r ~what:"a node count" ~unit_bytes:1 n;
+  if root >= n then
+    corrupt ~offset:4
+      ~expected:(Printf.sprintf "a root below n_nodes = %d" n)
+      ~found:(string_of_int root);
   let n_strings = get_varint r in
+  check_count r ~what:"a string-table size" ~unit_bytes:1 n_strings;
   let table = Array.init n_strings (fun _ -> get_string r) in
-  let string_at i = if i < n_strings then table.(i) else fail "string index out of range" in
+  let string_at off i =
+    if i < n_strings then table.(i)
+    else
+      corrupt ~offset:off
+        ~expected:(Printf.sprintf "a string index below %d" n_strings)
+        ~found:(string_of_int i)
+  in
   let b = Graph.Builder.create () in
   for _ = 1 to n do
     ignore (Graph.Builder.add_node b)
@@ -139,29 +191,43 @@ let decode data =
   Graph.Builder.set_root b root;
   for u = 0 to n - 1 do
     let deg = get_varint r in
+    check_count r ~what:"an out-degree" ~unit_bytes:2 deg;
     for _ = 1 to deg do
+      let tag_off = r.pos in
       let label =
         match byte r with
         | 0 -> Graph.Eps
         | 1 -> Graph.Lab (Label.Int (get_int r))
         | 2 ->
-          if r.pos + 8 > Bytes.length r.data then fail "truncated float";
+          if remaining r < 8 then
+            corrupt ~offset:r.pos ~expected:"8 bytes of float payload"
+              ~found:(Printf.sprintf "%d bytes left" (remaining r));
           let bits = Bytes.get_int64_le r.data r.pos in
           r.pos <- r.pos + 8;
           Graph.Lab (Label.Float (Int64.float_of_bits bits))
-        | 3 -> Graph.Lab (Label.Str (string_at (get_varint r)))
+        | 3 ->
+          let off = r.pos in
+          Graph.Lab (Label.Str (string_at off (get_varint r)))
         | 4 -> Graph.Lab (Label.Bool (byte r <> 0))
-        | 5 -> Graph.Lab (Label.Sym (string_at (get_varint r)))
-        | t -> fail (Printf.sprintf "unknown label tag %d" t)
+        | 5 ->
+          let off = r.pos in
+          Graph.Lab (Label.Sym (string_at off (get_varint r)))
+        | t ->
+          corrupt ~offset:tag_off ~expected:"a label tag in 0..5" ~found:(string_of_int t)
       in
       let v = get_varint r in
-      if v >= n then fail "edge target out of range";
+      if v >= n then
+        corrupt ~offset:tag_off
+          ~expected:(Printf.sprintf "an edge target below n_nodes = %d" n)
+          ~found:(string_of_int v);
       match label with
       | Graph.Eps -> Graph.Builder.add_eps b u v
       | Graph.Lab l -> Graph.Builder.add_edge b u l v
     done
   done;
-  if r.pos <> Bytes.length data then fail "trailing bytes";
+  if r.pos <> Bytes.length data then
+    corrupt ~offset:r.pos ~expected:"end of input"
+      ~found:(Printf.sprintf "%d trailing bytes" (remaining r));
   Graph.Builder.finish b
 
 let encoded_size g = Bytes.length (encode g)

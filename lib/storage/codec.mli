@@ -20,10 +20,25 @@
 
 val encode : Ssd.Graph.t -> bytes
 
-(** @raise Failure on malformed input. *)
+(** Malformed input.  [offset] is the byte position of the defect;
+    [expected]/[found] describe it ("magic \"SSD1\"" vs a 3-byte input,
+    "a label tag in 0..5" vs 9, ...).  {!decode} raises nothing else on
+    any input, however truncated or bit-flipped (fuzz-tested): in
+    particular, counts are validated against the bytes remaining before
+    any allocation, and varints that would overflow the 62-bit range are
+    rejected rather than wrapped. *)
+exception Corrupt of {
+  offset : int;
+  expected : string;
+  found : string;
+}
+
+(** @raise Corrupt on malformed input. *)
 val decode : bytes -> Ssd.Graph.t
 
 val write_file : string -> Ssd.Graph.t -> unit
+
+(** @raise Corrupt on malformed file contents. *)
 val read_file : string -> Ssd.Graph.t
 
 (** Encoded size in bytes (without building the buffer twice). *)

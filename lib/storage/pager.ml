@@ -83,7 +83,9 @@ let order_of clustering g =
     out
 
 let layout clustering ~page_capacity g =
-  if page_capacity <= 0 then invalid_arg "Pager.layout: page_capacity must be positive";
+  if page_capacity <= 0 then
+    Ssd_diag.error ~code:"SSD542" "Pager.layout: page_capacity must be positive (got %d)"
+      page_capacity;
   let order = order_of clustering g in
   let n = Array.length order in
   let page = Array.make n 0 in
@@ -99,7 +101,9 @@ type sim = {
 }
 
 let replay t ~buffer_pages accesses =
-  if buffer_pages <= 0 then invalid_arg "Pager.replay: buffer_pages must be positive";
+  if buffer_pages <= 0 then
+    Ssd_diag.error ~code:"SSD542" "Pager.replay: buffer_pages must be positive (got %d)"
+      buffer_pages;
   (* LRU: page -> last-use tick; eviction scans the (small) buffer. *)
   let cache = Hashtbl.create (2 * buffer_pages) in
   let tick = ref 0 in

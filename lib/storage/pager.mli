@@ -21,7 +21,8 @@ val clustering_name : clustering -> string
 
 type t
 
-(** [layout clustering ~page_capacity g]: nodes per page. *)
+(** [layout clustering ~page_capacity g]: nodes per page.
+    @raise Ssd_diag.Fail with code [SSD542] if [page_capacity <= 0]. *)
 val layout : clustering -> page_capacity:int -> Ssd.Graph.t -> t
 
 val n_pages : t -> int
@@ -33,6 +34,7 @@ type sim = {
 }
 
 (** [replay t ~buffer_pages accesses]: run the node-access sequence
+    ([SSD542] if [buffer_pages <= 0])
     through an LRU buffer of the given size. *)
 val replay : t -> buffer_pages:int -> int list -> sim
 

@@ -1,5 +1,6 @@
 module Graph = Ssd.Graph
 module Label = Ssd.Label
+module Budget = Ssd.Budget
 module Lpred = Ssd_automata.Lpred
 module Regex = Ssd_automata.Regex
 module Nfa = Ssd_automata.Nfa
@@ -73,6 +74,11 @@ type ctx = {
   db_node : int;
   opts : options;
   nfa_cache : (Regex.t, Nfa.t * int list array) Hashtbl.t;
+  budget : Budget.t;
+      (* Consumed only at generator positions (automaton frontier pops,
+         pattern steps, sfun queue pops) — never while deciding a
+         condition, so budget exhaustion drops whole bindings and the
+         partial result stays a sound lower bound. *)
 }
 
 let nfa_of ctx r =
@@ -138,7 +144,7 @@ let regex_reach ctx start r =
     end
   in
   List.iter (push start) (Nfa.start_set nfa);
-  while not (Queue.is_empty queue) do
+  while (not (Queue.is_empty queue)) && Budget.step ctx.budget do
     let u, q = Queue.pop queue in
     Metrics.incr m_auto_steps;
     if nfa.Nfa.accept.(q) then Hashtbl.replace answers u ();
@@ -166,7 +172,7 @@ let regex_reach_paths ctx start r =
     end
   in
   List.iter (fun q -> push (start, q) None) (Nfa.start_set nfa);
-  while not (Queue.is_empty queue) do
+  while (not (Queue.is_empty queue)) && Budget.step ctx.budget do
     let ((u, q) as key) = Queue.pop queue in
     Metrics.incr m_auto_steps;
     if nfa.Nfa.accept.(q) && not (Hashtbl.mem answers u) then begin
@@ -212,7 +218,9 @@ let bind_label env x l k =
   | None -> k { env with vars = Env.add x (Elabel l) env.vars }
 
 let rec match_steps ctx env node steps k =
-  match steps with
+  if not (Budget.step ctx.budget) then []
+  else
+    match steps with
   | [] -> k env node
   | Slit le :: rest ->
     let l = resolve_label env le in
@@ -300,7 +308,8 @@ let rec eval_expr ctx env = function
     let u = Store.add_node ctx.st in
     List.iter (fun env -> Store.add_eps ctx.st u (eval_expr ctx env head)) envs;
     u
-  | If (c, a, b) -> if eval_cond ctx env c then eval_expr ctx env a else eval_expr ctx env b
+  | If (c, a, b) ->
+    if eval_cond_exact ctx env c then eval_expr ctx env a else eval_expr ctx env b
   | Let (x, a, b) ->
     let n = eval_expr ctx env a in
     eval_expr ctx { env with vars = Env.add x (Enode n) env.vars } b
@@ -344,7 +353,7 @@ and eval_clauses ctx envs = function
     Metrics.add m_bindings (List.length envs);
     eval_clauses ctx envs rest
   | Where c :: rest ->
-    eval_clauses ctx (List.filter (fun env -> eval_cond ctx env c) envs) rest
+    eval_clauses ctx (List.filter (fun env -> eval_cond_exact ctx env c) envs) rest
 
 (* DataGuide shortcuts for single-entry patterns on DB: an all-literal
    path is answered by one guide lookup; a single regex step is answered
@@ -375,6 +384,11 @@ and guided_generator ctx env p e =
              (List.concat_map (Dataguide.targets guide) guide_hits))
       | _ -> None))
   | _ -> None
+
+(* Conditions are always decided exactly, even with an exhausted budget:
+   an approximate [where] could let wrong rows through, breaking the
+   partial-answers-are-a-lower-bound guarantee. *)
+and eval_cond_exact ctx env c = Budget.exempt ctx.budget (fun () -> eval_cond ctx env c)
 
 and eval_cond ctx env = function
   | Ccmp (op, a1, a2) ->
@@ -413,7 +427,7 @@ and apply ctx closure start =
       r
   in
   let r0 = result_of start in
-  while not (Queue.is_empty closure.queue) do
+  while (not (Queue.is_empty closure.queue)) && Budget.step ctx.budget do
     let u = Queue.pop closure.queue in
     let r = Hashtbl.find closure.memo u in
     List.iter
@@ -459,17 +473,22 @@ and find_case cases l =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let eval ?(options = default_options) ~db q =
+let eval ?(options = default_options) ?budget ~db q =
   Metrics.incr m_queries;
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Metrics.time t_eval (fun () ->
       Trace.with_span "unql.eval" (fun () ->
           let st = Store.create () in
           let db_node = Trace.with_span "import" (fun () -> Store.import st db) in
-          let ctx = { st; db; db_node; opts = options; nfa_cache = Hashtbl.create 8 } in
+          let ctx =
+            { st; db; db_node; opts = options; nfa_cache = Hashtbl.create 8; budget }
+          in
           let env = { vars = Env.empty; funs = Env.empty } in
           let root = Trace.with_span "eval_expr" (fun () -> eval_expr ctx env q) in
           Trace.with_span "snapshot" (fun () -> Graph.gc (Store.to_graph st ~root))))
 
-let eval_tree ?options ~db q = Graph.to_tree (eval ?options ~db q)
+let eval_outcome ?options ~budget ~db q = Budget.wrap budget (eval ?options ~budget ~db q)
 
-let run ?options ~db src = eval ?options ~db (Parser.parse src)
+let eval_tree ?options ?budget ~db q = Graph.to_tree (eval ?options ?budget ~db q)
+
+let run ?options ?budget ~db src = eval ?options ?budget ~db (Parser.parse src)

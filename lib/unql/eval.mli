@@ -40,13 +40,34 @@ type options = {
 
 val default_options : options
 
-(** [eval ?options ~db q] runs [q] with [DB] bound to [db] and returns the
-    result graph (already garbage-collected). *)
-val eval : ?options:options -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Graph.t
+(** [eval ?options ?budget ~db q] runs [q] with [DB] bound to [db] and
+    returns the result graph (already garbage-collected).
+
+    When a {!Ssd.Budget} is supplied, evaluation consumes it at generator
+    positions only — automaton frontier expansion, pattern-step
+    enumeration, structural-recursion queue pops — and {e never} while
+    deciding a [where]/[if] condition.  On exhaustion the generators stop
+    producing further bindings, so the result is a sound lower bound of
+    the complete answer (the partial result graph is simulated by the
+    complete one); no exception is raised.  Use {!eval_outcome} to learn
+    whether the budget ran out. *)
+val eval : ?options:options -> ?budget:Ssd.Budget.t -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Graph.t
+
+(** [eval] plus the completeness verdict: [Complete g] when the budget
+    survived, [Partial (g, why)] when it ran out ([g] still a sound
+    lower bound). *)
+val eval_outcome :
+  ?options:options ->
+  budget:Ssd.Budget.t ->
+  db:Ssd.Graph.t ->
+  Ast.expr ->
+  Ssd.Graph.t Ssd.Budget.outcome
 
 (** [eval] followed by tree extraction.
     @raise Ssd.Graph.Cyclic if the result is cyclic. *)
-val eval_tree : ?options:options -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Tree.t
+val eval_tree :
+  ?options:options -> ?budget:Ssd.Budget.t -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Tree.t
 
 (** Parse and evaluate concrete syntax (see {!Parser}). *)
-val run : ?options:options -> db:Ssd.Graph.t -> string -> Ssd.Graph.t
+val run :
+  ?options:options -> ?budget:Ssd.Budget.t -> db:Ssd.Graph.t -> string -> Ssd.Graph.t

@@ -1,0 +1,65 @@
+(* Smoke test for fault-tolerant distributed evaluation.  Takes three
+   captured `ssdql dist` outputs: a fault-free run, a faulty run
+   (seed:1,drop:0.2), and a repeat of the faulty run.  Asserts
+
+   - all three runs print the same accepting set (faults never change
+     the answer, only the cost),
+   - both faulty runs are byte-identical (seeded fault schedules are
+     deterministic, stats included),
+   - the faulty run reports a nonzero retry count and a complete
+     status (the protocol actually recovered; it did not just get
+     lucky). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_dist: " ^ m); exit 1) fmt
+
+let line_with prefix content =
+  let lines = String.split_on_char '\n' content in
+  match List.find_opt (fun l -> String.length l >= String.length prefix
+                                && String.sub l 0 (String.length prefix) = prefix) lines with
+  | Some l -> l
+  | None -> fail "no %S line in output" prefix
+
+(* First integer following [key] in the (possibly pretty-printed) stats
+   JSON. *)
+let int_field key content =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let nlen = String.length needle in
+  let len = String.length content in
+  let rec find i =
+    if i + nlen > len then fail "no %s field in stats" key
+    else if String.sub content i nlen = needle then i + nlen
+    else find (i + 1)
+  in
+  let i = ref (find 0) in
+  while !i < len && content.[!i] = ' ' do incr i done;
+  let j = ref !i in
+  while !j < len && (match content.[!j] with '0' .. '9' | '-' -> true | _ -> false) do
+    incr j
+  done;
+  if !j = !i then fail "%s field is not a number" key
+  else int_of_string (String.sub content !i (!j - !i))
+
+let () =
+  let free, faulty, faulty2 =
+    match Sys.argv with
+    | [| _; a; b; c |] -> (read_file a, read_file b, read_file c)
+    | _ -> fail "usage: check_dist FREE FAULTY FAULTY2"
+  in
+  let accepting = line_with "accepting:" in
+  if accepting free <> accepting faulty then
+    fail "faulty run changed the accepting set:\n  %s\n  %s" (accepting free)
+      (accepting faulty);
+  if faulty <> faulty2 then fail "faulty runs differ: fault schedule is not deterministic";
+  let status = line_with "status:" faulty in
+  if status <> "status: complete" then fail "faulty run did not complete: %s" status;
+  let retries = int_field "retries" faulty in
+  if retries <= 0 then fail "faulty run reports %d retries; expected > 0" retries;
+  if int_field "retries" free <> 0 then fail "fault-free run reports retries";
+  print_endline "check_dist: ok"

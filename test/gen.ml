@@ -225,6 +225,55 @@ let unql_query : Unql.Ast.expr Q.t =
   in
   pure (A.Select (A.Tree [ (A.Llit (Label.sym "r"), A.Var tvar) ], clauses))
 
+(* Corrupted codec inputs: a valid encoding with a seeded mutation —
+   truncation, bit flips, or a byte stomp.  Decoding one must either
+   succeed or raise [Ssd_storage.Codec.Corrupt]; anything else (generic
+   Failure, Invalid_argument, out-of-memory array sizes) is a bug. *)
+let corrupted_encoding : bytes Q.t =
+  let open Q in
+  let* g = graph in
+  let data = Ssd_storage.Codec.encode g in
+  let n = Bytes.length data in
+  let* choice = int_range 0 2 in
+  match choice with
+  | 0 ->
+    let* k = int_range 0 (n - 1) in
+    pure (Bytes.sub data 0 k)
+  | 1 ->
+    let* flips = list_size (int_range 1 4) (pair (int_range 0 (n - 1)) (int_range 0 7)) in
+    let b = Bytes.copy data in
+    List.iter
+      (fun (i, bit) -> Bytes.set_uint8 b i (Bytes.get_uint8 b i lxor (1 lsl bit)))
+      flips;
+    pure b
+  | _ ->
+    let* i = int_range 0 (n - 1) in
+    let* v = int_range 0 255 in
+    let b = Bytes.copy data in
+    Bytes.set_uint8 b i v;
+    pure b
+
+(* A fault-plan spec for the distributed evaluator, in the CLI grammar.
+   Probabilities stay below 1 so every run still quiesces. *)
+let fault_spec : string Q.t =
+  let open Q in
+  let* seed = int_range 0 999 in
+  let* drop = oneofl [ "0"; "0.1"; "0.3"; "0.5" ] in
+  let* dup = oneofl [ "0"; "0.1" ] in
+  let* reorder = oneofl [ "0"; "0.2" ] in
+  let* ckpt = int_range 1 3 in
+  let* backoff = oneofl [ ""; ",backoff:exp"; ",backoff:fixed@2" ] in
+  let* crashes =
+    list_size (int_range 0 2) (triple (int_range 0 3) (int_range 1 4) (int_range 1 2))
+  in
+  let crash_s =
+    String.concat ""
+      (List.map (fun (s, r, d) -> Printf.sprintf ",crash:%d@%d+%d" s r d) crashes)
+  in
+  pure
+    (Printf.sprintf "seed:%d,drop:%s,dup:%s,reorder:%s,ckpt:%d%s%s" seed drop dup
+       reorder ckpt backoff crash_s)
+
 (* Wrap a QCheck2 property as an alcotest case. *)
 let qtest name ?(count = 100) ?print gen prop =
   QCheck_alcotest.to_alcotest ~speed_level:`Quick

@@ -2,6 +2,8 @@ module Graph = Ssd.Graph
 module Nfa = Ssd_automata.Nfa
 module Product = Ssd_automata.Product
 module Decompose = Ssd_dist.Decompose
+module Plan = Ssd_fault.Plan
+module Budget = Ssd.Budget
 open Gen
 
 let check = Alcotest.(check bool)
@@ -38,6 +40,114 @@ let bfs_partition_has_locality () =
     (cross (Decompose.partition_bfs ~k:4 g) < cross (Decompose.partition_random ~seed:1 ~k:4 g))
 
 let queries = [ "host.page.(link)*.title._"; "(~nothing)*"; "host.name._"; "_._._" ]
+
+let bad_site_count_rejected () =
+  let g = Ssd_workload.Webgraph.generate ~n_pages:20 () in
+  let is_ssd540 f =
+    match f () with
+    | exception Ssd_diag.Fail d -> d.Ssd_diag.code = "SSD540"
+    | _ -> false
+  in
+  check "bfs k=0" true (is_ssd540 (fun () -> Decompose.partition_bfs ~k:0 g));
+  check "random k=-3" true
+    (is_ssd540 (fun () -> Decompose.partition_random ~seed:1 ~k:(-3) g))
+
+let bad_fault_spec_rejected () =
+  let is_ssd541 spec =
+    match Plan.parse spec with
+    | exception Ssd_diag.Fail d -> d.Ssd_diag.code = "SSD541"
+    | _ -> false
+  in
+  List.iter
+    (fun spec -> check ("rejects " ^ spec) true (is_ssd541 spec))
+    [ "drop:2.0"; "drop:x"; "crash:1"; "nonsense:1"; "ckpt:0"; "crash:1@0"; "seed:" ];
+  (* and the good ones round-trip through to_string *)
+  List.iter
+    (fun spec ->
+      let p = Plan.parse spec in
+      check ("parses " ^ spec) true (Plan.parse (Plan.to_string p) = p))
+    [ "seed:7,drop:0.2,dup:0.05,reorder:0.1,crash:2@3+4,slow:0@3,ckpt:2";
+      "backoff:fixed@3,rounds:50"; "ackdrop:0.5" ]
+
+let figure1_under_faults () =
+  let g = Ssd_workload.Movies.figure1 () in
+  let nfa = Nfa.of_string "entry.movie.(cast._*)?.title._" in
+  let central = Product.accepting_nodes g nfa in
+  List.iter
+    (fun k ->
+      let partition = Decompose.partition_bfs ~k g in
+      List.iter
+        (fun spec ->
+          match Decompose.run ~plan:(Plan.parse spec) g partition nfa with
+          | Budget.Complete answers, _ ->
+            check (Printf.sprintf "k=%d %s" k spec) true (answers = central)
+          | Budget.Partial _, _ -> Alcotest.fail (spec ^ ": did not complete"))
+        [ "seed:1"; "seed:1,drop:0.3,dup:0.1"; "seed:2,drop:0.2,crash:1@2+2,ckpt:2" ])
+    [ 1; 2; 3 ]
+
+(* Total message loss can never quiesce: the run must give up at the
+   plan's round cap with a Stalled partial answer instead of hanging. *)
+let total_loss_stalls () =
+  let g = Ssd_workload.Webgraph.generate ~n_pages:50 () in
+  let nfa = Nfa.of_string "host.page.(link)*.title._" in
+  let partition = Decompose.partition_bfs ~k:3 g in
+  let plan = Plan.parse "seed:1,drop:1.0,rounds:20" in
+  match Decompose.run ~plan g partition nfa with
+  | Budget.Partial (answers, Budget.Stalled), stats ->
+    check "no answers got through" true (answers = []);
+    check "stopped at the cap" true (stats.Decompose.rounds <= 20);
+    check "kept retrying" true (stats.Decompose.retries > 0)
+  | Budget.Partial (_, _), _ -> Alcotest.fail "wrong exhaustion reason"
+  | Budget.Complete _, _ -> Alcotest.fail "completed without any message delivery"
+
+let fault_properties =
+  [
+    qtest "any fault plan: answers = centralized" ~count:60
+      (Q.triple graph (Q.int_range 1 4) fault_spec)
+      (fun (g, k, spec) ->
+        let plan = Plan.parse spec in
+        let partition = Decompose.partition_bfs ~k g in
+        List.for_all
+          (fun q ->
+            let nfa = Nfa.of_string q in
+            match Decompose.run ~plan g partition nfa with
+            | Budget.Complete answers, _ -> answers = Product.accepting_nodes g nfa
+            | Budget.Partial _, _ -> false)
+          queries);
+    qtest "fault runs are deterministic: same plan, same stats" ~count:40
+      (Q.triple graph (Q.int_range 1 4) fault_spec)
+      (fun (g, k, spec) ->
+        let run () =
+          let plan = Plan.parse spec in
+          let partition = Decompose.partition_random ~seed:5 ~k g in
+          Decompose.run ~plan g partition (Nfa.of_string "(a|b)*.c?")
+        in
+        run () = run ());
+    qtest "budgeted answers are a subset of complete" ~count:60
+      (Q.triple graph (Q.int_range 1 4) (Q.int_range 1 50))
+      (fun (g, k, steps) ->
+        let partition = Decompose.partition_bfs ~k g in
+        let nfa = Nfa.of_string "(a|b)*" in
+        let central = Product.accepting_nodes g nfa in
+        let budget = Budget.create ~max_steps:steps () in
+        match Decompose.run ~budget g partition nfa with
+        | Budget.Complete answers, _ -> answers = central
+        | Budget.Partial (answers, Budget.Steps), _ ->
+          List.for_all (fun u -> List.mem u central) answers
+        | Budget.Partial _, _ -> false);
+    qtest "faults cost retries, never answers" ~count:40
+      (Q.pair graph (Q.int_range 2 4))
+      (fun (g, k) ->
+        let partition = Decompose.partition_random ~seed:9 ~k g in
+        let nfa = Nfa.of_string "_._._" in
+        let free = Decompose.run g partition nfa in
+        let faulty =
+          Decompose.run ~plan:(Plan.parse "seed:3,drop:0.4") g partition nfa
+        in
+        fst free = fst faulty
+        && (snd free).Decompose.messages = (snd faulty).Decompose.messages
+        && (snd faulty).Decompose.retries >= (snd faulty).Decompose.dropped);
+  ]
 
 let properties =
   [
@@ -79,5 +189,9 @@ let tests =
     Alcotest.test_case "single site is centralized" `Quick single_site_is_centralized;
     Alcotest.test_case "partitions cover sites" `Quick partitions_cover_sites;
     Alcotest.test_case "bfs partition has locality" `Quick bfs_partition_has_locality;
+    Alcotest.test_case "figure1 under faults" `Quick figure1_under_faults;
+    Alcotest.test_case "bad site count rejected" `Quick bad_site_count_rejected;
+    Alcotest.test_case "bad fault spec rejected" `Quick bad_fault_spec_rejected;
+    Alcotest.test_case "total loss stalls at round cap" `Quick total_loss_stalls;
   ]
-  @ properties
+  @ properties @ fault_properties

@@ -31,4 +31,5 @@ let () =
       ("differential", Test_differential.tests);
       ("optimize", Test_optimize.tests);
       ("lint", Test_lint.tests);
+      ("budget", Test_budget.tests);
     ]

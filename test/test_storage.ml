@@ -25,7 +25,7 @@ let file_roundtrip () =
 let corrupt_input_rejected () =
   let rejects data =
     match Codec.decode data with
-    | exception Failure _ -> true
+    | exception Codec.Corrupt _ -> true
     | _ -> false
   in
   check "bad magic" true (rejects (Bytes.of_string "NOPE"));
@@ -34,6 +34,27 @@ let corrupt_input_rejected () =
   check "truncated" true (rejects (Bytes.sub good 0 (Bytes.length good - 3)));
   let trailing = Bytes.cat good (Bytes.of_string "xx") in
   check "trailing bytes" true (rejects trailing)
+
+let corrupt_diagnostics () =
+  (* The exception carries where and what: offset of the defect plus
+     expected/found descriptions. *)
+  (match Codec.decode (Bytes.of_string "NOPE") with
+  | exception Codec.Corrupt { offset; expected; found } ->
+    check_int "magic offset" 0 offset;
+    check "mentions magic" true (expected = "magic \"SSD1\"");
+    check "shows found bytes" true (found = "\"NOPE\"")
+  | _ -> Alcotest.fail "bad magic accepted");
+  (* A huge node count must be rejected against the bytes remaining, not
+     allocated. *)
+  let huge = Buffer.create 16 in
+  Buffer.add_string huge "SSD1";
+  Buffer.add_string huge "\xff\xff\xff\xff\x07";
+  (* n_nodes varint *)
+  Buffer.add_char huge '\x00';
+  (* root *)
+  match Codec.decode (Buffer.to_bytes huge) with
+  | exception Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "oversized node count accepted"
 
 let string_table_shares () =
   (* many occurrences of one symbol must be cheaper than distinct ones *)
@@ -102,6 +123,13 @@ let properties =
         s.Pager.faults <= s.Pager.accesses
         && s.Pager.faults >= 1
         && s.Pager.accesses = List.length walks);
+    qtest "fuzzed decode round-trips or raises Corrupt" ~count:400 corrupted_encoding
+      (fun data ->
+        (* Any exception other than Codec.Corrupt escapes and fails the
+           property — that is the point. *)
+        match Codec.decode data with
+        | _ -> true
+        | exception Codec.Corrupt _ -> true);
     qtest "layouts are permutations" graph (fun g ->
         List.for_all
           (fun c ->
@@ -119,6 +147,19 @@ let tests =
     Alcotest.test_case "codec round-trip figure1" `Quick roundtrip_fig1;
     Alcotest.test_case "file round-trip" `Quick file_roundtrip;
     Alcotest.test_case "corrupt input rejected" `Quick corrupt_input_rejected;
+    Alcotest.test_case "corrupt diagnostics" `Quick corrupt_diagnostics;
+    Alcotest.test_case "pager rejects nonpositive capacities" `Quick (fun () ->
+        let g = Ssd_workload.Movies.figure1 () in
+        let is_ssd542 f =
+          match f () with
+          | exception Ssd_diag.Fail d -> d.Ssd_diag.code = "SSD542"
+          | _ -> false
+        in
+        check "layout capacity" true
+          (is_ssd542 (fun () -> Pager.layout Pager.Bfs ~page_capacity:0 g));
+        check "replay buffer" true
+          (is_ssd542 (fun () ->
+               Pager.replay (Pager.layout Pager.Bfs ~page_capacity:4 g) ~buffer_pages:(-1) [ 0 ])));
     Alcotest.test_case "string table shares" `Quick string_table_shares;
     Alcotest.test_case "paging basics" `Quick paging_basics;
     Alcotest.test_case "LRU behaviour" `Quick lru_behaviour;
