@@ -6,8 +6,63 @@ open Toolkit
 
 let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
 
+(* ------------------------------------------------------------------ *)
+(* BENCH.json recording                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Every [measure] result (and explicitly recorded metric) lands in a
+   global per-experiment table; [write_bench_json] emits the versioned
+   document that tools/bench_diff compares across runs. *)
+let bench_version = 1
+let current_experiment = ref "misc"
+let recorded : (string, (string * float) list ref) Hashtbl.t = Hashtbl.create 16
+let experiment_order : string list ref = ref []
+
+let set_experiment name =
+  current_experiment := name;
+  if not (Hashtbl.mem recorded name) then begin
+    Hashtbl.add recorded name (ref []);
+    experiment_order := name :: !experiment_order
+  end
+
+(* Record [name -> value] under the current experiment.  Repeated names
+   (the same case measured at several sizes) get occurrence suffixes:
+   name, name#2, name#3, ... in recording order, so entries stay stable
+   across runs.  NaN (a failed OLS fit) is dropped: JSON cannot carry it
+   and bench_diff could not compare it. *)
+let record name v =
+  if not (Float.is_nan v) then begin
+    if not (Hashtbl.mem recorded !current_experiment) then
+      set_experiment !current_experiment;
+    let cell = Hashtbl.find recorded !current_experiment in
+    let rec fresh k =
+      let candidate = if k = 1 then name else Printf.sprintf "%s#%d" name k in
+      if List.mem_assoc candidate !cell then fresh (k + 1) else candidate
+    in
+    cell := (fresh 1, v) :: !cell
+  end
+
+let write_bench_json path =
+  let module J = Ssd.Json in
+  let experiments =
+    List.rev_map
+      (fun name ->
+        let cell = Hashtbl.find recorded name in
+        (name, J.Obj (List.rev_map (fun (k, v) -> (k, J.Float v)) !cell)))
+      !experiment_order
+  in
+  let doc =
+    J.Obj [ ("version", J.Int bench_version); ("experiments", J.Obj experiments) ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d experiments)\n" path (List.length experiments)
+
 (* [measure cases] runs each (name, thunk) under bechamel's monotonic
-   clock and returns (name, ns/run) in input order. *)
+   clock and returns (name, ns/run) in input order.  Each estimate is
+   also recorded for BENCH.json. *)
 let measure ?(quota = 0.5) cases =
   let tests =
     List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) cases
@@ -27,6 +82,7 @@ let measure ?(quota = 0.5) cases =
           | _ -> nan)
         | None -> nan
       in
+      record name est;
       (name, est))
     cases
 

@@ -938,11 +938,99 @@ let e15 () =
     ~header:[ "max-steps"; "rounds"; "answers"; "status" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E16 — observability: tracing overhead and a trace-driven finding     *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  section "E16 observability: tracing overhead; where dist wall-clock goes under loss";
+  let module T = Ssd_obs.Trace in
+  (* 1. Overhead: e13's repeated-query workload with tracing off vs on.
+     The off case is the cost everyone pays (one ref read per
+     instrumentation point); the on case additionally allocates span
+     nodes and instants. *)
+  let n = if !full then 5000 else 1500 in
+  let db = Ssd_workload.Movies.generate ~seed:14 ~n_entries:n () in
+  let queries =
+    List.map Unql.Parser.parse
+      [
+        {| select {title: \t} where {entry.movie.title: \t} <- DB |};
+        {| select {hit: \t}
+           where {<entry.movie>: \m} <- DB,
+                 {<cast._*."Humphrey Bogart 0">} <- m,
+                 {title.\t} <- m |};
+        {| select {year: \y} where {entry.movie.year.\y} <- DB |};
+      ]
+  in
+  let run_workload () = List.iter (fun q -> ignore (Unql.Eval.eval ~db q)) queries in
+  T.disable ();
+  T.clear ();
+  let timings =
+    measure ~quota:0.6
+      [
+        ("tracing-off", run_workload);
+        ( "tracing-on",
+          fun () ->
+            T.enable ();
+            T.clear ();
+            run_workload ();
+            T.disable () );
+      ]
+  in
+  let t name = List.assoc name timings in
+  let overhead_pct = 100. *. (t "tracing-on" -. t "tracing-off") /. t "tracing-off" in
+  record "tracing_overhead_pct" overhead_pct;
+  print_table
+    ~title:(Printf.sprintf "e13 workload (%d entries), tracing off vs on" n)
+    ~header:[ "tracing"; "ns/workload" ]
+    (List.map (fun (name, v) -> [ name; ns_to_string v ]) timings);
+  Printf.printf "\ntracing overhead: %.1f%% (target < 10%%)\n" overhead_pct;
+  (* 2. Trace-driven finding: at drop 0.2, what share of the dist
+     wall-clock sits in rounds that are doing retransmission work?  Read
+     straight off the trace: dist.round spans vs dist.retransmit
+     instants falling inside them. *)
+  let g = Ssd_workload.Webgraph.generate ~seed:15 ~n_pages:n () in
+  let nfa = Ssd_automata.Nfa.of_string "host.page.(link)*.title._" in
+  let partition = Ssd_dist.Decompose.partition_bfs ~k:4 g in
+  T.enable ();
+  T.clear ();
+  ignore
+    (Ssd_dist.Decompose.run ~plan:(Ssd_fault.Plan.parse "seed:1,drop:0.2") g partition
+       nfa);
+  let retrans =
+    List.filter (fun i -> i.T.i_name = "dist.retransmit") (T.instants ())
+  in
+  let rounds =
+    List.concat_map
+      (fun s -> if s.T.name = "dist.run" then s.T.children else [])
+      (T.spans ())
+    |> List.filter (fun s -> s.T.name = "dist.round")
+  in
+  let total_round_ns = List.fold_left (fun a s -> a +. s.T.dur_ns) 0. rounds in
+  let in_span s i =
+    i.T.i_ts_ns >= s.T.start_ns && i.T.i_ts_ns <= s.T.start_ns +. s.T.dur_ns
+  in
+  let retrans_rounds = List.filter (fun s -> List.exists (in_span s) retrans) rounds in
+  let retrans_ns = List.fold_left (fun a s -> a +. s.T.dur_ns) 0. retrans_rounds in
+  let share = 100. *. retrans_ns /. Float.max 1. total_round_ns in
+  T.disable ();
+  T.clear ();
+  record "retransmit_rounds" (float_of_int (List.length retrans_rounds));
+  record "rounds" (float_of_int (List.length rounds));
+  record "retransmit_wallclock_pct" share;
+  Printf.printf
+    "\ndist drop=0.2 (web graph %d pages, 4 sites), read off the trace:\n\
+     rounds: %d total, %d with retransmissions (%d retransmit events)\n\
+     share of dist wall-clock in retransmitting rounds: %.1f%%\n"
+    n (List.length rounds)
+    (List.length retrans_rounds)
+    (List.length retrans) share
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
   ]
 
 let () =
@@ -957,6 +1045,15 @@ let () =
         else true)
       args
   in
+  let json_path = ref "BENCH.json" in
+  let rec strip_json acc = function
+    | "--json" :: path :: rest ->
+      json_path := path;
+      strip_json acc rest
+    | a :: rest -> strip_json (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_json [] args in
   let selected = if args = [] then List.map fst experiments else args in
   Printf.printf "# Semistructured Data (PODS'97) — reconstructed evaluation\n";
   Printf.printf "(sizes: %s; see EXPERIMENTS.md for the experiment index)\n"
@@ -964,6 +1061,9 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+        set_experiment name;
+        f ()
       | None -> Printf.eprintf "unknown experiment %s\n" name)
-    selected
+    selected;
+  write_bench_json !json_path

@@ -129,10 +129,13 @@ let status_of = function
   | Some why -> Printf.sprintf "partial (%s)" (Ssd.Budget.exhaustion_to_string why)
 
 let query_cmd data lang lint explain use_cache repeat quiet stats stats_format trace
-    deadline_ms max_steps query_text =
+    trace_out deadline_ms max_steps query_text =
   let db = load_data data in
   lint_gate lint lang db query_text;
-  if trace then Ssd_obs.Trace.enable ();
+  if trace || trace_out <> None then begin
+    Ssd_obs.Trace.enable ();
+    Ssd_obs.Trace.name_lane 0 "main"
+  end;
   let repeat = max 1 repeat in
   let budgeted = deadline_ms <> None || max_steps <> None in
   let budget () = Ssd.Budget.create ?deadline_ms ?max_steps () in
@@ -206,6 +209,11 @@ let query_cmd data lang lint explain use_cache repeat quiet stats stats_format t
     Printf.eprintf "unknown language %s (use unql, lorel, websql or datalog)\n" other;
     exit 2);
   if trace then prerr_string (Ssd_obs.Trace.render ());
+  Option.iter
+    (fun path ->
+      Ssd_obs.Trace.write_chrome path;
+      Printf.eprintf "trace written to %s (load in chrome://tracing or Perfetto)\n" path)
+    trace_out;
   if stats then dump_stats stats_format
 
 (* ------------------------------------------------------------------ *)
@@ -358,8 +366,12 @@ let gen_cmd kind n seed =
    or, with --format json, a single JSON object with those fields.
    Same --faults spec => identical accepting set AND identical stats. *)
 let dist_cmd data sites partition_kind seed faults deadline_ms max_steps format quiet
-    query_text =
+    trace_out query_text =
   let db = load_data data in
+  if trace_out <> None then begin
+    Ssd_obs.Trace.enable ();
+    Ssd_obs.Trace.name_lane 0 "coordinator"
+  end;
   let nfa =
     try Ssd_automata.Nfa.of_string query_text
     with e ->
@@ -398,6 +410,11 @@ let dist_cmd data sites partition_kind seed faults deadline_ms max_steps format 
     | Ssd.Budget.Partial (a, why) -> (a, Some why)
   in
   let stats_json = Ssd_dist.Decompose.stats_to_json st in
+  Option.iter
+    (fun path ->
+      Ssd_obs.Trace.write_chrome path;
+      Printf.eprintf "trace written to %s (load in chrome://tracing or Perfetto)\n" path)
+    trace_out;
   match format with
   | "json" ->
     print_endline
@@ -412,6 +429,50 @@ let dist_cmd data sites partition_kind seed faults deadline_ms max_steps format 
     Printf.printf "accepting: %s\n" (String.concat " " (List.map string_of_int answers));
     Printf.printf "status: %s\n" (status_of why);
     if not quiet then Printf.printf "stats: %s\n" (Ssd.Json.to_string stats_json)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate a query with tracing on and print per-operator inclusive /
+   exclusive time aggregated from the span stream (a sorted flame
+   table).  The result itself is discarded: profile answers "where did
+   the time go", query answers "what is the answer". *)
+let profile_cmd data lang repeat format trace_out query_text =
+  let db = load_data data in
+  Ssd_obs.Trace.enable ();
+  Ssd_obs.Trace.name_lane 0 "main";
+  let eval =
+    match lang with
+    | "unql" ->
+      let q = Unql.Parser.parse query_text in
+      fun () -> ignore (Unql.Eval.eval ~db q)
+    | "lorel" ->
+      let q = Lorel.Parser.parse query_text in
+      fun () -> ignore (Lorel.Eval.eval ~db q)
+    | "websql" -> fun () -> ignore (Websql.Eval.run ~db query_text)
+    | "datalog" ->
+      let program = Relstore.Datalog.parse query_text in
+      let edb = Relstore.Triple.edb db in
+      fun () -> ignore (Relstore.Datalog.eval ~edb program)
+    | other ->
+      Printf.eprintf "unknown language %s (use unql, lorel, websql or datalog)\n" other;
+      exit 2
+  in
+  for _ = 1 to max 1 repeat do
+    eval ()
+  done;
+  let roots = Ssd_obs.Trace.spans () in
+  let rows = Ssd_obs.Profile.of_spans roots in
+  let total = Ssd_obs.Profile.total_ns roots in
+  (match format with
+  | "json" -> print_endline (Ssd.Json.to_string (Ssd_obs.Profile.to_json ~total rows))
+  | _ -> print_string (Ssd_obs.Profile.render ~total rows));
+  Option.iter
+    (fun path ->
+      Ssd_obs.Trace.write_chrome path;
+      Printf.eprintf "trace written to %s (load in chrome://tracing or Perfetto)\n" path)
+    trace_out
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
@@ -436,6 +497,11 @@ let max_steps_arg =
          ~doc:"Evaluation step budget (frontier expansions / bindings / rule \
                firings); on exhaustion the evaluation stops and reports a \
                partial answer.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write the execution trace as Chrome trace-event JSON, loadable \
+               in chrome://tracing or Perfetto.")
 
 let query_t =
   let lang =
@@ -481,7 +547,8 @@ let query_t =
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v (Cmd.info "query" ~doc:"Run a query against a data file")
     Term.(const query_cmd $ data_arg $ lang $ lint $ explain $ cache $ repeat $ quiet
-          $ stats $ stats_format $ trace $ deadline_ms_arg $ max_steps_arg $ q)
+          $ stats $ stats_format $ trace $ trace_out_arg $ deadline_ms_arg
+          $ max_steps_arg $ q)
 
 let check_t =
   let data =
@@ -555,6 +622,26 @@ let gen_t =
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic workload")
     Term.(const gen_cmd $ kind $ n $ seed)
 
+let profile_t =
+  let lang =
+    Arg.(value & opt string "unql" & info [ "l"; "lang" ] ~docv:"LANG"
+           ~doc:"Query language: unql, lorel, websql or datalog.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Evaluate the query N times; the table aggregates all runs.")
+  in
+  let format =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Table format: text or json.")
+  in
+  let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Evaluate a query with tracing on and print per-operator \
+             inclusive/exclusive time (a sorted flame table)")
+    Term.(const profile_cmd $ data_arg $ lang $ repeat $ format $ trace_out_arg $ q)
+
 let dist_t =
   let sites =
     Arg.(value & opt int 4 & info [ "sites" ] ~docv:"K" ~doc:"Number of sites.")
@@ -591,7 +678,7 @@ let dist_t =
        ~doc:"Evaluate a regular path query distributed over a partitioned graph, \
              with optional fault injection and deadlines")
     Term.(const dist_cmd $ data_arg $ sites $ partition $ seed $ faults
-          $ deadline_ms_arg $ max_steps_arg $ format $ quiet $ q)
+          $ deadline_ms_arg $ max_steps_arg $ format $ quiet $ trace_out_arg $ q)
 
 let () =
   let doc = "semistructured data toolbox (Buneman, PODS'97 reproduction)" in
@@ -609,4 +696,5 @@ let () =
             stats_t;
             gen_t;
             dist_t;
+            profile_t;
           ]))

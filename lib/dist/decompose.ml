@@ -5,6 +5,7 @@ module Nfa = Ssd_automata.Nfa
 module Plan = Ssd_fault.Plan
 module Injector = Ssd_fault.Injector
 module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
 
 type partition = int array
 
@@ -100,6 +101,7 @@ type msg = {
   src : int; (* n_sites = the coordinator injecting start activations *)
   dst : int;
   pair : int * int;
+  origin : int; (* trace span id of the discovering activation; 0 = untraced *)
   mutable attempts : int;
   mutable next_send : int;
   mutable acked : bool;
@@ -130,8 +132,14 @@ let backoff_delay plan attempts =
 let run ?(plan = Plan.none) ?budget g partition nfa =
   Metrics.incr m_runs;
   Metrics.time t_eval @@ fun () ->
+  Trace.with_span "dist.run" @@ fun () ->
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let n_sites = 1 + Array.fold_left max 0 partition in
+  (* Lane 0 is the coordinator/round barrier; site s renders on lane s+1. *)
+  if Trace.enabled () then
+    for i = 0 to n_sites - 1 do
+      Trace.name_lane (i + 1) (Printf.sprintf "site %d" i)
+    done;
   let inj = Injector.create plan in
   let closures = Nfa.closures nfa in
   let cross_edges =
@@ -169,6 +177,7 @@ let run ?(plan = Plan.none) ?budget g partition nfa =
           src = n_sites;
           dst;
           pair = (Graph.root g, q);
+          origin = Trace.current ();
           attempts = 0;
           next_send = 1;
           acked = false;
@@ -206,20 +215,38 @@ let run ?(plan = Plan.none) ?budget g partition nfa =
       decr r;
       stop := true
     end
-    else begin
+    else
+      Trace.with_span "dist.round" ~attrs:[ ("round", Trace.Int !r) ]
+      @@ fun () ->
+      begin
       rounds := !r;
       (* 1. Site-level events: restarts complete, scheduled crashes fire.
          A crash rolls the site back to its last checkpoint; everything
          since is wasted work that retransmission will replay. *)
       Array.iter
         (fun s ->
-          if s.down_until = !r then incr recoveries;
+          if s.down_until = !r then begin
+            incr recoveries;
+            if Trace.enabled () then
+              Trace.instant "dist.recover" ~lane:(s.id + 1)
+                ~attrs:[ ("site", Trace.Int s.id); ("round", Trace.Int !r) ]
+          end;
           if !r >= s.down_until then
             match Injector.crash_at inj ~site:s.id ~round:!r with
             | None -> ()
             | Some c ->
               incr crashes;
-              wasted := !wasted + (Hashtbl.length s.seen - Hashtbl.length s.ckpt_seen);
+              let rolled_back = Hashtbl.length s.seen - Hashtbl.length s.ckpt_seen in
+              if Trace.enabled () then
+                Trace.instant "dist.crash" ~lane:(s.id + 1)
+                  ~attrs:
+                    [
+                      ("site", Trace.Int s.id);
+                      ("round", Trace.Int !r);
+                      ("down_for", Trace.Int c.Plan.down_for);
+                      ("rolled_back", Trace.Int rolled_back);
+                    ];
+              wasted := !wasted + rolled_back;
               s.seen <- Hashtbl.copy s.ckpt_seen;
               s.answers <- Hashtbl.copy s.ckpt_answers;
               let ob = Hashtbl.create 32 in
@@ -252,7 +279,8 @@ let run ?(plan = Plan.none) ?budget g partition nfa =
           in
           List.iter
             (fun ((dst, u, q), m) ->
-              if m.attempts = 0 then begin
+              let first = m.attempts = 0 in
+              if first then begin
                 if sender < n_sites then incr messages
               end
               else incr retries;
@@ -260,16 +288,55 @@ let run ?(plan = Plan.none) ?budget g partition nfa =
               m.next_send <- !r + backoff_delay plan m.attempts;
               let dsite = sites.(dst) in
               let key = (sender, dst, u, q) in
-              if !r < dsite.down_until then incr dropped
+              (* Trace helpers: a send (or retransmission) is an instant
+                 on the sender's lane, causally parented on the span that
+                 discovered the activation; a successful delivery lands a
+                 flow arrow on the receiver's lane. *)
+              let sender_lane = if sender = n_sites then 0 else sender + 1 in
+              let send_name = if first then "dist.send" else "dist.retransmit" in
+              let base_attrs () =
+                [
+                  ("src", Trace.Int sender);
+                  ("dst", Trace.Int dst);
+                  ("node", Trace.Int u);
+                  ("state", Trace.Int q);
+                  ("attempt", Trace.Int m.attempts);
+                ]
+              in
+              let trace_drop reason =
+                if Trace.enabled () then begin
+                  Trace.instant send_name ~lane:sender_lane ~parent:m.origin
+                    ~attrs:(base_attrs ());
+                  Trace.instant "dist.drop" ~lane:sender_lane ~parent:m.origin
+                    ~attrs:(("reason", Trace.Str reason) :: base_attrs ())
+                end
+              in
+              if !r < dsite.down_until then begin
+                incr dropped;
+                trace_drop "site_down"
+              end
               else
                 match Injector.transmit inj with
-                | Injector.Lost -> incr dropped
+                | Injector.Lost ->
+                  incr dropped;
+                  trace_drop "lost"
                 | Injector.Delivered { duplicated = dup; deferred = defer } ->
                   if defer then dsite.deferred <- (key, m.pair) :: dsite.deferred
                   else dsite.inbox <- (key, m.pair) :: dsite.inbox;
                   if dup then begin
                     incr duplicated;
                     dsite.inbox <- (key, m.pair) :: dsite.inbox
+                  end;
+                  if Trace.enabled () then begin
+                    let f = Trace.new_flow () in
+                    Trace.instant send_name ~lane:sender_lane ~parent:m.origin
+                      ~flow:(f, false) ~attrs:(base_attrs ());
+                    Trace.instant "dist.deliver" ~lane:(dst + 1) ~parent:m.origin
+                      ~flow:(f, true)
+                      ~attrs:(("deferred", Trace.Bool defer) :: base_attrs ());
+                    if dup then
+                      Trace.instant "dist.deliver.dup" ~lane:(dst + 1)
+                        ~parent:m.origin ~attrs:(base_attrs ())
                   end)
             due
         end
@@ -280,7 +347,11 @@ let run ?(plan = Plan.none) ?budget g partition nfa =
       let round_work = Array.make n_sites 0 in
       Array.iter
         (fun s ->
-          if !r >= s.down_until && s.inbox <> [] then begin
+          if !r >= s.down_until && s.inbox <> [] then
+            Trace.with_span "dist.site.expand" ~lane:(s.id + 1)
+              ~attrs:[ ("site", Trace.Int s.id); ("round", Trace.Int !r) ]
+            @@ fun () ->
+            begin
             let arrivals = List.sort compare s.inbox in
             s.inbox <- [];
             let queue = Queue.create () in
@@ -331,6 +402,7 @@ let run ?(plan = Plan.none) ?budget g partition nfa =
                                         src = s.id;
                                         dst = partition.(v);
                                         pair = (v, q'');
+                                        origin = Trace.current ();
                                         attempts = 0;
                                         next_send = !r + 1;
                                         acked = false;
@@ -360,7 +432,15 @@ let run ?(plan = Plan.none) ?budget g partition nfa =
               s.ckpt_seen <- Hashtbl.copy s.seen;
               s.ckpt_answers <- Hashtbl.copy s.answers;
               s.ckpt_outbox <- Hashtbl.fold (fun k m acc -> (k, m) :: acc) s.outbox [];
-              incr checkpoints
+              incr checkpoints;
+              if Trace.enabled () then
+                Trace.instant "dist.checkpoint" ~lane:(s.id + 1)
+                  ~attrs:
+                    [
+                      ("site", Trace.Int s.id);
+                      ("round", Trace.Int !r);
+                      ("seen", Trace.Int (Hashtbl.length s.seen));
+                    ]
             end;
             let ready =
               Hashtbl.fold
@@ -415,6 +495,20 @@ let run ?(plan = Plan.none) ?budget g partition nfa =
   Metrics.add m_crashes !crashes;
   Metrics.add m_recoveries !recoveries;
   Metrics.add m_wasted !wasted;
+  (* Fault statistics as annotations on the dist.run span, mirroring the
+     Metrics counters above so a trace file is self-describing. *)
+  if Trace.enabled () then begin
+    Trace.annotate "sites" (Trace.Int n_sites);
+    Trace.annotate "rounds" (Trace.Int !rounds);
+    Trace.annotate "messages" (Trace.Int !messages);
+    Trace.annotate "retries" (Trace.Int !retries);
+    Trace.annotate "dropped" (Trace.Int !dropped);
+    Trace.annotate "duplicated" (Trace.Int !duplicated);
+    Trace.annotate "crashes" (Trace.Int !crashes);
+    Trace.annotate "recoveries" (Trace.Int !recoveries);
+    Trace.annotate "wasted_work" (Trace.Int !wasted);
+    Trace.annotate "checkpoints" (Trace.Int !checkpoints)
+  end;
   if Budget.exhausted budget <> None then Metrics.incr m_partial;
   ( Budget.wrap budget result,
     {

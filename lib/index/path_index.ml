@@ -1,6 +1,7 @@
 module Label = Ssd.Label
 module Graph = Ssd.Graph
 module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
 
 (* Probe/hit counters (lib/obs): a probe is any [find]; a hit is a probe
    answered by the table (the path occurs in the data and is within the
@@ -18,6 +19,8 @@ module Int_set = Set.Make (Int)
 
 let build ~depth g =
   Metrics.incr m_builds;
+  Trace.with_span "index.path.build" ~attrs:[ ("depth", Trace.Int depth) ]
+  @@ fun () ->
   let table = Hashtbl.create 1024 in
   (* Level-by-level: frontier maps each path of the current length to its
      node set; cycles are harmless because length strictly grows. *)
@@ -50,11 +53,13 @@ let build ~depth g =
 
 let find idx path =
   Metrics.incr m_probes;
+  Trace.bump "index_probes" 1;
   if List.length path > idx.depth then None
   else begin
     match Hashtbl.find_opt idx.table path with
     | Some nodes ->
       Metrics.incr m_hits;
+      Trace.bump "index_hits" 1;
       Some nodes
     | None -> Some []
   end

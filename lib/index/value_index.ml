@@ -16,6 +16,7 @@ end)
 type t = occurrence list Label_tbl.t
 
 module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
 
 (* Probe/hit counters (lib/obs): a probe is any [find]/[find_nodes]/[mem];
    a hit is a probe whose label occurs in the data. *)
@@ -25,6 +26,9 @@ let m_hits = Metrics.counter "index.value.hits"
 
 let build g =
   Metrics.incr m_builds;
+  Trace.with_span "index.value.build"
+    ~attrs:[ ("edges", Trace.Int (Ssd.Graph.n_edges g)) ]
+  @@ fun () ->
   let idx = Label_tbl.create 256 in
   Graph.fold_labeled_edges
     (fun () src l dst ->
@@ -35,9 +39,11 @@ let build g =
 
 let find idx l =
   Metrics.incr m_probes;
+  Trace.bump "index_probes" 1;
   match Label_tbl.find_opt idx l with
   | Some occs ->
     Metrics.incr m_hits;
+    Trace.bump "index_hits" 1;
     occs
   | None -> []
 
@@ -45,8 +51,12 @@ let find_nodes idx l = List.map (fun o -> o.dst) (find idx l)
 
 let mem idx l =
   Metrics.incr m_probes;
+  Trace.bump "index_probes" 1;
   let hit = Label_tbl.mem idx l in
-  if hit then Metrics.incr m_hits;
+  if hit then begin
+    Metrics.incr m_hits;
+    Trace.bump "index_hits" 1
+  end;
   hit
 let n_labels idx = Label_tbl.length idx
 

@@ -177,6 +177,7 @@ let eval ?budget ~db q =
      paths stay exact, so every emitted row is exactly what the
      unbudgeted evaluation would emit for that binding. *)
   let envs =
+    Trace.with_span "lorel.from" @@ fun () ->
     List.fold_left
       (fun envs (p, x) ->
         List.concat_map
@@ -187,9 +188,13 @@ let eval ?budget ~db q =
   let envs =
     match q.where with
     | None -> envs
-    | Some c -> List.filter (fun env -> eval_cond ~db ~env c) envs
+    | Some c ->
+      Trace.with_span "lorel.where" @@ fun () ->
+      List.filter (fun env -> eval_cond ~db ~env c) envs
   in
   Metrics.add m_rows (List.length envs);
+  Trace.annotate "rows" (Trace.Int (List.length envs));
+  Trace.with_span "lorel.select" @@ fun () ->
   let b = Graph.Builder.create () in
   let result_root = Graph.Builder.add_node b in
   Graph.Builder.set_root b result_root;

@@ -1,0 +1,8 @@
+(* The monotonic clock behind every span and timer in lib/obs.
+
+   [Monotonic_clock] is bechamel's clock_gettime(CLOCK_MONOTONIC) stub —
+   the same clock bench/ measures with — so durations can never go
+   negative under wall-clock adjustment (NTP slew, manual set), which
+   [Unix.gettimeofday] could. *)
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())

@@ -1,0 +1,9 @@
+(** Monotonic process clock, in nanoseconds.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] (bechamel's stub, the same
+    clock the benchmarks use), so differences of two readings are always
+    non-negative — unlike [Unix.gettimeofday], which steps backwards under
+    clock adjustment.  The epoch is arbitrary (boot time on Linux); only
+    differences are meaningful. *)
+
+val now_ns : unit -> float

@@ -69,8 +69,8 @@ let record_ns t ns =
   t.t_total_ns <- t.t_total_ns +. ns
 
 let time t f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> record_ns t ((Unix.gettimeofday () -. t0) *. 1e9)) f
+  let t0 = Clock.now_ns () in
+  Fun.protect ~finally:(fun () -> record_ns t (Clock.now_ns () -. t0)) f
 
 let timer_count t = t.t_count
 let timer_total_ns t = t.t_total_ns
@@ -108,6 +108,28 @@ let observe h v =
 
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
+
+(* min/max of an empty histogram as 0 so consumers never see infinities
+   (JSON has no representation for them). *)
+let h_min h = if h.h_count = 0 then 0. else h.h_min
+let h_max h = if h.h_count = 0 then 0. else h.h_max
+
+(* Percentile estimate from the power-of-two buckets: the upper bound of
+   the first bucket whose cumulative count reaches q * count, clamped to
+   the observed [min, max].  Exact for counts and monotone in q. *)
+let percentile h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let rank = q *. float_of_int h.h_count in
+    let k = ref 0 in
+    let cum = ref h.h_buckets.(0) in
+    while float_of_int !cum < rank && !k < 63 do
+      k := !k + 1;
+      cum := !cum + h.h_buckets.(!k)
+    done;
+    let ub = Float.of_int (1 lsl !k) in
+    Float.min (h_max h) (Float.max (h_min h) ub)
+  end
 
 let histogram_buckets h =
   let out = ref [] in
@@ -150,11 +172,6 @@ let partition ?(prefix = "") registry =
   let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
   (by_name !cs, by_name !ts, by_name !hs)
 
-(* min/max of an empty histogram dump as 0 so consumers never see
-   infinities (JSON has no representation for them). *)
-let h_min h = if h.h_count = 0 then 0. else h.h_min
-let h_max h = if h.h_count = 0 then 0. else h.h_max
-
 let counters ?prefix registry =
   let cs, _, _ = partition ?prefix registry in
   List.map (fun (name, c) -> (name, c.c_value)) cs
@@ -189,8 +206,11 @@ let dump_text ?prefix registry =
     List.iter
       (fun (name, h) ->
         Buffer.add_string buf
-          (Printf.sprintf "  %-44s count %-6d sum %-10.0f min %-8.0f max %.0f\n" name
-             h.h_count h.h_sum (h_min h) (h_max h)))
+          (Printf.sprintf
+             "  %-44s count %-6d sum %-10.0f min %-8.0f max %-8.0f p50 %-8.0f \
+              p90 %-8.0f p99 %.0f\n"
+             name h.h_count h.h_sum (h_min h) (h_max h) (percentile h 0.5)
+             (percentile h 0.9) (percentile h 0.99)))
       hs
   end;
   Buffer.contents buf
@@ -217,6 +237,9 @@ let to_json ?prefix registry =
                  ("sum", J.Float h.h_sum);
                  ("min", J.Float (h_min h));
                  ("max", J.Float (h_max h));
+                 ("p50", J.Float (percentile h 0.5));
+                 ("p90", J.Float (percentile h 0.9));
+                 ("p99", J.Float (percentile h 0.99));
                  ( "buckets",
                    J.List
                      (List.map

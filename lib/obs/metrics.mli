@@ -46,8 +46,9 @@ type timer
 
 val timer : ?registry:registry -> string -> timer
 
-(** [time t f] runs [f ()], adding its wall-clock duration to [t] (also
-    on exception). *)
+(** [time t f] runs [f ()], adding its duration to [t] (also on
+    exception).  Measured on the monotonic {!Clock}, so the recorded
+    duration is non-negative even if the wall clock steps. *)
 val time : timer -> (unit -> 'a) -> 'a
 
 (** Record an externally-measured duration, in nanoseconds. *)
@@ -75,6 +76,12 @@ val histogram_sum : histogram -> float
     [2^k >= v]. *)
 val histogram_buckets : histogram -> (float * int) list
 
+(** [percentile h q] (with [q] in [0..1]) estimates the q-th percentile
+    from the buckets: the upper bound of the first bucket reaching the
+    cumulative rank, clamped to the observed min/max.  Monotone in [q];
+    0 on an empty histogram. *)
+val percentile : histogram -> float -> float
+
 (** {1 Registry-wide views} *)
 
 (** All counters as [(name, value)], sorted by name.  [prefix] keeps only
@@ -86,12 +93,16 @@ val counters : ?prefix:string -> registry -> (string * int) list
 val reset : registry -> unit
 
 (** Human-readable dump: counters, then timers, then histograms, each
-    sorted by name, optionally restricted to a name [prefix]. *)
+    section in sorted name order (so dumps are diffable), optionally
+    restricted to a name [prefix].  Histogram lines include p50/p90/p99
+    summaries. *)
 val dump_text : ?prefix:string -> registry -> string
 
 (** The registry as a JSON document
     [{"counters": {...}, "timers": {...}, "histograms": {...}}] — the
-    machine-readable form checked by the [ssdql --stats] smoke test. *)
+    machine-readable form checked by the [ssdql --stats] smoke test.
+    Instruments appear in sorted name order; histograms carry
+    [p50]/[p90]/[p99] fields. *)
 val to_json : ?prefix:string -> registry -> Ssd.Json.t
 
 val dump_json : ?prefix:string -> registry -> string

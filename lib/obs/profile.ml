@@ -1,0 +1,98 @@
+(* Operator profiler over the trace span stream: per-name inclusive and
+   exclusive time, rendered as a sorted flame table. *)
+
+type row = {
+  name : string;
+  count : int;
+  inclusive_ns : float;
+  exclusive_ns : float;
+}
+
+type acc = {
+  mutable a_count : int;
+  mutable a_incl : float;
+  mutable a_excl : float;
+}
+
+let of_spans roots =
+  let tbl : (string, acc) Hashtbl.t = Hashtbl.create 32 in
+  let get name =
+    match Hashtbl.find_opt tbl name with
+    | Some a -> a
+    | None ->
+      let a = { a_count = 0; a_incl = 0.; a_excl = 0. } in
+      Hashtbl.add tbl name a;
+      a
+  in
+  (* Inclusive time only counts spans with no same-named ancestor, so a
+     recursive operator is not double-billed; exclusive time is each
+     span's duration minus its direct children's. *)
+  let rec walk ancestors (s : Trace.span) =
+    let a = get s.Trace.name in
+    a.a_count <- a.a_count + 1;
+    if not (List.mem s.Trace.name ancestors) then
+      a.a_incl <- a.a_incl +. s.Trace.dur_ns;
+    let child_total =
+      List.fold_left (fun t c -> t +. c.Trace.dur_ns) 0. s.Trace.children
+    in
+    a.a_excl <- a.a_excl +. Float.max 0. (s.Trace.dur_ns -. child_total);
+    List.iter (walk (s.Trace.name :: ancestors)) s.Trace.children
+  in
+  List.iter (walk []) roots;
+  Hashtbl.fold
+    (fun name a acc ->
+      { name; count = a.a_count; inclusive_ns = a.a_incl; exclusive_ns = a.a_excl }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match compare b.exclusive_ns a.exclusive_ns with
+         | 0 -> String.compare a.name b.name
+         | c -> c)
+
+let total_ns roots = List.fold_left (fun t s -> t +. s.Trace.dur_ns) 0. roots
+
+let ns_pretty = Trace.ns_pretty
+
+let render ?total rows =
+  let total =
+    match total with
+    | Some t -> t
+    | None -> List.fold_left (fun t r -> t +. r.exclusive_ns) 0. rows
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %8s %12s %12s %7s\n" "operator" "count" "inclusive"
+       "exclusive" "excl%");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s %8d %12s %12s %6.1f%%\n" r.name r.count
+           (ns_pretty r.inclusive_ns) (ns_pretty r.exclusive_ns)
+           (if total > 0. then 100. *. r.exclusive_ns /. total else 0.)))
+    rows;
+  Buffer.add_string buf (Printf.sprintf "total (roots): %s\n" (ns_pretty total));
+  Buffer.contents buf
+
+let to_json ?total rows =
+  let module J = Ssd.Json in
+  let total =
+    match total with
+    | Some t -> t
+    | None -> List.fold_left (fun t r -> t +. r.exclusive_ns) 0. rows
+  in
+  J.Obj
+    [
+      ("total_ns", J.Float total);
+      ( "rows",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("name", J.String r.name);
+                   ("count", J.Int r.count);
+                   ("inclusive_ns", J.Float r.inclusive_ns);
+                   ("exclusive_ns", J.Float r.exclusive_ns);
+                 ])
+             rows) );
+    ]

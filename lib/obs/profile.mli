@@ -1,0 +1,31 @@
+(** Operator profiler: per-operator inclusive/exclusive time aggregated
+    from the {!Trace} span stream — what [ssdql profile] prints.
+
+    Inclusive time of an operator name sums the durations of its spans
+    that have no same-named ancestor (recursion is billed once);
+    exclusive time sums each span's duration minus its direct children's.
+    Exclusive times therefore partition the traced wall-clock: summed
+    over all operators they equal the root spans' total. *)
+
+type row = {
+  name : string;
+  count : int;
+  inclusive_ns : float;
+  exclusive_ns : float;
+}
+
+(** Aggregate a span forest into rows, sorted by exclusive time
+    (descending, ties by name). *)
+val of_spans : Trace.span list -> row list
+
+(** Total duration of the root spans (the traced wall-clock). *)
+val total_ns : Trace.span list -> float
+
+(** Sorted flame table in text.  [total] (default: sum of exclusive
+    times) is the denominator of the [excl%] column. *)
+val render : ?total:float -> row list -> string
+
+(** The same table as JSON:
+    [{"total_ns": ..., "rows": [{"name", "count", "inclusive_ns",
+    "exclusive_ns"}, ...]}]. *)
+val to_json : ?total:float -> row list -> Ssd.Json.t

@@ -1,49 +1,178 @@
+(* Structured trace events: spans with stable ids, parent ids, lanes and
+   typed annotations, plus instant events with optional flow links.  The
+   collector is process-global; everything is disabled-by-default and
+   costs one ref read per instrumentation point when off. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+(* A span under construction.  [dur_ns < 0] means still open. *)
 type node = {
+  n_id : int;
+  n_parent : int; (* 0 = root *)
   n_name : string;
+  n_lane : int;
+  n_start_ns : float;
   mutable n_dur_ns : float;
-  mutable n_children : node list; (* reverse execution order *)
+  mutable n_attrs : (string * value) list; (* reverse insertion order *)
+}
+
+type instant = {
+  i_name : string;
+  i_lane : int;
+  i_parent : int; (* causal origin span id; 0 = none *)
+  i_ts_ns : float;
+  i_flow : int; (* flow-link id; 0 = none *)
+  i_flow_end : bool; (* false: flow starts here; true: it ends here *)
+  i_attrs : (string * value) list;
 }
 
 type span = {
+  id : int;
+  parent : int;
   name : string;
+  lane : int;
+  start_ns : float;
   dur_ns : float;
-  children : span list;
+  attrs : (string * value) list;
+  children : span list; (* in execution order *)
 }
 
 let flag = ref false
-let roots : node list ref = ref [] (* reverse execution order *)
+let nodes : node list ref = ref [] (* reverse start order *)
+let insts : instant list ref = ref [] (* reverse emission order *)
 let stack : node list ref = ref []
+let next_id = ref 1
+let next_flow_id = ref 1
+let lane_names : (int, string) Hashtbl.t = Hashtbl.create 8
 
 let enable () = flag := true
 let disable () = flag := false
 let enabled () = !flag
 
 let clear () =
-  roots := [];
-  stack := []
+  nodes := [];
+  insts := [];
+  stack := [];
+  next_id := 1;
+  next_flow_id := 1;
+  Hashtbl.reset lane_names
 
-let with_span name f =
+let current () =
+  match !stack with
+  | n :: _ -> n.n_id
+  | [] -> 0
+
+let name_lane lane name = if !flag then Hashtbl.replace lane_names lane name
+
+let new_flow () =
+  let f = !next_flow_id in
+  incr next_flow_id;
+  f
+
+let with_span ?(lane = 0) ?(attrs = []) name f =
   if not !flag then f ()
   else begin
-    let n = { n_name = name; n_dur_ns = 0.; n_children = [] } in
-    (match !stack with
-     | parent :: _ -> parent.n_children <- n :: parent.n_children
-     | [] -> roots := n :: !roots);
+    let id = !next_id in
+    incr next_id;
+    let n =
+      {
+        n_id = id;
+        n_parent = current ();
+        n_name = name;
+        n_lane = lane;
+        n_start_ns = Clock.now_ns ();
+        n_dur_ns = -1.;
+        n_attrs = List.rev attrs;
+      }
+    in
+    nodes := n :: !nodes;
     stack := n :: !stack;
-    let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
-        n.n_dur_ns <- (Unix.gettimeofday () -. t0) *. 1e9;
+        n.n_dur_ns <- Float.max 0. (Clock.now_ns () -. n.n_start_ns);
         match !stack with
         | top :: rest when top == n -> stack := rest
         | _ -> () (* unbalanced exit; leave the stack as-is *))
       f
   end
 
-let rec freeze n =
-  { name = n.n_name; dur_ns = n.n_dur_ns; children = List.rev_map freeze n.n_children }
+let annotate key v =
+  if !flag then
+    match !stack with
+    | n :: _ -> n.n_attrs <- (key, v) :: List.remove_assoc key n.n_attrs
+    | [] -> ()
 
-let spans () = List.rev_map freeze !roots
+let bump key d =
+  if !flag then
+    match !stack with
+    | n :: _ ->
+      let prev = match List.assoc_opt key n.n_attrs with Some (Int i) -> i | _ -> 0 in
+      n.n_attrs <- (key, Int (prev + d)) :: List.remove_assoc key n.n_attrs
+    | [] -> ()
+
+let instant ?(lane = 0) ?parent ?flow ?(attrs = []) name =
+  if !flag then begin
+    let parent = match parent with Some p -> p | None -> current () in
+    let flow_id, flow_end = match flow with Some (f, e) -> (f, e) | None -> (0, false) in
+    insts :=
+      {
+        i_name = name;
+        i_lane = lane;
+        i_parent = parent;
+        i_ts_ns = Clock.now_ns ();
+        i_flow = flow_id;
+        i_flow_end = flow_end;
+        i_attrs = attrs;
+      }
+      :: !insts
+  end
+
+let instants () = List.rev !insts
+
+(* ------------------------------------------------------------------ *)
+(* Frozen views                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Duration of a node for export: a still-open span (spans () called
+   from inside a traced thunk) reads as "elapsed so far". *)
+let node_dur n = if n.n_dur_ns >= 0. then n.n_dur_ns else Float.max 0. (Clock.now_ns () -. n.n_start_ns)
+
+let spans () =
+  let ordered = List.rev !nodes in
+  (* children of each id, in execution order *)
+  let kids : (int, node list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let cell =
+        match Hashtbl.find_opt kids n.n_parent with
+        | Some c -> c
+        | None ->
+          let c = ref [] in
+          Hashtbl.add kids n.n_parent c;
+          c
+      in
+      cell := n :: !cell)
+    ordered;
+  let children_of id =
+    match Hashtbl.find_opt kids id with Some c -> List.rev !c | None -> []
+  in
+  let rec freeze n =
+    {
+      id = n.n_id;
+      parent = n.n_parent;
+      name = n.n_name;
+      lane = n.n_lane;
+      start_ns = n.n_start_ns;
+      dur_ns = node_dur n;
+      attrs = List.rev n.n_attrs;
+      children = List.map freeze (children_of n.n_id);
+    }
+  in
+  List.map freeze (children_of 0)
 
 let ns_pretty ns =
   if ns < 1e3 then Printf.sprintf "%.0fns" ns
@@ -51,14 +180,148 @@ let ns_pretty ns =
   else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
   else Printf.sprintf "%.2fs" (ns /. 1e9)
 
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
 let render () =
   let buf = Buffer.create 256 in
   let rec go depth s =
+    let attrs =
+      match s.attrs with
+      | [] -> ""
+      | kvs ->
+        "  ["
+        ^ String.concat ", "
+            (List.map (fun (k, v) -> k ^ "=" ^ value_to_string v) kvs)
+        ^ "]"
+    in
     Buffer.add_string buf
-      (Printf.sprintf "%s%-*s %s\n" (String.make (2 * depth) ' ')
+      (Printf.sprintf "%s%-*s %s%s\n" (String.make (2 * depth) ' ')
          (max 1 (40 - (2 * depth)))
-         s.name (ns_pretty s.dur_ns));
+         s.name (ns_pretty s.dur_ns) attrs);
     List.iter (go (depth + 1)) s.children
   in
   List.iter (go 0) (spans ());
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event ("catapult") export                              *)
+(* ------------------------------------------------------------------ *)
+
+let value_to_json = function
+  | Int i -> Ssd.Json.Int i
+  | Float f -> Ssd.Json.Float f
+  | Str s -> Ssd.Json.String s
+  | Bool b -> Ssd.Json.Bool b
+
+(* The earliest timestamp becomes ts = 0 so files are small and stable
+   under the arbitrary monotonic epoch. *)
+let epoch_ns () =
+  let t0 =
+    List.fold_left (fun acc n -> Float.min acc n.n_start_ns) infinity !nodes
+  in
+  let t0 = List.fold_left (fun acc i -> Float.min acc i.i_ts_ns) t0 !insts in
+  if t0 = infinity then 0. else t0
+
+let to_chrome () =
+  let module J = Ssd.Json in
+  let t0 = epoch_ns () in
+  let us t = J.Float ((t -. t0) /. 1e3) in
+  let cat name =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  (* Lane (thread) names, as metadata events. *)
+  Hashtbl.fold (fun lane name acc -> (lane, name) :: acc) lane_names []
+  |> List.sort compare
+  |> List.iter (fun (lane, name) ->
+         emit
+           (J.Obj
+              [
+                ("name", J.String "thread_name");
+                ("ph", J.String "M");
+                ("pid", J.Int 1);
+                ("tid", J.Int lane);
+                ("args", J.Obj [ ("name", J.String name) ]);
+              ]));
+  (* Spans, depth-first: B ... children ... E, so the event list is
+     well-nested per lane by construction. *)
+  let rec span s =
+    let args =
+      ("span_id", J.Int s.id)
+      :: ("parent_id", J.Int s.parent)
+      :: List.map (fun (k, v) -> (k, value_to_json v)) s.attrs
+    in
+    emit
+      (J.Obj
+         [
+           ("name", J.String s.name);
+           ("cat", J.String (cat s.name));
+           ("ph", J.String "B");
+           ("ts", us s.start_ns);
+           ("pid", J.Int 1);
+           ("tid", J.Int s.lane);
+           ("args", J.Obj args);
+         ]);
+    List.iter span s.children;
+    emit
+      (J.Obj
+         [
+           ("name", J.String s.name);
+           ("cat", J.String (cat s.name));
+           ("ph", J.String "E");
+           ("ts", us (s.start_ns +. s.dur_ns));
+           ("pid", J.Int 1);
+           ("tid", J.Int s.lane);
+         ])
+  in
+  List.iter span (spans ());
+  (* Instants, with flow arrows for causal links across lanes. *)
+  List.iter
+    (fun i ->
+      emit
+        (J.Obj
+           [
+             ("name", J.String i.i_name);
+             ("cat", J.String (cat i.i_name));
+             ("ph", J.String "i");
+             ("s", J.String "t");
+             ("ts", us i.i_ts_ns);
+             ("pid", J.Int 1);
+             ("tid", J.Int i.i_lane);
+             ( "args",
+               J.Obj
+                 (("parent_id", J.Int i.i_parent)
+                 :: List.map (fun (k, v) -> (k, value_to_json v)) i.i_attrs) );
+           ]);
+      if i.i_flow <> 0 then
+        emit
+          (J.Obj
+             ([
+                ("name", J.String "msg");
+                ("cat", J.String "flow");
+                ("ph", J.String (if i.i_flow_end then "f" else "s"));
+                ("id", J.Int i.i_flow);
+                ("ts", us i.i_ts_ns);
+                ("pid", J.Int 1);
+                ("tid", J.Int i.i_lane);
+              ]
+             @ if i.i_flow_end then [ ("bp", J.String "e") ] else [])))
+    (instants ());
+  J.Obj
+    [
+      ("traceEvents", J.List (List.rev !events));
+      ("displayTimeUnit", J.String "ms");
+    ]
+
+let write_chrome path =
+  let oc = open_out_bin path in
+  output_string oc (Ssd.Json.to_string (to_chrome ()));
+  output_char oc '\n';
+  close_out oc

@@ -1,34 +1,111 @@
-(** Lightweight execution tracing: nested, named, timed spans.
+(** Structured execution tracing: span {e events} with stable ids, parent
+    ids, per-site lanes and typed annotations, plus instant events with
+    causal links — exportable as Chrome trace-event ("catapult") JSON
+    loadable in [chrome://tracing] / Perfetto.
 
     Complements {!Metrics} (aggregates) with per-execution structure:
-    when enabled, instrumented code wraps its phases in {!with_span} and
-    the collector records a forest of (name, duration) spans — what
-    [ssdql query --trace] prints.
+    instrumented code wraps its phases in {!with_span}, attaches typed
+    annotations (counter deltas, bytes, cache hit/miss) with {!annotate} /
+    {!bump}, and marks point events (message sends, retransmissions,
+    crashes) with {!instant}.  Cross-activation causality is explicit:
+    {!current} exposes the innermost open span's id, which a message can
+    carry to another "site" so the eventual delivery is recorded as a
+    causally-linked child of the originating span ({!instant}'s [?parent])
+    — and a flow link ({!new_flow}) draws the arrow between lanes in the
+    trace viewer.
 
-    Disabled by default; [with_span] then costs one ref read and calls
-    its thunk directly.  The collector is process-global, like
-    {!Metrics.default}. *)
+    Disabled by default; every entry point then costs one ref read.  The
+    collector is process-global, like {!Metrics.default}.  All timestamps
+    come from the monotonic {!Clock}, so durations are never negative. *)
 
 val enable : unit -> unit
 val disable : unit -> unit
 val enabled : unit -> bool
 
-(** Drop all recorded spans (keeps the enabled flag). *)
+(** Drop all recorded events and reset ids (keeps the enabled flag). *)
 val clear : unit -> unit
+
+(** Typed annotation values. *)
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
 
 (** [with_span name f] runs [f ()]; when tracing is enabled, records a
     span named [name] (child of the innermost active span, or a root)
-    with [f]'s wall-clock duration, also on exception. *)
-val with_span : string -> (unit -> 'a) -> 'a
+    with [f]'s monotonic-clock duration, also on exception.  [lane] is
+    the Chrome "thread" the span renders in (default 0, the main lane);
+    [attrs] seeds its annotations. *)
+val with_span : ?lane:int -> ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+
+(** Id of the innermost open span, or 0 when none (or tracing is off).
+    Carry this across an activation boundary to link the far side back. *)
+val current : unit -> int
+
+(** Attach (or overwrite) an annotation on the innermost open span. *)
+val annotate : string -> value -> unit
+
+(** Add [d] to an integer annotation on the innermost open span
+    (creating it at 0) — for counter deltas like page hits/misses. *)
+val bump : string -> int -> unit
+
+(** Fresh flow-link id, for tying an {!instant} pair across lanes. *)
+val new_flow : unit -> int
+
+(** [instant name] records a point event.  [parent] is the causal origin
+    span id (defaults to {!current}); [flow = (id, false)] starts a flow
+    arrow here and [(id, true)] lands it. *)
+val instant :
+  ?lane:int -> ?parent:int -> ?flow:int * bool -> ?attrs:(string * value) list ->
+  string -> unit
+
+(** Name a lane (rendered as the Chrome thread name, e.g. "site 3"). *)
+val name_lane : int -> string -> unit
+
+(** {1 Frozen views} *)
 
 type span = {
+  id : int;
+  parent : int; (** 0 = root *)
   name : string;
+  lane : int;
+  start_ns : float;
   dur_ns : float;
+  attrs : (string * value) list; (** in insertion order *)
   children : span list; (** in execution order *)
 }
 
 (** Completed root spans, in execution order. *)
 val spans : unit -> span list
 
-(** Indented textual rendering of {!spans}. *)
+type instant = {
+  i_name : string;
+  i_lane : int;
+  i_parent : int;
+  i_ts_ns : float;
+  i_flow : int;
+  i_flow_end : bool;
+  i_attrs : (string * value) list;
+}
+
+(** Recorded instant events, in emission order. *)
+val instants : unit -> instant list
+
+(** Indented textual rendering of {!spans} (what [ssdql --trace] prints). *)
 val render : unit -> string
+
+(** Human duration formatting ("1.5us", "2.30ms", ...), shared with
+    {!Profile}'s table rendering. *)
+val ns_pretty : float -> string
+
+(** {1 Chrome trace-event export}
+
+    The whole event stream as a catapult JSON document:
+    [{"traceEvents": [...]}] with ["B"]/["E"] span pairs (well-nested per
+    lane), ["i"] instants carrying [parent_id] args, ["s"]/["f"] flow
+    pairs, and ["M"] thread-name metadata.  Timestamps are microseconds
+    from the earliest recorded event. *)
+val to_chrome : unit -> Ssd.Json.t
+
+val write_chrome : string -> unit

@@ -611,8 +611,11 @@ let eval ?budget ~edb program =
   let facts = facts_of_edb edb in
   let set_of = facts_get facts in
   (try
-     List.iter
-       (fun rules ->
+     List.iteri
+       (fun stratum rules ->
+      Trace.with_span "datalog.stratum"
+        ~attrs:[ ("stratum", Trace.Int stratum); ("rules", Trace.Int (List.length rules)) ]
+      @@ fun () ->
       let stratum_preds =
         List.map (fun r -> r.head.pred) rules |> List.sort_uniq String.compare
       in
@@ -638,7 +641,8 @@ let eval ?budget ~edb program =
         let total = Hashtbl.fold (fun _ d acc -> acc + set_size d) deltas 0 in
         if total > 0 then begin
           Metrics.add m_delta total;
-          Metrics.observe h_delta (float_of_int total)
+          Metrics.observe h_delta (float_of_int total);
+          Trace.bump "delta_tuples" total
         end
       in
       record_deltas ();
@@ -649,6 +653,7 @@ let eval ?budget ~edb program =
       in
       while any_delta () do
         Metrics.incr m_rounds;
+        Trace.bump "rounds" 1;
         let new_deltas = Hashtbl.create 8 in
         List.iter (fun p -> Hashtbl.replace new_deltas p (set_create ())) stratum_preds;
         List.iter

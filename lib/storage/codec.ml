@@ -1,5 +1,13 @@
 module Graph = Ssd.Graph
 module Label = Ssd.Label
+module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
+
+(* Codec instrumentation (lib/obs): total bytes through each direction. *)
+let m_encodes = Metrics.counter "codec.encodes"
+let m_decodes = Metrics.counter "codec.decodes"
+let m_bytes_out = Metrics.counter "codec.bytes_encoded"
+let m_bytes_in = Metrics.counter "codec.bytes_decoded"
 
 (* ------------------------------------------------------------------ *)
 (* Varints (LEB128, unsigned)                                          *)
@@ -103,6 +111,8 @@ let get_string r =
 let magic = "SSD1"
 
 let encode g =
+  Metrics.incr m_encodes;
+  Trace.with_span "codec.encode" @@ fun () ->
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
   let n = Graph.n_nodes g in
@@ -156,9 +166,16 @@ let encode g =
         put_varint buf v)
       es
   done;
+  Metrics.add m_bytes_out (Buffer.length buf);
+  Trace.annotate "bytes" (Trace.Int (Buffer.length buf));
   Buffer.to_bytes buf
 
 let decode data =
+  Metrics.incr m_decodes;
+  Metrics.add m_bytes_in (Bytes.length data);
+  Trace.with_span "codec.decode"
+    ~attrs:[ ("bytes", Trace.Int (Bytes.length data)) ]
+  @@ fun () ->
   if Bytes.length data < 4 || Bytes.sub_string data 0 4 <> magic then
     corrupt ~offset:0 ~expected:"magic \"SSD1\""
       ~found:

@@ -1,4 +1,12 @@
 module Graph = Ssd.Graph
+module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
+
+(* Buffer-pool instrumentation (lib/obs): an access is one node touch in
+   [replay]; a hit found its page resident, a miss faulted it in. *)
+let m_accesses = Metrics.counter "pager.accesses"
+let m_hits = Metrics.counter "pager.page_hits"
+let m_misses = Metrics.counter "pager.page_misses"
 
 type clustering =
   | Insertion
@@ -86,6 +94,13 @@ let layout clustering ~page_capacity g =
   if page_capacity <= 0 then
     Ssd_diag.error ~code:"SSD542" "Pager.layout: page_capacity must be positive (got %d)"
       page_capacity;
+  Trace.with_span "pager.layout"
+    ~attrs:
+      [
+        ("clustering", Trace.Str (clustering_name clustering));
+        ("page_capacity", Trace.Int page_capacity);
+      ]
+  @@ fun () ->
   let order = order_of clustering g in
   let n = Array.length order in
   let page = Array.make n 0 in
@@ -104,6 +119,8 @@ let replay t ~buffer_pages accesses =
   if buffer_pages <= 0 then
     Ssd_diag.error ~code:"SSD542" "Pager.replay: buffer_pages must be positive (got %d)"
       buffer_pages;
+  Trace.with_span "pager.replay" ~attrs:[ ("buffer_pages", Trace.Int buffer_pages) ]
+  @@ fun () ->
   (* LRU: page -> last-use tick; eviction scans the (small) buffer. *)
   let cache = Hashtbl.create (2 * buffer_pages) in
   let tick = ref 0 in
@@ -114,9 +131,13 @@ let replay t ~buffer_pages accesses =
       incr n_accesses;
       incr tick;
       let p = t.page.(node) in
-      if Hashtbl.mem cache p then Hashtbl.replace cache p !tick
+      if Hashtbl.mem cache p then begin
+        Metrics.incr m_hits;
+        Hashtbl.replace cache p !tick
+      end
       else begin
         incr faults;
+        Metrics.incr m_misses;
         if Hashtbl.length cache >= buffer_pages then begin
           let victim = ref (-1) and oldest = ref max_int in
           Hashtbl.iter
@@ -131,6 +152,11 @@ let replay t ~buffer_pages accesses =
         Hashtbl.add cache p !tick
       end)
     accesses;
+  Metrics.add m_accesses !n_accesses;
+  if Trace.enabled () then begin
+    Trace.bump "page_hits" (!n_accesses - !faults);
+    Trace.bump "page_misses" !faults
+  end;
   { accesses = !n_accesses; faults = !faults }
 
 let random_walks ~seed ~n_walks ~depth g =

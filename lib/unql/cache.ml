@@ -153,17 +153,21 @@ let query_fingerprint q =
 let key_of ~db q = { qtext = query_text q; fp = fingerprint db }
 
 let eval ?(options = Eval.default_options) ~cache ~db q =
-  let key = Trace.with_span "cache.key" (fun () -> key_of ~db q) in
+  let key = Trace.with_span "unql.cache.key" (fun () -> key_of ~db q) in
   match Hashtbl.find_opt cache.table key with
   | Some e ->
     touch cache e;
     cache.hits <- cache.hits + 1;
     Metrics.incr m_hits;
+    Trace.bump "cache_hits" 1;
     e.result
   | None ->
     cache.misses <- cache.misses + 1;
     Metrics.incr m_misses;
-    let result = Trace.with_span "cache.fill" (fun () -> Eval.eval ~options ~db q) in
+    Trace.bump "cache_misses" 1;
+    let result =
+      Trace.with_span "unql.cache.fill" (fun () -> Eval.eval ~options ~db q)
+    in
     if Hashtbl.length cache.table >= cache.cache_capacity then evict_lru cache;
     let e = { result; tick = 0 } in
     touch cache e;

@@ -479,13 +479,18 @@ let eval ?(options = default_options) ?budget ~db q =
   Metrics.time t_eval (fun () ->
       Trace.with_span "unql.eval" (fun () ->
           let st = Store.create () in
-          let db_node = Trace.with_span "import" (fun () -> Store.import st db) in
+          let db_node =
+            Trace.with_span "unql.eval.import" (fun () -> Store.import st db)
+          in
           let ctx =
             { st; db; db_node; opts = options; nfa_cache = Hashtbl.create 8; budget }
           in
           let env = { vars = Env.empty; funs = Env.empty } in
-          let root = Trace.with_span "eval_expr" (fun () -> eval_expr ctx env q) in
-          Trace.with_span "snapshot" (fun () -> Graph.gc (Store.to_graph st ~root))))
+          let root =
+            Trace.with_span "unql.eval.expr" (fun () -> eval_expr ctx env q)
+          in
+          Trace.with_span "unql.eval.snapshot" (fun () ->
+              Graph.gc (Store.to_graph st ~root))))
 
 let eval_outcome ?options ~budget ~db q = Budget.wrap budget (eval ?options ~budget ~db q)
 

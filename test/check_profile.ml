@@ -1,0 +1,89 @@
+(* Golden-ish check of `ssdql profile --format json` on the Figure 1
+   movies workload.  Timings are nondeterministic, so it validates the
+   structure instead: the exact operator set the standard select query
+   exercises, each entered exactly once, with internally consistent
+   inclusive/exclusive times. *)
+
+module J = Ssd.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_profile: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+      prerr_endline "usage: check_profile PROFILE.json";
+      exit 2
+  in
+  let doc = try J.parse (read_file path) with e -> fail "%s" (Printexc.to_string e) in
+  let field name kvs = List.assoc_opt name kvs in
+  let num = function
+    | Some (J.Float f) -> f
+    | Some (J.Int i) -> float_of_int i
+    | _ -> fail "expected a number"
+  in
+  let total, rows =
+    match doc with
+    | J.Obj kvs -> (
+      match (field "total_ns" kvs, field "rows" kvs) with
+      | total, Some (J.List rows) -> (num total, rows)
+      | _ -> fail "missing total_ns / rows")
+    | _ -> fail "document is not an object"
+  in
+  if total <= 0. then fail "total_ns is not positive";
+  let parsed =
+    List.map
+      (function
+        | J.Obj kvs ->
+          let name =
+            match field "name" kvs with
+            | Some (J.String s) -> s
+            | _ -> fail "row without name"
+          in
+          let count =
+            match field "count" kvs with Some (J.Int c) -> c | _ -> fail "row without count"
+          in
+          (name, count, num (field "inclusive_ns" kvs), num (field "exclusive_ns" kvs))
+        | _ -> fail "row is not an object")
+      rows
+  in
+  List.iter
+    (fun (name, count, incl, excl) ->
+      if count < 1 then fail "%s: count %d < 1" name count;
+      if excl < 0. then fail "%s: negative exclusive time" name;
+      if excl > incl +. 1. then fail "%s: exclusive exceeds inclusive" name)
+    parsed;
+  (* The golden part: this query walks exactly these operators, once. *)
+  let expected =
+    [ "unql.eval"; "unql.eval.expr"; "unql.eval.import"; "unql.eval.snapshot" ]
+  in
+  let names = List.sort compare (List.map (fun (n, _, _, _) -> n) parsed) in
+  if names <> expected then
+    fail "operator set mismatch: got [%s]" (String.concat "; " names);
+  List.iter
+    (fun (name, count, _, _) ->
+      if count <> 1 then fail "%s: expected count 1, got %d" name count)
+    parsed;
+  (* The root operator's inclusive time is the whole traced wall-clock. *)
+  let root_incl =
+    List.find_map
+      (fun (n, _, incl, _) -> if n = "unql.eval" then Some incl else None)
+      parsed
+  in
+  (match root_incl with
+  | Some incl when Float.abs (incl -. total) <= 1. -> ()
+  | Some incl -> fail "root inclusive %.0f != total %.0f" incl total
+  | None -> fail "no unql.eval row");
+  (* Exclusive times partition the total. *)
+  let excl_sum = List.fold_left (fun t (_, _, _, e) -> t +. e) 0. parsed in
+  if Float.abs (excl_sum -. total) > 16. then
+    fail "exclusive sum %.0f != total %.0f" excl_sum total;
+  Printf.printf "check_profile: ok (%d operators, total %.0fns)\n"
+    (List.length parsed) total

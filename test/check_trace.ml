@@ -1,0 +1,122 @@
+(* Validates a Chrome trace-event JSON file written by
+   `ssdql query --trace-out` / `ssdql dist --trace-out`: it must parse,
+   every "B" must be closed by a matching "E" on its (pid, tid) lane,
+   timestamps must be nonnegative, and flow arrows must pair up.  The
+   mode argument adds content checks: a "query" trace must contain
+   unql.* operator spans; a "dist" trace (produced under a faulty plan)
+   must show first sends, retransmissions and cross-lane deliveries. *)
+
+module J = Ssd.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_trace: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let str_field name = function
+  | J.Obj kvs -> (
+    match List.assoc_opt name kvs with Some (J.String s) -> Some s | _ -> None)
+  | _ -> None
+
+let num_field name = function
+  | J.Obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some (J.Float f) -> Some f
+    | Some (J.Int i) -> Some (float_of_int i)
+    | _ -> None)
+  | _ -> None
+
+let () =
+  let mode, path =
+    match Sys.argv with
+    | [| _; mode; path |] -> (mode, path)
+    | _ ->
+      prerr_endline "usage: check_trace (query|dist) TRACE.json";
+      exit 2
+  in
+  let doc = try J.parse (read_file path) with e -> fail "%s" (Printexc.to_string e) in
+  let events =
+    match doc with
+    | J.Obj kvs -> (
+      match List.assoc_opt "traceEvents" kvs with
+      | Some (J.List evs) -> evs
+      | _ -> fail "missing traceEvents array")
+    | _ -> fail "document is not an object"
+  in
+  if events = [] then fail "trace is empty";
+  (* B/E stack discipline per lane *)
+  let stacks : (int * int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack_of ev =
+    let pid = int_of_float (Option.value ~default:0. (num_field "pid" ev)) in
+    let tid = int_of_float (Option.value ~default:0. (num_field "tid" ev)) in
+    match Hashtbl.find_opt stacks (pid, tid) with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks (pid, tid) s;
+      s
+  in
+  let flows : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      (match num_field "ts" ev with
+      | Some ts when ts < 0. -> fail "negative timestamp"
+      | Some _ -> ()
+      | None -> if str_field "ph" ev <> Some "M" then fail "event without ts");
+      match str_field "ph" ev with
+      | Some "B" ->
+        let s = stack_of ev in
+        s := Option.value ~default:"?" (str_field "name" ev) :: !s
+      | Some "E" -> (
+        let s = stack_of ev in
+        match !s with
+        | top :: rest when Some top = str_field "name" ev -> s := rest
+        | top :: _ ->
+          fail "E %s closes B %s"
+            (Option.value ~default:"?" (str_field "name" ev))
+            top
+        | [] -> fail "E without open B")
+      | Some ("s" | "f") ->
+        let id = int_of_float (Option.value ~default:0. (num_field "id" ev)) in
+        let st, en = Option.value ~default:(0, 0) (Hashtbl.find_opt flows id) in
+        if str_field "ph" ev = Some "s" then Hashtbl.replace flows id (st + 1, en)
+        else begin
+          if st = 0 then fail "flow %d finishes before it starts" id;
+          Hashtbl.replace flows id (st, en + 1)
+        end
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun (pid, tid) s ->
+      if !s <> [] then fail "lane (%d,%d) left %d spans open" pid tid (List.length !s))
+    stacks;
+  Hashtbl.iter
+    (fun id (st, en) ->
+      if st <> 1 || en <> 1 then fail "flow %d has %d starts / %d finishes" id st en)
+    flows;
+  let count name =
+    List.length (List.filter (fun ev -> str_field "name" ev = Some name) events)
+  in
+  (match mode with
+  | "query" ->
+    let unql =
+      List.exists
+        (fun ev ->
+          match str_field "name" ev with
+          | Some n -> String.length n >= 5 && String.sub n 0 5 = "unql."
+          | None -> false)
+        events
+    in
+    if not unql then fail "query trace has no unql.* spans"
+  | "dist" ->
+    if count "dist.send" = 0 then fail "dist trace has no first sends";
+    if count "dist.retransmit" = 0 then
+      fail "faulty dist trace has no retransmissions";
+    if count "dist.deliver" = 0 then fail "dist trace has no deliveries";
+    if Hashtbl.length flows = 0 then fail "dist trace has no flow arrows"
+  | m -> fail "unknown mode %s" m);
+  Printf.printf "check_trace: %s ok (%d events, %d flows)\n" mode
+    (List.length events) (Hashtbl.length flows)

@@ -100,6 +100,32 @@ let total_loss_stalls () =
   | Budget.Partial (_, _), _ -> Alcotest.fail "wrong exhaustion reason"
   | Budget.Complete _, _ -> Alcotest.fail "completed without any message delivery"
 
+(* Satellite of the tracing work: a faulty run's trace must contain
+   retransmission events, a fault-free run's must contain none — the two
+   are distinguishable in the exported timeline. *)
+let traces_show_retransmissions () =
+  let module Trace = Ssd_obs.Trace in
+  let g = Ssd_workload.Webgraph.generate ~n_pages:300 () in
+  let nfa = Nfa.of_string "host.page.(link)*.title._" in
+  let partition = Decompose.partition_bfs ~k:4 g in
+  let count name =
+    List.length
+      (List.filter (fun i -> i.Trace.i_name = name) (Trace.instants ()))
+  in
+  Trace.enable ();
+  Trace.clear ();
+  ignore (Decompose.run g partition nfa);
+  let clean_retx = count "dist.retransmit" in
+  let clean_sends = count "dist.send" in
+  Trace.clear ();
+  ignore (Decompose.run ~plan:(Plan.parse "seed:1,drop:0.2") g partition nfa);
+  let faulty_retx = count "dist.retransmit" in
+  Trace.disable ();
+  Trace.clear ();
+  check_int "fault-free run traces no retransmissions" 0 clean_retx;
+  check "fault-free run still traces first sends" true (clean_sends > 0);
+  check "faulty run traces retransmissions" true (faulty_retx > 0)
+
 let fault_properties =
   [
     qtest "any fault plan: answers = centralized" ~count:60
@@ -193,5 +219,7 @@ let tests =
     Alcotest.test_case "bad site count rejected" `Quick bad_site_count_rejected;
     Alcotest.test_case "bad fault spec rejected" `Quick bad_fault_spec_rejected;
     Alcotest.test_case "total loss stalls at round cap" `Quick total_loss_stalls;
+    Alcotest.test_case "traces show retransmissions" `Quick
+      traces_show_retransmissions;
   ]
   @ properties @ fault_properties

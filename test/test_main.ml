@@ -27,6 +27,7 @@ let () =
       ("views", Test_views.tests);
       ("update", Test_update.tests);
       ("metrics", Test_metrics.tests);
+      ("trace", Test_trace.tests);
       ("cache", Test_cache.tests);
       ("differential", Test_differential.tests);
       ("optimize", Test_optimize.tests);

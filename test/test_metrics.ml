@@ -74,6 +74,64 @@ let dumps_parse () =
       && List.mem_assoc "histograms" kvs)
   | _ -> Alcotest.fail "metrics json is not an object"
 
+let percentiles () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "t.p" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  let p50 = Metrics.percentile h 0.5 in
+  let p90 = Metrics.percentile h 0.9 in
+  let p99 = Metrics.percentile h 0.99 in
+  Alcotest.(check bool) "percentiles are monotone" true (p50 <= p90 && p90 <= p99);
+  Alcotest.(check bool) "clamped to observed range" true (p50 >= 1. && p99 <= 100.);
+  Alcotest.(check bool) "p50 is a coarse median" true (p50 >= 25. && p50 <= 100.);
+  (* a single observation pins every percentile *)
+  let h1 = Metrics.histogram ~registry:r "t.p1" in
+  Metrics.observe h1 42.;
+  Alcotest.(check (float 0.0)) "single sample p50" 42. (Metrics.percentile h1 0.5);
+  Alcotest.(check (float 0.0)) "single sample p99" 42. (Metrics.percentile h1 0.99);
+  (* and the dumps surface them *)
+  let text = Metrics.dump_text r in
+  Alcotest.(check bool) "text dump shows p50/p90/p99" true
+    (contains text "p50" && contains text "p90" && contains text "p99");
+  match Ssd.Json.parse (Metrics.dump_json r) with
+  | Ssd.Json.Obj kvs -> (
+    match List.assoc "histograms" kvs with
+    | Ssd.Json.Obj hs -> (
+      match List.assoc "t.p1" hs with
+      | Ssd.Json.Obj fields ->
+        Alcotest.(check bool) "json histogram has percentile fields" true
+          (List.mem_assoc "p50" fields && List.mem_assoc "p90" fields
+          && List.mem_assoc "p99" fields)
+      | _ -> Alcotest.fail "histogram entry is not an object")
+    | _ -> Alcotest.fail "no histograms section")
+  | _ -> Alcotest.fail "metrics json is not an object"
+
+let dumps_are_sorted () =
+  let r = Metrics.create () in
+  List.iter
+    (fun name -> Metrics.incr (Metrics.counter ~registry:r name))
+    [ "z.last"; "a.first"; "m.middle" ];
+  let text = Metrics.dump_text r in
+  let pos needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i = if i + nn > nh then -1 else if String.sub text i nn = needle then i else go (i + 1) in
+    go 0
+  in
+  Alcotest.(check bool) "text dump lists names in sorted order" true
+    (pos "a.first" >= 0 && pos "a.first" < pos "m.middle"
+    && pos "m.middle" < pos "z.last");
+  match Ssd.Json.parse (Metrics.dump_json r) with
+  | Ssd.Json.Obj kvs -> (
+    match List.assoc "counters" kvs with
+    | Ssd.Json.Obj cs ->
+      let names = List.map fst cs in
+      Alcotest.(check (list string)) "json counters sorted"
+        [ "a.first"; "m.middle"; "z.last" ] names
+    | _ -> Alcotest.fail "no counters section")
+  | _ -> Alcotest.fail "metrics json is not an object"
+
 let trace_spans () =
   Trace.clear ();
   (* disabled: no spans are collected *)
@@ -116,6 +174,8 @@ let tests =
     Alcotest.test_case "histograms" `Quick histograms;
     Alcotest.test_case "reset and isolation" `Quick reset_and_isolation;
     Alcotest.test_case "dumps parse" `Quick dumps_parse;
+    Alcotest.test_case "percentiles" `Quick percentiles;
+    Alcotest.test_case "dumps are sorted" `Quick dumps_are_sorted;
     Alcotest.test_case "trace spans" `Quick trace_spans;
     Alcotest.test_case "evaluation feeds the default registry" `Quick
       evaluation_feeds_default_registry;

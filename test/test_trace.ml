@@ -1,0 +1,286 @@
+(* Property and unit tests for the structured tracer, its Chrome
+   trace-event export, and the operator profiler built on the same span
+   stream. *)
+
+module Trace = Ssd_obs.Trace
+module Profile = Ssd_obs.Profile
+module J = Ssd.Json
+open Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Every test owns the global collector for its duration. *)
+let with_fresh_trace f =
+  Trace.enable ();
+  Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.clear ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Random span programs                                                *)
+(* ------------------------------------------------------------------ *)
+
+type prog =
+  | Span of string * int * bool * prog list (* name, lane, raises, body *)
+  | Inst of string * int (* instant: name, lane *)
+  | Flow of int (* a send/deliver flow pair starting on this lane *)
+
+let prog_gen : prog Q.t =
+  let name = Q.oneofl [ "alpha"; "beta"; "gamma"; "alpha.sub"; "beta.io" ] in
+  let lane = Q.int_range 0 3 in
+  Q.fix
+    (fun self depth ->
+      let leaf =
+        Q.oneof
+          [
+            Q.map2 (fun n l -> Inst (n, l)) name lane;
+            Q.map (fun l -> Flow l) lane;
+          ]
+      in
+      if depth <= 0 then leaf
+      else
+        Q.oneof
+          [
+            leaf;
+            Q.map2
+              (fun (n, l, raises) body -> Span (n, l, raises, body))
+              (Q.triple name lane (Q.map (fun i -> i = 0) (Q.int_range 0 9)))
+              (Q.list_size (Q.int_range 0 3) (self (depth - 1)));
+          ])
+    3
+
+let forest_gen = Q.list_size (Q.int_range 1 4) prog_gen
+
+exception Boom
+
+(* Exceptions propagate through enclosing spans and are only caught at
+   the top, so raising programs exercise the Fun.protect path on every
+   ancestor. *)
+let rec run_prog = function
+  | Inst (n, l) -> Trace.instant n ~lane:l
+  | Flow l ->
+    let f = Trace.new_flow () in
+    Trace.instant "send" ~lane:l ~flow:(f, false);
+    Trace.instant "recv" ~lane:((l + 1) mod 4) ~flow:(f, true)
+  | Span (n, l, raises, body) ->
+    Trace.with_span n ~lane:l ~attrs:[ ("lane", Trace.Int l) ] (fun () ->
+        List.iter run_prog body;
+        if raises then raise Boom)
+
+let run_forest progs =
+  List.iter (fun p -> try run_prog p with Boom -> ()) progs
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-export validation helpers                                    *)
+(* ------------------------------------------------------------------ *)
+
+let events_of doc =
+  match doc with
+  | J.Obj kvs -> (
+    match List.assoc_opt "traceEvents" kvs with
+    | Some (J.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents list")
+  | _ -> Alcotest.fail "chrome doc is not an object"
+
+let str_field name ev =
+  match ev with
+  | J.Obj kvs -> (
+    match List.assoc_opt name kvs with Some (J.String s) -> Some s | _ -> None)
+  | _ -> None
+
+let num_field name ev =
+  match ev with
+  | J.Obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some (J.Float f) -> Some f
+    | Some (J.Int i) -> Some (float_of_int i)
+    | _ -> None)
+  | _ -> None
+
+(* Per-(pid,tid) B/E stack discipline: every B is closed by an E with the
+   same name, and nothing is left open at the end. *)
+let well_nested events =
+  let stacks : (int * int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack_of ev =
+    let pid = int_of_float (Option.value ~default:0. (num_field "pid" ev)) in
+    let tid = int_of_float (Option.value ~default:0. (num_field "tid" ev)) in
+    match Hashtbl.find_opt stacks (pid, tid) with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks (pid, tid) s;
+      s
+  in
+  let ok =
+    List.for_all
+      (fun ev ->
+        match (str_field "ph" ev, str_field "name" ev) with
+        | Some "B", Some name ->
+          let s = stack_of ev in
+          s := name :: !s;
+          true
+        | Some "E", name ->
+          let s = stack_of ev in
+          (match (!s, name) with
+          | top :: rest, Some n when top = n ->
+            s := rest;
+            true
+          | _ -> false)
+        | _ -> true)
+      events
+  in
+  ok && Hashtbl.fold (fun _ s acc -> acc && !s = []) stacks true
+
+let export_and_reparse () =
+  (* through the string round-trip, like a real trace file *)
+  J.parse (J.to_string (Trace.to_chrome ()))
+
+(* ------------------------------------------------------------------ *)
+(* Structural span checks                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec span_ok (s : Trace.span) =
+  s.Trace.dur_ns >= 0.
+  && List.for_all
+       (fun (c : Trace.span) ->
+         c.Trace.parent = s.Trace.id
+         && c.Trace.start_ns >= s.Trace.start_ns -. 1.
+         && c.Trace.start_ns +. c.Trace.dur_ns
+            <= s.Trace.start_ns +. s.Trace.dur_ns +. 1.
+         && span_ok c)
+       s.Trace.children
+
+let rec count_spans (s : Trace.span) =
+  1 + List.fold_left (fun n c -> n + count_spans c) 0 s.Trace.children
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let properties =
+  [
+    qtest "chrome export is well-formed JSON with matched B/E" ~count:80
+      forest_gen
+      (fun progs ->
+        with_fresh_trace (fun () ->
+            run_forest progs;
+            let events = events_of (export_and_reparse ()) in
+            well_nested events
+            && List.for_all
+                 (fun ev ->
+                   match num_field "ts" ev with
+                   | Some ts -> ts >= 0.
+                   | None -> str_field "ph" ev = Some "M")
+                 events));
+    qtest "flow pairs: every start has exactly one matching finish" ~count:80
+      forest_gen
+      (fun progs ->
+        with_fresh_trace (fun () ->
+            run_forest progs;
+            let events = events_of (export_and_reparse ()) in
+            let flows = Hashtbl.create 8 in
+            List.iter
+              (fun ev ->
+                match (str_field "ph" ev, num_field "id" ev) with
+                | Some (("s" | "f") as ph), Some id ->
+                  let starts, ends =
+                    Option.value ~default:(0, 0) (Hashtbl.find_opt flows id)
+                  in
+                  if ph = "s" then Hashtbl.replace flows id (starts + 1, ends)
+                  else Hashtbl.replace flows id (starts, ends + 1)
+                | _ -> ())
+              events;
+            Hashtbl.fold (fun _ (s, e) acc -> acc && s = 1 && e = 1) flows true));
+    qtest "spans have nonneg durations and children nest within parents"
+      ~count:80 forest_gen
+      (fun progs ->
+        with_fresh_trace (fun () ->
+            run_forest progs;
+            List.for_all span_ok (Trace.spans ())));
+    qtest "profiler exclusive times partition the traced wall-clock"
+      ~count:80 forest_gen
+      (fun progs ->
+        with_fresh_trace (fun () ->
+            run_forest progs;
+            let roots = Trace.spans () in
+            let rows = Profile.of_spans roots in
+            let total = Profile.total_ns roots in
+            let excl =
+              List.fold_left (fun t r -> t +. r.Profile.exclusive_ns) 0. rows
+            in
+            let n = List.fold_left (fun n s -> n + count_spans s) 0 roots in
+            Float.abs (excl -. total) <= (2. *. float_of_int n) +. 1.));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let raising_thunk_is_recorded () =
+  with_fresh_trace (fun () ->
+      (try
+         Trace.with_span "outer" (fun () ->
+             Trace.with_span "inner" (fun () -> raise Boom))
+       with Boom -> ());
+      match Trace.spans () with
+      | [ outer ] ->
+        check "outer closed with a duration" true (outer.Trace.dur_ns >= 0.);
+        check_int "inner recorded under outer" 1 (List.length outer.Trace.children);
+        check "export still well-nested" true
+          (well_nested (events_of (export_and_reparse ())))
+      | l -> Alcotest.fail (Printf.sprintf "expected 1 root, got %d" (List.length l)))
+
+let annotations_accumulate () =
+  with_fresh_trace (fun () ->
+      Trace.with_span "s" (fun () ->
+          Trace.annotate "mode" (Trace.Str "fast");
+          Trace.annotate "mode" (Trace.Str "slow");
+          Trace.bump "hits" 2;
+          Trace.bump "hits" 3);
+      match Trace.spans () with
+      | [ s ] ->
+        check "annotate overwrites" true
+          (List.assoc "mode" s.Trace.attrs = Trace.Str "slow");
+        check "bump accumulates" true
+          (List.assoc "hits" s.Trace.attrs = Trace.Int 5)
+      | _ -> Alcotest.fail "expected one span")
+
+let recursion_billed_once () =
+  with_fresh_trace (fun () ->
+      Trace.with_span "r" (fun () -> Trace.with_span "r" (fun () -> ()));
+      let roots = Trace.spans () in
+      match (roots, Profile.of_spans roots) with
+      | [ root ], [ row ] ->
+        check_int "both activations counted" 2 row.Profile.count;
+        check "inclusive = outer duration only" true
+          (Float.abs (row.Profile.inclusive_ns -. root.Trace.dur_ns) <= 1.)
+      | _ -> Alcotest.fail "expected one root and one profile row")
+
+let empty_trace_exports () =
+  with_fresh_trace (fun () ->
+      check_int "no events" 0 (List.length (events_of (export_and_reparse ()))))
+
+let lane_names_become_metadata () =
+  with_fresh_trace (fun () ->
+      Trace.name_lane 0 "coordinator";
+      Trace.name_lane 2 "site 1";
+      Trace.with_span "x" (fun () -> ());
+      let meta =
+        List.filter (fun ev -> str_field "ph" ev = Some "M")
+          (events_of (export_and_reparse ()))
+      in
+      check_int "one metadata event per named lane" 2 (List.length meta))
+
+let tests =
+  [
+    Alcotest.test_case "raising thunk is recorded" `Quick raising_thunk_is_recorded;
+    Alcotest.test_case "annotations accumulate" `Quick annotations_accumulate;
+    Alcotest.test_case "recursion billed once" `Quick recursion_billed_once;
+    Alcotest.test_case "empty trace exports" `Quick empty_trace_exports;
+    Alcotest.test_case "lane names become metadata" `Quick lane_names_become_metadata;
+  ]
+  @ properties
