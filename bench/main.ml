@@ -1026,11 +1026,92 @@ let e16 () =
     (List.length retrans_rounds)
     (List.length retrans) share
 
+(* ------------------------------------------------------------------ *)
+(* E17 — multicore scaling of the four parallel paths                  *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  section "E17 parallel evaluation: jobs sweep over the four pooled paths";
+  let module Pool = Ssd_par.Pool in
+  let jobs_sweep = [ 1; 2; 4; 8 ] in
+  let n = if !full then 3000 else 800 in
+  let web = Ssd_workload.Webgraph.generate ~seed:17 ~n_pages:n () in
+  let movies = Ssd_workload.Movies.generate ~seed:17 ~n_entries:n () in
+  let nfa = Ssd_automata.Nfa.of_string "host.page.(link)*.title._" in
+  let unql_q =
+    Unql.Parser.parse
+      {| select {t: \T} where {<host.page.(link)*.title>: \T} <- DB |}
+  in
+  let edges =
+    Graph.fold_labeled_edges (fun acc s _ d -> [ Label.int s; Label.int d ] :: acc) [] web
+  in
+  let edb = [ ("e", edges); ("start", [ [ Label.int (Graph.root web) ] ]) ] in
+  let datalog_p =
+    Relstore.Datalog.parse
+      {| reach(?X) :- start(?X).  reach(?Y) :- reach(?X), e(?X, ?Y). |}
+  in
+  let paths =
+    [
+      ("product", fun () -> ignore (Ssd_automata.Product.accepting_nodes web nfa));
+      ("unql_select", fun () -> ignore (Unql.Eval.eval ~db:web unql_q));
+      ("datalog", fun () -> ignore (Relstore.Datalog.eval ~edb datalog_p));
+      ("index_build", fun () -> ignore (Ssd_index.Value_index.build movies));
+    ]
+  in
+  (* Equivalence first: every path's answer at every jobs value must
+     equal the sequential one — the scaling numbers below are only
+     meaningful because of this. *)
+  Pool.set_default_jobs 1;
+  let baseline =
+    ( Ssd_automata.Product.accepting_nodes web nfa,
+      Graph.to_string (Unql.Eval.eval ~db:web unql_q),
+      Relstore.Datalog.eval ~edb datalog_p )
+  in
+  List.iter
+    (fun jobs ->
+      Pool.set_default_jobs jobs;
+      let here =
+        ( Ssd_automata.Product.accepting_nodes web nfa,
+          Graph.to_string (Unql.Eval.eval ~db:web unql_q),
+          Relstore.Datalog.eval ~edb datalog_p )
+      in
+      if here <> baseline then failwith (Printf.sprintf "jobs=%d answers differ!" jobs))
+    jobs_sweep;
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let timings =
+          measure ~quota:0.4
+            (List.map
+               (fun jobs ->
+                 ( Printf.sprintf "%s_jobs%d" name jobs,
+                   fun () ->
+                     Pool.set_default_jobs jobs;
+                     f () ))
+               jobs_sweep)
+        in
+        let t j = List.assoc (Printf.sprintf "%s_jobs%d" name j) timings in
+        record (Printf.sprintf "%s_speedup_x4" name) (t 1 /. t 4);
+        name :: List.map (fun j -> ns_to_string (t j)) jobs_sweep
+        @ [ Printf.sprintf "%.2fx" (t 1 /. t 4) ])
+      paths
+  in
+  Pool.set_default_jobs 1;
+  print_table
+    ~title:
+      (Printf.sprintf
+         "answers verified identical for all jobs; web graph %d pages (%d cores here)"
+         n (Domain.recommended_domain_count ()))
+    ~header:([ "path" ] @ List.map (Printf.sprintf "jobs=%d ns/op") jobs_sweep
+             @ [ "speedup@4" ])
+    rows
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e17", e17);
   ]
 
 let () =

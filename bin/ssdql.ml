@@ -128,8 +128,9 @@ let status_of = function
   | None -> "complete"
   | Some why -> Printf.sprintf "partial (%s)" (Ssd.Budget.exhaustion_to_string why)
 
-let query_cmd data lang lint explain use_cache repeat quiet stats stats_format trace
+let query_cmd jobs data lang lint explain use_cache repeat quiet stats stats_format trace
     trace_out deadline_ms max_steps query_text =
+  Ssd_par.Pool.set_default_jobs jobs;
   let db = load_data data in
   lint_gate lint lang db query_text;
   if trace || trace_out <> None then begin
@@ -365,8 +366,9 @@ let gen_cmd kind n seed =
      stats: <one-line JSON>
    or, with --format json, a single JSON object with those fields.
    Same --faults spec => identical accepting set AND identical stats. *)
-let dist_cmd data sites partition_kind seed faults deadline_ms max_steps format quiet
+let dist_cmd jobs data sites partition_kind seed faults deadline_ms max_steps format quiet
     trace_out query_text =
+  Ssd_par.Pool.set_default_jobs jobs;
   let db = load_data data in
   if trace_out <> None then begin
     Ssd_obs.Trace.enable ();
@@ -438,7 +440,8 @@ let dist_cmd data sites partition_kind seed faults deadline_ms max_steps format 
    exclusive time aggregated from the span stream (a sorted flame
    table).  The result itself is discarded: profile answers "where did
    the time go", query answers "what is the answer". *)
-let profile_cmd data lang repeat format trace_out query_text =
+let profile_cmd jobs data lang repeat format trace_out query_text =
+  Ssd_par.Pool.set_default_jobs jobs;
   let db = load_data data in
   Ssd_obs.Trace.enable ();
   Ssd_obs.Trace.name_lane 0 "main";
@@ -498,6 +501,12 @@ let max_steps_arg =
                firings); on exhaustion the evaluation stops and reports a \
                partial answer.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Evaluate with a pool of N worker domains (default 1). Answers, \
+               stats and cache fingerprints are identical for every N; only \
+               wall-clock time changes.")
+
 let trace_out_arg =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
          ~doc:"Write the execution trace as Chrome trace-event JSON, loadable \
@@ -546,7 +555,7 @@ let query_t =
   in
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v (Cmd.info "query" ~doc:"Run a query against a data file")
-    Term.(const query_cmd $ data_arg $ lang $ lint $ explain $ cache $ repeat $ quiet
+    Term.(const query_cmd $ jobs_arg $ data_arg $ lang $ lint $ explain $ cache $ repeat $ quiet
           $ stats $ stats_format $ trace $ trace_out_arg $ deadline_ms_arg
           $ max_steps_arg $ q)
 
@@ -640,7 +649,7 @@ let profile_t =
     (Cmd.info "profile"
        ~doc:"Evaluate a query with tracing on and print per-operator \
              inclusive/exclusive time (a sorted flame table)")
-    Term.(const profile_cmd $ data_arg $ lang $ repeat $ format $ trace_out_arg $ q)
+    Term.(const profile_cmd $ jobs_arg $ data_arg $ lang $ repeat $ format $ trace_out_arg $ q)
 
 let dist_t =
   let sites =
@@ -677,7 +686,7 @@ let dist_t =
     (Cmd.info "dist"
        ~doc:"Evaluate a regular path query distributed over a partitioned graph, \
              with optional fault injection and deadlines")
-    Term.(const dist_cmd $ data_arg $ sites $ partition $ seed $ faults
+    Term.(const dist_cmd $ jobs_arg $ data_arg $ sites $ partition $ seed $ faults
           $ deadline_ms_arg $ max_steps_arg $ format $ quiet $ trace_out_arg $ q)
 
 let () =

@@ -1,29 +1,50 @@
 module Graph = Ssd.Graph
+module Pool = Ssd_par.Pool
+
+(* The product searches below run level-synchronous BFS: expand the whole
+   frontier, then merge the discovered pairs, then recurse.  A FIFO queue
+   processes pairs in exactly level order, so this visits the same pairs
+   as the classic queue loop — and the frontier expansion is pure
+   (graph/NFA reads only), so it can run across the domain pool.  The
+   merge happens on the calling domain in frontier order, which keeps the
+   discovered set independent of scheduling and of the jobs count. *)
+
+(* Expand one level: item [i]'s successor pairs, in the same
+   (edge-outer, move-inner) order the sequential loop pushed them. *)
+let expand_level g nfa closures frontier =
+  Pool.map_range (Array.length frontier) (fun i ->
+      let u, q = frontier.(i) in
+      let moves = nfa.Nfa.trans.(q) in
+      if moves = [] then []
+      else
+        List.concat_map
+          (fun (l, v) ->
+            List.concat_map
+              (fun (p, q') ->
+                if Lpred.matches p l then List.map (fun q'' -> (v, q'')) closures.(q')
+                else [])
+              moves)
+          (Graph.labeled_succ g u))
 
 let run_pairs g nfa ~starts =
   (* BFS over (node, nfa state) pairs, NFA ε-closure applied eagerly
      (closures precomputed once). *)
   let closures = Nfa.closures nfa in
   let seen = Hashtbl.create 256 in
-  let queue = Queue.create () in
+  let next = ref [] in
   let push u q =
     if not (Hashtbl.mem seen (u, q)) then begin
       Hashtbl.add seen (u, q) ();
-      Queue.push (u, q) queue
+      next := (u, q) :: !next
     end
   in
   let start_states = Nfa.start_set nfa in
   List.iter (fun u -> List.iter (push u) start_states) starts;
-  while not (Queue.is_empty queue) do
-    let u, q = Queue.pop queue in
-    let moves = nfa.Nfa.trans.(q) in
-    if moves <> [] then
-      List.iter
-        (fun (l, v) ->
-          List.iter
-            (fun (p, q') -> if Lpred.matches p l then List.iter (push v) closures.(q'))
-            moves)
-        (Graph.labeled_succ g u)
+  while !next <> [] do
+    let frontier = Array.of_list (List.rev !next) in
+    next := [];
+    let succs = expand_level g nfa closures frontier in
+    Array.iter (List.iter (fun (v, q) -> push v q)) succs
   done;
   seen
 
@@ -45,29 +66,45 @@ let reach g nfa ~starts =
   let closures = Nfa.closures nfa in
   let seen = Hashtbl.create 256 in
   let labels = Hashtbl.create 32 in
-  let queue = Queue.create () in
+  let next = ref [] in
   let push u q =
     if not (Hashtbl.mem seen (u, q)) then begin
       Hashtbl.add seen (u, q) ();
-      Queue.push (u, q) queue
+      next := (u, q) :: !next
     end
   in
   let start_states = Nfa.start_set nfa in
   List.iter (fun u -> List.iter (push u) start_states) starts;
-  while not (Queue.is_empty queue) do
-    let u, q = Queue.pop queue in
-    let moves = nfa.Nfa.trans.(q) in
-    if moves <> [] then
-      List.iter
-        (fun (l, v) ->
-          List.iter
-            (fun (p, q') ->
-              if Lpred.matches p l then begin
-                Hashtbl.replace labels l ();
-                List.iter (push v) closures.(q')
-              end)
-            moves)
-        (Graph.labeled_succ g u)
+  while !next <> [] do
+    let frontier = Array.of_list (List.rev !next) in
+    next := [];
+    (* Workers return (successor pairs, crossed labels) per item; both
+       are merged here, on the calling domain, in frontier order. *)
+    let expanded =
+      Pool.map_range (Array.length frontier) (fun i ->
+          let u, q = frontier.(i) in
+          let moves = nfa.Nfa.trans.(q) in
+          if moves = [] then ([], [])
+          else
+            List.fold_left
+              (fun (pairs, crossed) (l, v) ->
+                List.fold_left
+                  (fun (pairs, crossed) (p, q') ->
+                    if Lpred.matches p l then
+                      ( List.rev_append
+                          (List.rev_map (fun q'' -> (v, q'')) closures.(q'))
+                          pairs,
+                        l :: crossed )
+                    else (pairs, crossed))
+                  (pairs, crossed) moves)
+              ([], []) (Graph.labeled_succ g u)
+            |> fun (pairs, crossed) -> (List.rev pairs, crossed))
+    in
+    Array.iter
+      (fun (pairs, crossed) ->
+        List.iter (fun l -> Hashtbl.replace labels l ()) crossed;
+        List.iter (fun (v, q) -> push v q) pairs)
+      expanded
   done;
   let accepted =
     Hashtbl.fold (fun (u, q) () acc -> if nfa.Nfa.accept.(q) then u :: acc else acc) seen []

@@ -12,16 +12,30 @@ type 'a outcome =
   | Complete of 'a
   | Partial of 'a * exhaustion
 
+(* Steps and the exhaustion flag are Atomics so a budget can be shared by
+   the worker domains of a parallel region (lib/par): every domain draws
+   from the same counter, so the total amount of work stays bounded and a
+   Partial answer is still a sound lower bound.  Concurrent [step] calls
+   can overshoot [max_steps] by at most the number of domains (each may
+   pass the pre-check before any increments land) — never unboundedly.
+   On a single domain the behavior is exactly the pre-atomic one:
+   exactly [max_steps] grants, [steps_used] counting grants. *)
 type t = {
   max_steps : int;
   deadline : float; (* Sys.time seconds; infinity = no deadline *)
-  mutable steps : int;
-  mutable stopped : exhaustion option;
-  mutable exempt_depth : int;
+  steps : int Atomic.t;
+  stopped : exhaustion option Atomic.t;
+  mutable exempt_depth : int; (* coordinator-domain only; see .mli *)
 }
 
 let unlimited () =
-  { max_steps = max_int; deadline = infinity; steps = 0; stopped = None; exempt_depth = 0 }
+  {
+    max_steps = max_int;
+    deadline = infinity;
+    steps = Atomic.make 0;
+    stopped = Atomic.make None;
+    exempt_depth = 0;
+  }
 
 let create ?deadline_ms ?max_steps () =
   let deadline =
@@ -32,46 +46,50 @@ let create ?deadline_ms ?max_steps () =
   {
     max_steps = Option.value ~default:max_int max_steps;
     deadline;
-    steps = 0;
-    stopped = None;
+    steps = Atomic.make 0;
+    stopped = Atomic.make None;
     exempt_depth = 0;
   }
+
+(* Exhaustion is recorded with a compare-and-set so the first reason wins
+   even under contention. *)
+let trip t why = ignore (Atomic.compare_and_set t.stopped None (Some why))
 
 let step t =
   if t.exempt_depth > 0 then true
   else
-    match t.stopped with
+    match Atomic.get t.stopped with
     | Some _ -> false
     | None ->
-      if t.steps >= t.max_steps then begin
-        t.stopped <- Some Steps;
+      if Atomic.get t.steps >= t.max_steps then begin
+        trip t Steps;
         false
       end
       else begin
-        t.steps <- t.steps + 1;
+        let s = Atomic.fetch_and_add t.steps 1 + 1 in
         (* The clock is only read every 128 steps: a deadline costs one
            [land] per step, not a syscall. *)
-        if t.deadline < infinity && t.steps land 127 = 0 && Sys.time () > t.deadline
+        if t.deadline < infinity && s land 127 = 0 && Sys.time () > t.deadline
         then begin
-          t.stopped <- Some Deadline;
+          trip t Deadline;
           false
         end
         else true
       end
 
-let alive t = t.stopped = None
+let alive t = Atomic.get t.stopped = None
 
-let exhaust t why = if t.stopped = None then t.stopped <- Some why
+let exhaust t why = trip t why
 
-let exhausted t = t.stopped
+let exhausted t = Atomic.get t.stopped
 
 let exempt t f =
   t.exempt_depth <- t.exempt_depth + 1;
   Fun.protect ~finally:(fun () -> t.exempt_depth <- t.exempt_depth - 1) f
 
 let wrap t v =
-  match t.stopped with
+  match Atomic.get t.stopped with
   | None -> Complete v
   | Some why -> Partial (v, why)
 
-let steps_used t = t.steps
+let steps_used t = min (Atomic.get t.steps) t.max_steps

@@ -45,7 +45,13 @@ val create : ?deadline_ms:float -> ?max_steps:int -> unit -> t
 
 (** Consume one step.  [false] means the budget is exhausted and the
     caller must stop producing new work (it keeps returning [false]).
-    Inside {!exempt} it always returns [true] and consumes nothing. *)
+    Inside {!exempt} it always returns [true] and consumes nothing.
+
+    Thread-safe: the step counter and exhaustion flag are atomics, so
+    the worker domains of a parallel region ({!module:Ssd_par} users)
+    may draw from one shared budget.  Under contention the grant count
+    can overshoot [max_steps] by at most the number of domains; on a
+    single domain exactly [max_steps] steps are granted. *)
 val step : t -> bool
 
 (** Has the budget room left?  (Does not consume.) *)
@@ -59,7 +65,10 @@ val exhausted : t -> exhaustion option
 
 (** [exempt t f] runs [f] with the budget suspended: condition evaluation
     must be exact (a mis-judged [where] could {e add} answers, breaking
-    the lower-bound contract), so evaluators wrap it in [exempt]. *)
+    the lower-bound contract), so evaluators wrap it in [exempt].
+    Unlike {!step}, exemption is {e not} thread-safe — only the
+    coordinating domain may enter/leave [exempt]; parallel regions never
+    run exempted code. *)
 val exempt : t -> (unit -> 'a) -> 'a
 
 (** Tag a finished evaluation's answer: [Complete] if the budget never

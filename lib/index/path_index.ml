@@ -27,21 +27,36 @@ let build ~depth g =
   let frontier = ref [ ([], Int_set.singleton (Graph.root g)) ] in
   Hashtbl.replace table [] [ Graph.root g ];
   for _ = 1 to depth do
+    (* Each frontier entry extends independently (pure graph reads), so
+       one level expands across the pool; per-path node sets are merged
+       by set union, which is order-insensitive, so the table contents
+       are identical for every --jobs value. *)
+    let items = Array.of_list !frontier in
+    let expanded =
+      Ssd_par.Pool.map_range (Array.length items) (fun i ->
+          let path, nodes = items.(i) in
+          let local = Hashtbl.create 16 in
+          Int_set.iter
+            (fun u ->
+              List.iter
+                (fun (l, v) ->
+                  let path' = l :: path in
+                  let set =
+                    Option.value ~default:Int_set.empty (Hashtbl.find_opt local path')
+                  in
+                  Hashtbl.replace local path' (Int_set.add v set))
+                (Graph.labeled_succ g u))
+            nodes;
+          local)
+    in
     let next = Hashtbl.create 64 in
-    List.iter
-      (fun (path, nodes) ->
-        Int_set.iter
-          (fun u ->
-            List.iter
-              (fun (l, v) ->
-                let path' = l :: path in
-                let set =
-                  Option.value ~default:Int_set.empty (Hashtbl.find_opt next path')
-                in
-                Hashtbl.replace next path' (Int_set.add v set))
-              (Graph.labeled_succ g u))
-          nodes)
-      !frontier;
+    Array.iter
+      (Hashtbl.iter (fun path' set ->
+           let cur =
+             Option.value ~default:Int_set.empty (Hashtbl.find_opt next path')
+           in
+           Hashtbl.replace next path' (Int_set.union cur set)))
+      expanded;
     frontier :=
       Hashtbl.fold
         (fun path set acc ->

@@ -36,21 +36,45 @@ let tokenize s =
   !words
 
 let build g =
+  (* Edge-parallel, like Value_index.build: chunk-local accumulators in
+     chunk-reversed order, merged ascending with [local @ earlier], which
+     equals the sequential reverse-of-edge-order lists for any chunking.
+     The [sorted] array is then built from the identical entry list, so
+     the (unstable) sort sees the same input and the whole index is
+     byte-identical for every --jobs value. *)
+  let edges =
+    Array.of_list
+      (List.rev
+         (Graph.fold_labeled_edges (fun acc src l dst -> (src, l, dst) :: acc) [] g))
+  in
   let entries = ref [] in
   let words = Hashtbl.create 256 in
-  Graph.fold_labeled_edges
-    (fun () src l dst ->
-      match text_of l with
-      | None -> ()
-      | Some text ->
-        let occ = { src; label = l; dst } in
-        entries := (text, occ) :: !entries;
-        List.iter
-          (fun w ->
-            let occs = Option.value ~default:[] (Hashtbl.find_opt words w) in
-            Hashtbl.replace words w (occ :: occs))
-          (List.sort_uniq String.compare (tokenize text)))
-    () g;
+  Ssd_par.Pool.fold_chunks ~n:(Array.length edges)
+    ~chunk:(fun lo hi ->
+      let local_entries = ref [] in
+      let local_words = Hashtbl.create 64 in
+      for i = lo to hi - 1 do
+        let src, l, dst = edges.(i) in
+        match text_of l with
+        | None -> ()
+        | Some text ->
+          let occ = { src; label = l; dst } in
+          local_entries := (text, occ) :: !local_entries;
+          List.iter
+            (fun w ->
+              let occs = Option.value ~default:[] (Hashtbl.find_opt local_words w) in
+              Hashtbl.replace local_words w (occ :: occs))
+            (List.sort_uniq String.compare (tokenize text))
+      done;
+      (!local_entries, local_words))
+    ~combine:(fun () (local_entries, local_words) ->
+      entries := local_entries @ !entries;
+      Hashtbl.iter
+        (fun w occs ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt words w) in
+          Hashtbl.replace words w (occs @ cur))
+        local_words)
+    ();
   let sorted = Array.of_list !entries in
   Array.sort (fun (a, _) (b, _) -> String.compare a b) sorted;
   { sorted; words }

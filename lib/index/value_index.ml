@@ -29,12 +29,34 @@ let build g =
   Trace.with_span "index.value.build"
     ~attrs:[ ("edges", Trace.Int (Ssd.Graph.n_edges g)) ]
   @@ fun () ->
+  (* Edge-parallel build: each chunk accumulates a local table whose
+     per-label lists are in chunk-reversed edge order (prepend, exactly
+     like the sequential fold); merging chunks in ascending order with
+     [chunk_occs @ earlier] reproduces the sequential result — the
+     reverse of the whole edge order — for every chunking, so the built
+     index is byte-identical for every --jobs value. *)
+  let edges =
+    Array.of_list
+      (List.rev
+         (Graph.fold_labeled_edges (fun acc src l dst -> (src, l, dst) :: acc) [] g))
+  in
   let idx = Label_tbl.create 256 in
-  Graph.fold_labeled_edges
-    (fun () src l dst ->
-      let occs = Option.value ~default:[] (Label_tbl.find_opt idx l) in
-      Label_tbl.replace idx l ({ src; dst } :: occs))
-    () g;
+  Ssd_par.Pool.fold_chunks ~n:(Array.length edges)
+    ~chunk:(fun lo hi ->
+      let local = Label_tbl.create 64 in
+      for i = lo to hi - 1 do
+        let src, l, dst = edges.(i) in
+        let occs = Option.value ~default:[] (Label_tbl.find_opt local l) in
+        Label_tbl.replace local l ({ src; dst } :: occs)
+      done;
+      local)
+    ~combine:(fun () local ->
+      Label_tbl.iter
+        (fun l occs ->
+          let cur = Option.value ~default:[] (Label_tbl.find_opt idx l) in
+          Label_tbl.replace idx l (occs @ cur))
+        local)
+    ();
   idx
 
 let find idx l =

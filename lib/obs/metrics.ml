@@ -1,6 +1,14 @@
+(* Counter values are Atomics: evaluator hot paths run across domains
+   under --jobs (lib/par), and increments from workers must neither tear
+   nor get lost — counter totals feed --stats output that is required to
+   be identical for every jobs value.  Atomic increments commute, so the
+   final value only depends on the set of events, not their schedule.
+   Timers and histograms stay plain mutable: they are only touched from
+   the coordinating domain (parallel worker code never records time or
+   observations directly). *)
 type counter = {
   c_name : string;
-  mutable c_value : int;
+  c_value : int Atomic.t;
 }
 
 type timer = {
@@ -51,12 +59,12 @@ let register registry name make extract =
 
 let counter ?(registry = default) name =
   register registry name
-    (fun () -> Counter { c_name = name; c_value = 0 })
+    (fun () -> Counter { c_name = name; c_value = Atomic.make 0 })
     (function Counter c -> Some c | _ -> None)
 
-let incr c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let value c = c.c_value
+let incr c = Atomic.incr c.c_value
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let value c = Atomic.get c.c_value
 let counter_name c = c.c_name
 
 let timer ?(registry = default) name =
@@ -143,7 +151,7 @@ let reset registry =
   Hashtbl.iter
     (fun _ i ->
       match i with
-      | Counter c -> c.c_value <- 0
+      | Counter c -> Atomic.set c.c_value 0
       | Timer t ->
         t.t_count <- 0;
         t.t_total_ns <- 0.
@@ -174,7 +182,7 @@ let partition ?(prefix = "") registry =
 
 let counters ?prefix registry =
   let cs, _, _ = partition ?prefix registry in
-  List.map (fun (name, c) -> (name, c.c_value)) cs
+  List.map (fun (name, c) -> (name, Atomic.get c.c_value)) cs
 
 let ns_pretty ns =
   if ns < 1e3 then Printf.sprintf "%.0fns" ns
@@ -188,7 +196,7 @@ let dump_text ?prefix registry =
   if cs <> [] then begin
     Buffer.add_string buf "counters:\n";
     List.iter
-      (fun (name, c) -> Buffer.add_string buf (Printf.sprintf "  %-44s %d\n" name c.c_value))
+      (fun (name, c) -> Buffer.add_string buf (Printf.sprintf "  %-44s %d\n" name (Atomic.get c.c_value)))
       cs
   end;
   if ts <> [] then begin
@@ -218,7 +226,7 @@ let dump_text ?prefix registry =
 let to_json ?prefix registry =
   let module J = Ssd.Json in
   let cs, ts, hs = partition ?prefix registry in
-  let counters = J.Obj (List.map (fun (name, c) -> (name, J.Int c.c_value)) cs) in
+  let counters = J.Obj (List.map (fun (name, c) -> (name, J.Int (Atomic.get c.c_value))) cs) in
   let timers =
     J.Obj
       (List.map

@@ -1,0 +1,208 @@
+(* A fixed-size pool of worker domains with chunked work stealing off an
+   Atomic cursor.  See pool.mli for the determinism contract.
+
+   Synchronization is a classic generation-stamped barrier: the caller
+   publishes a job under the mutex and bumps [generation]; workers wake,
+   run the job (which internally drains the chunk cursor), decrement
+   [unfinished] and go back to waiting for the next generation.  The
+   caller participates in the job itself — a pool of [jobs = n] is n-1
+   spawned domains plus the caller — then blocks until [unfinished]
+   reaches zero.  The mutex hand-offs give the usual happens-before
+   edges, so per-slot results written by workers are visible to the
+   caller after the barrier without any per-slot synchronization. *)
+
+let max_jobs = 64
+let clamp_jobs n = if n < 1 then 1 else if n > max_jobs then max_jobs else n
+
+type t = {
+  n_jobs : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable generation : int;
+  mutable unfinished : int;
+  mutable stop : bool;
+  (* True while a region is active.  Read by nested map_range calls
+     (possibly from a worker domain) to fall back to inline execution;
+     set under the mutex before workers are woken, so workers always
+     observe [true] while running a job. *)
+  in_region : bool Atomic.t;
+}
+
+let rec worker_loop t last_gen =
+  Mutex.lock t.m;
+  while (not t.stop) && t.generation = last_gen do
+    Condition.wait t.work_ready t.m
+  done;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    let gen = t.generation in
+    let job = match t.job with Some f -> f | None -> assert false in
+    Mutex.unlock t.m;
+    (* Jobs built by this module never raise (exceptions are captured
+       into the region's failure slot); the catch-all keeps a buggy job
+       from killing the domain and deadlocking the barrier. *)
+    (try job () with _ -> ());
+    Mutex.lock t.m;
+    t.unfinished <- t.unfinished - 1;
+    if t.unfinished = 0 then Condition.signal t.work_done;
+    Mutex.unlock t.m;
+    worker_loop t gen
+  end
+
+let create ~jobs =
+  let n_jobs = clamp_jobs jobs in
+  let t =
+    {
+      n_jobs;
+      workers = [||];
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      unfinished = 0;
+      stop = false;
+      in_region = Atomic.make false;
+    }
+  in
+  t.workers <- Array.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let jobs t = t.n_jobs
+
+let shutdown t =
+  Mutex.lock t.m;
+  let ws = t.workers in
+  t.workers <- [||];
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.work_ready
+  end;
+  Mutex.unlock t.m;
+  Array.iter Domain.join ws
+
+(* Run [job] on every pool member (workers + caller); return when all
+   are done.  [job] must not raise. *)
+let run t job =
+  Mutex.lock t.m;
+  t.job <- Some job;
+  t.generation <- t.generation + 1;
+  t.unfinished <- Array.length t.workers;
+  Atomic.set t.in_region true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  (try job () with _ -> ());
+  Mutex.lock t.m;
+  while t.unfinished > 0 do
+    Condition.wait t.work_done t.m
+  done;
+  t.job <- None;
+  Atomic.set t.in_region false;
+  Mutex.unlock t.m
+
+(* ------------------------------------------------------------------ *)
+(* Shared pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let default_jobs_cell = Atomic.make 1
+let set_default_jobs n = Atomic.set default_jobs_cell (clamp_jobs n)
+let default_jobs () = Atomic.get default_jobs_cell
+
+let shared : t option ref = ref None
+
+let shared_pool () =
+  let want = default_jobs () in
+  match !shared with
+  | Some p when p.n_jobs = want && not p.stop -> p
+  | prev ->
+    Option.iter shutdown prev;
+    let p = create ~jobs:want in
+    shared := Some p;
+    p
+
+let () = at_exit (fun () -> Option.iter shutdown !shared)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel regions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequential fallback: [f] applied in ascending index order. *)
+let seq_init n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+
+(* The pool to use for a region of size [n], or None for inline. *)
+let effective_pool pool =
+  let p =
+    match pool with
+    | Some p -> Some p
+    | None -> if default_jobs () > 1 then Some (shared_pool ()) else None
+  in
+  match p with
+  | Some p when p.n_jobs > 1 && (not p.stop) && not (Atomic.get p.in_region) -> Some p
+  | _ -> None
+
+let map_range ?pool ?(min_par = 32) n f =
+  if n = 0 then [||]
+  else if n < min_par then seq_init n f
+  else
+    match effective_pool pool with
+    | None -> seq_init n f
+    | Some p ->
+      let slots = Array.make n None in
+      let chunk = max 1 (1 + ((n - 1) / (4 * p.n_jobs))) in
+      let n_chunks = 1 + ((n - 1) / chunk) in
+      let cursor = Atomic.make 0 in
+      let failed = Atomic.make None in
+      let body () =
+        let continue = ref true in
+        while !continue do
+          let k = Atomic.fetch_and_add cursor 1 in
+          if k >= n_chunks || Atomic.get failed <> None then continue := false
+          else begin
+            let lo = k * chunk in
+            let hi = min n (lo + chunk) in
+            try
+              for i = lo to hi - 1 do
+                slots.(i) <- Some (f i)
+              done
+            with e -> ignore (Atomic.compare_and_set failed None (Some e))
+          end
+        done
+      in
+      run p body;
+      (match Atomic.get failed with Some e -> raise e | None -> ());
+      Array.map (function Some v -> v | None -> assert false) slots
+
+let parallel_map ?pool f arr = map_range ?pool (Array.length arr) (fun i -> f arr.(i))
+
+let fold_chunks ?pool ~n ~chunk ~combine init =
+  if n = 0 then init
+  else begin
+    let jobs =
+      match effective_pool pool with Some p -> p.n_jobs | None -> 1
+    in
+    if jobs = 1 || n < 32 then combine init (chunk 0 n)
+    else begin
+      let csize = max 1 (1 + ((n - 1) / (4 * jobs))) in
+      let n_chunks = 1 + ((n - 1) / csize) in
+      let parts =
+        map_range ?pool ~min_par:2 n_chunks (fun k ->
+            chunk (k * csize) (min n ((k + 1) * csize)))
+      in
+      Array.fold_left combine init parts
+    end
+  end
+
+let parallel_fold ?pool ~map ~combine ~init arr =
+  let mapped = parallel_map ?pool map arr in
+  Array.fold_left combine init mapped

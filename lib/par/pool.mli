@@ -1,0 +1,102 @@
+(** Fixed-size domain pool for deterministic data-parallel evaluation.
+
+    The evaluators in this codebase are single-threaded by construction;
+    this module is the one place that knows about OCaml 5 domains.  A
+    pool spawns [jobs - 1] worker domains once and reuses them for every
+    parallel region (the calling domain is the remaining member, so
+    [jobs = 1] spawns nothing and runs inline).  Work is distributed by
+    chunk: a parallel region splits an index range into contiguous
+    chunks, workers claim chunks from a shared {!Atomic} cursor, and
+    each chunk's result lands in its own slot.
+
+    {2 Determinism contract}
+
+    Parallelism must never be observable in results: [--jobs N] changes
+    wall-clock only.  The pool guarantees its part of that contract by
+    construction —
+
+    - {!map_range} and {!parallel_map} return element [i]'s result in
+      slot [i], so the output is independent of which worker computed
+      what and in which order;
+    - {!fold_chunks} and {!parallel_fold} combine per-chunk results
+      {e on the calling domain, in ascending chunk order}, never in
+      completion order.
+
+    Callers supply the other half: worker functions must be pure with
+    respect to shared state (read-only graph/store access, no writes
+    except {!Atomic} counters whose final value is order-independent).
+    Chunk {e boundaries} depend on the pool size, so a [fold_chunks]
+    combine must also be chunking-invariant: merging two adjacent
+    chunks' results must equal the result of the merged chunk.  All
+    in-tree uses (index construction, frontier expansion) satisfy this.
+
+    {2 Exceptions and exhaustion}
+
+    A worker function that raises does not kill its domain: the first
+    exception (in completion order) is captured, the region drains, and
+    the exception is re-raised on the calling domain.  Workers park on a
+    condition variable between regions; {!shutdown} joins them, so pools
+    never leak domains. *)
+
+type t
+
+(** [create ~jobs] spawns a pool of [jobs - 1] worker domains ([jobs] is
+    clamped to [1 .. 64]).  The pool is ready immediately; workers idle
+    on a condition variable until the first parallel region. *)
+val create : jobs:int -> t
+
+(** Total parallelism of the pool, including the calling domain. *)
+val jobs : t -> int
+
+(** Stop and join every worker domain.  Idempotent.  Must not be called
+    from inside a parallel region. *)
+val shutdown : t -> unit
+
+(** {2 The shared pool}
+
+    Library code does not thread a pool through every call chain;
+    instead the CLI sets a process-wide job count and evaluators use the
+    shared pool implicitly.  With the default of [1], every parallel
+    entry point below runs inline on the calling domain — zero domains,
+    zero overhead, byte-identical to the pre-parallel code. *)
+
+(** Set the process-wide job count (the [--jobs] flag).  The shared pool
+    is (re)created lazily at the next parallel region.  Call from the
+    main domain only. *)
+val set_default_jobs : int -> unit
+
+val default_jobs : unit -> int
+
+(** {2 Parallel regions}
+
+    All entry points run inline (sequentially, on the calling domain)
+    when the effective pool has [jobs = 1], when the input is smaller
+    than [min_par], or when called from inside an active region (nested
+    regions do not deadlock; they serialize). *)
+
+(** [map_range ?pool ?min_par n f] is [[| f 0; ...; f (n-1) |]], with
+    [f] applied across the pool.  [f] is called exactly once per index
+    (ascending within a chunk).  Default [min_par] is 32. *)
+val map_range : ?pool:t -> ?min_par:int -> int -> (int -> 'a) -> 'a array
+
+(** [parallel_map ?pool f arr] is [Array.map f arr] across the pool. *)
+val parallel_map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [fold_chunks ?pool ~n ~chunk ~combine init] splits [0 .. n-1] into
+    contiguous chunks, computes [chunk lo hi] (half-open) for each in
+    parallel, and folds the results with [combine] in ascending chunk
+    order on the calling domain.  The sequential case is exactly
+    [combine init (chunk 0 n)]. *)
+val fold_chunks :
+  ?pool:t ->
+  n:int ->
+  chunk:(int -> int -> 'a) ->
+  combine:('acc -> 'a -> 'acc) ->
+  'acc ->
+  'acc
+
+(** [parallel_fold ?pool ~map ~combine ~init arr] maps each element in
+    parallel and folds the mapped values with [combine] in element order
+    on the calling domain. *)
+val parallel_fold :
+  ?pool:t -> map:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc

@@ -491,9 +491,10 @@ let bound_position env args =
 
 (* Evaluate the body left-to-right over environments.  [set_of] maps a
    predicate to its current tuple set; the positive literal at index
-   [delta_at] (if given) reads [delta] instead. *)
-let eval_rule ~set_of ?delta_at ?delta rule =
-  Metrics.incr m_firings;
+   [delta_at] (if given) reads [delta] instead — or, if [delta_list] is
+   given, exactly that tuple list in order (used by the chunked parallel
+   firing, where the slice stands in for the delta). *)
+let eval_rule_raw ~set_of ?delta_at ?delta ?delta_list rule =
   let results = ref [] in
   let rec go i env lits =
     match lits with
@@ -501,15 +502,18 @@ let eval_rule ~set_of ?delta_at ?delta rule =
       let tuple = List.map (eval_term env) rule.head.args in
       results := tuple :: !results
     | Pos a :: rest ->
-      let set =
-        match delta_at, delta with
-        | Some d, Some dset when d = i -> dset
-        | _ -> set_of a.pred
-      in
       let candidates =
-        match bound_position env a.args with
-        | Some (pos, value) -> set_probe set ~pos ~value
-        | None -> set_to_list set
+        match delta_at, delta_list with
+        | Some d, Some tuples when d = i -> tuples
+        | _ ->
+          let set =
+            match delta_at, delta with
+            | Some d, Some dset when d = i -> dset
+            | _ -> set_of a.pred
+          in
+          (match bound_position env a.args with
+          | Some (pos, value) -> set_probe set ~pos ~value
+          | None -> set_to_list set)
       in
       List.iter
         (fun t ->
@@ -525,6 +529,42 @@ let eval_rule ~set_of ?delta_at ?delta rule =
   in
   go 0 Env.empty rule.body;
   !results
+
+let eval_rule ~set_of ?delta_at ?delta rule =
+  Metrics.incr m_firings;
+  eval_rule_raw ~set_of ?delta_at ?delta rule
+
+(* Fire [rule] with the delta literal at [delta_at] reading [delta],
+   partitioned across the domain pool when the delta literal is the
+   outermost enumeration (no positive literal before it — the common
+   shape for linear recursion, e.g. [reach(?Y) :- reach(?X), e(?X,?Y)]).
+   The delta is materialized once; each chunk fires the rule over its
+   slice (pure reads — facts are only added afterwards, on the calling
+   domain) and per-chunk derivations are prepended in ascending chunk
+   order, which reproduces the whole-list derivation order for every
+   chunking.  Derived-tuple order determines set insertion order and so
+   the final output order, so this keeps answers byte-identical for
+   every --jobs value.  Rules whose delta literal sits under an outer
+   enumeration fire sequentially (see DESIGN.md). *)
+let eval_rule_delta ~set_of ~delta_at ~delta rule =
+  Metrics.incr m_firings;
+  let rec no_pos_before i = function
+    | _ when i <= 0 -> true
+    | [] -> true
+    | Pos _ :: _ -> false
+    | (Neg _ | Cmp _) :: rest -> no_pos_before (i - 1) rest
+  in
+  if not (no_pos_before delta_at rule.body) then
+    eval_rule_raw ~set_of ~delta_at ~delta rule
+  else begin
+    let tuples = Array.of_list (set_to_list delta) in
+    Ssd_par.Pool.fold_chunks ~n:(Array.length tuples)
+      ~chunk:(fun lo hi ->
+        let slice = Array.to_list (Array.sub tuples lo (hi - lo)) in
+        eval_rule_raw ~set_of ~delta_at ~delta_list:slice rule)
+      ~combine:(fun acc part -> part @ acc)
+      []
+  end
 
 let facts_of_edb edb =
   let facts : (string, tuple_set) Hashtbl.t = Hashtbl.create 16 in
@@ -665,7 +705,7 @@ let eval ?budget ~edb program =
                   let delta = Hashtbl.find deltas a.pred in
                   if set_size delta > 0 then begin
                     check_budget budget;
-                    let derived = eval_rule ~set_of ~delta_at:i ~delta r in
+                    let derived = eval_rule_delta ~set_of ~delta_at:i ~delta r in
                     let s = facts_set facts r.head.pred in
                     let nd = Hashtbl.find new_deltas r.head.pred in
                     List.iter

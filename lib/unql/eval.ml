@@ -132,29 +132,67 @@ let compare_labels a b =
 (* Regular path traversal inside the store                             *)
 (* ------------------------------------------------------------------ *)
 
+(* The two searches below run level-synchronous BFS over (node, state)
+   pairs: a FIFO queue pops in exactly level order, so taking a whole
+   level, expanding it, and merging the discovered pairs in frontier
+   order visits the same pairs in the same order as the classic queue
+   loop — but the expansion is pure (store/NFA reads only), so it can
+   run across the domain pool (Ssd_par).  Budget steps are consumed on
+   the coordinating domain, one per frontier item exactly as the queue
+   loop consumed one per pop, before any expansion: the set of expanded
+   items — and therefore the answer, even a Partial one — is identical
+   for every --jobs value. *)
+
+(* Take the budgeted prefix of a level: one step per item, stopping at
+   the first denial (the remaining items are exactly those the queue
+   loop would never have popped). *)
+let take_budgeted ctx level =
+  let n = Array.length level in
+  let taken = ref 0 in
+  while !taken < n && Budget.step ctx.budget do
+    incr taken
+  done;
+  !taken
+
 let regex_reach ctx start r =
   let nfa, closures = nfa_of ctx r in
   let seen = Hashtbl.create 64 in
   let answers = Hashtbl.create 16 in
-  let queue = Queue.create () in
+  let next = ref [] in
   let push u q =
     if not (Hashtbl.mem seen (u, q)) then begin
       Hashtbl.add seen (u, q) ();
-      Queue.push (u, q) queue
+      next := (u, q) :: !next
     end
   in
   List.iter (push start) (Nfa.start_set nfa);
-  while (not (Queue.is_empty queue)) && Budget.step ctx.budget do
-    let u, q = Queue.pop queue in
-    Metrics.incr m_auto_steps;
-    if nfa.Nfa.accept.(q) then Hashtbl.replace answers u ();
-    if nfa.Nfa.trans.(q) <> [] then
-      List.iter
-        (fun (l, v) ->
-          List.iter
-            (fun (p, q') -> if Lpred.matches p l then List.iter (push v) closures.(q'))
-            nfa.Nfa.trans.(q))
-        (succs ctx u)
+  let running = ref true in
+  while !running && !next <> [] do
+    let level = Array.of_list (List.rev !next) in
+    next := [];
+    let taken = take_budgeted ctx level in
+    if taken < Array.length level then running := false;
+    Metrics.add m_auto_steps taken;
+    for i = 0 to taken - 1 do
+      let u, q = level.(i) in
+      if nfa.Nfa.accept.(q) then Hashtbl.replace answers u ()
+    done;
+    let expanded =
+      Ssd_par.Pool.map_range taken (fun i ->
+          let u, q = level.(i) in
+          if nfa.Nfa.trans.(q) = [] then []
+          else
+            List.concat_map
+              (fun (l, v) ->
+                List.concat_map
+                  (fun (p, q') ->
+                    if Lpred.matches p l then
+                      List.map (fun q'' -> (v, q'')) closures.(q')
+                    else [])
+                  nfa.Nfa.trans.(q))
+              (succs ctx u))
+    in
+    Array.iter (List.iter (fun (v, q') -> push v q')) expanded
   done;
   Hashtbl.fold (fun u () acc -> u :: acc) answers [] |> List.sort_uniq compare
 
@@ -164,34 +202,51 @@ let regex_reach_paths ctx start r =
   let nfa, closures = nfa_of ctx r in
   let parent = Hashtbl.create 64 in
   let answers = Hashtbl.create 16 in
-  let queue = Queue.create () in
+  let next = ref [] in
   let push key prev =
     if not (Hashtbl.mem parent key) then begin
       Hashtbl.add parent key prev;
-      Queue.push key queue
+      next := key :: !next
     end
   in
   List.iter (fun q -> push (start, q) None) (Nfa.start_set nfa);
-  while (not (Queue.is_empty queue)) && Budget.step ctx.budget do
-    let ((u, q) as key) = Queue.pop queue in
-    Metrics.incr m_auto_steps;
-    if nfa.Nfa.accept.(q) && not (Hashtbl.mem answers u) then begin
-      let rec unwind key acc =
-        match Hashtbl.find parent key with
-        | None -> acc
-        | Some (prev, l) -> unwind prev (l :: acc)
-      in
-      Hashtbl.add answers u (unwind key [])
-    end;
-    if nfa.Nfa.trans.(q) <> [] then
-      List.iter
-        (fun (l, v) ->
-          List.iter
-            (fun (p, q') ->
-              if Lpred.matches p l then
-                List.iter (fun q'' -> push (v, q'') (Some (key, l))) closures.(q'))
-            nfa.Nfa.trans.(q))
-        (succs ctx u)
+  let running = ref true in
+  while !running && !next <> [] do
+    let level = Array.of_list (List.rev !next) in
+    next := [];
+    let taken = take_budgeted ctx level in
+    if taken < Array.length level then running := false;
+    Metrics.add m_auto_steps taken;
+    for i = 0 to taken - 1 do
+      let ((u, q) as key) = level.(i) in
+      if nfa.Nfa.accept.(q) && not (Hashtbl.mem answers u) then begin
+        let rec unwind key acc =
+          match Hashtbl.find parent key with
+          | None -> acc
+          | Some (prev, l) -> unwind prev (l :: acc)
+        in
+        Hashtbl.add answers u (unwind key [])
+      end
+    done;
+    (* Workers return ((v, q''), (parent key, label)) per discovery;
+       merging in frontier order makes first-discovery — and so each
+       witness path — identical to the queue loop's. *)
+    let expanded =
+      Ssd_par.Pool.map_range taken (fun i ->
+          let ((u, q) as key) = level.(i) in
+          if nfa.Nfa.trans.(q) = [] then []
+          else
+            List.concat_map
+              (fun (l, v) ->
+                List.concat_map
+                  (fun (p, q') ->
+                    if Lpred.matches p l then
+                      List.map (fun q'' -> ((v, q''), (key, l))) closures.(q')
+                    else [])
+                  nfa.Nfa.trans.(q))
+              (succs ctx u))
+    in
+    Array.iter (List.iter (fun (key, prev) -> push key (Some prev))) expanded
   done;
   Hashtbl.fold (fun u path acc -> (u, path) :: acc) answers []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -272,6 +327,36 @@ let all_literal_steps env steps =
   in
   go [] steps
 
+(* A pattern is safe to match across worker domains when matching it
+   cannot mutate the store: every step form reads only, except a regex
+   with a path binder (its witness is reified as a chain of fresh store
+   nodes).  Conditions never appear inside patterns, so this is the only
+   exclusion. *)
+let rec pattern_par_safe = function
+  | Pany | Pbind _ -> true
+  | Pedges entries ->
+    List.for_all
+      (fun (steps, sub) ->
+        List.for_all
+          (function Sregex (_, Some _) -> false | Slit _ | Sbind _ | Spred _ | Sregex (_, None) -> true)
+          steps
+        && pattern_par_safe sub)
+      entries
+
+let rec pattern_regexes p acc =
+  match p with
+  | Pany | Pbind _ -> acc
+  | Pedges entries ->
+    List.fold_left
+      (fun acc (steps, sub) ->
+        let acc =
+          List.fold_left
+            (fun acc -> function Sregex (r, _) -> r :: acc | Slit _ | Sbind _ | Spred _ -> acc)
+            acc steps
+        in
+        pattern_regexes sub acc)
+      acc entries
+
 let rec eval_expr ctx env = function
   | Empty -> Store.add_node ctx.st
   | Db -> ctx.db_node
@@ -340,20 +425,65 @@ let rec eval_expr ctx env = function
 and eval_clauses ctx envs = function
   | [] -> envs
   | Gen (p, e) :: rest ->
-    let envs =
-      List.concat_map
-        (fun env ->
-          match guided_generator ctx env p e with
-          | Some envs -> envs
-          | None ->
-            let node = eval_expr ctx env e in
-            match_pattern ctx env node p)
-        envs
-    in
+    let envs = gen_envs ctx envs p e in
     Metrics.add m_bindings (List.length envs);
     eval_clauses ctx envs rest
   | Where c :: rest ->
     eval_clauses ctx (List.filter (fun env -> eval_cond_exact ctx env c) envs) rest
+
+(* One generator clause over a list of candidate environments.  When the
+   source expression needs no evaluation (Db, or a variable already bound
+   to a tree node) and the pattern cannot touch the store (see
+   [pattern_par_safe]), each environment's match is independent read-only
+   work: fan it out across the pool and concatenate the per-environment
+   results in input order, which is byte-identical to the sequential
+   scan.  Everything else — DataGuide shortcuts, sources that must be
+   evaluated, path-binding regexes — keeps the sequential path. *)
+and gen_envs ctx envs p e =
+  let sequential () =
+    List.concat_map
+      (fun env ->
+        match guided_generator ctx env p e with
+        | Some envs -> envs
+        | None ->
+          let node = eval_expr ctx env e in
+          match_pattern ctx env node p)
+      envs
+  in
+  let source_node env =
+    match e with
+    | Db -> Some ctx.db_node
+    | Var x -> (
+      match Env.find_opt x env.vars with Some (Enode n) -> Some n | _ -> None)
+    | _ -> None
+  in
+  match envs with
+  | [] | [ _ ] -> sequential ()
+  | _ ->
+    if
+      Ssd_par.Pool.default_jobs () <= 1
+      || ctx.opts.dataguide <> None
+      || not (pattern_par_safe p)
+    then sequential ()
+    else begin
+      let nodes = List.map source_node envs in
+      if List.mem None nodes then sequential ()
+      else begin
+        (* Workers must only read the NFA cache: build entries for every
+           regex in the pattern before entering the region. *)
+        List.iter (fun r -> ignore (nfa_of ctx r)) (pattern_regexes p []);
+        let arr =
+          Array.of_list
+            (List.map2 (fun env node -> (env, Option.get node)) envs nodes)
+        in
+        let parts =
+          Ssd_par.Pool.map_range ~min_par:2 (Array.length arr) (fun i ->
+              let env, node = arr.(i) in
+              match_pattern ctx env node p)
+        in
+        List.concat (Array.to_list parts)
+      end
+    end
 
 (* DataGuide shortcuts for single-entry patterns on DB: an all-literal
    path is answered by one guide lookup; a single regex step is answered
@@ -430,10 +560,26 @@ and apply ctx closure start =
   while (not (Queue.is_empty closure.queue)) && Budget.step ctx.budget do
     let u = Queue.pop closure.queue in
     let r = Hashtbl.find closure.memo u in
+    let edges = succs ctx u in
+    (* Case matching per edge is pure (find_case never consults the
+       store), so a wide node's edge set is scanned across the pool;
+       body evaluation stays on this domain, in edge order, so the store
+       is constructed in exactly the same order — and result graphs and
+       their printed forms are byte-identical — for every jobs value. *)
+    let matched =
+      if Ssd_par.Pool.default_jobs () > 1 then begin
+        let earr = Array.of_list edges in
+        Array.to_list
+          (Ssd_par.Pool.map_range (Array.length earr) (fun i ->
+               let l, v = earr.(i) in
+               (v, find_case closure.def.cases l)))
+      end
+      else List.map (fun (l, v) -> (v, find_case closure.def.cases l)) edges
+    in
     List.iter
-      (fun (l, v) ->
+      (fun (v, case_match) ->
         Metrics.incr m_sfun_edges;
-        match find_case closure.def.cases l with
+        match case_match with
         | None -> ()
         | Some (case, label_binding) ->
           let vars =
@@ -449,7 +595,7 @@ and apply ctx closure start =
           let env = { vars; funs = closure.fenv } in
           let frag = eval_expr ctx env case.cbody in
           Store.add_eps ctx.st r frag)
-      (succs ctx u)
+      matched
   done;
   r0
 

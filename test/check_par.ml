@@ -1,0 +1,49 @@
+(* CLI-level jobs invariance: `ssdql query --jobs 4` output (answer and
+   stats) must be byte-identical to `--jobs 1` once timer values — the
+   only thing allowed to vary — are masked out.  Driven by dune rules
+   that capture real CLI runs on figure1 and a generated web graph. *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn > 0 && at 0
+
+(* Timers are wall-clock and may legitimately differ across jobs. *)
+let mask lines = List.filter (fun l -> not (contains_sub l "_ns")) lines
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let compare_pair name seq_path par_path =
+  let seq = read_lines seq_path and par = read_lines par_path in
+  if seq = [] then fail "%s: sequential capture is empty" name;
+  if not (List.exists (fun l -> contains_sub l "unql.") seq) then
+    fail "%s: no unql.* stats in capture" name;
+  let ms = mask seq and mp = mask par in
+  if List.length ms = List.length seq then
+    fail "%s: no timer lines found — masking is vacuous" name;
+  if ms <> mp then begin
+    List.iteri
+      (fun i (a, b) ->
+        if a <> b then Printf.eprintf "%s: line %d differs:\n  jobs=1: %s\n  jobs=4: %s\n" name i a b)
+      (List.combine ms mp |> fun l -> if List.length ms = List.length mp then l else []);
+    fail "%s: --jobs 4 output differs from --jobs 1" name
+  end
+
+let () =
+  match Sys.argv with
+  | [| _; fig_seq; fig_par; web_seq; web_par |] ->
+    compare_pair "figure1" fig_seq fig_par;
+    compare_pair "webgraph" web_seq web_par;
+    print_endline "check_par: --jobs 4 byte-identical to --jobs 1 (timers masked)"
+  | _ -> fail "usage: check_par FIG_J1 FIG_J4 WEB_J1 WEB_J4"

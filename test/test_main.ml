@@ -33,4 +33,6 @@ let () =
       ("optimize", Test_optimize.tests);
       ("lint", Test_lint.tests);
       ("budget", Test_budget.tests);
+      ("par", Test_par.tests);
+      ("par-budget", Test_par_budget.tests);
     ]
