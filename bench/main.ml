@@ -1106,12 +1106,126 @@ let e17 () =
              @ [ "speedup@4" ])
     rows
 
+(* ------------------------------------------------------------------ *)
+(* E18 — serving: open-loop latency; shed vs collapse under overload   *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  section "E18 serve: open-loop request latency; admission control vs queue collapse";
+  let module Engine = Ssd_serve.Engine in
+  let module Proto = Ssd_serve.Proto in
+  let n_entries = if !full then 2000 else 500 in
+  let n_reqs = if !full then 400 else 200 in
+  let db = Ssd_workload.Movies.generate ~seed:18 ~n_entries () in
+  let q = {| select {t: \T} where {entry.movie.title: \T} <- DB |} in
+  (* cache off: every request pays the evaluation, like distinct tenants *)
+  let req = "QUERY cache=off " ^ q in
+  let percentile a p =
+    let a = Array.of_list a in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then nan
+    else a.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float n)) - 1)))
+  in
+  (* Open-loop generator in virtual time: request i arrives at i*ia
+     regardless of the server (that is what makes overload overload);
+     the single-server loop handles them in order, so
+     latency_i = finish_i - arrival_i includes queueing delay.  The
+     backlog the transport would report is the arrivals not yet served
+     when request i starts. *)
+  let open_loop ~config ~ia_ns =
+    let engine = Engine.create ~config (Engine.store ~db ()) in
+    let all_lat = ref [] and admit_lat = ref [] in
+    let n_shed = ref 0 and n_partial = ref 0 and n_err = ref 0 in
+    let now = ref 0. in
+    for i = 0 to n_reqs - 1 do
+      let arrive = float_of_int i *. ia_ns in
+      let start = Float.max !now arrive in
+      let arrived = min n_reqs (1 + int_of_float (start /. ia_ns)) in
+      let queued = max 0 (arrived - i - 1) in
+      let t0 = Ssd_obs.Clock.now_ns () in
+      let resp, _ = Engine.handle ~queued engine req in
+      let dt = Ssd_obs.Clock.now_ns () -. t0 in
+      (* every answer, under any load, must be a well-formed frame *)
+      (match Proto.parse_response (Proto.render_response resp) 0 with
+      | Result.Ok _ -> ()
+      | Result.Error _ -> incr n_err);
+      let finish = start +. dt in
+      let lat = finish -. arrive in
+      all_lat := lat :: !all_lat;
+      (match resp.Proto.status with
+      | Proto.Shed -> incr n_shed
+      | Proto.Partial ->
+        incr n_partial;
+        admit_lat := lat :: !admit_lat
+      | Proto.Complete -> admit_lat := lat :: !admit_lat
+      | Proto.Error -> incr n_err);
+      now := finish
+    done;
+    (!all_lat, !admit_lat, !n_shed, !n_partial, !n_err)
+  in
+  (* calibrate the service time on a warm engine *)
+  let warm = Engine.create (Engine.store ~db ()) in
+  ignore (Engine.handle warm req);
+  let _, svc_s = time_once (fun () -> ignore (Engine.handle warm req)) in
+  let svc_ns = Float.max 1e4 (svc_s *. 1e9) in
+  let admission =
+    {
+      Engine.default_config with
+      Engine.shed_at = 12;
+      pressure_at = 4;
+      pressure_max_steps = 200;
+    }
+  in
+  let no_admission =
+    { Engine.default_config with Engine.shed_at = max_int; pressure_at = max_int }
+  in
+  (* A: under capacity (arrivals at half the service rate) *)
+  let lat_a, _, shed_a, _, err_a = open_loop ~config:admission ~ia_ns:(2. *. svc_ns) in
+  (* B: 8x overload, admission on — degrade into partial, then shed *)
+  let lat_b, admit_b, shed_b, partial_b, err_b =
+    open_loop ~config:admission ~ia_ns:(svc_ns /. 8.)
+  in
+  (* C: the same overload with admission off — the queue collapses *)
+  let lat_c, _, shed_c, _, err_c = open_loop ~config:no_admission ~ia_ns:(svc_ns /. 3.) in
+  if err_a + err_b + err_c > 0 then
+    failwith (Printf.sprintf "e18: %d protocol errors under load!" (err_a + err_b + err_c));
+  if shed_a > 0 then failwith "e18: shed under capacity!";
+  if shed_c > 0 then failwith "e18: shed with admission off!";
+  record "serve_p50_ns" (percentile lat_a 50.);
+  record "serve_p99_ns" (percentile lat_a 99.);
+  record "serve_over_shed" (float_of_int shed_b);
+  record "serve_over_partial" (float_of_int partial_b);
+  record "serve_over_p99_admit_ns" (percentile admit_b 99.);
+  record "serve_over_p99_collapse_ns" (percentile lat_c 99.);
+  print_table
+    ~title:
+      (Printf.sprintf
+         "open loop, %d requests, service time %s; overload = 8x (admission) / 3x \
+          (collapse) arrival rate"
+         n_reqs (ns_to_string svc_ns))
+    ~header:[ "phase"; "p50"; "p99"; "shed"; "partial" ]
+    [
+      [ "under capacity"; ns_to_string (percentile lat_a 50.);
+        ns_to_string (percentile lat_a 99.); string_of_int shed_a; "0" ];
+      [ "overload+admission"; ns_to_string (percentile lat_b 50.);
+        ns_to_string (percentile lat_b 99.); string_of_int shed_b;
+        string_of_int partial_b ];
+      [ "overload, no admission"; ns_to_string (percentile lat_c 50.);
+        ns_to_string (percentile lat_c 99.); string_of_int shed_c; "0" ];
+    ];
+  Printf.printf
+    "(admitted p99 under overload %s vs collapsed p99 %s: shedding converts \
+     queueing delay into typed refusals)\n"
+    (ns_to_string (percentile admit_b 99.))
+    (ns_to_string (percentile lat_c 99.))
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17);
+    ("e17", e17); ("e18", e18);
   ]
 
 let () =

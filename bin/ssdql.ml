@@ -478,6 +478,73 @@ let profile_cmd jobs data lang repeat format trace_out query_text =
     trace_out
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Long-running multi-tenant query service over a Unix or TCP socket.
+   The line protocol, admission control and partial-answer semantics
+   live in lib/serve (see README "Serving"); this command only wires
+   data loading, the socket address, config knobs and shutdown. *)
+let serve_cmd data socket_path tcp_port host workers shed_at pressure_at
+    pressure_max_steps max_frame cache_capacity max_requests trace_out stats
+    stats_format =
+  let db = load_data data in
+  if trace_out <> None then begin
+    Ssd_obs.Trace.enable ();
+    Ssd_obs.Trace.name_lane 0 "acceptor"
+  end;
+  let store = Ssd_serve.Engine.store ~cache_capacity ~db () in
+  let config =
+    {
+      Ssd_serve.Engine.max_frame;
+      shed_at;
+      pressure_at;
+      pressure_max_steps;
+    }
+  in
+  let engine = Ssd_serve.Engine.create ~config store in
+  let addr =
+    match tcp_port with
+    | Some port -> Ssd_serve.Server.Tcp (host, port)
+    | None -> Ssd_serve.Server.Unix_sock socket_path
+  in
+  let server = Ssd_serve.Server.start ~workers ~engine addr in
+  (match Ssd_serve.Server.bound server with
+  | Ssd_serve.Server.Unix_sock path ->
+    Printf.eprintf "ssdql serve: listening on unix:%s (workers=%d)\n%!" path workers
+  | Ssd_serve.Server.Tcp (host, port) ->
+    Printf.eprintf "ssdql serve: listening on tcp:%s:%d (workers=%d)\n%!" host port
+      workers);
+  let stop_requested = Atomic.make false in
+  let request_stop _ = Atomic.set stop_requested true in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+  let done_ () =
+    Atomic.get stop_requested
+    ||
+    match max_requests with
+    | None -> false
+    | Some n -> (Ssd_serve.Engine.stats engine).Ssd_serve.Engine.requests >= n
+  in
+  while not (done_ ()) do
+    Unix.sleepf 0.05
+  done;
+  Ssd_serve.Server.stop server;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  let s = Ssd_serve.Engine.stats engine in
+  Printf.eprintf
+    "ssdql serve: stopped after %d requests (%d accepted, %d shed, %d partial, %d errors, %d updates)\n%!"
+    s.Ssd_serve.Engine.requests s.Ssd_serve.Engine.accepted s.Ssd_serve.Engine.shed
+    s.Ssd_serve.Engine.partial s.Ssd_serve.Engine.errors s.Ssd_serve.Engine.updates;
+  Option.iter
+    (fun path ->
+      Ssd_obs.Trace.write_chrome path;
+      Printf.eprintf "trace written to %s (load in chrome://tracing or Perfetto)\n" path)
+    trace_out;
+  if stats then dump_stats stats_format
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -689,6 +756,75 @@ let dist_t =
     Term.(const dist_cmd $ jobs_arg $ data_arg $ sites $ partition $ seed $ faults
           $ deadline_ms_arg $ max_steps_arg $ format $ quiet $ trace_out_arg $ q)
 
+let serve_t =
+  let socket =
+    Arg.(value & opt string "/tmp/ssdql.sock" & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket path to listen on (default; ignored with --port).")
+  in
+  let port =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"N"
+           ~doc:"Listen on TCP instead of a Unix socket; 0 picks a free port \
+                 (printed on the status line).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+           ~doc:"Bind address for --port.")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains serving connections concurrently (default 4).")
+  in
+  let shed_at =
+    Arg.(value & opt int Ssd_serve.Engine.default_config.Ssd_serve.Engine.shed_at
+         & info [ "shed-at" ] ~docv:"N"
+             ~doc:"Load (queued + in-flight requests) above which new queries \
+                   are refused with a shed response (SSD554).")
+  in
+  let pressure_at =
+    Arg.(value
+         & opt int Ssd_serve.Engine.default_config.Ssd_serve.Engine.pressure_at
+         & info [ "pressure-at" ] ~docv:"N"
+             ~doc:"Load above which query step budgets are clamped so requests \
+                   answer quickly with typed partial results.")
+  in
+  let pressure_max_steps =
+    Arg.(value
+         & opt int
+             Ssd_serve.Engine.default_config.Ssd_serve.Engine.pressure_max_steps
+         & info [ "pressure-max-steps" ] ~docv:"N"
+             ~doc:"The clamped step budget applied under pressure.")
+  in
+  let max_frame =
+    Arg.(value & opt int Ssd_serve.Engine.default_config.Ssd_serve.Engine.max_frame
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:"Request frames longer than this are refused (SSD551).")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 128 & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Entries in the shared query result cache (LRU).")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N"
+           ~doc:"Stop gracefully after handling N requests (for scripted runs; \
+                 default: run until SIGINT/SIGTERM).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Dump the metrics registry (serve.* counters and the latency \
+                 histogram) after shutdown.")
+  in
+  let stats_format =
+    Arg.(value & opt string "text" & info [ "stats-format" ] ~docv:"FMT"
+           ~doc:"Metrics dump format: text or json.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve queries to concurrent clients over a Unix or TCP socket, \
+             with a shared result cache, admission control and load shedding")
+    Term.(const serve_cmd $ data_arg $ socket $ port $ host $ workers $ shed_at
+          $ pressure_at $ pressure_max_steps $ max_frame $ cache_capacity
+          $ max_requests $ trace_out_arg $ stats $ stats_format)
+
 let () =
   let doc = "semistructured data toolbox (Buneman, PODS'97 reproduction)" in
   let info = Cmd.info "ssdql" ~version:"1.0.0" ~doc in
@@ -706,4 +842,5 @@ let () =
             gen_t;
             dist_t;
             profile_t;
+            serve_t;
           ]))

@@ -170,6 +170,12 @@ let codes =
     ("SSD540", Error, "distributed evaluation: partition must have a positive site count");
     ("SSD541", Error, "fault plan: malformed fault specification");
     ("SSD542", Error, "storage pager: page or buffer capacity must be positive");
+    ("SSD550", Error, "serve: malformed request frame");
+    ("SSD551", Error, "serve: request frame exceeds the size limit");
+    ("SSD552", Error, "serve: unknown or malformed request option");
+    ("SSD553", Error, "serve: request failed during parsing or evaluation");
+    ("SSD554", Warning, "serve: server overloaded, request shed (retry later)");
+    ("SSD555", Error, "serve: unsupported verb or query language");
   ]
 
 let describe code =

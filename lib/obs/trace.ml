@@ -44,94 +44,128 @@ type span = {
 let flag = ref false
 let nodes : node list ref = ref [] (* reverse start order *)
 let insts : instant list ref = ref [] (* reverse emission order *)
-let stack : node list ref = ref []
 let next_id = ref 1
 let next_flow_id = ref 1
 let lane_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+(* The collector is shared by every domain (the query server handles
+   requests on pool domains, each tracing its own request span), so the
+   global event lists and id counters are guarded by a mutex.  The span
+   *stack* is per-domain state: nesting is a property of one domain's
+   call tree, and a worker's spans must never become children of a span
+   another domain happens to have open. *)
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let stack_key : node list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let stack () = Domain.DLS.get stack_key
+
+(* Per-domain default lane: a server worker calls [set_lane] once and
+   every span it opens (including evaluator-internal ones that never
+   pass [?lane]) lands in its own Chrome thread, keeping B/E pairs
+   well-nested per lane even with concurrent requests. *)
+let lane_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let set_lane l = Domain.DLS.get lane_key := l
+let lane () = !(Domain.DLS.get lane_key)
 
 let enable () = flag := true
 let disable () = flag := false
 let enabled () = !flag
 
 let clear () =
-  nodes := [];
-  insts := [];
-  stack := [];
-  next_id := 1;
-  next_flow_id := 1;
-  Hashtbl.reset lane_names
+  locked (fun () ->
+      nodes := [];
+      insts := [];
+      next_id := 1;
+      next_flow_id := 1;
+      Hashtbl.reset lane_names);
+  (stack ()) := [];
+  set_lane 0
 
 let current () =
-  match !stack with
+  match !(stack ()) with
   | n :: _ -> n.n_id
   | [] -> 0
 
-let name_lane lane name = if !flag then Hashtbl.replace lane_names lane name
+let name_lane lane name = if !flag then locked (fun () -> Hashtbl.replace lane_names lane name)
 
 let new_flow () =
-  let f = !next_flow_id in
-  incr next_flow_id;
-  f
+  locked (fun () ->
+      let f = !next_flow_id in
+      incr next_flow_id;
+      f)
 
-let with_span ?(lane = 0) ?(attrs = []) name f =
+let with_span ?lane:lane_opt ?(attrs = []) name f =
   if not !flag then f ()
   else begin
-    let id = !next_id in
-    incr next_id;
+    let st = stack () in
+    let parent = match !st with n :: _ -> n.n_id | [] -> 0 in
+    let lane = match lane_opt with Some l -> l | None -> lane () in
     let n =
-      {
-        n_id = id;
-        n_parent = current ();
-        n_name = name;
-        n_lane = lane;
-        n_start_ns = Clock.now_ns ();
-        n_dur_ns = -1.;
-        n_attrs = List.rev attrs;
-      }
+      locked (fun () ->
+          let id = !next_id in
+          incr next_id;
+          let n =
+            {
+              n_id = id;
+              n_parent = parent;
+              n_name = name;
+              n_lane = lane;
+              n_start_ns = Clock.now_ns ();
+              n_dur_ns = -1.;
+              n_attrs = List.rev attrs;
+            }
+          in
+          nodes := n :: !nodes;
+          n)
     in
-    nodes := n :: !nodes;
-    stack := n :: !stack;
+    st := n :: !st;
     Fun.protect
       ~finally:(fun () ->
         n.n_dur_ns <- Float.max 0. (Clock.now_ns () -. n.n_start_ns);
-        match !stack with
-        | top :: rest when top == n -> stack := rest
+        match !st with
+        | top :: rest when top == n -> st := rest
         | _ -> () (* unbalanced exit; leave the stack as-is *))
       f
   end
 
 let annotate key v =
   if !flag then
-    match !stack with
+    match !(stack ()) with
     | n :: _ -> n.n_attrs <- (key, v) :: List.remove_assoc key n.n_attrs
     | [] -> ()
 
 let bump key d =
   if !flag then
-    match !stack with
+    match !(stack ()) with
     | n :: _ ->
       let prev = match List.assoc_opt key n.n_attrs with Some (Int i) -> i | _ -> 0 in
       n.n_attrs <- (key, Int (prev + d)) :: List.remove_assoc key n.n_attrs
     | [] -> ()
 
-let instant ?(lane = 0) ?parent ?flow ?(attrs = []) name =
+let instant ?lane:lane_opt ?parent ?flow ?(attrs = []) name =
   if !flag then begin
     let parent = match parent with Some p -> p | None -> current () in
+    let lane = match lane_opt with Some l -> l | None -> lane () in
     let flow_id, flow_end = match flow with Some (f, e) -> (f, e) | None -> (0, false) in
-    insts :=
-      {
-        i_name = name;
-        i_lane = lane;
-        i_parent = parent;
-        i_ts_ns = Clock.now_ns ();
-        i_flow = flow_id;
-        i_flow_end = flow_end;
-        i_attrs = attrs;
-      }
-      :: !insts
+    locked (fun () ->
+        insts :=
+          {
+            i_name = name;
+            i_lane = lane;
+            i_parent = parent;
+            i_ts_ns = Clock.now_ns ();
+            i_flow = flow_id;
+            i_flow_end = flow_end;
+            i_attrs = attrs;
+          }
+          :: !insts)
   end
 
-let instants () = List.rev !insts
+let instants () = locked (fun () -> List.rev !insts)
 
 (* ------------------------------------------------------------------ *)
 (* Frozen views                                                        *)
@@ -142,7 +176,7 @@ let instants () = List.rev !insts
 let node_dur n = if n.n_dur_ns >= 0. then n.n_dur_ns else Float.max 0. (Clock.now_ns () -. n.n_start_ns)
 
 let spans () =
-  let ordered = List.rev !nodes in
+  let ordered = locked (fun () -> List.rev !nodes) in
   (* children of each id, in execution order *)
   let kids : (int, node list ref) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -220,11 +254,12 @@ let value_to_json = function
 (* The earliest timestamp becomes ts = 0 so files are small and stable
    under the arbitrary monotonic epoch. *)
 let epoch_ns () =
-  let t0 =
-    List.fold_left (fun acc n -> Float.min acc n.n_start_ns) infinity !nodes
-  in
-  let t0 = List.fold_left (fun acc i -> Float.min acc i.i_ts_ns) t0 !insts in
-  if t0 = infinity then 0. else t0
+  locked (fun () ->
+      let t0 =
+        List.fold_left (fun acc n -> Float.min acc n.n_start_ns) infinity !nodes
+      in
+      let t0 = List.fold_left (fun acc i -> Float.min acc i.i_ts_ns) t0 !insts in
+      if t0 = infinity then 0. else t0)
 
 let to_chrome () =
   let module J = Ssd.Json in

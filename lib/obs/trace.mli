@@ -16,7 +16,15 @@
 
     Disabled by default; every entry point then costs one ref read.  The
     collector is process-global, like {!Metrics.default}.  All timestamps
-    come from the monotonic {!Clock}, so durations are never negative. *)
+    come from the monotonic {!Clock}, so durations are never negative.
+
+    {b Domain safety:} the global event lists and id counters are
+    mutex-guarded, and each domain keeps its {e own} span stack (so
+    nesting reflects one domain's call tree).  A server worker handling
+    a request on its own domain calls {!set_lane} once; all its spans —
+    including evaluator-internal ones — then render in its own lane,
+    keeping B/E pairs well-nested per lane under concurrency.
+    {!annotate}/{!bump} mutate only the calling domain's open span. *)
 
 val enable : unit -> unit
 val disable : unit -> unit
@@ -62,6 +70,13 @@ val instant :
 
 (** Name a lane (rendered as the Chrome thread name, e.g. "site 3"). *)
 val name_lane : int -> string -> unit
+
+(** Set the calling domain's default lane: spans and instants that do not
+    pass [?lane] land there.  Fresh domains start at lane 0. *)
+val set_lane : int -> unit
+
+(** The calling domain's default lane. *)
+val lane : unit -> int
 
 (** {1 Frozen views} *)
 

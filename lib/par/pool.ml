@@ -104,6 +104,82 @@ let run t job =
   Mutex.unlock t.m
 
 (* ------------------------------------------------------------------ *)
+(* Task pool: async submission for request-level concurrency           *)
+(* ------------------------------------------------------------------ *)
+
+(* The region pool above is a barrier: one caller, everyone works on one
+   job, caller blocks.  The query server needs the opposite shape — many
+   independent long-lived tasks (one per connection) running
+   concurrently while the submitter keeps accepting.  A task pool is a
+   plain work queue drained by dedicated domains; tasks are expected to
+   block (socket reads), which worker domains tolerate and region
+   workers must not. *)
+
+type task_pool = {
+  mutable tp_workers : unit Domain.t array;
+  tp_m : Mutex.t;
+  tp_nonempty : Condition.t;
+  tp_queue : (unit -> unit) Queue.t;
+  mutable tp_stop : bool;
+}
+
+let rec task_worker_loop tp =
+  Mutex.lock tp.tp_m;
+  while (not tp.tp_stop) && Queue.is_empty tp.tp_queue do
+    Condition.wait tp.tp_nonempty tp.tp_m
+  done;
+  if tp.tp_stop then Mutex.unlock tp.tp_m
+  else begin
+    let task = Queue.pop tp.tp_queue in
+    Mutex.unlock tp.tp_m;
+    (* A raising task must not kill its domain: the pool would silently
+       lose capacity and task_shutdown would still join fine, masking
+       the bug.  Swallow; tasks report their own failures. *)
+    (try task () with _ -> ());
+    task_worker_loop tp
+  end
+
+let task_pool ~workers =
+  let workers = clamp_jobs workers in
+  let tp =
+    {
+      tp_workers = [||];
+      tp_m = Mutex.create ();
+      tp_nonempty = Condition.create ();
+      tp_queue = Queue.create ();
+      tp_stop = false;
+    }
+  in
+  tp.tp_workers <- Array.init workers (fun _ -> Domain.spawn (fun () -> task_worker_loop tp));
+  tp
+
+let task_workers tp = Array.length tp.tp_workers
+
+let submit tp task =
+  Mutex.lock tp.tp_m;
+  let accepted = not tp.tp_stop in
+  if accepted then begin
+    Queue.push task tp.tp_queue;
+    Condition.signal tp.tp_nonempty
+  end;
+  Mutex.unlock tp.tp_m;
+  accepted
+
+let task_pending tp =
+  Mutex.lock tp.tp_m;
+  let n = Queue.length tp.tp_queue in
+  Mutex.unlock tp.tp_m;
+  n
+
+let task_shutdown tp =
+  Mutex.lock tp.tp_m;
+  let fresh = not tp.tp_stop in
+  tp.tp_stop <- true;
+  Condition.broadcast tp.tp_nonempty;
+  Mutex.unlock tp.tp_m;
+  if fresh then Array.iter Domain.join tp.tp_workers
+
+(* ------------------------------------------------------------------ *)
 (* Shared pool                                                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -52,6 +52,41 @@ val jobs : t -> int
     from inside a parallel region. *)
 val shutdown : t -> unit
 
+(** {2 Task pools}
+
+    The region entry points below are a barrier: one caller, all pool
+    members cooperate on one job, the caller blocks until it finishes.
+    The query server ({!Ssd_serve}) needs the opposite shape — many
+    independent, possibly blocking tasks (one per client connection)
+    running concurrently while the submitter keeps accepting new work.
+    A task pool is a mutex/condition work queue drained by [workers]
+    dedicated domains.  Unlike region workers, task-pool workers may
+    block (socket reads); unlike regions, nothing is deterministic about
+    task interleaving — determinism is the {e handler's} contract, not
+    the pool's. *)
+
+type task_pool
+
+(** [task_pool ~workers] spawns [workers] domains (clamped to 1..64)
+    that drain the queue until {!task_shutdown}. *)
+val task_pool : workers:int -> task_pool
+
+val task_workers : task_pool -> int
+
+(** Enqueue a task; returns [false] (task dropped) after
+    {!task_shutdown}.  A raising task is swallowed — it must report its
+    own failures — and never kills its worker domain. *)
+val submit : task_pool -> (unit -> unit) -> bool
+
+(** Tasks submitted but not yet started. *)
+val task_pending : task_pool -> int
+
+(** Stop accepting tasks, drop the not-yet-started backlog, and join
+    every worker after its current task finishes.  Idempotent.  Tasks
+    that block forever will block shutdown: the caller must first
+    interrupt them (the server shuts down its sockets). *)
+val task_shutdown : task_pool -> unit
+
 (** {2 The shared pool}
 
     Library code does not thread a pool through every call chain;

@@ -1,0 +1,346 @@
+(* The request engine: one protocol frame in, one response out.  See
+   engine.mli for the shared-store and admission-control story. *)
+
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Budget = Ssd.Budget
+module Metrics = Ssd_obs.Metrics
+module Trace = Ssd_obs.Trace
+
+let m_requests = Metrics.counter "serve.requests"
+let m_accepted = Metrics.counter "serve.accepted"
+let m_shed = Metrics.counter "serve.shed"
+let m_partial = Metrics.counter "serve.partial"
+let m_errors = Metrics.counter "serve.errors"
+let m_updates = Metrics.counter "serve.updates"
+let m_cache_hits = Metrics.counter "serve.cache_hits"
+let m_latency = Metrics.histogram "serve.latency_ns"
+
+type config = {
+  max_frame : int;
+  shed_at : int;
+  pressure_at : int;
+  pressure_max_steps : int;
+}
+
+let default_config =
+  { max_frame = 65536; shed_at = 64; pressure_at = 8; pressure_max_steps = 20_000 }
+
+type store = {
+  m : Mutex.t;
+  mutable db : Graph.t;
+  cache : Unql.Cache.t;
+  inflight : int Atomic.t;
+  req_seq : int Atomic.t;
+}
+
+let store ?(cache_capacity = 128) ~db () =
+  {
+    m = Mutex.create ();
+    db;
+    cache = Unql.Cache.create ~capacity:cache_capacity ();
+    inflight = Atomic.make 0;
+    req_seq = Atomic.make 0;
+  }
+
+let locked store f =
+  Mutex.lock store.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock store.m) f
+
+let store_db store = locked store (fun () -> store.db)
+let cache_stats store = locked store (fun () -> Unql.Cache.stats store.cache)
+
+type stats = {
+  requests : int;
+  accepted : int;
+  shed : int;
+  partial : int;
+  errors : int;
+  updates : int;
+}
+
+type t = {
+  cfg : config;
+  st : store;
+  (* engine-local counters, guarded by st.m *)
+  mutable n_requests : int;
+  mutable n_accepted : int;
+  mutable n_shed : int;
+  mutable n_partial : int;
+  mutable n_errors : int;
+  mutable n_updates : int;
+}
+
+let create ?(config = default_config) st =
+  {
+    cfg = config;
+    st;
+    n_requests = 0;
+    n_accepted = 0;
+    n_shed = 0;
+    n_partial = 0;
+    n_errors = 0;
+    n_updates = 0;
+  }
+
+let config t = t.cfg
+
+let stats t =
+  locked t.st (fun () ->
+      {
+        requests = t.n_requests;
+        accepted = t.n_accepted;
+        shed = t.n_shed;
+        partial = t.n_partial;
+        errors = t.n_errors;
+        updates = t.n_updates;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (matches the ssdql CLI byte-for-byte in text format)      *)
+(* ------------------------------------------------------------------ *)
+
+let render_graph_text g = Graph.to_string g ^ "\n"
+
+let render_relation_text r = Relstore.Relation.to_string r ^ "\n"
+
+let render_datalog_text results =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (pred, tuples) ->
+      Buffer.add_string buf (Printf.sprintf "%s: %d tuples\n" pred (List.length tuples));
+      List.iter
+        (fun tuple ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s(%s)\n" pred
+               (String.concat ", " (List.map Label.to_string tuple))))
+        tuples)
+    results;
+  Buffer.contents buf
+
+(* format=json wraps the text rendering in a JSON envelope (the text
+   renderers are total on cyclic results, where a tree conversion would
+   not be). *)
+let render_body (opts : Proto.options) ~status ~detail text =
+  if opts.format = "json" then
+    Ssd.Json.to_string
+      (Ssd.Json.Obj
+         [
+           ("status", Ssd.Json.String (Proto.status_to_string status));
+           ("detail", Ssd.Json.String detail);
+           ("result", Ssd.Json.String text);
+         ])
+    ^ "\n"
+  else text
+
+let result_response (opts : Proto.options) outcome_text =
+  let status, detail, text =
+    match outcome_text with
+    | Budget.Complete text -> (Proto.Complete, "-", text)
+    | Budget.Partial (text, why) ->
+      (Proto.Partial, Budget.exhaustion_to_string why, text)
+  in
+  Proto.response ~detail status (render_body opts ~status ~detail text)
+
+let error_response (opts : Proto.options) (d : Ssd_diag.t) =
+  let text = Ssd_diag.to_string d ^ "\n" in
+  Proto.response ~detail:d.Ssd_diag.code Proto.Error
+    (render_body opts ~status:Proto.Error ~detail:d.Ssd_diag.code text)
+
+let shed_response (opts : Proto.options) load =
+  let text =
+    Printf.sprintf "warning[SSD554] server overloaded (load %d), request shed; retry later\n"
+      load
+  in
+  Proto.response ~detail:"SSD554" Proto.Shed
+    (render_body opts ~status:Proto.Shed ~detail:"SSD554" text)
+
+(* Any exception that escapes parsing or evaluation becomes an SSD553
+   error response; diagnostics keep their own code. *)
+let diag_of_exn = function
+  | Ssd_diag.Fail d -> d
+  | e ->
+    Ssd_diag.make Ssd_diag.Error ~code:"SSD553"
+      (Printf.sprintf "request failed: %s" (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Effective budget for this request: the client's own limits, with the
+   step budget clamped to [pressure_max_steps] when the server is under
+   pressure.  [None] means unbudgeted. *)
+let effective_budget cfg (opts : Proto.options) ~pressured =
+  let max_steps =
+    match (opts.max_steps, pressured) with
+    | Some n, true -> Some (min n cfg.pressure_max_steps)
+    | Some n, false -> Some n
+    | None, true -> Some cfg.pressure_max_steps
+    | None, false -> None
+  in
+  match (opts.deadline_ms, max_steps) with
+  | None, None -> None
+  | deadline_ms, _ -> Some (Budget.create ?deadline_ms ?max_steps ())
+
+let map_outcome f = function
+  | Budget.Complete v -> Budget.Complete (f v)
+  | Budget.Partial (v, why) -> Budget.Partial (f v, why)
+
+let eval_query t ~db ~budget (opts : Proto.options) body =
+  match opts.lang with
+  | "unql" -> (
+    let q = Unql.Parser.parse body in
+    match budget with
+    | Some b -> map_outcome render_graph_text (Unql.Eval.eval_outcome ~budget:b ~db q)
+    | None ->
+      if opts.cache then begin
+        match locked t.st (fun () -> Unql.Cache.find t.st.cache ~db q) with
+        | Some g ->
+          Metrics.incr m_cache_hits;
+          Trace.bump "cache_hit" 1;
+          Budget.Complete (render_graph_text g)
+        | None ->
+          let g = Unql.Eval.eval ~db q in
+          locked t.st (fun () -> Unql.Cache.add t.st.cache ~db q g);
+          Budget.Complete (render_graph_text g)
+      end
+      else Budget.Complete (render_graph_text (Unql.Eval.eval ~db q)))
+  | "lorel" -> (
+    let q = Lorel.Parser.parse body in
+    match budget with
+    | Some b -> map_outcome render_graph_text (Lorel.Eval.eval_outcome ~budget:b ~db q)
+    | None -> Budget.Complete (render_graph_text (Lorel.Eval.eval ~db q)))
+  | "datalog" -> (
+    let program = Relstore.Datalog.parse body in
+    let edb = Relstore.Triple.edb db in
+    match budget with
+    | Some b ->
+      map_outcome render_datalog_text (Relstore.Datalog.eval_outcome ~budget:b ~edb program)
+    | None -> Budget.Complete (render_datalog_text (Relstore.Datalog.eval ~edb program)))
+  | "websql" ->
+    (* websql has no budget hooks; budgets are ignored, like the CLI. *)
+    Budget.Complete (render_relation_text (Websql.Eval.run ~db body))
+  | other ->
+    raise
+      (Ssd_diag.Fail
+         (Ssd_diag.make Ssd_diag.Error ~code:"SSD555"
+            (Printf.sprintf "unsupported query language %S" other)))
+
+let do_query t ~queued (opts : Proto.options) body =
+  let load = queued + Atomic.get t.st.inflight in
+  if load > t.cfg.shed_at then begin
+    locked t.st (fun () -> t.n_shed <- t.n_shed + 1);
+    Metrics.incr m_shed;
+    Trace.annotate "shed" (Trace.Bool true);
+    shed_response opts load
+  end
+  else begin
+    let pressured = load > t.cfg.pressure_at in
+    Atomic.incr t.st.inflight;
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr t.st.inflight)
+      (fun () ->
+        let db = locked t.st (fun () -> t.st.db) in
+        let budget = effective_budget t.cfg opts ~pressured in
+        match eval_query t ~db ~budget opts body with
+        | outcome ->
+          locked t.st (fun () ->
+              t.n_accepted <- t.n_accepted + 1;
+              match outcome with
+              | Budget.Partial _ -> t.n_partial <- t.n_partial + 1
+              | Budget.Complete _ -> ());
+          Metrics.incr m_accepted;
+          (match outcome with
+          | Budget.Partial _ -> Metrics.incr m_partial
+          | Budget.Complete _ -> ());
+          result_response opts outcome
+        | exception e ->
+          locked t.st (fun () -> t.n_errors <- t.n_errors + 1);
+          Metrics.incr m_errors;
+          error_response opts (diag_of_exn e))
+  end
+
+(* UPDATE holds the store lock for the whole parse+apply+swap: updates
+   serialize against each other and against cache fills, and the
+   database-of-record plus the invalidation are one atomic step — no
+   engine over this store can observe the new graph with the old graph's
+   cache entries still live. *)
+let do_update t (opts : Proto.options) body =
+  match
+    locked t.st (fun () ->
+        let old_db = t.st.db in
+        let db' = Lorel.Update.run ~db:old_db body in
+        let dropped = Unql.Cache.invalidate t.st.cache old_db in
+        t.st.db <- db';
+        t.n_updates <- t.n_updates + 1;
+        (db', dropped))
+  with
+  | db', dropped ->
+    Metrics.incr m_updates;
+    let text =
+      Printf.sprintf "updated: %d nodes, %d edges; %d cache entries invalidated\n"
+        (Graph.n_nodes db') (Graph.n_edges db') dropped
+    in
+    Proto.response Proto.Complete (render_body opts ~status:Proto.Complete ~detail:"-" text)
+  | exception e ->
+    locked t.st (fun () -> t.n_errors <- t.n_errors + 1);
+    Metrics.incr m_errors;
+    error_response opts (diag_of_exn e)
+
+(* ------------------------------------------------------------------ *)
+(* Frame dispatch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch t ~queued raw =
+  if String.length raw > t.cfg.max_frame then
+    (* The stream cannot be resynchronized reliably past an oversized
+       frame, so the transport closes after this response. *)
+    ( error_response Proto.default_options
+        (Ssd_diag.make Ssd_diag.Error ~code:"SSD551"
+           (Printf.sprintf "frame of %d bytes exceeds the %d byte limit"
+              (String.length raw) t.cfg.max_frame)),
+      true )
+  else
+    match Proto.parse_request raw with
+    | Result.Error d -> (error_response Proto.default_options d, false)
+    | Result.Ok { Proto.verb; opts; body } -> (
+      (match opts.Proto.req_id with
+      | Some id -> Trace.annotate "id" (Trace.Str id)
+      | None -> ());
+      Trace.annotate "verb" (Trace.Str (Proto.verb_to_string verb));
+      match verb with
+      | Proto.Query -> (do_query t ~queued opts body, false)
+      | Proto.Update -> (do_update t opts body, false)
+      | Proto.Ping -> (Proto.response Proto.Complete "pong\n", false)
+      | Proto.Stats ->
+        ( Proto.response Proto.Complete
+            (Ssd_obs.Metrics.dump_json ~prefix:"serve." Ssd_obs.Metrics.default ^ "\n"),
+          false )
+      | Proto.Quit -> (Proto.response Proto.Complete "bye\n", true))
+
+let handle ?lane ?(queued = 0) t raw =
+  let seq = Atomic.fetch_and_add t.st.req_seq 1 + 1 in
+  let t0 = Ssd_obs.Clock.now_ns () in
+  let resp, close =
+    Trace.with_span ?lane "serve.request" ~attrs:[ ("seq", Trace.Int seq) ] (fun () ->
+        let ((resp, _) as r) =
+          try dispatch t ~queued raw
+          with e ->
+            (* dispatch catches per-verb; this is the last-resort net so
+               the accept loop can never be wedged by a request. *)
+            (error_response Proto.default_options (diag_of_exn e), false)
+        in
+        Trace.annotate "status" (Trace.Str (Proto.status_to_string resp.Proto.status));
+        r)
+  in
+  let dt = Ssd_obs.Clock.now_ns () -. t0 in
+  Metrics.incr m_requests;
+  locked t.st (fun () ->
+      t.n_requests <- t.n_requests + 1;
+      (* histograms are not atomic; observe under the store lock *)
+      Metrics.observe m_latency dt);
+  (resp, close)
+
+let handle_line ?lane ?queued t raw =
+  let resp, _close = handle ?lane ?queued t raw in
+  Proto.render_response resp

@@ -1,0 +1,92 @@
+(** The transport-agnostic request engine behind [ssdql serve].
+
+    An {!Engine.t} turns one protocol frame into one protocol response —
+    it knows nothing about sockets, so the property suites drive it
+    through an in-process transport (plain function calls from
+    concurrent domains) and the socket server ({!Server}) is a thin IO
+    loop on top.
+
+    {2 Shared state}
+
+    Several engines may serve the same {!store}: the store owns the
+    mutable database-of-record, the shared {!Unql.Cache} (plan/result
+    cache keyed by normalized query × graph fingerprint — client B hits
+    the entry client A warmed), and the admission-control counters.  All
+    store access is guarded by one mutex; query evaluation itself runs
+    {e outside} the lock against an immutable snapshot of the graph, so
+    requests evaluate concurrently.  An [UPDATE] swaps the
+    database-of-record and invalidates the old graph's cache entries
+    while holding the lock, so no engine over the store can serve a
+    stale result afterwards (regression-tested).
+
+    {2 Admission control and load shedding}
+
+    Each request reports the load it sees: [queued] (frames already
+    waiting behind it, supplied by the transport) plus the store-wide
+    in-flight count.  Overload degrades in two stages instead of letting
+    the queue collapse:
+
+    - load > [pressure_at]: the request is admitted but its step budget
+      is clamped to [pressure_max_steps] (tightening any client-supplied
+      budget), so it answers quickly with a typed [partial] response — a
+      sound lower bound of the complete answer;
+    - load > [shed_at]: the request is refused outright with a [shed]
+      response carrying SSD554; the client should retry later.
+
+    Every response carries the typed completeness status, and the engine
+    never raises: any parse or evaluation failure becomes an [error]
+    response (SSD55x). *)
+
+type config = {
+  max_frame : int; (** frames longer than this are refused (SSD551) *)
+  shed_at : int; (** load above this sheds (SSD554) *)
+  pressure_at : int; (** load above this clamps budgets -> partial *)
+  pressure_max_steps : int; (** the clamped step budget under pressure *)
+}
+
+(** [max_frame = 65536], [shed_at = 64], [pressure_at = 8],
+    [pressure_max_steps = 20_000]. *)
+val default_config : config
+
+(** Shared serving state: database-of-record + shared result cache +
+    admission counters. *)
+type store
+
+val store : ?cache_capacity:int -> db:Ssd.Graph.t -> unit -> store
+
+(** The current database-of-record (snapshot read under the lock). *)
+val store_db : store -> Ssd.Graph.t
+
+(** The shared cache's counters (hits/misses/invalidations). *)
+val cache_stats : store -> Unql.Cache.stats
+
+type t
+
+val create : ?config:config -> store -> t
+
+val config : t -> config
+
+(** Per-engine counters, all guarded by the store lock. *)
+type stats = {
+  requests : int; (** frames handled, any verb or outcome *)
+  accepted : int; (** queries admitted and evaluated *)
+  shed : int;
+  partial : int;
+  errors : int;
+  updates : int;
+}
+
+val stats : t -> stats
+
+(** [handle t raw] processes one frame ([raw] has no trailing newline)
+    and returns the response plus [true] when the connection should
+    close afterwards ([QUIT], oversized frame).  [queued] is the
+    transport's backlog behind this frame (default 0).  [lane] is the
+    trace lane for this request's span (default: the calling domain's
+    {!Ssd_obs.Trace.lane}).  Never raises; safe to call from concurrent
+    domains. *)
+val handle : ?lane:int -> ?queued:int -> t -> string -> Proto.response * bool
+
+(** {!handle} composed with {!Proto.render_response} (drops the close
+    flag) — the one-line in-process transport. *)
+val handle_line : ?lane:int -> ?queued:int -> t -> string -> string

@@ -1,0 +1,219 @@
+(* Wire protocol for `ssdql serve` — see proto.mli for the grammar. *)
+
+type verb =
+  | Query
+  | Update
+  | Ping
+  | Stats
+  | Quit
+
+type options = {
+  lang : string;
+  format : string;
+  deadline_ms : float option;
+  max_steps : int option;
+  cache : bool;
+  req_id : string option;
+}
+
+let default_options =
+  {
+    lang = "unql";
+    format = "text";
+    deadline_ms = None;
+    max_steps = None;
+    cache = true;
+    req_id = None;
+  }
+
+type request = {
+  verb : verb;
+  opts : options;
+  body : string;
+}
+
+let verb_to_string = function
+  | Query -> "QUERY"
+  | Update -> "UPDATE"
+  | Ping -> "PING"
+  | Stats -> "STATS"
+  | Quit -> "QUIT"
+
+let verb_of_string = function
+  | "QUERY" -> Some Query
+  | "UPDATE" -> Some Update
+  | "PING" -> Some Ping
+  | "STATS" -> Some Stats
+  | "QUIT" -> Some Quit
+  | _ -> None
+
+(* Diagnostics for malformed frames.  Messages embed the offending bytes
+   escaped and truncated: frames come off the network, so they may be
+   arbitrary binary. *)
+let snippet s =
+  let s = if String.length s > 40 then String.sub s 0 40 ^ "..." else s in
+  String.escaped s
+
+let malformed fmt =
+  Printf.ksprintf
+    (fun m -> Result.Error (Ssd_diag.make Ssd_diag.Error ~code:"SSD550" m))
+    fmt
+
+let bad_option fmt =
+  Printf.ksprintf
+    (fun m -> Result.Error (Ssd_diag.make Ssd_diag.Error ~code:"SSD552" m))
+    fmt
+
+let parse_options s =
+  let pairs = String.split_on_char ',' s in
+  let rec go opts = function
+    | [] -> Result.Ok opts
+    | kv :: rest -> (
+      match String.index_opt kv '=' with
+      | None -> bad_option "option %S is not key=value" (snippet kv)
+      | Some i -> (
+        let k = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        match k with
+        | "lang" ->
+          (* shape only; whether the language is supported is the
+             engine's call (SSD555), not the protocol's *)
+          if v = "" then bad_option "lang wants a value" else go { opts with lang = v } rest
+        | "format" -> (
+          match v with
+          | "text" | "json" -> go { opts with format = v } rest
+          | _ -> bad_option "unknown format %S (text|json)" (snippet v))
+        | "deadline-ms" -> (
+          match float_of_string_opt v with
+          | Some f when f > 0. -> go { opts with deadline_ms = Some f } rest
+          | _ -> bad_option "deadline-ms wants a positive number, got %S" (snippet v))
+        | "max-steps" -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> go { opts with max_steps = Some n } rest
+          | _ -> bad_option "max-steps wants a positive integer, got %S" (snippet v))
+        | "cache" -> (
+          match v with
+          | "on" -> go { opts with cache = true } rest
+          | "off" -> go { opts with cache = false } rest
+          | _ -> bad_option "cache wants on or off, got %S" (snippet v))
+        | "id" -> go { opts with req_id = Some v } rest
+        | _ -> bad_option "unknown option %S" (snippet k)))
+  in
+  go default_options pairs
+
+let parse_request line =
+  (* Tolerate a trailing \r so `nc -C` / telnet clients work. *)
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if line = "" then malformed "empty request frame"
+  else begin
+    let verb_str, rest =
+      match String.index_opt line ' ' with
+      | Some i ->
+        (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+      | None -> (line, "")
+    in
+    match verb_of_string verb_str with
+    | None -> malformed "unknown verb %S" (snippet verb_str)
+    | Some verb -> (
+      let opts_str, body =
+        match String.index_opt rest ' ' with
+        | Some i ->
+          (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+        | None -> (rest, "")
+      in
+      let needs_body = match verb with Query | Update -> true | _ -> false in
+      if needs_body && (opts_str = "" || body = "") then
+        malformed "%s wants an options field (use \"-\") and a body" verb_str
+      else
+        let opts_result =
+          if opts_str = "" || opts_str = "-" then Result.Ok default_options
+          else parse_options opts_str
+        in
+        match opts_result with
+        | Result.Error _ as e -> e
+        | Result.Ok opts -> Result.Ok { verb; opts; body })
+  end
+
+let render_options o =
+  let kvs =
+    List.concat
+      [
+        (if o.lang = default_options.lang then [] else [ "lang=" ^ o.lang ]);
+        (if o.format = default_options.format then [] else [ "format=" ^ o.format ]);
+        (match o.deadline_ms with
+        | None -> []
+        | Some f -> [ Printf.sprintf "deadline-ms=%g" f ]);
+        (match o.max_steps with
+        | None -> []
+        | Some n -> [ Printf.sprintf "max-steps=%d" n ]);
+        (if o.cache then [] else [ "cache=off" ]);
+        (match o.req_id with None -> [] | Some id -> [ "id=" ^ id ]);
+      ]
+  in
+  match kvs with [] -> "-" | _ -> String.concat "," kvs
+
+let render_request r =
+  match r.verb with
+  | Ping | Stats | Quit -> verb_to_string r.verb
+  | Query | Update ->
+    Printf.sprintf "%s %s %s" (verb_to_string r.verb) (render_options r.opts) r.body
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type status =
+  | Complete
+  | Partial
+  | Shed
+  | Error
+
+let status_to_string = function
+  | Complete -> "complete"
+  | Partial -> "partial"
+  | Shed -> "shed"
+  | Error -> "error"
+
+let status_of_string = function
+  | "complete" -> Some Complete
+  | "partial" -> Some Partial
+  | "shed" -> Some Shed
+  | "error" -> Some Error
+  | _ -> None
+
+type response = {
+  status : status;
+  detail : string;
+  body : string;
+}
+
+let response ?(detail = "-") status body = { status; detail; body }
+
+let render_response r =
+  Printf.sprintf "SSDQL1 %s %s %d\n%s" (status_to_string r.status) r.detail
+    (String.length r.body) r.body
+
+let parse_response buf pos =
+  let len = String.length buf in
+  if pos > len then Result.Error (`Malformed "position past end of buffer")
+  else
+    match String.index_from_opt buf pos '\n' with
+    | None -> if len - pos > 256 then Result.Error (`Malformed "header too long") else Result.Error `Incomplete
+    | Some nl -> (
+      let header = String.sub buf pos (nl - pos) in
+      match String.split_on_char ' ' header with
+      | [ magic; status_str; detail; len_str ] -> (
+        if magic <> "SSDQL1" then Result.Error (`Malformed ("bad magic " ^ snippet magic))
+        else
+          match (status_of_string status_str, int_of_string_opt len_str) with
+          | None, _ -> Result.Error (`Malformed ("bad status " ^ snippet status_str))
+          | _, None -> Result.Error (`Malformed ("bad length " ^ snippet len_str))
+          | _, Some n when n < 0 -> Result.Error (`Malformed "negative length")
+          | Some status, Some n ->
+            if nl + 1 + n > len then Result.Error `Incomplete
+            else
+              Result.Ok ({ status; detail; body = String.sub buf (nl + 1) n }, nl + 1 + n))
+      | _ -> Result.Error (`Malformed ("bad header " ^ snippet header)))

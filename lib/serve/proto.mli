@@ -1,0 +1,106 @@
+(** The `ssdql serve` wire protocol: line-oriented requests,
+    length-prefixed responses.
+
+    {2 Request frames}
+
+    One request is one line (terminated by [\n], an optional [\r] before
+    it is tolerated), at most the server's frame limit long:
+
+    {v
+      VERB OPTIONS [BODY...]
+      QUERY -  select {t: \T} where {entry.movie.title: \T} <- DB
+      QUERY lang=lorel,deadline-ms=50 select m.title from DB.entry.movie m
+      UPDATE - insert DB.entry := {movie: {title: "New"}}
+      PING
+      STATS
+      QUIT
+    v}
+
+    [VERB] is one of [QUERY], [UPDATE], [PING], [STATS], [QUIT].
+    [OPTIONS] is ["-"] or comma-separated [key=value] pairs:
+    [lang=unql|lorel|websql|datalog] (default unql), [format=text|json]
+    (default text), [deadline-ms=F], [max-steps=N], [cache=on|off]
+    (default on), [id=STRING] (echoed into the request's trace span).
+    Everything after the options token is the query/update text.
+    [PING]/[STATS]/[QUIT] may omit the options token.
+
+    {2 Response frames}
+
+    A response is a one-line header followed by exactly [LEN] bytes of
+    body:
+
+    {v
+      SSDQL1 STATUS DETAIL LEN\n
+      <LEN bytes>
+    v}
+
+    [STATUS] is [complete], [partial], [shed] or [error] — every answer
+    carries the typed completeness verdict.  [DETAIL] is ["-"] for
+    [complete]; the {!Ssd.Budget.exhaustion} reason ([steps], [deadline],
+    [stalled]) for [partial]; and the [SSD55x] diagnostic code for
+    [shed]/[error].  The body of a [complete]/[partial] [QUERY] response
+    is byte-identical to what [ssdql query] prints on stdout for the
+    same query (text format), so clients and the CLI can be diffed
+    directly. *)
+
+type verb =
+  | Query
+  | Update
+  | Ping
+  | Stats
+  | Quit
+
+type options = {
+  lang : string;
+  format : string;
+  deadline_ms : float option;
+  max_steps : int option;
+  cache : bool;
+  req_id : string option;
+}
+
+val default_options : options
+
+type request = {
+  verb : verb;
+  opts : options;
+  body : string;
+}
+
+(** [parse_request line] — [line] without its terminating newline.
+    Errors carry the SSD550 (malformed frame) / SSD552 (bad option)
+    diagnostic that becomes the error response. *)
+val parse_request : string -> (request, Ssd_diag.t) result
+
+(** Render a request as its wire line (no newline), for clients. *)
+val render_request : request -> string
+
+val verb_to_string : verb -> string
+
+type status =
+  | Complete
+  | Partial
+  | Shed
+  | Error
+
+val status_to_string : status -> string
+
+type response = {
+  status : status;
+  detail : string; (** "-", exhaustion reason, or SSDxxx code *)
+  body : string;
+}
+
+val response : ?detail:string -> status -> string -> response
+
+(** The full wire form: header line + body bytes. *)
+val render_response : response -> string
+
+(** [parse_response buf pos] parses one response frame starting at
+    [pos]; returns the response and the position just past it.
+    [Error `Incomplete] means more bytes are needed; [Error (`Malformed
+    reason)] means the bytes can never be a frame.  The serve test
+    harness and the fuzz suite use this to assert every server answer is
+    a well-formed frame. *)
+val parse_response :
+  string -> int -> (response * int, [ `Incomplete | `Malformed of string ]) result

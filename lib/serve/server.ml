@@ -1,0 +1,216 @@
+(* Socket transport for the engine.  Accept loop on its own domain,
+   connections served by a Ssd_par.Pool.task_pool; see server.mli. *)
+
+module Pool = Ssd_par.Pool
+module Trace = Ssd_obs.Trace
+module Metrics = Ssd_obs.Metrics
+
+let m_conns = Metrics.counter "serve.connections"
+let m_disconnects = Metrics.counter "serve.disconnects"
+
+type addr =
+  | Unix_sock of string
+  | Tcp of string * int
+
+type t = {
+  engine : Engine.t;
+  listener : Unix.file_descr;
+  addr : addr;
+  pool : Pool.task_pool;
+  mutable accept_domain : unit Domain.t option;
+  stopping : bool Atomic.t;
+  (* live connection fds, for graceful shutdown *)
+  conns_m : Mutex.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  next_conn : int Atomic.t;
+}
+
+let register t id fd =
+  Mutex.lock t.conns_m;
+  Hashtbl.replace t.conns id fd;
+  Mutex.unlock t.conns_m
+
+(* At most one closer wins: the connection task on EOF/error, or [stop]
+   sweeping live connections.  Whoever removes the id from the table
+   closes the fd. *)
+let close_conn t id =
+  Mutex.lock t.conns_m;
+  let fd = Hashtbl.find_opt t.conns id in
+  Hashtbl.remove t.conns id;
+  Mutex.unlock t.conns_m;
+  match fd with
+  | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let connections t =
+  Mutex.lock t.conns_m;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_m;
+  n
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+(* Count complete frames ('\n'-terminated) in [buf] starting at [pos]. *)
+let complete_lines buf pos =
+  let s = Buffer.contents buf in
+  let n = ref 0 in
+  String.iteri (fun i c -> if i >= pos && c = '\n' then incr n) s;
+  !n
+
+(* One connection, served start-to-finish by one pool task.  Frames are
+   split off a growing buffer; each is handled and answered before the
+   next, so responses are FIFO per connection. *)
+let serve_conn t id fd =
+  Trace.set_lane (1 + (id mod 14));
+  if Trace.enabled () then Trace.name_lane (1 + (id mod 14)) (Printf.sprintf "conn %d" id);
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let alive = ref true in
+  (* Extract the first complete line, else None. *)
+  let next_line () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear buf;
+      Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+      Some line
+  in
+  let respond_and_maybe_close line =
+    let queued = complete_lines buf 0 in
+    let resp, close = Engine.handle ~queued t.engine line in
+    (match write_all fd (Proto.render_response resp) with
+    | () -> ()
+    | exception Unix.Unix_error _ ->
+      Metrics.incr m_disconnects;
+      alive := false);
+    if close then alive := false
+  in
+  (try
+     while !alive do
+       match next_line () with
+       | Some line -> respond_and_maybe_close line
+       | None ->
+         if Buffer.length buf > ((Engine.config t.engine).Engine.max_frame * 2) + 16 then begin
+           (* No newline within twice the frame limit: the peer is not
+              speaking the protocol; answer SSD551 once and drop it. *)
+           respond_and_maybe_close (Buffer.contents buf);
+           alive := false
+         end
+         else begin
+           match Unix.read fd chunk 0 (Bytes.length chunk) with
+           | 0 -> alive := false (* EOF: possibly mid-request; just drop *)
+           | n -> Buffer.add_subbytes buf chunk 0 n
+           | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF | Unix.EPIPE), _, _)
+             ->
+             Metrics.incr m_disconnects;
+             alive := false
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         end
+     done
+   with _ -> ());
+  close_conn t id
+
+let accept_loop t =
+  (* Nonblocking listener + select timeout so [stop] never races a
+     blocked accept: closing an fd another domain is blocked in does not
+     reliably wake it, polling does. *)
+  Unix.set_nonblock t.listener;
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listener ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.listener with
+        | fd, _ ->
+          Unix.clear_nonblock fd;
+          Metrics.incr m_conns;
+          let id = Atomic.fetch_and_add t.next_conn 1 + 1 in
+          register t id fd;
+          if not (Pool.submit t.pool (fun () -> serve_conn t id fd)) then close_conn t id
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          ()
+        | exception Unix.Unix_error _ -> Atomic.set t.stopping true)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> Atomic.set t.stopping true);
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(workers = 4) ~engine addr =
+  (* A dying client must not kill the server with SIGPIPE; writes then
+     fail with EPIPE, which serve_conn contains per-connection. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let domain, sockaddr =
+    match addr with
+    | Unix_sock path ->
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  let listener = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener sockaddr;
+  Unix.listen listener 64;
+  let bound_addr =
+    match addr with
+    | Unix_sock _ -> addr
+    | Tcp (host, _) -> (
+      match Unix.getsockname listener with
+      | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+      | _ -> addr)
+  in
+  let t =
+    {
+      engine;
+      listener;
+      addr = bound_addr;
+      pool = Pool.task_pool ~workers;
+      accept_domain = None;
+      stopping = Atomic.make false;
+      conns_m = Mutex.create ();
+      conns = Hashtbl.create 16;
+      next_conn = Atomic.make 0;
+    }
+  in
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let bound t = t.addr
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* 1. stop accepting *)
+    (match t.accept_domain with Some d -> Domain.join d | None -> ());
+    t.accept_domain <- None;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (* 2. wake every connection task blocked in read (shutdown reliably
+       interrupts recv; close alone would not) *)
+    Mutex.lock t.conns_m;
+    let live = Hashtbl.fold (fun id fd acc -> (id, fd) :: acc) t.conns [] in
+    Mutex.unlock t.conns_m;
+    List.iter
+      (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      live;
+    (* 3. join workers (their tasks exit on the EOF the shutdown causes) *)
+    Pool.task_shutdown t.pool;
+    (* 4. close any connection whose task never ran (queued past the
+       pool) or that stop raced *)
+    List.iter (fun (id, _) -> close_conn t id) live;
+    match t.addr with
+    | Unix_sock path ->
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  end

@@ -1,0 +1,40 @@
+(** Socket transport for the {!Engine}: a long-running server on a Unix
+    or TCP socket.
+
+    One dedicated domain accepts connections and hands each to the
+    {!Ssd_par.Pool.task_pool} of [workers] domains; a connection's
+    frames are processed strictly in order (responses never interleave
+    or reorder within a connection), while distinct connections evaluate
+    concurrently.  The per-frame backlog the reader observes (complete
+    frames already buffered behind the current one — an open-loop
+    client's pipelined burst) is passed to the engine as its [queued]
+    load signal, which drives budget clamping and shedding.
+
+    Robustness: a client disconnecting mid-request, a write failing with
+    [EPIPE] (SIGPIPE is ignored while a server runs), a malformed or
+    oversized frame — all are contained to that connection; the accept
+    loop never stops.  {!stop} is graceful and leak-free: it closes the
+    listener, shuts down every live connection (waking blocked readers),
+    joins every domain, and removes the Unix socket file. *)
+
+type addr =
+  | Unix_sock of string (** filesystem path; replaced if it exists *)
+  | Tcp of string * int (** host, port; port 0 picks a free port *)
+
+type t
+
+(** [start ~engine ~workers addr] binds, listens and returns
+    immediately; serving happens on background domains.  Default
+    [workers] is 4. *)
+val start : ?workers:int -> engine:Engine.t -> addr -> t
+
+(** The bound address — for [Tcp _] with port 0, the actual port. *)
+val bound : t -> addr
+
+(** Live client connections (for tests and the CLI status line). *)
+val connections : t -> int
+
+(** Graceful shutdown; idempotent.  Joins the accept domain and every
+    worker, closes every fd the server opened, unlinks a Unix socket
+    path. *)
+val stop : t -> unit

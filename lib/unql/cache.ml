@@ -152,7 +152,12 @@ let query_fingerprint q =
 
 let key_of ~db q = { qtext = query_text q; fp = fingerprint db }
 
-let eval ?(options = Eval.default_options) ~cache ~db q =
+(* Lookup and insertion halves of [eval], exposed separately so a caller
+   that owns its own lock (the query server shares one cache across
+   concurrent clients) can consult the cache under the lock but run the
+   miss evaluation outside it.  Counting matches [eval]: a [find] is a
+   hit or a miss; [add] only evicts/inserts. *)
+let find cache ~db q =
   let key = Trace.with_span "unql.cache.key" (fun () -> key_of ~db q) in
   match Hashtbl.find_opt cache.table key with
   | Some e ->
@@ -160,18 +165,30 @@ let eval ?(options = Eval.default_options) ~cache ~db q =
     cache.hits <- cache.hits + 1;
     Metrics.incr m_hits;
     Trace.bump "cache_hits" 1;
-    e.result
+    Some e.result
   | None ->
     cache.misses <- cache.misses + 1;
     Metrics.incr m_misses;
     Trace.bump "cache_misses" 1;
-    let result =
-      Trace.with_span "unql.cache.fill" (fun () -> Eval.eval ~options ~db q)
-    in
+    None
+
+let add cache ~db q result =
+  let key = key_of ~db q in
+  if not (Hashtbl.mem cache.table key) then begin
     if Hashtbl.length cache.table >= cache.cache_capacity then evict_lru cache;
     let e = { result; tick = 0 } in
     touch cache e;
-    Hashtbl.replace cache.table key e;
+    Hashtbl.replace cache.table key e
+  end
+
+let eval ?(options = Eval.default_options) ~cache ~db q =
+  match find cache ~db q with
+  | Some result -> result
+  | None ->
+    let result =
+      Trace.with_span "unql.cache.fill" (fun () -> Eval.eval ~options ~db q)
+    in
+    add cache ~db q result;
     result
 
 let run ?options ~cache ~db src = eval ?options ~cache ~db (Parser.parse src)

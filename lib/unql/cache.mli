@@ -73,3 +73,18 @@ val eval : ?options:Eval.options -> cache:t -> db:Ssd.Graph.t -> Ast.expr -> Ssd
 
 (** Parse and evaluate concrete syntax through the cache. *)
 val run : ?options:Eval.options -> cache:t -> db:Ssd.Graph.t -> string -> Ssd.Graph.t
+
+(** {2 Split lookup}
+
+    {!eval} holds no lock; callers that share one cache across domains
+    (the query server) wrap these two halves in their own mutex and run
+    the miss evaluation {e outside} it. *)
+
+(** Consult the cache (counts a hit or a miss, refreshes LRU order). *)
+val find : t -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Graph.t option
+
+(** Insert a {e complete} evaluation result (evicting LRU beyond
+    capacity).  First writer wins on a duplicate key.  Never insert a
+    budget-limited partial result: the cache cannot distinguish it from
+    the complete answer. *)
+val add : t -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Graph.t -> unit

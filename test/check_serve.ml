@@ -1,0 +1,189 @@
+(* Smoke test for the real socket server: a server on a temp Unix
+   socket, scripted clients covering the happy path, pipelining,
+   malformed and oversized frames, and a mid-request disconnect, then a
+   clean shutdown with no leaked fds.  Everything in-process, so the
+   engine's store is inspectable alongside the wire traffic. *)
+
+module Engine = Ssd_serve.Engine
+module Server = Ssd_serve.Server
+module Proto = Ssd_serve.Proto
+module Graph = Ssd.Graph
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_serve: FAIL " ^ m); exit 1) fmt
+
+let expect what cond = if not cond then fail "%s" what
+
+let fd_count () = Array.length (Sys.readdir "/proc/self/fd")
+
+let sock_path = Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ssdql_check_serve_%d.sock" (Unix.getpid ()))
+
+(* ------------------------------------------------------------------ *)
+(* A minimal scripted client                                           *)
+(* ------------------------------------------------------------------ *)
+
+let connect () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX sock_path) with
+  | () -> ()
+  | exception e ->
+    Unix.close fd;
+    raise e);
+  fd
+
+let send fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+(* Read until [k] complete response frames have arrived (blocking; the
+   test harness runs under dune's timeout if the server wedges). *)
+let read_frames fd k =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec parse_all pos acc =
+    if List.length acc = k then List.rev acc
+    else
+      match Proto.parse_response (Buffer.contents buf) pos with
+      | Ok (r, pos') -> parse_all pos' (r :: acc)
+      | Error `Incomplete -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> fail "connection closed with %d of %d frames read" (List.length acc) k
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          parse_all pos acc)
+      | Error (`Malformed why) -> fail "malformed frame from server: %s" why
+  in
+  parse_all 0 []
+
+let rpc k reqs =
+  let fd = connect () in
+  send fd reqs;
+  let frames = read_frames fd k in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  frames
+
+(* Read until EOF, returning the frames seen (for close-after-response
+   scenarios). *)
+let rpc_until_eof reqs =
+  let fd = connect () in
+  send fd reqs;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  drain ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let rec parse_all pos acc =
+    match Proto.parse_response (Buffer.contents buf) pos with
+    | Ok (r, pos') -> parse_all pos' (r :: acc)
+    | Error _ -> List.rev acc
+  in
+  parse_all 0 []
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (* Warm up the domain runtime once so its persistent fds (if any) are
+     allocated before the leak baseline is taken. *)
+  Domain.join (Domain.spawn (fun () -> ()));
+  let db = Ssd_workload.Movies.figure1 () in
+  let store = Engine.store ~db () in
+  let config = { Engine.default_config with Engine.max_frame = 4096 } in
+  let engine = Engine.create ~config store in
+  let baseline = fd_count () in
+  let server = Server.start ~workers:3 ~engine (Server.Unix_sock sock_path) in
+
+  let q = {| select {t: \T} where {entry.movie.title: \T} <- DB |} in
+  let expected_body g = Graph.to_string (Unql.Eval.eval ~db:g (Unql.Parser.parse q)) ^ "\n" in
+
+  (* happy path: the response body is byte-identical to the CLI *)
+  (match rpc 1 (Printf.sprintf "QUERY - %s\n" q) with
+  | [ r ] ->
+    expect "happy path complete" (r.Proto.status = Proto.Complete);
+    expect "happy path matches the CLI rendering" (String.equal r.Proto.body (expected_body db))
+  | _ -> fail "happy path frame count");
+
+  (* pipelining: one burst, responses strictly FIFO *)
+  (match rpc 3 (Printf.sprintf "PING\nQUERY - %s\nPING\n" q) with
+  | [ a; b; c ] ->
+    expect "pipelined FIFO"
+      (String.equal a.Proto.body "pong\n"
+      && String.equal b.Proto.body (expected_body db)
+      && String.equal c.Proto.body "pong\n")
+  | _ -> fail "pipelined frame count");
+
+  (* malformed frame: typed SSD550, connection stays usable *)
+  (match rpc 2 "BOGUS verb\nPING\n" with
+  | [ e; p ] ->
+    expect "malformed gets SSD550"
+      (e.Proto.status = Proto.Error && String.equal e.Proto.detail "SSD550");
+    expect "connection survives a malformed frame" (String.equal p.Proto.body "pong\n")
+  | _ -> fail "malformed frame count");
+
+  (* oversized frame: SSD551 and the server closes the connection *)
+  (match rpc_until_eof ("QUERY - " ^ String.make 5000 'x' ^ "\n") with
+  | [ e ] ->
+    expect "oversized gets SSD551"
+      (e.Proto.status = Proto.Error && String.equal e.Proto.detail "SSD551")
+  | frames -> fail "oversized: got %d frames" (List.length frames));
+
+  (* oversized without any newline at all: reader cuts the flood *)
+  (match rpc_until_eof (String.make 9000 'y') with
+  | [ e ] -> expect "unframed flood gets SSD551" (String.equal e.Proto.detail "SSD551")
+  | frames -> fail "flood: got %d frames" (List.length frames));
+
+  (* mid-request disconnect: dropped without an answer, server unharmed *)
+  let fd = connect () in
+  send fd "QUERY - select";
+  Unix.close fd;
+  (match rpc 1 "PING\n" with
+  | [ p ] -> expect "server survives a mid-request disconnect" (String.equal p.Proto.body "pong\n")
+  | _ -> fail "post-disconnect frame count");
+
+  (* update through the wire, then query reflects it *)
+  (match
+     rpc 2
+       (Printf.sprintf "UPDATE - insert DB.entry := {movie: {title: \"Wire\"}}\nQUERY - %s\n" q)
+   with
+  | [ u; r ] ->
+    expect "update acknowledged" (u.Proto.status = Proto.Complete);
+    expect "query after update matches direct eval on the new db"
+      (String.equal r.Proto.body (expected_body (Engine.store_db store)));
+    expect "and the update is visible"
+      (not (String.equal r.Proto.body (expected_body db)))
+  | _ -> fail "update frame count");
+
+  (* stats and quit *)
+  (match rpc_until_eof "STATS\nQUIT\n" with
+  | [ s; b ] ->
+    expect "stats is a complete frame" (s.Proto.status = Proto.Complete);
+    expect "quit says bye and closes" (String.equal b.Proto.body "bye\n")
+  | frames -> fail "stats/quit: got %d frames" (List.length frames));
+
+  (* graceful shutdown: also covers a client still connected *)
+  let lingering = connect () in
+  send lingering "PING\n";
+  ignore (read_frames lingering 1);
+  Server.stop server;
+  (try Unix.close lingering with Unix.Unix_error _ -> ());
+  expect "socket file removed" (not (Sys.file_exists sock_path));
+  expect "server refuses new connections"
+    (match connect () with
+    | fd ->
+      Unix.close fd;
+      false
+    | exception Unix.Unix_error _ -> true);
+  let after = fd_count () in
+  if after > baseline then fail "leaked %d fds (%d -> %d)" (after - baseline) baseline after;
+  let s = Engine.stats engine in
+  expect "every request was counted" (s.Engine.requests >= 11);
+  expect "no spurious sheds in a quiet run" (s.Engine.shed = 0);
+  print_endline "check_serve: ok"

@@ -1,0 +1,263 @@
+(* The serve tentpole, tested transport-free: Engine.handle_line IS the
+   protocol (one frame in, one frame out), so concurrency, cache
+   sharing, admission control and the adversarial fuzz all run
+   in-process — no sockets, no sleeps, deterministic failures.  The
+   socket transport itself is exercised by check_serve.ml. *)
+
+module Graph = Ssd.Graph
+module Engine = Ssd_serve.Engine
+module Proto = Ssd_serve.Proto
+module Cache = Unql.Cache
+module Q = QCheck2.Gen
+
+let check = Alcotest.(check bool)
+
+(* No admission control: every request admitted, unclamped. *)
+let no_pressure =
+  { Engine.default_config with Engine.pressure_at = max_int; shed_at = max_int }
+
+(* Parse exactly one response frame covering the whole string. *)
+let parse_one s =
+  match Proto.parse_response s 0 with
+  | Ok (r, pos) when pos = String.length s -> r
+  | Ok (_, pos) ->
+    Alcotest.failf "trailing bytes after frame (%d of %d)" pos (String.length s)
+  | Error `Incomplete -> Alcotest.failf "incomplete frame: %S" s
+  | Error (`Malformed why) -> Alcotest.failf "malformed frame (%s): %S" why s
+
+let query_req q = "QUERY - " ^ Unql.Pretty.expr_to_string q
+
+(* What the sequential CLI prints for this query, as a wire frame. *)
+let expected_frame ~db q =
+  Proto.render_response
+    (Proto.response Proto.Complete (Graph.to_string (Unql.Eval.eval ~db q) ^ "\n"))
+
+let print_pair (g, q) =
+  Printf.sprintf "query: %s\ndb: %s" (Unql.Pretty.expr_to_string q) (Graph.to_string g)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let props =
+  [
+    Gen.qtest "concurrent clients are byte-identical to the sequential CLI" ~count:20
+      (Q.pair Gen.graph (Q.list_size (Q.int_range 1 4) Gen.unql_query))
+      (fun (g, qs) ->
+        let engine = Engine.create ~config:no_pressure (Engine.store ~db:g ()) in
+        let reqs = List.map query_req qs in
+        let expected = List.map (expected_frame ~db:g) qs in
+        let client () = List.map (fun r -> Engine.handle_line engine r) reqs in
+        let domains = Array.init 4 (fun _ -> Domain.spawn client) in
+        let answers = Array.map Domain.join domains in
+        Array.for_all (fun got -> List.equal String.equal expected got) answers);
+    Gen.qtest "client B hits the entry client A warmed (same frame bytes)" ~count:40
+      ~print:print_pair
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let store = Engine.store ~db:g () in
+        (* two engines = two "tenants" over one shared store *)
+        let a = Engine.create ~config:no_pressure store in
+        let b = Engine.create ~config:no_pressure store in
+        let r1 = Engine.handle_line a (query_req q) in
+        let r2 = Engine.handle_line b (query_req q) in
+        let s = Engine.cache_stats store in
+        String.equal r1 r2 && s.Cache.misses = 1 && s.Cache.hits = 1);
+    Gen.qtest "cache=off never populates the shared cache" ~count:30
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let store = Engine.store ~db:g () in
+        let engine = Engine.create ~config:no_pressure store in
+        let req = "QUERY cache=off " ^ Unql.Pretty.expr_to_string q in
+        let r1 = Engine.handle_line engine req in
+        let r2 = Engine.handle_line engine req in
+        let s = Engine.cache_stats store in
+        String.equal r1 r2 && s.Cache.misses = 0 && s.Cache.hits = 0
+        && String.equal r1 (expected_frame ~db:g q));
+    Gen.qtest "a saturated server sheds with a well-formed SSD554 frame" ~count:30
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let config = { Engine.default_config with Engine.shed_at = -1 } in
+        let engine = Engine.create ~config (Engine.store ~db:g ()) in
+        let r = parse_one (Engine.handle_line engine (query_req q)) in
+        r.Proto.status = Proto.Shed
+        && String.equal r.Proto.detail "SSD554"
+        && (Engine.stats engine).Engine.shed = 1
+        && (Engine.stats engine).Engine.accepted = 0);
+    Gen.qtest "under pressure every answer is a typed complete/partial frame" ~count:30
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let config =
+          {
+            Engine.default_config with
+            Engine.pressure_at = -1;
+            pressure_max_steps = 1;
+            shed_at = max_int;
+          }
+        in
+        let engine = Engine.create ~config (Engine.store ~db:g ()) in
+        let r = parse_one (Engine.handle_line engine (query_req q)) in
+        match r.Proto.status with
+        | Proto.Complete -> String.equal r.Proto.detail "-"
+        | Proto.Partial ->
+          List.mem r.Proto.detail [ "steps"; "deadline"; "stalled" ]
+          && (Engine.stats engine).Engine.partial = 1
+        | Proto.Shed | Proto.Error -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol fuzz: mangled frames never crash or wedge the engine       *)
+(* ------------------------------------------------------------------ *)
+
+(* A request line under attack: a valid frame that was truncated,
+   bit-flipped or byte-stomped, or outright junk. *)
+let mangled_request : string Q.t =
+  let open Q in
+  let valid =
+    oneof
+      [
+        Q.map query_req Gen.unql_query;
+        pure "PING";
+        pure "STATS -";
+        pure "UPDATE - insert DB.a := {x: {}}";
+        pure "QUERY lang=lorel,max-steps=100 select m from DB.a m";
+      ]
+  in
+  let* s = valid in
+  let n = String.length s in
+  let* choice = int_range 0 3 in
+  match choice with
+  | 0 ->
+    let* k = int_range 0 n in
+    pure (String.sub s 0 k)
+  | 1 ->
+    let* flips = list_size (int_range 1 4) (pair (int_range 0 (n - 1)) (int_range 0 7)) in
+    let b = Bytes.of_string s in
+    List.iter
+      (fun (i, bit) -> Bytes.set_uint8 b i (Bytes.get_uint8 b i lxor (1 lsl bit)))
+      flips;
+    pure (Bytes.to_string b)
+  | 2 ->
+    let* i = int_range 0 (n - 1) in
+    let* v = int_range 0 255 in
+    let b = Bytes.of_string s in
+    Bytes.set_uint8 b i v;
+    pure (Bytes.to_string b)
+  | _ ->
+    let* junk = list_size (int_range 0 40) (int_range 0 255) in
+    pure (String.init (List.length junk) (fun i -> Char.chr (List.nth junk i)))
+
+let fuzz =
+  [
+    Gen.qtest "mangled frames get a typed answer and never kill the engine" ~count:300
+      ~print:(fun (_, raw) -> String.escaped raw)
+      (Q.pair Gen.graph mangled_request)
+      (fun (g, raw) ->
+        let engine = Engine.create (Engine.store ~db:g ()) in
+        (* must not raise, must answer exactly one well-formed frame *)
+        let r = parse_one (Engine.handle_line engine raw) in
+        (match r.Proto.status with
+        | Proto.Error ->
+          (* typed diagnostic, never a bare exception code *)
+          String.length r.Proto.detail = 6
+          && String.sub r.Proto.detail 0 3 = "SSD"
+        | Proto.Complete | Proto.Partial | Proto.Shed -> true)
+        &&
+        (* and the engine still serves afterwards: no wedged lock/state *)
+        let pong = parse_one (Engine.handle_line engine "PING") in
+        pong.Proto.status = Proto.Complete && String.equal pong.Proto.body "pong\n");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic regressions                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () = Ssd_workload.Movies.figure1 ()
+
+let q_titles = {| select {t: \T} where {entry.movie.title: \T} <- DB |}
+
+(* Satellite regression: two engines over one shared store — an update
+   through engine B must invalidate what engine A cached, atomically. *)
+let shared_store_never_stale () =
+  let db = fig1 () in
+  let store = Engine.store ~db () in
+  let a = Engine.create store in
+  let b = Engine.create store in
+  let req = "QUERY - " ^ q_titles in
+  let r_before = Engine.handle_line a req in
+  ignore (Engine.handle_line b req);
+  check "B hit A's warmed entry" true ((Engine.cache_stats store).Cache.hits = 1);
+  let upd =
+    parse_one
+      (Engine.handle_line b {|UPDATE - insert DB.entry := {movie: {title: "Fresh"}}|})
+  in
+  check "update acknowledged complete" true (upd.Proto.status = Proto.Complete);
+  check "update invalidated the old graph's entries" true
+    ((Engine.cache_stats store).Cache.invalidations >= 1);
+  let r_after = Engine.handle_line a req in
+  let expected =
+    expected_frame ~db:(Engine.store_db store) (Unql.Parser.parse q_titles)
+  in
+  check "post-update answer is fresh, not the stale cache" true
+    (String.equal r_after expected);
+  check "and differs from the pre-update answer" true
+    (not (String.equal r_after r_before));
+  check "the fresh answer mentions the inserted title" true
+    (contains ~needle:"Fresh" (parse_one r_after).Proto.body)
+
+let oversized_frame_closes () =
+  let engine = Engine.create (Engine.store ~db:(fig1 ()) ()) in
+  let huge = "QUERY - " ^ String.make (Engine.default_config.Engine.max_frame + 1) 'x' in
+  let resp, close = Engine.handle engine huge in
+  check "SSD551" true (String.equal resp.Proto.detail "SSD551");
+  check "error status" true (resp.Proto.status = Proto.Error);
+  check "connection closes" true close;
+  (* a fresh request on a new "connection" still works *)
+  let pong, close' = Engine.handle engine "PING" in
+  check "engine survives" true (pong.Proto.status = Proto.Complete && not close')
+
+let malformed_and_unsupported () =
+  let engine = Engine.create (Engine.store ~db:(fig1 ()) ()) in
+  let code raw = (parse_one (Engine.handle_line engine raw)).Proto.detail in
+  Alcotest.(check string) "unknown verb" "SSD550" (code "FROBNICATE - x");
+  Alcotest.(check string) "missing body" "SSD550" (code "QUERY -");
+  Alcotest.(check string) "bad option" "SSD552" (code "QUERY max-steps=lots x");
+  Alcotest.(check string) "unknown option" "SSD552" (code "QUERY color=red x");
+  Alcotest.(check string) "unsupported language" "SSD555" (code "QUERY lang=sparql x");
+  Alcotest.(check string) "failed parse" "SSD553" (code "QUERY - select")
+
+let queued_backlog_sheds () =
+  let engine = Engine.create (Engine.store ~db:(fig1 ()) ()) in
+  (* default shed_at = 64: a transport reporting a deep backlog sheds *)
+  let resp, close = Engine.handle ~queued:1000 engine ("QUERY - " ^ q_titles) in
+  check "shed" true (resp.Proto.status = Proto.Shed);
+  check "stays open" true (not close);
+  let resp', _ = Engine.handle ~queued:0 engine ("QUERY - " ^ q_titles) in
+  check "drained backlog is served again" true (resp'.Proto.status = Proto.Complete)
+
+let quit_and_stats () =
+  let engine = Engine.create (Engine.store ~db:(fig1 ()) ()) in
+  let stats_resp, close = Engine.handle engine "STATS" in
+  check "stats complete" true (stats_resp.Proto.status = Proto.Complete && not close);
+  check "stats body is the serve metrics dump" true
+    (contains ~needle:"serve.requests" stats_resp.Proto.body);
+  let bye, close' = Engine.handle engine "QUIT" in
+  check "bye closes" true (String.equal bye.Proto.body "bye\n" && close')
+
+let tests =
+  props
+  @ [
+      Alcotest.test_case "shared store never serves stale after update" `Quick
+        shared_store_never_stale;
+      Alcotest.test_case "oversized frame: SSD551 then close" `Quick
+        oversized_frame_closes;
+      Alcotest.test_case "malformed/unsupported get typed SSD55x codes" `Quick
+        malformed_and_unsupported;
+      Alcotest.test_case "transport backlog drives shedding" `Quick queued_backlog_sheds;
+      Alcotest.test_case "STATS and QUIT" `Quick quit_and_stats;
+    ]
