@@ -221,7 +221,7 @@ let query_cmd jobs data lang lint explain use_cache repeat quiet stats stats_for
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let check_cmd data lang schema_path format list_codes stats query_text =
+let check_cmd data lang schema_path format list_codes stats cost query_text =
   if list_codes then begin
     List.iter
       (fun (code, sev, desc) ->
@@ -252,20 +252,172 @@ let check_cmd data lang schema_path format list_codes stats query_text =
       schema_path
   in
   let r = Ssd_lint.check_src ~lang ?db ?target query_text in
+  let card =
+    if not cost then None
+    else
+      match db with
+      | None ->
+        Printf.eprintf "--cost needs --data (statistics come from the database)\n";
+        exit 2
+      | Some db ->
+        let annotated = Ssd_schema.Annotated.build db in
+        let declared =
+          match (target, lang) with
+          | Some (Ssd_lint.Schema s), Ssd_lint.Unql -> Some s
+          | _ -> None
+        in
+        Some (Ssd_lint.check_cost ~lang ~annotated ?declared query_text)
+  in
+  let all_diags =
+    r.Ssd_lint.diags
+    @ match card with None -> [] | Some c -> c.Ssd_lint.Card.diags
+  in
   (match format with
-  | "json" -> print_endline (Ssd_diag.render_json r.Ssd_lint.diags)
+  | "json" -> print_endline (Ssd_diag.render_json all_diags)
   | _ ->
-    print_string (Ssd_diag.render r.Ssd_lint.diags);
+    print_string (Ssd_diag.render all_diags);
     if r.Ssd_lint.paths_checked > 0 then
       Printf.printf "paths checked: %d, dead: %d\n" r.Ssd_lint.paths_checked
         r.Ssd_lint.dead_paths;
     if r.Ssd_lint.reachable_labels <> [] then
       Printf.printf "reachable labels: %s\n"
         (String.concat ", " (List.map Label.to_string r.Ssd_lint.reachable_labels));
-    Option.iter (Printf.printf "query fingerprint: %x\n") r.Ssd_lint.fingerprint);
+    Option.iter (Printf.printf "query fingerprint: %x\n") r.Ssd_lint.fingerprint;
+    Option.iter
+      (fun (c : Ssd_lint.Card.t) ->
+        (match c.Ssd_lint.Card.est_total with
+        | Some e -> Printf.printf "estimated cardinality: %.0f (upper bound)\n" e
+        | None -> print_endline "estimated cardinality: unknown");
+        Printf.printf "cost: syntactic order %.0f, planned order %.0f\n"
+          c.Ssd_lint.Card.cost_syntax c.Ssd_lint.Card.cost_planned)
+      card);
   if stats then
     print_string (Ssd_obs.Metrics.dump_text ~prefix:"lint." Ssd_obs.Metrics.default);
-  exit (if Ssd_lint.errors r > 0 then 1 else 0)
+  exit (if Ssd_diag.count Ssd_diag.Error all_diags > 0 then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Static estimates from the annotated DataGuide next to the actual
+   cardinality from one evaluation — the per-operator view of the
+   cost-based planner.  The estimate/actual ratio is recorded in the
+   [lint.card.est_over] metrics histogram, so a workload's estimation
+   error distribution can be dumped with --stats elsewhere. *)
+let est_over_histogram = Ssd_obs.Metrics.histogram "lint.card.est_over"
+
+let explain_cmd data lang format query_text =
+  let db = load_data data in
+  let annotated = Ssd_schema.Annotated.build db in
+  let n_rows g = List.length (Graph.labeled_succ g (Graph.root g)) in
+  let card, planned_text, actual =
+    match lang with
+    | "unql" ->
+      let q = Unql.Parser.parse query_text in
+      let card = Ssd_lint.Card.check_unql annotated q in
+      let planned = Unql.Optimize.reorder_generators annotated q in
+      let actual = n_rows (Unql.Eval.eval ~db q) in
+      (card, Some (Unql.Pretty.expr_to_string planned), actual)
+    | "lorel" ->
+      let q = Lorel.Parser.parse query_text in
+      let card = Ssd_lint.Card.check_lorel annotated q in
+      let actual = n_rows (Lorel.Eval.eval ~db q) in
+      (card, None, actual)
+    | "datalog" ->
+      let program = Relstore.Datalog.parse query_text in
+      let card = Ssd_lint.Card.check_datalog annotated program in
+      let edb = Relstore.Triple.edb db in
+      let actual =
+        List.fold_left
+          (fun a (_, ts) -> a + List.length ts)
+          0
+          (Relstore.Datalog.eval ~edb program)
+      in
+      (card, None, actual)
+    | other ->
+      Printf.eprintf "explain supports unql, lorel and datalog queries (got %s)\n"
+        other;
+      exit 2
+  in
+  let ratio =
+    Option.map
+      (fun e -> e /. float_of_int (max 1 actual))
+      card.Ssd_lint.Card.est_total
+  in
+  Option.iter (Ssd_obs.Metrics.observe est_over_histogram) ratio;
+  let fmt_est = function
+    | Some e -> Printf.sprintf "%.0f" e
+    | None -> "unknown"
+  in
+  match format with
+  | "json" ->
+    let op_json (o : Ssd_lint.Card.op_est) =
+      Ssd.Json.Obj
+        [
+          ("op", Ssd.Json.String o.Ssd_lint.Card.op_text);
+          ( "est",
+            match o.Ssd_lint.Card.op_est with
+            | Some e -> Ssd.Json.Float e
+            | None -> Ssd.Json.Null );
+          ( "access",
+            match o.Ssd_lint.Card.op_access with
+            | Some a -> Ssd.Json.String a
+            | None -> Ssd.Json.Null );
+          ("unbounded", Ssd.Json.Bool o.Ssd_lint.Card.op_unbounded);
+        ]
+    in
+    let diag_json (d : Ssd_diag.t) =
+      Ssd.Json.Obj
+        [
+          ("code", Ssd.Json.String d.Ssd_diag.code);
+          ("message", Ssd.Json.String d.Ssd_diag.message);
+        ]
+    in
+    print_endline
+      (Ssd.Json.to_string
+         (Ssd.Json.Obj
+            ([ ("lang", Ssd.Json.String lang); ("query", Ssd.Json.String query_text) ]
+            @ (match planned_text with
+              | Some p -> [ ("planned", Ssd.Json.String p) ]
+              | None -> [])
+            @ [
+                ("operators", Ssd.Json.List (List.map op_json card.Ssd_lint.Card.ops));
+                ( "estimated",
+                  match card.Ssd_lint.Card.est_total with
+                  | Some e -> Ssd.Json.Float e
+                  | None -> Ssd.Json.Null );
+                ("actual", Ssd.Json.Int actual);
+                ( "est_over",
+                  match ratio with Some r -> Ssd.Json.Float r | None -> Ssd.Json.Null );
+                ("cost_syntax", Ssd.Json.Float card.Ssd_lint.Card.cost_syntax);
+                ("cost_planned", Ssd.Json.Float card.Ssd_lint.Card.cost_planned);
+                ( "diagnostics",
+                  Ssd.Json.List (List.map diag_json card.Ssd_lint.Card.diags) );
+              ])))
+  | _ ->
+    Printf.printf "== explain (%s) ==\n" lang;
+    Printf.printf "query:\n  %s\n" query_text;
+    Option.iter (Printf.printf "planned:\n  %s\n") planned_text;
+    if card.Ssd_lint.Card.ops <> [] then begin
+      print_endline "operators:";
+      List.iter
+        (fun (o : Ssd_lint.Card.op_est) ->
+          Printf.printf "  %-40s est=%-8s%s%s\n" o.Ssd_lint.Card.op_text
+            (fmt_est o.Ssd_lint.Card.op_est)
+            (match o.Ssd_lint.Card.op_access with
+            | Some a -> Printf.sprintf " access=%s" a
+            | None -> "")
+            (if o.Ssd_lint.Card.op_unbounded then " (unbounded)" else ""))
+        card.Ssd_lint.Card.ops
+    end;
+    Printf.printf "estimated cardinality: %s (upper bound)\n"
+      (fmt_est card.Ssd_lint.Card.est_total);
+    Printf.printf "actual cardinality: %d\n" actual;
+    Option.iter (Printf.printf "estimate/actual: %.2f\n") ratio;
+    Printf.printf "cost: syntactic order %.0f, planned order %.0f\n"
+      card.Ssd_lint.Card.cost_syntax card.Ssd_lint.Card.cost_planned;
+    if card.Ssd_lint.Card.diags <> [] then
+      print_string (Ssd_diag.render card.Ssd_lint.Card.diags)
 
 (* ------------------------------------------------------------------ *)
 (* convert                                                             *)
@@ -653,11 +805,36 @@ let check_t =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"Dump the lint.* counters from the metrics registry.")
   in
+  let cost =
+    Arg.(value & flag & info [ "cost" ]
+           ~doc:"Also run the cardinality/cost analysis over the data's \
+                 annotated DataGuide (needs --data): estimated result \
+                 cardinality, conjunct-order costs and the SSD25x \
+                 diagnostics.  With --schema and unql, the inferred result \
+                 schema is checked for subsumption (SSD254).")
+  in
   let q = Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Statically analyze a query without running it (exit 1 on errors)")
-    Term.(const check_cmd $ data $ lang $ schema $ format $ codes $ stats $ q)
+    Term.(const check_cmd $ data $ lang $ schema $ format $ codes $ stats $ cost $ q)
+
+let explain_t =
+  let lang =
+    Arg.(value & opt string "unql" & info [ "l"; "lang" ] ~docv:"LANG"
+           ~doc:"Query language: unql, lorel or datalog.")
+  in
+  let format =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: text or json.")
+  in
+  let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the planner's view of a query: per-operator cardinality \
+             estimates and access paths from the annotated DataGuide, \
+             next to the actual cardinality from one evaluation")
+    Term.(const explain_cmd $ data_arg $ lang $ format $ q)
 
 let convert_t =
   let target =
@@ -834,6 +1011,7 @@ let () =
           [
             query_t;
             check_t;
+            explain_t;
             convert_t;
             dataguide_t;
             validate_t;

@@ -17,10 +17,10 @@
     Result: [r.(u)] is the list of [s] simulating [u]. *)
 val maximal :
   n1:int ->
-  succ1:(int -> (Label.t * int) list) ->
+  succ1:(int -> ('l * int) list) ->
   n2:int ->
   succ2:(int -> ('m * int) list) ->
-  matches:(Label.t -> 'm -> bool) ->
+  matches:('l -> 'm -> bool) ->
   int list array
 
 (** [simulates a b]: is the root of [a] simulated by the root of [b]

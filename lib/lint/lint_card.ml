@@ -1,0 +1,546 @@
+(* Cardinality and cost analysis over the annotated DataGuide: the
+   abstract interpreter behind SSD250–SSD254, `ssdql check --cost` and
+   `ssdql explain`.  See lint_card.mli. *)
+
+module Diag = Ssd_diag
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Lpred = Ssd_automata.Lpred
+module Dataguide = Ssd_schema.Dataguide
+module Annotated = Ssd_schema.Annotated
+module Gschema = Ssd_schema.Gschema
+module A = Unql.Ast
+module D = Relstore.Datalog
+
+type op_est = {
+  op_text : string;
+  op_est : float option;
+  op_access : string option;
+  op_unbounded : bool;
+}
+
+type t = {
+  diags : Diag.t list;
+  ops : op_est list;
+  est_total : float option;
+  cost_syntax : float;
+  cost_planned : float;
+}
+
+let warn ~code fmt = Printf.ksprintf (fun m -> Diag.make Diag.Warning ~code m) fmt
+let note ~code fmt = Printf.ksprintf (fun m -> Diag.make Diag.Note ~code m) fmt
+
+(* SSD252 fires when the syntactic conjunct order is estimated at least
+   this factor more expensive than the planned one, and the work at
+   stake is non-trivial. *)
+let cross_product_factor = 4.0
+let cross_product_floor = 20.0
+
+let order_diags ~what ~cost_syntax ~cost_planned =
+  if
+    cost_planned > 0.0
+    && cost_syntax >= cross_product_factor *. cost_planned
+    && cost_syntax >= cross_product_floor
+  then
+    [
+      warn ~code:"SSD252"
+        "%s: conjunct order builds a cross product (estimated cost %.0f, a \
+         cheaper order costs %.0f — %.1fx)"
+        what cost_syntax cost_planned (cost_syntax /. cost_planned);
+    ]
+  else []
+
+let card_diags ~what ~est ~unbounded =
+  let c =
+    match est with
+    | Some e when e <= 0.0 ->
+      [ warn ~code:"SSD250" "%s: result is statically empty (estimate 0)" what ]
+    | Some e when e <= 1.0 ->
+      [ note ~code:"SSD251" "%s: always singleton (estimate %.2f <= 1)" what e ]
+    | _ -> []
+  in
+  let u =
+    if unbounded then
+      [
+        warn ~code:"SSD253"
+          "%s: recursive path over a cyclic region — traversal is unbounded \
+           under a step budget"
+          what;
+      ]
+    else []
+  in
+  c @ u
+
+(* ------------------------------------------------------------------ *)
+(* Result-schema inference (SSD254)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A growable graph with predicate-labeled edges and ε-edges, presented
+   to Ssd.Simulation via an ε-closing successor function.  Unknown
+   subresults (sfun applications, unbound variables) become leaf nodes:
+   the inference under-approximates rather than over-approximates, so a
+   non-simulation verdict — and only that — is reported (no false
+   SSD254 positives at the price of missed ones). *)
+module Sg = struct
+  type t = {
+    mutable n : int;
+    mutable edges : (int * Lpred.t * int) list;
+    mutable eps : (int * int) list;
+  }
+
+  let create () = { n = 0; edges = []; eps = [] }
+
+  let node sg =
+    let i = sg.n in
+    sg.n <- sg.n + 1;
+    i
+
+  let edge sg u p v = sg.edges <- (u, p, v) :: sg.edges
+  let eps sg u v = sg.eps <- (u, v) :: sg.eps
+
+  let succ_fn sg =
+    let out = Array.make (max 1 sg.n) [] in
+    List.iter (fun (u, p, v) -> out.(u) <- (p, v) :: out.(u)) sg.edges;
+    let eps_adj = Array.make (max 1 sg.n) [] in
+    List.iter (fun (u, v) -> eps_adj.(u) <- v :: eps_adj.(u)) sg.eps;
+    fun u ->
+      let seen = Hashtbl.create 4 in
+      let acc = ref [] in
+      let rec close u =
+        if not (Hashtbl.mem seen u) then begin
+          Hashtbl.add seen u ();
+          acc := out.(u) @ !acc;
+          List.iter close eps_adj.(u)
+        end
+      in
+      close u;
+      !acc
+end
+
+(* Guide positions a pattern's steps can reach, and the positions each
+   tree binder takes — the same walk the planner does, kept here so the
+   schema inference can graft guide regions at binder positions. *)
+let steps_frontier ann lbound fr steps =
+  List.fold_left
+    (fun fr s ->
+      match s with
+      | A.Slit (A.Llit l) -> Annotated.step_pred ann fr (Lpred.Exact l)
+      | A.Slit (A.Lname x) ->
+        let p =
+          if List.mem x lbound then Lpred.Any else Lpred.Exact (Label.Sym x)
+        in
+        Annotated.step_pred ann fr p
+      | A.Sbind _ -> Annotated.step_pred ann fr Lpred.Any
+      | A.Spred p -> Annotated.step_pred ann fr p
+      | A.Sregex (r, _) -> fst (Annotated.step_regex ann fr r))
+    fr steps
+
+let rec pattern_positions ann lbound fr acc = function
+  | A.Pany -> acc
+  | A.Pbind x -> (x, Annotated.nodes fr) :: acc
+  | A.Pedges entries ->
+    List.fold_left
+      (fun acc (steps, sub) ->
+        let fr' = steps_frontier ann lbound fr steps in
+        pattern_positions ann lbound fr' acc sub)
+      acc entries
+
+let infer_schema ann lbound e =
+  let sg = Sg.create () in
+  let guide_g = Dataguide.graph (Annotated.guide ann) in
+  let guide_memo = Hashtbl.create 16 in
+  let rec guide_node v =
+    match Hashtbl.find_opt guide_memo v with
+    | Some u -> u
+    | None ->
+      let u = Sg.node sg in
+      Hashtbl.add guide_memo v u;
+      List.iter
+        (fun (l, w) -> Sg.edge sg u (Lpred.Exact l) (guide_node w))
+        (Graph.labeled_succ guide_g v);
+      u
+  in
+  (* env: tree variable -> inferred node; spos: tree binder -> guide
+     positions (only for select binders, where grafting is exact). *)
+  let rec go env spos e =
+    match e with
+    | A.Empty -> Sg.node sg
+    | A.Db -> guide_node (Graph.root guide_g)
+    | A.Var x -> (
+      match List.assoc_opt x env with
+      | Some n -> n
+      | None ->
+        if List.mem x lbound then begin
+          (* A label variable as a tree denotes the leaf {l: {}}. *)
+          let u = Sg.node sg in
+          let v = Sg.node sg in
+          Sg.edge sg u Lpred.Any v;
+          u
+        end
+        else Sg.node sg (* unknown: a leaf, see the module comment *))
+    | A.Tree entries ->
+      let u = Sg.node sg in
+      List.iter
+        (fun (le, sub) ->
+          let p =
+            match le with
+            | A.Llit l -> Lpred.Exact l
+            | A.Lname x ->
+              if List.mem x lbound then Lpred.Any else Lpred.Exact (Label.Sym x)
+          in
+          Sg.edge sg u p (go env spos sub))
+        entries;
+      u
+    | A.Union (a, b) ->
+      let u = Sg.node sg in
+      Sg.eps sg u (go env spos a);
+      Sg.eps sg u (go env spos b);
+      u
+    | A.Select (head, clauses) ->
+      (* Bind every generator binder to the guide regions its pattern
+         reaches, then infer the head once over those bindings. *)
+      let env, spos =
+        List.fold_left
+          (fun (env, spos) clause ->
+            match clause with
+            | A.Where _ -> (env, spos)
+            | A.Gen (p, src) -> (
+              let fr0 =
+                match src with
+                | A.Db -> Some (Annotated.start ann)
+                | A.Var x -> (
+                  match List.assoc_opt x spos with
+                  | Some vs -> Some (List.map (fun v -> (v, 1.0)) vs)
+                  | None -> None)
+                | _ -> None
+              in
+              match fr0 with
+              | None ->
+                (* binders of an unbounded source: unknown leaves *)
+                let env =
+                  List.fold_left
+                    (fun env x -> (x, Sg.node sg) :: env)
+                    env (A.pattern_binders p)
+                in
+                (env, spos)
+              | Some fr ->
+                let binds = pattern_positions ann lbound fr [] p in
+                let env =
+                  List.fold_left
+                    (fun env (x, vs) ->
+                      let u = Sg.node sg in
+                      List.iter (fun v -> Sg.eps sg u (guide_node v)) vs;
+                      (x, u) :: env)
+                    env binds
+                in
+                (env, binds @ spos)))
+          (env, spos) clauses
+      in
+      let u = Sg.node sg in
+      Sg.eps sg u (go env spos head);
+      u
+    | A.If (_, a, b) ->
+      let u = Sg.node sg in
+      Sg.eps sg u (go env spos a);
+      Sg.eps sg u (go env spos b);
+      u
+    | A.Let (x, a, b) ->
+      let n = go env spos a in
+      go ((x, n) :: env) spos b
+    | A.Letsfun (_, _) | A.App (_, _) -> Sg.node sg
+  in
+  let root = go [] [] e in
+  (sg, root)
+
+let check_declared ann lbound q declared =
+  let sg, root = infer_schema ann lbound q in
+  let sim =
+    Ssd.Simulation.maximal ~n1:(max 1 sg.Sg.n) ~succ1:(Sg.succ_fn sg)
+      ~n2:(Gschema.n_nodes declared) ~succ2:(Gschema.succ declared)
+      ~matches:Lpred.compatible
+  in
+  if List.mem (Gschema.root declared) sim.(root) then []
+  else
+    [
+      warn ~code:"SSD254"
+        "inferred result schema is not subsumed by the declared schema";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* UnQL                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_unql ann ?declared q =
+  let _, plans = Unql.Optimize.plan_expr ann q in
+  let ops =
+    List.concat_map
+      (fun pl ->
+        List.map
+          (fun (g : Unql.Optimize.gen_plan) ->
+            {
+              op_text = g.Unql.Optimize.g_text;
+              op_est = g.Unql.Optimize.g_est;
+              op_access =
+                Some
+                  (Unql.Optimize.access_path_to_string g.Unql.Optimize.g_access);
+              op_unbounded = g.Unql.Optimize.g_unbounded;
+            })
+          pl.Unql.Optimize.p_gens)
+      plans
+  in
+  let diags =
+    List.concat_map
+      (fun pl ->
+        let unbounded =
+          List.exists
+            (fun (g : Unql.Optimize.gen_plan) -> g.Unql.Optimize.g_unbounded)
+            pl.Unql.Optimize.p_gens
+        in
+        card_diags ~what:"select" ~est:pl.Unql.Optimize.p_est ~unbounded
+        @ order_diags ~what:"select"
+            ~cost_syntax:pl.Unql.Optimize.p_cost_syntax
+            ~cost_planned:pl.Unql.Optimize.p_cost_planned)
+      plans
+  in
+  let lbound = Unql.Optimize.sbind_names q in
+  let schema_diags =
+    match declared with
+    | None -> []
+    | Some s -> check_declared ann lbound q s
+  in
+  let outermost = match List.rev plans with [] -> None | pl :: _ -> Some pl in
+  {
+    diags = diags @ schema_diags;
+    ops;
+    est_total =
+      (match outermost with Some pl -> pl.Unql.Optimize.p_est | None -> None);
+    cost_syntax =
+      List.fold_left (fun a pl -> a +. pl.Unql.Optimize.p_cost_syntax) 0.0 plans;
+    cost_planned =
+      List.fold_left (fun a pl -> a +. pl.Unql.Optimize.p_cost_planned) 0.0 plans;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lorel                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lorel_cost ann (q : Lorel.Ast.query) order =
+  let ranges = Array.of_list q.Lorel.Ast.from in
+  let bound = ref [] and cost = ref 0.0 and envs = ref 1.0 in
+  List.iter
+    (fun i ->
+      let p, x = ranges.(i) in
+      let est, _, pos = Lorel.Optimize.est_path ann !bound p in
+      let e = match est with Some e -> e | None -> 1e9 in
+      cost := !cost +. (!envs *. Float.max 1.0 e);
+      envs := !envs *. e;
+      bound := (x, pos) :: !bound)
+    order;
+  !cost
+
+let check_lorel ann (q : Lorel.Ast.query) =
+  let rplans, order = Lorel.Optimize.plan ann q in
+  let ops =
+    List.map
+      (fun (r : Lorel.Optimize.range_plan) ->
+        {
+          op_text =
+            Printf.sprintf "%s %s" r.Lorel.Optimize.r_text
+              r.Lorel.Optimize.r_var;
+          op_est = r.Lorel.Optimize.r_est;
+          op_access = None;
+          op_unbounded = r.Lorel.Optimize.r_unbounded;
+        })
+      rplans
+  in
+  let est_total =
+    List.fold_left
+      (fun acc (r : Lorel.Optimize.range_plan) ->
+        match acc, r.Lorel.Optimize.r_est with
+        | Some a, Some e -> Some (a *. e)
+        | _ -> None)
+      (Some 1.0) rplans
+  in
+  let unbounded =
+    List.exists (fun (r : Lorel.Optimize.range_plan) -> r.Lorel.Optimize.r_unbounded) rplans
+  in
+  let n = List.length q.Lorel.Ast.from in
+  let cost_syntax = lorel_cost ann q (List.init n Fun.id) in
+  let cost_planned = lorel_cost ann q order in
+  {
+    diags =
+      card_diags ~what:"query" ~est:est_total ~unbounded
+      @ order_diags ~what:"from clause" ~cost_syntax ~cost_planned;
+    ops;
+    est_total;
+    cost_syntax;
+    cost_planned;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Datalog                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The catalog for the standard triple encoding: what Triple.edb would
+   hold for the annotated graph. *)
+let datalog_sizes ann =
+  let stats = Annotated.stats ann in
+  [ ("edge", stats.Ssd_index.Stats.n_edges); ("root", 1) ]
+
+let term_vars args =
+  List.filter_map (function D.Var v -> Some v | D.Const _ -> None) args
+
+let datalog_cost sizes (body : D.literal list) order =
+  let lits = Array.of_list body in
+  let bound = Hashtbl.create 8 in
+  let is_bound = function D.Const _ -> true | D.Var v -> Hashtbl.mem bound v in
+  let lit_est = function
+    | D.Neg _ | D.Cmp _ -> 1.0
+    | D.Pos a -> (
+      match List.assoc_opt a.D.pred sizes with
+      | None -> 1e6 (* IDB or unknown: no statistics *)
+      | Some sz ->
+        let b = List.length (List.filter is_bound a.D.args) in
+        Float.max 1.0 (float_of_int sz /. (4.0 ** float_of_int b)))
+  in
+  let cost = ref 0.0 and envs = ref 1.0 in
+  List.iter
+    (fun i ->
+      let e = lit_est lits.(i) in
+      cost := !cost +. (!envs *. e);
+      envs := !envs *. e;
+      (match lits.(i) with
+      | D.Pos a ->
+        List.iter (fun v -> Hashtbl.replace bound v ()) (term_vars a.D.args)
+      | D.Neg _ | D.Cmp _ -> ()))
+    order;
+  !cost
+
+let rule_text r = Format.asprintf "%a" D.pp_rule r
+
+let check_datalog ann (program : D.program) =
+  let sizes = datalog_sizes ann in
+  let diags, ops =
+    List.fold_left
+      (fun (diags, ops) r ->
+        let body = r.D.body in
+        let n = List.length body in
+        let syntax_order = List.init n Fun.id in
+        let cost_syntax = datalog_cost sizes body syntax_order in
+        (* Greedy order: cheapest-estimate-first among positive
+           literals, guards when bound — mirror of Datalog.reorder. *)
+        let greedy =
+          let picked = Array.make n false in
+          let lits = Array.of_list body in
+          let bound = Hashtbl.create 8 in
+          let is_bound =
+            function D.Const _ -> true | D.Var v -> Hashtbl.mem bound v
+          in
+          let order = ref [] in
+          for _ = 1 to n do
+            (* guards first when decidable *)
+            let guard =
+              let found = ref None in
+              for j = n - 1 downto 0 do
+                if not picked.(j) then
+                  match lits.(j) with
+                  | D.Neg a
+                    when List.for_all
+                           (fun v -> Hashtbl.mem bound v)
+                           (term_vars a.D.args) ->
+                    found := Some j
+                  | D.Cmp (_, t1, t2) when is_bound t1 && is_bound t2 ->
+                    found := Some j
+                  | _ -> ()
+              done;
+              !found
+            in
+            let j =
+              match guard with
+              | Some j -> Some j
+              | None ->
+                let best = ref None in
+                for j = 0 to n - 1 do
+                  if not picked.(j) then
+                    match lits.(j) with
+                    | D.Pos a -> (
+                      let e =
+                        match List.assoc_opt a.D.pred sizes with
+                        | None -> 1e6
+                        | Some sz ->
+                          let b =
+                            List.length (List.filter is_bound a.D.args)
+                          in
+                          Float.max 1.0
+                            (float_of_int sz /. (4.0 ** float_of_int b))
+                      in
+                      match !best with
+                      | Some (_, be) when be <= e -> ()
+                      | _ -> best := Some (j, e))
+                    | D.Neg _ | D.Cmp _ -> ()
+                done;
+                (match !best with
+                | Some (j, _) -> Some j
+                | None ->
+                  (* only undecidable guards left: take the first *)
+                  let rec first j =
+                    if j >= n then None
+                    else if not picked.(j) then Some j
+                    else first (j + 1)
+                  in
+                  first 0)
+            in
+            match j with
+            | None -> ()
+            | Some j ->
+              picked.(j) <- true;
+              order := j :: !order;
+              (match lits.(j) with
+              | D.Pos a ->
+                List.iter
+                  (fun v -> Hashtbl.replace bound v ())
+                  (term_vars a.D.args)
+              | D.Neg _ | D.Cmp _ -> ())
+          done;
+          List.rev !order
+        in
+        let cost_planned = datalog_cost sizes body greedy in
+        let what = Printf.sprintf "rule %s" r.D.head.D.pred in
+        let empty =
+          List.exists
+            (function
+              | D.Pos a -> (
+                match List.assoc_opt a.D.pred sizes with
+                | Some 0 -> true
+                | _ -> false)
+              | D.Neg _ | D.Cmp _ -> false)
+            body
+        in
+        let d =
+          (if empty then
+             [
+               warn ~code:"SSD250"
+                 "%s: body reads an empty extensional relation (estimate 0)"
+                 what;
+             ]
+           else [])
+          @ order_diags ~what ~cost_syntax ~cost_planned
+        in
+        let op =
+          {
+            op_text = rule_text r;
+            op_est = None;
+            op_access = None;
+            op_unbounded = false;
+          }
+        in
+        (diags @ d, ops @ [ op ]))
+      ([], []) program
+  in
+  let cost_syntax =
+    List.fold_left
+      (fun a r ->
+        a +. datalog_cost sizes r.D.body (List.init (List.length r.D.body) Fun.id))
+      0.0 program
+  in
+  { diags; ops; est_total = None; cost_syntax; cost_planned = cost_syntax }

@@ -1,0 +1,58 @@
+(** Static cardinality and cost analysis over the cardinality-annotated
+    DataGuide ({!Ssd_schema.Annotated}) — the abstract interpreter
+    behind the SSD25x diagnostics, [ssdql check --cost] and
+    [ssdql explain].
+
+    Queries are evaluated abstractly: UnQL generators and Lorel ranges
+    walk guide frontiers carrying per-(environment, node) counts, and
+    datalog rule bodies are costed against extensional relation sizes.
+    Estimates are {e upper bounds} for recursion-free queries (where
+    conditions are treated as selectivity 1), which the qcheck property
+    in [test/test_lint.ml] checks against actual evaluation.
+
+    Diagnostics emitted:
+    - SSD250 — the result is statically empty (estimate 0);
+    - SSD251 — a select/query always yields at most one binding (note);
+    - SSD252 — the syntactic conjunct order is at least 4x more
+      expensive than the planner's order (a cross product);
+    - SSD253 — a recursive path ranges over a cyclic region, so
+      traversal is unbounded under a step budget;
+    - SSD254 — the inferred result schema is not subsumed by a declared
+      {!Ssd_schema.Gschema} (checked by {!Ssd.Simulation.maximal};
+      unknown subresults are under-approximated as leaves, so there are
+      no false positives). *)
+
+(** One operator's estimate: a generator (UnQL), a range (Lorel) or a
+    rule (datalog). *)
+type op_est = {
+  op_text : string; (** the operator, printed *)
+  op_est : float option; (** estimated bindings; [None] if unboundable *)
+  op_access : string option;
+      (** chosen access path ({!Unql.Optimize.access_path}), UnQL only *)
+  op_unbounded : bool; (** SSD253 condition holds for this operator *)
+}
+
+type t = {
+  diags : Ssd_diag.t list;
+  ops : op_est list;
+  est_total : float option; (** estimated result cardinality *)
+  cost_syntax : float; (** cost of the syntactic conjunct order *)
+  cost_planned : float; (** cost of the planner's order *)
+}
+
+(** [check_unql ann ?declared q] — per-select estimates from
+    {!Unql.Optimize.plan_expr}; with [declared], the result schema
+    inferred over the guide is checked for subsumption (SSD254). *)
+val check_unql :
+  Ssd_schema.Annotated.t -> ?declared:Ssd_schema.Gschema.t -> Unql.Ast.expr -> t
+
+(** [check_lorel ann q] — per-range estimates from
+    {!Lorel.Optimize.plan}; [est_total] is the product over ranges (the
+    number of result rows is bounded by the cartesian product). *)
+val check_lorel : Ssd_schema.Annotated.t -> Lorel.Ast.query -> t
+
+(** [check_datalog ann program] — rule bodies costed against the triple
+    encoding's relation sizes ([edge] = edge count, [root] = 1); fires
+    SSD250 for a body reading an empty relation and SSD252 for join
+    orders the greedy planner ({!Relstore.Datalog.reorder}) beats 4x. *)
+val check_datalog : Ssd_schema.Annotated.t -> Relstore.Datalog.program -> t

@@ -149,6 +149,11 @@ let codes =
     ("SSD210", Error, "datalog: program is not stratifiable (negation through recursion)");
     ("SSD211", Warning, "datalog: predicate used but never defined (and not extensional)");
     ("SSD212", Warning, "datalog: predicate used with inconsistent arities");
+    ("SSD250", Warning, "cardinality: result is statically empty (estimate 0)");
+    ("SSD251", Note, "cardinality: select is always singleton (estimate <= 1)");
+    ("SSD252", Warning, "cardinality: conjunct order builds a cross product (cheaper order exists)");
+    ("SSD253", Warning, "cardinality: unbounded recursion over a cyclic region under a step budget");
+    ("SSD254", Warning, "cardinality: inferred result schema not subsumed by the declared schema");
     ("SSD301", Warning, "unused binder: variable is bound but never referenced");
     ("SSD302", Warning, "shadowed binding: an enclosing binding of the same name is hidden");
     ("SSD303", Error, "unbound tree variable");

@@ -111,6 +111,32 @@ let check_src ~lang ?db ?target ?(defined = []) src =
           fingerprint = None;
         })
 
+module Card = Lint_card
+
+let check_cost ~lang ~annotated ?declared src =
+  let fail code msg =
+    {
+      Lint_card.diags = [ Diag.make Diag.Error ~code msg ];
+      ops = [];
+      est_total = None;
+      cost_syntax = 0.0;
+      cost_planned = 0.0;
+    }
+  in
+  match lang with
+  | Unql -> (
+    match Unql.Parser.parse src with
+    | exception Unql.Parser.Parse_error msg -> fail (syntax_code lang) msg
+    | q -> Lint_card.check_unql annotated ?declared q)
+  | Lorel -> (
+    match Lorel.Parser.parse src with
+    | exception Lorel.Parser.Parse_error msg -> fail (syntax_code lang) msg
+    | q -> Lint_card.check_lorel annotated q)
+  | Datalog -> (
+    match Relstore.Datalog.parse src with
+    | exception Relstore.Datalog.Parse_error msg -> fail (syntax_code lang) msg
+    | program -> Lint_card.check_datalog annotated program)
+
 let check_uncal u =
   let ins = Unql.Uncal.inputs u and outs = Unql.Uncal.outputs u in
   let undefined =

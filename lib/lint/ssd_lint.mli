@@ -69,6 +69,23 @@ val check_src :
   string ->
   report
 
+(** The cardinality / cost analyzer ({!Lint_card}), exposed for direct
+    AST-level use. *)
+module Card = Lint_card
+
+(** [check_cost ~lang ~annotated ?declared src] parses [src] and runs the
+    cardinality/cost analysis of {!Lint_card} over the annotated
+    DataGuide — the engine behind [ssdql check --cost] and
+    [ssdql explain].  Parse errors become a single SSD001/002/003
+    diagnostic in the result.  [declared] (UnQL only) additionally
+    checks the inferred result schema for subsumption (SSD254). *)
+val check_cost :
+  lang:lang ->
+  annotated:Ssd_schema.Annotated.t ->
+  ?declared:Ssd_schema.Gschema.t ->
+  string ->
+  Lint_card.t
+
 (** Marker discipline of an UnCAL value: SSD311 for an output marker with
     no matching input, SSD312 for a non-[&] input never used as an
     output. *)

@@ -1,0 +1,135 @@
+(* Statistics-driven ordering of Lorel [from] ranges over the annotated
+   DataGuide.  See optimize.mli. *)
+
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Dataguide = Ssd_schema.Dataguide
+module Annotated = Ssd_schema.Annotated
+open Ast
+
+module Int_set = Set.Make (Int)
+
+let path_to_string p =
+  let comp = function
+    | Clabel l -> Label.to_string l
+    | Cany -> "%"
+    | Cpath -> "#"
+  in
+  let start = match p.start with None -> "DB" | Some x -> x in
+  String.concat "." (start :: List.map comp p.comps)
+
+(* Guide-node sets reachable by a path from known start positions.
+   Lorel path evaluation dedups to node sets at every step, so the
+   estimate is the total target-set size of the final guide frontier —
+   counts never multiply along a path. *)
+let est_path ann bound p =
+  let g = Dataguide.graph (Annotated.guide ann) in
+  let start =
+    match p.start with
+    | None -> Some [ Graph.root g ]
+    | Some x -> List.assoc_opt x bound
+  in
+  match start with
+  | None -> (None, false, [])
+  | Some nodes ->
+    let fr = ref (Int_set.of_list nodes) in
+    let unbounded = ref false in
+    List.iter
+      (fun comp ->
+        match comp with
+        | Clabel l ->
+          fr :=
+            Int_set.fold
+              (fun u acc ->
+                List.fold_left
+                  (fun acc (l', v) ->
+                    if Label.equal l l' then Int_set.add v acc else acc)
+                  acc (Graph.labeled_succ g u))
+              !fr Int_set.empty
+        | Cany ->
+          fr :=
+            Int_set.fold
+              (fun u acc ->
+                List.fold_left
+                  (fun acc (_, v) -> Int_set.add v acc)
+                  acc (Graph.labeled_succ g u))
+              !fr Int_set.empty
+        | Cpath ->
+          if Annotated.cyclic_from ann (Int_set.elements !fr) then
+            unbounded := true;
+          let seen = ref Int_set.empty in
+          let rec go u =
+            if not (Int_set.mem u !seen) then begin
+              seen := Int_set.add u !seen;
+              List.iter (fun (_, v) -> go v) (Graph.labeled_succ g u)
+            end
+          in
+          Int_set.iter go !fr;
+          fr := !seen)
+      p.comps;
+    let est =
+      Int_set.fold (fun u s -> s +. float_of_int (Annotated.card ann u)) !fr 0.0
+    in
+    (Some est, !unbounded, Int_set.elements !fr)
+
+type range_plan = {
+  r_index : int;
+  r_var : string;
+  r_text : string;
+  r_est : float option;
+  r_unbounded : bool;
+}
+
+let unknown_mult = 1e9
+
+let plan ann q =
+  let ranges = Array.of_list q.from in
+  let n = Array.length ranges in
+  (* i < j must keep order when j's path starts at i's variable, or they
+     bind the same name (the later binding shadows). *)
+  let conflict i j =
+    let pi, xi = ranges.(i) and pj, xj = ranges.(j) in
+    xi = xj || pj.start = Some xi || pi.start = Some xj
+  in
+  let placed = Array.make n false in
+  let bound = ref [] in
+  let order = ref [] and plans = ref [] in
+  for _ = 1 to n do
+    let best = ref None in
+    for j = 0 to n - 1 do
+      if
+        (not placed.(j))
+        && not (List.exists (fun i -> i < j && (not placed.(i)) && conflict i j) (List.init n Fun.id))
+      then begin
+        let p, _ = ranges.(j) in
+        let est, _, _ = est_path ann !bound p in
+        let key = match est with Some e -> e | None -> unknown_mult in
+        match !best with
+        | Some (_, bkey) when bkey <= key -> ()
+        | _ -> best := Some (j, key)
+      end
+    done;
+    match !best with
+    | None -> ()
+    | Some (j, _) ->
+      placed.(j) <- true;
+      let p, x = ranges.(j) in
+      let est, ub, positions = est_path ann !bound p in
+      bound := (x, positions) :: !bound;
+      order := j :: !order;
+      plans :=
+        {
+          r_index = j;
+          r_var = x;
+          r_text = path_to_string p;
+          r_est = est;
+          r_unbounded = ub;
+        }
+        :: !plans
+  done;
+  (List.rev !plans, List.rev !order)
+
+let reorder_from ann q =
+  let _, order = plan ann q in
+  let ranges = Array.of_list q.from in
+  { q with from = List.map (fun i -> ranges.(i)) order }

@@ -1,0 +1,36 @@
+(** Cost-based ordering of Lorel [from] ranges.
+
+    Each range's result-set size is bounded over the cardinality-
+    annotated DataGuide ({!Ssd_schema.Annotated}); ranges are then
+    greedily ordered smallest-first, keeping the relative order of any
+    two ranges where one starts at the other's variable or both bind
+    the same name (shadowing).  Row {e order} may change; the result
+    graph is bisimilar (rows hang off the root under one label). *)
+
+type range_plan = {
+  r_index : int; (** position in the original [from] list *)
+  r_var : string;
+  r_text : string; (** the range's path, printed *)
+  r_est : float option;
+      (** upper bound on nodes the range binds per environment; [None]
+          when the start variable's positions are unknown *)
+  r_unbounded : bool; (** a [#] component ranges over a cyclic region *)
+}
+
+(** Render a path in concrete syntax ([DB.entry.movie], [X.#.title]). *)
+val path_to_string : Ast.path -> string
+
+(** Estimate one path from known guide positions of bound variables:
+    (count bound, cyclic-recursion flag, guide frontier reached). *)
+val est_path :
+  Ssd_schema.Annotated.t ->
+  (string * int list) list ->
+  Ast.path ->
+  float option * bool * int list
+
+(** Per-range plans (in chosen order) and the chosen order as original
+    indices. *)
+val plan : Ssd_schema.Annotated.t -> Ast.query -> range_plan list * int list
+
+(** The query with its [from] list in the chosen order. *)
+val reorder_from : Ssd_schema.Annotated.t -> Ast.query -> Ast.query

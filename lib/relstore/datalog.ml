@@ -734,3 +734,89 @@ let query ~edb program pred =
   match List.assoc_opt pred (eval ~edb program) with
   | Some tuples -> tuples
   | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Statistics-driven body ordering                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy join ordering per rule: repeatedly place the positive literal
+   with the smallest estimated binding count (EDB relation size divided
+   by 4 per already-bound argument position — each bound position turns
+   the scan into an index probe), flushing negations and comparisons as
+   soon as their variables are positively bound.  This is opt-in, not
+   part of [eval]: derivation order — and thus tuple order — changes,
+   which callers relying on byte-identical output must not see. *)
+let reorder ~edb program =
+  let edb_sizes = List.map (fun (p, tuples) -> (p, List.length tuples)) edb in
+  let default_size =
+    max 1 (List.fold_left (fun acc (_, n) -> acc + n) 0 edb_sizes)
+  in
+  let size pred =
+    match List.assoc_opt pred edb_sizes with
+    | Some n -> n
+    | None -> default_size (* IDB: unknown until evaluated *)
+  in
+  let reorder_body body =
+    let lits = Array.of_list body in
+    let n = Array.length lits in
+    let placed = Array.make n false in
+    let bound = Hashtbl.create 8 in
+    let is_bound = function Const _ -> true | Var v -> Hashtbl.mem bound v in
+    let out = ref [] in
+    let flush_guards () =
+      (* Negations/comparisons whose variables are all bound filter
+         maximally early; original relative order is kept. *)
+      for j = 0 to n - 1 do
+        if not placed.(j) then
+          match lits.(j) with
+          | Neg a when List.for_all (fun v -> Hashtbl.mem bound v) (term_vars a.args) ->
+            placed.(j) <- true;
+            out := lits.(j) :: !out
+          | Cmp (_, t1, t2) when is_bound t1 && is_bound t2 ->
+            placed.(j) <- true;
+            out := lits.(j) :: !out
+          | Pos _ | Neg _ | Cmp _ -> ()
+      done
+    in
+    let estimate a =
+      let bound_args =
+        List.length (List.filter is_bound a.args)
+      in
+      float_of_int (size a.pred) /. (4.0 ** float_of_int bound_args)
+    in
+    flush_guards ();
+    let remaining = ref true in
+    while !remaining do
+      let best = ref None in
+      for j = 0 to n - 1 do
+        if not placed.(j) then
+          match lits.(j) with
+          | Pos a -> (
+            let e = estimate a in
+            match !best with
+            | Some (_, be) when be <= e -> ()
+            | _ -> best := Some (j, e))
+          | Neg _ | Cmp _ -> ()
+      done;
+      match !best with
+      | None ->
+        (* Only guards left; a safe rule has all their variables bound
+           by now. *)
+        for j = 0 to n - 1 do
+          if not placed.(j) then begin
+            placed.(j) <- true;
+            out := lits.(j) :: !out
+          end
+        done;
+        remaining := false
+      | Some (j, _) ->
+        placed.(j) <- true;
+        (match lits.(j) with
+        | Pos a -> List.iter (fun v -> Hashtbl.replace bound v ()) (term_vars a.args)
+        | Neg _ | Cmp _ -> ());
+        out := lits.(j) :: !out;
+        flush_guards ()
+    done;
+    List.rev !out
+  in
+  List.map (fun r -> { r with body = reorder_body r.body }) program

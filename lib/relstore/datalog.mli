@@ -97,3 +97,13 @@ val eval_naive : edb:edb -> program -> (string * Ssd.Label.t list list) list
 
 (** Number of strata the program splits into. *)
 val n_strata : program -> int
+
+(** [reorder ~edb program] — statistics-driven join ordering, applied per
+    rule: positive body literals are greedily ordered by estimated
+    binding count (extensional relation sizes from [edb], discounted per
+    already-bound argument position), and each negation or comparison is
+    placed at the earliest point its variables are positively bound.
+    Safety is preserved by construction.  Opt-in rather than part of
+    {!eval}: reordering changes derivation order, so derived tuple
+    {e order} (not content) can differ from the syntactic program's. *)
+val reorder : edb:edb -> program -> program

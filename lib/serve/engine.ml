@@ -186,7 +186,36 @@ let map_outcome f = function
   | Budget.Complete v -> Budget.Complete (f v)
   | Budget.Partial (v, why) -> Budget.Partial (f v, why)
 
+(* Lint before evaluating: a query the static analyzer rejects gets an
+   error frame whose detail token is the concrete diagnostic code (and
+   whose body carries the span) — SSD001/002/003 for syntax, the SSDxxx
+   hygiene/safety codes otherwise — instead of the generic SSD553 the
+   escaping runtime exception would produce.  The check runs without the
+   database (no DataGuide build on the request path), so it is cheap and
+   purely syntactic/hygienic; zero Error-severity findings means the
+   evaluators do not raise on this query (see Ssd_lint). *)
+let lint_gate (opts : Proto.options) body =
+  let lang =
+    match opts.lang with
+    | "unql" -> Some Ssd_lint.Unql
+    | "lorel" -> Some Ssd_lint.Lorel
+    | "datalog" -> Some Ssd_lint.Datalog
+    | _ -> None
+  in
+  match lang with
+  | None -> ()
+  | Some lang -> (
+    let r = Ssd_lint.check_src ~lang body in
+    match
+      List.find_opt
+        (fun d -> d.Ssd_diag.severity = Ssd_diag.Error)
+        r.Ssd_lint.diags
+    with
+    | Some d -> raise (Ssd_diag.Fail d)
+    | None -> ())
+
 let eval_query t ~db ~budget (opts : Proto.options) body =
+  lint_gate opts body;
   match opts.lang with
   | "unql" -> (
     let q = Unql.Parser.parse body in

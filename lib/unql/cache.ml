@@ -7,6 +7,8 @@ let m_hits = Metrics.counter "unql.cache.hits"
 let m_misses = Metrics.counter "unql.cache.misses"
 let m_evictions = Metrics.counter "unql.cache.evictions"
 let m_invalidations = Metrics.counter "unql.cache.invalidations"
+let m_plan_hits = Metrics.counter "unql.cache.plan_hits"
+let m_plan_misses = Metrics.counter "unql.cache.plan_misses"
 
 (* ------------------------------------------------------------------ *)
 (* Graph fingerprints                                                  *)
@@ -59,6 +61,10 @@ type entry = {
 type t = {
   cache_capacity : int;
   table : (key, entry) Hashtbl.t;
+  plans : (key, Ast.expr) Hashtbl.t;
+      (* chosen plans, same key space; bounded by cache_capacity with
+         drop-all overflow (plans are cheap to recompute, a planned AST
+         holds no graph data) *)
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -78,6 +84,7 @@ let create ?(capacity = 128) () =
   {
     cache_capacity = max 1 capacity;
     table = Hashtbl.create 64;
+    plans = Hashtbl.create 64;
     clock = 0;
     hits = 0;
     misses = 0;
@@ -105,6 +112,7 @@ let drop_invalidated (c : t) n =
 let clear c =
   let n = Hashtbl.length c.table in
   Hashtbl.reset c.table;
+  Hashtbl.reset c.plans;
   drop_invalidated c n
 
 let invalidate c db =
@@ -113,6 +121,11 @@ let invalidate c db =
     Hashtbl.fold (fun k _ acc -> if k.fp = fp then k :: acc else acc) c.table []
   in
   List.iter (Hashtbl.remove c.table) doomed;
+  (* Plans depend on the statistics of the same graph: drop them too. *)
+  let doomed_plans =
+    Hashtbl.fold (fun k _ acc -> if k.fp = fp then k :: acc else acc) c.plans []
+  in
+  List.iter (Hashtbl.remove c.plans) doomed_plans;
   let n = List.length doomed in
   drop_invalidated c n;
   n
@@ -180,6 +193,45 @@ let add cache ~db q result =
     touch cache e;
     Hashtbl.replace cache.table key e
   end
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Chosen plans are keyed exactly like results: (normalized query text,
+   graph fingerprint).  The result key's normalization is [reorder] only
+   — planned generator orders must NOT leak into [query_text], or a
+   planner change would silently split the result cache. *)
+let find_plan cache ~db q =
+  let key = key_of ~db q in
+  match Hashtbl.find_opt cache.plans key with
+  | Some planned ->
+    Metrics.incr m_plan_hits;
+    Some planned
+  | None ->
+    Metrics.incr m_plan_misses;
+    None
+
+let add_plan cache ~db q planned =
+  let key = key_of ~db q in
+  if not (Hashtbl.mem cache.plans key) then begin
+    if Hashtbl.length cache.plans >= cache.cache_capacity then
+      Hashtbl.reset cache.plans;
+    Hashtbl.replace cache.plans key planned
+  end
+
+(* Find-or-compute the cost-based rewrite of [q] for [db] under the
+   annotated guide. *)
+let planned cache ~db ~annotated q =
+  match find_plan cache ~db q with
+  | Some p -> p
+  | None ->
+    let p =
+      Trace.with_span "unql.cache.plan" (fun () ->
+          Optimize.reorder_generators annotated q)
+    in
+    add_plan cache ~db q p;
+    p
 
 let eval ?(options = Eval.default_options) ~cache ~db q =
   match find cache ~db q with

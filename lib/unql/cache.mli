@@ -88,3 +88,23 @@ val find : t -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Graph.t option
     budget-limited partial result: the cache cannot distinguish it from
     the complete answer. *)
 val add : t -> db:Ssd.Graph.t -> Ast.expr -> Ssd.Graph.t -> unit
+
+(** {2 Plan cache}
+
+    Cost-based rewrites ({!Optimize.reorder_generators}) are cached in a
+    second table under the same (normalized query, graph fingerprint)
+    keys; [invalidate]/[clear] drop them together with results, since a
+    plan embodies the statistics of the graph it was chosen for.  Hits
+    and misses are counted as [unql.cache.plan_hits]/[plan_misses]. *)
+
+(** Consult the plan table. *)
+val find_plan : t -> db:Ssd.Graph.t -> Ast.expr -> Ast.expr option
+
+(** Insert a chosen plan (first writer wins; table reset on overflow —
+    plans are cheap to recompute). *)
+val add_plan : t -> db:Ssd.Graph.t -> Ast.expr -> Ast.expr -> unit
+
+(** Find-or-compute the cost-based rewrite of a query for this database
+    under the given annotated guide. *)
+val planned :
+  t -> db:Ssd.Graph.t -> annotated:Ssd_schema.Annotated.t -> Ast.expr -> Ast.expr

@@ -40,9 +40,11 @@ type options = {
   reorder_clauses : bool;
   cache_nfa : bool;
   dataguide : Dataguide.t option;
+  path_index : Ssd_index.Path_index.t option;
 }
 
-let default_options = { reorder_clauses = true; cache_nfa = true; dataguide = None }
+let default_options =
+  { reorder_clauses = true; cache_nfa = true; dataguide = None; path_index = None }
 
 (* ------------------------------------------------------------------ *)
 (* Environments                                                        *)
@@ -463,6 +465,7 @@ and gen_envs ctx envs p e =
     if
       Ssd_par.Pool.default_jobs () <= 1
       || ctx.opts.dataguide <> None
+      || ctx.opts.path_index <> None
       || not (pattern_par_safe p)
     then sequential ()
     else begin
@@ -491,8 +494,8 @@ and gen_envs ctx envs p e =
    graph and unioning the accepted guide nodes' target sets — sound
    because a strong DataGuide has exactly the data's root paths. *)
 and guided_generator ctx env p e =
-  match ctx.opts.dataguide, e, p with
-  | Some guide, Db, Pedges [ (steps, sub) ] -> (
+  match e, p with
+  | Db, Pedges [ (steps, sub) ] -> (
     let offset = ctx.db_node - Graph.root ctx.db in
     let continue_at data_nodes =
       Some
@@ -501,10 +504,21 @@ and guided_generator ctx env p e =
            data_nodes)
     in
     match all_literal_steps env steps with
-    | Some path -> continue_at (Dataguide.find guide path)
+    | Some path -> (
+      (* Prefer the path index (O(1) on a precomputed table) over the
+         guide walk when the path is within its depth. *)
+      match ctx.opts.path_index with
+      | Some pidx when List.length path <= Ssd_index.Path_index.depth pidx -> (
+        match Ssd_index.Path_index.find pidx path with
+        | Some nodes -> continue_at nodes
+        | None -> None)
+      | _ -> (
+        match ctx.opts.dataguide with
+        | Some guide -> continue_at (Dataguide.find guide path)
+        | None -> None))
     | None -> (
-      match steps with
-      | [ Sregex (r, None) ] ->
+      match ctx.opts.dataguide, steps with
+      | Some guide, [ Sregex (r, None) ] ->
         let nfa, _ = nfa_of ctx r in
         let guide_hits =
           Ssd_automata.Product.accepting_nodes (Dataguide.graph guide) nfa

@@ -36,6 +36,10 @@ type options = {
   dataguide : Ssd_schema.Dataguide.t option;
       (** when set, literal-path generators rooted at [DB] are answered
           from the guide's target sets instead of by traversal *)
+  path_index : Ssd_index.Path_index.t option;
+      (** when set, literal-path generators rooted at [DB] within the
+          index's depth are answered by one index probe (preferred over
+          the guide walk); deeper paths fall back to guide or scan *)
 }
 
 val default_options : options

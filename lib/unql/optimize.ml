@@ -1,8 +1,10 @@
 module Label = Ssd.Label
+module Lpred = Ssd_automata.Lpred
 module Regex = Ssd_automata.Regex
 module Nfa = Ssd_automata.Nfa
 module Dfa = Ssd_automata.Dfa
 module Dataguide = Ssd_schema.Dataguide
+module Annotated = Ssd_schema.Annotated
 open Ast
 
 (* Label names a condition reads.  Unbound names resolve to symbol
@@ -130,6 +132,298 @@ let literal_path steps =
     | (Sbind _ | Spred _ | Sregex _) :: _ -> None
   in
   go [] steps
+
+(* ------------------------------------------------------------------ *)
+(* Cost-based generator planning over the annotated guide              *)
+(* ------------------------------------------------------------------ *)
+
+type access_path =
+  | Scan
+  | Guide_path
+  | Guide_product
+  | Pindex
+
+let access_path_to_string = function
+  | Scan -> "scan"
+  | Guide_path -> "guide-lookup"
+  | Guide_product -> "guide-product"
+  | Pindex -> "path-index"
+
+type gen_plan = {
+  g_index : int;
+  g_text : string;
+  g_est : float option;
+  g_work : float;
+  g_unbounded : bool;
+  g_access : access_path;
+}
+
+type plan = {
+  p_order : int list;
+  p_gens : gen_plan list;
+  p_est : float option;
+  p_cost_syntax : float;
+  p_cost_planned : float;
+}
+
+(* All Sbind label binders of an expression: a [Lname x] step with [x] in
+   this set may resolve to any label at run time. *)
+let sbind_names e =
+  let acc = ref [] in
+  let rec go_pattern = function
+    | Pbind _ | Pany -> ()
+    | Pedges entries ->
+      List.iter
+        (fun (steps, sub) ->
+          List.iter
+            (function Sbind x -> acc := x :: !acc | Slit _ | Spred _ | Sregex _ -> ())
+            steps;
+          go_pattern sub)
+        entries
+  in
+  ignore
+    (map_selects
+       (function
+         | Select (_, clauses) as s ->
+           List.iter (function Gen (p, _) -> go_pattern p | Where _ -> ()) clauses;
+           s
+         | e -> e)
+       e);
+  List.sort_uniq String.compare !acc
+
+(* Tree-valued binders (Pbind and regex path binders): rebinding one
+   overrides, so generators sharing a tree binder must keep their
+   relative order.  Sbind label binders unify (bind_label checks
+   equality), so sharing one is order-independent. *)
+let pat_tree_binders p =
+  let rec go acc = function
+    | Pbind x -> x :: acc
+    | Pany -> acc
+    | Pedges entries ->
+      List.fold_left
+        (fun acc (steps, sub) ->
+          let acc =
+            List.fold_left
+              (fun acc -> function
+                | Sregex (_, Some x) -> x :: acc
+                | Slit _ | Sbind _ | Spred _ | Sregex (_, None) -> acc)
+              acc steps
+          in
+          go acc sub)
+        acc entries
+  in
+  List.sort_uniq String.compare (go [] p)
+
+(* Names a generator reads: its source expression's free variables and
+   every [Lname] step (which resolves against label bindings). *)
+let gen_uses p e =
+  let src = match e with Db -> [] | Var x -> [ x ] | e -> free_tree_vars e in
+  let acc = ref src in
+  let rec go = function
+    | Pbind _ | Pany -> ()
+    | Pedges entries ->
+      List.iter
+        (fun (steps, sub) ->
+          List.iter
+            (function
+              | Slit (Lname x) -> acc := x :: !acc
+              | Slit (Llit _) | Sbind _ | Spred _ | Sregex _ -> ())
+            steps;
+          go sub)
+        entries
+  in
+  go p;
+  List.sort_uniq String.compare !acc
+
+let inter a b = List.exists (fun x -> List.mem x b) a
+
+(* Step the estimation frontier through one pattern step.  [lbound] is
+   the set of Sbind names anywhere in the query: an [Lname] over one of
+   those may be any label. *)
+let est_step ann lbound (fr, work, ub) = function
+  | Slit (Llit l) ->
+    let fr = Annotated.step_pred ann fr (Lpred.Exact l) in
+    (fr, work +. Annotated.total fr, ub)
+  | Slit (Lname x) ->
+    let p = if List.mem x lbound then Lpred.Any else Lpred.Exact (Label.Sym x) in
+    let fr = Annotated.step_pred ann fr p in
+    (fr, work +. Annotated.total fr, ub)
+  | Sbind _ ->
+    let fr = Annotated.step_pred ann fr Lpred.Any in
+    (fr, work +. Annotated.total fr, ub)
+  | Spred p ->
+    let fr = Annotated.step_pred ann fr p in
+    (fr, work +. Annotated.total fr, ub)
+  | Sregex (r, _) ->
+    let region = Annotated.region_card ann (Annotated.nodes fr) in
+    let fr, u = Annotated.step_regex ann fr r in
+    (fr, work +. region, ub || u)
+
+(* Estimate a pattern from a frontier: an upper bound on environments
+   produced per incoming environment, the traversal work, the
+   unbounded-recursion flag, and guide positions for each tree binder. *)
+let rec est_pattern ann lbound fr = function
+  | Pany -> (Annotated.total fr, 0.0, false, [])
+  | Pbind x -> (Annotated.total fr, 0.0, false, [ (x, Annotated.nodes fr) ])
+  | Pedges entries ->
+    List.fold_left
+      (fun (mult, work, ub, binds) (steps, sub) ->
+        let fr', w, ub1 =
+          List.fold_left (est_step ann lbound) (fr, 0.0, false) steps
+        in
+        let m2, w2, ub2, binds2 = est_pattern ann lbound fr' sub in
+        (mult *. m2, work +. w +. w2, ub || ub1 || ub2, binds @ binds2))
+      (1.0, 0.0, false, []) entries
+
+(* Sentinel multiplier for generators we cannot bound (source is a
+   computed expression, or a variable bound outside this select): large
+   enough that the greedy order places them last, finite so cost sums
+   stay comparable. *)
+let unknown_mult = 1e9
+
+let choose_access ~has_guide ~pindex_depth p e =
+  match e, p with
+  | Db, Pedges [ (steps, _) ] -> (
+    match literal_path steps with
+    | Some path -> (
+      match pindex_depth with
+      | Some d when List.length path <= d -> Pindex
+      | _ -> if has_guide then Guide_path else Scan)
+    | None -> (
+      match steps with
+      | [ Sregex (_, None) ] when has_guide -> Guide_product
+      | _ -> Scan))
+  | _ -> Scan
+
+(* Estimate one generator given the guide positions of already-placed
+   tree binders.  Returns (per-env multiplier bound or None, work,
+   unbounded, tree-binder positions it contributes). *)
+let est_gen ann lbound positions p e =
+  let fr0 =
+    match e with
+    | Db -> Some (Annotated.start ann)
+    | Var x -> (
+      match List.assoc_opt x positions with
+      | Some vs -> Some (List.map (fun v -> (v, 1.0)) vs)
+      | None -> None)
+    | _ -> None
+  in
+  match fr0 with
+  | None -> (None, unknown_mult, false, [])
+  | Some fr ->
+    let mult, work, ub, binds = est_pattern ann lbound fr p in
+    (Some mult, work, ub, binds)
+
+(* Cost of evaluating the generators in the given order: the evaluator
+   re-matches each generator once per incoming environment, so the cost
+   of generator i is (product of multipliers before it) * its work. *)
+let cost_of_order ann lbound gens order =
+  let cost = ref 0.0 and envs = ref 1.0 and positions = ref [] in
+  List.iter
+    (fun i ->
+      let p, e = List.nth gens i in
+      let mult, work, _, binds = est_gen ann lbound !positions p e in
+      cost := !cost +. (!envs *. Float.max 1.0 work);
+      let m = match mult with Some m -> m | None -> unknown_mult in
+      envs := !envs *. m;
+      positions := binds @ !positions)
+    order;
+  !cost
+
+let plan_clauses ann ?pindex_depth ~lbound clauses =
+  let gens =
+    List.filter_map (function Gen (p, e) -> Some (p, e) | Where _ -> None) clauses
+  in
+  let n = List.length gens in
+  let garr = Array.of_list gens in
+  let binders = Array.map (fun (p, _) -> pattern_binders p) garr in
+  let tree_binders = Array.map (fun (p, _) -> pat_tree_binders p) garr in
+  let uses = Array.map (fun (p, e) -> gen_uses p e) garr in
+  (* i < j must keep their order when reordering could change what a
+     name resolves to (uses vs binders) or which binding wins (shared
+     tree binders). *)
+  let conflict i j =
+    inter tree_binders.(i) tree_binders.(j)
+    || inter uses.(i) binders.(j)
+    || inter uses.(j) binders.(i)
+  in
+  let placed = Array.make n false in
+  let positions = ref [] in
+  let order = ref [] and plans = ref [] in
+  for _ = 1 to n do
+    let best = ref None in
+    for j = 0 to n - 1 do
+      if (not placed.(j)) && not (List.exists (fun i -> i < j && (not placed.(i)) && conflict i j) (List.init n Fun.id))
+      then begin
+        let mult, _, _, _ = est_gen ann lbound !positions (fst garr.(j)) (snd garr.(j)) in
+        let key = match mult with Some m -> m | None -> unknown_mult in
+        match !best with
+        | Some (_, bkey) when bkey <= key -> ()
+        | _ -> best := Some (j, key)
+      end
+    done;
+    match !best with
+    | None -> ()
+    | Some (j, _) ->
+      placed.(j) <- true;
+      let p, e = garr.(j) in
+      let mult, work, ub, binds = est_gen ann lbound !positions p e in
+      positions := binds @ !positions;
+      order := j :: !order;
+      plans :=
+        {
+          g_index = j;
+          g_text = Pretty.pattern_to_string p;
+          g_est = mult;
+          g_work = work;
+          g_unbounded = ub;
+          g_access =
+            choose_access ~has_guide:true ~pindex_depth p e;
+        }
+        :: !plans
+  done;
+  let order = List.rev !order and p_gens = List.rev !plans in
+  let gens_list = Array.to_list garr in
+  let p_est =
+    List.fold_left
+      (fun acc gp ->
+        match acc, gp.g_est with
+        | Some a, Some m -> Some (a *. m)
+        | _ -> None)
+      (Some 1.0) p_gens
+  in
+  {
+    p_order = order;
+    p_gens;
+    p_est;
+    p_cost_syntax = cost_of_order ann lbound gens_list (List.init n Fun.id);
+    p_cost_planned = cost_of_order ann lbound gens_list order;
+  }
+
+(* Apply a plan's generator order to a clause list, then re-push the
+   where-conditions to their earliest sound position. *)
+let apply_plan plan clauses =
+  let gens = Array.of_list (List.filter (function Gen _ -> true | Where _ -> false) clauses) in
+  let wheres = List.filter (function Where _ -> true | Gen _ -> false) clauses in
+  let ordered = List.map (fun i -> gens.(i)) plan.p_order in
+  reorder_clauses (ordered @ wheres)
+
+let plan_expr ann ?pindex_depth e =
+  let lbound = sbind_names e in
+  let plans = ref [] in
+  let e' =
+    map_selects
+      (function
+        | Select (head, clauses) ->
+          let plan = plan_clauses ann ?pindex_depth ~lbound clauses in
+          plans := plan :: !plans;
+          Select (head, apply_plan plan clauses)
+        | e -> e)
+      e
+  in
+  (e', List.rev !plans)
+
+let reorder_generators ann e = fst (plan_expr ann e)
 
 let prune_with_guide guide e =
   let pruned = ref 0 in

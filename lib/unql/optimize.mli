@@ -28,3 +28,64 @@ val automaton_sizes :
     it is replaced by [Empty].  Returns the rewritten expression and the
     number of selects pruned. *)
 val prune_with_guide : Ssd_schema.Dataguide.t -> Ast.expr -> Ast.expr * int
+
+(** {2 Cost-based generator planning}
+
+    Statistics-driven ordering of the generators of each [select],
+    estimated over a cardinality-annotated DataGuide
+    ({!Ssd_schema.Annotated}).  Only reorderings that provably preserve
+    semantics are taken: generators keep their relative order whenever
+    one binds a tree variable the other binds or reads, or a label name
+    one of them mentions — everything else commutes up to bisimulation
+    (label binders unify, conditions are pure). *)
+
+(** How a generator will be answered. *)
+type access_path =
+  | Scan (** data-graph traversal *)
+  | Guide_path (** all-literal path: one DataGuide lookup *)
+  | Guide_product (** single regex: automaton x guide product *)
+  | Pindex (** all-literal path within the path index's depth *)
+
+val access_path_to_string : access_path -> string
+
+type gen_plan = {
+  g_index : int; (** position in the original clause order *)
+  g_text : string; (** the generator's pattern, pretty-printed *)
+  g_est : float option;
+      (** upper bound on environments produced per incoming environment;
+          [None] when the source cannot be bounded statically *)
+  g_work : float; (** traversal work estimate for one match *)
+  g_unbounded : bool;
+      (** recursive path expression over a cyclic guide region *)
+  g_access : access_path;
+}
+
+type plan = {
+  p_order : int list; (** chosen order, as original indices *)
+  p_gens : gen_plan list; (** per-generator plans, in chosen order *)
+  p_est : float option; (** bound on result environments (product) *)
+  p_cost_syntax : float; (** cost estimate of the syntactic order *)
+  p_cost_planned : float; (** cost estimate of the chosen order *)
+}
+
+(** All [Sbind] label-binder names of the expression — the names whose
+    [Lname] occurrences may denote any label. *)
+val sbind_names : Ast.expr -> string list
+
+(** Plan one [select]'s clause list.  [lbound] is {!sbind_names} of the
+    enclosing expression; [pindex_depth] enables the path-index access
+    path up to that depth. *)
+val plan_clauses :
+  Ssd_schema.Annotated.t ->
+  ?pindex_depth:int ->
+  lbound:string list ->
+  Ast.clause list ->
+  plan
+
+(** Plan every [select]: returns the rewritten expression (generators in
+    planned order, conditions re-pushed) and the plans, outermost-first. *)
+val plan_expr :
+  Ssd_schema.Annotated.t -> ?pindex_depth:int -> Ast.expr -> Ast.expr * plan list
+
+(** Just the rewrite of {!plan_expr}. *)
+val reorder_generators : Ssd_schema.Annotated.t -> Ast.expr -> Ast.expr

@@ -175,13 +175,38 @@ let small_regex : Ssd_automata.Regex.t Q.t =
                Q.map (fun a -> R.Star a) (self (n / 2));
              ])
 
+(* Recursion-free {!small_regex}: no [Star], so a regex step visits a
+   bounded frontier and the static cardinality estimate is a true upper
+   bound — the estimate-vs-actual property needs this subset. *)
+let small_regex_norec : Ssd_automata.Regex.t Q.t =
+  let module R = Ssd_automata.Regex in
+  let module P = Ssd_automata.Lpred in
+  let open Q in
+  let atom =
+    oneof
+      [
+        Q.map (fun s -> R.Atom (P.Exact (Label.Sym s))) small_symbol;
+        pure (R.Atom P.Any);
+      ]
+  in
+  sized_size (int_range 1 4)
+  @@ fix (fun self n ->
+         if n <= 1 then atom
+         else
+           oneof
+             [
+               atom;
+               Q.map2 (fun a b -> R.Seq (a, b)) (self (n / 2)) (self (n / 2));
+               Q.map2 (fun a b -> R.Alt (a, b)) (self (n / 2)) (self (n / 2));
+             ])
+
 (* UnQL select queries, built directly as ASTs: one or two generators
    (the second ranging over the first binder), steps mixing literal
    labels, label binders and regexes, and 0–2 conditions.  Tree binders
    are "t0"/"t1" and label binders "lu"/"lv" — disjoint pools, so a name
    is never both, and condition atoms avoid the tree pool (an unbound
    name in a condition just denotes a symbol literal, which is safe). *)
-let unql_query : Unql.Ast.expr Q.t =
+let unql_query_with (regex : Ssd_automata.Regex.t Q.t) : Unql.Ast.expr Q.t =
   let module A = Unql.Ast in
   let open Q in
   let step =
@@ -189,7 +214,7 @@ let unql_query : Unql.Ast.expr Q.t =
       [
         (3, Q.map (fun s -> A.Slit (A.Llit (Label.Sym s))) small_symbol);
         (2, Q.map (fun x -> A.Sbind x) (oneofl [ "lu"; "lv" ]));
-        (2, Q.map (fun r -> A.Sregex (r, None)) small_regex);
+        (2, Q.map (fun r -> A.Sregex (r, None)) regex);
       ]
   in
   let steps = list_size (int_range 1 2) step in
@@ -224,6 +249,12 @@ let unql_query : Unql.Ast.expr Q.t =
     @ List.map (fun c -> A.Where c) conds
   in
   pure (A.Select (A.Tree [ (A.Llit (Label.sym "r"), A.Var tvar) ], clauses))
+
+let unql_query : Unql.Ast.expr Q.t = unql_query_with small_regex
+
+(* Recursion-free queries (regex steps without [Star]) for the
+   cardinality upper-bound property. *)
+let unql_query_norec : Unql.Ast.expr Q.t = unql_query_with small_regex_norec
 
 (* Corrupted codec inputs: a valid encoding with a seeded mutation —
    truncation, bit flips, or a byte stomp.  Decoding one must either

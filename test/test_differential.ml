@@ -97,6 +97,39 @@ let closure_answers g =
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* The cost-based planners must be invisible in the answers: each
+   strategy evaluated twice — as written, and through its planner
+   (UnQL generator reordering, Lorel from-range reordering, datalog join
+   reordering).  Datalog results are compared as tuple SETS: reordering
+   legitimately changes derivation (hence tuple) order. *)
+let planned_variants_agree (g, path) =
+  let ann = Ssd_schema.Annotated.build g in
+  let q = unql_of_steps (List.map (fun l -> A.Slit (A.Llit l)) path) in
+  let ok_unql =
+    Bisim.equal (Unql.Eval.eval ~db:g q)
+      (Unql.Eval.eval ~db:g (Unql.Optimize.reorder_generators ann q))
+  in
+  let ls = List.map Label.to_string path in
+  let lq =
+    Lorel.Parser.parse
+      (Printf.sprintf "select X from DB.%s X, DB.%s Y" (String.concat "." ls)
+         (List.hd ls))
+  in
+  let ok_lorel =
+    Bisim.equal (Lorel.Eval.eval ~db:g lq)
+      (Lorel.Eval.eval ~db:g (Lorel.Optimize.reorder_from ann lq))
+  in
+  let edb = Relstore.Triple.edb g in
+  let prog = Relstore.Datalog.parse (chain_prog path) in
+  let sorted r =
+    List.sort compare (List.map (fun (p, ts) -> (p, List.sort compare ts)) r)
+  in
+  let ok_datalog =
+    sorted (Relstore.Datalog.eval ~edb prog)
+    = sorted (Relstore.Datalog.eval ~edb (Relstore.Datalog.reorder ~edb prog))
+  in
+  ok_unql && ok_lorel && ok_datalog
+
 let props =
   [
     Gen.qtest "literal path: unql = lorel = datalog (DAGs)" ~count:80
@@ -110,6 +143,8 @@ let props =
       (fun (g, l) -> agree (descendants_answers g l));
     Gen.qtest "# closure from the root agrees (cyclic)" ~count:60 Gen.graph
       (fun g -> agree (closure_answers g));
+    Gen.qtest "planned variants agree (cyclic)" ~count:60
+      (Q.pair Gen.graph Gen.sym_path) planned_variants_agree;
   ]
 
 let figure1_literal () =

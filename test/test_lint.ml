@@ -98,6 +98,70 @@ let test_lorel () =
   expect "SSD402" (lorel ~db:figure1 "select X.title from DB.entry.zzz X");
   expect "SSD403" (lorel "select X.title from DB.entry X, DB.entry X")
 
+(* Cardinality / cost codes (SSD25x): one golden case per code, each on
+   the smallest database that triggers it. *)
+let card_codes (c : L.Card.t) = List.map (fun (d : Diag.t) -> d.Diag.code) c.L.Card.diags
+
+let expect_card code c =
+  Alcotest.(check bool)
+    (Printf.sprintf "reports %s (got: %s)" code (String.concat "," (card_codes c)))
+    true
+    (List.mem code (card_codes c))
+
+let reject_card code c =
+  Alcotest.(check bool)
+    (Printf.sprintf "no %s (got: %s)" code (String.concat "," (card_codes c)))
+    false
+    (List.mem code (card_codes c))
+
+let tree_db = Ssd.Syntax.parse_graph "{a: {b: {}}}"
+
+let test_cardinality () =
+  let ann g = Ssd_schema.Annotated.build g in
+  let cost ?declared ~lang db src =
+    ignore declared;
+    L.check_cost ~lang ~annotated:(ann db) ?declared src
+  in
+  (* SSD250: statically empty — a path the DataGuide proves dead *)
+  expect_card "SSD250"
+    (cost ~lang:L.Unql figure1 {|select {r: \t} where {entry.zzz: \t} <- DB|});
+  expect_card "SSD250" (cost ~lang:L.Lorel tree_db "select X from DB.zzz X");
+  expect_card "SSD250"
+    (cost ~lang:L.Datalog Graph.empty "p(?X) :- edge(?X, ?L, ?Y).");
+  (* SSD251: always singleton *)
+  expect_card "SSD251"
+    (cost ~lang:L.Unql tree_db {|select {r: \t} where {a.b: \t} <- DB|});
+  expect_card "SSD251" (cost ~lang:L.Lorel tree_db "select X.b from DB.a X");
+  (* SSD252: the syntactic conjunct order builds a cross product *)
+  let movies = Ssd_workload.Movies.generate ~seed:42 ~n_entries:30 () in
+  expect_card "SSD252"
+    (cost ~lang:L.Unql movies
+       {|select {r: u} where {\a: \t} <- DB, {<_*.zzz>: \u} <- DB|});
+  expect_card "SSD252"
+    (cost ~lang:L.Datalog movies "p(?X) :- edge(?X, ?L, ?Y), root(?X).");
+  (* ... and the planned order is cheaper than the syntactic one *)
+  let c =
+    cost ~lang:L.Unql movies {|select {r: u} where {\a: \t} <- DB, {<_*.zzz>: \u} <- DB|}
+  in
+  Alcotest.(check bool) "planned < syntax" true
+    (c.L.Card.cost_planned < c.L.Card.cost_syntax);
+  (* SSD253: recursion over a cyclic region *)
+  expect_card "SSD253"
+    (cost ~lang:L.Unql loop_db {|select {r: \t} where {<a*>: \t} <- DB|});
+  expect_card "SSD253" (cost ~lang:L.Lorel loop_db "select X from DB.# X");
+  (* ... but recursion over a tree is bounded *)
+  reject_card "SSD253"
+    (cost ~lang:L.Unql tree_db {|select {r: \t} where {<a*>: \t} <- DB|})
+
+let test_result_schema () =
+  let ann = Ssd_schema.Annotated.build tree_db in
+  let q = Unql.Parser.parse {|select {r: \t} where {a: \t} <- DB|} in
+  (* the select grafts the guide region below "a" under label r: {r: {b: {}}} *)
+  let good = Ssd_schema.Gschema.parse "{r: {b: {}}}" in
+  reject_card "SSD254" (L.Card.check_unql ann ~declared:good q);
+  let bad = Ssd_schema.Gschema.parse "{r: {c: #int}}" in
+  expect_card "SSD254" (L.Card.check_unql ann ~declared:bad q)
+
 (* Runtime codes: the typed exceptions carry the same codes the registry
    documents. *)
 let test_runtime_codes () =
@@ -195,6 +259,24 @@ let props =
         let guide = Ssd_schema.Dataguide.build g in
         let q', _ = L.prune (L.Guide guide) q in
         Ssd.Bisim.equal (Unql.Eval.eval ~db:g q) (Unql.Eval.eval ~db:g q'));
+    (* The soundness contract of the estimator: for recursion-free
+       queries the static estimate upper-bounds the actual number of
+       result bindings (each environment emits exactly one top-level
+       edge of the generated queries' head, so edges = environments). *)
+    Gen.qtest "estimate upper-bounds actual (recursion-free)" ~count:150
+      ~print:print_pair
+      (Q.pair Gen.graph Gen.unql_query_norec)
+      (fun (g, q) ->
+        let r = L.Unql_lint.check ~db:g q in
+        unql_errors r > 0
+        ||
+        let card = L.Card.check_unql (Ssd_schema.Annotated.build g) q in
+        match card.L.Card.est_total with
+        | None -> true
+        | Some est ->
+          let result = Unql.Eval.eval ~db:g q in
+          let actual = List.length (Graph.labeled_succ result (Graph.root result)) in
+          est >= float_of_int actual);
   ]
 
 let tests =
@@ -205,6 +287,8 @@ let tests =
     Alcotest.test_case "unql hygiene codes" `Quick test_unql_hygiene;
     Alcotest.test_case "uncal marker codes" `Quick test_uncal_markers;
     Alcotest.test_case "lorel codes" `Quick test_lorel;
+    Alcotest.test_case "cardinality codes" `Quick test_cardinality;
+    Alcotest.test_case "result-schema subsumption" `Quick test_result_schema;
     Alcotest.test_case "runtime exception codes" `Quick test_runtime_codes;
     Alcotest.test_case "code registry is total" `Quick test_registry;
     Alcotest.test_case "report plumbing" `Quick test_report_plumbing;

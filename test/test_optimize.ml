@@ -39,6 +39,29 @@ let props =
         let guide = Ssd_schema.Dataguide.build g in
         let opts = { Unql.Eval.default_options with dataguide = Some guide } in
         Bisim.equal (Unql.Eval.eval ~db:g q) (Unql.Eval.eval ~options:opts ~db:g q));
+    (* The cost-based generator reordering is the one rewrite that can
+       change evaluation ORDER of generators; it must not change the
+       answer (up to bisimulation), on arbitrary — including cyclic —
+       graphs. *)
+    Gen.qtest "reorder_generators preserves semantics" ~count:100 ~print:print_pair
+      (Q.pair Gen.graph Gen.unql_query)
+      (fun (g, q) ->
+        let ann = Ssd_schema.Annotated.build g in
+        Bisim.equal
+          (Unql.Eval.eval ~options:raw_opts ~db:g q)
+          (Unql.Eval.eval ~options:raw_opts ~db:g
+             (Unql.Optimize.reorder_generators ann q)));
+    (* A plan chosen for one graph is still correct (if possibly slow)
+       on another: plans only reorder, never filter. *)
+    Gen.qtest "foreign plans stay correct" ~count:60
+      ~print:(fun ((g1, _), q) -> print_pair (g1, q))
+      (Q.pair (Q.pair Gen.graph Gen.graph) Gen.unql_query)
+      (fun ((g1, g2), q) ->
+        let ann = Ssd_schema.Annotated.build g1 in
+        Bisim.equal
+          (Unql.Eval.eval ~options:raw_opts ~db:g2 q)
+          (Unql.Eval.eval ~options:raw_opts ~db:g2
+             (Unql.Optimize.reorder_generators ann q)));
   ]
 
 (* ------------------------------------------------------------------ *)

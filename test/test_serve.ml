@@ -229,7 +229,16 @@ let malformed_and_unsupported () =
   Alcotest.(check string) "bad option" "SSD552" (code "QUERY max-steps=lots x");
   Alcotest.(check string) "unknown option" "SSD552" (code "QUERY color=red x");
   Alcotest.(check string) "unsupported language" "SSD555" (code "QUERY lang=sparql x");
-  Alcotest.(check string) "failed parse" "SSD553" (code "QUERY - select")
+  (* the lint gate runs before evaluation, so a syntax error carries the
+     concrete SSD001 (unql) code in the detail token, not a generic
+     runtime SSD553 *)
+  Alcotest.(check string) "failed parse" "SSD001" (code "QUERY - select");
+  Alcotest.(check string) "failed lorel parse" "SSD002"
+    (code "QUERY lang=lorel select");
+  (* a statically-detected hygiene error (unbound variable) is rejected
+     with its own code before evaluation starts *)
+  Alcotest.(check string) "unbound variable" "SSD303"
+    (code "QUERY - select {r: x} where {a: \\t} <- DB")
 
 let queued_backlog_sheds () =
   let engine = Engine.create (Engine.store ~db:(fig1 ()) ()) in

@@ -248,9 +248,10 @@ let options_equivalence () =
       check "same result under all option combinations" true
         (Bisim.equal base (Unql.Eval.eval ~options ~db:fig1 q)))
     [
-      { Unql.Eval.reorder_clauses = false; cache_nfa = false; dataguide = None };
-      { Unql.Eval.reorder_clauses = true; cache_nfa = true; dataguide = Some guide };
-      { Unql.Eval.reorder_clauses = false; cache_nfa = true; dataguide = Some guide };
+      { Unql.Eval.default_options with reorder_clauses = false; cache_nfa = false };
+      { Unql.Eval.default_options with dataguide = Some guide };
+      { Unql.Eval.default_options with reorder_clauses = false; dataguide = Some guide };
+      { Unql.Eval.default_options with path_index = Some (Ssd_index.Path_index.build ~depth:4 fig1) };
     ]
 
 let guide_pruning () =

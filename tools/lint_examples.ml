@@ -61,14 +61,61 @@ let defined_names src =
   done;
   !out
 
+(* Serve-protocol frame literals ("QUERY lang=lorel <body>") are linted
+   on their body, with the language taken from the lang= option (default
+   unql, matching the protocol).  UPDATE frames carry Lorel update
+   statements, which have no analyzer yet. *)
+let strip_frame src =
+  let s = String.trim src in
+  let after prefix =
+    let np = String.length prefix in
+    if String.length s > np && String.sub s 0 np = prefix then
+      Some (String.sub s np (String.length s - np))
+    else None
+  in
+  match after "QUERY " with
+  | Some rest -> (
+    let rest = String.trim rest in
+    match String.index_opt rest ' ' with
+    | None -> Some (None, None)
+    | Some sp ->
+      let opts = String.sub rest 0 sp in
+      let body = String.sub rest (sp + 1) (String.length rest - sp - 1) in
+      let lang =
+        List.find_map
+          (fun kv ->
+            match String.index_opt kv '=' with
+            | Some e when String.sub kv 0 e = "lang" ->
+              Some (String.sub kv (e + 1) (String.length kv - e - 1))
+            | _ -> None)
+          (String.split_on_char ',' opts)
+      in
+      Some (lang, Some body))
+  | None -> (
+    match after "UPDATE " with Some _ -> Some (None, None) | None -> None)
+
+(* The query language of a literal and the text to lint (the literal
+   itself, or a protocol frame's body). *)
 let classify src =
   (* sprintf templates are not complete queries *)
-  if contains src "%s" || contains src "%d" then None
-  else if contains src ":-" then Some Ssd_lint.Datalog
-  else if contains ~lower:true src "such that" then None
-  else if contains src "select" && contains src "from " then Some Ssd_lint.Lorel
-  else if contains src "select" || contains src "sfun" then Some Ssd_lint.Unql
-  else None
+  if contains src "%s" || contains src "%S" || contains src "%d" then None
+  else
+    match strip_frame src with
+    | Some (lang, body) -> (
+      match (lang, body) with
+      | _, None -> None
+      | (Some "unql" | None), Some b -> Some (Ssd_lint.Unql, b)
+      | Some "lorel", Some b -> Some (Ssd_lint.Lorel, b)
+      | Some "datalog", Some b -> Some (Ssd_lint.Datalog, b)
+      | Some _, Some _ -> None)
+    | None ->
+      if contains src ":-" then Some (Ssd_lint.Datalog, src)
+      else if contains ~lower:true src "such that" then None
+      else if contains src "select" && contains src "from " then
+        Some (Ssd_lint.Lorel, src)
+      else if contains src "select" || contains src "sfun" then
+        Some (Ssd_lint.Unql, src)
+      else None
 
 let line_of src off =
   let line = ref 1 in
@@ -88,9 +135,9 @@ let () =
           (fun (off, lit) ->
             match classify lit with
             | None -> ()
-            | Some lang ->
+            | Some (lang, text) ->
               incr checked;
-              let r = Ssd_lint.check_src ~lang ~defined lit in
+              let r = Ssd_lint.check_src ~lang ~defined text in
               if Ssd_lint.errors r > 0 then begin
                 incr failures;
                 Printf.printf "%s:%d: %s query fails lint:\n%s" path (line_of src off)
