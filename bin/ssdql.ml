@@ -128,10 +128,33 @@ let status_of = function
   | None -> "complete"
   | Some why -> Printf.sprintf "partial (%s)" (Ssd.Budget.exhaustion_to_string why)
 
-let query_cmd jobs data lang lint explain use_cache repeat quiet stats stats_format trace
-    trace_out deadline_ms max_steps query_text =
+(* Resolve --data/--store into a database: exactly one source.  A store
+   open runs recovery if the store needs it (reported on stderr), and
+   the returned closer writes the clean-shutdown checkpoint. *)
+let open_db ~what data store_path =
+  match (data, store_path) with
+  | Some _, Some _ ->
+    Printf.eprintf "%s: --data and --store are mutually exclusive\n" what;
+    exit 2
+  | None, None ->
+    Printf.eprintf "%s: one of --data or --store is required\n" what;
+    exit 2
+  | Some d, None -> (load_data d, fun () -> ())
+  | None, Some dir ->
+    let st = Ssd_store.Store.open_ (Ssd_store.Vfs.real dir) in
+    let r = Ssd_store.Store.recovery st in
+    if r.Ssd_store.Store.was_clean then
+      Printf.eprintf "%s: store clean open (no recovery)\n%!" what
+    else
+      Printf.eprintf "%s: store recovered (%d txns replayed, %d torn bytes discarded)\n%!"
+        what r.Ssd_store.Store.recovered_txns r.Ssd_store.Store.torn_bytes;
+    (Ssd_store.Store.graph st, fun () -> Ssd_store.Store.close st)
+
+let query_cmd jobs data store_path lang lint explain use_cache repeat quiet stats
+    stats_format trace trace_out deadline_ms max_steps query_text =
   Ssd_par.Pool.set_default_jobs jobs;
-  let db = load_data data in
+  let db, close_db = open_db ~what:"ssdql query" data store_path in
+  at_exit close_db;
   lint_gate lint lang db query_text;
   if trace || trace_out <> None then begin
     Ssd_obs.Trace.enable ();
@@ -472,9 +495,27 @@ let validate_cmd data schema_path =
 (* update                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let update_cmd data stmts =
-  let db = load_data data in
-  print_graph (Lorel.Update.run ~db stmts)
+let update_cmd data store_path stmts =
+  match (data, store_path) with
+  | Some _, Some _ ->
+    Printf.eprintf "ssdql update: --data and --store are mutually exclusive\n";
+    exit 2
+  | None, None ->
+    Printf.eprintf "ssdql update: one of --data or --store is required\n";
+    exit 2
+  | Some d, None -> print_graph (Lorel.Update.run ~db:(load_data d) stmts)
+  | None, Some dir ->
+    (* In-place durable update: the new graph is committed (WAL fsync)
+       before anything is printed, then the store is closed cleanly. *)
+    let st = Ssd_store.Store.open_ (Ssd_store.Vfs.real dir) in
+    let r = Ssd_store.Store.recovery st in
+    if not r.Ssd_store.Store.was_clean then
+      Printf.eprintf "ssdql update: store recovered (%d txns replayed, %d torn bytes discarded)\n%!"
+        r.Ssd_store.Store.recovered_txns r.Ssd_store.Store.torn_bytes;
+    let g = Lorel.Update.run ~db:(Ssd_store.Store.graph st) stmts in
+    Ssd_store.Store.commit st g;
+    Ssd_store.Store.close st;
+    print_graph g
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
@@ -637,10 +678,34 @@ let profile_cmd jobs data lang repeat format trace_out query_text =
    The line protocol, admission control and partial-answer semantics
    live in lib/serve (see README "Serving"); this command only wires
    data loading, the socket address, config knobs and shutdown. *)
-let serve_cmd data socket_path tcp_port host workers shed_at pressure_at
+let serve_cmd data store_path socket_path tcp_port host workers shed_at pressure_at
     pressure_max_steps max_frame cache_capacity max_requests trace_out stats
     stats_format =
-  let db = load_data data in
+  let persistent =
+    match (data, store_path) with
+    | Some _, Some _ ->
+      Printf.eprintf "ssdql serve: --data and --store are mutually exclusive\n";
+      exit 2
+    | None, None ->
+      Printf.eprintf "ssdql serve: one of --data or --store is required\n";
+      exit 2
+    | Some _, None -> None
+    | None, Some dir ->
+      let st = Ssd_store.Store.open_ (Ssd_store.Vfs.real dir) in
+      let r = Ssd_store.Store.recovery st in
+      if r.Ssd_store.Store.was_clean then
+        Printf.eprintf "ssdql serve: store clean open (no recovery)\n%!"
+      else
+        Printf.eprintf
+          "ssdql serve: store recovered (%d txns replayed, %d torn bytes discarded)\n%!"
+          r.Ssd_store.Store.recovered_txns r.Ssd_store.Store.torn_bytes;
+      Some st
+  in
+  let db =
+    match persistent with
+    | Some st -> Ssd_store.Store.graph st
+    | None -> load_data (Option.get data)
+  in
   if trace_out <> None then begin
     Ssd_obs.Trace.enable ();
     Ssd_obs.Trace.name_lane 0 "acceptor"
@@ -654,6 +719,12 @@ let serve_cmd data socket_path tcp_port host workers shed_at pressure_at
       pressure_max_steps;
     }
   in
+  (* Every acknowledged UPDATE goes through the WAL before the swap:
+     commit appends + fsyncs, so kill -9 after the response cannot lose
+     it (restart replays the log). *)
+  (match persistent with
+  | Some st -> Ssd_serve.Engine.set_persist store (fun g -> Ssd_store.Store.commit st g)
+  | None -> ());
   let engine = Ssd_serve.Engine.create ~config store in
   let addr =
     match tcp_port with
@@ -684,6 +755,13 @@ let serve_cmd data socket_path tcp_port host workers shed_at pressure_at
   Ssd_serve.Server.stop server;
   Sys.set_signal Sys.sigint old_int;
   Sys.set_signal Sys.sigterm old_term;
+  (* Graceful shutdown: flush the WAL into the data file and set the
+     clean flag, so the next open skips recovery. *)
+  (match persistent with
+  | Some st ->
+    Ssd_store.Store.close st;
+    Printf.eprintf "ssdql serve: store closed cleanly (checkpoint written)\n%!"
+  | None -> ());
   let s = Ssd_serve.Engine.stats engine in
   Printf.eprintf
     "ssdql serve: stopped after %d requests (%d accepted, %d shed, %d partial, %d errors, %d updates)\n%!"
@@ -697,16 +775,85 @@ let serve_cmd data socket_path tcp_port host workers shed_at pressure_at
   if stats then dump_stats stats_format
 
 (* ------------------------------------------------------------------ *)
+(* store init|stat|fsck|compact                                        *)
+(* ------------------------------------------------------------------ *)
+
+let print_store_stat st =
+  let s = Ssd_store.Store.stat st in
+  Printf.printf "page size:   %d bytes\n" s.Ssd_store.Store.stat_page_size;
+  Printf.printf "pages:       %d\n" s.Ssd_store.Store.stat_n_pages;
+  Printf.printf "wal:         %d bytes pending\n" s.Ssd_store.Store.stat_wal_bytes;
+  Printf.printf "clean:       %b\n" s.Ssd_store.Store.stat_clean;
+  Printf.printf "graph:       %d nodes, %d edges\n" s.Ssd_store.Store.stat_nodes
+    s.Ssd_store.Store.stat_edges;
+  List.iter
+    (fun (name, len) -> Printf.printf "segment %-6s %d bytes\n" name len)
+    s.Ssd_store.Store.stat_segs
+
+let store_init_cmd dir data page_size indexes path_depth =
+  let g = load_data data in
+  let indexes =
+    match indexes with
+    | "" | "none" -> []
+    | "all" -> Ssd_store.Store.all_indexes
+    | spec -> String.split_on_char ',' spec
+  in
+  let st =
+    Ssd_store.Store.create ~page_size ~indexes ~path_depth (Ssd_store.Vfs.real dir) g
+  in
+  print_store_stat st;
+  Ssd_store.Store.close st;
+  Printf.printf "store initialized in %s\n" dir
+
+let store_stat_cmd dir =
+  let st = Ssd_store.Store.open_ (Ssd_store.Vfs.real dir) in
+  let r = Ssd_store.Store.recovery st in
+  if not r.Ssd_store.Store.was_clean then
+    Printf.eprintf "ssdql store: recovered %d txns (%d torn bytes discarded)\n%!"
+      r.Ssd_store.Store.recovered_txns r.Ssd_store.Store.torn_bytes;
+  print_store_stat st;
+  Ssd_store.Store.close st
+
+let store_fsck_cmd dir =
+  let diags = Ssd_store.Store.fsck (Ssd_store.Vfs.real dir) in
+  if diags = [] then print_endline "fsck: clean"
+  else print_string (Ssd_diag.render diags);
+  if Ssd_diag.count Ssd_diag.Error diags > 0 then exit 1
+
+let store_compact_cmd dir =
+  let st = Ssd_store.Store.open_ (Ssd_store.Vfs.real dir) in
+  Ssd_store.Store.compact st;
+  print_store_stat st;
+  Ssd_store.Store.close st;
+  Printf.printf "store compacted\n"
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
 (* ------------------------------------------------------------------ *)
 
 open Cmdliner
 
+let data_doc =
+  "Data file (.ssd syntax; .json, .oem and .bin are auto-detected) \
+   or builtin:KIND[:N] for a generated workload \
+   (figure1|movies|web|bio|bib|randtree)."
+
 let data_arg =
-  Arg.(required & opt (some string) None & info [ "d"; "data" ] ~docv:"FILE"
-         ~doc:"Data file (.ssd syntax; .json, .oem and .bin are auto-detected) \
-               or builtin:KIND[:N] for a generated workload \
-               (figure1|movies|web|bio|bib|randtree).")
+  Arg.(required & opt (some string) None & info [ "d"; "data" ] ~docv:"FILE" ~doc:data_doc)
+
+(* --data made optional, for commands that also accept --store. *)
+let data_opt_arg =
+  Arg.(value & opt (some string) None & info [ "d"; "data" ] ~docv:"FILE" ~doc:data_doc)
+
+let store_arg =
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+         ~doc:"Persistent store directory (created by $(b,ssdql store init)); \
+               mutually exclusive with --data. Opening runs crash recovery if \
+               the store was not closed cleanly.")
+
+let store_req_arg =
+  Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR"
+         ~doc:"Persistent store directory.")
 
 let deadline_ms_arg =
   Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
@@ -773,8 +920,9 @@ let query_t =
                  has Error severity.")
   in
   let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
-  Cmd.v (Cmd.info "query" ~doc:"Run a query against a data file")
-    Term.(const query_cmd $ jobs_arg $ data_arg $ lang $ lint $ explain $ cache $ repeat $ quiet
+  Cmd.v (Cmd.info "query" ~doc:"Run a query against a data file or persistent store")
+    Term.(const query_cmd $ jobs_arg $ data_opt_arg $ store_arg $ lang $ lint $ explain
+          $ cache $ repeat $ quiet
           $ stats $ stats_format $ trace $ trace_out_arg $ deadline_ms_arg
           $ max_steps_arg $ q)
 
@@ -862,8 +1010,10 @@ let validate_t =
 let update_t =
   let stmts = Arg.(required & pos 0 (some string) None & info [] ~docv:"STATEMENTS") in
   Cmd.v
-    (Cmd.info "update" ~doc:"Apply insert/delete/rename statements; print the new database")
-    Term.(const update_cmd $ data_arg $ stmts)
+    (Cmd.info "update"
+       ~doc:"Apply insert/delete/rename statements; print the new database. \
+             With --store the new database is durably committed in place.")
+    Term.(const update_cmd $ data_opt_arg $ store_arg $ stmts)
 
 let stats_t =
   Cmd.v (Cmd.info "stats" ~doc:"Print graph statistics") Term.(const stats_cmd $ data_arg)
@@ -998,9 +1148,54 @@ let serve_t =
     (Cmd.info "serve"
        ~doc:"Serve queries to concurrent clients over a Unix or TCP socket, \
              with a shared result cache, admission control and load shedding")
-    Term.(const serve_cmd $ data_arg $ socket $ port $ host $ workers $ shed_at
+    Term.(const serve_cmd $ data_opt_arg $ store_arg $ socket $ port $ host $ workers
+          $ shed_at
           $ pressure_at $ pressure_max_steps $ max_frame $ cache_capacity
           $ max_requests $ trace_out_arg $ stats $ stats_format)
+
+let store_t =
+  let init =
+    let page_size =
+      Arg.(value & opt int 4096 & info [ "page-size" ] ~docv:"BYTES"
+             ~doc:"Page size of the new store (128..65536; default 4096).")
+    in
+    let indexes =
+      Arg.(value & opt string "all" & info [ "indexes" ] ~docv:"LIST"
+             ~doc:"Comma-separated index segments to maintain at every commit: \
+                   any of value,text,path,guide; also 'all' (default) or 'none'. \
+                   Maintained indexes are checkpointed and a cold open loads \
+                   them without rebuilding.")
+    in
+    let path_depth =
+      Arg.(value & opt int 3 & info [ "path-depth" ] ~docv:"N"
+             ~doc:"Depth bound of the maintained path index (default 3).")
+    in
+    Cmd.v
+      (Cmd.info "init" ~doc:"Create a persistent store from a data file")
+      Term.(const store_init_cmd $ store_req_arg $ data_arg $ page_size $ indexes
+            $ path_depth)
+  in
+  let stat =
+    Cmd.v
+      (Cmd.info "stat" ~doc:"Show pages, segments, WAL backlog and the clean flag")
+      Term.(const store_stat_cmd $ store_req_arg)
+  in
+  let fsck =
+    Cmd.v
+      (Cmd.info "fsck"
+         ~doc:"Offline structural check (read-only): header and page CRCs, \
+               segment directory bounds, segment decode, WAL tail state. \
+               Exits 1 if any Error-severity finding (SSD56x) is reported.")
+      Term.(const store_fsck_cmd $ store_req_arg)
+  in
+  let compact =
+    Cmd.v
+      (Cmd.info "compact" ~doc:"Apply the WAL and trim the data file to its live pages")
+      Term.(const store_compact_cmd $ store_req_arg)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Manage crash-safe persistent graph stores (WAL + recovery)")
+    [ init; stat; fsck; compact ]
 
 let () =
   let doc = "semistructured data toolbox (Buneman, PODS'97 reproduction)" in
@@ -1021,4 +1216,5 @@ let () =
             dist_t;
             profile_t;
             serve_t;
+            store_t;
           ]))

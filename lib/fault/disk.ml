@@ -1,0 +1,154 @@
+(* Seeded storage fault plans — the disk-side sibling of {!Plan} (which
+   models the network).  A plan drives the in-memory faulty VFS of the
+   persistent store (lib/store): every decision below is drawn from a
+   SplitMix64 stream seeded by [seed], so any schedule replays
+   bit-for-bit from its spec string.
+
+   Fault model (what a real disk + kernel can do between two fsyncs):
+   - [crash_at]: the process dies at the Nth I/O op (pwrite / truncate /
+     fsync, counted across all files).  Writes not yet covered by an
+     fsync barrier are volatile and may be lost.
+   - [torn]: the op the crash lands on, if a write, applies only a
+     seeded prefix — a torn sector write.
+   - [reorder]: volatile writes survive the crash as an arbitrary seeded
+     subset (the drive's write-back cache reordered them within the
+     window the missing fsync allowed); without it only a seeded prefix
+     of the volatile write sequence survives (an ordered cache losing
+     its tail).
+   - [bitflip]: each read flips one seeded bit with this probability —
+     media corruption that CRCs must catch.
+   - [short]: each read/write transfers only a seeded strict prefix with
+     this probability — the syscall contract callers must loop over. *)
+
+type t = {
+  seed : int;
+  crash_at : int option; (* crash at the Nth I/O op, 1-based *)
+  torn : bool; (* the crashing write applies a seeded prefix *)
+  reorder : bool; (* volatile writes survive as a seeded subset *)
+  bitflip : float; (* P(flip one bit) per read *)
+  short : float; (* P(short transfer) per read/write *)
+}
+
+let none =
+  { seed = 0; crash_at = None; torn = false; reorder = false; bitflip = 0.; short = 0. }
+
+let bad fmt = Ssd_diag.error ~code:"SSD541" fmt
+
+let prob key s =
+  match float_of_string_opt s with
+  | Some p when p >= 0. && p <= 1. -> p
+  | Some _ | None -> bad "storage fault plan: %s wants a probability in [0,1], got %S" key s
+
+let flag key s =
+  match s with
+  | "1" | "true" -> true
+  | "0" | "false" -> false
+  | _ -> bad "storage fault plan: %s wants 0 or 1, got %S" key s
+
+let parse spec =
+  let fields =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' (String.trim spec))
+  in
+  List.fold_left
+    (fun p field ->
+      match String.index_opt field ':' with
+      | None -> bad "storage fault plan: expected key:value, got %S" field
+      | Some i -> (
+        let key = String.sub field 0 i in
+        let v = String.sub field (i + 1) (String.length field - i - 1) in
+        match key with
+        | "seed" -> (
+          match int_of_string_opt v with
+          | Some n -> { p with seed = n }
+          | None -> bad "storage fault plan: seed wants an integer, got %S" v)
+        | "crash" -> (
+          match int_of_string_opt v with
+          | Some n when n >= 1 -> { p with crash_at = Some n }
+          | _ -> bad "storage fault plan: crash wants a positive op index, got %S" v)
+        | "torn" -> { p with torn = flag "torn" v }
+        | "reorder" -> { p with reorder = flag "reorder" v }
+        | "bitflip" -> { p with bitflip = prob "bitflip" v }
+        | "short" -> { p with short = prob "short" v }
+        | other -> bad "storage fault plan: unknown key %S" other))
+    none fields
+
+let to_string p =
+  String.concat ","
+    ([ Printf.sprintf "seed:%d" p.seed ]
+    @ (match p.crash_at with Some n -> [ Printf.sprintf "crash:%d" n ] | None -> [])
+    @ (if p.torn then [ "torn:1" ] else [])
+    @ (if p.reorder then [ "reorder:1" ] else [])
+    @ (if p.bitflip > 0. then [ Printf.sprintf "bitflip:%g" p.bitflip ] else [])
+    @ if p.short > 0. then [ Printf.sprintf "short:%g" p.short ] else [])
+
+(* ------------------------------------------------------------------ *)
+(* Injector: the seeded decision stream                                 *)
+(* ------------------------------------------------------------------ *)
+
+type injector = {
+  plan : t;
+  mutable state : int64;
+  mutable ops : int; (* I/O ops seen so far *)
+}
+
+let injector plan = { plan; state = Int64.of_int (plan.seed lxor 0xD15C); ops = 0 }
+
+let plan inj = inj.plan
+let ops inj = inj.ops
+
+(* SplitMix64, the same generator family as {!Injector} (not shared:
+   disk and network schedules must not entangle). *)
+let next inj =
+  inj.state <- Int64.add inj.state 0x9E3779B97F4A7C15L;
+  let z = inj.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let float inj = Int64.to_float (Int64.shift_right_logical (next inj) 11) /. 9007199254740992.0
+
+let draw inj p = p > 0. && float inj < p
+
+(* [int inj bound] — uniform in [0, bound). *)
+let int inj bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next inj) 1) (Int64.of_int bound))
+
+(* Count one I/O op; [true] iff this op is the crash point. *)
+let tick_op inj =
+  inj.ops <- inj.ops + 1;
+  match inj.plan.crash_at with
+  | Some n -> inj.ops = n
+  | None -> false
+
+(* Length actually transferred for a request of [len] bytes: a seeded
+   strict prefix under a short-transfer fault, else all of it. *)
+let transfer_len inj len =
+  if len > 1 && draw inj inj.plan.short then 1 + int inj (len - 1) else len
+
+(* Bytes surviving of the write the crash landed on: a seeded prefix
+   under [torn], nothing otherwise. *)
+let torn_len inj len = if inj.plan.torn then int inj (len + 1) else 0
+
+(* Which of the [n] volatile (un-fsynced) writes pending at the crash
+   survive it?  With [reorder] each tosses an independent seeded coin (a
+   write-back cache flushing in arbitrary order); otherwise a seeded
+   prefix survives (an ordered cache losing its tail). *)
+let keep_mask inj ~n =
+  if inj.plan.reorder then begin
+    (* explicit loop: Array.init's application order is unspecified *)
+    let mask = Array.make n false in
+    for i = 0 to n - 1 do
+      mask.(i) <- draw inj 0.5
+    done;
+    mask
+  end
+  else begin
+    let cut = int inj (n + 1) in
+    Array.init n (fun i -> i < cut)
+  end
+
+(* One seeded bit flip on a read of [len] bytes?  Returns the bit index
+   to flip, or [None]. *)
+let bitflip_at inj len =
+  if len > 0 && draw inj inj.plan.bitflip then Some (int inj (len * 8)) else None

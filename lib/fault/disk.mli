@@ -1,0 +1,55 @@
+(** Seeded storage fault plans: crash-at-op, torn final write, volatile
+    write reordering, bit-flips on read, and short transfers.  The
+    disk-side sibling of {!Plan} (which models the network); drives the
+    faulty in-memory VFS behind the persistent store's crash fuzzer.
+
+    Spec strings are comma-separated [key:value] fields:
+    [seed:N,crash:N,torn:1,reorder:1,bitflip:P,short:P]. *)
+
+type t = {
+  seed : int;
+  crash_at : int option;  (** crash at the Nth I/O op, 1-based *)
+  torn : bool;  (** the crashing write applies only a seeded prefix *)
+  reorder : bool;  (** volatile writes survive as a seeded subset *)
+  bitflip : float;  (** probability a read flips one seeded bit *)
+  short : float;  (** probability of a short transfer per read/write *)
+}
+
+(** No faults at all (seed 0). *)
+val none : t
+
+(** Parse a spec string.  Raises [Ssd_diag.Error] (code SSD541) on
+    malformed input. *)
+val parse : string -> t
+
+(** Round-trips through {!parse}; the replay handle printed on fuzzer
+    failures. *)
+val to_string : t -> string
+
+(** Deterministic decision stream for one simulated run. *)
+type injector
+
+val injector : t -> injector
+val plan : injector -> t
+
+(** I/O ops counted so far (monotonic, bumped by {!tick_op}). *)
+val ops : injector -> int
+
+(** Count one I/O op; [true] iff this op is the crash point. *)
+val tick_op : injector -> bool
+
+(** Bytes actually transferred for a request of [len]: a seeded strict
+    prefix under a short-transfer fault, else [len]. *)
+val transfer_len : injector -> int -> int
+
+(** Bytes of the crash-point write that reach the medium: a seeded
+    prefix under [torn], zero otherwise. *)
+val torn_len : injector -> int -> int
+
+(** Survival mask for the [n] volatile writes pending at the crash:
+    independent coins under [reorder], a seeded prefix otherwise. *)
+val keep_mask : injector -> n:int -> bool array
+
+(** Seeded bit index to flip on a [len]-byte read, if this read is
+    selected for corruption. *)
+val bitflip_at : injector -> int -> int option

@@ -82,6 +82,62 @@ let find idx path =
 let depth idx = idx.depth
 let n_paths idx = Hashtbl.length idx.table
 
+(* ------------------------------------------------------------------ *)
+(* Canonical serialization (persistent store segments)                  *)
+(* ------------------------------------------------------------------ *)
+
+module B = Ssd_storage.Bytesio
+
+let magic = "SSDH"
+
+let compare_path = List.compare Label.compare
+
+(* Canonical: paths sorted lexicographically by [Label.compare]; node
+   lists are already sorted ([Int_set.elements]) but are re-sorted
+   defensively so equality of bytes never depends on build internals. *)
+let to_bytes idx =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  B.put_varint buf idx.depth;
+  let entries = Hashtbl.fold (fun p ns acc -> (p, ns) :: acc) idx.table [] in
+  let entries = List.sort (fun (a, _) (b, _) -> compare_path a b) entries in
+  B.put_varint buf (List.length entries);
+  List.iter
+    (fun (path, nodes) ->
+      B.put_varint buf (List.length path);
+      List.iter (B.put_label buf) path;
+      let nodes = List.sort_uniq compare nodes in
+      B.put_varint buf (List.length nodes);
+      List.iter (B.put_varint buf) nodes)
+    entries;
+  Buffer.to_bytes buf
+
+let of_bytes data =
+  let r = B.reader data in
+  B.expect_magic r magic;
+  let depth = B.get_varint r in
+  let n = B.get_varint r in
+  B.check_count r ~what:"a path-index path count" ~unit_bytes:2 n;
+  let table = Hashtbl.create (2 * n) in
+  for _ = 1 to n do
+    let len = B.get_varint r in
+    B.check_count r ~what:"a path length" ~unit_bytes:1 len;
+    let path = ref [] in
+    for _ = 1 to len do
+      path := B.get_label r :: !path
+    done;
+    let path = List.rev !path in
+    let k = B.get_varint r in
+    B.check_count r ~what:"a path-index node count" ~unit_bytes:1 k;
+    let nodes = ref [] in
+    for _ = 1 to k do
+      nodes := B.get_varint r :: !nodes
+    done;
+    Hashtbl.replace table path (List.rev !nodes)
+  done;
+  B.expect_end r;
+  { depth; table }
+
 let traverse g path =
   let step nodes l =
     Int_set.fold

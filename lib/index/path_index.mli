@@ -23,3 +23,10 @@ val n_paths : t -> int
 (** The traversal fallback (and baseline): follow the path from the
     root. *)
 val traverse : Ssd.Graph.t -> Ssd.Label.t list -> int list
+
+(** Canonical bytes (paths and node lists sorted): indexes over the
+    same data serialize identically. *)
+val to_bytes : t -> bytes
+
+(** Raises [Ssd_storage.Bytesio.Corrupt] on malformed input. *)
+val of_bytes : bytes -> t

@@ -122,6 +122,72 @@ let contains_substring hay needle =
     let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
     at 0
 
+(* ------------------------------------------------------------------ *)
+(* Canonical serialization (persistent store segments)                  *)
+(* ------------------------------------------------------------------ *)
+
+module B = Ssd_storage.Bytesio
+
+let magic = "SSDT"
+
+(* Full order on entries — the in-memory [sorted] array orders only by
+   text (unstable among equal texts), so canonical bytes re-sort by
+   (text, src, label, dst). *)
+let compare_entry (ta, a) (tb, b) =
+  match String.compare ta tb with
+  | 0 -> (
+    match compare a.src b.src with
+    | 0 -> (
+      match Label.compare a.label b.label with 0 -> compare a.dst b.dst | c -> c)
+    | c -> c)
+  | c -> c
+
+(* Only the entry list is serialized; the word table is a deterministic
+   function of it (tokenize) and is rebuilt on load. *)
+let to_bytes idx =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  let entries = List.sort compare_entry (Array.to_list idx.sorted) in
+  B.put_varint buf (List.length entries);
+  List.iter
+    (fun (text, o) ->
+      B.put_string buf text;
+      B.put_varint buf o.src;
+      B.put_label buf o.label;
+      B.put_varint buf o.dst)
+    entries;
+  Buffer.to_bytes buf
+
+let index_entries entries =
+  let words = Hashtbl.create 256 in
+  List.iter
+    (fun (text, occ) ->
+      List.iter
+        (fun w ->
+          let occs = Option.value ~default:[] (Hashtbl.find_opt words w) in
+          Hashtbl.replace words w (occ :: occs))
+        (List.sort_uniq String.compare (tokenize text)))
+    entries;
+  let sorted = Array.of_list entries in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) sorted;
+  { sorted; words }
+
+let of_bytes data =
+  let r = B.reader data in
+  B.expect_magic r magic;
+  let n = B.get_varint r in
+  B.check_count r ~what:"a text-index entry count" ~unit_bytes:4 n;
+  let entries = ref [] in
+  for _ = 1 to n do
+    let text = B.get_string r in
+    let src = B.get_varint r in
+    let label = B.get_label r in
+    let dst = B.get_varint r in
+    entries := (text, { src; label; dst }) :: !entries
+  done;
+  B.expect_end r;
+  index_entries (List.rev !entries)
+
 let scan_contains g needle =
   Graph.fold_labeled_edges
     (fun acc src l dst ->

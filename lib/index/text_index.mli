@@ -33,3 +33,10 @@ val n_entries : t -> int
 
 (** The no-index baseline for substring search. *)
 val scan_contains : Ssd.Graph.t -> string -> occurrence list
+
+(** Canonical bytes (entries fully sorted; the word table is derived and
+    not serialized): indexes over the same data serialize identically. *)
+val to_bytes : t -> bytes
+
+(** Raises [Ssd_storage.Bytesio.Corrupt] on malformed input. *)
+val of_bytes : bytes -> t

@@ -86,3 +86,58 @@ let scan g l =
   Graph.fold_labeled_edges
     (fun acc src l' dst -> if Label.equal l l' then { src; dst } :: acc else acc)
     [] g
+
+(* ------------------------------------------------------------------ *)
+(* Canonical serialization (persistent store segments)                  *)
+(* ------------------------------------------------------------------ *)
+
+module B = Ssd_storage.Bytesio
+
+let magic = "SSDV"
+
+let compare_occ a b =
+  match compare a.src b.src with 0 -> compare a.dst b.dst | c -> c
+
+(* Canonical: labels sorted by [Label.compare], each occurrence list
+   sorted by (src, dst) — two indexes over the same data serialize to
+   the same bytes regardless of build order, so byte equality of
+   segments is meaningful. *)
+let to_bytes idx =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  let entries = Label_tbl.fold (fun l occs acc -> (l, occs) :: acc) idx [] in
+  let entries = List.sort (fun (a, _) (b, _) -> Label.compare a b) entries in
+  B.put_varint buf (List.length entries);
+  List.iter
+    (fun (l, occs) ->
+      B.put_label buf l;
+      let occs = List.sort compare_occ occs in
+      B.put_varint buf (List.length occs);
+      List.iter
+        (fun o ->
+          B.put_varint buf o.src;
+          B.put_varint buf o.dst)
+        occs)
+    entries;
+  Buffer.to_bytes buf
+
+let of_bytes data =
+  let r = B.reader data in
+  B.expect_magic r magic;
+  let n = B.get_varint r in
+  B.check_count r ~what:"a value-index label count" ~unit_bytes:2 n;
+  let idx = Label_tbl.create (2 * n) in
+  for _ = 1 to n do
+    let l = B.get_label r in
+    let k = B.get_varint r in
+    B.check_count r ~what:"a value-index occurrence count" ~unit_bytes:2 k;
+    let occs = ref [] in
+    for _ = 1 to k do
+      let src = B.get_varint r in
+      let dst = B.get_varint r in
+      occs := { src; dst } :: !occs
+    done;
+    Label_tbl.replace idx l (List.rev !occs)
+  done;
+  B.expect_end r;
+  idx

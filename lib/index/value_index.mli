@@ -30,3 +30,10 @@ val n_labels : t -> int
 
 (** The no-index baseline: walk every edge of the graph. *)
 val scan : Ssd.Graph.t -> Ssd.Label.t -> occurrence list
+
+(** Canonical bytes (labels and occurrences sorted): two indexes over
+    the same data serialize identically regardless of build order. *)
+val to_bytes : t -> bytes
+
+(** Raises [Ssd_storage.Bytesio.Corrupt] on malformed input. *)
+val of_bytes : bytes -> t

@@ -181,6 +181,12 @@ let codes =
     ("SSD553", Error, "serve: request failed during parsing or evaluation");
     ("SSD554", Warning, "serve: server overloaded, request shed (retry later)");
     ("SSD555", Error, "serve: unsupported verb or query language");
+    ("SSD560", Error, "store: bad magic or format version");
+    ("SSD561", Error, "store: page or segment CRC mismatch");
+    ("SSD562", Warning, "store: torn or uncommitted WAL tail");
+    ("SSD563", Error, "store: dangling page reference");
+    ("SSD564", Error, "store: malformed segment");
+    ("SSD565", Note, "store: recovery pending (not closed cleanly)");
   ]
 
 let describe code =

@@ -76,6 +76,61 @@ let find dg path =
   | Some u -> targets dg u
   | None -> []
 
+(* ------------------------------------------------------------------ *)
+(* Canonical serialization (persistent store segments)                  *)
+(* ------------------------------------------------------------------ *)
+
+module B = Ssd_storage.Bytesio
+module Codec = Ssd_storage.Codec
+
+let magic = "SSDU"
+
+(* The guide graph is embedded as a length-prefixed {!Codec} blob
+   (deterministic: [build] is), followed by the per-guide-node target
+   sets, each sorted. *)
+let to_bytes dg =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  let gbytes = Codec.encode dg.graph in
+  B.put_varint buf (Bytes.length gbytes);
+  Buffer.add_bytes buf gbytes;
+  B.put_varint buf (Array.length dg.targets);
+  Array.iter
+    (fun nodes ->
+      let nodes = List.sort_uniq compare nodes in
+      B.put_varint buf (List.length nodes);
+      List.iter (B.put_varint buf) nodes)
+    dg.targets;
+  Buffer.to_bytes buf
+
+let of_bytes data =
+  let r = B.reader data in
+  B.expect_magic r magic;
+  let glen = B.get_varint r in
+  if glen < 0 || glen > B.remaining r then
+    B.corrupt ~offset:r.B.pos
+      ~expected:(Printf.sprintf "a guide blob within the %d bytes left" (B.remaining r))
+      ~found:(string_of_int glen);
+  let graph = Codec.decode (Bytes.sub r.B.data r.B.pos glen) in
+  r.B.pos <- r.B.pos + glen;
+  let n = B.get_varint r in
+  if n <> Graph.n_nodes graph then
+    B.corrupt ~offset:r.B.pos
+      ~expected:(Printf.sprintf "one target set per guide node (%d)" (Graph.n_nodes graph))
+      ~found:(string_of_int n);
+  let targets = Array.make n [] in
+  for i = 0 to n - 1 do
+    let k = B.get_varint r in
+    B.check_count r ~what:"a target-set size" ~unit_bytes:1 k;
+    let nodes = ref [] in
+    for _ = 1 to k do
+      nodes := B.get_varint r :: !nodes
+    done;
+    targets.(i) <- List.rev !nodes
+  done;
+  B.expect_end r;
+  { graph; targets }
+
 let paths dg ~max_len =
   let out = ref [] in
   let rec go u prefix len =

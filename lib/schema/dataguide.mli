@@ -33,3 +33,10 @@ val n_nodes : t -> int
 (** All label paths of the guide up to the given length — the structure
     summary shown to a browsing user. *)
 val paths : t -> max_len:int -> Ssd.Label.t list list
+
+(** Canonical bytes: the guide graph as a {!Ssd_storage.Codec} blob plus
+    sorted target sets.  Guides of the same data serialize identically. *)
+val to_bytes : t -> bytes
+
+(** Raises [Ssd_storage.Bytesio.Corrupt] on malformed input. *)
+val of_bytes : bytes -> t

@@ -32,6 +32,9 @@ type store = {
   cache : Unql.Cache.t;
   inflight : int Atomic.t;
   req_seq : int Atomic.t;
+  (* Durability hook: called under the lock with the new graph before
+     the in-memory swap, so a failed persist leaves memory unchanged. *)
+  mutable persist : (Graph.t -> unit) option;
 }
 
 let store ?(cache_capacity = 128) ~db () =
@@ -41,7 +44,10 @@ let store ?(cache_capacity = 128) ~db () =
     cache = Unql.Cache.create ~capacity:cache_capacity ();
     inflight = Atomic.make 0;
     req_seq = Atomic.make 0;
+    persist = None;
   }
+
+let set_persist store f = store.persist <- Some f
 
 let locked store f =
   Mutex.lock store.m;
@@ -299,6 +305,12 @@ let do_update t (opts : Proto.options) body =
     locked t.st (fun () ->
         let old_db = t.st.db in
         let db' = Lorel.Update.run ~db:old_db body in
+        (* Persist before swap: a failed write leaves memory (and the
+           cache) exactly as it was, and the error propagates as the
+           response.  The persist layer (Store.commit) acknowledges only
+           after its WAL fsync, so a successful UPDATE response implies
+           the change survives a crash. *)
+        (match t.st.persist with Some f -> f db' | None -> ());
         let dropped = Unql.Cache.invalidate t.st.cache old_db in
         t.st.db <- db';
         t.n_updates <- t.n_updates + 1;

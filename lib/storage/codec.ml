@@ -9,100 +9,22 @@ let m_decodes = Metrics.counter "codec.decodes"
 let m_bytes_out = Metrics.counter "codec.bytes_encoded"
 let m_bytes_in = Metrics.counter "codec.bytes_decoded"
 
-(* ------------------------------------------------------------------ *)
-(* Varints (LEB128, unsigned)                                          *)
-(* ------------------------------------------------------------------ *)
+(* The reader/writer machinery (varints, zigzag, strings, bounds and
+   count validation) lives in Bytesio, shared with the index serializers
+   and the persistent store's page/WAL formats. *)
 
-let put_varint buf n =
-  if n < 0 then invalid_arg "Codec.put_varint: negative";
-  let n = ref n in
-  let continue = ref true in
-  while !continue do
-    let low = !n land 0x7f in
-    n := !n lsr 7;
-    if !n = 0 then begin
-      Buffer.add_char buf (Char.chr low);
-      continue := false
-    end
-    else Buffer.add_char buf (Char.chr (low lor 0x80))
-  done
+exception Corrupt = Bytesio.Corrupt
 
-type reader = {
-  data : bytes;
-  mutable pos : int;
-}
-
-exception Corrupt of {
-  offset : int;
-  expected : string;
-  found : string;
-}
-
-let () =
-  Printexc.register_printer (function
-    | Corrupt { offset; expected; found } ->
-      Some
-        (Printf.sprintf "Codec.Corrupt at byte %d: expected %s, found %s" offset
-           expected found)
-    | _ -> None)
-
-let corrupt ~offset ~expected ~found = raise (Corrupt { offset; expected; found })
-
-let remaining r = Bytes.length r.data - r.pos
-
-let byte r =
-  if r.pos >= Bytes.length r.data then
-    corrupt ~offset:r.pos ~expected:"one more byte" ~found:"end of input";
-  let c = Bytes.get_uint8 r.data r.pos in
-  r.pos <- r.pos + 1;
-  c
-
-let get_varint r =
-  let start = r.pos in
-  let rec go shift acc =
-    if shift > 62 then
-      corrupt ~offset:start ~expected:"a varint of at most 9 bytes"
-        ~found:"a longer continuation";
-    let b = byte r in
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    (* The last groups shift past bit 62: an adversarial encoding can
-       wrap [acc] negative, which would slip through every [>= n] bound
-       check below. *)
-    if acc < 0 then
-      corrupt ~offset:start ~expected:"a varint below 2^62" ~found:"an overflow";
-    if b land 0x80 <> 0 then go (shift + 7) acc else acc
-  in
-  go 0 0
-
-(* A count of things each at least [unit_bytes] wide cannot exceed the
-   bytes left; checking up front keeps fuzzed inputs from driving huge
-   allocations before the truncation is even noticed. *)
-let check_count r ~what ~unit_bytes n =
-  if n > remaining r / unit_bytes then
-    corrupt ~offset:r.pos
-      ~expected:(Printf.sprintf "%s encodable in the %d bytes left" what (remaining r))
-      ~found:(string_of_int n)
-
-(* Signed ints: zigzag. *)
-let put_int buf n = put_varint buf (if n >= 0 then n lsl 1 else ((-n) lsl 1) lor 1)
-
-let get_int r =
-  let z = get_varint r in
-  if z land 1 = 0 then z lsr 1 else -(z lsr 1)
-
-let put_string buf s =
-  put_varint buf (String.length s);
-  Buffer.add_string buf s
-
-let get_string r =
-  let n = get_varint r in
-  if n > remaining r then
-    corrupt ~offset:r.pos
-      ~expected:(Printf.sprintf "%d bytes of string payload" n)
-      ~found:(Printf.sprintf "%d bytes left" (remaining r));
-  let s = Bytes.sub_string r.data r.pos n in
-  r.pos <- r.pos + n;
-  s
+let corrupt = Bytesio.corrupt
+let put_varint = Bytesio.put_varint
+let put_int = Bytesio.put_int
+let put_string = Bytesio.put_string
+let remaining = Bytesio.remaining
+let byte = Bytesio.byte
+let get_varint = Bytesio.get_varint
+let get_int = Bytesio.get_int
+let get_string = Bytesio.get_string
+let check_count = Bytesio.check_count
 
 (* ------------------------------------------------------------------ *)
 (* Graph format                                                        *)
@@ -182,7 +104,7 @@ let decode data =
         (if Bytes.length data < 4 then
            Printf.sprintf "%d-byte input" (Bytes.length data)
          else Printf.sprintf "%S" (Bytes.sub_string data 0 4));
-  let r = { data; pos = 4 } in
+  let r = { Bytesio.data; pos = 4 } in
   let n = get_varint r in
   let root = get_varint r in
   if n = 0 then corrupt ~offset:4 ~expected:"a nonempty graph" ~found:"n_nodes = 0";
@@ -210,24 +132,24 @@ let decode data =
     let deg = get_varint r in
     check_count r ~what:"an out-degree" ~unit_bytes:2 deg;
     for _ = 1 to deg do
-      let tag_off = r.pos in
+      let tag_off = r.Bytesio.pos in
       let label =
         match byte r with
         | 0 -> Graph.Eps
         | 1 -> Graph.Lab (Label.Int (get_int r))
         | 2 ->
           if remaining r < 8 then
-            corrupt ~offset:r.pos ~expected:"8 bytes of float payload"
+            corrupt ~offset:r.Bytesio.pos ~expected:"8 bytes of float payload"
               ~found:(Printf.sprintf "%d bytes left" (remaining r));
-          let bits = Bytes.get_int64_le r.data r.pos in
-          r.pos <- r.pos + 8;
+          let bits = Bytes.get_int64_le r.Bytesio.data r.Bytesio.pos in
+          r.Bytesio.pos <- r.Bytesio.pos + 8;
           Graph.Lab (Label.Float (Int64.float_of_bits bits))
         | 3 ->
-          let off = r.pos in
+          let off = r.Bytesio.pos in
           Graph.Lab (Label.Str (string_at off (get_varint r)))
         | 4 -> Graph.Lab (Label.Bool (byte r <> 0))
         | 5 ->
-          let off = r.pos in
+          let off = r.Bytesio.pos in
           Graph.Lab (Label.Sym (string_at off (get_varint r)))
         | t ->
           corrupt ~offset:tag_off ~expected:"a label tag in 0..5" ~found:(string_of_int t)
@@ -242,8 +164,8 @@ let decode data =
       | Graph.Lab l -> Graph.Builder.add_edge b u l v
     done
   done;
-  if r.pos <> Bytes.length data then
-    corrupt ~offset:r.pos ~expected:"end of input"
+  if r.Bytesio.pos <> Bytes.length data then
+    corrupt ~offset:r.Bytesio.pos ~expected:"end of input"
       ~found:(Printf.sprintf "%d trailing bytes" (remaining r));
   Graph.Builder.finish b
 

@@ -1,0 +1,79 @@
+(* O(1) amortized LRU over integer keys: a hash table into an intrusive
+   doubly-linked recency list with a sentinel.  Used by {!Pager.replay}
+   (which previously scanned the whole buffer per eviction) and by the
+   persistent store's buffer pool (lib/store). *)
+
+type 'a node = {
+  key : int;
+  mutable value : 'a;
+  mutable prev : 'a node;
+  mutable next : 'a node;
+}
+
+type 'a t = {
+  table : (int, 'a node) Hashtbl.t;
+  (* Sentinel: sentinel.next is most-recently used, sentinel.prev least. *)
+  sentinel : 'a node;
+}
+
+let create ?(size_hint = 16) () =
+  let rec sentinel = { key = min_int; value = Obj.magic 0; prev = sentinel; next = sentinel } in
+  { table = Hashtbl.create (2 * size_hint); sentinel }
+
+let size t = Hashtbl.length t.table
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_front t n =
+  n.next <- t.sentinel.next;
+  n.prev <- t.sentinel;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+(* Find and mark most-recently used. *)
+let use t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some n ->
+    unlink n;
+    push_front t n;
+    Some n.value
+
+let mem t key = Hashtbl.mem t.table key
+
+(* Insert (or overwrite) as most-recently used. *)
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some n ->
+    unlink n;
+    Hashtbl.remove t.table key
+  | None -> ());
+  let n = { key; value; prev = t.sentinel; next = t.sentinel } in
+  Hashtbl.replace t.table key n;
+  push_front t n
+
+(* Evict the least-recently used entry, if any. *)
+let evict_lru t =
+  let n = t.sentinel.prev in
+  if n == t.sentinel then None
+  else begin
+    unlink n;
+    Hashtbl.remove t.table n.key;
+    Some (n.key, n.value)
+  end
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some n ->
+    unlink n;
+    Hashtbl.remove t.table key
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.sentinel.next <- t.sentinel;
+  t.sentinel.prev <- t.sentinel
+
+let iter f t = Hashtbl.iter (fun key n -> f key n.value) t.table

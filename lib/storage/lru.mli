@@ -1,0 +1,24 @@
+(** O(1) amortized LRU map over integer keys (hash table + intrusive
+    doubly-linked recency list).  Backs {!Pager.replay} eviction and the
+    persistent store's buffer pool. *)
+
+type 'a t
+
+val create : ?size_hint:int -> unit -> 'a t
+val size : 'a t -> int
+val mem : 'a t -> int -> bool
+
+(** Lookup; a hit becomes the most-recently-used entry. *)
+val use : 'a t -> int -> 'a option
+
+(** Insert or overwrite as most-recently-used. *)
+val add : 'a t -> int -> 'a -> unit
+
+(** Remove and return the least-recently-used entry. *)
+val evict_lru : 'a t -> (int * 'a) option
+
+val remove : 'a t -> int -> unit
+val clear : 'a t -> unit
+
+(** Iteration order is unspecified. *)
+val iter : (int -> 'a -> unit) -> 'a t -> unit

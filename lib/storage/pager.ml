@@ -121,36 +121,22 @@ let replay t ~buffer_pages accesses =
       buffer_pages;
   Trace.with_span "pager.replay" ~attrs:[ ("buffer_pages", Trace.Int buffer_pages) ]
   @@ fun () ->
-  (* LRU: page -> last-use tick; eviction scans the (small) buffer. *)
-  let cache = Hashtbl.create (2 * buffer_pages) in
-  let tick = ref 0 in
+  (* LRU via the O(1) recency list ({!Lru}); the old implementation
+     scanned the whole buffer for the oldest tick on every fault. *)
+  let cache : unit Lru.t = Lru.create ~size_hint:buffer_pages () in
   let faults = ref 0 in
   let n_accesses = ref 0 in
   List.iter
     (fun node ->
       incr n_accesses;
-      incr tick;
       let p = t.page.(node) in
-      if Hashtbl.mem cache p then begin
-        Metrics.incr m_hits;
-        Hashtbl.replace cache p !tick
-      end
-      else begin
+      match Lru.use cache p with
+      | Some () -> Metrics.incr m_hits
+      | None ->
         incr faults;
         Metrics.incr m_misses;
-        if Hashtbl.length cache >= buffer_pages then begin
-          let victim = ref (-1) and oldest = ref max_int in
-          Hashtbl.iter
-            (fun page last ->
-              if last < !oldest then begin
-                oldest := last;
-                victim := page
-              end)
-            cache;
-          Hashtbl.remove cache !victim
-        end;
-        Hashtbl.add cache p !tick
-      end)
+        if Lru.size cache >= buffer_pages then ignore (Lru.evict_lru cache);
+        Lru.add cache p ())
     accesses;
   Metrics.add m_accesses !n_accesses;
   if Trace.enabled () then begin

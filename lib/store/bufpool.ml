@@ -1,0 +1,36 @@
+(* Buffer pool: an LRU page cache over positional reads of the data
+   file.  Reports into the same [pager.*] metrics as the access
+   simulator ({!Ssd_storage.Pager}) — registration by name is
+   idempotent, so both feed one set of counters. *)
+
+module Metrics = Ssd_obs.Metrics
+module Lru = Ssd_storage.Lru
+
+let m_accesses = Metrics.counter "pager.accesses"
+let m_hits = Metrics.counter "pager.page_hits"
+let m_misses = Metrics.counter "pager.page_misses"
+
+type t = {
+  capacity : int;
+  cache : bytes Lru.t;
+  read_page : int -> bytes; (* faults the framed page in from disk *)
+}
+
+let create ~capacity ~read_page =
+  { capacity = max 1 capacity; cache = Lru.create ~size_hint:capacity (); read_page }
+
+(* The framed page image (validation is the caller's business — the
+   pool caches bytes, not trust). *)
+let get pool p =
+  Metrics.incr m_accesses;
+  match Lru.use pool.cache p with
+  | Some page -> Metrics.incr m_hits; page
+  | None ->
+    Metrics.incr m_misses;
+    let page = pool.read_page p in
+    if Lru.size pool.cache >= pool.capacity then ignore (Lru.evict_lru pool.cache);
+    Lru.add pool.cache p page;
+    page
+
+let invalidate pool p = Lru.remove pool.cache p
+let clear pool = Lru.clear pool.cache

@@ -1,0 +1,216 @@
+(* The virtual file system under the persistent store: positional reads
+   and writes, fsync barriers, truncation.  Two implementations:
+
+   - {!real}: a directory of ordinary files via [Unix] — what [ssdql
+     --store] runs on.
+   - {!mem}: an in-memory disk driven by a {!Ssd_fault.Disk} plan.  It
+     distinguishes the durable image (covered by an fsync barrier) from
+     volatile writes still in the cache; at a planned crash point it
+     raises {!Crash}, and {!crash_images} resolves which volatile writes
+     survived (seeded prefix, or independent coins under [reorder]),
+     optionally tearing the write the crash landed on.  This is what the
+     crash-recovery fuzzer replays thousands of seeded schedules on.
+
+   Both honor the short-transfer contract: [pread]/[pwrite] may move
+   fewer bytes than asked, so all callers go through {!really_pread} /
+   {!really_pwrite}. *)
+
+module Disk = Ssd_fault.Disk
+
+(* The simulated process death at a planned crash point. *)
+exception Crash
+
+type file = {
+  pread : bytes -> pos:int -> off:int -> len:int -> int;
+  pwrite : bytes -> pos:int -> off:int -> len:int -> int;
+  fsync : unit -> unit;
+  size : unit -> int;
+  truncate : int -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  open_file : string -> file;
+  exists : string -> bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Looping helpers (the only read/write paths the store uses)           *)
+(* ------------------------------------------------------------------ *)
+
+let really_pread f buf ~off =
+  let len = Bytes.length buf in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = f.pread buf ~pos:!pos ~off:(off + !pos) ~len:(len - !pos) in
+    if n <= 0 then
+      Ssd_storage.Bytesio.corrupt ~offset:(off + !pos)
+        ~expected:(Printf.sprintf "%d more bytes" (len - !pos))
+        ~found:"end of file";
+    pos := !pos + n
+  done
+
+let really_pwrite f data ~off =
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = f.pwrite data ~pos:!pos ~off:(off + !pos) ~len:(len - !pos) in
+    if n <= 0 then failwith "Vfs.really_pwrite: no progress";
+    pos := !pos + n
+  done
+
+let read_all f =
+  let n = f.size () in
+  let buf = Bytes.create n in
+  if n > 0 then really_pread f buf ~off:0;
+  buf
+
+(* ------------------------------------------------------------------ *)
+(* Real directory-backed VFS                                           *)
+(* ------------------------------------------------------------------ *)
+
+let real dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let open_file name =
+    let fd = Unix.openfile (Filename.concat dir name) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+    {
+      pread =
+        (fun buf ~pos ~off ~len ->
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          Unix.read fd buf pos len);
+      pwrite =
+        (fun data ~pos ~off ~len ->
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          Unix.write fd data pos len);
+      fsync = (fun () -> Unix.fsync fd);
+      size = (fun () -> (Unix.fstat fd).Unix.st_size);
+      truncate = (fun n -> Unix.ftruncate fd n);
+      close = (fun () -> Unix.close fd);
+    }
+  in
+  { open_file; exists = (fun name -> Sys.file_exists (Filename.concat dir name)) }
+
+(* ------------------------------------------------------------------ *)
+(* In-memory faulty VFS                                                *)
+(* ------------------------------------------------------------------ *)
+
+type mfile = {
+  mutable cur : bytes; (* logical content: durable + volatile applied *)
+  mutable durable : bytes; (* content covered by the last fsync *)
+}
+
+(* A volatile operation: applied to [cur], not yet to [durable]. *)
+type pend =
+  | Pwrite of mfile * int * bytes
+  | Ptrunc of mfile * int
+
+type mem = {
+  inj : Disk.injector;
+  files : (string, mfile) Hashtbl.t;
+  mutable pending : pend list; (* newest first *)
+}
+
+let grow_to b n =
+  if Bytes.length b >= n then b
+  else begin
+    let b' = Bytes.make n '\000' in
+    Bytes.blit b 0 b' 0 (Bytes.length b);
+    b'
+  end
+
+let apply_pend img = function
+  | Pwrite (_, off, data) ->
+    let img = grow_to img (off + Bytes.length data) in
+    Bytes.blit data 0 img off (Bytes.length data);
+    img
+  | Ptrunc (_, n) -> if n < Bytes.length img then Bytes.sub img 0 n else grow_to img n
+
+let mem_create ?(images = []) plan =
+  let files = Hashtbl.create 4 in
+  List.iter (fun (name, img) ->
+      Hashtbl.replace files name { cur = Bytes.copy img; durable = Bytes.copy img })
+    images;
+  let m = { inj = Disk.injector plan; files; pending = [] } in
+  let get name =
+    match Hashtbl.find_opt m.files name with
+    | Some f -> f
+    | None ->
+      let f = { cur = Bytes.empty; durable = Bytes.empty } in
+      Hashtbl.replace m.files name f;
+      f
+  in
+  let open_file name =
+    let mf = get name in
+    {
+      pread =
+        (fun buf ~pos ~off ~len ->
+          let avail = Bytes.length mf.cur - off in
+          if avail <= 0 then 0
+          else begin
+            let n = Disk.transfer_len m.inj (min len avail) in
+            Bytes.blit mf.cur off buf pos n;
+            (match Disk.bitflip_at m.inj n with
+            | None -> ()
+            | Some bit ->
+              let i = pos + (bit / 8) in
+              Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor (1 lsl (bit mod 8)))));
+            n
+          end);
+      pwrite =
+        (fun data ~pos ~off ~len ->
+          if Disk.tick_op m.inj then begin
+            (* Crash lands on this write: a seeded prefix may reach the
+               medium (torn write), volatile like any other. *)
+            let keep = Disk.torn_len m.inj len in
+            if keep > 0 then
+              m.pending <- Pwrite (mf, off, Bytes.sub data pos keep) :: m.pending;
+            raise Crash
+          end;
+          let n = Disk.transfer_len m.inj len in
+          let chunk = Bytes.sub data pos n in
+          let op = Pwrite (mf, off, chunk) in
+          m.pending <- op :: m.pending;
+          mf.cur <- apply_pend mf.cur op;
+          n);
+      fsync =
+        (fun () ->
+          if Disk.tick_op m.inj then raise Crash;
+          (* Barrier: everything this file buffered becomes durable. *)
+          mf.durable <- Bytes.copy mf.cur;
+          m.pending <-
+            List.filter
+              (function Pwrite (f, _, _) | Ptrunc (f, _) -> f != mf)
+              m.pending);
+      size = (fun () -> Bytes.length mf.cur);
+      truncate =
+        (fun n ->
+          if Disk.tick_op m.inj then raise Crash;
+          let op = Ptrunc (mf, n) in
+          m.pending <- op :: m.pending;
+          mf.cur <- apply_pend mf.cur op);
+      close = (fun () -> ());
+    }
+  in
+  (m, { open_file; exists = (fun name -> Hashtbl.mem m.files name) })
+
+(* Post-crash images: per file, the durable content plus the volatile
+   operations the seeded survival mask kept, applied in arrival order. *)
+let crash_images m =
+  let pending = Array.of_list (List.rev m.pending) in
+  let n = Array.length pending in
+  let mask = Disk.keep_mask m.inj ~n in
+  let survivors = Hashtbl.create 4 in
+  Hashtbl.iter (fun name f -> Hashtbl.replace survivors name (Bytes.copy f.durable)) m.files;
+  for i = 0 to n - 1 do
+    if mask.(i) then begin
+      let mf = match pending.(i) with Pwrite (f, _, _) | Ptrunc (f, _) -> f in
+      Hashtbl.iter
+        (fun name f ->
+          if f == mf then
+            Hashtbl.replace survivors name (apply_pend (Hashtbl.find survivors name) pending.(i)))
+        m.files
+    end
+  done;
+  Hashtbl.fold (fun name img acc -> (name, img) :: acc) survivors []
+
+let ops m = Disk.ops m.inj

@@ -1,0 +1,48 @@
+(** Virtual file system under the persistent store: positional I/O with
+    fsync barriers, in two flavors — a real directory ({!real}) and an
+    in-memory faulty disk ({!mem_create}) driven by a seeded
+    {!Ssd_fault.Disk} plan, which the crash-recovery fuzzer replays. *)
+
+(** Raised by the faulty VFS at the planned crash point. *)
+exception Crash
+
+type file = {
+  pread : bytes -> pos:int -> off:int -> len:int -> int;
+  pwrite : bytes -> pos:int -> off:int -> len:int -> int;
+  fsync : unit -> unit;
+  size : unit -> int;
+  truncate : int -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  open_file : string -> file;
+  exists : string -> bool;
+}
+
+(** Fill the whole buffer from [off]; raises
+    [Ssd_storage.Bytesio.Corrupt] on end-of-file. *)
+val really_pread : file -> bytes -> off:int -> unit
+
+(** Write all bytes at [off], looping over short transfers. *)
+val really_pwrite : file -> bytes -> off:int -> unit
+
+val read_all : file -> bytes
+
+(** A directory of ordinary files (created if missing). *)
+val real : string -> t
+
+(** In-memory faulty disk state, inspectable after a {!Crash}. *)
+type mem
+
+(** [mem_create ?images plan] builds an in-memory VFS, optionally
+    pre-populated with file images (e.g. the survivors of a previous
+    crash). *)
+val mem_create : ?images:(string * bytes) list -> Ssd_fault.Disk.t -> mem * t
+
+(** The per-file contents surviving the crash: durable data plus the
+    seeded subset of volatile writes the plan kept. *)
+val crash_images : mem -> (string * bytes) list
+
+(** I/O ops performed so far (crashable ops: writes, truncates, fsyncs). *)
+val ops : mem -> int

@@ -1,0 +1,153 @@
+(* Write-ahead log: page-level redo records in CRC32-guarded frames.
+
+   File layout: an 8-byte raw header ["SSDW" | version u8 | pad[3]]
+   followed by frames:
+   {v
+     0xF7 | type u8 | lsn u64 LE | arg u64 LE | len u32 LE | payload | crc32 u32 LE
+   v}
+   The CRC covers everything before it.  Frame types:
+   - [Page]   arg = page number, payload = the full framed page image.
+   - [Commit] arg = number of page frames in the transaction,
+              payload = the new framed superblock page.
+
+   A transaction is a run of [Page] frames sharing one LSN closed by the
+   [Commit] frame with that LSN; the commit is acknowledged only after
+   the WAL fsync returns.  {!scan} performs the analysis pass: it walks
+   frames until the first torn or corrupt one, discards that tail, and
+   returns the committed transactions in LSN order — exactly the
+   ARIES-style "analysis" half, with redo applied by {!Store}. *)
+
+module B = Ssd_storage.Bytesio
+
+let header_size = 8
+let magic = "SSDW"
+let version = 1
+let frame_magic = 0xF7
+let t_page = 1
+let t_commit = 2
+let frame_overhead = 22 + 4 (* header + trailing crc *)
+let max_payload = 1 lsl 26
+
+let encode_header () =
+  let b = Bytes.make header_size '\000' in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr version);
+  b
+
+let check_header b =
+  if Bytes.length b < header_size then
+    B.corrupt ~offset:0 ~expected:"an 8-byte WAL header"
+      ~found:(Printf.sprintf "%d bytes" (Bytes.length b));
+  if Bytes.sub_string b 0 4 <> magic then
+    B.corrupt ~offset:0
+      ~expected:(Printf.sprintf "WAL magic %S" magic)
+      ~found:(Printf.sprintf "%S" (Bytes.sub_string b 0 4));
+  let v = Char.code (Bytes.get b 4) in
+  if v <> version then
+    B.corrupt ~offset:4
+      ~expected:(Printf.sprintf "WAL version %d" version)
+      ~found:(string_of_int v)
+
+let encode_frame ~typ ~lsn ~arg payload =
+  let len = Bytes.length payload in
+  let b = Bytes.create (frame_overhead + len) in
+  Bytes.set b 0 (Char.chr frame_magic);
+  Bytes.set b 1 (Char.chr typ);
+  Bytes.set_int64_le b 2 (Int64.of_int lsn);
+  Bytes.set_int64_le b 10 (Int64.of_int arg);
+  Bytes.set_int32_le b 18 (Int32.of_int len);
+  Bytes.blit payload 0 b 22 len;
+  let crc = B.crc32_update 0 b 0 (22 + len) in
+  Bytes.set_int32_le b (22 + len) (Int32.of_int crc);
+  b
+
+type frame = {
+  typ : int;
+  lsn : int;
+  arg : int;
+  payload : bytes;
+}
+
+(* One committed transaction: its page writes and the superblock image
+   its commit frame carried. *)
+type txn = {
+  txn_lsn : int;
+  pages : (int * bytes) list; (* (page_no, framed page image) *)
+  sb_page : bytes;
+}
+
+type scan_result = {
+  txns : txn list; (* committed, in LSN order *)
+  torn_bytes : int; (* discarded tail length (0 = clean tail) *)
+  in_flight : int; (* page frames after the last commit (uncommitted) *)
+  scanned_bytes : int; (* valid frame bytes, excluding the header *)
+}
+
+(* Parse one frame at [off]; [None] if the tail from [off] is torn,
+   truncated or corrupt. *)
+let parse_frame data off =
+  let size = Bytes.length data in
+  if off + frame_overhead > size then None
+  else if Char.code (Bytes.get data off) <> frame_magic then None
+  else begin
+    let typ = Char.code (Bytes.get data (off + 1)) in
+    if typ <> t_page && typ <> t_commit then None
+    else begin
+      let lsn = Int64.to_int (Bytes.get_int64_le data (off + 2)) in
+      let arg = Int64.to_int (Bytes.get_int64_le data (off + 10)) in
+      let len = Int32.to_int (Bytes.get_int32_le data (off + 18)) in
+      if len < 0 || len > max_payload || off + frame_overhead + len > size then None
+      else begin
+        let stored =
+          Int32.to_int (Bytes.get_int32_le data (off + 22 + len)) land 0xFFFFFFFF
+        in
+        let computed = B.crc32_update 0 data off (22 + len) in
+        if stored <> computed then None
+        else Some ({ typ; lsn; arg; payload = Bytes.sub data (off + 22) len }, off + frame_overhead + len)
+      end
+    end
+  end
+
+let scan data =
+  check_header data;
+  let size = Bytes.length data in
+  let txns = ref [] in
+  let buffered = ref [] in (* page frames of the current LSN, newest first *)
+  let last_lsn = ref (-1) in
+  let off = ref header_size in
+  let stop = ref false in
+  while not !stop do
+    if !off >= size then stop := true
+    else begin
+      match parse_frame data !off with
+      | None -> stop := true
+      | Some (f, next) ->
+        (* LSNs must not decrease; a regression means tail garbage that
+           happened to checksum (never produced by the writer). *)
+        if f.lsn < !last_lsn then stop := true
+        else begin
+          if f.lsn > !last_lsn then begin
+            (* A new transaction begins; whatever the previous LSN
+               buffered without a commit is in-flight — keep buffering
+               semantics simple by dropping it now. *)
+            if f.lsn <> !last_lsn then buffered := [];
+            last_lsn := f.lsn
+          end;
+          (if f.typ = t_page then buffered := (f.arg, f.payload) :: !buffered
+           else begin
+             (* Commit: close the buffered page frames of this LSN. *)
+             txns :=
+               { txn_lsn = f.lsn; pages = List.rev !buffered; sb_page = f.payload }
+               :: !txns;
+             buffered := []
+           end);
+          off := next
+        end
+    end
+  done;
+  {
+    txns = List.rev !txns;
+    torn_bytes = size - !off;
+    in_flight = List.length !buffered;
+    scanned_bytes = !off - header_size;
+  }

@@ -22,14 +22,16 @@ let sock_path = Filename.concat (Filename.get_temp_dir_name ())
 (* A minimal scripted client                                           *)
 (* ------------------------------------------------------------------ *)
 
-let connect () =
+let connect_to path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match Unix.connect fd (Unix.ADDR_UNIX sock_path) with
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
   | () -> ()
   | exception e ->
     Unix.close fd;
     raise e);
   fd
+
+let connect () = connect_to sock_path
 
 let send fd s =
   let b = Bytes.unsafe_of_string s in
@@ -57,12 +59,14 @@ let read_frames fd k =
   in
   parse_all 0 []
 
-let rpc k reqs =
-  let fd = connect () in
+let rpc_at path k reqs =
+  let fd = connect_to path in
   send fd reqs;
   let frames = read_frames fd k in
   (try Unix.close fd with Unix.Unix_error _ -> ());
   frames
+
+let rpc k reqs = rpc_at sock_path k reqs
 
 (* Read until EOF, returning the frames seen (for close-after-response
    scenarios). *)
@@ -187,3 +191,111 @@ let () =
   expect "every request was counted" (s.Engine.requests >= 11);
   expect "no spurious sheds in a quiet run" (s.Engine.shed = 0);
   print_endline "check_serve: ok"
+
+(* ------------------------------------------------------------------ *)
+(* Store lifecycle through the real binary (only when dune passes the
+   ssdql path): SIGTERM closes the store cleanly so the next open skips
+   recovery, SIGKILL forces recovery on restart, and every UPDATE that
+   was acknowledged on the wire survives both.                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.equal (String.sub hay i m) needle || go (i + 1)) in
+  go 0
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let wait_for ?(timeout = 10.) what pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if not (pred ()) then
+      if Unix.gettimeofday () -. t0 > timeout then fail "timed out waiting for %s" what
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let () =
+  match Sys.argv with
+  | [| _; ssdql |] ->
+    let dir = Filename.temp_file "ssdql_store" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let store_sock =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ssdql_check_store_%d.sock" (Unix.getpid ()))
+    in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let init =
+      Unix.create_process ssdql
+        [| ssdql; "store"; "init"; "--store"; dir; "-d"; "builtin:figure1" |]
+        Unix.stdin devnull devnull
+    in
+    (match Unix.waitpid [] init with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> fail "store init failed");
+    Unix.close devnull;
+    let spawn_serve log =
+      let logfd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+      let pid =
+        Unix.create_process ssdql
+          [| ssdql; "serve"; "--store"; dir; "--socket"; store_sock; "--workers"; "2" |]
+          Unix.stdin Unix.stdout logfd
+      in
+      Unix.close logfd;
+      wait_for "serve socket" (fun () -> Sys.file_exists store_sock);
+      pid
+    in
+    let update title =
+      match
+        rpc_at store_sock 1
+          (Printf.sprintf "UPDATE - insert DB.entry := {movie: {title: \"%s\"}}\n" title)
+      with
+      | [ u ] -> expect (title ^ " acknowledged") (u.Proto.status = Proto.Complete)
+      | _ -> fail "update frame count (%s)" title
+    in
+
+    (* serve #1: fresh store opens clean; SIGTERM writes a checkpoint *)
+    let log1 = Filename.temp_file "ssdql_serve1" ".log" in
+    let pid1 = spawn_serve log1 in
+    expect "serve #1 opens clean" (contains (read_file log1) "store clean open (no recovery)");
+    update "Durable1";
+    Unix.kill pid1 Sys.sigterm;
+    (match Unix.waitpid [] pid1 with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> fail "serve #1 did not exit cleanly on SIGTERM");
+    expect "SIGTERM closes the store cleanly"
+      (contains (read_file log1) "store closed cleanly (checkpoint written)");
+
+    (* serve #2: the checkpoint means no recovery; then kill -9 *)
+    let log2 = Filename.temp_file "ssdql_serve2" ".log" in
+    let pid2 = spawn_serve log2 in
+    expect "restart after SIGTERM skips recovery"
+      (contains (read_file log2) "store clean open (no recovery)");
+    update "Durable2";
+    Unix.kill pid2 Sys.sigkill;
+    (match Unix.waitpid [] pid2 with
+    | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+    | _ -> fail "serve #2 not killed as expected");
+    if Sys.file_exists store_sock then Sys.remove store_sock;
+
+    (* serve #3: recovery replays the log; both acked updates survive *)
+    let log3 = Filename.temp_file "ssdql_serve3" ".log" in
+    let pid3 = spawn_serve log3 in
+    expect "restart after kill -9 performs recovery"
+      (contains (read_file log3) "store recovered (");
+    (match rpc_at store_sock 1 "QUERY - select {t: \\T} where {entry.movie.title: \\T} <- DB\n" with
+    | [ r ] ->
+      expect "query after recovery completes" (r.Proto.status = Proto.Complete);
+      expect "update acked before SIGTERM survives" (contains r.Proto.body "Durable1");
+      expect "update acked before kill -9 survives" (contains r.Proto.body "Durable2")
+    | _ -> fail "post-recovery query frame count");
+    Unix.kill pid3 Sys.sigterm;
+    (match Unix.waitpid [] pid3 with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> fail "serve #3 did not exit cleanly on SIGTERM");
+    print_endline "check_serve: store lifecycle ok"
+  | _ -> ()

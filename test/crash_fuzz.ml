@@ -1,0 +1,224 @@
+(* Crash-recovery fuzzer for the persistent store.
+
+   Every seed replays one deterministic fault schedule against the
+   in-memory faulty VFS.  The mode is [seed land 3]:
+
+     0  crash at a seeded op, volatile writes survive as a prefix
+     1  crash at a seeded op, the crashing write is torn
+     2  crash + torn write + reordered survivors + short transfers
+     3  no crash; every read may flip one seeded bit
+
+   Oracle for modes 0-2 (the committed-prefix property): after
+   recovery the store holds exactly one committed version, no older
+   than the last acknowledged commit — checked by fingerprint, graph
+   shape, a value-index query, and byte-identity of every canonical
+   index segment; a subsequent clean close/reopen must then skip
+   recovery and preserve the fingerprint.  For mode 3 the store must
+   either open byte-identical or fail with a typed error (Corrupt or a
+   diagnostic) — never a wrong answer or an untyped crash; [fsck]
+   never raises in any mode.
+
+   Replay one failure:  crash_fuzz --seed S  *)
+
+module Disk = Ssd_fault.Disk
+module Vfs = Ssd_store.Vfs
+module Store = Ssd_store.Store
+module B = Ssd_storage.Bytesio
+module G = Ssd.Graph
+module Value_index = Ssd_index.Value_index
+module Text_index = Ssd_index.Text_index
+module Path_index = Ssd_index.Path_index
+module Dataguide = Ssd_schema.Dataguide
+
+(* A small page size multiplies the pages per segment, hence the WAL
+   frames per commit and the distinct crash points per schedule. *)
+let page_size = 256
+let path_depth = 2
+let indexes = Store.all_indexes
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* SplitMix64 of the seed — only used to place the crash op; all other
+   randomness comes from the injector inside the VFS. *)
+let mix seed =
+  let z = Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31)) land max_int
+
+(* The committed version chain: growing figure-1-shaped databases. *)
+let n_versions = 4
+
+let graphs =
+  Array.init n_versions (fun i ->
+      Ssd_workload.Movies.generate ~seed:(101 + i) ~n_entries:(2 + 2 * i) ())
+
+let fps = Array.map Store.fingerprint_graph graphs
+
+let () =
+  (* The oracle matches recovered bytes against this chain, so the
+     versions must be pairwise distinct. *)
+  if List.length (List.sort_uniq compare (Array.to_list fps)) <> n_versions then
+    failwith "crash_fuzz: version fingerprints collide; pick other workload seeds"
+
+let movie = Ssd.Label.sym "movie"
+
+let movie_nodes =
+  Array.map
+    (fun g -> List.sort compare (Value_index.find_nodes (Value_index.build g) movie))
+    graphs
+
+(* Canonical segment bytes of version [k], memoized across seeds. *)
+let expected_seg =
+  let tbl = Hashtbl.create 16 in
+  fun k name ->
+    match Hashtbl.find_opt tbl (k, name) with
+    | Some b -> b
+    | None ->
+      let g = graphs.(k) in
+      let b =
+        match name with
+        | "value" -> Value_index.to_bytes (Value_index.build g)
+        | "text" -> Text_index.to_bytes (Text_index.build g)
+        | "path" -> Path_index.to_bytes (Path_index.build ~depth:path_depth g)
+        | "guide" -> Dataguide.to_bytes (Dataguide.build g)
+        | _ -> assert false
+      in
+      Hashtbl.add tbl (k, name) b;
+      b
+
+(* One store lifetime: create version 0, commit versions 1..n-1, close.
+   [note i] fires once version [i] is acknowledged (the durable write or
+   WAL fsync returned); [note n_versions] after the clean close. *)
+let run_sequence vfs ~note =
+  let st = Store.create ~page_size ~indexes ~path_depth vfs graphs.(0) in
+  note 0;
+  for i = 1 to n_versions - 1 do
+    Store.commit st graphs.(i);
+    note i
+  done;
+  Store.close st;
+  note n_versions
+
+(* Fault-free schedule shape (op counts) and the byte images of a
+   cleanly closed store — computed once, shared by every seed. *)
+let ops_create, total_ops, clean_images =
+  let mem, vfs = Vfs.mem_create Disk.none in
+  let after_create = ref 0 in
+  run_sequence vfs ~note:(fun i -> if i = 0 then after_create := Vfs.ops mem);
+  (!after_create, Vfs.ops mem, Vfs.crash_images mem)
+
+(* [mem_create ~images] adopts the byte images, so reusing a shared one
+   across seeds needs a fresh copy each time. *)
+let copy_images imgs = List.map (fun (n, b) -> (n, Bytes.copy b)) imgs
+
+(* The recovered store is byte-identical to committed version [k]. *)
+let check_version st k =
+  let g = Store.graph st in
+  if G.n_nodes g <> G.n_nodes graphs.(k) || G.n_edges g <> G.n_edges graphs.(k) then
+    fail "recovered graph shape differs from version %d" k;
+  let got = List.sort compare (Value_index.find_nodes (Store.value_index st) movie) in
+  if got <> movie_nodes.(k) then fail "query answers differ from version %d" k;
+  List.iter
+    (fun name ->
+      let got = Store.index_segment_bytes st name and exp = expected_seg k name in
+      if not (Bytes.equal got exp) then
+        fail "index segment %S differs from version %d (%d vs %d bytes)" name k
+          (Bytes.length got) (Bytes.length exp))
+    indexes
+
+let version_of_fp fp =
+  let rec go k = if k >= n_versions then None else if fps.(k) = fp then Some k else go (k + 1) in
+  go 0
+
+let run_crash seed plan =
+  (* Crash somewhere after [create] returns (initialization itself is
+     not crash-safe by contract) and no later than the end of [close]. *)
+  let c = ops_create + 1 + (mix seed mod (total_ops - ops_create)) in
+  let plan = { plan with Disk.seed; crash_at = Some c } in
+  let mem, vfs = Vfs.mem_create plan in
+  let acked = ref (-1) in
+  (match run_sequence vfs ~note:(fun i -> acked := min i (n_versions - 1)) with
+  | () -> fail "crash point %d never reached (%d ops)" c (Vfs.ops mem)
+  | exception Vfs.Crash -> ());
+  let images = Vfs.crash_images mem in
+  let _mem2, vfs2 = Vfs.mem_create ~images Disk.none in
+  (match Store.fsck vfs2 with
+  | (_ : Ssd_diag.t list) -> ()
+  | exception e -> fail "fsck raised before recovery: %s" (Printexc.to_string e));
+  let st = Store.open_ vfs2 in
+  let fp = Store.fingerprint st in
+  let k =
+    match version_of_fp fp with
+    | Some k -> k
+    | None -> fail "recovered fingerprint matches no committed version (acked %d)" !acked
+  in
+  if k < !acked then fail "acknowledged commit lost: recovered version %d < acked %d" k !acked;
+  check_version st k;
+  (* Recovery must converge: a clean close skips recovery on reopen. *)
+  Store.close st;
+  let st2 = Store.open_ vfs2 in
+  let r = Store.recovery st2 in
+  if not r.Store.was_clean then fail "reopen after post-recovery close still needs recovery";
+  if Store.fingerprint st2 <> fp then fail "fingerprint changed across close/reopen";
+  Store.close st2
+
+let run_bitflip seed =
+  (* Low enough that a fair share of opens see no flip at all and must
+     land in the byte-identical branch, not just the typed-error one. *)
+  let plan = { Disk.none with Disk.seed; bitflip = 0.03 } in
+  let last = n_versions - 1 in
+  let _mem, vfs = Vfs.mem_create ~images:(copy_images clean_images) plan in
+  (try
+     let st = Store.open_ vfs in
+     check_version st last
+   with
+  | B.Corrupt _ | Ssd_diag.Fail _ -> () (* typed rejection is the other legal outcome *));
+  let _mem2, vfs2 = Vfs.mem_create ~images:(copy_images clean_images) plan in
+  match Store.fsck vfs2 with
+  | (_ : Ssd_diag.t list) -> ()
+  | exception e -> fail "fsck raised under bit-flips: %s" (Printexc.to_string e)
+
+let run_one seed =
+  match seed land 3 with
+  | 0 -> run_crash seed Disk.none
+  | 1 -> run_crash seed { Disk.none with Disk.torn = true }
+  | 2 -> run_crash seed { Disk.none with Disk.torn = true; reorder = true; short = 0.1 }
+  | _ -> run_bitflip seed
+
+let () =
+  let seeds = ref 1000 and first = ref 0 and one = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: n :: rest ->
+      seeds := int_of_string n;
+      parse rest
+    | "--first" :: n :: rest ->
+      first := int_of_string n;
+      parse rest
+    | "--seed" :: s :: rest ->
+      one := Some (int_of_string s);
+      parse rest
+    | a :: _ -> fail "crash_fuzz: unknown argument %S (try --seeds N | --first N | --seed S)" a
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let run_checked seed =
+    try
+      run_one seed;
+      true
+    with e ->
+      Printf.eprintf "crash_fuzz: FAILED seed=%d mode=%d: %s\n  replay with: crash_fuzz --seed %d\n%!"
+        seed (seed land 3) (Printexc.to_string e) seed;
+      false
+  in
+  match !one with
+  | Some s ->
+    Printexc.record_backtrace true;
+    if run_checked s then print_endline "crash_fuzz: seed passed" else exit 1
+  | None ->
+    let failures = ref 0 in
+    for s = !first to !first + !seeds - 1 do
+      if not (run_checked s) then incr failures
+    done;
+    Printf.printf "crash_fuzz: %d seeds, %d failures (schedule: %d ops, crash window %d..%d)\n%!"
+      !seeds !failures total_ops (ops_create + 1) total_ops;
+    if !failures > 0 then exit 1

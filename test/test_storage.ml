@@ -56,6 +56,58 @@ let corrupt_diagnostics () =
   | exception Codec.Corrupt _ -> ()
   | _ -> Alcotest.fail "oversized node count accepted"
 
+(* Edge cases the crash-recovery work leans on: the one-node empty
+   graph, a node of maximal arity, and labels containing NUL bytes,
+   newlines and multi-byte UTF-8 — all must round-trip exactly through
+   both the wire codec and the store's segment codec. *)
+let edge_case_roundtrips () =
+  let seg_roundtrip g =
+    let dict = Ssd_store.Seg.dict_of_graph g in
+    Ssd_store.Seg.decode_graph ~dict (Ssd_store.Seg.encode_graph ~dict g)
+  in
+  let roundtrips what g =
+    let same g' =
+      Graph.n_nodes g = Graph.n_nodes g'
+      && Graph.n_edges g = Graph.n_edges g'
+      && Graph.root g = Graph.root g'
+      && Ssd.Bisim.equal g g'
+    in
+    check (what ^ " (codec)") true (same (Codec.decode (Codec.encode g)));
+    check (what ^ " (segment)") true (same (seg_roundtrip g))
+  in
+  roundtrips "empty graph" Graph.empty;
+  (* one source fanning out to thousands of children *)
+  let b = Graph.Builder.create () in
+  let r = Graph.Builder.add_node b in
+  Graph.Builder.set_root b r;
+  for i = 0 to 4999 do
+    let v = Graph.Builder.add_node b in
+    Graph.Builder.add_edge b r (Ssd.Label.int i) v
+  done;
+  roundtrips "maximum-arity node" (Graph.Builder.finish b);
+  let nasty =
+    [
+      "with\000nul";
+      "new\nline";
+      "tab\there";
+      "caf\xc3\xa9 \xe2\x9c\x93";
+      (* café ✓ *)
+      "";
+      String.make 300 '\xff';
+    ]
+  in
+  let b = Graph.Builder.create () in
+  let r = Graph.Builder.add_node b in
+  Graph.Builder.set_root b r;
+  List.iter
+    (fun s ->
+      let v = Graph.Builder.add_node b in
+      Graph.Builder.add_edge b r (Ssd.Label.sym s) v;
+      let w = Graph.Builder.add_node b in
+      Graph.Builder.add_edge b v (Ssd.Label.str s) w)
+    nasty;
+  roundtrips "NUL/newline/UTF-8 labels" (Graph.Builder.finish b)
+
 let string_table_shares () =
   (* many occurrences of one symbol must be cheaper than distinct ones *)
   let mk labels =
@@ -160,6 +212,7 @@ let tests =
         check "replay buffer" true
           (is_ssd542 (fun () ->
                Pager.replay (Pager.layout Pager.Bfs ~page_capacity:4 g) ~buffer_pages:(-1) [ 0 ])));
+    Alcotest.test_case "edge-case round-trips" `Quick edge_case_roundtrips;
     Alcotest.test_case "string table shares" `Quick string_table_shares;
     Alcotest.test_case "paging basics" `Quick paging_basics;
     Alcotest.test_case "LRU behaviour" `Quick lru_behaviour;
