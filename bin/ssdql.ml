@@ -680,7 +680,7 @@ let profile_cmd jobs data lang repeat format trace_out query_text =
    data loading, the socket address, config knobs and shutdown. *)
 let serve_cmd data store_path socket_path tcp_port host workers shed_at pressure_at
     pressure_max_steps max_frame cache_capacity max_requests trace_out stats
-    stats_format =
+    stats_format admin_addr slow_query_ms events_out =
   let persistent =
     match (data, store_path) with
     | Some _, Some _ ->
@@ -717,8 +717,14 @@ let serve_cmd data store_path socket_path tcp_port host workers shed_at pressure
       shed_at;
       pressure_at;
       pressure_max_steps;
+      slow_query_ms;
     }
   in
+  Option.iter
+    (fun path ->
+      Ssd_obs.Events.set_sink Ssd_obs.Events.default
+        (Some (Ssd_obs.Events.file_sink path)))
+    events_out;
   (* Every acknowledged UPDATE goes through the WAL before the swap:
      commit appends + fsyncs, so kill -9 after the response cannot lose
      it (restart replays the log). *)
@@ -738,6 +744,89 @@ let serve_cmd data store_path socket_path tcp_port host workers shed_at pressure
   | Ssd_serve.Server.Tcp (host, port) ->
     Printf.eprintf "ssdql serve: listening on tcp:%s:%d (workers=%d)\n%!" host port
       workers);
+  (* The admin plane reads durability state through the metrics gauges
+     (atomic snapshot), never the store record itself — its callbacks
+     run on the admin domain, concurrently with commits. *)
+  let started_at = Unix.gettimeofday () in
+  let module J = Ssd.Json in
+  let healthz () =
+    let snap = Ssd_obs.Metrics.snapshot ~prefix:"store." Ssd_obs.Metrics.default in
+    let g name = List.assoc_opt name snap.Ssd_obs.Metrics.snap_gauges in
+    let store_doc =
+      match persistent with
+      | None -> [ ("store", J.Null) ]
+      | Some st ->
+        let r = Ssd_store.Store.recovery st in
+        let num name = J.Float (Option.value ~default:0. (g name)) in
+        [
+          ( "store",
+            J.Obj
+              [
+                ("clean", J.Bool (g "store.clean" = Some 1.));
+                ("wal_backlog_bytes", num "store.wal_backlog_bytes");
+                ("dirty_pages", num "store.dirty_pages");
+                ("pages", num "store.pages");
+                ( "last_recovery",
+                  J.Obj
+                    [
+                      ("recovered_txns", J.Int r.Ssd_store.Store.recovered_txns);
+                      ("torn_bytes", J.Int r.Ssd_store.Store.torn_bytes);
+                      ("was_clean", J.Bool r.Ssd_store.Store.was_clean);
+                    ] );
+              ] );
+        ]
+    in
+    ( J.Obj
+        ([
+           ("status", J.String "ok");
+           ("uptime_s", J.Float (Unix.gettimeofday () -. started_at));
+         ]
+        @ store_doc),
+      true )
+  in
+  let varz () =
+    J.Obj
+      [
+        ("name", J.String "ssdql serve");
+        ("version", J.String "1.0.0");
+        ("pid", J.Int (Unix.getpid ()));
+        ("started_at", J.Float started_at);
+        ("uptime_s", J.Float (Unix.gettimeofday () -. started_at));
+        ( "listen",
+          J.String
+            (match Ssd_serve.Server.bound server with
+            | Ssd_serve.Server.Unix_sock p -> "unix:" ^ p
+            | Ssd_serve.Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p) );
+        ( "store",
+          match store_path with Some d -> J.String d | None -> J.Null );
+        ( "config",
+          J.Obj
+            [
+              ("workers", J.Int workers);
+              ("shed_at", J.Int shed_at);
+              ("pressure_at", J.Int pressure_at);
+              ("pressure_max_steps", J.Int pressure_max_steps);
+              ("max_frame", J.Int max_frame);
+              ("cache_capacity", J.Int cache_capacity);
+              ("slow_query_ms", J.Float slow_query_ms);
+            ] );
+      ]
+  in
+  let admin =
+    match admin_addr with
+    | None -> None
+    | Some s -> (
+      match Ssd_serve.Admin.addr_of_string s with
+      | Result.Error e ->
+        Printf.eprintf "ssdql serve: %s\n" e;
+        Ssd_serve.Server.stop server;
+        exit 2
+      | Result.Ok addr ->
+        let a = Ssd_serve.Admin.start ~healthz ~varz addr in
+        Printf.eprintf "ssdql serve: admin plane on %s\n%!"
+          (Ssd_serve.Admin.addr_to_string (Ssd_serve.Admin.bound a));
+        Some a)
+  in
   let stop_requested = Atomic.make false in
   let request_stop _ = Atomic.set stop_requested true in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
@@ -752,6 +841,7 @@ let serve_cmd data store_path socket_path tcp_port host workers shed_at pressure
   while not (done_ ()) do
     Unix.sleepf 0.05
   done;
+  (match admin with Some a -> Ssd_serve.Admin.stop a | None -> ());
   Ssd_serve.Server.stop server;
   Sys.set_signal Sys.sigint old_int;
   Sys.set_signal Sys.sigterm old_term;
@@ -773,6 +863,202 @@ let serve_cmd data store_path socket_path tcp_port host workers shed_at pressure
       Printf.eprintf "trace written to %s (load in chrome://tracing or Perfetto)\n" path)
     trace_out;
   if stats then dump_stats stats_format
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Polling terminal dashboard over the admin plane's /metrics endpoint —
+   the same exposition Prometheus would scrape, parsed with the same
+   parser the round-trip tests use. *)
+
+let admin_http_get addr path =
+  let domain, sockaddr =
+    match addr with
+    | Ssd_serve.Admin.Unix_sock p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+    | Ssd_serve.Admin.Tcp (h, p) ->
+      let inet =
+        try (Unix.gethostbyname h).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, p))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd sockaddr;
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      let b = Bytes.unsafe_of_string req in
+      let rec send off =
+        if off < Bytes.length b then send (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      send 0;
+      let buf = Buffer.create 8192 in
+      let chunk = Bytes.create 8192 in
+      let rec recv () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+      in
+      recv ();
+      let raw = Buffer.contents buf in
+      (* Split headers from body at the blank line. *)
+      let rec find_body i =
+        if i + 3 >= String.length raw then None
+        else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+        else if String.sub raw i 2 = "\n\n" then Some (i + 2)
+        else find_body (i + 1)
+      in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> Option.value ~default:0 (int_of_string_opt code)
+        | _ -> 0
+      in
+      match find_body 0 with
+      | Some i -> (status, String.sub raw i (String.length raw - i))
+      | None -> (status, ""))
+
+let top_total lines fam = Ssd_obs.Export.counter_total lines fam
+
+let top_percentile lines fam q =
+  let buckets =
+    List.filter_map
+      (function
+        | Ssd_obs.Export.Sample s when s.Ssd_obs.Export.family = fam ^ "_bucket" -> (
+          match List.assoc_opt "le" s.Ssd_obs.Export.labels with
+          | Some "+Inf" | None -> None
+          | Some le -> (
+            match float_of_string_opt le with
+            | Some ub -> Some (ub, s.Ssd_obs.Export.value)
+            | None -> None))
+        | _ -> None)
+      lines
+    |> List.sort compare
+  in
+  let total = top_total lines (fam ^ "_count") in
+  if total <= 0. then 0.
+  else begin
+    let rank = q *. total in
+    let rec go last = function
+      | [] -> last
+      | (ub, cum) :: rest -> if cum >= rank then ub else go ub rest
+    in
+    go 0. buckets
+  end
+
+let top_fmt_ns ns =
+  if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let top_fmt_bytes b =
+  if b < 1024. then Printf.sprintf "%.0fB" b
+  else if b < 1024. *. 1024. then Printf.sprintf "%.1fKiB" (b /. 1024.)
+  else Printf.sprintf "%.2fMiB" (b /. (1024. *. 1024.))
+
+let top_pct num den = if den <= 0. then 0. else 100. *. num /. den
+
+let top_cmd addr_str interval iterations raw =
+  let addr =
+    match Ssd_serve.Admin.addr_of_string addr_str with
+    | Result.Ok a -> a
+    | Result.Error e ->
+      Printf.eprintf "ssdql top: %s\n" e;
+      exit 2
+  in
+  let prev = ref None in
+  let sample i =
+    match admin_http_get addr "/metrics" with
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "ssdql top: %s unreachable: %s\n%!" addr_str
+        (Unix.error_message err);
+      exit 1
+    | 200, body -> (
+      match Ssd_obs.Export.parse body with
+      | Result.Error e ->
+        Printf.eprintf "ssdql top: bad exposition: %s\n%!" e;
+        exit 1
+      | Result.Ok lines ->
+        let now = Unix.gettimeofday () in
+        let requests = top_total lines "ssd_serve_requests_total" in
+        let qps =
+          match !prev with
+          | Some (t0, r0) when now > t0 -> (requests -. r0) /. (now -. t0)
+          | _ -> 0.
+        in
+        prev := Some (now, requests);
+        let p50 = top_percentile lines "ssd_serve_latency_ns" 0.5 in
+        let p99 = top_percentile lines "ssd_serve_latency_ns" 0.99 in
+        let accepted = top_total lines "ssd_serve_accepted_total" in
+        let hits = top_total lines "ssd_serve_cache_hits_total" in
+        let shed = top_total lines "ssd_serve_shed_total" in
+        let partial = top_total lines "ssd_serve_partial_total" in
+        let conns = top_total lines "ssd_serve_active_connections" in
+        let dirty = top_total lines "ssd_store_dirty_pages" in
+        let wal = top_total lines "ssd_store_wal_backlog_bytes" in
+        let clean = top_total lines "ssd_store_clean" in
+        let pool = top_total lines "ssd_store_bufpool_pages" in
+        let pool_cap = top_total lines "ssd_store_bufpool_capacity" in
+        let tenants =
+          List.filter_map
+            (function
+              | Ssd_obs.Export.Sample s
+                when s.Ssd_obs.Export.family = "ssd_serve_tenant_requests_total" ->
+                Option.map
+                  (fun t -> (t, s.Ssd_obs.Export.value))
+                  (List.assoc_opt "tenant" s.Ssd_obs.Export.labels)
+              | _ -> None)
+            lines
+        in
+        if raw then begin
+          Printf.printf "sample %d qps %.1f requests %.0f p50_ns %.0f p99_ns %.0f\n" i
+            qps requests p50 p99;
+          Printf.printf
+            "sample %d cache_hit_pct %.1f shed_pct %.1f partial_pct %.1f conns %.0f\n"
+            i (top_pct hits accepted) (top_pct shed requests)
+            (top_pct partial requests) conns;
+          Printf.printf "sample %d wal_bytes %.0f dirty_pages %.0f clean %.0f\n%!" i
+            wal dirty clean
+        end
+        else begin
+          let tm = Unix.localtime now in
+          Printf.printf "ssdql top — %s — %02d:%02d:%02d (sample %d)\n" addr_str
+            tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec i;
+          Printf.printf "  qps %8.1f   latency p50 %-9s p99 %-9s conns %.0f\n" qps
+            (top_fmt_ns p50) (top_fmt_ns p99) conns;
+          Printf.printf
+            "  requests %.0f   cache hit %.1f%%   shed %.1f%%   partial %.1f%%\n"
+            requests (top_pct hits accepted) (top_pct shed requests)
+            (top_pct partial requests);
+          Printf.printf
+            "  store: clean=%s   wal backlog %s   dirty pages %.0f   bufpool %.0f/%.0f\n"
+            (if clean >= 1. then "yes" else "no")
+            (top_fmt_bytes wal) dirty pool pool_cap;
+          (match List.sort (fun (_, a) (_, b) -> compare b a) tenants with
+          | [] -> ()
+          | ts ->
+            Printf.printf "  tenants: %s\n"
+              (String.concat "  "
+                 (List.map (fun (t, v) -> Printf.sprintf "%s=%.0f" t v) ts)));
+          print_newline ();
+          flush stdout
+        end)
+    | status, _ ->
+      Printf.eprintf "ssdql top: /metrics answered HTTP %d\n%!" status;
+      exit 1
+  in
+  let i = ref 1 in
+  let continue () = iterations = 0 || !i <= iterations in
+  while continue () do
+    sample !i;
+    incr i;
+    if continue () then Unix.sleepf interval
+  done
 
 (* ------------------------------------------------------------------ *)
 (* store init|stat|fsck|compact                                        *)
@@ -1144,6 +1430,24 @@ let serve_t =
     Arg.(value & opt string "text" & info [ "stats-format" ] ~docv:"FMT"
            ~doc:"Metrics dump format: text or json.")
   in
+  let admin =
+    Arg.(value & opt (some string) None & info [ "admin" ] ~docv:"ADDR"
+           ~doc:"Expose the admin plane (GET /metrics, /healthz, /varz, \
+                 /events) over minimal HTTP on unix:PATH or tcp:HOST:PORT.")
+  in
+  let slow_query_ms =
+    Arg.(value
+         & opt float
+             Ssd_serve.Engine.default_config.Ssd_serve.Engine.slow_query_ms
+         & info [ "slow-query-ms" ] ~docv:"MS"
+             ~doc:"Queries slower than this emit a slow_query event carrying \
+                   the plan and est-vs-actual cardinality (default 250).")
+  in
+  let events_out =
+    Arg.(value & opt (some string) None & info [ "events-out" ] ~docv:"PATH"
+           ~doc:"Also append every structured event to this JSONL file \
+                 (flushed per line).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve queries to concurrent clients over a Unix or TCP socket, \
@@ -1151,7 +1455,34 @@ let serve_t =
     Term.(const serve_cmd $ data_opt_arg $ store_arg $ socket $ port $ host $ workers
           $ shed_at
           $ pressure_at $ pressure_max_steps $ max_frame $ cache_capacity
-          $ max_requests $ trace_out_arg $ stats $ stats_format)
+          $ max_requests $ trace_out_arg $ stats $ stats_format $ admin
+          $ slow_query_ms $ events_out)
+
+let top_t =
+  let addr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
+           ~doc:"The admin-plane address of a running ssdql serve \
+                 (unix:PATH or tcp:HOST:PORT, as given to --admin).")
+  in
+  let interval =
+    Arg.(value & opt float 2.0 & info [ "interval"; "i" ] ~docv:"SECONDS"
+           ~doc:"Seconds between samples (default 2).")
+  in
+  let iterations =
+    Arg.(value & opt int 0 & info [ "iterations"; "n" ] ~docv:"N"
+           ~doc:"Stop after N samples (default 0: run until interrupted).")
+  in
+  let raw =
+    Arg.(value & flag & info [ "raw" ]
+           ~doc:"Machine-readable output: one 'sample N key value ...' line \
+                 group per sample, no dashboard formatting.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Polling terminal dashboard (qps, p50/p99 latency, cache hit \
+             rate, shed rate, WAL backlog, per-tenant traffic) over the \
+             admin plane's /metrics endpoint")
+    Term.(const top_cmd $ addr $ interval $ iterations $ raw)
 
 let store_t =
   let init =
@@ -1216,5 +1547,6 @@ let () =
             dist_t;
             profile_t;
             serve_t;
+            top_t;
             store_t;
           ]))

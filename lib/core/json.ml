@@ -179,6 +179,43 @@ let rec pp fmt = function
 
 let to_string v = Format.asprintf "%a" pp v
 
+(* One-line rendering for line-oriented sinks (JSONL event logs): same
+   scalar formatting as [pp], no boxes, no newlines. *)
+let to_compact_string v =
+  let buf = Buffer.create 128 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      let s = string_of_float f in
+      let s =
+        if String.length s > 0 && s.[String.length s - 1] = '.' then s ^ "0" else s
+      in
+      Buffer.add_string buf s
+    | String s -> Buffer.add_string buf (Label.to_string (Label.Str s))
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ", ";
+          go x)
+        items;
+      Buffer.add_char buf ']'
+    | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Label.to_string (Label.Str k));
+          Buffer.add_string buf ": ";
+          go x)
+        members;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Encoding into the edge-labeled model                                *)
 (* ------------------------------------------------------------------ *)

@@ -30,6 +30,10 @@ exception Parse_error of string
 
 val parse : string -> t
 val to_string : t -> string
+
+(** {!to_string} without line breaks — one line however deep the value,
+    for line-oriented sinks (JSONL).  Re-parses to the same value. *)
+val to_compact_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 (** Encode a JSON document as an edge-labeled tree. *)

@@ -1,0 +1,98 @@
+(* A bounded ring of structured events.  Emission must be safe from any
+   domain (request workers, the store's commit path, the admin plane all
+   emit) and cheap enough to leave on: one mutex acquisition, no
+   allocation proportional to history.  Rendering to JSONL happens at
+   read time, except for the optional file sink, which renders inline so
+   the line hits the OS even if the process later dies. *)
+
+type event = {
+  seq : int;
+  ts : float;
+  kind : string;
+  fields : (string * Ssd.Json.t) list;
+}
+
+type log = {
+  lock : Mutex.t;
+  mutable ring : event option array;
+  mutable next_seq : int;
+  mutable sink : (string -> unit) option;
+  emitted : Metrics.counter;
+  dropped : Metrics.counter;
+}
+
+let create ?(registry = Metrics.default) ?(capacity = 512) () =
+  {
+    lock = Mutex.create ();
+    ring = Array.make (max 1 capacity) None;
+    next_seq = 0;
+    sink = None;
+    emitted = Metrics.counter ~registry "events.emitted";
+    dropped = Metrics.counter ~registry "events.dropped";
+  }
+
+let default = create ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_capacity t n =
+  locked t @@ fun () -> t.ring <- Array.make (max 1 n) None
+
+let set_sink t sink = locked t @@ fun () -> t.sink <- sink
+
+let to_json e =
+  let module J = Ssd.Json in
+  J.Obj
+    (("seq", J.Int e.seq)
+    :: ("ts", J.Float e.ts)
+    :: ("event", J.String e.kind)
+    :: e.fields)
+
+let render_jsonl e = Ssd.Json.to_compact_string (to_json e)
+
+(* The ring is a simple modular overwrite: slot seq mod capacity.  An
+   overwritten slot counts as a drop so operators can see the ring is
+   too small for their retention needs. *)
+let emit t kind fields =
+  let line = ref None in
+  let sink =
+    locked t @@ fun () ->
+    let cap = Array.length t.ring in
+    let slot = t.next_seq mod cap in
+    if t.ring.(slot) <> None then Metrics.incr t.dropped;
+    let e = { seq = t.next_seq; ts = Unix.gettimeofday (); kind; fields } in
+    t.ring.(slot) <- Some e;
+    t.next_seq <- t.next_seq + 1;
+    Metrics.incr t.emitted;
+    (match t.sink with Some _ -> line := Some (render_jsonl e) | None -> ());
+    t.sink
+  in
+  (* Write outside the lock: a slow disk must not stall emitters on
+     other domains longer than one pending line. *)
+  match (sink, !line) with
+  | Some write, Some l -> ( try write (l ^ "\n") with _ -> ())
+  | _ -> ()
+
+(* Last [n] events, oldest first. *)
+let tail ?(n = 20) t =
+  locked t @@ fun () ->
+  let cap = Array.length t.ring in
+  let n = min n (min cap t.next_seq) in
+  let out = ref [] in
+  for i = t.next_seq - n to t.next_seq - 1 do
+    match t.ring.(i mod cap) with
+    | Some e when e.seq = i -> out := e :: !out
+    | _ -> ()
+  done;
+  List.rev !out
+
+let tail_jsonl ?n t =
+  String.concat "" (List.map (fun e -> render_jsonl e ^ "\n") (tail ?n t))
+
+let file_sink path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  fun s ->
+    output_string oc s;
+    flush oc

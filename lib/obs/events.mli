@@ -1,0 +1,54 @@
+(** Structured event log: a bounded in-memory ring of JSONL-renderable
+    events with an optional file sink.
+
+    Where {!Metrics} answers "how much, how fast", events answer "what
+    happened": slow queries (with plan and cardinality estimate),
+    admission clamp/shed decisions, cache invalidations, WAL
+    commit/checkpoint/recovery.  The serve layer tails the ring over
+    [GET /events?n=K] and the [EVENTS] protocol verb.
+
+    Emission is domain-safe (one mutex, no history-sized allocation) and
+    never raises — a broken sink is swallowed, telemetry must not fail
+    requests.  The ring overwrites oldest-first; overwrites are counted
+    on the [events.dropped] counter ([events.emitted] counts all
+    emissions). *)
+
+type event = {
+  seq : int;  (** monotonically increasing per log *)
+  ts : float;  (** Unix epoch seconds (wall clock, for correlation) *)
+  kind : string;  (** e.g. [slow_query], [admission.shed], [wal.commit] *)
+  fields : (string * Ssd.Json.t) list;
+}
+
+type log
+
+(** [create ?registry ?capacity ()] — ring of [capacity] (default 512)
+    events; drop/emit counters register in [registry]. *)
+val create : ?registry:Metrics.registry -> ?capacity:int -> unit -> log
+
+(** The process-wide log all built-in emitters report to. *)
+val default : log
+
+(** Replace the ring (discards buffered events). *)
+val set_capacity : log -> int -> unit
+
+(** Install (or with [None] remove) a sink called with each rendered
+    JSONL line (newline included), outside the ring lock.  Sink
+    exceptions are swallowed. *)
+val set_sink : log -> (string -> unit) option -> unit
+
+(** Append-mode file sink that flushes per line. *)
+val file_sink : string -> string -> unit
+
+(** [emit log kind fields] appends an event; timestamps it with the
+    wall clock. *)
+val emit : log -> string -> (string * Ssd.Json.t) list -> unit
+
+(** Last [n] (default 20) events, oldest first. *)
+val tail : ?n:int -> log -> event list
+
+(** {!tail} rendered as JSONL (one object per line). *)
+val tail_jsonl : ?n:int -> log -> string
+
+val to_json : event -> Ssd.Json.t
+val render_jsonl : event -> string

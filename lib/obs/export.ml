@@ -1,0 +1,303 @@
+(* Prometheus exposes one TYPE comment per family followed by its
+   samples; our registry names are dot-separated and may carry an inline
+   label set ([serve.tenant.requests{tenant="a"}]).  This module maps
+   registry snapshots onto that wire format — and parses it back, so the
+   round-trip property tests can hold every emitted line to "a scraper
+   would accept this". *)
+
+type sample = {
+  family : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type line =
+  | Type of string * string
+  | Sample of sample
+  | Comment of string
+  | Eof
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; registry names are
+   dot-separated, so dots (and anything else exotic) become underscores.
+   Everything is namespaced under ssd_ so a shared Prometheus doesn't
+   collide with other exporters. *)
+let sanitize name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    match Bytes.get b i with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+    | _ -> Bytes.set b i '_'
+  done;
+  let s = Bytes.to_string b in
+  let s = if s = "" then "unnamed" else s in
+  let s = match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s in
+  "ssd_" ^ s
+
+(* An instrument name may end with a Prometheus-style label set; split
+   it off (label keys/values pass through verbatim — the emitters build
+   them with {!label_set}, which already produces valid syntax). *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, "")
+  | Some i ->
+    let base = String.sub name 0 i in
+    let rest = String.sub name i (String.length name - i) in
+    if String.length rest >= 2 && rest.[String.length rest - 1] = '}' then
+      (base, String.sub rest 1 (String.length rest - 2))
+    else (name, "")
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let label_set = function
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           kvs)
+    ^ "}"
+
+(* Sample values are floats on the wire; integral values print without a
+   fraction so counters stay exact (and diffable) up to 2^53. *)
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* Merge instruments that share a family (same base name, different
+   label sets) under a single TYPE line, in first-seen (= sorted, since
+   snapshots are sorted) order. *)
+let group_families entries =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, payload) ->
+      let base, labels = split_labels name in
+      let fam = sanitize base in
+      (match Hashtbl.find_opt seen fam with
+      | None ->
+        Hashtbl.add seen fam (ref [ (labels, payload) ]);
+        order := fam :: !order
+      | Some l -> l := (labels, payload) :: !l))
+    entries;
+  List.rev_map
+    (fun fam ->
+      let entries = List.rev !(Hashtbl.find seen fam) in
+      (fam, entries))
+    !order
+
+let add_sample buf name labels value =
+  Buffer.add_string buf name;
+  if labels <> "" then begin
+    Buffer.add_char buf '{';
+    Buffer.add_string buf labels;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (fmt_value value);
+  Buffer.add_char buf '\n'
+
+let add_type buf name kind =
+  Buffer.add_string buf "# TYPE ";
+  Buffer.add_string buf name;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf kind;
+  Buffer.add_char buf '\n'
+
+let join_labels a b = if a = "" then b else if b = "" then a else a ^ "," ^ b
+
+let openmetrics (s : Metrics.snapshot) =
+  let buf = Buffer.create 4096 in
+  (* Counters: family name carries the conventional _total suffix. *)
+  List.iter
+    (fun (fam, entries) ->
+      let fam = fam ^ "_total" in
+      add_type buf fam "counter";
+      List.iter
+        (fun (labels, v) -> add_sample buf fam labels (float_of_int v))
+        entries)
+    (group_families s.Metrics.snap_counters);
+  List.iter
+    (fun (fam, entries) ->
+      add_type buf fam "gauge";
+      List.iter (fun (labels, v) -> add_sample buf fam labels v) entries)
+    (group_families s.Metrics.snap_gauges);
+  (* Timers expose as summaries: _count runs and _sum accumulated ns. *)
+  List.iter
+    (fun (fam, entries) ->
+      add_type buf fam "summary";
+      List.iter
+        (fun (labels, (count, total_ns)) ->
+          add_sample buf (fam ^ "_count") labels (float_of_int count);
+          add_sample buf (fam ^ "_sum") labels total_ns)
+        entries)
+    (group_families
+       (List.map (fun (n, c, t) -> (n, (c, t))) s.Metrics.snap_timers));
+  (* Histograms: cumulative buckets with explicit exponential bounds. *)
+  List.iter
+    (fun (fam, entries) ->
+      add_type buf fam "histogram";
+      List.iter
+        (fun (labels, (h : Metrics.histogram_snapshot)) ->
+          let cum = ref 0 in
+          List.iter
+            (fun (ub, n) ->
+              cum := !cum + n;
+              add_sample buf (fam ^ "_bucket")
+                (join_labels (Printf.sprintf "le=\"%s\"" (fmt_value ub)) labels)
+                (float_of_int !cum))
+            h.Metrics.hs_buckets;
+          add_sample buf (fam ^ "_bucket")
+            (join_labels "le=\"+Inf\"" labels)
+            (float_of_int h.Metrics.hs_count);
+          add_sample buf (fam ^ "_sum") labels h.Metrics.hs_sum;
+          add_sample buf (fam ^ "_count") labels (float_of_int h.Metrics.hs_count))
+        entries)
+    (group_families
+       (List.map (fun h -> (h.Metrics.hs_name, h)) s.Metrics.snap_histograms));
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let json (s : Metrics.snapshot) = Ssd.Json.to_string (Metrics.snapshot_to_json s)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (the round-trip oracle)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+let parse_name s pos =
+  let n = String.length s in
+  let start = pos in
+  let pos = ref pos in
+  while !pos < n && is_name_char s.[!pos] do incr pos done;
+  if !pos = start then Error (Printf.sprintf "expected metric name at %d" start)
+  else Ok (String.sub s start (!pos - start), !pos)
+
+let parse_labels s pos =
+  let n = String.length s in
+  let rec loop pos acc =
+    match parse_name s pos with
+    | Error e -> Error e
+    | Ok (key, pos) ->
+      if pos >= n || s.[pos] <> '=' then Error "expected '=' after label name"
+      else if pos + 1 >= n || s.[pos + 1] <> '"' then
+        Error "expected '\"' after label '='"
+      else begin
+        let b = Buffer.create 16 in
+        let pos = ref (pos + 2) in
+        let err = ref None in
+        let closed = ref false in
+        while (not !closed) && !err = None && !pos < n do
+          (match s.[!pos] with
+          | '"' -> closed := true
+          | '\\' ->
+            if !pos + 1 >= n then err := Some "dangling escape in label value"
+            else begin
+              (match s.[!pos + 1] with
+              | '\\' -> Buffer.add_char b '\\'
+              | '"' -> Buffer.add_char b '"'
+              | 'n' -> Buffer.add_char b '\n'
+              | c -> err := Some (Printf.sprintf "bad escape '\\%c'" c));
+              incr pos
+            end
+          | c -> Buffer.add_char b c);
+          incr pos
+        done;
+        match !err with
+        | Some e -> Error e
+        | None ->
+          if not !closed then Error "unterminated label value"
+          else
+            let acc = (key, Buffer.contents b) :: acc in
+            let pos = !pos in
+            if pos < n && s.[pos] = ',' then loop (pos + 1) acc
+            else if pos < n && s.[pos] = '}' then Ok (List.rev acc, pos + 1)
+            else Error "expected ',' or '}' after label value"
+      end
+  in
+  loop pos []
+
+let parse_line line =
+  let line =
+    (* Tolerate trailing \r so output read over HTTP re-parses. *)
+    if line <> "" && line.[String.length line - 1] = '\r' then
+      String.sub line 0 (String.length line - 1)
+    else line
+  in
+  if line = "# EOF" then Ok Eof
+  else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+    match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+    | [ name; kind ] when name <> "" ->
+      if not (List.mem kind [ "counter"; "gauge"; "summary"; "histogram" ]) then
+        Error (Printf.sprintf "unknown metric type %S" kind)
+      else if String.for_all is_name_char name then Ok (Type (name, kind))
+      else Error (Printf.sprintf "invalid family name %S" name)
+    | _ -> Error "malformed TYPE line"
+  end
+  else if String.length line >= 1 && line.[0] = '#' then Ok (Comment line)
+  else
+    match parse_name line 0 with
+    | Error e -> Error e
+    | Ok (family, pos) -> (
+      let n = String.length line in
+      (match family.[0] with
+      | '0' .. '9' -> Error "metric name starts with a digit"
+      | _ -> Ok ())
+      |> function
+      | Error e -> Error e
+      | Ok () -> (
+        let labels_result =
+          if pos < n && line.[pos] = '{' then parse_labels line (pos + 1)
+          else Ok ([], pos)
+        in
+        match labels_result with
+        | Error e -> Error e
+        | Ok (labels, pos) ->
+          if pos >= n || line.[pos] <> ' ' then Error "expected ' ' before value"
+          else
+            let v = String.sub line (pos + 1) (n - pos - 1) in
+            let v = if v = "+Inf" then "infinity" else if v = "-Inf" then "-infinity" else v in
+            (match float_of_string_opt v with
+            | Some value -> Ok (Sample { family; labels; value })
+            | None -> Error (Printf.sprintf "bad sample value %S" v))))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | [ "" ] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with
+      | Ok l -> loop (l :: acc) (lineno + 1) rest
+      | Error e -> Error (Printf.sprintf "line %d (%S): %s" lineno line e))
+  in
+  loop [] 1 lines
+
+let samples lines =
+  List.filter_map (function Sample s -> Some s | _ -> None) lines
+
+(* Sum of all samples of a counter family — the monotonicity oracle used
+   by tests and `ssdql top` rate computation. *)
+let counter_total lines family =
+  List.fold_left
+    (fun acc -> function
+      | Sample s when s.family = family -> acc +. s.value
+      | _ -> acc)
+    0. lines

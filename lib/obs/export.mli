@@ -1,0 +1,66 @@
+(** OpenMetrics / Prometheus text exposition of {!Metrics} snapshots.
+
+    The admin plane (`GET /metrics`) and `ssdql top` both read the
+    registry through this module, so there is exactly one mapping from
+    instruments to wire families:
+
+    - counters → [ssd_<name>_total], type [counter]
+    - gauges → [ssd_<name>], type [gauge]
+    - timers → type [summary] with [_count] / [_sum] (sum in ns)
+    - histograms → type [histogram] with cumulative
+      [_bucket{le="2^k"}] samples over the explicit exponential bounds,
+      a [le="+Inf"] bucket, [_sum] and [_count]
+
+    Registry names are sanitized (dots → underscores, namespaced under
+    [ssd_]); an inline label set on the instrument name
+    ([serve.tenant.requests{tenant="a"}]) becomes sample labels, and
+    instruments differing only in labels merge into one family under a
+    single [# TYPE] line.  Output ends with [# EOF].
+
+    The module also {e parses} the format it emits — the round-trip
+    property tests and the `ssdql top` client both use {!parse}, so
+    every emitted line is held to "a scraper would accept this". *)
+
+type sample = {
+  family : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type line =
+  | Type of string * string  (** family name, one of counter/gauge/summary/histogram *)
+  | Sample of sample
+  | Comment of string
+  | Eof  (** the [# EOF] terminator *)
+
+(** Map a registry name to a wire family name: non-[[a-zA-Z0-9_:]]
+    chars become [_], digits can't lead, and everything is prefixed
+    with [ssd_]. *)
+val sanitize : string -> string
+
+(** Split an instrument name into base name and raw label-set text
+    (empty when the name carries no [{…}] suffix). *)
+val split_labels : string -> string * string
+
+(** Render a label set, escaping backslash, double-quote and newline. *)
+val label_set : (string * string) list -> string
+
+(** Full exposition of a snapshot, terminated by [# EOF]. *)
+val openmetrics : Metrics.snapshot -> string
+
+(** The snapshot as a JSON document (same shape as
+    {!Metrics.snapshot_to_json}), for [GET /metrics?format=json]. *)
+val json : Metrics.snapshot -> string
+
+(** Parse one exposition line (tolerates a trailing [\r]). *)
+val parse_line : string -> (line, string) result
+
+(** Parse a full exposition document; [Error] names the first bad line. *)
+val parse : string -> (line list, string) result
+
+(** Just the sample lines, in order. *)
+val samples : line list -> sample list
+
+(** Sum of all samples of a family (labeled series included) — the
+    counter-monotonicity oracle and the rate source for `ssdql top`. *)
+val counter_total : line list -> string -> float

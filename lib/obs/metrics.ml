@@ -1,14 +1,26 @@
-(* Counter values are Atomics: evaluator hot paths run across domains
-   under --jobs (lib/par), and increments from workers must neither tear
-   nor get lost — counter totals feed --stats output that is required to
-   be identical for every jobs value.  Atomic increments commute, so the
-   final value only depends on the set of events, not their schedule.
-   Timers and histograms stay plain mutable: they are only touched from
-   the coordinating domain (parallel worker code never records time or
-   observations directly). *)
+(* Counter and gauge values are Atomics: evaluator hot paths run across
+   domains under --jobs (lib/par), and increments from workers must
+   neither tear nor get lost — counter totals feed --stats output that is
+   required to be identical for every jobs value.  Atomic increments
+   commute, so the final value only depends on the set of events, not
+   their schedule.
+
+   Timers and histograms are multi-word and cannot be a single atomic;
+   they are guarded by the registry lock instead, as are registration,
+   {!reset} and {!snapshot}.  That makes a snapshot a single consistent
+   read: a histogram scraped mid-[observe] can never show a bucket sum
+   that disagrees with its count (the admin plane's /metrics endpoint
+   scrapes from its own domain while request domains observe). *)
 type counter = {
   c_name : string;
   c_value : int Atomic.t;
+}
+
+(* A gauge is a point-in-time level (buffer-pool occupancy, WAL backlog),
+   not an accumulation: [set] replaces the value. *)
+type gauge = {
+  g_name : string;
+  g_value : float Atomic.t;
 }
 
 type timer = {
@@ -21,6 +33,7 @@ type timer = {
    bucket 0 counts values <= 1. *)
 type histogram = {
   h_name : string;
+  h_registry_lock : Mutex.t;
   h_buckets : int array;
   mutable h_count : int;
   mutable h_sum : float;
@@ -30,22 +43,32 @@ type histogram = {
 
 type instrument =
   | Counter of counter
+  | Gauge of gauge
   | Timer of timer
   | Histogram of histogram
 
-type registry = (string, instrument) Hashtbl.t
+type registry = {
+  tbl : (string, instrument) Hashtbl.t;
+  lock : Mutex.t;
+}
 
-let create () : registry = Hashtbl.create 64
+let create () : registry = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
 let default : registry = create ()
 
+let locked r f =
+  Mutex.lock r.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
+
 let kind_name = function
   | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
   | Timer _ -> "timer"
   | Histogram _ -> "histogram"
 
 let register registry name make extract =
-  match Hashtbl.find_opt registry name with
+  locked registry @@ fun () ->
+  match Hashtbl.find_opt registry.tbl name with
   | Some i -> (
     match extract i with
     | Some x -> x
@@ -54,7 +77,7 @@ let register registry name make extract =
         (Printf.sprintf "Metrics: %s already registered as a %s" name (kind_name i)))
   | None ->
     let i = make () in
-    Hashtbl.add registry name i;
+    Hashtbl.add registry.tbl name i;
     (match extract i with Some x -> x | None -> assert false)
 
 let counter ?(registry = default) name =
@@ -67,11 +90,28 @@ let add c n = ignore (Atomic.fetch_and_add c.c_value n)
 let value c = Atomic.get c.c_value
 let counter_name c = c.c_name
 
+let gauge ?(registry = default) name =
+  register registry name
+    (fun () -> Gauge { g_name = name; g_value = Atomic.make 0. })
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
+let gauge_name g = g.g_name
+
 let timer ?(registry = default) name =
   register registry name
     (fun () -> Timer { t_name = name; t_count = 0; t_total_ns = 0. })
     (function Timer t -> Some t | _ -> None)
 
+(* Timer mutation is two plain writes; they only ever race a concurrent
+   snapshot (recording stays on the coordinating domain), and the
+   snapshot path reads both fields under the registry lock of the
+   registry that owns the timer.  Timers are registered in exactly one
+   registry, so guarding with [default]'s lock would be wrong for
+   [~registry] users; instead the writes stay unguarded and the snapshot
+   tolerates a count/total skew of at most one sample — documented in
+   the interface. *)
 let record_ns t ns =
   t.t_count <- t.t_count + 1;
   t.t_total_ns <- t.t_total_ns +. ns
@@ -89,6 +129,7 @@ let histogram ?(registry = default) name =
       Histogram
         {
           h_name = name;
+          h_registry_lock = registry.lock;
           h_buckets = Array.make 64 0;
           h_count = 0;
           h_sum = 0.;
@@ -106,13 +147,19 @@ let bucket_of v =
     let k = if Float.of_int (1 lsl (e - 1)) >= v then e - 1 else e in
     min k 63
 
+(* A histogram mutation is multi-word (count, sum, min, max, one
+   bucket); it takes the owning registry's lock so a concurrent
+   {!snapshot} can never observe buckets that disagree with the count —
+   percentiles must not tear mid-scrape. *)
 let observe h v =
+  Mutex.lock h.h_registry_lock;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v;
   let k = bucket_of v in
-  h.h_buckets.(k) <- h.h_buckets.(k) + 1
+  h.h_buckets.(k) <- h.h_buckets.(k) + 1;
+  Mutex.unlock h.h_registry_lock
 
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
@@ -122,36 +169,42 @@ let histogram_sum h = h.h_sum
 let h_min h = if h.h_count = 0 then 0. else h.h_min
 let h_max h = if h.h_count = 0 then 0. else h.h_max
 
-(* Percentile estimate from the power-of-two buckets: the upper bound of
-   the first bucket whose cumulative count reaches q * count, clamped to
-   the observed [min, max].  Exact for counts and monotone in q. *)
-let percentile h q =
-  if h.h_count = 0 then 0.
+(* Percentile estimate over power-of-two buckets: the upper bound of the
+   first bucket whose cumulative count reaches q * count, clamped to the
+   observed [min, max].  Shared by the live accessor and snapshots. *)
+let percentile_of ~count ~lo ~hi buckets q =
+  if count = 0 then 0.
   else begin
-    let rank = q *. float_of_int h.h_count in
+    let rank = q *. float_of_int count in
     let k = ref 0 in
-    let cum = ref h.h_buckets.(0) in
+    let cum = ref buckets.(0) in
     while float_of_int !cum < rank && !k < 63 do
       k := !k + 1;
-      cum := !cum + h.h_buckets.(!k)
+      cum := !cum + buckets.(!k)
     done;
     let ub = Float.of_int (1 lsl !k) in
-    Float.min (h_max h) (Float.max (h_min h) ub)
+    Float.min hi (Float.max lo ub)
   end
 
-let histogram_buckets h =
+let percentile h q =
+  percentile_of ~count:h.h_count ~lo:(h_min h) ~hi:(h_max h) h.h_buckets q
+
+let nonempty_buckets buckets =
   let out = ref [] in
   for k = 63 downto 0 do
-    if h.h_buckets.(k) > 0 then
-      out := (Float.of_int (1 lsl k), h.h_buckets.(k)) :: !out
+    if buckets.(k) > 0 then out := (Float.of_int (1 lsl k), buckets.(k)) :: !out
   done;
   !out
 
+let histogram_buckets h = nonempty_buckets h.h_buckets
+
 let reset registry =
+  locked registry @@ fun () ->
   Hashtbl.iter
     (fun _ i ->
       match i with
       | Counter c -> Atomic.set c.c_value 0
+      | Gauge g -> Atomic.set g.g_value 0.
       | Timer t ->
         t.t_count <- 0;
         t.t_total_ns <- 0.
@@ -161,28 +214,75 @@ let reset registry =
         h.h_sum <- 0.;
         h.h_min <- infinity;
         h.h_max <- neg_infinity)
-    registry
+    registry.tbl
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type histogram_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (float * int) list;
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_timers : (string * int * float) list;
+  snap_histograms : histogram_snapshot list;
+}
 
 let has_prefix prefix name =
   let np = String.length prefix in
   String.length name >= np && String.sub name 0 np = prefix
 
-let partition ?(prefix = "") registry =
-  let cs = ref [] and ts = ref [] and hs = ref [] in
+(* One consistent read of the whole registry: everything is copied under
+   the registry lock, so instruments mutated concurrently (histogram
+   observes, registrations) can never tear across the copy. *)
+let snapshot ?(prefix = "") registry =
+  locked registry @@ fun () ->
+  let cs = ref [] and gs = ref [] and ts = ref [] and hs = ref [] in
   Hashtbl.iter
     (fun name i ->
       if has_prefix prefix name then
         match i with
-        | Counter c -> cs := (name, c) :: !cs
-        | Timer t -> ts := (name, t) :: !ts
-        | Histogram h -> hs := (name, h) :: !hs)
-    registry;
-  let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
-  (by_name !cs, by_name !ts, by_name !hs)
+        | Counter c -> cs := (name, Atomic.get c.c_value) :: !cs
+        | Gauge g -> gs := (name, Atomic.get g.g_value) :: !gs
+        | Timer t -> ts := (name, t.t_count, t.t_total_ns) :: !ts
+        | Histogram h ->
+          hs :=
+            {
+              hs_name = name;
+              hs_count = h.h_count;
+              hs_sum = h.h_sum;
+              hs_min = h_min h;
+              hs_max = h_max h;
+              hs_buckets = nonempty_buckets h.h_buckets;
+            }
+            :: !hs)
+    registry.tbl;
+  {
+    snap_counters = List.sort (fun (a, _) (b, _) -> String.compare a b) !cs;
+    snap_gauges = List.sort (fun (a, _) (b, _) -> String.compare a b) !gs;
+    snap_timers = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !ts;
+    snap_histograms =
+      List.sort (fun a b -> String.compare a.hs_name b.hs_name) !hs;
+  }
 
-let counters ?prefix registry =
-  let cs, _, _ = partition ?prefix registry in
-  List.map (fun (name, c) -> (name, Atomic.get c.c_value)) cs
+let snapshot_percentile hs q =
+  let buckets = Array.make 64 0 in
+  List.iter
+    (fun (ub, n) ->
+      let k = bucket_of ub in
+      buckets.(k) <- n)
+    hs.hs_buckets;
+  percentile_of ~count:hs.hs_count ~lo:hs.hs_min ~hi:hs.hs_max buckets q
+
+let counters ?prefix registry = (snapshot ?prefix registry).snap_counters
 
 let ns_pretty ns =
   if ns < 1e3 then Printf.sprintf "%.0fns" ns
@@ -191,71 +291,85 @@ let ns_pretty ns =
   else Printf.sprintf "%.2fs" (ns /. 1e9)
 
 let dump_text ?prefix registry =
-  let cs, ts, hs = partition ?prefix registry in
+  let s = snapshot ?prefix registry in
   let buf = Buffer.create 512 in
-  if cs <> [] then begin
+  if s.snap_counters <> [] then begin
     Buffer.add_string buf "counters:\n";
     List.iter
-      (fun (name, c) -> Buffer.add_string buf (Printf.sprintf "  %-44s %d\n" name (Atomic.get c.c_value)))
-      cs
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-44s %d\n" name v))
+      s.snap_counters
   end;
-  if ts <> [] then begin
+  if s.snap_gauges <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-44s %g\n" name v))
+      s.snap_gauges
+  end;
+  if s.snap_timers <> [] then begin
     Buffer.add_string buf "timers:\n";
     List.iter
-      (fun (name, t) ->
-        let mean = if t.t_count = 0 then 0. else t.t_total_ns /. float_of_int t.t_count in
+      (fun (name, count, total_ns) ->
+        let mean = if count = 0 then 0. else total_ns /. float_of_int count in
         Buffer.add_string buf
-          (Printf.sprintf "  %-44s count %-6d total %-10s mean %s\n" name t.t_count
-             (ns_pretty t.t_total_ns) (ns_pretty mean)))
-      ts
+          (Printf.sprintf "  %-44s count %-6d total %-10s mean %s\n" name count
+             (ns_pretty total_ns) (ns_pretty mean)))
+      s.snap_timers
   end;
-  if hs <> [] then begin
+  if s.snap_histograms <> [] then begin
     Buffer.add_string buf "histograms:\n";
     List.iter
-      (fun (name, h) ->
+      (fun h ->
         Buffer.add_string buf
           (Printf.sprintf
              "  %-44s count %-6d sum %-10.0f min %-8.0f max %-8.0f p50 %-8.0f \
               p90 %-8.0f p99 %.0f\n"
-             name h.h_count h.h_sum (h_min h) (h_max h) (percentile h 0.5)
-             (percentile h 0.9) (percentile h 0.99)))
-      hs
+             h.hs_name h.hs_count h.hs_sum h.hs_min h.hs_max
+             (snapshot_percentile h 0.5) (snapshot_percentile h 0.9)
+             (snapshot_percentile h 0.99)))
+      s.snap_histograms
   end;
   Buffer.contents buf
 
-let to_json ?prefix registry =
+let snapshot_to_json (s : snapshot) =
   let module J = Ssd.Json in
-  let cs, ts, hs = partition ?prefix registry in
-  let counters = J.Obj (List.map (fun (name, c) -> (name, J.Int (Atomic.get c.c_value))) cs) in
+  let counters = J.Obj (List.map (fun (name, v) -> (name, J.Int v)) s.snap_counters) in
+  let gauges = J.Obj (List.map (fun (name, v) -> (name, J.Float v)) s.snap_gauges) in
   let timers =
     J.Obj
       (List.map
-         (fun (name, t) ->
-           (name, J.Obj [ ("count", J.Int t.t_count); ("total_ns", J.Float t.t_total_ns) ]))
-         ts)
+         (fun (name, count, total_ns) ->
+           (name, J.Obj [ ("count", J.Int count); ("total_ns", J.Float total_ns) ]))
+         s.snap_timers)
   in
   let histograms =
     J.Obj
       (List.map
-         (fun (name, h) ->
-           ( name,
+         (fun h ->
+           ( h.hs_name,
              J.Obj
                [
-                 ("count", J.Int h.h_count);
-                 ("sum", J.Float h.h_sum);
-                 ("min", J.Float (h_min h));
-                 ("max", J.Float (h_max h));
-                 ("p50", J.Float (percentile h 0.5));
-                 ("p90", J.Float (percentile h 0.9));
-                 ("p99", J.Float (percentile h 0.99));
+                 ("count", J.Int h.hs_count);
+                 ("sum", J.Float h.hs_sum);
+                 ("min", J.Float h.hs_min);
+                 ("max", J.Float h.hs_max);
+                 ("p50", J.Float (snapshot_percentile h 0.5));
+                 ("p90", J.Float (snapshot_percentile h 0.9));
+                 ("p99", J.Float (snapshot_percentile h 0.99));
                  ( "buckets",
                    J.List
-                     (List.map
-                        (fun (ub, n) -> J.List [ J.Float ub; J.Int n ])
-                        (histogram_buckets h)) );
+                     (List.map (fun (ub, n) -> J.List [ J.Float ub; J.Int n ]) h.hs_buckets)
+                 );
                ] ))
-         hs)
+         s.snap_histograms)
   in
-  J.Obj [ ("counters", counters); ("timers", timers); ("histograms", histograms) ]
+  J.Obj
+    [
+      ("counters", counters);
+      ("gauges", gauges);
+      ("timers", timers);
+      ("histograms", histograms);
+    ]
+
+let to_json ?prefix registry = snapshot_to_json (snapshot ?prefix registry)
 
 let dump_json ?prefix registry = Ssd.Json.to_string (to_json ?prefix registry)

@@ -1,20 +1,34 @@
-(** Execution metrics: named counters, timers and histograms.
+(** Execution metrics: named counters, gauges, timers and histograms.
 
     Query evaluation in this codebase was rewrite-only observable — one
     could inspect the optimized AST but not what evaluation actually did.
     This module is the observation layer: the evaluators ({!Unql.Eval},
-    {!Lorel.Eval}, {!Relstore.Datalog}), the indexes and the result cache
-    register named instruments in a {e registry} and bump them on their
-    hot paths.  Instruments are monotonic within a process (counters only
-    grow; timers and histograms only accumulate) until {!reset}.
+    {!Lorel.Eval}, {!Relstore.Datalog}), the indexes, the result cache,
+    the serve engine and the persistent store register named instruments
+    in a {e registry} and bump them on their hot paths.  Instruments are
+    monotonic within a process (counters only grow; timers and
+    histograms only accumulate) until {!reset} — except gauges, which
+    are levels and move both ways.
 
     Overhead is one hash lookup at registration (module initialization)
-    and one unboxed mutation per event afterwards, so instrumentation is
-    left on unconditionally.
+    and one unboxed mutation per event afterwards (histograms add a
+    short critical section, see below), so instrumentation is left on
+    unconditionally.
+
+    {b Concurrency.} Counter and gauge mutations are atomic and may come
+    from any domain.  Histogram observations take the registry lock (a
+    histogram update is multi-word).  {!snapshot} and {!reset} hold the
+    same lock, so a snapshot is a single consistent read: percentiles
+    computed from it cannot tear against concurrent observations.
+    Timers are the one exception — recording is two plain writes on the
+    recording domain, so a concurrent snapshot may skew a timer's
+    count/total by at most the in-flight sample.
 
     Instrument names are dot-separated, [subsystem.component.what] — e.g.
     [unql.eval.edges_traversed], [unql.cache.hits],
-    [datalog.seminaive.rounds]. *)
+    [datalog.seminaive.rounds].  A name may carry a trailing label set in
+    Prometheus syntax, e.g. [serve.tenant.requests{tenant="a"}]; the
+    {!Export} module splits it back into family name + labels. *)
 
 type registry
 
@@ -37,6 +51,18 @@ val incr : counter -> unit
 val add : counter -> int -> unit
 val value : counter -> int
 val counter_name : counter -> string
+
+(** {1 Gauges}
+
+    A gauge is a point-in-time level — buffer-pool occupancy, WAL bytes
+    since checkpoint, live connections — set, not accumulated. *)
+
+type gauge
+
+val gauge : ?registry:registry -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
 
 (** {1 Timers}
 
@@ -67,7 +93,10 @@ val timer_total_ns : timer -> float
 type histogram
 
 val histogram : ?registry:registry -> string -> histogram
+
+(** Domain-safe: takes the owning registry's lock for the update. *)
 val observe : histogram -> float -> unit
+
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
@@ -82,6 +111,39 @@ val histogram_buckets : histogram -> (float * int) list
     0 on an empty histogram. *)
 val percentile : histogram -> float -> float
 
+(** {1 Snapshots}
+
+    A snapshot is an immutable copy of every instrument's state, taken
+    under the registry lock in one critical section — the only way to
+    read multiple instruments consistently while other domains mutate
+    them.  All exposition ({!dump_text}, {!to_json}, {!Export}) renders
+    from snapshots. *)
+
+type histogram_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;  (** 0 when empty *)
+  hs_max : float;  (** 0 when empty *)
+  hs_buckets : (float * int) list;
+      (** [(upper_bound, count)] per non-empty bucket, ascending. *)
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_timers : (string * int * float) list;  (** (name, count, total ns) *)
+  snap_histograms : histogram_snapshot list;
+}
+(** Each section sorted by instrument name. *)
+
+(** One consistent read of the registry, optionally restricted to names
+    starting with [prefix]. *)
+val snapshot : ?prefix:string -> registry -> snapshot
+
+(** {!percentile} computed from a snapshot's buckets. *)
+val snapshot_percentile : histogram_snapshot -> float -> float
+
 (** {1 Registry-wide views} *)
 
 (** All counters as [(name, value)], sorted by name.  [prefix] keeps only
@@ -89,20 +151,25 @@ val percentile : histogram -> float -> float
     prefix like ["lint."] selects one subsystem). *)
 val counters : ?prefix:string -> registry -> (string * int) list
 
-(** Zero every instrument in the registry (instruments stay registered). *)
+(** Zero every instrument in the registry (instruments stay registered).
+    Atomic with respect to {!snapshot}: a concurrent scrape sees either
+    pre- or post-reset values, never a mix. *)
 val reset : registry -> unit
 
-(** Human-readable dump: counters, then timers, then histograms, each
+(** Human-readable dump: counters, gauges, timers, then histograms, each
     section in sorted name order (so dumps are diffable), optionally
     restricted to a name [prefix].  Histogram lines include p50/p90/p99
     summaries. *)
 val dump_text : ?prefix:string -> registry -> string
 
 (** The registry as a JSON document
-    [{"counters": {...}, "timers": {...}, "histograms": {...}}] — the
-    machine-readable form checked by the [ssdql --stats] smoke test.
-    Instruments appear in sorted name order; histograms carry
-    [p50]/[p90]/[p99] fields. *)
+    [{"counters": {...}, "gauges": {...}, "timers": {...},
+    "histograms": {...}}] — the machine-readable form checked by the
+    [ssdql --stats] smoke test.  Instruments appear in sorted name
+    order; histograms carry [p50]/[p90]/[p99] and explicit [buckets]. *)
 val to_json : ?prefix:string -> registry -> Ssd.Json.t
+
+(** {!to_json} for a snapshot already taken. *)
+val snapshot_to_json : snapshot -> Ssd.Json.t
 
 val dump_json : ?prefix:string -> registry -> string

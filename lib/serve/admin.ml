@@ -1,0 +1,259 @@
+(* The admin plane: a minimal HTTP/1.0 listener exposing the telemetry
+   of a running `ssdql serve` — GET /metrics (OpenMetrics or JSON),
+   /healthz, /varz, /events.  It is deliberately not the data plane:
+   its own listener on its own domain, connections handled serially
+   (scrapes are rare and tiny), GET only, one response per connection,
+   Connection: close.  A wedged scraper can therefore delay the next
+   scrape but never a query. *)
+
+module Metrics = Ssd_obs.Metrics
+module Export = Ssd_obs.Export
+module Events = Ssd_obs.Events
+
+let m_requests = Metrics.counter "admin.requests"
+let m_scrapes = Metrics.counter "admin.scrapes"
+let m_errors = Metrics.counter "admin.errors"
+
+type addr =
+  | Unix_sock of string
+  | Tcp of string * int
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | None -> Result.Error (Printf.sprintf "admin address %S wants unix:PATH or tcp:HOST:PORT" s)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" ->
+      if rest = "" then Result.Error "unix: wants a socket path"
+      else Result.Ok (Unix_sock rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Result.Error "tcp: wants HOST:PORT"
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 -> Result.Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | _ -> Result.Error (Printf.sprintf "bad tcp port %S" port)))
+    | _ -> Result.Error (Printf.sprintf "unknown admin scheme %S (unix|tcp)" scheme))
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+type config = {
+  registry : Metrics.registry;
+  events : Events.log;
+  (* [healthz ()] returns the health document and whether the process
+     should report healthy (HTTP 200) or not (503). *)
+  healthz : unit -> Ssd.Json.t * bool;
+  varz : unit -> Ssd.Json.t;
+}
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  addr : addr;
+  stopping : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* HTTP plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (status_text status) content_type (String.length body) body
+
+(* Percent-decoding is deliberately omitted: every value we accept is a
+   small integer or keyword. *)
+let parse_query s =
+  List.filter_map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | None -> None
+      | Some i ->
+        Some (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1)))
+    (String.split_on_char '&' s)
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+    ( String.sub target 0 i,
+      parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+
+let route cfg target =
+  let path, query = split_target target in
+  match path with
+  | "/metrics" ->
+    Metrics.incr m_scrapes;
+    let snap = Metrics.snapshot cfg.registry in
+    if List.assoc_opt "format" query = Some "json" then
+      (200, "application/json", Export.json snap ^ "\n")
+    else
+      ( 200,
+        "application/openmetrics-text; version=1.0.0; charset=utf-8",
+        Export.openmetrics snap )
+  | "/healthz" ->
+    let doc, ok = cfg.healthz () in
+    ((if ok then 200 else 503), "application/json", Ssd.Json.to_string doc ^ "\n")
+  | "/varz" -> (200, "application/json", Ssd.Json.to_string (cfg.varz ()) ^ "\n")
+  | "/events" ->
+    let n =
+      match List.assoc_opt "n" query with
+      | Some v -> ( match int_of_string_opt v with Some k when k > 0 -> k | _ -> 20)
+      | None -> 20
+    in
+    (200, "application/x-ndjson", Events.tail_jsonl ~n cfg.events)
+  | _ -> (404, "text/plain", Printf.sprintf "no route %s\n" path)
+
+(* Read until the header terminator (we ignore bodies: GET only), bounded
+   in size and wall-clock so a byte-at-a-time client cannot pin the
+   domain. *)
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec go () =
+    let s = Buffer.contents buf in
+    let have_terminator =
+      let rec find i =
+        match String.index_from_opt s i '\n' with
+        | None -> false
+        | Some j ->
+          let rest = String.length s - j - 1 in
+          (rest >= 1 && s.[j + 1] = '\n')
+          || (rest >= 2 && s.[j + 1] = '\r' && s.[j + 2] = '\n')
+          || find (j + 1)
+      in
+      find 0
+    in
+    if have_terminator then Some s
+    else if Buffer.length buf > 8192 || Unix.gettimeofday () > deadline then None
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Buffer.length buf > 0 then Some s else None
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let handle_conn cfg fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5. with Unix.Unix_error _ -> ());
+  let resp =
+    match read_request fd with
+    | None -> http_response ~status:400 ~content_type:"text/plain" "malformed request\n"
+    | Some req -> (
+      let request_line =
+        match String.index_opt req '\n' with
+        | None -> req
+        | Some i -> String.sub req 0 i
+      in
+      let request_line = String.trim request_line in
+      match String.split_on_char ' ' request_line with
+      | [ "GET"; target; _ ] | [ "GET"; target ] -> (
+        match route cfg target with
+        | status, content_type, body -> http_response ~status ~content_type body
+        | exception _ ->
+          Metrics.incr m_errors;
+          http_response ~status:500 ~content_type:"text/plain" "internal error\n")
+      | meth :: _ when meth <> "GET" ->
+        http_response ~status:405 ~content_type:"text/plain" "GET only\n"
+      | _ -> http_response ~status:400 ~content_type:"text/plain" "malformed request line\n")
+  in
+  Metrics.incr m_requests;
+  (try write_all fd resp with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  (* Same nonblocking poll pattern as the data plane's Server: closing
+     an fd a domain is blocked in does not reliably wake it; a select
+     timeout does. *)
+  Unix.set_nonblock t.listener;
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listener ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.listener with
+        | fd, _ ->
+          Unix.clear_nonblock fd;
+          handle_conn t.cfg fd
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          ()
+        | exception Unix.Unix_error _ -> Atomic.set t.stopping true)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> Atomic.set t.stopping true);
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(registry = Metrics.default) ?(events = Events.default) ~healthz ~varz
+    addr =
+  let cfg = { registry; events; healthz; varz } in
+  let domain, sockaddr =
+    match addr with
+    | Unix_sock path ->
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  let listener = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener sockaddr;
+  Unix.listen listener 16;
+  let bound_addr =
+    match addr with
+    | Unix_sock _ -> addr
+    | Tcp (host, _) -> (
+      match Unix.getsockname listener with
+      | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+      | _ -> addr)
+  in
+  let t =
+    { cfg; listener; addr = bound_addr; stopping = Atomic.make false; domain = None }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let bound t = t.addr
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (match t.domain with Some d -> Domain.join d | None -> ());
+    t.domain <- None;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    match t.addr with
+    | Unix_sock path ->
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  end

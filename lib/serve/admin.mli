@@ -1,0 +1,51 @@
+(** The admin plane of [ssdql serve]: a minimal HTTP/1.0 listener
+    serving the live telemetry of the process.
+
+    Endpoints (GET only, one request per connection,
+    [Connection: close]):
+
+    - [/metrics] — OpenMetrics exposition of the registry
+      ({!Ssd_obs.Export.openmetrics}); [/metrics?format=json] for the
+      JSON form.
+    - [/healthz] — the health document from the [healthz] callback;
+      HTTP 200 when it reports healthy, 503 otherwise.
+    - [/varz] — build info, uptime and config from the [varz] callback.
+    - [/events?n=K] — the last K (default 20) structured events as
+      JSONL ({!Ssd_obs.Events}).
+
+    The listener runs on its own domain and handles connections
+    serially — scrapes are small and rare, and keeping the admin plane
+    off the worker pool means a wedged scraper can never delay a query.
+    Reads are bounded (8 KiB, 5 s) so a byte-dripping client cannot pin
+    the domain either. *)
+
+type addr =
+  | Unix_sock of string
+  | Tcp of string * int
+
+(** Parse ["unix:PATH"] or ["tcp:HOST:PORT"] (empty host means
+    127.0.0.1; port 0 binds a free port, see {!bound}). *)
+val addr_of_string : string -> (addr, string) result
+
+val addr_to_string : addr -> string
+
+type t
+
+(** [start ?registry ?events ~healthz ~varz addr] binds and begins
+    serving.  [healthz] returns the health document and whether to
+    answer 200; callbacks run on the admin domain and must be
+    domain-safe.  Exceptions from callbacks become HTTP 500. *)
+val start :
+  ?registry:Ssd_obs.Metrics.registry ->
+  ?events:Ssd_obs.Events.log ->
+  healthz:(unit -> Ssd.Json.t * bool) ->
+  varz:(unit -> Ssd.Json.t) ->
+  addr ->
+  t
+
+(** The bound address ([Tcp] reports the actual port when 0 was asked). *)
+val bound : t -> addr
+
+(** Stop accepting, join the admin domain, close and (for Unix sockets)
+    unlink the listener.  Idempotent. *)
+val stop : t -> unit

@@ -6,6 +6,7 @@ module Label = Ssd.Label
 module Budget = Ssd.Budget
 module Metrics = Ssd_obs.Metrics
 module Trace = Ssd_obs.Trace
+module Events = Ssd_obs.Events
 
 let m_requests = Metrics.counter "serve.requests"
 let m_accepted = Metrics.counter "serve.accepted"
@@ -14,17 +15,53 @@ let m_partial = Metrics.counter "serve.partial"
 let m_errors = Metrics.counter "serve.errors"
 let m_updates = Metrics.counter "serve.updates"
 let m_cache_hits = Metrics.counter "serve.cache_hits"
+let m_slow = Metrics.counter "serve.slow_queries"
 let m_latency = Metrics.histogram "serve.latency_ns"
+
+(* Per-tenant accounting: labeled metric families, one series per
+   tenant label.  Registration is idempotent, so looking the family up
+   on every request is one locked hash probe — no tenant table of our
+   own to keep consistent. *)
+type tenant_counters = {
+  tc_requests : Metrics.counter;
+  tc_bytes_in : Metrics.counter;
+  tc_bytes_out : Metrics.counter;
+  tc_steps : Metrics.counter;
+  tc_partials : Metrics.counter;
+  tc_shed : Metrics.counter;
+}
+
+let tenant_counters tenant =
+  let lbl = Ssd_obs.Export.label_set [ ("tenant", tenant) ] in
+  let c what = Metrics.counter (Printf.sprintf "serve.tenant.%s%s" what lbl) in
+  {
+    tc_requests = c "requests";
+    tc_bytes_in = c "bytes_in";
+    tc_bytes_out = c "bytes_out";
+    tc_steps = c "steps";
+    tc_partials = c "partials";
+    tc_shed = c "shed";
+  }
+
+let tenant_of (opts : Proto.options) =
+  match opts.Proto.tenant with Some t -> t | None -> "default"
 
 type config = {
   max_frame : int;
   shed_at : int;
   pressure_at : int;
   pressure_max_steps : int;
+  slow_query_ms : float;
 }
 
 let default_config =
-  { max_frame = 65536; shed_at = 64; pressure_at = 8; pressure_max_steps = 20_000 }
+  {
+    max_frame = 65536;
+    shed_at = 64;
+    pressure_at = 8;
+    pressure_max_steps = 20_000;
+    slow_query_ms = 250.;
+  }
 
 type store = {
   m : Mutex.t;
@@ -35,6 +72,10 @@ type store = {
   (* Durability hook: called under the lock with the new graph before
      the in-memory swap, so a failed persist leaves memory unchanged. *)
   mutable persist : (Graph.t -> unit) option;
+  (* Annotated DataGuide for slow-query cardinality estimates, cached
+     by graph fingerprint (building it walks the whole graph; slow
+     queries on the same database should pay once). *)
+  mutable ann_cache : (int * Ssd_schema.Annotated.t) option;
 }
 
 let store ?(cache_capacity = 128) ~db () =
@@ -45,6 +86,7 @@ let store ?(cache_capacity = 128) ~db () =
     inflight = Atomic.make 0;
     req_seq = Atomic.make 0;
     persist = None;
+    ann_cache = None;
   }
 
 let set_persist store f = store.persist <- Some f
@@ -220,38 +262,52 @@ let lint_gate (opts : Proto.options) body =
     | Some d -> raise (Ssd_diag.Fail d)
     | None -> ())
 
-let eval_query t ~db ~budget (opts : Proto.options) body =
+(* Root fanout of the result — the "actual cardinality" the slow-query
+   event reports against the static estimate (same convention as
+   [ssdql explain]). *)
+let n_rows g = List.length (Graph.labeled_succ g (Graph.root g))
+
+let eval_query ?(rows = ref None) t ~db ~budget (opts : Proto.options) body =
   lint_gate opts body;
+  let render_rows g =
+    rows := Some (n_rows g);
+    render_graph_text g
+  in
   match opts.lang with
   | "unql" -> (
     let q = Unql.Parser.parse body in
     match budget with
-    | Some b -> map_outcome render_graph_text (Unql.Eval.eval_outcome ~budget:b ~db q)
+    | Some b -> map_outcome render_rows (Unql.Eval.eval_outcome ~budget:b ~db q)
     | None ->
       if opts.cache then begin
         match locked t.st (fun () -> Unql.Cache.find t.st.cache ~db q) with
         | Some g ->
           Metrics.incr m_cache_hits;
           Trace.bump "cache_hit" 1;
-          Budget.Complete (render_graph_text g)
+          Budget.Complete (render_rows g)
         | None ->
           let g = Unql.Eval.eval ~db q in
           locked t.st (fun () -> Unql.Cache.add t.st.cache ~db q g);
-          Budget.Complete (render_graph_text g)
+          Budget.Complete (render_rows g)
       end
-      else Budget.Complete (render_graph_text (Unql.Eval.eval ~db q)))
+      else Budget.Complete (render_rows (Unql.Eval.eval ~db q)))
   | "lorel" -> (
     let q = Lorel.Parser.parse body in
     match budget with
-    | Some b -> map_outcome render_graph_text (Lorel.Eval.eval_outcome ~budget:b ~db q)
-    | None -> Budget.Complete (render_graph_text (Lorel.Eval.eval ~db q)))
+    | Some b -> map_outcome render_rows (Lorel.Eval.eval_outcome ~budget:b ~db q)
+    | None -> Budget.Complete (render_rows (Lorel.Eval.eval ~db q)))
   | "datalog" -> (
     let program = Relstore.Datalog.parse body in
     let edb = Relstore.Triple.edb db in
+    let render_tuples results =
+      rows :=
+        Some (List.fold_left (fun a (_, ts) -> a + List.length ts) 0 results);
+      render_datalog_text results
+    in
     match budget with
     | Some b ->
-      map_outcome render_datalog_text (Relstore.Datalog.eval_outcome ~budget:b ~edb program)
-    | None -> Budget.Complete (render_datalog_text (Relstore.Datalog.eval ~edb program)))
+      map_outcome render_tuples (Relstore.Datalog.eval_outcome ~budget:b ~edb program)
+    | None -> Budget.Complete (render_tuples (Relstore.Datalog.eval ~edb program)))
   | "websql" ->
     (* websql has no budget hooks; budgets are ignored, like the CLI. *)
     Budget.Complete (render_relation_text (Websql.Eval.run ~db body))
@@ -261,24 +317,113 @@ let eval_query t ~db ~budget (opts : Proto.options) body =
          (Ssd_diag.make Ssd_diag.Error ~code:"SSD555"
             (Printf.sprintf "unsupported query language %S" other)))
 
+(* ------------------------------------------------------------------ *)
+(* Slow-query telemetry                                                *)
+(* ------------------------------------------------------------------ *)
+
+let annotated_for t db =
+  let fp = Unql.Cache.fingerprint db in
+  locked t.st (fun () ->
+      match t.st.ann_cache with
+      | Some (fp', ann) when fp' = fp -> ann
+      | _ ->
+        let ann = Ssd_schema.Annotated.build db in
+        t.st.ann_cache <- Some (fp, ann);
+        ann)
+
+(* Static estimate + planned form for the slow-query event.  Runs only
+   for queries already past the slowness threshold, so re-parsing is
+   noise; any failure degrades to "no estimate", never to a failed
+   response. *)
+let estimate t ~db (opts : Proto.options) body =
+  try
+    match opts.lang with
+    | "unql" ->
+      let ann = annotated_for t db in
+      let q = Unql.Parser.parse body in
+      let card = Ssd_lint.Card.check_unql ann q in
+      let plan =
+        Unql.Pretty.expr_to_string (Unql.Optimize.reorder_generators ann q)
+      in
+      (card.Ssd_lint.Card.est_total, Some plan)
+    | "lorel" ->
+      let ann = annotated_for t db in
+      let q = Lorel.Parser.parse body in
+      ((Ssd_lint.Card.check_lorel ann q).Ssd_lint.Card.est_total, None)
+    | "datalog" ->
+      let ann = annotated_for t db in
+      let program = Relstore.Datalog.parse body in
+      ((Ssd_lint.Card.check_datalog ann program).Ssd_lint.Card.est_total, None)
+    | _ -> (None, None)
+  with _ -> (None, None)
+
+let truncate_query q =
+  if String.length q <= 200 then q else String.sub q 0 200 ^ "..."
+
+let slow_query_event t ~db ~dt_ns ~steps ~rows (opts : Proto.options) body
+    (resp : Proto.response) =
+  Metrics.incr m_slow;
+  let est, plan = estimate t ~db opts body in
+  let module J = Ssd.Json in
+  let opt_field name = function Some v -> [ (name, v) ] | None -> [] in
+  Events.emit Events.default "slow_query"
+    (List.concat
+       [
+         [
+           ("tenant", J.String (tenant_of opts));
+           ("lang", J.String opts.Proto.lang);
+           ("query", J.String (truncate_query body));
+           ("latency_ms", J.Float (dt_ns /. 1e6));
+           ("status", J.String (Proto.status_to_string resp.Proto.status));
+           ("detail", J.String resp.Proto.detail);
+         ]
+         ;
+         opt_field "steps" (Option.map (fun s -> J.Int s) steps);
+         opt_field "est_rows" (Option.map (fun e -> J.Float e) est);
+         opt_field "actual_rows" (Option.map (fun r -> J.Int r) rows);
+         opt_field "plan" (Option.map (fun p -> J.String p) plan);
+         opt_field "id"
+           (Option.map (fun i -> J.String i) opts.Proto.req_id);
+       ])
+
 let do_query t ~queued (opts : Proto.options) body =
+  let tc = tenant_counters (tenant_of opts) in
   let load = queued + Atomic.get t.st.inflight in
   if load > t.cfg.shed_at then begin
     locked t.st (fun () -> t.n_shed <- t.n_shed + 1);
     Metrics.incr m_shed;
+    Metrics.incr tc.tc_shed;
     Trace.annotate "shed" (Trace.Bool true);
+    Events.emit Events.default "admission.shed"
+      [
+        ("tenant", Ssd.Json.String (tenant_of opts));
+        ("load", Ssd.Json.Int load);
+        ("shed_at", Ssd.Json.Int t.cfg.shed_at);
+      ];
     shed_response opts load
   end
   else begin
     let pressured = load > t.cfg.pressure_at in
+    if pressured then
+      Events.emit Events.default "admission.clamp"
+        [
+          ("tenant", Ssd.Json.String (tenant_of opts));
+          ("load", Ssd.Json.Int load);
+          ("max_steps", Ssd.Json.Int t.cfg.pressure_max_steps);
+        ];
     Atomic.incr t.st.inflight;
     Fun.protect
       ~finally:(fun () -> Atomic.decr t.st.inflight)
       (fun () ->
         let db = locked t.st (fun () -> t.st.db) in
         let budget = effective_budget t.cfg opts ~pressured in
-        match eval_query t ~db ~budget opts body with
+        let rows = ref None in
+        let t0 = Ssd_obs.Clock.now_ns () in
+        match eval_query ~rows t ~db ~budget opts body with
         | outcome ->
+          let dt_ns = Ssd_obs.Clock.now_ns () -. t0 in
+          let steps = Option.map Budget.steps_used budget in
+          (match steps with Some s -> Metrics.add tc.tc_steps s | None -> ());
           locked t.st (fun () ->
               t.n_accepted <- t.n_accepted + 1;
               match outcome with
@@ -286,9 +431,14 @@ let do_query t ~queued (opts : Proto.options) body =
               | Budget.Complete _ -> ());
           Metrics.incr m_accepted;
           (match outcome with
-          | Budget.Partial _ -> Metrics.incr m_partial
+          | Budget.Partial _ ->
+            Metrics.incr m_partial;
+            Metrics.incr tc.tc_partials
           | Budget.Complete _ -> ());
-          result_response opts outcome
+          let resp = result_response opts outcome in
+          if dt_ns >= t.cfg.slow_query_ms *. 1e6 then
+            slow_query_event t ~db ~dt_ns ~steps ~rows:!rows opts body resp;
+          resp
         | exception e ->
           locked t.st (fun () -> t.n_errors <- t.n_errors + 1);
           Metrics.incr m_errors;
@@ -318,6 +468,13 @@ let do_update t (opts : Proto.options) body =
   with
   | db', dropped ->
     Metrics.incr m_updates;
+    Events.emit Events.default "cache.invalidate"
+      [
+        ("tenant", Ssd.Json.String (tenant_of opts));
+        ("dropped", Ssd.Json.Int dropped);
+        ("nodes", Ssd.Json.Int (Graph.n_nodes db'));
+        ("edges", Ssd.Json.Int (Graph.n_edges db'));
+      ];
     let text =
       Printf.sprintf "updated: %d nodes, %d edges; %d cache entries invalidated\n"
         (Graph.n_nodes db') (Graph.n_edges db') dropped
@@ -332,6 +489,31 @@ let do_update t (opts : Proto.options) body =
 (* Frame dispatch                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* STATS body: the full registry snapshot (exactly what the admin plane
+   serves on GET /metrics?format=json) with an extra "engine" section —
+   one source of truth for protocol clients and HTTP scrapers. *)
+let stats_body t =
+  let module J = Ssd.Json in
+  let s = stats t in
+  let engine =
+    J.Obj
+      [
+        ("requests", J.Int s.requests);
+        ("accepted", J.Int s.accepted);
+        ("shed", J.Int s.shed);
+        ("partial", J.Int s.partial);
+        ("errors", J.Int s.errors);
+        ("updates", J.Int s.updates);
+      ]
+  in
+  let snap = Metrics.snapshot_to_json (Metrics.snapshot Metrics.default) in
+  let doc =
+    match snap with
+    | J.Obj fields -> J.Obj (fields @ [ ("engine", engine) ])
+    | other -> other
+  in
+  J.to_string doc ^ "\n"
+
 let dispatch t ~queued raw =
   if String.length raw > t.cfg.max_frame then
     (* The stream cannot be resynchronized reliably past an oversized
@@ -340,46 +522,52 @@ let dispatch t ~queued raw =
         (Ssd_diag.make Ssd_diag.Error ~code:"SSD551"
            (Printf.sprintf "frame of %d bytes exceeds the %d byte limit"
               (String.length raw) t.cfg.max_frame)),
-      true )
+      true,
+      Proto.default_options )
   else
     match Proto.parse_request raw with
-    | Result.Error d -> (error_response Proto.default_options d, false)
+    | Result.Error d -> (error_response Proto.default_options d, false, Proto.default_options)
     | Result.Ok { Proto.verb; opts; body } -> (
       (match opts.Proto.req_id with
       | Some id -> Trace.annotate "id" (Trace.Str id)
       | None -> ());
       Trace.annotate "verb" (Trace.Str (Proto.verb_to_string verb));
       match verb with
-      | Proto.Query -> (do_query t ~queued opts body, false)
-      | Proto.Update -> (do_update t opts body, false)
-      | Proto.Ping -> (Proto.response Proto.Complete "pong\n", false)
-      | Proto.Stats ->
+      | Proto.Query -> (do_query t ~queued opts body, false, opts)
+      | Proto.Update -> (do_update t opts body, false, opts)
+      | Proto.Ping -> (Proto.response Proto.Complete "pong\n", false, opts)
+      | Proto.Stats -> (Proto.response Proto.Complete (stats_body t), false, opts)
+      | Proto.Events ->
         ( Proto.response Proto.Complete
-            (Ssd_obs.Metrics.dump_json ~prefix:"serve." Ssd_obs.Metrics.default ^ "\n"),
-          false )
-      | Proto.Quit -> (Proto.response Proto.Complete "bye\n", true))
+            (Events.tail_jsonl ?n:opts.Proto.n Events.default),
+          false,
+          opts )
+      | Proto.Quit -> (Proto.response Proto.Complete "bye\n", true, opts))
 
 let handle ?lane ?(queued = 0) t raw =
   let seq = Atomic.fetch_and_add t.st.req_seq 1 + 1 in
   let t0 = Ssd_obs.Clock.now_ns () in
-  let resp, close =
+  let resp, close, opts =
     Trace.with_span ?lane "serve.request" ~attrs:[ ("seq", Trace.Int seq) ] (fun () ->
-        let ((resp, _) as r) =
+        let ((resp, _, _) as r) =
           try dispatch t ~queued raw
           with e ->
             (* dispatch catches per-verb; this is the last-resort net so
                the accept loop can never be wedged by a request. *)
-            (error_response Proto.default_options (diag_of_exn e), false)
+            (error_response Proto.default_options (diag_of_exn e), false,
+             Proto.default_options)
         in
         Trace.annotate "status" (Trace.Str (Proto.status_to_string resp.Proto.status));
         r)
   in
   let dt = Ssd_obs.Clock.now_ns () -. t0 in
   Metrics.incr m_requests;
-  locked t.st (fun () ->
-      t.n_requests <- t.n_requests + 1;
-      (* histograms are not atomic; observe under the store lock *)
-      Metrics.observe m_latency dt);
+  Metrics.observe m_latency dt;
+  let tc = tenant_counters (tenant_of opts) in
+  Metrics.incr tc.tc_requests;
+  Metrics.add tc.tc_bytes_in (String.length raw);
+  Metrics.add tc.tc_bytes_out (String.length resp.Proto.body);
+  locked t.st (fun () -> t.n_requests <- t.n_requests + 1);
   (resp, close)
 
 let handle_line ?lane ?queued t raw =

@@ -35,17 +35,35 @@
 
     Every response carries the typed completeness status, and the engine
     never raises: any parse or evaluation failure becomes an [error]
-    response (SSD55x). *)
+    response (SSD55x).
+
+    {2 Telemetry}
+
+    Every request bills to a tenant — the [tenant=] option, or
+    ["default"] — on labeled counter families
+    ([serve.tenant.requests{tenant="…"}], [bytes_in], [bytes_out],
+    [steps], [partials], [shed]) in the default {!Ssd_obs.Metrics}
+    registry.  Admission decisions ([admission.shed],
+    [admission.clamp]), cache invalidations ([cache.invalidate]) and
+    queries slower than [slow_query_ms] ([slow_query], with plan and
+    est-vs-actual cardinality) emit structured events to
+    {!Ssd_obs.Events.default}; [STATS] returns the full registry
+    snapshot as JSON and [EVENTS] tails the event ring, so protocol
+    clients see exactly what the admin plane serves. *)
 
 type config = {
   max_frame : int; (** frames longer than this are refused (SSD551) *)
   shed_at : int; (** load above this sheds (SSD554) *)
   pressure_at : int; (** load above this clamps budgets -> partial *)
   pressure_max_steps : int; (** the clamped step budget under pressure *)
+  slow_query_ms : float;
+      (** queries slower than this emit a [slow_query] event carrying
+          the plan, the static cardinality estimate vs the actual root
+          fanout, and the budget outcome *)
 }
 
 (** [max_frame = 65536], [shed_at = 64], [pressure_at = 8],
-    [pressure_max_steps = 20_000]. *)
+    [pressure_max_steps = 20_000], [slow_query_ms = 250.]. *)
 val default_config : config
 
 (** Shared serving state: database-of-record + shared result cache +

@@ -5,6 +5,7 @@ type verb =
   | Update
   | Ping
   | Stats
+  | Events
   | Quit
 
 type options = {
@@ -14,6 +15,8 @@ type options = {
   max_steps : int option;
   cache : bool;
   req_id : string option;
+  tenant : string option;
+  n : int option;
 }
 
 let default_options =
@@ -24,6 +27,8 @@ let default_options =
     max_steps = None;
     cache = true;
     req_id = None;
+    tenant = None;
+    n = None;
   }
 
 type request = {
@@ -37,6 +42,7 @@ let verb_to_string = function
   | Update -> "UPDATE"
   | Ping -> "PING"
   | Stats -> "STATS"
+  | Events -> "EVENTS"
   | Quit -> "QUIT"
 
 let verb_of_string = function
@@ -44,6 +50,7 @@ let verb_of_string = function
   | "UPDATE" -> Some Update
   | "PING" -> Some Ping
   | "STATS" -> Some Stats
+  | "EVENTS" -> Some Events
   | "QUIT" -> Some Quit
   | _ -> None
 
@@ -97,6 +104,13 @@ let parse_options s =
           | "off" -> go { opts with cache = false } rest
           | _ -> bad_option "cache wants on or off, got %S" (snippet v))
         | "id" -> go { opts with req_id = Some v } rest
+        | "tenant" ->
+          if v = "" then bad_option "tenant wants a value"
+          else go { opts with tenant = Some v } rest
+        | "n" -> (
+          match int_of_string_opt v with
+          | Some k when k > 0 -> go { opts with n = Some k } rest
+          | _ -> bad_option "n wants a positive integer, got %S" (snippet v))
         | _ -> bad_option "unknown option %S" (snippet k)))
   in
   go default_options pairs
@@ -151,13 +165,18 @@ let render_options o =
         | Some n -> [ Printf.sprintf "max-steps=%d" n ]);
         (if o.cache then [] else [ "cache=off" ]);
         (match o.req_id with None -> [] | Some id -> [ "id=" ^ id ]);
+        (match o.tenant with None -> [] | Some t -> [ "tenant=" ^ t ]);
+        (match o.n with None -> [] | Some k -> [ Printf.sprintf "n=%d" k ]);
       ]
   in
   match kvs with [] -> "-" | _ -> String.concat "," kvs
 
 let render_request r =
   match r.verb with
-  | Ping | Stats | Quit -> verb_to_string r.verb
+  | Ping | Stats | Events | Quit -> (
+    match render_options r.opts with
+    | "-" -> verb_to_string r.verb
+    | opts -> Printf.sprintf "%s %s" (verb_to_string r.verb) opts)
   | Query | Update ->
     Printf.sprintf "%s %s %s" (verb_to_string r.verb) (render_options r.opts) r.body
 

@@ -13,16 +13,27 @@
       UPDATE - insert DB.entry := {movie: {title: "New"}}
       PING
       STATS
+      EVENTS n=50
       QUIT
     v}
 
-    [VERB] is one of [QUERY], [UPDATE], [PING], [STATS], [QUIT].
+    [VERB] is one of [QUERY], [UPDATE], [PING], [STATS], [EVENTS],
+    [QUIT].
     [OPTIONS] is ["-"] or comma-separated [key=value] pairs:
     [lang=unql|lorel|websql|datalog] (default unql), [format=text|json]
     (default text), [deadline-ms=F], [max-steps=N], [cache=on|off]
-    (default on), [id=STRING] (echoed into the request's trace span).
+    (default on), [id=STRING] (echoed into the request's trace span),
+    [tenant=STRING] (accounting label: the request bills to this
+    tenant's labeled metric families), [n=N] (for [EVENTS]: how many
+    trailing events to return, default 20).
     Everything after the options token is the query/update text.
-    [PING]/[STATS]/[QUIT] may omit the options token.
+    [PING]/[STATS]/[EVENTS]/[QUIT] may omit the options token.
+
+    [STATS] answers with a full metrics-registry snapshot as JSON (the
+    same document the admin plane serves on [GET /metrics?format=json],
+    plus an ["engine"] section) — one source of truth for protocol
+    clients and HTTP scrapers.  [EVENTS] answers with the last [n]
+    structured events as JSONL (see {!Ssd_obs.Events}).
 
     {2 Response frames}
 
@@ -48,6 +59,7 @@ type verb =
   | Update
   | Ping
   | Stats
+  | Events
   | Quit
 
 type options = {
@@ -57,6 +69,8 @@ type options = {
   max_steps : int option;
   cache : bool;
   req_id : string option;
+  tenant : string option;
+  n : int option;
 }
 
 val default_options : options

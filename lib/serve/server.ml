@@ -7,6 +7,7 @@ module Metrics = Ssd_obs.Metrics
 
 let m_conns = Metrics.counter "serve.connections"
 let m_disconnects = Metrics.counter "serve.disconnects"
+let g_active = Metrics.gauge "serve.active_connections"
 
 type addr =
   | Unix_sock of string
@@ -28,6 +29,7 @@ type t = {
 let register t id fd =
   Mutex.lock t.conns_m;
   Hashtbl.replace t.conns id fd;
+  Metrics.set g_active (float_of_int (Hashtbl.length t.conns));
   Mutex.unlock t.conns_m
 
 (* At most one closer wins: the connection task on EOF/error, or [stop]
@@ -37,6 +39,7 @@ let close_conn t id =
   Mutex.lock t.conns_m;
   let fd = Hashtbl.find_opt t.conns id in
   Hashtbl.remove t.conns id;
+  Metrics.set g_active (float_of_int (Hashtbl.length t.conns));
   Mutex.unlock t.conns_m;
   match fd with
   | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())

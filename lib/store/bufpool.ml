@@ -34,3 +34,5 @@ let get pool p =
 
 let invalidate pool p = Lru.remove pool.cache p
 let clear pool = Lru.clear pool.cache
+let occupancy pool = Lru.size pool.cache
+let capacity pool = pool.capacity

@@ -28,6 +28,7 @@ module B = Ssd_storage.Bytesio
 module Graph = Ssd.Graph
 module Metrics = Ssd_obs.Metrics
 module Trace = Ssd_obs.Trace
+module Events = Ssd_obs.Events
 module Value_index = Ssd_index.Value_index
 module Text_index = Ssd_index.Text_index
 module Path_index = Ssd_index.Path_index
@@ -42,6 +43,20 @@ let m_recoveries = Metrics.counter "store.recoveries"
 let m_recovered_txns = Metrics.counter "store.recovered_txns"
 let m_wal_bytes = Metrics.counter "store.wal_bytes"
 let m_pages_logged = Metrics.counter "store.pages_logged"
+
+(* Durability state as gauges, so the admin plane's /metrics and
+   /healthz reflect the store's current condition — WAL backlog, dirty
+   overlay pages, buffer-pool occupancy, what the last open recovered —
+   not just process liveness. *)
+let g_wal_backlog = Metrics.gauge "store.wal_backlog_bytes"
+let g_pages = Metrics.gauge "store.pages"
+let g_dirty = Metrics.gauge "store.dirty_pages"
+let g_txns_since_ckpt = Metrics.gauge "store.txns_since_checkpoint"
+let g_clean = Metrics.gauge "store.clean"
+let g_pool_occupancy = Metrics.gauge "store.bufpool_pages"
+let g_pool_capacity = Metrics.gauge "store.bufpool_capacity"
+let g_last_recovery_txns = Metrics.gauge "store.last_recovery_txns"
+let g_last_recovery_torn = Metrics.gauge "store.last_recovery_torn_bytes"
 
 let all_indexes = [ "value"; "text"; "path"; "guide" ]
 
@@ -92,6 +107,17 @@ let page_image st p =
   match Hashtbl.find_opt st.images p with
   | Some img -> img
   | None -> Bufpool.get st.pool p
+
+(* Refresh the durability gauges from the store's state; called after
+   every state transition (commit, checkpoint, open, close). *)
+let update_gauges st =
+  Metrics.set g_wal_backlog (float_of_int (st.wal_size - Wal.header_size));
+  Metrics.set g_pages (float_of_int st.sb.Page.n_pages);
+  Metrics.set g_dirty (float_of_int (Hashtbl.length st.dirty));
+  Metrics.set g_txns_since_ckpt (float_of_int st.txns_since_ckpt);
+  Metrics.set g_clean (if st.sb.Page.clean then 1. else 0.);
+  Metrics.set g_pool_occupancy (float_of_int (Bufpool.occupancy st.pool));
+  Metrics.set g_pool_capacity (float_of_int (Bufpool.capacity st.pool))
 
 (* ------------------------------------------------------------------ *)
 (* Segment layout and access                                           *)
@@ -187,7 +213,8 @@ let append_txn st ~pages sb' =
       Bufpool.invalidate st.pool p)
     ((0, sb_page) :: pages);
   Metrics.add m_pages_logged (List.length pages);
-  st.sb <- sb'
+  st.sb <- sb';
+  update_gauges st
 
 (* ------------------------------------------------------------------ *)
 (* Index (re)construction                                              *)
@@ -347,6 +374,15 @@ let open_ ?(pool_pages = 64) ?(checkpoint_every = max_int) (vfs : Vfs.t) =
      like any other superblock change, so a torn write cannot destroy
      page 0 — the log stays authoritative until the next checkpoint. *)
   if sb.Page.clean then append_txn st ~pages:[] { sb with Page.clean = false };
+  Metrics.set g_last_recovery_txns (float_of_int recovery.recovered_txns);
+  Metrics.set g_last_recovery_torn (float_of_int recovery.torn_bytes);
+  update_gauges st;
+  if not was_clean then
+    Events.emit Events.default "wal.recovery"
+      [
+        ("recovered_txns", Ssd.Json.Int recovery.recovered_txns);
+        ("torn_bytes", Ssd.Json.Int recovery.torn_bytes);
+      ];
   st
 
 (* ------------------------------------------------------------------ *)
@@ -414,6 +450,8 @@ let checkpoint st =
   if Hashtbl.length st.dirty > 0 || st.wal_size > Wal.header_size then begin
     Metrics.incr m_checkpoints;
     Trace.with_span "store.checkpoint" @@ fun () ->
+    let n_flushed = Hashtbl.length st.dirty in
+    let wal_dropped = st.wal_size - Wal.header_size in
     let pages = Hashtbl.fold (fun p () acc -> p :: acc) st.dirty [] in
     List.iter
       (fun p ->
@@ -429,7 +467,13 @@ let checkpoint st =
     (* Overlay pages now live on disk; drop them so reads exercise the
        pool again. *)
     Hashtbl.reset st.images;
-    st.txns_since_ckpt <- 0
+    st.txns_since_ckpt <- 0;
+    update_gauges st;
+    Events.emit Events.default "wal.checkpoint"
+      [
+        ("pages_flushed", Ssd.Json.Int n_flushed);
+        ("wal_bytes_dropped", Ssd.Json.Int wal_dropped);
+      ]
   end
 
 let commit st g =
@@ -471,6 +515,13 @@ let commit st g =
   st.dict <- dict;
   st.seg_payloads <- segs;
   st.txns_since_ckpt <- st.txns_since_ckpt + 1;
+  update_gauges st;
+  Events.emit Events.default "wal.commit"
+    [
+      ("lsn", Ssd.Json.Int lsn);
+      ("pages_logged", Ssd.Json.Int (List.length pages));
+      ("wal_backlog_bytes", Ssd.Json.Int (st.wal_size - Wal.header_size));
+    ];
   if st.txns_since_ckpt >= st.checkpoint_every then checkpoint st
 
 let close st =
@@ -481,7 +532,8 @@ let close st =
     checkpoint st;
     st.closed <- true;
     st.data.Vfs.close ();
-    st.wal.Vfs.close ()
+    st.wal.Vfs.close ();
+    update_gauges st
   end
 
 let compact st =

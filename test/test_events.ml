@@ -1,0 +1,120 @@
+(* The structured event log: ring semantics (ordering, overwrite,
+   drop accounting), JSONL rendering (one line per event, re-parses),
+   and sink behavior (called outside the lock, exceptions swallowed). *)
+
+module Metrics = Ssd_obs.Metrics
+module Events = Ssd_obs.Events
+
+let emit_and_tail () =
+  let r = Metrics.create () in
+  let log = Events.create ~registry:r ~capacity:8 () in
+  for i = 1 to 5 do
+    Events.emit log "test" [ ("i", Ssd.Json.Int i) ]
+  done;
+  let evs = Events.tail log in
+  Alcotest.(check int) "all five buffered" 5 (List.length evs);
+  Alcotest.(check (list int)) "oldest first, seq dense" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun e -> e.Events.seq) evs);
+  Alcotest.(check (list string)) "kinds preserved"
+    [ "test"; "test"; "test"; "test"; "test" ]
+    (List.map (fun e -> e.Events.kind) evs);
+  let last2 = Events.tail ~n:2 log in
+  Alcotest.(check (list int)) "tail n keeps the newest" [ 3; 4 ]
+    (List.map (fun e -> e.Events.seq) last2)
+
+let overwrite_counts_drops () =
+  let r = Metrics.create () in
+  let log = Events.create ~registry:r ~capacity:4 () in
+  for i = 1 to 10 do
+    Events.emit log "e" [ ("i", Ssd.Json.Int i) ]
+  done;
+  let evs = Events.tail ~n:100 log in
+  Alcotest.(check (list int)) "only the newest capacity survive" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Events.seq) evs);
+  Alcotest.(check int) "emitted counts all" 10
+    (Metrics.value (Metrics.counter ~registry:r "events.emitted"));
+  Alcotest.(check int) "overwrites counted as drops" 6
+    (Metrics.value (Metrics.counter ~registry:r "events.dropped"))
+
+let jsonl_is_one_line () =
+  let log = Events.create ~registry:(Metrics.create ()) () in
+  Events.emit log "slow_query"
+    [
+      ("tenant", Ssd.Json.String "alice");
+      ("latency_ms", Ssd.Json.Float 321.5);
+      ("plan", Ssd.Json.String "line\nbreaks {inside}");
+      ("est_rows", Ssd.Json.Null);
+    ];
+  match Events.tail log with
+  | [ e ] ->
+    let line = Events.render_jsonl e in
+    Alcotest.(check bool) "no embedded newline" true
+      (not (String.contains line '\n'));
+    (match Ssd.Json.parse line with
+    | Ssd.Json.Obj kvs ->
+      Alcotest.(check bool) "envelope fields present" true
+        (List.mem_assoc "seq" kvs && List.mem_assoc "ts" kvs
+        && List.mem_assoc "event" kvs);
+      Alcotest.(check bool) "payload fields survive" true
+        (List.assoc "tenant" kvs = Ssd.Json.String "alice"
+        && List.assoc "plan" kvs = Ssd.Json.String "line\nbreaks {inside}")
+    | _ -> Alcotest.fail "event line is not a JSON object")
+  | evs -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length evs))
+
+let tail_jsonl_parses () =
+  let log = Events.create ~registry:(Metrics.create ()) () in
+  for i = 1 to 3 do
+    Events.emit log "k" [ ("i", Ssd.Json.Int i) ]
+  done;
+  let body = Events.tail_jsonl log in
+  let lines =
+    String.split_on_char '\n' body |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event" 3 (List.length lines);
+  List.iter
+    (fun l ->
+      match Ssd.Json.parse l with
+      | Ssd.Json.Obj _ -> ()
+      | _ -> Alcotest.fail ("bad JSONL line: " ^ l))
+    lines
+
+let sink_receives_lines () =
+  let log = Events.create ~registry:(Metrics.create ()) () in
+  let got = Buffer.create 64 in
+  Events.set_sink log (Some (Buffer.add_string got));
+  Events.emit log "a" [];
+  Events.emit log "b" [];
+  let s = Buffer.contents got in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "sink saw both lines" 2 (List.length lines);
+  Alcotest.(check bool) "newline-terminated" true
+    (String.length s > 0 && s.[String.length s - 1] = '\n');
+  (* a raising sink must not break emitters, and the ring still records *)
+  Events.set_sink log (Some (fun _ -> failwith "disk full"));
+  Events.emit log "c" [];
+  Alcotest.(check int) "event buffered despite sink failure" 3
+    (List.length (Events.tail log));
+  Events.set_sink log None;
+  Events.emit log "d" [];
+  Alcotest.(check string) "removed sink sees nothing more" s (Buffer.contents got)
+
+let capacity_reset () =
+  let log = Events.create ~registry:(Metrics.create ()) ~capacity:4 () in
+  Events.emit log "old" [];
+  Events.set_capacity log 2;
+  Alcotest.(check int) "resize discards buffered events" 0
+    (List.length (Events.tail log));
+  Events.emit log "new" [];
+  match Events.tail log with
+  | [ e ] -> Alcotest.(check string) "new events flow after resize" "new" e.Events.kind
+  | _ -> Alcotest.fail "expected exactly the post-resize event"
+
+let tests =
+  [
+    Alcotest.test_case "emit and tail" `Quick emit_and_tail;
+    Alcotest.test_case "overwrite counts drops" `Quick overwrite_counts_drops;
+    Alcotest.test_case "jsonl is one line" `Quick jsonl_is_one_line;
+    Alcotest.test_case "tail jsonl parses" `Quick tail_jsonl_parses;
+    Alcotest.test_case "sink receives lines" `Quick sink_receives_lines;
+    Alcotest.test_case "capacity reset" `Quick capacity_reset;
+  ]

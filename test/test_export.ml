@@ -1,0 +1,247 @@
+(* OpenMetrics exposition: golden output for a known registry, the
+   round-trip property (every emitted line re-parses), and the scrape
+   invariants a real Prometheus would rely on — counters monotone across
+   successive scrapes under a concurrent workload, cumulative buckets
+   that never tear. *)
+
+module Metrics = Ssd_obs.Metrics
+module Export = Ssd_obs.Export
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let lines_of s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let sanitize () =
+  Alcotest.(check string) "dots become underscores" "ssd_serve_requests"
+    (Export.sanitize "serve.requests");
+  Alcotest.(check string) "already-clean names keep chars" "ssd_wal_bytes"
+    (Export.sanitize "wal_bytes");
+  Alcotest.(check string) "odd chars collapse to underscore" "ssd_a_b_c"
+    (Export.sanitize "a-b c");
+  Alcotest.(check string) "leading digit is guarded" "ssd__1x"
+    (Export.sanitize "1x")
+
+let split_and_escape () =
+  let base, raw = Export.split_labels {|serve.tenant.requests{tenant="a"}|} in
+  Alcotest.(check string) "base name" "serve.tenant.requests" base;
+  Alcotest.(check string) "raw label text (braces stripped)" {|tenant="a"|} raw;
+  let base2, raw2 = Export.split_labels "serve.requests" in
+  Alcotest.(check string) "no labels: base is the name" "serve.requests" base2;
+  Alcotest.(check string) "no labels: empty raw" "" raw2;
+  let rendered = Export.label_set [ ("k", "a\"b\\c\nd") ] in
+  Alcotest.(check string) "escaping backslash, quote, newline"
+    {|{k="a\"b\\c\nd"}|} rendered
+
+let golden () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter ~registry:r "serve.requests") 7;
+  Metrics.set (Metrics.gauge ~registry:r "store.dirty_pages") 3.;
+  Metrics.record_ns (Metrics.timer ~registry:r "eval.time") 1500.;
+  let h = Metrics.histogram ~registry:r "serve.latency_ns" in
+  List.iter (Metrics.observe h) [ 1.; 3.; 100. ];
+  let text = Export.openmetrics (Metrics.snapshot r) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition contains " ^ needle) true
+        (contains text needle))
+    [
+      "# TYPE ssd_serve_requests_total counter";
+      "ssd_serve_requests_total 7";
+      "# TYPE ssd_store_dirty_pages gauge";
+      "ssd_store_dirty_pages 3";
+      "# TYPE ssd_eval_time summary";
+      "ssd_eval_time_count 1";
+      "ssd_eval_time_sum 1500";
+      "# TYPE ssd_serve_latency_ns histogram";
+      {|ssd_serve_latency_ns_bucket{le="1"} 1|};
+      {|ssd_serve_latency_ns_bucket{le="+Inf"} 3|};
+      "ssd_serve_latency_ns_sum 104";
+      "ssd_serve_latency_ns_count 3";
+    ];
+  (* cumulative buckets: each le bound's count includes the smaller ones *)
+  Alcotest.(check bool) "le=4 bucket is cumulative" true
+    (contains text {|ssd_serve_latency_ns_bucket{le="4"} 2|});
+  (* terminator present, exactly once, last *)
+  let ls = lines_of text in
+  Alcotest.(check string) "ends with # EOF" "# EOF" (List.nth ls (List.length ls - 1));
+  Alcotest.(check int) "single EOF" 1
+    (List.length (List.filter (( = ) "# EOF") ls))
+
+let labeled_families_merge () =
+  let r = Metrics.create () in
+  let t tenant =
+    Metrics.counter ~registry:r
+      ("serve.tenant.requests" ^ Export.label_set [ ("tenant", tenant) ])
+  in
+  Metrics.add (t "alice") 2;
+  Metrics.add (t "bob") 5;
+  let text = Export.openmetrics (Metrics.snapshot r) in
+  let ls = lines_of text in
+  Alcotest.(check int) "one TYPE line for the family" 1
+    (List.length
+       (List.filter
+          (( = ) "# TYPE ssd_serve_tenant_requests_total counter")
+          ls));
+  match Export.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    let samples =
+      List.filter
+        (fun s -> s.Export.family = "ssd_serve_tenant_requests_total")
+        (Export.samples parsed)
+    in
+    Alcotest.(check int) "two labeled series" 2 (List.length samples);
+    let value_of tenant =
+      match
+        List.find_opt (fun s -> s.Export.labels = [ ("tenant", tenant) ]) samples
+      with
+      | Some s -> s.Export.value
+      | None -> Alcotest.fail ("missing tenant series " ^ tenant)
+    in
+    Alcotest.(check (float 0.0)) "alice" 2. (value_of "alice");
+    Alcotest.(check (float 0.0)) "bob" 5. (value_of "bob");
+    Alcotest.(check (float 0.0)) "counter_total sums the series" 7.
+      (Export.counter_total parsed "ssd_serve_tenant_requests_total")
+
+let round_trip () =
+  (* Everything we emit — on a registry with every instrument kind,
+     awkward label values included — must re-parse line by line. *)
+  let r = Metrics.create () in
+  Metrics.incr
+    (Metrics.counter ~registry:r
+       ("serve.tenant.bytes" ^ Export.label_set [ ("tenant", "we\"ird\\t\nen") ]));
+  Metrics.set (Metrics.gauge ~registry:r "store.clean") 1.;
+  Metrics.record_ns (Metrics.timer ~registry:r "t.t") 10.;
+  Metrics.observe (Metrics.histogram ~registry:r "h.h") 9.;
+  let text = Export.openmetrics (Metrics.snapshot r) in
+  List.iter
+    (fun l ->
+      match Export.parse_line l with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "line %S: %s" l e))
+    (lines_of text);
+  (match Export.parse text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* the escaped label value survives the round trip *)
+  match Export.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    let s =
+      List.find
+        (fun s -> s.Export.family = "ssd_serve_tenant_bytes_total")
+        (Export.samples parsed)
+    in
+    Alcotest.(check (list (pair string string))) "label value unescaped"
+      [ ("tenant", "we\"ird\\t\nen") ]
+      s.Export.labels
+
+let parse_rejects_garbage () =
+  (match Export.parse_line "ssd_x_total" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "value-less sample accepted");
+  (match Export.parse_line "ssd_x_total notanumber" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric value accepted");
+  (match Export.parse_line "# TYPE ssd_x frobnicator" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown TYPE kind accepted");
+  match Export.parse "ssd_ok 1\nssd_bad" with
+  | Error e -> Alcotest.(check bool) "error names the bad line" true (contains e "ssd_bad")
+  | Ok _ -> Alcotest.fail "document with a bad line accepted"
+
+(* The scrape invariants under a concurrent workload: counters never go
+   backwards between successive scrapes, and within every single scrape
+   the histogram's +Inf bucket equals its _count (a torn snapshot would
+   break that first). *)
+let monotone_under_load () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "load.requests" in
+  let h = Metrics.histogram ~registry:r "load.latency" in
+  let stop = Atomic.make false in
+  let worker =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          incr i;
+          Metrics.incr c;
+          Metrics.observe h (float_of_int (1 + (!i mod 1000)));
+          if !i mod 64 = 0 then Domain.cpu_relax ()
+        done)
+  in
+  let prev = ref 0. in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join worker)
+    (fun () ->
+      for _scrape = 1 to 50 do
+        let text = Export.openmetrics (Metrics.snapshot r) in
+        match Export.parse text with
+        | Error e -> Alcotest.fail e
+        | Ok parsed ->
+          let total = Export.counter_total parsed "ssd_load_requests_total" in
+          if total < !prev then
+            Alcotest.fail
+              (Printf.sprintf "counter went backwards: %g -> %g" !prev total);
+          prev := total;
+          let samples = Export.samples parsed in
+          let bucket_inf =
+            List.find_opt
+              (fun s ->
+                s.Export.family = "ssd_load_latency_bucket"
+                && s.Export.labels = [ ("le", "+Inf") ])
+              samples
+          and count =
+            List.find_opt
+              (fun s -> s.Export.family = "ssd_load_latency_count")
+              samples
+          in
+          (match (bucket_inf, count) with
+          | Some b, Some n ->
+            if b.Export.value <> n.Export.value then
+              Alcotest.fail
+                (Printf.sprintf "torn histogram: +Inf=%g count=%g"
+                   b.Export.value n.Export.value)
+          | _ -> Alcotest.fail "histogram families missing under load");
+          (* cumulative buckets are monotone within the scrape *)
+          let buckets =
+            List.filter
+              (fun s -> s.Export.family = "ssd_load_latency_bucket")
+              samples
+          in
+          ignore
+            (List.fold_left
+               (fun acc s ->
+                 if s.Export.value < acc then
+                   Alcotest.fail "cumulative buckets decreased";
+                 s.Export.value)
+               0. buckets)
+      done)
+
+let json_matches_snapshot () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter ~registry:r "a.c") 4;
+  let doc = Export.json (Metrics.snapshot r) in
+  match Ssd.Json.parse doc with
+  | Ssd.Json.Obj kvs ->
+    Alcotest.(check bool) "has the registry sections" true
+      (List.mem_assoc "counters" kvs && List.mem_assoc "gauges" kvs
+      && List.mem_assoc "timers" kvs
+      && List.mem_assoc "histograms" kvs)
+  | _ -> Alcotest.fail "json exposition is not an object"
+
+let tests =
+  [
+    Alcotest.test_case "sanitize" `Quick sanitize;
+    Alcotest.test_case "label split and escape" `Quick split_and_escape;
+    Alcotest.test_case "golden openmetrics" `Quick golden;
+    Alcotest.test_case "labeled families merge" `Quick labeled_families_merge;
+    Alcotest.test_case "round trip" `Quick round_trip;
+    Alcotest.test_case "parse rejects garbage" `Quick parse_rejects_garbage;
+    Alcotest.test_case "monotone under concurrent load" `Quick monotone_under_load;
+    Alcotest.test_case "json exposition" `Quick json_matches_snapshot;
+  ]
