@@ -865,6 +865,79 @@ let serve_cmd data store_path socket_path tcp_port host workers shed_at pressure
   if stats then dump_stats stats_format
 
 (* ------------------------------------------------------------------ *)
+(* subscribe                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A long-lived protocol client: SUBSCRIBE once, then stream the pushed
+   delta frames.  Each frame is printed as one "== STATUS DETAIL" line
+   followed by its body, flushed — line-oriented enough for scripts and
+   the smoke tests to consume. *)
+let subscribe_cmd socket_path tcp_port host lang count q =
+  let module Proto = Ssd_serve.Proto in
+  let domain, sockaddr =
+    match tcp_port with
+    | Some port ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+    | None -> (Unix.PF_UNIX, Unix.ADDR_UNIX socket_path)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd sockaddr;
+      let opts = { Proto.default_options with Proto.lang } in
+      let req =
+        Proto.render_request { Proto.verb = Proto.Subscribe; opts; body = q } ^ "\n"
+      in
+      let b = Bytes.unsafe_of_string req in
+      let rec send off =
+        if off < Bytes.length b then
+          send (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      send 0;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let pos = ref 0 in
+      let deltas = ref 0 in
+      let stop = ref false in
+      let print_frame (r : Proto.response) =
+        Printf.printf "== %s %s\n%s%!" (Proto.status_to_string r.Proto.status)
+          r.Proto.detail r.Proto.body
+      in
+      let rec pump () =
+        if !stop then ()
+        else
+          match Proto.parse_response (Buffer.contents buf) !pos with
+          | Result.Ok (r, next) ->
+            pos := next;
+            print_frame r;
+            (match r.Proto.status with
+            | Proto.Error ->
+              stop := true;
+              exit 1
+            | Proto.Delta ->
+              incr deltas;
+              if count > 0 && !deltas >= count then stop := true
+            | _ -> ());
+            pump ()
+          | Result.Error `Incomplete -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> stop := true
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              pump ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ())
+          | Result.Error (`Malformed reason) ->
+            Printf.eprintf "ssdql subscribe: malformed frame: %s\n%!" reason;
+            exit 1
+      in
+      pump ())
+
+(* ------------------------------------------------------------------ *)
 (* top                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1458,6 +1531,35 @@ let serve_t =
           $ max_requests $ trace_out_arg $ stats $ stats_format $ admin
           $ slow_query_ms $ events_out)
 
+let subscribe_t =
+  let socket =
+    Arg.(value & opt string "/tmp/ssdql.sock" & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket of the running ssdql serve (ignored with --port).")
+  in
+  let port =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"N"
+           ~doc:"Connect over TCP instead of a Unix socket.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+           ~doc:"Host for --port.")
+  in
+  let lang =
+    Arg.(value & opt string "unql" & info [ "l"; "lang" ] ~docv:"LANG"
+           ~doc:"Subscription language: unql or datalog.")
+  in
+  let count =
+    Arg.(value & opt int 0 & info [ "count"; "n" ] ~docv:"N"
+           ~doc:"Exit after N pushed delta frames (default 0: stream until \
+                 the server closes the connection).")
+  in
+  let q = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "subscribe"
+       ~doc:"Register a live query on a running ssdql serve and stream the \
+             delta frames pushed when committed updates change its result")
+    Term.(const subscribe_cmd $ socket $ port $ host $ lang $ count $ q)
+
 let top_t =
   let addr =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
@@ -1547,6 +1649,7 @@ let () =
             dist_t;
             profile_t;
             serve_t;
+            subscribe_t;
             top_t;
             store_t;
           ]))

@@ -1,0 +1,74 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+
+type edge = {
+  src : int;
+  lab : Graph.edge_label;
+  dst : int;
+}
+
+type t = {
+  added : edge list;
+  removed : edge list;
+  old_nodes : int;
+  new_nodes : int;
+  root_moved : bool;
+  new_has_eps : bool;
+}
+
+let diff old_g new_g =
+  (* Signed multiset count per edge: +1 for each occurrence in the new
+     graph, -1 for each in the old; surviving positives are additions,
+     negatives removals. *)
+  let counts : (edge, int) Hashtbl.t = Hashtbl.create 256 in
+  let bump e d =
+    let c = d + Option.value ~default:0 (Hashtbl.find_opt counts e) in
+    if c = 0 then Hashtbl.remove counts e else Hashtbl.replace counts e c
+  in
+  let new_has_eps = ref false in
+  Graph.fold_edges
+    (fun () src lab dst ->
+      (match lab with Graph.Eps -> new_has_eps := true | Graph.Lab _ -> ());
+      bump { src; lab; dst } 1)
+    () new_g;
+  Graph.fold_edges (fun () src lab dst -> bump { src; lab; dst } (-1)) () old_g;
+  let added = ref [] and removed = ref [] in
+  Hashtbl.iter
+    (fun e c ->
+      if c > 0 then
+        for _ = 1 to c do
+          added := e :: !added
+        done
+      else
+        for _ = 1 to -c do
+          removed := e :: !removed
+        done)
+    counts;
+  {
+    added = !added;
+    removed = !removed;
+    old_nodes = Graph.n_nodes old_g;
+    new_nodes = Graph.n_nodes new_g;
+    root_moved = Graph.root old_g <> Graph.root new_g;
+    new_has_eps = !new_has_eps;
+  }
+
+let is_empty d = d.added = [] && d.removed = []
+
+let monotone d =
+  d.removed = [] && (not d.root_moved) && d.new_nodes >= d.old_nodes
+
+let touched_labels d =
+  let exception Top in
+  let collect acc es =
+    List.fold_left
+      (fun acc e ->
+        match e.lab with Graph.Eps -> raise Top | Graph.Lab l -> l :: acc)
+      acc es
+  in
+  match collect (collect [] d.added) d.removed with
+  | labs -> Some (List.sort_uniq Label.compare labs)
+  | exception Top -> None
+
+let n_added d = List.length d.added
+let n_removed d = List.length d.removed

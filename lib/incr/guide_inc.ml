@@ -1,0 +1,152 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Dataguide = Ssd_schema.Dataguide
+
+module Label_map = Map.Make (struct
+  type t = Label.t
+
+  let compare = Label.compare
+end)
+
+(* A live subset-construction state: its target set (sorted, the table
+   key) and its transitions, each to the key of the child state. *)
+type state = {
+  set : int list;
+  mutable trans : int list Label_map.t;
+}
+
+type t = {
+  states : (int list, state) Hashtbl.t;
+  member : (int, int list list) Hashtbl.t;
+      (* data node -> keys of states containing it; rebuilt on prune *)
+  root_key : int list;
+}
+
+let n_states t = Hashtbl.length t.states
+
+let register t s =
+  List.iter
+    (fun u ->
+      let ks = Option.value ~default:[] (Hashtbl.find_opt t.member u) in
+      Hashtbl.replace t.member u (s.set :: ks))
+    s.set
+
+(* Transitions of a target set against the current graph: ε-closed
+   labeled successors of the whole set, grouped by label — exactly
+   [Dataguide.build]'s by_label grouping, including the sort_uniq that
+   makes child keys canonical. *)
+let compute_trans g set =
+  let by_label =
+    List.fold_left
+      (fun m u ->
+        List.fold_left
+          (fun m (l, v) ->
+            Label_map.update l
+              (fun o -> Some (v :: Option.value ~default:[] o))
+              m)
+          m (Graph.labeled_succ g u))
+      Label_map.empty set
+  in
+  Label_map.map (List.sort_uniq compare) by_label
+
+(* Create-and-explore a state for a target set not yet in the table. *)
+let rec ensure t g key =
+  if not (Hashtbl.mem t.states key) then begin
+    let s = { set = key; trans = Label_map.empty } in
+    Hashtbl.add t.states key s;
+    register t s;
+    let tr = compute_trans g key in
+    s.trans <- tr;
+    Label_map.iter (fun _ child -> ensure t g child) tr
+  end
+
+let of_guide guide =
+  let gg = Dataguide.graph guide in
+  let key_of u = List.sort_uniq compare (Dataguide.targets guide u) in
+  let t =
+    {
+      states = Hashtbl.create 64;
+      member = Hashtbl.create 256;
+      root_key = key_of (Graph.root gg);
+    }
+  in
+  for u = 0 to Graph.n_nodes gg - 1 do
+    let s = { set = key_of u; trans = Label_map.empty } in
+    Hashtbl.add t.states s.set s;
+    register t s
+  done;
+  for u = 0 to Graph.n_nodes gg - 1 do
+    let s = Hashtbl.find t.states (key_of u) in
+    s.trans <-
+      List.fold_left
+        (fun m (l, v) -> Label_map.add l (key_of v) m)
+        Label_map.empty
+        (Graph.labeled_succ gg u)
+  done;
+  t
+
+let of_graph g = of_guide (Dataguide.build g)
+
+let apply t g ~touched =
+  (* States whose target set meets the touched region are the only ones
+     whose by_label grouping can have changed. *)
+  let affected : (int list, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun key ->
+          if Hashtbl.mem t.states key then Hashtbl.replace affected key ())
+        (Option.value ~default:[] (Hashtbl.find_opt t.member u)))
+    touched;
+  Hashtbl.iter
+    (fun key () ->
+      let s = Hashtbl.find t.states key in
+      let tr = compute_trans g s.set in
+      s.trans <- tr;
+      Label_map.iter (fun _ child -> ensure t g child) tr)
+    affected
+
+let materialize t =
+  (* Replay Dataguide.build's numbering: intern the root set, then
+     depth-first per state in sorted-label order, interning each child
+     before adding the edge and recursing into fresh ones. *)
+  let b = Graph.Builder.create () in
+  let ids : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let acc = ref [] in
+  let intern key =
+    match Hashtbl.find_opt ids key with
+    | Some id -> (id, false)
+    | None ->
+      let id = Graph.Builder.add_node b in
+      Hashtbl.add ids key id;
+      acc := (id, key) :: !acc;
+      (id, true)
+  in
+  let rec emit key id =
+    let s = Hashtbl.find t.states key in
+    Label_map.iter
+      (fun l child ->
+        let cid, fresh = intern child in
+        Graph.Builder.add_edge b id l cid;
+        if fresh then emit child cid)
+      s.trans
+  in
+  let rid, _ = intern t.root_key in
+  Graph.Builder.set_root b rid;
+  emit t.root_key rid;
+  let gg = Graph.Builder.finish b in
+  let targets = Array.make (Graph.n_nodes gg) [] in
+  List.iter (fun (id, key) -> targets.(id) <- key) !acc;
+  (* Prune states retargeting left behind, and rebuild the member index
+     so later applies don't fan out to dead states. *)
+  let dead =
+    Hashtbl.fold
+      (fun key _ l -> if Hashtbl.mem ids key then l else key :: l)
+      t.states []
+  in
+  if dead <> [] then begin
+    List.iter (Hashtbl.remove t.states) dead;
+    Hashtbl.reset t.member;
+    Hashtbl.iter (fun _ s -> register t s) t.states
+  end;
+  Dataguide.make gg targets

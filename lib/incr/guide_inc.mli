@@ -1,0 +1,46 @@
+(** Incremental strong-DataGuide maintenance (insert-only fast path).
+
+    {!Dataguide.build} is a subset construction: guide states are sets
+    of data nodes, transitions group the set's ε-closed labeled
+    successors by label.  This module keeps that construction {e live}:
+    states are stored in a table keyed by their (sorted) target set,
+    with an inverted member index from data node to the states that
+    contain it.  When edges are inserted, only the states whose target
+    sets intersect the {e touched} region — the reverse-ε-closure of the
+    added edges' sources — can change transitions; those are recomputed
+    against the new graph and any newly reachable target sets are
+    explored from scratch.  Everything else is untouched, so maintenance
+    cost tracks the delta, not the database (Goldman & Widom describe
+    the same incremental strategy for their DataGuides).
+
+    Insert-only means transitions never disappear and target sets only
+    ever grow or appear; a state can become unreachable (its set was
+    retargeted to a larger one), which {!materialize} prunes.
+
+    {!materialize} replays [build]'s canonical depth-first numbering
+    over the live state table, so the resulting guide is byte-identical
+    ({!Dataguide.to_bytes}) to a fresh [build] of the updated graph —
+    the invariant the differential suite ([test_incr]) and the store's
+    crash fuzzer check. *)
+
+type t
+
+(** Seed the live table from a guide of the current graph. *)
+val of_guide : Ssd_schema.Dataguide.t -> t
+
+(** [of_graph g] = [of_guide (Dataguide.build g)]. *)
+val of_graph : Ssd.Graph.t -> t
+
+(** [apply t g ~touched] — [g] is the {e new} graph (old graph plus
+    inserted edges; node ids preserved), [touched] the data nodes whose
+    ε-closed labeled successors may have changed (the reverse-ε-closure
+    of the added edges' sources).  Only valid for monotone deltas
+    ({!Delta.monotone}); callers fall back to {!of_graph} otherwise. *)
+val apply : t -> Ssd.Graph.t -> touched:int list -> unit
+
+(** Canonically renumber the reachable states into a {!Ssd_schema.Dataguide.t}
+    (byte-identical to a fresh build) and drop unreachable states. *)
+val materialize : t -> Ssd_schema.Dataguide.t
+
+(** Live states (including any not yet pruned). *)
+val n_states : t -> int

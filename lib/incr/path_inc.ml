@@ -1,0 +1,54 @@
+module Graph = Ssd.Graph
+module Label = Ssd.Label
+module Path_index = Ssd_index.Path_index
+
+type t = {
+  index : Path_index.t;
+  paths_to : (int, Label.t list list) Hashtbl.t;
+      (* node -> indexed paths of length < depth reaching it, i.e. the
+         pairs that may still be extended by a new outgoing edge *)
+}
+
+let of_index idx =
+  let d = Path_index.depth idx in
+  let paths_to = Hashtbl.create 1024 in
+  Path_index.fold_pairs
+    (fun p nodes () ->
+      if List.length p < d then
+        List.iter
+          (fun v ->
+            let ps = Option.value ~default:[] (Hashtbl.find_opt paths_to v) in
+            Hashtbl.replace paths_to v (p :: ps))
+          nodes)
+    idx ();
+  { index = idx; paths_to }
+
+let of_graph ~depth g = of_index (Path_index.build ~depth g)
+let index t = t.index
+
+let apply t g ~touched =
+  let d = Path_index.depth t.index in
+  let q = Queue.create () in
+  (* Seed: every extendable pair reaching a touched node must re-walk
+     that node's (possibly changed) successors. *)
+  List.iter
+    (fun w ->
+      List.iter
+        (fun p -> Queue.add (p, w) q)
+        (Option.value ~default:[] (Hashtbl.find_opt t.paths_to w)))
+    touched;
+  while not (Queue.is_empty q) do
+    let p, u = Queue.pop q in
+    List.iter
+      (fun (l, v) ->
+        let p' = p @ [ l ] in
+        if Path_index.add_pair t.index p' v then
+          if List.length p' < d then begin
+            let ps =
+              Option.value ~default:[] (Hashtbl.find_opt t.paths_to v)
+            in
+            Hashtbl.replace t.paths_to v (p' :: ps);
+            Queue.add (p', v) q
+          end)
+      (Graph.labeled_succ g u)
+  done

@@ -1,0 +1,26 @@
+(** Incremental bounded-depth path-index maintenance (insert-only).
+
+    The {!Ssd_index.Path_index} table is a set of (root label-path,
+    reached node) pairs up to the depth bound.  Inserting edges only
+    ever {e adds} pairs, and every new pair extends an existing one
+    through a changed node, so maintenance is a worklist fixpoint seeded
+    at the touched region: for each touched node, re-extend every
+    indexed path that reaches it; each genuinely new pair is recorded
+    and extended in turn.  Work is proportional to the new pairs plus
+    the touched frontier — not to the database. *)
+
+type t
+
+(** Adopt an index (it is mutated in place by {!apply}) and build the
+    reverse map from node to the extendable paths reaching it. *)
+val of_index : Ssd_index.Path_index.t -> t
+
+val of_graph : depth:int -> Ssd.Graph.t -> t
+
+(** The maintained index (same object as passed to {!of_index}). *)
+val index : t -> Ssd_index.Path_index.t
+
+(** [apply t g ~touched] — [g] is the new graph, [touched] the nodes
+    whose ε-closed labeled successors may have changed.  Monotone
+    deltas only ({!Delta.monotone}). *)
+val apply : t -> Ssd.Graph.t -> touched:int list -> unit

@@ -1,0 +1,193 @@
+module Graph = Ssd.Graph
+module Value_index = Ssd_index.Value_index
+module Text_index = Ssd_index.Text_index
+module Path_index = Ssd_index.Path_index
+module Dataguide = Ssd_schema.Dataguide
+module Metrics = Ssd_obs.Metrics
+module Events = Ssd_obs.Events
+
+let m_deltas = Metrics.counter "incr.deltas"
+let m_fast = Metrics.counter "incr.fast_path"
+let m_fallback = Metrics.counter "incr.fallbacks"
+let m_added = Metrics.counter "incr.edges_added"
+let m_removed = Metrics.counter "incr.edges_removed"
+let m_touched = Metrics.counter "incr.touched_nodes"
+let m_maintain = Metrics.timer "incr.maintain"
+let g_states = Metrics.gauge "incr.guide_states"
+
+type t = {
+  path_depth : int;
+  mutable graph : Graph.t;
+  mutable vindex : Value_index.t option;
+  mutable tindex : Text_index.t option;
+  mutable pindex : Path_inc.t option;
+  mutable gindex : Guide_inc.t option;
+  mutable rev_eps : (int, int list) Hashtbl.t;
+      (* reverse ε-adjacency of the current graph, for touched-region
+         computation; grown in place on monotone advances *)
+  mutable guide_memo : Dataguide.t option;
+}
+
+type outcome =
+  | Fast_path
+  | Rebuilt
+
+let build_rev_eps g =
+  let tbl = Hashtbl.create 64 in
+  Graph.fold_edges
+    (fun () src lab dst ->
+      match lab with
+      | Graph.Eps ->
+        let ps = Option.value ~default:[] (Hashtbl.find_opt tbl dst) in
+        Hashtbl.replace tbl dst (src :: ps)
+      | Graph.Lab _ -> ())
+    () g;
+  tbl
+
+(* Nodes whose ε-closed labeled successors may differ after the insert:
+   everything that ε-reaches an added edge's source. *)
+let rev_eps_closure rev_eps sources =
+  let seen = Hashtbl.create 16 in
+  let q = Queue.create () in
+  List.iter
+    (fun u ->
+      if not (Hashtbl.mem seen u) then begin
+        Hashtbl.replace seen u ();
+        Queue.add u q
+      end)
+    sources;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun p ->
+        if not (Hashtbl.mem seen p) then begin
+          Hashtbl.replace seen p ();
+          Queue.add p q
+        end)
+      (Option.value ~default:[] (Hashtbl.find_opt rev_eps u))
+  done;
+  Hashtbl.fold (fun u () l -> u :: l) seen []
+
+let create ~path_depth ~names ?vindex ?tindex ?pindex ?guide g =
+  let want n = List.mem n names in
+  let take name provided build =
+    if want name then
+      Some (match provided with Some x -> x | None -> build ())
+    else None
+  in
+  {
+    path_depth;
+    graph = g;
+    vindex = take "value" vindex (fun () -> Value_index.build g);
+    tindex = take "text" tindex (fun () -> Text_index.build g);
+    pindex =
+      take "path"
+        (Option.map Path_inc.of_index pindex)
+        (fun () -> Path_inc.of_graph ~depth:path_depth g);
+    gindex =
+      take "guide"
+        (Option.map Guide_inc.of_guide guide)
+        (fun () -> Guide_inc.of_graph g);
+    rev_eps = build_rev_eps g;
+    guide_memo = None;
+  }
+
+let graph t = t.graph
+
+let rebuild t g =
+  t.graph <- g;
+  t.rev_eps <- build_rev_eps g;
+  if Option.is_some t.vindex then t.vindex <- Some (Value_index.build g);
+  if Option.is_some t.tindex then t.tindex <- Some (Text_index.build g);
+  if Option.is_some t.pindex then
+    t.pindex <- Some (Path_inc.of_graph ~depth:t.path_depth g);
+  if Option.is_some t.gindex then t.gindex <- Some (Guide_inc.of_graph g);
+  t.guide_memo <- None
+
+let fast_path t g (d : Delta.t) =
+  (* Extend the reverse ε-adjacency first: the touched region must be
+     the reverse ε-closure in the *new* graph. *)
+  List.iter
+    (fun (e : Delta.edge) ->
+      match e.lab with
+      | Graph.Eps ->
+        let ps = Option.value ~default:[] (Hashtbl.find_opt t.rev_eps e.dst) in
+        Hashtbl.replace t.rev_eps e.dst (e.src :: ps)
+      | Graph.Lab _ -> ())
+    d.added;
+  let touched =
+    rev_eps_closure t.rev_eps
+      (List.map (fun (e : Delta.edge) -> e.src) d.added)
+  in
+  (match t.vindex with
+  | None -> ()
+  | Some vi ->
+    List.iter
+      (fun (e : Delta.edge) ->
+        match e.lab with
+        | Graph.Lab l -> Value_index.add vi l { Value_index.src = e.src; dst = e.dst }
+        | Graph.Eps -> ())
+      d.added);
+  (match t.tindex with
+  | None -> ()
+  | Some ti ->
+    let added =
+      List.filter_map
+        (fun (e : Delta.edge) ->
+          match e.lab with
+          | Graph.Lab l -> Some { Text_index.src = e.src; label = l; dst = e.dst }
+          | Graph.Eps -> None)
+        d.added
+    in
+    t.tindex <- Some (Text_index.apply ti ~added ~removed:[]));
+  (match t.pindex with None -> () | Some pi -> Path_inc.apply pi g ~touched);
+  (match t.gindex with None -> () | Some gi -> Guide_inc.apply gi g ~touched);
+  t.graph <- g;
+  t.guide_memo <- None;
+  List.length touched
+
+let advance t g (d : Delta.t) =
+  Metrics.incr m_deltas;
+  Metrics.add m_added (Delta.n_added d);
+  Metrics.add m_removed (Delta.n_removed d);
+  let outcome, touched =
+    if Delta.monotone d then begin
+      let n = Metrics.time m_maintain (fun () -> fast_path t g d) in
+      Metrics.incr m_fast;
+      Metrics.add m_touched n;
+      (Fast_path, n)
+    end
+    else begin
+      Metrics.time m_maintain (fun () -> rebuild t g);
+      Metrics.incr m_fallback;
+      (Rebuilt, Graph.n_nodes g)
+    end
+  in
+  (match t.gindex with
+  | Some gi -> Metrics.set g_states (float_of_int (Guide_inc.n_states gi))
+  | None -> ());
+  Events.emit Events.default "incr.maintain"
+    [
+      ("mode", Ssd.Json.String (match outcome with
+         | Fast_path -> "fast_path"
+         | Rebuilt -> "rebuild"));
+      ("added", Ssd.Json.Int (Delta.n_added d));
+      ("removed", Ssd.Json.Int (Delta.n_removed d));
+      ("touched", Ssd.Json.Int touched);
+    ];
+  outcome
+
+let value_index t = t.vindex
+let text_index t = t.tindex
+let path_index t = Option.map Path_inc.index t.pindex
+
+let dataguide t =
+  match t.guide_memo with
+  | Some dg -> Some dg
+  | None -> (
+    match t.gindex with
+    | None -> None
+    | Some gi ->
+      let dg = Guide_inc.materialize gi in
+      t.guide_memo <- Some dg;
+      Some dg)

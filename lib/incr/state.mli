@@ -1,0 +1,60 @@
+(** The incremental maintainer: one live state for all derived
+    structures of a graph.
+
+    A {!t} owns the current graph version plus whichever of the four
+    persistent index structures the caller asked for (the store's
+    segment set): value index, text index, bounded-depth path index and
+    strong DataGuide.  {!advance} moves the state to a new graph version
+    given its {!Delta.t}: monotone deltas take the insert-only fast
+    paths (work proportional to the change); anything else rebuilds the
+    affected structures from scratch — same results, honestly accounted
+    on the [incr.fallbacks] counter.
+
+    The maintained structures are byte-identical ({!to_bytes}) to fresh
+    builds over the current graph at every step — the invariant the
+    differential suite and the store crash fuzzer check — so a store
+    can serialize them into segments with no rebuild on the commit
+    path.
+
+    Telemetry: counters [incr.deltas], [incr.fast_path],
+    [incr.fallbacks], [incr.edges_added], [incr.edges_removed],
+    [incr.touched_nodes], the [incr.maintain] timer, the
+    [incr.guide_states] gauge, and an [incr.maintain] event per
+    advance. *)
+
+type t
+
+type outcome =
+  | Fast_path  (** insert-only maintenance ran *)
+  | Rebuilt  (** non-monotone delta: structures rebuilt *)
+
+(** [create ~path_depth ~names g] — maintain the structures named in
+    [names] (any of ["value"], ["text"], ["path"], ["guide"]; unknown
+    names are ignored).  Structures the caller already holds for [g]
+    can be donated ([?vindex] … [?guide]) and are adopted without a
+    rebuild; the value and path indexes are then mutated in place by
+    {!advance}. *)
+val create :
+  path_depth:int ->
+  names:string list ->
+  ?vindex:Ssd_index.Value_index.t ->
+  ?tindex:Ssd_index.Text_index.t ->
+  ?pindex:Ssd_index.Path_index.t ->
+  ?guide:Ssd_schema.Dataguide.t ->
+  Ssd.Graph.t ->
+  t
+
+(** The graph version the structures currently describe. *)
+val graph : t -> Ssd.Graph.t
+
+(** [advance t g delta] — [delta] must be [Delta.diff (graph t) g] (or
+    an equivalent hand-built delta). *)
+val advance : t -> Ssd.Graph.t -> Delta.t -> outcome
+
+(** Current structures ([None] when not in [names]).  The guide is
+    materialized on demand and memoized until the next {!advance}. *)
+val value_index : t -> Ssd_index.Value_index.t option
+
+val text_index : t -> Ssd_index.Text_index.t option
+val path_index : t -> Ssd_index.Path_index.t option
+val dataguide : t -> Ssd_schema.Dataguide.t option

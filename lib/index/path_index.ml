@@ -83,6 +83,29 @@ let depth idx = idx.depth
 let n_paths idx = Hashtbl.length idx.table
 
 (* ------------------------------------------------------------------ *)
+(* Incremental maintenance (lib/incr)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fold_pairs f idx acc = Hashtbl.fold f idx.table acc
+
+(* Add one (path, node) pair; true if it was new.  Node lists lose the
+   sorted-ness a fresh [build] leaves ([Int_set.elements]) — harmless:
+   [find] answers sets and [to_bytes] re-sorts canonically. *)
+let add_pair idx path node =
+  match Hashtbl.find_opt idx.table path with
+  | None ->
+    Hashtbl.replace idx.table path [ node ];
+    true
+  | Some nodes ->
+    if List.mem node nodes then false
+    else begin
+      Hashtbl.replace idx.table path (node :: nodes);
+      true
+    end
+
+let copy idx = { depth = idx.depth; table = Hashtbl.copy idx.table }
+
+(* ------------------------------------------------------------------ *)
 (* Canonical serialization (persistent store segments)                  *)
 (* ------------------------------------------------------------------ *)
 

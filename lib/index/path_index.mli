@@ -24,6 +24,24 @@ val n_paths : t -> int
     root. *)
 val traverse : Ssd.Graph.t -> Ssd.Label.t list -> int list
 
+(** {2 Incremental maintenance}
+
+    Pair-level access for the delta maintainer (lib/incr): the table is
+    the set of (root label path, reached node) pairs, and an edge insert
+    only ever {e adds} pairs, which [add_pair] threads in place.
+    Byte-identity with a fresh build is preserved — {!to_bytes} sorts
+    canonically. *)
+
+(** Fold over every (path, node list) entry of the table (includes the
+    empty path mapped to the root). *)
+val fold_pairs : (Ssd.Label.t list -> int list -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Add one pair; [true] if it was not already present. *)
+val add_pair : t -> Ssd.Label.t list -> int -> bool
+
+(** Independent copy. *)
+val copy : t -> t
+
 (** Canonical bytes (paths and node lists sorted): indexes over the
     same data serialize identically. *)
 val to_bytes : t -> bytes

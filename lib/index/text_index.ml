@@ -115,6 +115,85 @@ let find_word idx w =
 
 let n_entries idx = Array.length idx.sorted
 
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance (lib/incr)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply an edge-level delta: removed occurrences leave the entry array
+   and the word table (one matching entry each — entries are a
+   multiset), added ones are merged in.  The array merge keeps the
+   by-text sort invariant without re-tokenizing the whole corpus, which
+   is where a full [build] spends its time.  Canonical bytes re-sort by
+   the full entry order, so maintenance is invisible to byte-identity. *)
+let apply idx ~added ~removed =
+  let entry_of o = Option.map (fun text -> (text, o)) (text_of o.label) in
+  let added = List.filter_map entry_of added in
+  let removed = List.filter_map entry_of removed in
+  let words = Hashtbl.copy idx.words in
+  let drop_word_occ w occ =
+    match Hashtbl.find_opt words w with
+    | None -> ()
+    | Some occs ->
+      let rec drop_one = function
+        | [] -> []
+        | o :: rest -> if o = occ then rest else o :: drop_one rest
+      in
+      (match drop_one occs with
+      | [] -> Hashtbl.remove words w
+      | occs -> Hashtbl.replace words w occs)
+  in
+  List.iter
+    (fun (text, occ) ->
+      List.iter (fun w -> drop_word_occ w occ) (List.sort_uniq String.compare (tokenize text)))
+    removed;
+  List.iter
+    (fun (text, occ) ->
+      List.iter
+        (fun w ->
+          let occs = Option.value ~default:[] (Hashtbl.find_opt words w) in
+          Hashtbl.replace words w (occ :: occs))
+        (List.sort_uniq String.compare (tokenize text)))
+    added;
+  (* Multiset-subtract the removed entries from the sorted array, then
+     merge the added ones (sorted by text) back in. *)
+  let pending = Hashtbl.create (List.length removed * 2) in
+  List.iter
+    (fun e -> Hashtbl.replace pending e (1 + Option.value ~default:0 (Hashtbl.find_opt pending e)))
+    removed;
+  let kept =
+    if removed = [] then idx.sorted
+    else
+      Array.of_seq
+        (Seq.filter
+           (fun e ->
+             match Hashtbl.find_opt pending e with
+             | Some n when n > 0 ->
+               Hashtbl.replace pending e (n - 1);
+               false
+             | _ -> true)
+           (Array.to_seq idx.sorted))
+  in
+  let added_arr = Array.of_list added in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) added_arr;
+  let merged = Array.make (Array.length kept + Array.length added_arr) ("", { src = 0; label = Label.Int 0; dst = 0 }) in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to Array.length merged - 1 do
+    let take_added =
+      !i >= Array.length kept
+      || (!j < Array.length added_arr
+         && String.compare (fst added_arr.(!j)) (fst kept.(!i)) < 0)
+    in
+    if take_added then begin
+      merged.(k) <- added_arr.(!j);
+      incr j
+    end
+    else begin
+      merged.(k) <- kept.(!i);
+      incr i
+    end
+  done;
+  { sorted = merged; words }
+
 let contains_substring hay needle =
   let nh = String.length hay and nn = String.length needle in
   if nn = 0 then true

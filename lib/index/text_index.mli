@@ -34,6 +34,15 @@ val n_entries : t -> int
 (** The no-index baseline for substring search. *)
 val scan_contains : Ssd.Graph.t -> string -> occurrence list
 
+(** Apply an edge-level delta (incremental maintenance, lib/incr):
+    each removed occurrence drops one matching entry, each added one is
+    merged into the sorted array and the word table — no re-tokenizing
+    of the untouched corpus.  Non-text labels are ignored, like
+    {!build} does.  The input is unchanged; the result is
+    byte-identical ({!to_bytes}) to a fresh build over the updated
+    data. *)
+val apply : t -> added:occurrence list -> removed:occurrence list -> t
+
 (** Canonical bytes (entries fully sorted; the word table is derived and
     not serialized): indexes over the same data serialize identically. *)
 val to_bytes : t -> bytes

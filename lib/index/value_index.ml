@@ -71,6 +71,35 @@ let find idx l =
 
 let find_nodes idx l = List.map (fun o -> o.dst) (find idx l)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance (lib/incr)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The index is a per-label occurrence multiset, so edge-level deltas
+   apply directly: an insert prepends, a delete drops one matching
+   occurrence.  Canonical bytes re-sort everything, so maintenance order
+   never leaks into segment byte-identity. *)
+
+let add idx l occ =
+  let occs = Option.value ~default:[] (Label_tbl.find_opt idx l) in
+  Label_tbl.replace idx l (occ :: occs)
+
+let remove idx l occ =
+  match Label_tbl.find_opt idx l with
+  | None -> ()
+  | Some occs ->
+    let rec drop_one = function
+      | [] -> []
+      | o :: rest -> if o = occ then rest else o :: drop_one rest
+    in
+    (match drop_one occs with
+    (* A fresh build never binds a label to zero occurrences; keep that
+       invariant or [mem]/[n_labels] and byte-identity would drift. *)
+    | [] -> Label_tbl.remove idx l
+    | occs -> Label_tbl.replace idx l occs)
+
+let copy idx = Label_tbl.copy idx
+
 let mem idx l =
   Metrics.incr m_probes;
   Trace.bump "index_probes" 1;

@@ -31,6 +31,22 @@ val n_labels : t -> int
 (** The no-index baseline: walk every edge of the graph. *)
 val scan : Ssd.Graph.t -> Ssd.Label.t -> occurrence list
 
+(** {2 Incremental maintenance}
+
+    The index is a per-label occurrence {e multiset}; edge-level deltas
+    apply directly and commute with {!to_bytes} (which sorts), so an
+    incrementally maintained index is byte-identical to a fresh
+    {!build} over the same data. *)
+
+(** Record one more edge labeled [l]. *)
+val add : t -> Ssd.Label.t -> occurrence -> unit
+
+(** Drop one occurrence equal to the given one (no-op if absent). *)
+val remove : t -> Ssd.Label.t -> occurrence -> unit
+
+(** Independent copy (mutations on one never show in the other). *)
+val copy : t -> t
+
 (** Canonical bytes (labels and occurrences sorted): two indexes over
     the same data serialize identically regardless of build order. *)
 val to_bytes : t -> bytes

@@ -149,6 +149,7 @@ let codes =
     ("SSD210", Error, "datalog: program is not stratifiable (negation through recursion)");
     ("SSD211", Warning, "datalog: predicate used but never defined (and not extensional)");
     ("SSD212", Warning, "datalog: predicate used with inconsistent arities");
+    ("SSD213", Error, "datalog: incremental maintenance requires a negation-free program");
     ("SSD250", Warning, "cardinality: result is statically empty (estimate 0)");
     ("SSD251", Note, "cardinality: select is always singleton (estimate <= 1)");
     ("SSD252", Warning, "cardinality: conjunct order builds a cross product (cheaper order exists)");

@@ -736,6 +736,137 @@ let query ~edb program pred =
   | None -> []
 
 (* ------------------------------------------------------------------ *)
+(* Incremental (semi-naive) maintenance under EDB insertions           *)
+(* ------------------------------------------------------------------ *)
+
+module Incremental = struct
+  (* A retained model: the full fact table of a completed evaluation,
+     advanced in place when new EDB facts arrive.  Insertion-only and
+     negation-free: a negation-free program is monotone in its EDB, so
+     the delta rounds below compute exactly the new least model minus
+     the old one — the same rounds [eval] runs, just seeded from the
+     inserted facts instead of from scratch. *)
+  type state = {
+    program : program;
+    facts : (string, tuple_set) Hashtbl.t;
+  }
+
+  let m_advances = Metrics.counter "incr.datalog.advances"
+  let m_new_facts = Metrics.counter "incr.datalog.new_facts"
+
+  let supported program =
+    List.for_all
+      (fun r ->
+        List.for_all (function Neg _ -> false | Pos _ | Cmp _ -> true) r.body)
+      program
+
+  let prepare ~edb program =
+    check_safety program;
+    if not (supported program) then
+      unsafe ~code:"SSD213"
+        "incremental maintenance requires a negation-free program";
+    let facts = facts_of_edb edb in
+    let set_of = facts_get facts in
+    (* Negation-free: one stratum; naive rounds to the fixpoint (the
+       retained sets make later advances cheap, prepare itself is a
+       one-off). *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun r ->
+          let derived = eval_rule ~set_of r in
+          let s = facts_set facts r.head.pred in
+          List.iter
+            (fun t ->
+              if not (set_mem s t) then begin
+                set_add s t;
+                Metrics.incr m_facts;
+                changed := true
+              end)
+            derived)
+        program
+    done;
+    { program; facts }
+
+  let result st = idb_result st.program st.facts
+
+  (* [advance st ~edb_delta] adds the given EDB facts and propagates;
+     returns the {e new} tuples per IDB predicate (possibly empty). *)
+  let advance st ~edb_delta =
+    Metrics.incr m_advances;
+    let set_of = facts_get st.facts in
+    let idb =
+      List.map (fun r -> r.head.pred) st.program |> List.sort_uniq String.compare
+    in
+    let fresh : (string, tuple_set) Hashtbl.t = Hashtbl.create 8 in
+    List.iter (fun p -> Hashtbl.replace fresh p (set_create ())) idb;
+    (* Seed: genuinely new EDB facts become the first delta. *)
+    let deltas : (string, tuple_set) Hashtbl.t = Hashtbl.create 8 in
+    let delta_get p =
+      match Hashtbl.find_opt deltas p with
+      | Some d -> d
+      | None ->
+        let d = set_create () in
+        Hashtbl.add deltas p d;
+        d
+    in
+    List.iter
+      (fun (p, tuples) ->
+        let s = facts_set st.facts p in
+        List.iter
+          (fun t ->
+            if not (set_mem s t) then begin
+              set_add s t;
+              set_add (delta_get p) t
+            end)
+          tuples)
+      edb_delta;
+    let any_delta () =
+      Hashtbl.fold (fun _ d acc -> acc || set_size d > 0) deltas false
+    in
+    while any_delta () do
+      Metrics.incr m_rounds;
+      let new_deltas : (string, tuple_set) Hashtbl.t = Hashtbl.create 8 in
+      List.iter (fun p -> Hashtbl.replace new_deltas p (set_create ())) idb;
+      List.iter
+        (fun r ->
+          List.iteri
+            (fun i lit ->
+              match lit with
+              | Pos a -> (
+                match Hashtbl.find_opt deltas a.pred with
+                | Some delta when set_size delta > 0 ->
+                  let derived = eval_rule_delta ~set_of ~delta_at:i ~delta r in
+                  let s = facts_set st.facts r.head.pred in
+                  let nd = Hashtbl.find new_deltas r.head.pred in
+                  let acc = Hashtbl.find fresh r.head.pred in
+                  List.iter
+                    (fun t ->
+                      if not (set_mem s t) then begin
+                        set_add s t;
+                        set_add nd t;
+                        set_add acc t;
+                        Metrics.incr m_facts;
+                        Metrics.incr m_new_facts
+                      end)
+                    derived
+                | _ -> ())
+              | Neg _ | Cmp _ -> ())
+            r.body)
+        st.program;
+      Hashtbl.reset deltas;
+      Hashtbl.iter (fun p d -> Hashtbl.replace deltas p d) new_deltas
+    done;
+    List.filter_map
+      (fun p ->
+        match set_to_list (Hashtbl.find fresh p) with
+        | [] -> None
+        | tuples -> Some (p, tuples))
+      idb
+end
+
+(* ------------------------------------------------------------------ *)
 (* Statistics-driven body ordering                                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -98,6 +98,40 @@ val eval_naive : edb:edb -> program -> (string * Ssd.Label.t list list) list
 (** Number of strata the program splits into. *)
 val n_strata : program -> int
 
+(** {2 Incremental maintenance}
+
+    A retained least model that can absorb EDB {e insertions} without
+    recomputation from scratch — the relational half of the delta
+    pipeline (lib/incr): a monotone graph update turns into new [edge]
+    / [root] triples, and a subscription's datalog program re-derives
+    only what those new triples entail. *)
+module Incremental : sig
+  type state
+
+  (** Insertion-only maintenance is exact only for monotone programs:
+      negation can retract conclusions when facts arrive, so programs
+      with [not] are rejected (comparisons are fine — they filter a
+      single tuple, monotonically). *)
+  val supported : program -> bool
+
+  (** Evaluate [program] over [edb] and retain the full model.
+      @raise Unsafe on safety violations, or (code SSD213) if the
+      program is not {!supported}. *)
+  val prepare : edb:edb -> program -> state
+
+  (** All derived predicates of the retained model, as {!eval} would
+      return them (tuple order may differ; content is equal). *)
+  val result : state -> (string * Ssd.Label.t list list) list
+
+  (** [advance st ~edb_delta] inserts the given extensional tuples
+      (already-present tuples are ignored) and runs semi-naive delta
+      rounds from them.  Returns the {e newly derived} tuples per IDB
+      predicate — exactly the difference between the new and old least
+      models, since negation-free programs are monotone.  Empty list:
+      the update provably changed no derived fact. *)
+  val advance : state -> edb_delta:edb -> (string * Ssd.Label.t list list) list
+end
+
 (** [reorder ~edb program] — statistics-driven join ordering, applied per
     rule: positive body literals are greedily ordered by estimated
     binding count (extensional relation sizes from [edb], discounted per

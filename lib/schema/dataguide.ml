@@ -55,6 +55,15 @@ let build g =
   List.iter (fun (id, set) -> targets.(id) <- set) !target_acc;
   { graph = guide; targets }
 
+(* Trusted constructor for the incremental maintainer (lib/incr), which
+   re-derives the canonical numbering itself; [build]'s invariants
+   (deterministic graph, one target set per node) are the caller's
+   responsibility. *)
+let make graph targets =
+  if Array.length targets <> Graph.n_nodes graph then
+    invalid_arg "Dataguide.make: one target set per guide node";
+  { graph; targets }
+
 let graph dg = dg.graph
 let targets dg u = dg.targets.(u)
 let n_nodes dg = Graph.n_nodes dg.graph

@@ -13,6 +13,12 @@ type t
 
 val build : Ssd.Graph.t -> t
 
+(** Trusted constructor from a deterministic guide graph and its
+    per-node target sets (one per guide node, else [Invalid_argument]).
+    Used by the incremental maintainer (lib/incr), which reproduces
+    [build]'s canonical numbering itself. *)
+val make : Ssd.Graph.t -> int list array -> t
+
 (** The guide as a plain graph (deterministic: no node has two equal
     outgoing labels). *)
 val graph : t -> Ssd.Graph.t

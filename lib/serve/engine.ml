@@ -18,6 +18,14 @@ let m_cache_hits = Metrics.counter "serve.cache_hits"
 let m_slow = Metrics.counter "serve.slow_queries"
 let m_latency = Metrics.histogram "serve.latency_ns"
 
+(* Live-subscription telemetry (the incr.* family, alongside the
+   maintenance counters lib/incr and Unql.Cache register). *)
+let g_subs = Metrics.gauge "incr.sub.active"
+let m_sub_pushes = Metrics.counter "incr.sub.pushes"
+let m_sub_skips = Metrics.counter "incr.sub.skips"
+let m_sub_evals = Metrics.counter "incr.sub.evals"
+let m_sub_unchanged = Metrics.counter "incr.sub.unchanged"
+
 (* Per-tenant accounting: labeled metric families, one series per
    tenant label.  Registration is idempotent, so looking the family up
    on every request is one locked hash probe — no tenant table of our
@@ -63,6 +71,31 @@ let default_config =
     slow_query_ms = 250.;
   }
 
+(* A live subscription: a registered query re-checked on every
+   committed UPDATE.  [sub_last] is the text rendering of its current
+   result — pushes happen exactly when that rendering changes, so the
+   stream of frames is the stream of distinct results. *)
+type sub = {
+  sub_id : int;
+  sub_conn : int option; (* owning transport connection, for teardown *)
+  sub_opts : Proto.options;
+  sub_qtext : string;
+  sub_fp : Unql.Footprint.t;
+  sub_kind : sub_kind;
+  sub_push : string -> unit; (* a rendered frame, written by the transport *)
+  mutable sub_seq : int;
+  mutable sub_last : string;
+}
+
+and sub_kind =
+  | Sub_unql of Unql.Ast.expr
+  | Sub_datalog of {
+      dprog : Relstore.Datalog.program;
+      (* retained model, advanced semi-naively on monotone ε-free
+         deltas and re-prepared otherwise *)
+      mutable dstate : Relstore.Datalog.Incremental.state;
+    }
+
 type store = {
   m : Mutex.t;
   mutable db : Graph.t;
@@ -76,6 +109,13 @@ type store = {
      by graph fingerprint (building it walks the whole graph; slow
      queries on the same database should pay once). *)
   mutable ann_cache : (int * Ssd_schema.Annotated.t) option;
+  (* Live subscriptions, shared across engines over this store (an
+     UPDATE through any engine notifies them all); guarded by [m]. *)
+  subs : (int, sub) Hashtbl.t;
+  next_sub : int Atomic.t;
+  (* Query-footprint memo for cache revalidation: one analysis per
+     distinct normalized query text, not per update. *)
+  fp_memo : (string, Unql.Footprint.t) Hashtbl.t;
 }
 
 let store ?(cache_capacity = 128) ~db () =
@@ -87,6 +127,9 @@ let store ?(cache_capacity = 128) ~db () =
     req_seq = Atomic.make 0;
     persist = None;
     ann_cache = None;
+    subs = Hashtbl.create 16;
+    next_sub = Atomic.make 0;
+    fp_memo = Hashtbl.create 64;
   }
 
 let set_persist store f = store.persist <- Some f
@@ -206,7 +249,10 @@ let shed_response (opts : Proto.options) load =
 (* Any exception that escapes parsing or evaluation becomes an SSD553
    error response; diagnostics keep their own code. *)
 let diag_of_exn = function
-  | Ssd_diag.Fail d -> d
+  | Ssd_diag.Fail d
+  | Relstore.Datalog.Unsafe d
+  | Relstore.Datalog.Not_stratified d ->
+    d
   | e ->
     Ssd_diag.make Ssd_diag.Error ~code:"SSD553"
       (Printf.sprintf "request failed: %s" (Printexc.to_string e))
@@ -445,11 +491,238 @@ let do_query t ~queued (opts : Proto.options) body =
           error_response opts (diag_of_exn e))
   end
 
+(* ------------------------------------------------------------------ *)
+(* Live subscriptions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Datalog subscription results are rendered with predicates and tuples
+   sorted: the retained incremental model derives tuples in a different
+   order than a scratch evaluation, and canonical frames let clients
+   (and the differential tests) byte-compare them. *)
+let render_datalog_sorted results =
+  render_datalog_text
+    (results
+    |> List.map (fun (p, ts) -> (p, List.sort_uniq compare ts))
+    |> List.sort compare)
+
+let footprint_of st qtext =
+  match Hashtbl.find_opt st.fp_memo qtext with
+  | Some fp -> fp
+  | None ->
+    let fp = Unql.Footprint.of_string qtext in
+    (* the memo is keyed by query text and queries repeat; cap it so a
+       hostile client cannot grow it without bound *)
+    if Hashtbl.length st.fp_memo > 4096 then Hashtbl.reset st.fp_memo;
+    Hashtbl.add st.fp_memo qtext fp;
+    fp
+
+let n_subs store = locked store (fun () -> Hashtbl.length store.subs)
+
+(* Tear down every subscription owned by a transport connection (called
+   by the server when the connection dies). *)
+let drop_conn t conn_id =
+  locked t.st (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun id s acc -> if s.sub_conn = Some conn_id then id :: acc else acc)
+          t.st.subs []
+      in
+      List.iter (Hashtbl.remove t.st.subs) doomed;
+      Metrics.set g_subs (float_of_int (Hashtbl.length t.st.subs)))
+
+(* Current result text of a subscription against [db].  UnQL goes
+   through the shared result cache (caller holds the store lock);
+   datalog reads its retained model. *)
+let sub_eval_text st db kind =
+  match kind with
+  | Sub_unql q -> (
+    match Unql.Cache.find st.cache ~db q with
+    | Some g -> render_graph_text g
+    | None ->
+      let g = Unql.Eval.eval ~db q in
+      Unql.Cache.add st.cache ~db q g;
+      render_graph_text g)
+  | Sub_datalog d ->
+    render_datalog_sorted (Relstore.Datalog.Incremental.result d.dstate)
+
+(* Re-check one subscription after a committed update; returns the new
+   rendering when the result changed.  Monotone ε-free deltas drive the
+   datalog model semi-naively: only the inserted edges' consequences are
+   derived, and "no new fact" skips the render entirely. *)
+let sub_advance st ~db' ~(d : Ssd_incr.Delta.t) s =
+  match s.sub_kind with
+  | Sub_unql _ ->
+    let text = sub_eval_text st db' s.sub_kind in
+    if text = s.sub_last then None else Some text
+  | Sub_datalog ds ->
+    if Ssd_incr.Delta.monotone d && not d.Ssd_incr.Delta.new_has_eps then begin
+      let triples =
+        List.filter_map
+          (fun (e : Ssd_incr.Delta.edge) ->
+            match e.Ssd_incr.Delta.lab with
+            | Graph.Eps -> None
+            | Graph.Lab l ->
+              Some [ Label.Int e.Ssd_incr.Delta.src; l; Label.Int e.Ssd_incr.Delta.dst ])
+          d.Ssd_incr.Delta.added
+      in
+      match
+        Relstore.Datalog.Incremental.advance ds.dstate
+          ~edb_delta:[ ("edge", triples) ]
+      with
+      | [] -> None
+      | _fresh ->
+        let text = render_datalog_sorted (Relstore.Datalog.Incremental.result ds.dstate) in
+        if text = s.sub_last then None else Some text
+    end
+    else begin
+      (* non-monotone (or ε-touching) update: node ids may have been
+         remapped, so the retained model is re-prepared from scratch *)
+      ds.dstate <-
+        Relstore.Datalog.Incremental.prepare ~edb:(Relstore.Triple.edb db') ds.dprog;
+      let text = sub_eval_text st db' s.sub_kind in
+      if text = s.sub_last then None else Some text
+    end
+
+(* Notify every live subscription (caller holds the store lock).
+   Returns (skipped, pushed).  A subscription whose label footprint is
+   disjoint from the delta is skipped without evaluating anything; one
+   whose re-evaluation fails is left untouched (the next update retries
+   — a push must never take the update down with it). *)
+let notify_subs st ~db' ~(d : Ssd_incr.Delta.t) ~delta_labels =
+  let skipped = ref 0 and pushed = ref 0 in
+  Hashtbl.iter
+    (fun _ s ->
+      if Unql.Footprint.disjoint s.sub_fp delta_labels then begin
+        incr skipped;
+        Metrics.incr m_sub_skips
+      end
+      else begin
+        Metrics.incr m_sub_evals;
+        match sub_advance st ~db' ~d s with
+        | None -> Metrics.incr m_sub_unchanged
+        | Some text ->
+          s.sub_seq <- s.sub_seq + 1;
+          s.sub_last <- text;
+          incr pushed;
+          Metrics.incr m_sub_pushes;
+          let detail = Printf.sprintf "%d.%d" s.sub_id s.sub_seq in
+          let resp =
+            Proto.response ~detail Proto.Delta
+              (render_body s.sub_opts ~status:Proto.Delta ~detail text)
+          in
+          Events.emit Events.default "incr.push"
+            [
+              ("sub", Ssd.Json.Int s.sub_id);
+              ("seq", Ssd.Json.Int s.sub_seq);
+              ("lang", Ssd.Json.String s.sub_opts.Proto.lang);
+              ("bytes", Ssd.Json.Int (String.length resp.Proto.body));
+            ];
+          (try s.sub_push (Proto.render_response resp) with _ -> ())
+        | exception _ -> ()
+      end)
+    st.subs;
+  (!skipped, !pushed)
+
+let do_subscribe t ~push ~conn_id (opts : Proto.options) body =
+  match push with
+  | None ->
+    locked t.st (fun () -> t.n_errors <- t.n_errors + 1);
+    Metrics.incr m_errors;
+    error_response opts
+      (Ssd_diag.make Ssd_diag.Error ~code:"SSD557"
+         "SUBSCRIBE needs a push-capable transport (a live connection)")
+  | Some push -> (
+    match
+      lint_gate opts body;
+      locked t.st (fun () ->
+          let db = t.st.db in
+          let kind, text =
+            match opts.Proto.lang with
+            | "unql" ->
+              let q = Unql.Parser.parse body in
+              let kind = Sub_unql q in
+              (kind, sub_eval_text t.st db kind)
+            | "datalog" ->
+              let dprog = Relstore.Datalog.parse body in
+              let dstate =
+                Relstore.Datalog.Incremental.prepare
+                  ~edb:(Relstore.Triple.edb db) dprog
+              in
+              ( Sub_datalog { dprog; dstate },
+                render_datalog_sorted (Relstore.Datalog.Incremental.result dstate) )
+            | other ->
+              raise
+                (Ssd_diag.Fail
+                   (Ssd_diag.make Ssd_diag.Error ~code:"SSD555"
+                      (Printf.sprintf
+                         "unsupported subscription language %S (unql|datalog)" other)))
+          in
+          let id = Atomic.fetch_and_add t.st.next_sub 1 + 1 in
+          let s =
+            {
+              sub_id = id;
+              sub_conn = conn_id;
+              sub_opts = opts;
+              sub_qtext = body;
+              sub_fp = footprint_of t.st body;
+              sub_kind = kind;
+              sub_push = push;
+              sub_seq = 0;
+              sub_last = text;
+            }
+          in
+          Hashtbl.replace t.st.subs id s;
+          Metrics.set g_subs (float_of_int (Hashtbl.length t.st.subs));
+          (id, text))
+    with
+    | id, text ->
+      Events.emit Events.default "incr.subscribe"
+        [
+          ("sub", Ssd.Json.Int id);
+          ("tenant", Ssd.Json.String (tenant_of opts));
+          ("lang", Ssd.Json.String opts.Proto.lang);
+          ("query", Ssd.Json.String (truncate_query body));
+        ];
+      let detail = string_of_int id in
+      Proto.response ~detail Proto.Complete
+        (render_body opts ~status:Proto.Complete ~detail text)
+    | exception e ->
+      locked t.st (fun () -> t.n_errors <- t.n_errors + 1);
+      Metrics.incr m_errors;
+      error_response opts (diag_of_exn e))
+
+let do_unsubscribe t (opts : Proto.options) body =
+  match int_of_string_opt (String.trim body) with
+  | None ->
+    error_response opts
+      (Ssd_diag.make Ssd_diag.Error ~code:"SSD556"
+         (Printf.sprintf "UNSUBSCRIBE wants a subscription id, got %S"
+            (String.trim body)))
+  | Some id ->
+    let found =
+      locked t.st (fun () ->
+          match Hashtbl.find_opt t.st.subs id with
+          | Some _ ->
+            Hashtbl.remove t.st.subs id;
+            Metrics.set g_subs (float_of_int (Hashtbl.length t.st.subs));
+            true
+          | None -> false)
+    in
+    if found then
+      Proto.response Proto.Complete
+        (render_body opts ~status:Proto.Complete ~detail:"-"
+           (Printf.sprintf "unsubscribed: id=%d\n" id))
+    else
+      error_response opts
+        (Ssd_diag.make Ssd_diag.Error ~code:"SSD556"
+           (Printf.sprintf "unknown subscription id %d" id))
+
 (* UPDATE holds the store lock for the whole parse+apply+swap: updates
    serialize against each other and against cache fills, and the
-   database-of-record plus the invalidation are one atomic step — no
-   engine over this store can observe the new graph with the old graph's
-   cache entries still live. *)
+   database-of-record plus the revalidation and subscription pushes are
+   one atomic step — no engine over this store can observe the new graph
+   with the old graph's cache entries still live, and delta frames carry
+   a globally consistent sequence per subscription. *)
 let do_update t (opts : Proto.options) body =
   match
     locked t.st (fun () ->
@@ -461,23 +734,41 @@ let do_update t (opts : Proto.options) body =
            after its WAL fsync, so a successful UPDATE response implies
            the change survives a crash. *)
         (match t.st.persist with Some f -> f db' | None -> ());
-        let dropped = Unql.Cache.invalidate t.st.cache old_db in
+        (* Delta-driven cache revalidation: entries whose query
+           footprint is disjoint from the update's labels are re-keyed
+           to the new graph instead of dropped. *)
+        let d = Ssd_incr.Delta.diff old_db db' in
+        let delta_labels = Ssd_incr.Delta.touched_labels d in
+        let keep qtext =
+          Unql.Footprint.disjoint (footprint_of t.st qtext) delta_labels
+        in
+        let kept, dropped =
+          Unql.Cache.revalidate t.st.cache ~old_db ~new_db:db' ~keep
+        in
         t.st.db <- db';
         t.n_updates <- t.n_updates + 1;
-        (db', dropped))
+        let skipped, pushed = notify_subs t.st ~db' ~d ~delta_labels in
+        (db', d, kept, dropped, skipped, pushed))
   with
-  | db', dropped ->
+  | db', d, kept, dropped, skipped, pushed ->
     Metrics.incr m_updates;
-    Events.emit Events.default "cache.invalidate"
+    Events.emit Events.default "incr.update"
       [
         ("tenant", Ssd.Json.String (tenant_of opts));
-        ("dropped", Ssd.Json.Int dropped);
+        ("added", Ssd.Json.Int (Ssd_incr.Delta.n_added d));
+        ("removed", Ssd.Json.Int (Ssd_incr.Delta.n_removed d));
+        ("monotone", Ssd.Json.Bool (Ssd_incr.Delta.monotone d));
+        ("cache_kept", Ssd.Json.Int kept);
+        ("cache_dropped", Ssd.Json.Int dropped);
+        ("subs_skipped", Ssd.Json.Int skipped);
+        ("subs_pushed", Ssd.Json.Int pushed);
         ("nodes", Ssd.Json.Int (Graph.n_nodes db'));
         ("edges", Ssd.Json.Int (Graph.n_edges db'));
       ];
     let text =
-      Printf.sprintf "updated: %d nodes, %d edges; %d cache entries invalidated\n"
-        (Graph.n_nodes db') (Graph.n_edges db') dropped
+      Printf.sprintf
+        "updated: %d nodes, %d edges; cache %d kept %d invalidated; %d deltas pushed\n"
+        (Graph.n_nodes db') (Graph.n_edges db') kept dropped pushed
     in
     Proto.response Proto.Complete (render_body opts ~status:Proto.Complete ~detail:"-" text)
   | exception e ->
@@ -514,7 +805,7 @@ let stats_body t =
   in
   J.to_string doc ^ "\n"
 
-let dispatch t ~queued raw =
+let dispatch t ~queued ~push ~conn_id raw =
   if String.length raw > t.cfg.max_frame then
     (* The stream cannot be resynchronized reliably past an oversized
        frame, so the transport closes after this response. *)
@@ -535,6 +826,8 @@ let dispatch t ~queued raw =
       match verb with
       | Proto.Query -> (do_query t ~queued opts body, false, opts)
       | Proto.Update -> (do_update t opts body, false, opts)
+      | Proto.Subscribe -> (do_subscribe t ~push ~conn_id opts body, false, opts)
+      | Proto.Unsubscribe -> (do_unsubscribe t opts body, false, opts)
       | Proto.Ping -> (Proto.response Proto.Complete "pong\n", false, opts)
       | Proto.Stats -> (Proto.response Proto.Complete (stats_body t), false, opts)
       | Proto.Events ->
@@ -544,13 +837,13 @@ let dispatch t ~queued raw =
           opts )
       | Proto.Quit -> (Proto.response Proto.Complete "bye\n", true, opts))
 
-let handle ?lane ?(queued = 0) t raw =
+let handle ?lane ?(queued = 0) ?push ?conn_id t raw =
   let seq = Atomic.fetch_and_add t.st.req_seq 1 + 1 in
   let t0 = Ssd_obs.Clock.now_ns () in
   let resp, close, opts =
     Trace.with_span ?lane "serve.request" ~attrs:[ ("seq", Trace.Int seq) ] (fun () ->
         let ((resp, _, _) as r) =
-          try dispatch t ~queued raw
+          try dispatch t ~queued ~push ~conn_id raw
           with e ->
             (* dispatch catches per-verb; this is the last-resort net so
                the accept loop can never be wedged by a request. *)

@@ -39,6 +39,22 @@
 
     {2 Telemetry}
 
+    {2 Live subscriptions}
+
+    [SUBSCRIBE] registers a query (unql or datalog) against the store;
+    every committed [UPDATE] then re-checks it and pushes a [delta]
+    frame when its result changed (see {!Proto}).  The incremental
+    machinery keeps this proportional to the change, not the database:
+    updates whose edge delta is label-disjoint from the query's static
+    footprint ({!Unql.Footprint}) are skipped without evaluating;
+    datalog subscriptions hold a retained model
+    ({!Relstore.Datalog.Incremental}) advanced semi-naively from the
+    inserted edges on monotone ε-free deltas; and the result cache is
+    {e revalidated} ({!Unql.Cache.revalidate}) instead of flushed, so
+    footprint-disjoint cached answers survive the update.  Subscription
+    activity shows up on the [incr.sub.*] metrics and the
+    [incr.subscribe] / [incr.push] / [incr.update] events.
+
     Every request bills to a tenant — the [tenant=] option, or
     ["default"] — on labeled counter families
     ([serve.tenant.requests{tenant="…"}], [bytes_in], [bytes_out],
@@ -86,6 +102,9 @@ val set_persist : store -> (Ssd.Graph.t -> unit) -> unit
 (** The shared cache's counters (hits/misses/invalidations). *)
 val cache_stats : store -> Unql.Cache.stats
 
+(** Live subscriptions currently registered on the store. *)
+val n_subs : store -> int
+
 type t
 
 val create : ?config:config -> store -> t
@@ -110,8 +129,27 @@ val stats : t -> stats
     transport's backlog behind this frame (default 0).  [lane] is the
     trace lane for this request's span (default: the calling domain's
     {!Ssd_obs.Trace.lane}).  Never raises; safe to call from concurrent
-    domains. *)
-val handle : ?lane:int -> ?queued:int -> t -> string -> Proto.response * bool
+    domains.
+
+    [push] makes the connection push-capable: a [SUBSCRIBE] on this
+    frame registers a live subscription whose [delta] frames (already
+    rendered wire bytes) are delivered through [push] — from whichever
+    thread later commits an [UPDATE], so the transport must serialize
+    [push] against its own response writes.  Without [push], [SUBSCRIBE]
+    answers SSD557.  [conn_id] tags the subscription with its owning
+    connection for {!drop_conn}. *)
+val handle :
+  ?lane:int ->
+  ?queued:int ->
+  ?push:(string -> unit) ->
+  ?conn_id:int ->
+  t ->
+  string ->
+  Proto.response * bool
+
+(** Tear down every subscription owned by [conn_id] (transport calls
+    this when the connection closes). *)
+val drop_conn : t -> int -> unit
 
 (** {!handle} composed with {!Proto.render_response} (drops the close
     flag) — the one-line in-process transport. *)

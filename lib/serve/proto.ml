@@ -3,6 +3,8 @@
 type verb =
   | Query
   | Update
+  | Subscribe
+  | Unsubscribe
   | Ping
   | Stats
   | Events
@@ -40,6 +42,8 @@ type request = {
 let verb_to_string = function
   | Query -> "QUERY"
   | Update -> "UPDATE"
+  | Subscribe -> "SUBSCRIBE"
+  | Unsubscribe -> "UNSUBSCRIBE"
   | Ping -> "PING"
   | Stats -> "STATS"
   | Events -> "EVENTS"
@@ -48,6 +52,8 @@ let verb_to_string = function
 let verb_of_string = function
   | "QUERY" -> Some Query
   | "UPDATE" -> Some Update
+  | "SUBSCRIBE" -> Some Subscribe
+  | "UNSUBSCRIBE" -> Some Unsubscribe
   | "PING" -> Some Ping
   | "STATS" -> Some Stats
   | "EVENTS" -> Some Events
@@ -138,7 +144,11 @@ let parse_request line =
           (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
         | None -> (rest, "")
       in
-      let needs_body = match verb with Query | Update -> true | _ -> false in
+      let needs_body =
+        match verb with
+        | Query | Update | Subscribe | Unsubscribe -> true
+        | _ -> false
+      in
       if needs_body && (opts_str = "" || body = "") then
         malformed "%s wants an options field (use \"-\") and a body" verb_str
       else
@@ -177,7 +187,7 @@ let render_request r =
     match render_options r.opts with
     | "-" -> verb_to_string r.verb
     | opts -> Printf.sprintf "%s %s" (verb_to_string r.verb) opts)
-  | Query | Update ->
+  | Query | Update | Subscribe | Unsubscribe ->
     Printf.sprintf "%s %s %s" (verb_to_string r.verb) (render_options r.opts) r.body
 
 (* ------------------------------------------------------------------ *)
@@ -189,18 +199,21 @@ type status =
   | Partial
   | Shed
   | Error
+  | Delta
 
 let status_to_string = function
   | Complete -> "complete"
   | Partial -> "partial"
   | Shed -> "shed"
   | Error -> "error"
+  | Delta -> "delta"
 
 let status_of_string = function
   | "complete" -> Some Complete
   | "partial" -> Some Partial
   | "shed" -> Some Shed
   | "error" -> Some Error
+  | "delta" -> Some Delta
   | _ -> None
 
 type response = {

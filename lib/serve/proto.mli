@@ -17,8 +17,8 @@
       QUIT
     v}
 
-    [VERB] is one of [QUERY], [UPDATE], [PING], [STATS], [EVENTS],
-    [QUIT].
+    [VERB] is one of [QUERY], [UPDATE], [SUBSCRIBE], [UNSUBSCRIBE],
+    [PING], [STATS], [EVENTS], [QUIT].
     [OPTIONS] is ["-"] or comma-separated [key=value] pairs:
     [lang=unql|lorel|websql|datalog] (default unql), [format=text|json]
     (default text), [deadline-ms=F], [max-steps=N], [cache=on|off]
@@ -45,18 +45,46 @@
       <LEN bytes>
     v}
 
-    [STATUS] is [complete], [partial], [shed] or [error] — every answer
-    carries the typed completeness verdict.  [DETAIL] is ["-"] for
-    [complete]; the {!Ssd.Budget.exhaustion} reason ([steps], [deadline],
-    [stalled]) for [partial]; and the [SSD55x] diagnostic code for
-    [shed]/[error].  The body of a [complete]/[partial] [QUERY] response
-    is byte-identical to what [ssdql query] prints on stdout for the
-    same query (text format), so clients and the CLI can be diffed
-    directly. *)
+    [STATUS] is [complete], [partial], [shed], [error] or [delta] —
+    every answer carries the typed completeness verdict.  [DETAIL] is
+    ["-"] for [complete]; the {!Ssd.Budget.exhaustion} reason ([steps],
+    [deadline], [stalled]) for [partial]; and the [SSD55x] diagnostic
+    code for [shed]/[error].  The body of a [complete]/[partial]
+    [QUERY] response is byte-identical to what [ssdql query] prints on
+    stdout for the same query (text format), so clients and the CLI can
+    be diffed directly.
+
+    {2 Subscriptions}
+
+    [SUBSCRIBE OPTIONS QUERY] registers the query for live re-evaluation
+    (languages: [unql], [datalog]).  The immediate answer is an ordinary
+    [complete] frame whose [DETAIL] is the subscription id and whose
+    body is the query's current result.  Afterwards, whenever a
+    committed [UPDATE] changes that result, the server {e pushes} an
+    unsolicited [delta] frame on the same connection:
+
+    {v
+      SSDQL1 delta ID.SEQ LEN\n
+      <LEN bytes: the new full result>
+    v}
+
+    [ID] is the subscription id, [SEQ] a per-subscription sequence
+    number starting at 1; the body is the query's new result (datalog
+    results are rendered with predicates and tuples sorted, so frames
+    are canonical).  Updates whose delta provably cannot change the
+    result (label footprint disjoint, see {!Unql.Footprint}) push
+    nothing; datalog subscriptions re-derive semi-naively from the
+    update's edge delta ({!Relstore.Datalog.Incremental}).  Pushed
+    frames interleave with response frames on the wire but never split
+    them; clients demultiplex on the [delta] status.  [UNSUBSCRIBE -
+    ID] tears the subscription down (SSD556 when unknown); closing the
+    connection tears down all of its subscriptions. *)
 
 type verb =
   | Query
   | Update
+  | Subscribe
+  | Unsubscribe
   | Ping
   | Stats
   | Events
@@ -96,6 +124,7 @@ type status =
   | Partial
   | Shed
   | Error
+  | Delta  (** an unsolicited push for a live subscription *)
 
 val status_to_string : status -> string
 

@@ -34,13 +34,15 @@ let register t id fd =
 
 (* At most one closer wins: the connection task on EOF/error, or [stop]
    sweeping live connections.  Whoever removes the id from the table
-   closes the fd. *)
+   closes the fd — and tears down the connection's subscriptions, so a
+   dead client stops receiving (and costing) delta pushes. *)
 let close_conn t id =
   Mutex.lock t.conns_m;
   let fd = Hashtbl.find_opt t.conns id in
   Hashtbl.remove t.conns id;
   Metrics.set g_active (float_of_int (Hashtbl.length t.conns));
   Mutex.unlock t.conns_m;
+  Engine.drop_conn t.engine id;
   match fd with
   | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ()
@@ -73,6 +75,15 @@ let serve_conn t id fd =
   let buf = Buffer.create 4096 in
   let chunk = Bytes.create 4096 in
   let alive = ref true in
+  (* Responses are written by this task; delta pushes for this
+     connection's subscriptions arrive from whichever task commits an
+     UPDATE.  One mutex per connection keeps frames whole on the wire. *)
+  let wm = Mutex.create () in
+  let send s =
+    Mutex.lock wm;
+    Fun.protect ~finally:(fun () -> Mutex.unlock wm) (fun () -> write_all fd s)
+  in
+  let push frame = try send frame with Unix.Unix_error _ -> () in
   (* Extract the first complete line, else None. *)
   let next_line () =
     let s = Buffer.contents buf in
@@ -86,8 +97,8 @@ let serve_conn t id fd =
   in
   let respond_and_maybe_close line =
     let queued = complete_lines buf 0 in
-    let resp, close = Engine.handle ~queued t.engine line in
-    (match write_all fd (Proto.render_response resp) with
+    let resp, close = Engine.handle ~queued ~push ~conn_id:id t.engine line in
+    (match send (Proto.render_response resp) with
     | () -> ()
     | exception Unix.Unix_error _ ->
       Metrics.incr m_disconnects;

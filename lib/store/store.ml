@@ -33,6 +33,8 @@ module Value_index = Ssd_index.Value_index
 module Text_index = Ssd_index.Text_index
 module Path_index = Ssd_index.Path_index
 module Dataguide = Ssd_schema.Dataguide
+module Delta = Ssd_incr.Delta
+module Incr_state = Ssd_incr.State
 
 let data_file = "data"
 let wal_file = "wal"
@@ -84,6 +86,10 @@ type t = {
   mutable tindex : Text_index.t option;
   mutable pindex : Path_index.t option;
   mutable guide : Dataguide.t option;
+  (* Live incremental maintainer for the index segments (lib/incr);
+     seeded lazily on the first commit from whatever is cached or
+     checkpointed, then advanced by the delta of each commit. *)
+  mutable incr : Incr_state.t option;
   path_depth : int;
   checkpoint_every : int;
   mutable txns_since_ckpt : int;
@@ -220,22 +226,146 @@ let append_txn st ~pages sb' =
 (* Index (re)construction                                              *)
 (* ------------------------------------------------------------------ *)
 
+let load_seg st name of_bytes =
+  match find_seg st name with
+  | None -> None
+  | Some s -> Some (of_bytes (segment_bytes st s))
+
+(* Lazy index getters: serve from the in-memory cache, else deserialize
+   the checkpointed segment (no rebuild), else build from the graph. *)
+let value_index st =
+  match st.vindex with
+  | Some ix -> ix
+  | None ->
+    let ix =
+      match load_seg st "value" Value_index.of_bytes with
+      | Some ix -> ix
+      | None -> Value_index.build st.graph
+    in
+    st.vindex <- Some ix;
+    ix
+
+let text_index st =
+  match st.tindex with
+  | Some ix -> ix
+  | None ->
+    let ix =
+      match load_seg st "text" Text_index.of_bytes with
+      | Some ix -> ix
+      | None -> Text_index.build st.graph
+    in
+    st.tindex <- Some ix;
+    ix
+
+let path_index st =
+  match st.pindex with
+  | Some ix -> ix
+  | None ->
+    let ix =
+      match load_seg st "path" Path_index.of_bytes with
+      | Some ix -> ix
+      | None -> Path_index.build ~depth:st.path_depth st.graph
+    in
+    st.pindex <- Some ix;
+    ix
+
+let dataguide st =
+  match st.guide with
+  | Some dg -> dg
+  | None ->
+    let dg =
+      match load_seg st "guide" Dataguide.of_bytes with
+      | Some dg -> dg
+      | None -> Dataguide.build st.graph
+    in
+    st.guide <- Some dg;
+    dg
+
+(* Advance (or lazily seed) the incremental maintainer so the index
+   segments for [g] come from delta maintenance instead of full
+   rebuilds.  Seeding adopts the cached or checkpointed structures of
+   the current version — no rebuild there either.  Monotone deltas
+   (Lorel inserts) take the insert-only fast paths; anything else makes
+   the maintainer rebuild internally, which it accounts on its own
+   [incr.*] instruments. *)
+let maintain_indexes st ~index_names g =
+  if index_names <> [] then begin
+    let state =
+      match st.incr with
+      | Some state -> state
+      | None ->
+        let have n = List.mem n index_names in
+        let state =
+          Incr_state.create ~path_depth:st.path_depth ~names:index_names
+            ?vindex:(if have "value" then Some (value_index st) else None)
+            ?tindex:(if have "text" then Some (text_index st) else None)
+            ?pindex:(if have "path" then Some (path_index st) else None)
+            ?guide:(if have "guide" then Some (dataguide st) else None)
+            st.graph
+        in
+        st.incr <- Some state;
+        state
+    in
+    let (_ : Incr_state.outcome) =
+      Incr_state.advance state g (Delta.diff (Incr_state.graph state) g)
+    in
+    (* Refresh the caches from the maintainer (the text index is
+       replaced on apply, not mutated in place; the guide materializes
+       here). *)
+    (match Incr_state.value_index state with
+    | Some ix -> st.vindex <- Some ix
+    | None -> ());
+    (match Incr_state.text_index state with
+    | Some ix -> st.tindex <- Some ix
+    | None -> ());
+    (match Incr_state.path_index state with
+    | Some ix -> st.pindex <- Some ix
+    | None -> ());
+    match Incr_state.dataguide state with
+    | Some dg -> st.guide <- Some dg
+    | None -> ()
+  end
+
 let build_index_payload st name g =
+  (* When the maintainer has just advanced to [g], the caches hold its
+     structures; otherwise (store creation, maintained set mismatch)
+     build from scratch. *)
+  let maintained =
+    match st.incr with
+    | Some state -> Incr_state.graph state == g
+    | None -> false
+  in
   match name with
   | "value" ->
-    let ix = Value_index.build g in
+    let ix =
+      match st.vindex with
+      | Some ix when maintained -> ix
+      | _ -> Value_index.build g
+    in
     st.vindex <- Some ix;
     Value_index.to_bytes ix
   | "text" ->
-    let ix = Text_index.build g in
+    let ix =
+      match st.tindex with
+      | Some ix when maintained -> ix
+      | _ -> Text_index.build g
+    in
     st.tindex <- Some ix;
     Text_index.to_bytes ix
   | "path" ->
-    let ix = Path_index.build ~depth:st.path_depth g in
+    let ix =
+      match st.pindex with
+      | Some ix when maintained -> ix
+      | _ -> Path_index.build ~depth:st.path_depth g
+    in
     st.pindex <- Some ix;
     Path_index.to_bytes ix
   | "guide" ->
-    let dg = Dataguide.build g in
+    let dg =
+      match st.guide with
+      | Some dg when maintained -> dg
+      | _ -> Dataguide.build g
+    in
     st.guide <- Some dg;
     Dataguide.to_bytes dg
   | other -> fail "store: unknown index segment %S" other
@@ -345,6 +475,7 @@ let open_ ?(pool_pages = 64) ?(checkpoint_every = max_int) (vfs : Vfs.t) =
       tindex = None;
       pindex = None;
       guide = None;
+      incr = None;
       path_depth = sb.Page.path_depth;
       checkpoint_every;
       txns_since_ckpt = 0;
@@ -481,6 +612,7 @@ let commit st g =
   Metrics.incr m_commits;
   Trace.with_span "store.commit" @@ fun () ->
   let index_names = index_names st in
+  maintain_indexes st ~index_names g;
   let dict, segs = encode_version st ~index_names g in
   let dir, n_pages = layout ~page_size:st.page_size segs in
   let lsn = st.sb.Page.next_lsn in
@@ -548,64 +680,10 @@ let compact st =
 let graph st = st.graph
 let recovery st = st.recovery
 let page_size st = st.page_size
+let path_depth st = st.path_depth
 let n_pages st = st.sb.Page.n_pages
 let wal_size st = st.wal_size - Wal.header_size
 let indexes st = index_names st
-
-let load_seg st name of_bytes =
-  match find_seg st name with
-  | None -> None
-  | Some s -> Some (of_bytes (segment_bytes st s))
-
-(* Lazy index getters: serve from the in-memory cache, else deserialize
-   the checkpointed segment (no rebuild), else build from the graph. *)
-let value_index st =
-  match st.vindex with
-  | Some ix -> ix
-  | None ->
-    let ix =
-      match load_seg st "value" Value_index.of_bytes with
-      | Some ix -> ix
-      | None -> Value_index.build st.graph
-    in
-    st.vindex <- Some ix;
-    ix
-
-let text_index st =
-  match st.tindex with
-  | Some ix -> ix
-  | None ->
-    let ix =
-      match load_seg st "text" Text_index.of_bytes with
-      | Some ix -> ix
-      | None -> Text_index.build st.graph
-    in
-    st.tindex <- Some ix;
-    ix
-
-let path_index st =
-  match st.pindex with
-  | Some ix -> ix
-  | None ->
-    let ix =
-      match load_seg st "path" Path_index.of_bytes with
-      | Some ix -> ix
-      | None -> Path_index.build ~depth:st.path_depth st.graph
-    in
-    st.pindex <- Some ix;
-    ix
-
-let dataguide st =
-  match st.guide with
-  | Some dg -> dg
-  | None ->
-    let dg =
-      match load_seg st "guide" Dataguide.of_bytes with
-      | Some dg -> dg
-      | None -> Dataguide.build st.graph
-    in
-    st.guide <- Some dg;
-    dg
 
 (* Canonical bytes of an index segment, for byte-identity checks. *)
 let index_segment_bytes st name =

@@ -63,6 +63,10 @@ val close : t -> unit
 val graph : t -> Ssd.Graph.t
 val recovery : t -> recovery
 val page_size : t -> int
+
+(** Depth the path index was built with (fixed at {!create}). *)
+val path_depth : t -> int
+
 val n_pages : t -> int
 
 (** Logged WAL bytes (the file minus its fixed header; 0 right after a

@@ -9,6 +9,8 @@ let m_evictions = Metrics.counter "unql.cache.evictions"
 let m_invalidations = Metrics.counter "unql.cache.invalidations"
 let m_plan_hits = Metrics.counter "unql.cache.plan_hits"
 let m_plan_misses = Metrics.counter "unql.cache.plan_misses"
+let m_revalidated = Metrics.counter "incr.cache.revalidated"
+let m_reval_dropped = Metrics.counter "incr.cache.dropped"
 
 (* ------------------------------------------------------------------ *)
 (* Graph fingerprints                                                  *)
@@ -129,6 +131,49 @@ let invalidate c db =
   let n = List.length doomed in
   drop_invalidated c n;
   n
+
+(* Delta-driven revalidation: instead of dropping every entry of the
+   superseded graph wholesale, the caller proves some queries untouched
+   (label-footprint disjoint from the update's delta, see {!Footprint})
+   and those entries are re-keyed to the new fingerprint — the cached
+   result is still the right answer.  Plans move with them: a kept
+   query only reads labels the delta did not touch, so the statistics
+   its plan was chosen under are unchanged too. *)
+let revalidate c ~old_db ~new_db ~keep =
+  let old_fp = fingerprint old_db in
+  let new_fp = fingerprint new_db in
+  if old_fp = new_fp then (0, 0)
+  else begin
+    let moved =
+      Hashtbl.fold
+        (fun k e acc -> if k.fp = old_fp then (k, e) :: acc else acc)
+        c.table []
+    in
+    let kept = ref 0 and dropped = ref 0 in
+    List.iter
+      (fun ((k : key), e) ->
+        Hashtbl.remove c.table k;
+        if keep k.qtext then begin
+          incr kept;
+          Hashtbl.replace c.table { k with fp = new_fp } e
+        end
+        else incr dropped)
+      moved;
+    let plans =
+      Hashtbl.fold
+        (fun k p acc -> if k.fp = old_fp then (k, p) :: acc else acc)
+        c.plans []
+    in
+    List.iter
+      (fun ((k : key), p) ->
+        Hashtbl.remove c.plans k;
+        if keep k.qtext then Hashtbl.replace c.plans { k with fp = new_fp } p)
+      plans;
+    drop_invalidated c !dropped;
+    Metrics.add m_revalidated !kept;
+    Metrics.add m_reval_dropped !dropped;
+    (!kept, !dropped)
+  end
 
 let touch c e =
   c.clock <- c.clock + 1;

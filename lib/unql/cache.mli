@@ -52,6 +52,22 @@ val clear : t -> unit
     fingerprint.  Returns the number of entries dropped. *)
 val invalidate : t -> Ssd.Graph.t -> int
 
+(** [revalidate c ~old_db ~new_db ~keep] — delta-driven alternative to
+    {!invalidate} after an update [old_db → new_db]: every entry keyed
+    to [old_db] whose normalized query text satisfies [keep] is re-keyed
+    to [new_db] (its cached result — and its plan — remain valid); the
+    rest are dropped and counted as invalidations.  The caller supplies
+    [keep] as a footprint/delta disjointness test (see {!Footprint});
+    passing [fun _ -> false] degenerates to {!invalidate}.  Returns
+    [(kept, dropped)]; also counted on [incr.cache.revalidated] /
+    [incr.cache.dropped]. *)
+val revalidate :
+  t ->
+  old_db:Ssd.Graph.t ->
+  new_db:Ssd.Graph.t ->
+  keep:(string -> bool) ->
+  int * int
+
 (** [fingerprint db] — the structural hash used in cache keys.  Exposed
     for tests and diagnostics; memoized on physical identity for the
     most recently seen graphs. *)

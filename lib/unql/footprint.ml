@@ -1,0 +1,99 @@
+(* Static label footprint of a query: the set of edge labels whose
+   change can change the query's result.  See footprint.mli for the
+   soundness argument and its limits. *)
+
+module Label = Ssd.Label
+module Lpred = Ssd_automata.Lpred
+module Regex = Ssd_automata.Regex
+
+module Label_set = Set.Make (Label)
+
+type t =
+  | Labels of Label_set.t
+  | Top
+
+exception Widen  (* some construct defeats the finite analysis *)
+
+(* A label predicate is finite only when it names one exact label; Any,
+   type tests, text tests, order tests and negations all match open
+   label sets. *)
+let pred acc = function
+  | Lpred.Exact l -> Label_set.add l acc
+  | _ -> raise Widen
+
+let rec regex acc = function
+  | Regex.Void | Regex.Eps -> acc
+  | Regex.Atom p -> pred acc p
+  | Regex.Seq (a, b) | Regex.Alt (a, b) -> regex (regex acc a) b
+  | Regex.Star r | Regex.Plus r | Regex.Opt r -> regex acc r
+
+(* Traversal steps.  [Lname] resolves to a bound label variable when one
+   is in scope — but label binders are [Sbind] steps, and any [Sbind]
+   widens to ⊤ on its own (it matches every label), so treating [Lname]
+   as its symbol-literal reading is sound. *)
+let step acc = function
+  | Ast.Slit (Ast.Llit l) -> Label_set.add l acc
+  | Ast.Slit (Ast.Lname x) -> Label_set.add (Label.sym x) acc
+  | Ast.Sbind _ -> raise Widen
+  | Ast.Spred p -> pred acc p
+  | Ast.Sregex (re, _) -> regex acc re
+
+(* Subtree binders expose every label reachable below the match (the
+   result embeds the bound subtree; [isempty]/[==] observe it), which no
+   static label set bounds — ⊤.  Only the anonymous [_] is free. *)
+let rec pattern acc = function
+  | Ast.Pbind _ -> raise Widen
+  | Ast.Pany -> acc
+  | Ast.Pedges entries ->
+    List.fold_left
+      (fun acc (steps, sub) -> pattern (List.fold_left step acc steps) sub)
+      acc entries
+
+let rec expr acc = function
+  | Ast.Empty | Ast.Db | Ast.Var _ -> acc
+  | Ast.Tree entries ->
+    (* construction: the labels are written, not traversed *)
+    List.fold_left (fun acc (_, e) -> expr acc e) acc entries
+  | Ast.Union (a, b) -> expr (expr acc a) b
+  | Ast.Select (head, clauses) ->
+    let acc =
+      List.fold_left
+        (fun acc -> function
+          | Ast.Gen (p, e) -> pattern (expr acc e) p
+          | Ast.Where c -> cond acc c)
+        acc clauses
+    in
+    expr acc head
+  | Ast.If (c, a, b) -> expr (expr (cond acc c) a) b
+  | Ast.Let (_, a, b) -> expr (expr acc a) b
+  | Ast.Letsfun _ | Ast.App _ ->
+    (* structural recursion walks every edge of its argument *)
+    raise Widen
+
+and cond acc = function
+  | Ast.Ccmp _ | Ast.Cistype _ | Ast.Cstarts _ | Ast.Ccontains _ -> acc
+  | Ast.Cempty e -> expr acc e
+  | Ast.Cequal (a, b) -> expr (expr acc a) b
+  | Ast.Cnot c -> cond acc c
+  | Ast.Cand (a, b) | Ast.Cor (a, b) -> cond (cond acc a) b
+
+let of_expr e =
+  match expr Label_set.empty e with
+  | s -> Labels s
+  | exception Widen -> Top
+
+let of_string src =
+  match Parser.parse src with
+  | q -> of_expr q
+  | exception _ -> Top
+
+let labels = function
+  | Top -> None
+  | Labels s -> Some (Label_set.elements s)
+
+let is_top = function Top -> true | Labels _ -> false
+
+let disjoint fp delta_labels =
+  match (fp, delta_labels) with
+  | Top, _ | _, None -> false
+  | Labels s, Some ls -> not (List.exists (fun l -> Label_set.mem l s) ls)

@@ -1,0 +1,47 @@
+(** Static label footprint of a query — the analysis behind delta-driven
+    cache revalidation and subscription skipping (lib/incr).
+
+    [of_expr q] computes a set [S] of edge labels such that the result
+    of [q] is unchanged by any update whose delta only touches labels
+    outside [S] (and touches no ε edge — ε changes alter the ε-closed
+    successors of {e every} label, and the delta side reports them as ⊤,
+    see {!Ssd_incr.Delta.touched_labels}).  When no finite such set can
+    be established the footprint is ⊤ ([Top]) and the query must be
+    treated as depending on everything.
+
+    Soundness sketch: a query's value is determined by the edges its
+    evaluation can traverse plus anything its result embeds.  Traversal
+    from [DB]'s root only follows steps in the query, and every step
+    contributes its labels to [S] — or widens to ⊤ when it matches an
+    open label set ([\x] binders, non-[Exact] predicates).  Subtree
+    binders ([\t]) widen to ⊤ as well: the bound subtree (returned, or
+    observed by [isempty]/[==]) exposes every label reachable below the
+    match point, which no static set bounds.  Structural recursion
+    ([sfun]) walks every edge of its argument — ⊤.  What remains
+    (existence-style patterns ending in [_], label-literal and regex
+    steps, conditions over literals) reads only [S]-labeled edges, and
+    a label-disjoint delta cannot add, remove or retarget any of them —
+    even when a non-monotone update renumbers nodes, since a renumbered
+    [S]-reachable region would surface renamed [S]-labeled edges in the
+    delta. *)
+
+type t =
+  | Labels of Set.Make(Ssd.Label).t
+  | Top
+
+val of_expr : Ast.expr -> t
+
+(** Parse-and-analyze; ⊤ on a parse error (unknown text depends on
+    everything). *)
+val of_string : string -> t
+
+(** Sorted labels, or [None] for ⊤. *)
+val labels : t -> Ssd.Label.t list option
+
+val is_top : t -> bool
+
+(** [disjoint fp delta_labels] — true only when both sides are finite
+    and share no label: the cached result provably survives the update.
+    [delta_labels] uses the {!Ssd_incr.Delta.touched_labels} convention
+    ([None] = ⊤). *)
+val disjoint : t -> Ssd.Label.t list option -> bool

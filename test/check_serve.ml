@@ -293,9 +293,40 @@ let () =
       expect "update acked before SIGTERM survives" (contains r.Proto.body "Durable1");
       expect "update acked before kill -9 survives" (contains r.Proto.body "Durable2")
     | _ -> fail "post-recovery query frame count");
-    Unix.kill pid3 Sys.sigterm;
+    (* One more acked update, then kill -9 again: the WAL now holds an
+       index version produced by the in-server incremental maintainer
+       (the insert above took the monotone fast path).  Recover the
+       store in-process and demand every index segment is byte-identical
+       to a cold rebuild from the recovered graph — incremental
+       maintenance must not be observable in the durable bytes. *)
+    update "Durable3";
+    Unix.kill pid3 Sys.sigkill;
     (match Unix.waitpid [] pid3 with
-    | _, Unix.WEXITED 0 -> ()
-    | _ -> fail "serve #3 did not exit cleanly on SIGTERM");
+    | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+    | _ -> fail "serve #3 not killed as expected");
+    if Sys.file_exists store_sock then Sys.remove store_sock;
+    let module Store = Ssd_store.Store in
+    let st = Store.open_ (Ssd_store.Vfs.real dir) in
+    expect "in-process open after kill -9 performs recovery"
+      (not (Store.recovery st).Store.was_clean);
+    let g = Store.graph st in
+    let cold name =
+      match name with
+      | "value" -> Ssd_index.Value_index.to_bytes (Ssd_index.Value_index.build g)
+      | "text" -> Ssd_index.Text_index.to_bytes (Ssd_index.Text_index.build g)
+      | "path" ->
+        Ssd_index.Path_index.to_bytes
+          (Ssd_index.Path_index.build ~depth:(Store.path_depth st) g)
+      | "guide" -> Ssd_schema.Dataguide.to_bytes (Ssd_schema.Dataguide.build g)
+      | other -> fail "unknown index segment %S" other
+    in
+    expect "store maintains all four index segments" (List.length (Store.indexes st) = 4);
+    List.iter
+      (fun name ->
+        expect
+          (Printf.sprintf "recovered incremental %S segment matches a cold rebuild" name)
+          (Bytes.equal (Store.index_segment_bytes st name) (cold name)))
+      (Store.indexes st);
+    Store.close st;
     print_endline "check_serve: store lifecycle ok"
   | _ -> ()

@@ -1,0 +1,263 @@
+(* Smoke test for live subscriptions on the real binary: one `ssdql
+   serve --store` process, a raw-socket subscriber plus a `ssdql
+   subscribe` CLI subscriber, and a third client committing UPDATEs.
+   Both subscribers must receive typed delta frames for each committed
+   change, the event log must record incr.subscribe / incr.push /
+   incr.update, the /metrics incr.* counters must move, and closing the
+   subscribers must tear their registrations down (active gauge back to
+   zero). *)
+
+module Proto = Ssd_serve.Proto
+module Export = Ssd_obs.Export
+
+let spawned : int list ref = ref []
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("check_subscribe: FAIL " ^ m);
+      List.iter (fun p -> try Unix.kill p Sys.sigkill with Unix.Unix_error _ -> ()) !spawned;
+      exit 1)
+    fmt
+
+let expect what cond = if not cond then fail "%s" what
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.equal (String.sub hay i m) needle || go (i + 1)) in
+  go 0
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let wait_for ?(timeout = 10.) what pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if not (pred ()) then
+      if Unix.gettimeofday () -. t0 > timeout then fail "timed out waiting for %s" what
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Clients: SSDQL frames and admin HTTP, both over Unix sockets        *)
+(* ------------------------------------------------------------------ *)
+
+let connect_to path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception e ->
+    Unix.close fd;
+    raise e);
+  fd
+
+let send fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+(* Incremental frame reader over one long-lived connection: [take st k]
+   blocks until [k] more frames have arrived. *)
+type client = { fd : Unix.file_descr; buf : Buffer.t; mutable pos : int }
+
+let client path = { fd = connect_to path; buf = Buffer.create 4096; pos = 0 }
+
+let take st k =
+  let chunk = Bytes.create 4096 in
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match Proto.parse_response (Buffer.contents st.buf) st.pos with
+      | Ok (r, pos') ->
+        st.pos <- pos';
+        go (r :: acc) (k - 1)
+      | Error `Incomplete -> (
+        match Unix.read st.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> fail "connection closed with %d frames still expected" k
+        | n ->
+          Buffer.add_subbytes st.buf chunk 0 n;
+          go acc k)
+      | Error (`Malformed why) -> fail "malformed frame from server: %s" why
+  in
+  go [] k
+
+let rpc_at path k reqs =
+  let st = client path in
+  send st.fd reqs;
+  let frames = take st k in
+  (try Unix.close st.fd with Unix.Unix_error _ -> ());
+  frames
+
+let http_get path target =
+  let fd = connect_to path in
+  send fd (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" target);
+  let buf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  drain ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let raw = Buffer.contents buf in
+  match String.index_opt raw '\n' with
+  | None -> fail "no response to %s" target
+  | Some _ -> (
+    let split sep =
+      let n = String.length raw and m = String.length sep in
+      let rec go i =
+        if i + m > n then None else if String.sub raw i m = sep then Some i else go (i + 1)
+      in
+      go 0
+    in
+    match split "\r\n\r\n" with
+    | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+    | None -> fail "no header/body split in response to %s" target)
+
+(* Sum of one family's samples in the serve process's /metrics. *)
+let metric admin_sock family =
+  match Export.parse (http_get admin_sock "/metrics") with
+  | Ok lines -> Export.counter_total lines family
+  | Error e -> fail "/metrics does not parse: %s" e
+
+(* ------------------------------------------------------------------ *)
+
+let q_titles = "select {t: \\T} where {entry.movie.title: \\T} <- DB"
+
+let () =
+  match Sys.argv with
+  | [| _; ssdql |] ->
+    let pid = Unix.getpid () in
+    let tmp = Filename.get_temp_dir_name () in
+    let dir = Filename.temp_file "ssdql_sub_store" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let sock = Filename.concat tmp (Printf.sprintf "ssdql_sub_%d.sock" pid) in
+    let admin_sock = Filename.concat tmp (Printf.sprintf "ssdql_sub_adm_%d.sock" pid) in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let init =
+      Unix.create_process ssdql
+        [| ssdql; "store"; "init"; "--store"; dir; "-d"; "builtin:figure1" |]
+        Unix.stdin devnull devnull
+    in
+    (match Unix.waitpid [] init with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> fail "store init failed");
+    Unix.close devnull;
+    let log = Filename.temp_file "ssdql_sub_serve" ".log" in
+    let logfd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+    let serve_pid =
+      Unix.create_process ssdql
+        [|
+          (* two workers are pinned by the long-lived subscriber
+             connections; the updater and EVENTS clients need their own *)
+          ssdql; "serve"; "--store"; dir; "--socket"; sock; "--workers"; "4";
+          "--admin"; "unix:" ^ admin_sock;
+        |]
+        Unix.stdin Unix.stdout logfd
+    in
+    Unix.close logfd;
+    spawned := serve_pid :: !spawned;
+    wait_for "serve socket" (fun () -> Sys.file_exists sock);
+    wait_for "admin socket" (fun () -> Sys.file_exists admin_sock);
+
+    let pushes0 = metric admin_sock "ssd_incr_sub_pushes_total" in
+    let evals0 = metric admin_sock "ssd_incr_sub_evals_total" in
+
+    (* Subscriber 1: raw protocol client. *)
+    let sub = client sock in
+    send sub.fd (Printf.sprintf "SUBSCRIBE - %s\n" q_titles);
+    let sub_id =
+      match take sub 1 with
+      | [ r ] ->
+        expect "subscribe acknowledged complete" (r.Proto.status = Proto.Complete);
+        expect "initial result carries the current titles"
+          (contains r.Proto.body "Casablanca");
+        expect "subscribe detail is the subscription id"
+          (match int_of_string_opt r.Proto.detail with Some _ -> true | None -> false);
+        r.Proto.detail
+      | _ -> fail "subscribe frame count"
+    in
+
+    (* Subscriber 2: the ssdql subscribe CLI, exiting after two deltas. *)
+    let cli_out = Filename.temp_file "ssdql_sub_cli" ".out" in
+    let outfd = Unix.openfile cli_out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+    let cli_pid =
+      Unix.create_process ssdql
+        [| ssdql; "subscribe"; "--socket"; sock; "--count"; "2"; q_titles |]
+        Unix.stdin outfd Unix.stderr
+    in
+    Unix.close outfd;
+    spawned := cli_pid :: !spawned;
+    wait_for "both subscriptions registered" (fun () ->
+        metric admin_sock "ssd_incr_sub_active" >= 2.);
+
+    (* A third client commits two updates; each changes the result. *)
+    let update title =
+      match
+        rpc_at sock 1
+          (Printf.sprintf "UPDATE - insert DB.entry := {movie: {title: \"%s\"}}\n" title)
+      with
+      | [ u ] ->
+        expect (title ^ " acknowledged") (u.Proto.status = Proto.Complete);
+        expect "update response reports pushed deltas" (contains u.Proto.body "deltas pushed")
+      | _ -> fail "update frame count (%s)" title
+    in
+    update "Live1";
+    update "Live2";
+
+    (* Raw subscriber: one delta frame per update, in commit order. *)
+    (match take sub 2 with
+    | [ d1; d2 ] ->
+      expect "first push is a delta frame" (d1.Proto.status = Proto.Delta);
+      expect "first push is seq 1" (String.equal d1.Proto.detail (sub_id ^ ".1"));
+      expect "first push carries the first insert" (contains d1.Proto.body "Live1");
+      expect "second push is a delta frame" (d2.Proto.status = Proto.Delta);
+      expect "second push is seq 2" (String.equal d2.Proto.detail (sub_id ^ ".2"));
+      expect "second push carries the second insert" (contains d2.Proto.body "Live2")
+    | _ -> fail "delta frame count");
+
+    (* CLI subscriber: saw two deltas and exited 0 on its own. *)
+    (match Unix.waitpid [] cli_pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> fail "ssdql subscribe did not exit cleanly after --count deltas");
+    spawned := List.filter (fun p -> p <> cli_pid) !spawned;
+    let cli = read_file cli_out in
+    expect "CLI printed delta frames" (contains cli "== delta");
+    expect "CLI saw the last insert" (contains cli "Live2");
+
+    (* The event log records the whole exchange. *)
+    (match rpc_at sock 1 "EVENTS\n" with
+    | [ e ] ->
+      expect "events frame completes" (e.Proto.status = Proto.Complete);
+      expect "event log records subscriptions" (contains e.Proto.body "incr.subscribe");
+      expect "event log records pushes" (contains e.Proto.body "incr.push");
+      expect "event log records delta-driven updates" (contains e.Proto.body "incr.update")
+    | _ -> fail "events frame count");
+
+    (* Counters moved: 2 updates x 2 live subscriptions = 4 pushes. *)
+    expect "incr.sub.pushes moved by the pushes"
+      (metric admin_sock "ssd_incr_sub_pushes_total" -. pushes0 >= 4.);
+    expect "incr.sub.evals moved"
+      (metric admin_sock "ssd_incr_sub_evals_total" -. evals0 >= 4.);
+
+    (* Teardown: closing the raw subscriber drops its registration (the
+       CLI one died with its process). *)
+    (try Unix.close sub.fd with Unix.Unix_error _ -> ());
+    wait_for "subscriptions torn down on close" (fun () ->
+        metric admin_sock "ssd_incr_sub_active" = 0.);
+
+    Unix.kill serve_pid Sys.sigterm;
+    (match Unix.waitpid [] serve_pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> fail "serve did not exit cleanly on SIGTERM");
+    print_endline "check_subscribe: ok"
+  | _ -> fail "usage: check_subscribe SSDQL_BINARY"

@@ -45,12 +45,49 @@ let mix seed =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31)) land max_int
 
-(* The committed version chain: growing figure-1-shaped databases. *)
+(* The committed version chain: version 0 is a small movie database and
+   each later version extends its predecessor by one freshly inserted
+   entry — an id-preserving superset, so the delta between consecutive
+   commits is monotone and every commit after the first runs the
+   insert-only incremental index maintenance inside [Store.commit]
+   under the crash schedules (a rebuilt chain of unrelated graphs would
+   only ever exercise the rebuild fallback). *)
 let n_versions = 4
 
+let append_entry i g =
+  let b = G.Builder.create () in
+  let (_ : int) = G.import_into b g in
+  G.Builder.set_root b (G.root g);
+  let sym = Ssd.Label.sym and str = Ssd.Label.str in
+  let node l parent =
+    let v = G.Builder.add_node b in
+    G.Builder.add_edge b parent (sym l) v;
+    v
+  in
+  let e = node "entry" (G.root g) in
+  let m = node "movie" e in
+  let t = node "title" m in
+  let v = G.Builder.add_node b in
+  G.Builder.add_edge b t (str (Printf.sprintf "Sequel %d" i)) v;
+  let d = node "director" m in
+  let dv = G.Builder.add_node b in
+  G.Builder.add_edge b d (str (Printf.sprintf "Auteur %d" i)) dv;
+  G.Builder.finish b
+
 let graphs =
-  Array.init n_versions (fun i ->
-      Ssd_workload.Movies.generate ~seed:(101 + i) ~n_entries:(2 + 2 * i) ())
+  let arr = Array.make n_versions (Ssd_workload.Movies.generate ~seed:101 ~n_entries:2 ()) in
+  for i = 1 to n_versions - 1 do
+    arr.(i) <- append_entry i arr.(i - 1)
+  done;
+  arr
+
+let () =
+  (* The point of the chain: consecutive deltas must be monotone, or the
+     crash schedules silently stop covering the incremental fast path. *)
+  for i = 1 to n_versions - 1 do
+    if not (Ssd_incr.Delta.monotone (Ssd_incr.Delta.diff graphs.(i - 1) graphs.(i))) then
+      failwith "crash_fuzz: version chain delta is not monotone"
+  done
 
 let fps = Array.map Store.fingerprint_graph graphs
 

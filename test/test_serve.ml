@@ -107,7 +107,7 @@ let props =
         | Proto.Partial ->
           List.mem r.Proto.detail [ "steps"; "deadline"; "stalled" ]
           && (Engine.stats engine).Engine.partial = 1
-        | Proto.Shed | Proto.Error -> false);
+        | Proto.Shed | Proto.Error | Proto.Delta -> false);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -166,7 +166,7 @@ let fuzz =
           (* typed diagnostic, never a bare exception code *)
           String.length r.Proto.detail = 6
           && String.sub r.Proto.detail 0 3 = "SSD"
-        | Proto.Complete | Proto.Partial | Proto.Shed -> true)
+        | Proto.Complete | Proto.Partial | Proto.Shed | Proto.Delta -> true)
         &&
         (* and the engine still serves afterwards: no wedged lock/state *)
         let pong = parse_one (Engine.handle_line engine "PING") in
@@ -258,11 +258,118 @@ let quit_and_stats () =
   let bye, close' = Engine.handle engine "QUIT" in
   check "bye closes" true (String.equal bye.Proto.body "bye\n" && close')
 
+(* ------------------------------------------------------------------ *)
+(* Live subscriptions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One connection subscribes twice (one query the update can touch, one
+   whose label footprint is disjoint); an UPDATE through another engine
+   pushes exactly one delta frame whose body equals re-running the
+   query; teardown by UNSUBSCRIBE and by drop_conn. *)
+let subscription_lifecycle () =
+  let db = fig1 () in
+  let store = Engine.store ~db () in
+  let a = Engine.create store in
+  let b = Engine.create store in
+  let pushes = ref [] in
+  let push s = pushes := s :: !pushes in
+  (* no push channel -> typed refusal *)
+  let refused, _ = Engine.handle a ("SUBSCRIBE - " ^ q_titles) in
+  check "SUBSCRIBE without push is refused" true
+    (refused.Proto.status = Proto.Error && String.equal refused.Proto.detail "SSD557");
+  let sub1, _ = Engine.handle ~push ~conn_id:7 a ("SUBSCRIBE - " ^ q_titles) in
+  check "subscribed complete" true (sub1.Proto.status = Proto.Complete);
+  let id1 = sub1.Proto.detail in
+  check "initial body is the current result" true
+    (String.equal sub1.Proto.body
+       (parse_one (Engine.handle_line a ("QUERY - " ^ q_titles))).Proto.body);
+  let q_disjoint = {| select {hit: {}} where {zzz: _} <- DB |} in
+  let sub2, _ = Engine.handle ~push ~conn_id:7 a ("SUBSCRIBE - " ^ q_disjoint) in
+  check "second subscription" true (sub2.Proto.status = Proto.Complete);
+  check "two live subscriptions" true (Engine.n_subs store = 2);
+  (* the update touches entry/movie/title: sub1 (⊤ footprint) re-runs
+     and pushes, sub2 ({zzz}) is skipped without evaluating *)
+  let upd =
+    parse_one
+      (Engine.handle_line b {|UPDATE - insert DB.entry := {movie: {title: "Pushed"}}|})
+  in
+  check "update complete" true (upd.Proto.status = Proto.Complete);
+  check "exactly one delta frame pushed" true (List.length !pushes = 1);
+  let frame = parse_one (List.hd !pushes) in
+  check "delta status" true (frame.Proto.status = Proto.Delta);
+  Alcotest.(check string) "delta detail is id.seq" (id1 ^ ".1") frame.Proto.detail;
+  check "delta body equals re-running the query" true
+    (String.equal frame.Proto.body
+       (parse_one (Engine.handle_line a ("QUERY - " ^ q_titles))).Proto.body);
+  check "and mentions the inserted title" true
+    (contains ~needle:"Pushed" frame.Proto.body);
+  (* teardown *)
+  let un = parse_one (Engine.handle_line a ("UNSUBSCRIBE - " ^ id1)) in
+  check "unsubscribed" true (un.Proto.status = Proto.Complete);
+  let un2 = parse_one (Engine.handle_line a ("UNSUBSCRIBE - " ^ id1)) in
+  check "double unsubscribe is SSD556" true
+    (un2.Proto.status = Proto.Error && String.equal un2.Proto.detail "SSD556");
+  pushes := [];
+  ignore (Engine.handle_line b {|UPDATE - insert DB.entry := {movie: {title: "Again"}}|});
+  check "no frame for a dead subscription" true (!pushes = []);
+  Engine.drop_conn a 7;
+  check "drop_conn clears the connection's subscriptions" true (Engine.n_subs store = 0)
+
+(* Datalog subscriptions hold a retained model advanced semi-naively.
+   Oracle: a freshly created subscription's initial body is by
+   construction the query's canonical current result — every pushed
+   frame must byte-equal the initial body of a new subscription made
+   after the update. *)
+let datalog_subscription () =
+  let db = fig1 () in
+  let store = Engine.store ~db () in
+  let a = Engine.create store in
+  let pushes = ref [] in
+  let push s = pushes := s :: !pushes in
+  let prog =
+    "reach(?X) :- root(?X). reach(?Y) :- reach(?X), edge(?X, ?L, ?Y)."
+  in
+  let subscribe () =
+    let r, _ = Engine.handle ~push ~conn_id:1 a ("SUBSCRIBE lang=datalog " ^ prog) in
+    check "datalog subscribe ok" true (r.Proto.status = Proto.Complete);
+    r
+  in
+  let (_ : Proto.response) = subscribe () in
+  (* monotone insert: the retained model advances from the new edges *)
+  ignore
+    (Engine.handle_line a {|UPDATE - insert DB.entry := {movie: {title: "Zed"}}|});
+  check "monotone insert pushed" true (List.length !pushes = 1);
+  let frame1 = parse_one (List.hd !pushes) in
+  let fresh1 = subscribe () in
+  check "semi-naive result equals scratch model" true
+    (String.equal frame1.Proto.body fresh1.Proto.body);
+  (* non-monotone delete: the model is re-prepared, and still pushes the
+     correct new result *)
+  pushes := [];
+  ignore (Engine.handle_line a {|UPDATE - delete DB.entry|});
+  check "both live datalog subs pushed" true (List.length !pushes = 2);
+  let frame2 = parse_one (List.hd !pushes) in
+  let fresh2 = subscribe () in
+  check "rebuilt result equals scratch model" true
+    (String.equal frame2.Proto.body fresh2.Proto.body);
+  (* a subscription on a program with negation is rejected with the
+     incremental-maintenance code *)
+  let bad, _ =
+    Engine.handle ~push ~conn_id:1 a
+      "SUBSCRIBE lang=datalog q(?X) :- edge(?X, ?L, ?Y). p(?X) :- root(?X), not q(?X)."
+  in
+  check "negation rejected with SSD213" true
+    (bad.Proto.status = Proto.Error && String.equal bad.Proto.detail "SSD213")
+
 let tests =
   props
   @ [
       Alcotest.test_case "shared store never serves stale after update" `Quick
         shared_store_never_stale;
+      Alcotest.test_case "subscription lifecycle: push, skip, teardown" `Quick
+        subscription_lifecycle;
+      Alcotest.test_case "datalog subscription: semi-naive = scratch" `Quick
+        datalog_subscription;
       Alcotest.test_case "oversized frame: SSD551 then close" `Quick
         oversized_frame_closes;
       Alcotest.test_case "malformed/unsupported get typed SSD55x codes" `Quick
